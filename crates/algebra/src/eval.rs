@@ -1,0 +1,561 @@
+//! Direct, operator-at-a-time evaluation of algebra plans.
+//!
+//! Every operator materializes its full result table, exactly like the
+//! staged execution (SORT → temporary table → scan) that a relational
+//! back-end falls back to for the compiler's *stacked* plans.  This
+//! evaluator therefore doubles as
+//!
+//! 1. the semantics reference for the rewriter (isolation must not change
+//!    the evaluated result), and
+//! 2. the "DB2 + Pathfinder, stacked" baseline column of Table IX.
+
+use crate::ir::{CmpOp, OpId, OpKind, Plan, Predicate, Scalar};
+use std::collections::HashMap;
+use xqjg_store::{Row, Schema, Table, Value};
+
+/// Evaluation context: the base relations a plan may reference.
+pub struct EvalContext<'a> {
+    /// The XML infoset encoding relation (`doc`).
+    pub doc: &'a Table,
+}
+
+/// Evaluate a plan to its result table (the table produced at the
+/// serialization point).
+pub fn evaluate(plan: &Plan, ctx: &EvalContext<'_>) -> Table {
+    let mut memo: HashMap<OpId, Table> = HashMap::new();
+    for id in plan.topo_order() {
+        let table = eval_op(plan, id, ctx, &memo);
+        memo.insert(id, table);
+    }
+    memo.remove(&plan.root()).expect("root must be evaluated")
+}
+
+/// Number of rows materialized across all operators (a simple work metric
+/// used by the benchmarks to contrast stacked and isolated plans).
+pub fn materialized_rows(plan: &Plan, ctx: &EvalContext<'_>) -> usize {
+    let mut memo: HashMap<OpId, Table> = HashMap::new();
+    let mut total = 0usize;
+    for id in plan.topo_order() {
+        let table = eval_op(plan, id, ctx, &memo);
+        total += table.len();
+        memo.insert(id, table);
+    }
+    total
+}
+
+fn eval_op(plan: &Plan, id: OpId, ctx: &EvalContext<'_>, memo: &HashMap<OpId, Table>) -> Table {
+    let input = |child: OpId| -> &Table { memo.get(&child).expect("child evaluated before parent") };
+    match plan.op(id) {
+        OpKind::DocTable => ctx.doc.clone(),
+        OpKind::Literal { columns, rows } => {
+            Table::from_rows(Schema::new(columns.clone()), rows.clone())
+        }
+        OpKind::Serialize { input: c } => {
+            let t = input(*c);
+            let mut out = t.clone();
+            // Order the encoding of the result: by iteration, then by
+            // sequence position (only the columns that exist participate).
+            let mut order = Vec::new();
+            for col in ["iter", "pos", "item"] {
+                if t.schema().contains(col) {
+                    order.push(col.to_string());
+                }
+            }
+            out.sort_by_columns(&order);
+            out
+        }
+        OpKind::Project { input: c, cols } => input(*c).project(
+            &cols
+                .iter()
+                .map(|(n, o)| (n.clone(), o.clone()))
+                .collect::<Vec<_>>(),
+        ),
+        OpKind::Select { input: c, pred } => {
+            let t = input(*c);
+            t.filter(|row, schema| eval_predicate(pred, row, schema))
+        }
+        OpKind::Distinct { input: c } => input(*c).distinct(),
+        OpKind::Attach {
+            input: c,
+            col,
+            value,
+        } => {
+            let t = input(*c);
+            let mut columns: Vec<String> = t.schema().columns().to_vec();
+            columns.push(col.clone());
+            let rows = t
+                .rows()
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.push(value.clone());
+                    r
+                })
+                .collect();
+            Table::from_rows(Schema::new(columns), rows)
+        }
+        OpKind::RowNum { input: c, col } => {
+            let t = input(*c);
+            let mut columns: Vec<String> = t.schema().columns().to_vec();
+            columns.push(col.clone());
+            let rows = t
+                .rows()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let mut r = r.clone();
+                    r.push(Value::Int(i as i64 + 1));
+                    r
+                })
+                .collect();
+            Table::from_rows(Schema::new(columns), rows)
+        }
+        OpKind::Rank {
+            input: c,
+            col,
+            order_by,
+        } => eval_rank(input(*c), col, order_by),
+        OpKind::Cross { left, right } => {
+            let l = input(*left);
+            let r = input(*right);
+            let mut columns: Vec<String> = l.schema().columns().to_vec();
+            columns.extend(r.schema().columns().iter().cloned());
+            let mut rows = Vec::with_capacity(l.len() * r.len());
+            for lr in l.rows() {
+                for rr in r.rows() {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Table::from_rows(Schema::new(columns), rows)
+        }
+        OpKind::Join { left, right, pred } => eval_join(input(*left), input(*right), pred),
+    }
+}
+
+/// RANK() OVER (ORDER BY order_by) semantics: equal ranking keys receive the
+/// same rank value; ranks are 1-based and not necessarily dense.
+fn eval_rank(t: &Table, col: &str, order_by: &[String]) -> Table {
+    let key_idx: Vec<usize> = order_by
+        .iter()
+        .map(|c| t.schema().expect_index(c))
+        .collect();
+    // Sort row indices by the ranking key (stable).
+    let mut order: Vec<usize> = (0..t.len()).collect();
+    order.sort_by(|&a, &b| {
+        for &i in &key_idx {
+            let o = t.rows()[a][i].cmp(&t.rows()[b][i]);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    // Assign RANK values.
+    let mut ranks = vec![0i64; t.len()];
+    let mut current_rank = 0i64;
+    for (pos, &row_idx) in order.iter().enumerate() {
+        let same_as_prev = pos > 0
+            && key_idx
+                .iter()
+                .all(|&i| t.rows()[order[pos - 1]][i] == t.rows()[row_idx][i]);
+        if !same_as_prev {
+            current_rank = pos as i64 + 1;
+        }
+        ranks[row_idx] = current_rank;
+    }
+    let mut columns: Vec<String> = t.schema().columns().to_vec();
+    columns.push(col.to_string());
+    let rows = t
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = r.clone();
+            r.push(Value::Int(ranks[i]));
+            r
+        })
+        .collect();
+    Table::from_rows(Schema::new(columns), rows)
+}
+
+fn eval_join(left: &Table, right: &Table, pred: &Predicate) -> Table {
+    let mut columns: Vec<String> = left.schema().columns().to_vec();
+    columns.extend(right.schema().columns().iter().cloned());
+    let out_schema = Schema::new(columns);
+
+    // Split the predicate into hashable equi-conjuncts (left column = right
+    // column) and the rest.
+    let mut left_keys: Vec<usize> = Vec::new();
+    let mut right_keys: Vec<usize> = Vec::new();
+    let mut residual: Vec<_> = Vec::new();
+    for c in &pred.conjuncts {
+        if let Some((a, b)) = c.as_col_eq_col() {
+            match (left.schema().index_of(a), right.schema().index_of(b)) {
+                (Some(li), Some(ri)) => {
+                    left_keys.push(li);
+                    right_keys.push(ri);
+                    continue;
+                }
+                _ => {
+                    if let (Some(li), Some(ri)) = (left.schema().index_of(b), right.schema().index_of(a)) {
+                        left_keys.push(li);
+                        right_keys.push(ri);
+                        continue;
+                    }
+                }
+            }
+        }
+        residual.push(c.clone());
+    }
+
+    let mut rows = Vec::new();
+    if left_keys.is_empty() {
+        // Pure theta join: nested loops.
+        for lr in left.rows() {
+            for rr in right.rows() {
+                if join_residual_holds(&residual, lr, left.schema(), rr, right.schema()) {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+    } else {
+        // Hash join: build on the smaller side (right by convention here).
+        let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, rr) in right.rows().iter().enumerate() {
+            let key: Vec<Value> = right_keys.iter().map(|&k| rr[k].clone()).collect();
+            buckets.entry(key).or_default().push(i);
+        }
+        for lr in left.rows() {
+            let key: Vec<Value> = left_keys.iter().map(|&k| lr[k].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = buckets.get(&key) {
+                for &ri in matches {
+                    let rr = &right.rows()[ri];
+                    if join_residual_holds(&residual, lr, left.schema(), rr, right.schema()) {
+                        let mut row = lr.clone();
+                        row.extend(rr.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+    }
+    Table::from_rows(out_schema, rows)
+}
+
+fn join_residual_holds(
+    residual: &[crate::ir::Comparison],
+    lr: &Row,
+    ls: &Schema,
+    rr: &Row,
+    rs: &Schema,
+) -> bool {
+    residual.iter().all(|c| {
+        let lhs = eval_scalar_two_sided(&c.lhs, lr, ls, rr, rs);
+        let rhs = eval_scalar_two_sided(&c.rhs, lr, ls, rr, rs);
+        match lhs.sql_cmp(&rhs) {
+            Some(ord) => c.op.eval(ord),
+            None => false,
+        }
+    })
+}
+
+/// Evaluate a scalar against the concatenation of a left and right row.
+fn eval_scalar_two_sided(s: &Scalar, lr: &Row, ls: &Schema, rr: &Row, rs: &Schema) -> Value {
+    match s {
+        Scalar::Const(v) => v.clone(),
+        Scalar::Col(c) => {
+            if let Some(i) = ls.index_of(c) {
+                lr[i].clone()
+            } else if let Some(i) = rs.index_of(c) {
+                rr[i].clone()
+            } else {
+                panic!("column {c:?} not found in join inputs {ls} / {rs}")
+            }
+        }
+        Scalar::Add(a, b) =>
+
+            add_values(
+                &eval_scalar_two_sided(a, lr, ls, rr, rs),
+                &eval_scalar_two_sided(b, lr, ls, rr, rs),
+            ),
+    }
+}
+
+/// Evaluate a scalar against a single row.
+pub fn eval_scalar(s: &Scalar, row: &Row, schema: &Schema) -> Value {
+    match s {
+        Scalar::Const(v) => v.clone(),
+        Scalar::Col(c) => row[schema.expect_index(c)].clone(),
+        Scalar::Add(a, b) => add_values(&eval_scalar(a, row, schema), &eval_scalar(b, row, schema)),
+    }
+}
+
+/// Evaluate a conjunctive predicate against a single row (NULL comparisons
+/// are false, as in SQL).
+pub fn eval_predicate(pred: &Predicate, row: &Row, schema: &Schema) -> bool {
+    pred.conjuncts.iter().all(|c| {
+        let lhs = eval_scalar(&c.lhs, row, schema);
+        let rhs = eval_scalar(&c.rhs, row, schema);
+        match lhs.sql_cmp(&rhs) {
+            Some(ord) => c.op.eval(ord),
+            None => false,
+        }
+    })
+}
+
+/// Numeric addition with Int/Dec promotion; NULL-propagating.
+pub fn add_values(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Value::Dec(x + y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Evaluate a single comparison operator on two values (used by the
+/// reference interpreter and the pureXML baseline as well).
+pub fn compare_values(a: &Value, op: CmpOp, b: &Value) -> bool {
+    match a.sql_cmp(b) {
+        Some(ord) => op.eval(ord),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Comparison;
+
+    fn doc_fixture() -> Table {
+        // A tiny stand-in for the doc relation: pre, size, level, kind, name.
+        let mut t = Table::new(Schema::new([
+            "pre", "size", "level", "kind", "name", "value", "data",
+        ]));
+        let rows: Vec<(i64, i64, i64, &str, Option<&str>, Option<&str>, Option<f64>)> = vec![
+            (0, 3, 0, "DOC", Some("d.xml"), None, None),
+            (1, 2, 1, "ELEM", Some("a"), None, None),
+            (2, 1, 2, "ELEM", Some("b"), Some("7"), Some(7.0)),
+            (3, 0, 3, "TEXT", None, Some("7"), Some(7.0)),
+        ];
+        for (pre, size, level, kind, name, value, data) in rows {
+            t.push(vec![
+                Value::Int(pre),
+                Value::Int(size),
+                Value::Int(level),
+                Value::str(kind),
+                name.map(Value::str).unwrap_or(Value::Null),
+                value.map(Value::str).unwrap_or(Value::Null),
+                data.map(Value::Dec).unwrap_or(Value::Null),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn select_project_pipeline() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let d = p.add(OpKind::DocTable);
+        let s = p.add(OpKind::Select {
+            input: d,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "ELEM")),
+        });
+        let pr = p.add(OpKind::Project {
+            input: s,
+            cols: vec![("item".to_string(), "pre".to_string())],
+        });
+        let root = p.add(OpKind::Serialize { input: pr });
+        p.set_root(root);
+        let out = evaluate(&p, &EvalContext { doc: &doc });
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0], vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn join_with_range_predicate_implements_descendant() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let d1 = p.add(OpKind::DocTable);
+        let ctx = p.add(OpKind::Select {
+            input: d1,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "DOC")),
+        });
+        let ctx_proj = p.add(OpKind::Project {
+            input: ctx,
+            cols: vec![
+                ("pre0".to_string(), "pre".to_string()),
+                ("size0".to_string(), "size".to_string()),
+            ],
+        });
+        let d2 = p.add(OpKind::DocTable);
+        let join = p.add(OpKind::Join {
+            left: d2,
+            right: ctx_proj,
+            pred: Predicate::all([
+                Comparison::new(Scalar::col("pre0"), CmpOp::Lt, Scalar::col("pre")),
+                Comparison::new(
+                    Scalar::col("pre"),
+                    CmpOp::Le,
+                    Scalar::col("pre0").add(Scalar::col("size0")),
+                ),
+            ]),
+        });
+        let root = p.add(OpKind::Serialize { input: join });
+        p.set_root(root);
+        let out = evaluate(&p, &EvalContext { doc: &doc });
+        // Descendants of the DOC node: pre 1, 2, 3.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn hash_join_on_equality() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let lit = p.add(OpKind::Literal {
+            columns: vec!["iter".to_string(), "item".to_string()],
+            rows: vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+            ],
+        });
+        let d = p.add(OpKind::DocTable);
+        let join = p.add(OpKind::Join {
+            left: d,
+            right: lit,
+            pred: Predicate::single(Comparison::col_eq_col("pre", "item")),
+        });
+        let root = p.add(OpKind::Serialize { input: join });
+        p.set_root(root);
+        let out = evaluate(&p, &EvalContext { doc: &doc });
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn rank_assigns_order_based_positions() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let lit = p.add(OpKind::Literal {
+            columns: vec!["iter".to_string(), "item".to_string()],
+            rows: vec![
+                vec![Value::Int(1), Value::Int(30)],
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(10)],
+            ],
+        });
+        let rank = p.add(OpKind::Rank {
+            input: lit,
+            col: "pos".to_string(),
+            order_by: vec!["item".to_string()],
+        });
+        let root = p.add(OpKind::Serialize { input: rank });
+        p.set_root(root);
+        let out = evaluate(&p, &EvalContext { doc: &doc });
+        // Both item=10 rows get rank 1; item=30 gets rank 3.
+        let pos_idx = out.schema().expect_index("pos");
+        let item_idx = out.schema().expect_index("item");
+        for r in out.rows() {
+            if r[item_idx] == Value::Int(10) {
+                assert_eq!(r[pos_idx], Value::Int(1));
+            } else {
+                assert_eq!(r[pos_idx], Value::Int(3));
+            }
+        }
+    }
+
+    #[test]
+    fn rownum_attach_distinct_cross() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let lit = p.add(OpKind::Literal {
+            columns: vec!["x".to_string()],
+            rows: vec![vec![Value::Int(5)], vec![Value::Int(5)]],
+        });
+        let dis = p.add(OpKind::Distinct { input: lit });
+        let att = p.add(OpKind::Attach {
+            input: dis,
+            col: "c".to_string(),
+            value: Value::str("k"),
+        });
+        let num = p.add(OpKind::RowNum {
+            input: att,
+            col: "id".to_string(),
+        });
+        let lit2 = p.add(OpKind::Literal {
+            columns: vec!["y".to_string()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        });
+        let cross = p.add(OpKind::Cross {
+            left: num,
+            right: lit2,
+        });
+        let root = p.add(OpKind::Serialize { input: cross });
+        p.set_root(root);
+        let out = evaluate(&p, &EvalContext { doc: &doc });
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().columns(), &["x", "c", "id", "y"]);
+    }
+
+    #[test]
+    fn serialize_orders_by_iter_pos() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let lit = p.add(OpKind::Literal {
+            columns: vec!["iter".to_string(), "pos".to_string(), "item".to_string()],
+            rows: vec![
+                vec![Value::Int(2), Value::Int(1), Value::Int(9)],
+                vec![Value::Int(1), Value::Int(2), Value::Int(8)],
+                vec![Value::Int(1), Value::Int(1), Value::Int(7)],
+            ],
+        });
+        let root = p.add(OpKind::Serialize { input: lit });
+        p.set_root(root);
+        let out = evaluate(&p, &EvalContext { doc: &doc });
+        let items: Vec<&Value> = out.rows().iter().map(|r| &r[2]).collect();
+        assert_eq!(items, vec![&Value::Int(7), &Value::Int(8), &Value::Int(9)]);
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let pred = Predicate::single(Comparison::new(
+            Scalar::col("v"),
+            CmpOp::Eq,
+            Scalar::cnst(Value::Null),
+        ));
+        let schema = Schema::new(["v"]);
+        assert!(!eval_predicate(&pred, &vec![Value::Int(1)], &schema));
+        assert!(!eval_predicate(&pred, &vec![Value::Null], &schema));
+    }
+
+    #[test]
+    fn add_values_promotes() {
+        assert_eq!(add_values(&Value::Int(1), &Value::Int(2)), Value::Int(3));
+        assert_eq!(add_values(&Value::Int(1), &Value::Dec(0.5)), Value::Dec(1.5));
+        assert_eq!(add_values(&Value::Null, &Value::Int(1)), Value::Null);
+        assert_eq!(add_values(&Value::str("x"), &Value::Int(1)), Value::Null);
+    }
+
+    #[test]
+    fn materialized_rows_counts_all_operators() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let d = p.add(OpKind::DocTable);
+        let s = p.add(OpKind::Select {
+            input: d,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "ELEM")),
+        });
+        let root = p.add(OpKind::Serialize { input: s });
+        p.set_root(root);
+        let total = materialized_rows(&p, &EvalContext { doc: &doc });
+        // doc (4) + select (2) + serialize (2)
+        assert_eq!(total, 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plan rendering: textual trees (with DAG sharing made explicit) and
+//! Graphviz DOT output.  Used to reproduce Fig. 4 (initial stacked plan) and
+//! Fig. 7 (isolated join graph + plan tail).
+
+use crate::ir::{OpId, OpKind, Plan};
+use std::collections::HashMap;
+
+/// Render a plan as an indented operator tree.
+///
+/// Nodes with more than one parent (shared sub-plans such as the `doc`
+/// table) are printed in full once and referenced as `↺ opN` afterwards, so
+/// the DAG structure remains visible.
+pub fn render_text(plan: &Plan) -> String {
+    let parents = plan.parents();
+    let shared: HashMap<OpId, bool> = parents
+        .iter()
+        .map(|(id, ps)| (*id, ps.len() > 1))
+        .collect();
+    let mut out = String::new();
+    let mut printed: HashMap<OpId, ()> = HashMap::new();
+    render_node(plan, plan.root(), 0, &shared, &mut printed, &mut out);
+    out
+}
+
+fn render_node(
+    plan: &Plan,
+    id: OpId,
+    depth: usize,
+    shared: &HashMap<OpId, bool>,
+    printed: &mut HashMap<OpId, ()>,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let is_shared = shared.get(&id).copied().unwrap_or(false);
+    if printed.contains_key(&id) && is_shared {
+        out.push_str(&format!("{indent}↺ {id}\n"));
+        return;
+    }
+    let marker = if is_shared {
+        format!(" [{id}]")
+    } else {
+        String::new()
+    };
+    out.push_str(&format!("{indent}{}{marker}\n", plan.op(id).label()));
+    printed.insert(id, ());
+    for c in plan.op(id).children() {
+        render_node(plan, c, depth + 1, shared, printed, out);
+    }
+}
+
+/// Render a plan in Graphviz DOT syntax.
+pub fn render_dot(plan: &Plan) -> String {
+    let mut out = String::from("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for id in plan.reachable() {
+        let label = plan.op(id).label().replace('"', "\\\"");
+        out.push_str(&format!("  {} [label=\"{}\"];\n", id.0, label));
+    }
+    for id in plan.reachable() {
+        for c in plan.op(id).children() {
+            out.push_str(&format!("  {} -> {};\n", id.0, c.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A per-operator-kind histogram of the reachable plan — the quantitative
+/// fingerprint used by tests and the figure harness to contrast the stacked
+/// plan (many `ϱ`/`δ` instances spread everywhere, Fig. 4) with the isolated
+/// plan (exactly one of each, in the plan tail, Fig. 7).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorHistogram {
+    /// `ϱ` count.
+    pub rank: usize,
+    /// `δ` count.
+    pub distinct: usize,
+    /// `⋈` count.
+    pub join: usize,
+    /// `×` count.
+    pub cross: usize,
+    /// `σ` count.
+    pub select: usize,
+    /// `π` count.
+    pub project: usize,
+    /// `@` count.
+    pub attach: usize,
+    /// `#` count.
+    pub rownum: usize,
+    /// `doc` leaf count (occurrences of the shared node, not references).
+    pub doc: usize,
+    /// Literal table leaves.
+    pub literal: usize,
+    /// Total reachable operators.
+    pub total: usize,
+}
+
+/// Compute the operator histogram of the reachable plan.
+pub fn histogram(plan: &Plan) -> OperatorHistogram {
+    let mut h = OperatorHistogram::default();
+    for id in plan.reachable() {
+        h.total += 1;
+        match plan.op(id) {
+            OpKind::Rank { .. } => h.rank += 1,
+            OpKind::Distinct { .. } => h.distinct += 1,
+            OpKind::Join { .. } => h.join += 1,
+            OpKind::Cross { .. } => h.cross += 1,
+            OpKind::Select { .. } => h.select += 1,
+            OpKind::Project { .. } => h.project += 1,
+            OpKind::Attach { .. } => h.attach += 1,
+            OpKind::RowNum { .. } => h.rownum += 1,
+            OpKind::DocTable => h.doc += 1,
+            OpKind::Literal { .. } => h.literal += 1,
+            OpKind::Serialize { .. } => {}
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Comparison, Predicate};
+
+    fn shared_plan() -> Plan {
+        let mut p = Plan::new();
+        let doc = p.add(OpKind::DocTable);
+        let s1 = p.add(OpKind::Select {
+            input: doc,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "ELEM")),
+        });
+        let s2 = p.add(OpKind::Select {
+            input: doc,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "DOC")),
+        });
+        let join = p.add(OpKind::Join {
+            left: s1,
+            right: s2,
+            pred: Predicate::truth(),
+        });
+        let root = p.add(OpKind::Serialize { input: join });
+        p.set_root(root);
+        p
+    }
+
+    #[test]
+    fn text_render_marks_shared_nodes() {
+        let p = shared_plan();
+        let txt = render_text(&p);
+        assert!(txt.contains("serialize"));
+        assert!(txt.contains("↺ op0"), "{txt}");
+        assert_eq!(txt.matches("doc").count(), 1, "doc body printed once: {txt}");
+    }
+
+    #[test]
+    fn dot_render_has_all_edges() {
+        let p = shared_plan();
+        let dot = render_dot(&p);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), 5);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let p = shared_plan();
+        let h = histogram(&p);
+        assert_eq!(h.doc, 1);
+        assert_eq!(h.select, 2);
+        assert_eq!(h.join, 1);
+        assert_eq!(h.total, 5);
+    }
+}

@@ -1,0 +1,37 @@
+//! Benchmarks of the compiler front half: loop-lifting compilation,
+//! simplification and join graph isolation (compile-time costs of the
+//! technique itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqjg_bench::queries;
+use xqjg_compiler::compile;
+use xqjg_core::{isolate_sfw, simplify};
+use xqjg_xquery::parse_and_normalize;
+
+fn bench_isolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isolation");
+    for q in queries() {
+        let uri = match q.dataset {
+            xqjg_bench::DataSet::Xmark => "auction.xml",
+            xqjg_bench::DataSet::Dblp => "dblp.xml",
+        };
+        let core = parse_and_normalize(q.text, Some(uri)).unwrap();
+        let branches = xqjg_core::decompose_sequences(&core);
+        group.bench_with_input(BenchmarkId::new("compile+isolate", q.id), &branches, |b, branches| {
+            b.iter(|| {
+                let mut total_aliases = 0;
+                for branch in branches {
+                    let mut plan = compile(branch).unwrap().plan;
+                    simplify(&mut plan);
+                    let iso = isolate_sfw(&plan).unwrap();
+                    total_aliases += iso.query.from.len();
+                }
+                total_aliases
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isolation);
+criterion_main!(benches);

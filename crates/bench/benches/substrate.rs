@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the relational substrate the paper's argument rests
+//! on: B-tree point/range access and join-based XPath step evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::ops::Bound;
+use xqjg_data::{generate_xmark_encoded, XmarkConfig};
+use xqjg_store::{BPlusTree, Value};
+use xqjg_xml::axis::step;
+use xqjg_xml::{Axis, NodeTest, Pre};
+
+fn bench_btree(c: &mut Criterion) {
+    let entries: Vec<(Vec<Value>, usize)> = (0..100_000i64)
+        .map(|i| (vec![Value::Int(i % 97), Value::Int(i)], i as usize))
+        .collect();
+    let tree = BPlusTree::bulk_load(entries);
+    c.bench_function("btree/point_lookup", |b| {
+        b.iter(|| tree.lookup_prefix(&[Value::Int(13), Value::Int(4_000)]).len())
+    });
+    c.bench_function("btree/partition_scan", |b| {
+        b.iter(|| {
+            let lo = vec![Value::Int(42)];
+            tree.range(Bound::Included(&lo), Bound::Included(&lo)).len()
+        })
+    });
+}
+
+fn bench_axis_steps(c: &mut Criterion) {
+    let doc = generate_xmark_encoded("auction.xml", &XmarkConfig::with_scale(0.1));
+    let root = vec![Pre(0)];
+    c.bench_function("axis/descendant_open_auction", |b| {
+        b.iter(|| step(&doc, &root, Axis::Descendant, &NodeTest::name("open_auction")).len())
+    });
+    let auctions = step(&doc, &root, Axis::Descendant, &NodeTest::name("open_auction"));
+    c.bench_function("axis/child_bidder_from_auctions", |b| {
+        b.iter(|| step(&doc, &auctions, Axis::Child, &NodeTest::name("bidder")).len())
+    });
+}
+
+criterion_group!(benches, bench_btree, bench_axis_steps);
+criterion_main!(benches);

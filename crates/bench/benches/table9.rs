@@ -1,0 +1,36 @@
+//! Criterion benches behind Table IX: stacked vs. join-graph evaluation of
+//! the paper's query set at a small scale (Criterion needs many iterations;
+//! the full-scale sweep lives in the `tables` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqjg_bench::{queries, Workload};
+use xqjg_core::Mode;
+
+fn bench_table9(c: &mut Criterion) {
+    let mut workload = Workload::new(0.05);
+    let mut group = c.benchmark_group("table9");
+    group.sample_size(10);
+    for q in queries() {
+        // Q2's stacked evaluation is deliberately slow; keep samples small.
+        for (mode, label) in [(Mode::Stacked, "stacked"), (Mode::JoinGraph, "join_graph")] {
+            if q.id == "Q2" && mode == Mode::Stacked {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(label, q.id),
+                &q,
+                |b, q| {
+                    let prepared = workload.processor(q).prepare(q.text).unwrap();
+                    b.iter(|| {
+                        let proc = workload.processor(q);
+                        proc.execute_prepared(&prepared, mode).unwrap().items.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table9);
+criterion_main!(benches);

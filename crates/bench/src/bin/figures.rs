@@ -1,0 +1,107 @@
+//! Regenerate the figures of the paper: initial and isolated plans for Q1
+//! (Figures 4 and 7), the emitted SQL for Q1 and Q2 (Figures 8 and 9), and
+//! the optimizer's execution plans for Q1 and Q2 (Figures 10 and 11).
+//!
+//! ```text
+//! cargo run --release -p xqjg-bench --bin figures -- fig4|fig7|fig8|fig9|fig10|fig11|all [--scale 0.1]
+//! ```
+
+use xqjg_algebra::{histogram, render_text};
+use xqjg_bench::{queries, Workload};
+use xqjg_engine::{explain, optimize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+
+    let mut workload = Workload::new(scale);
+    match which {
+        "fig4" => fig_plan(&mut workload, "Q1", false),
+        "fig7" => fig_plan(&mut workload, "Q1", true),
+        "fig8" => fig_sql(&mut workload, "Q1"),
+        "fig9" => fig_sql(&mut workload, "Q2"),
+        "fig10" => fig_explain(&mut workload, "Q1"),
+        "fig11" => fig_explain(&mut workload, "Q2"),
+        "all" => {
+            fig_plan(&mut workload, "Q1", false);
+            fig_plan(&mut workload, "Q1", true);
+            fig_sql(&mut workload, "Q1");
+            fig_sql(&mut workload, "Q2");
+            fig_explain(&mut workload, "Q1");
+            fig_explain(&mut workload, "Q2");
+        }
+        other => {
+            eprintln!("unknown figure {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn prepared(workload: &mut Workload, id: &str) -> xqjg_core::Prepared {
+    let q = queries().into_iter().find(|q| q.id == id).unwrap();
+    let proc = workload.processor(&q);
+    proc.prepare(q.text).expect("query prepares")
+}
+
+/// Figures 4 and 7: the initial stacked plan vs. the isolated plan for Q1.
+fn fig_plan(workload: &mut Workload, id: &str, isolated: bool) {
+    let p = prepared(workload, id);
+    let b = &p.branches[0];
+    if isolated {
+        println!("Figure 7 — isolated plan (join graph + plan tail) for {id}");
+        let h = histogram(&b.isolated_plan);
+        println!("{}", render_text(&b.isolated_plan));
+        println!(
+            "operators: {} total, {} joins, {} δ, {} ϱ (blocking operators confined to the plan tail)",
+            h.total, h.join + h.cross, h.distinct, h.rank
+        );
+    } else {
+        println!("Figure 4 — initial stacked plan for {id}");
+        let h = histogram(&b.stacked);
+        println!("{}", render_text(&b.stacked));
+        println!(
+            "operators: {} total, {} joins, {} δ, {} ϱ scattered over the plan",
+            h.total,
+            h.join + h.cross,
+            h.distinct,
+            h.rank
+        );
+    }
+}
+
+/// Figures 8 and 9: the SQL encoding of the isolated join graph.
+fn fig_sql(workload: &mut Workload, id: &str) {
+    let p = prepared(workload, id);
+    println!(
+        "Figure {} — SQL encoding of {id}'s join graph",
+        if id == "Q1" { 8 } else { 9 }
+    );
+    for (i, sql) in p.sql().iter().enumerate() {
+        if p.branches.len() > 1 {
+            println!("-- branch {}", i + 1);
+        }
+        println!("{sql}\n");
+    }
+}
+
+/// Figures 10 and 11: the execution plans the cost-based optimizer selects.
+fn fig_explain(workload: &mut Workload, id: &str) {
+    let q = queries().into_iter().find(|q| q.id == id).unwrap();
+    let proc = workload.processor(&q);
+    let prepared = proc.prepare(q.text).expect("query prepares");
+    println!(
+        "Figure {} — execution plan selected by the cost-based optimizer for {id}",
+        if id == "Q1" { 10 } else { 11 }
+    );
+    let db = proc.database();
+    for b in &prepared.branches {
+        let plan = optimize(&b.isolated.query, db).expect("plan found");
+        println!("{}", explain(&plan));
+    }
+}

@@ -1,0 +1,608 @@
+//! The loop-lifting XQuery compiler (rules of Fig. 13).
+//!
+//! Every X Query Core subexpression `e` compiles into an algebraic plan that
+//! yields a table with schema `iter | pos | item`: row `[i, p, v]` states
+//! that in iteration `i` of `e`'s innermost enclosing `for` loop, `e`'s
+//! value contains the node with `pre` rank `v` at sequence position `p`.
+//!
+//! The compilation is fully compositional — which is exactly what produces
+//! the tall, stacked plans of Fig. 4 that `xqjg-core` subsequently rewrites
+//! into join graphs.
+
+use std::collections::HashMap;
+use std::fmt;
+use xqjg_algebra::{CmpOp, Comparison, OpId, OpKind, Plan, Predicate, Scalar};
+use xqjg_store::Value;
+use xqjg_xml::{Axis, NodeKind, NodeTest};
+use xqjg_xquery::{Condition, CoreExpr, GenCmp, Literal, Operand};
+
+/// Compilation error (constructs outside the relational fragment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    fn new(m: impl Into<String>) -> Self {
+        CompileError { message: m.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result of compiling a query: the algebra plan rooted at a serialization
+/// point.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The plan DAG (root is the serialization operator).
+    pub plan: Plan,
+}
+
+/// Compile a normalized query into its initial (stacked) algebra plan.
+pub fn compile(expr: &CoreExpr) -> Result<Compiled, CompileError> {
+    let mut c = Compiler::new();
+    // The top-level pseudo loop: a singleton table with column `iter`.
+    let loop0 = c.plan.add(OpKind::Literal {
+        columns: vec!["iter".to_string()],
+        rows: vec![vec![Value::Int(1)]],
+    });
+    let env = Env::new();
+    let q0 = c.compile_expr(expr, &env, loop0)?;
+    let root = c.plan.add(OpKind::Serialize { input: q0 });
+    c.plan.set_root(root);
+    Ok(Compiled { plan: c.plan })
+}
+
+type Env = HashMap<String, OpId>;
+
+struct Compiler {
+    plan: Plan,
+    doc: Option<OpId>,
+}
+
+impl Compiler {
+    fn new() -> Self {
+        Compiler {
+            plan: Plan::new(),
+            doc: None,
+        }
+    }
+
+    /// The single shared `doc` leaf (all node references resolve against it,
+    /// making it the only shared base relation of the DAG — cf. Fig. 4).
+    fn doc_node(&mut self) -> OpId {
+        if let Some(d) = self.doc {
+            return d;
+        }
+        let d = self.plan.add(OpKind::DocTable);
+        self.doc = Some(d);
+        d
+    }
+
+    fn project(&mut self, input: OpId, cols: &[(&str, &str)]) -> OpId {
+        self.plan.add(OpKind::Project {
+            input,
+            cols: cols
+                .iter()
+                .map(|(n, o)| (n.to_string(), o.to_string()))
+                .collect(),
+        })
+    }
+
+    fn compile_expr(&mut self, expr: &CoreExpr, env: &Env, loop_: OpId) -> Result<OpId, CompileError> {
+        match expr {
+            CoreExpr::Empty => {
+                // The empty sequence: a literal iter|pos|item table with no rows.
+                Ok(self.plan.add(OpKind::Literal {
+                    columns: vec!["iter".to_string(), "pos".to_string(), "item".to_string()],
+                    rows: vec![],
+                }))
+            }
+            CoreExpr::Var(v) => env
+                .get(v)
+                .copied()
+                .ok_or_else(|| CompileError::new(format!("unbound variable ${v}"))),
+            CoreExpr::Doc(uri) => Ok(self.rule_doc(uri, loop_)),
+            CoreExpr::Ddo(e) => {
+                let q = self.compile_expr(e, env, loop_)?;
+                Ok(self.rule_ddo(q))
+            }
+            CoreExpr::Step { input, axis, test } => {
+                let q = self.compile_expr(input, env, loop_)?;
+                self.rule_step(q, *axis, test)
+            }
+            CoreExpr::If { cond, then } => self.rule_if(cond, then, env, loop_),
+            CoreExpr::For { var, seq, body } => self.rule_for(var, seq, body, env, loop_),
+            CoreExpr::Let { var, value, body } => {
+                let q_value = self.compile_expr(value, env, loop_)?;
+                let mut env2 = env.clone();
+                env2.insert(var.clone(), q_value);
+                self.compile_expr(body, &env2, loop_)
+            }
+            CoreExpr::Seq(_) => Err(CompileError::new(
+                "comma sequences must be decomposed into one query per item before relational compilation",
+            )),
+        }
+    }
+
+    /// Rule DOC.
+    fn rule_doc(&mut self, uri: &str, loop_: OpId) -> OpId {
+        let doc = self.doc_node();
+        let selected = self.plan.add(OpKind::Select {
+            input: doc,
+            pred: Predicate::all([
+                Comparison::col_eq_const("kind", NodeKind::Document.label()),
+                Comparison::col_eq_const("name", uri),
+            ]),
+        });
+        let loop_pos = self.plan.add(OpKind::Attach {
+            input: loop_,
+            col: "pos".to_string(),
+            value: Value::Int(1),
+        });
+        let cross = self.plan.add(OpKind::Cross {
+            left: selected,
+            right: loop_pos,
+        });
+        self.project(cross, &[("iter", "iter"), ("pos", "pos"), ("item", "pre")])
+    }
+
+    /// Rule DDO: `ϱ pos:⟨item⟩ (δ (π iter,item (q)))`.
+    fn rule_ddo(&mut self, q: OpId) -> OpId {
+        let proj = self.project(q, &[("iter", "iter"), ("item", "item")]);
+        let distinct = self.plan.add(OpKind::Distinct { input: proj });
+        self.plan.add(OpKind::Rank {
+            input: distinct,
+            col: "pos".to_string(),
+            order_by: vec!["item".to_string()],
+        })
+    }
+
+    /// Rule STEP.
+    fn rule_step(&mut self, q: OpId, axis: Axis, test: &NodeTest) -> Result<OpId, CompileError> {
+        let axis_pred = axis_predicate(axis)?;
+        let doc = self.doc_node();
+        // Right branch: fetch the context nodes' structural properties.
+        let ctx_join = self.plan.add(OpKind::Join {
+            left: doc,
+            right: q,
+            pred: Predicate::single(Comparison::col_eq_col("pre", "item")),
+        });
+        let ctx = self.project(
+            ctx_join,
+            &[
+                ("iter", "iter"),
+                ("pre_o", "pre"),
+                ("size_o", "size"),
+                ("level_o", "level"),
+            ],
+        );
+        // Left branch: candidate nodes satisfying the kind and name tests.
+        let (kind, name) = test.predicates(axis);
+        let mut conjuncts = Vec::new();
+        if let Some(kind) = kind {
+            conjuncts.push(Comparison::col_eq_const("kind", kind.label()));
+        }
+        if let Some(name) = name {
+            conjuncts.push(Comparison::col_eq_const("name", name));
+        }
+        let candidates = if conjuncts.is_empty() {
+            doc
+        } else {
+            self.plan.add(OpKind::Select {
+                input: doc,
+                pred: Predicate::all(conjuncts),
+            })
+        };
+        let step_join = self.plan.add(OpKind::Join {
+            left: candidates,
+            right: ctx,
+            pred: axis_pred,
+        });
+        let projected = self.project(step_join, &[("iter", "iter"), ("item", "pre")]);
+        Ok(self.plan.add(OpKind::Rank {
+            input: projected,
+            col: "pos".to_string(),
+            order_by: vec!["item".to_string()],
+        }))
+    }
+
+    /// Rule IF (plus the COMP rule for general comparisons in conditions).
+    fn rule_if(
+        &mut self,
+        cond: &Condition,
+        then: &CoreExpr,
+        env: &Env,
+        loop_: OpId,
+    ) -> Result<OpId, CompileError> {
+        // Compile the condition into a table whose iter column lists the
+        // iterations in which the condition holds.
+        let q_if = match cond {
+            Condition::Exists(e) => self.compile_expr(e, env, loop_)?,
+            Condition::Compare { lhs, op, rhs } => self.rule_comp(lhs, *op, rhs, env, loop_)?,
+        };
+        // loopif ≡ δ(π iter (q_if))
+        let iter_only = self.project(q_if, &[("iter", "iter")]);
+        let loop_if = self.plan.add(OpKind::Distinct { input: iter_only });
+        // Restrict every visible variable to the surviving iterations.
+        let loop_if_renamed = self.project(loop_if, &[("iter1", "iter")]);
+        let mut env2 = Env::new();
+        for (var, q_var) in env {
+            let join = self.plan.add(OpKind::Join {
+                left: loop_if_renamed,
+                right: *q_var,
+                pred: Predicate::single(Comparison::col_eq_col("iter1", "iter")),
+            });
+            let restricted =
+                self.project(join, &[("iter", "iter"), ("pos", "pos"), ("item", "item")]);
+            env2.insert(var.clone(), restricted);
+        }
+        self.compile_expr(then, &env2, loop_if)
+    }
+
+    /// Rule COMP, generalized to literal and node-valued operands.
+    ///
+    /// Produces `@item:1 (@pos:1 (δ (π iter (σ cmp (…)))))` — a table listing
+    /// the iterations in which the (existentially quantified) comparison
+    /// holds.
+    fn rule_comp(
+        &mut self,
+        lhs: &Operand,
+        op: GenCmp,
+        rhs: &Operand,
+        env: &Env,
+        loop_: OpId,
+    ) -> Result<OpId, CompileError> {
+        let filtered = match (lhs, rhs) {
+            (Operand::Nodes(e), Operand::Literal(lit)) => {
+                let atom = self.atomize(e, env, loop_, "")?;
+                self.compare_with_literal(atom, op, lit)
+            }
+            (Operand::Literal(lit), Operand::Nodes(e)) => {
+                let atom = self.atomize(e, env, loop_, "")?;
+                self.compare_with_literal(atom, flip(op), lit)
+            }
+            (Operand::Nodes(l), Operand::Nodes(r)) => {
+                let left = self.atomize(l, env, loop_, "_l")?;
+                let right = self.atomize(r, env, loop_, "_r")?;
+                let join = self.plan.add(OpKind::Join {
+                    left,
+                    right,
+                    pred: Predicate::single(Comparison::col_eq_col("iter_l", "iter_r")),
+                });
+                let cmp = self.plan.add(OpKind::Select {
+                    input: join,
+                    pred: Predicate::single(Comparison::new(
+                        Scalar::col("value_l"),
+                        cmp_op(op),
+                        Scalar::col("value_r"),
+                    )),
+                });
+                self.project(cmp, &[("iter", "iter_l")])
+            }
+            (Operand::Literal(_), Operand::Literal(_)) => {
+                return Err(CompileError::new(
+                    "comparisons between two literals are not part of the data-bound fragment",
+                ))
+            }
+        };
+        let iter_proj = self.project(filtered, &[("iter", "iter")]);
+        let distinct = self.plan.add(OpKind::Distinct { input: iter_proj });
+        let with_pos = self.plan.add(OpKind::Attach {
+            input: distinct,
+            col: "pos".to_string(),
+            value: Value::Int(1),
+        });
+        Ok(self.plan.add(OpKind::Attach {
+            input: with_pos,
+            col: "item".to_string(),
+            value: Value::Int(1),
+        }))
+    }
+
+    /// Atomization: join the operand's items with `doc` on `pre = item` to
+    /// expose the `value` / `data` columns, with a column-name suffix so two
+    /// atomized operands can be joined.
+    fn atomize(
+        &mut self,
+        e: &CoreExpr,
+        env: &Env,
+        loop_: OpId,
+        suffix: &str,
+    ) -> Result<OpId, CompileError> {
+        let q = self.compile_expr(e, env, loop_)?;
+        let doc = self.doc_node();
+        let join = self.plan.add(OpKind::Join {
+            left: doc,
+            right: q,
+            pred: Predicate::single(Comparison::col_eq_col("pre", "item")),
+        });
+        let iter = format!("iter{suffix}");
+        let value = format!("value{suffix}");
+        let data = format!("data{suffix}");
+        Ok(self.plan.add(OpKind::Project {
+            input: join,
+            cols: vec![
+                (iter, "iter".to_string()),
+                (value, "value".to_string()),
+                (data, "data".to_string()),
+            ],
+        }))
+    }
+
+    /// `σ value/data cmp literal` over an atomized operand.
+    fn compare_with_literal(&mut self, atom: OpId, op: GenCmp, lit: &Literal) -> OpId {
+        let (column, value) = match lit {
+            Literal::String(s) => ("value", Value::str(s.clone())),
+            Literal::Integer(i) => ("data", Value::Dec(*i as f64)),
+            Literal::Decimal(d) => ("data", Value::Dec(*d)),
+        };
+        self.plan.add(OpKind::Select {
+            input: atom,
+            pred: Predicate::single(Comparison::new(
+                Scalar::col(column),
+                cmp_op(op),
+                Scalar::Const(value),
+            )),
+        })
+    }
+
+    /// Rule FOR.
+    fn rule_for(
+        &mut self,
+        var: &str,
+        seq: &CoreExpr,
+        body: &CoreExpr,
+        env: &Env,
+        loop_: OpId,
+    ) -> Result<OpId, CompileError> {
+        let q_in = self.compile_expr(seq, env, loop_)?;
+        // q$x ≡ #inner(q_in)
+        let q_x = self.plan.add(OpKind::RowNum {
+            input: q_in,
+            col: "inner".to_string(),
+        });
+        // map ≡ π outer:iter, inner, sort:pos (q$x)
+        let map = self.project(q_x, &[("outer", "iter"), ("inner", "inner"), ("sort", "pos")]);
+        // New environment: lift the visible variables into the new loop.
+        let mut env2 = Env::new();
+        for (v, q_v) in env {
+            let join = self.plan.add(OpKind::Join {
+                left: map,
+                right: *q_v,
+                pred: Predicate::single(Comparison::col_eq_col("outer", "iter")),
+            });
+            let lifted = self.project(join, &[("iter", "inner"), ("pos", "pos"), ("item", "item")]);
+            env2.insert(v.clone(), lifted);
+        }
+        // $x ↦ @pos:1 (π iter:inner, item (q$x))
+        let x_proj = self.project(q_x, &[("iter", "inner"), ("item", "item")]);
+        let x_bound = self.plan.add(OpKind::Attach {
+            input: x_proj,
+            col: "pos".to_string(),
+            value: Value::Int(1),
+        });
+        env2.insert(var.to_string(), x_bound);
+        // loop' ≡ π iter:inner (map)
+        let loop_inner = self.project(map, &[("iter", "inner")]);
+        let q_body = self.compile_expr(body, &env2, loop_inner)?;
+        // Result: π iter:outer, pos:pos1, item (ϱ pos1:⟨sort,pos⟩ (q ⋈ iter=inner map))
+        let join_back = self.plan.add(OpKind::Join {
+            left: q_body,
+            right: map,
+            pred: Predicate::single(Comparison::col_eq_col("iter", "inner")),
+        });
+        let ranked = self.plan.add(OpKind::Rank {
+            input: join_back,
+            col: "pos1".to_string(),
+            order_by: vec!["sort".to_string(), "pos".to_string()],
+        });
+        Ok(self.project(ranked, &[("iter", "outer"), ("pos", "pos1"), ("item", "item")]))
+    }
+}
+
+fn flip(op: GenCmp) -> GenCmp {
+    match op {
+        GenCmp::Lt => GenCmp::Gt,
+        GenCmp::Le => GenCmp::Ge,
+        GenCmp::Gt => GenCmp::Lt,
+        GenCmp::Ge => GenCmp::Le,
+        other => other,
+    }
+}
+
+fn cmp_op(op: GenCmp) -> CmpOp {
+    match op {
+        GenCmp::Eq => CmpOp::Eq,
+        GenCmp::Ne => CmpOp::Ne,
+        GenCmp::Lt => CmpOp::Lt,
+        GenCmp::Le => CmpOp::Le,
+        GenCmp::Gt => CmpOp::Gt,
+        GenCmp::Ge => CmpOp::Ge,
+    }
+}
+
+/// The structural join predicate `axis(α)` of Fig. 3, phrased over the
+/// candidate columns (`pre`, `size`, `level`) and the context columns
+/// (`pre_o`, `size_o`, `level_o`).
+pub fn axis_predicate(axis: Axis) -> Result<Predicate, CompileError> {
+    use CmpOp::*;
+    let pre = || Scalar::col("pre");
+    let size = || Scalar::col("size");
+    let level = || Scalar::col("level");
+    let pre_o = || Scalar::col("pre_o");
+    let size_o = || Scalar::col("size_o");
+    let level_o = || Scalar::col("level_o");
+    let one = || Scalar::cnst(1i64);
+    let pred = match axis {
+        Axis::Child | Axis::Attribute => Predicate::all([
+            Comparison::new(pre_o(), Lt, pre()),
+            Comparison::new(pre(), Le, pre_o().add(size_o())),
+            Comparison::new(level_o().add(one()), Eq, level()),
+        ]),
+        Axis::Descendant => Predicate::all([
+            Comparison::new(pre_o(), Lt, pre()),
+            Comparison::new(pre(), Le, pre_o().add(size_o())),
+        ]),
+        Axis::DescendantOrSelf => Predicate::all([
+            Comparison::new(pre_o(), Le, pre()),
+            Comparison::new(pre(), Le, pre_o().add(size_o())),
+        ]),
+        Axis::Parent => Predicate::all([
+            Comparison::new(pre(), Lt, pre_o()),
+            Comparison::new(pre_o(), Le, pre().add(size())),
+            Comparison::new(level().add(one()), Eq, level_o()),
+        ]),
+        Axis::Ancestor => Predicate::all([
+            Comparison::new(pre(), Lt, pre_o()),
+            Comparison::new(pre_o(), Le, pre().add(size())),
+        ]),
+        Axis::AncestorOrSelf => Predicate::all([
+            Comparison::new(pre(), Le, pre_o()),
+            Comparison::new(pre_o(), Le, pre().add(size())),
+        ]),
+        Axis::Following => Predicate::all([Comparison::new(
+            pre(),
+            Gt,
+            pre_o().add(size_o()),
+        )]),
+        Axis::Preceding => Predicate::all([Comparison::new(pre().add(size()), Lt, pre_o())]),
+        Axis::SelfAxis => Predicate::all([Comparison::new(pre(), Eq, pre_o())]),
+        Axis::FollowingSibling | Axis::PrecedingSibling => {
+            return Err(CompileError::new(format!(
+                "the {} axis cannot be expressed as a conjunctive pre/size/level predicate; \
+                 rewrite it via parent/child steps",
+                axis.name()
+            )))
+        }
+    };
+    Ok(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqjg_algebra::{doc_relation, evaluate, histogram, result_items, EvalContext};
+    use xqjg_xml::{encode_document, Pre};
+    use xqjg_xquery::{interpret, parse_and_normalize};
+
+    fn auction() -> xqjg_xml::DocTable {
+        let xml = r#"<site>
+            <open_auction id="a1"><initial>10</initial><bidder><increase>5</increase></bidder></open_auction>
+            <open_auction id="a2"><initial>20</initial></open_auction>
+            <open_auction id="a3"><initial>7</initial><bidder><increase>1</increase></bidder><bidder><increase>2</increase></bidder></open_auction>
+            <closed_auction><price>600</price><itemref item="i1"/></closed_auction>
+            <closed_auction><price>100</price><itemref item="i2"/></closed_auction>
+            <item id="i1"><name>bike</name></item>
+            <item id="i2"><name>car</name></item>
+          </site>"#;
+        encode_document("auction.xml", xml).unwrap()
+    }
+
+    /// Compile a query, evaluate the stacked plan directly, and compare the
+    /// resulting node sequence against the reference interpreter.
+    fn assert_matches_interpreter(query: &str) -> Vec<Pre> {
+        let doc = auction();
+        let core = parse_and_normalize(query, Some("auction.xml")).unwrap();
+        let expected = interpret(&core, &doc).unwrap();
+        let compiled = compile(&core).unwrap();
+        let rel = doc_relation(&doc);
+        let result = evaluate(&compiled.plan, &EvalContext { doc: &rel });
+        let actual = result_items(&result);
+        assert_eq!(actual, expected, "query {query:?}");
+        expected
+    }
+
+    #[test]
+    fn q1_like_stacked_plan_matches_interpreter() {
+        let r = assert_matches_interpreter(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn value_predicates_match_interpreter() {
+        assert_matches_interpreter(r#"//closed_auction[price > 500]"#);
+        assert_matches_interpreter(r#"//open_auction[@id = "a2"]/initial"#);
+        assert_matches_interpreter(r#"//closed_auction[price > 5000]"#);
+    }
+
+    #[test]
+    fn nested_for_loops_match_interpreter() {
+        assert_matches_interpreter(r#"for $a in //open_auction return $a/bidder/increase"#);
+        assert_matches_interpreter(
+            r#"for $a in //open_auction[bidder] return $a/descendant::increase"#,
+        );
+    }
+
+    #[test]
+    fn value_join_matches_interpreter() {
+        assert_matches_interpreter(
+            r#"for $ca in //closed_auction[price > 500], $i in //item
+               where $ca/itemref/@item = $i/@id
+               return $i/name"#,
+        );
+    }
+
+    #[test]
+    fn let_and_text_steps_match_interpreter() {
+        assert_matches_interpreter(r#"let $d := doc("auction.xml") for $i in $d//item return $i/name/text()"#);
+        assert_matches_interpreter(r#"//item/name/text()"#);
+    }
+
+    #[test]
+    fn reverse_axes_match_interpreter() {
+        assert_matches_interpreter(r#"for $b in //bidder return $b/ancestor::open_auction"#);
+        assert_matches_interpreter(r#"for $i in //increase return $i/parent::bidder"#);
+    }
+
+    #[test]
+    fn stacked_plan_has_scattered_blocking_operators() {
+        // The compositional compilation of Q1 produces the Fig. 4 shape:
+        // several ϱ and δ operators spread over the plan, one shared doc leaf.
+        let core =
+            parse_and_normalize(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None)
+                .unwrap();
+        let compiled = compile(&core).unwrap();
+        let h = histogram(&compiled.plan);
+        assert!(h.rank >= 4, "expected several ϱ operators, got {h:?}");
+        assert!(h.distinct >= 3, "expected several δ operators, got {h:?}");
+        assert!(h.join >= 5, "expected joins spread over the plan, got {h:?}");
+        assert_eq!(h.doc, 1, "doc must be a single shared leaf");
+        assert!(h.total > 25, "stacked plans are large, got {h:?}");
+    }
+
+    #[test]
+    fn sequences_are_rejected() {
+        let core = parse_and_normalize(r#"for $i in //item return ($i/name, $i/name)"#, Some("auction.xml")).unwrap();
+        assert!(compile(&core).is_err());
+    }
+
+    #[test]
+    fn sibling_axes_are_rejected_with_guidance() {
+        let err = axis_predicate(Axis::FollowingSibling).unwrap_err();
+        assert!(err.message.contains("parent/child"));
+    }
+
+    #[test]
+    fn empty_sequence_compiles_to_empty_result() {
+        let core = parse_and_normalize("()", None).unwrap();
+        let compiled = compile(&core).unwrap();
+        let doc = auction();
+        let rel = doc_relation(&doc);
+        let result = evaluate(&compiled.plan, &EvalContext { doc: &rel });
+        assert_eq!(result.len(), 0);
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let core = CoreExpr::Var("nope".to_string());
+        assert!(compile(&core).is_err());
+    }
+}

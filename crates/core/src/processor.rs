@@ -1,0 +1,526 @@
+//! The end-to-end XQuery processor.
+//!
+//! [`Processor`] owns the XML encoding (the `doc` table on both the XML and
+//! the relational side), the B-tree index set, and the full query pipeline:
+//!
+//! ```text
+//! parse → normalize → (sequence decomposition) → loop-lifting compilation
+//!       → simplification → join graph isolation → SQL → cost-based
+//!         optimization → index-driven execution → node sequence
+//! ```
+//!
+//! Three execution modes are exposed so the evaluation of Table IX can be
+//! reproduced: the reference interpreter, direct evaluation of the *stacked*
+//! plan, and the isolated *join graph* executed by the relational engine.
+
+use crate::rewrite::{simplify, RewriteReport};
+use crate::sfw::{isolate_sfw, isolated_plan, result_items_from_sql, Isolated};
+use std::fmt;
+use std::time::{Duration, Instant};
+use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
+use xqjg_compiler::compile;
+use xqjg_engine::{advise, deploy, execute_with_stats, explain, optimize, ExecStats, IndexProposal, SfwQuery};
+use xqjg_store::{Database, IndexDef};
+use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
+use xqjg_xquery::{interpret, normalize, parse, CoreExpr};
+
+/// How a query should be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The tree-walking reference interpreter (correctness oracle).
+    Interpreter,
+    /// Direct operator-at-a-time evaluation of the stacked plan
+    /// ("DB2 + Pathfinder, stacked" in Table IX).
+    Stacked,
+    /// Join graph isolation + relational execution
+    /// ("DB2 + Pathfinder, join graph" in Table IX).
+    JoinGraph,
+}
+
+/// Error raised anywhere in the pipeline.
+#[derive(Debug, Clone)]
+pub struct QueryError {
+    /// Pipeline stage that failed.
+    pub stage: &'static str,
+    /// Description.
+    pub message: String,
+}
+
+impl QueryError {
+    fn new(stage: &'static str, message: impl fmt::Display) -> Self {
+        QueryError {
+            stage,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A fully prepared query branch (after sequence decomposition).
+#[derive(Debug, Clone)]
+pub struct PreparedBranch {
+    /// The normalized Core expression of this branch.
+    pub core: CoreExpr,
+    /// The initial stacked plan (Fig. 4 artifact).
+    pub stacked: Plan,
+    /// The simplified plan (after the Fig. 5 house-cleaning rules).
+    pub simplified: Plan,
+    /// Statistics of the simplification pass.
+    pub rewrite_report: RewriteReport,
+    /// The isolated join graph (SQL block, Fig. 8 / 9 artifact).
+    pub isolated: Isolated,
+    /// The isolated plan reconstructed as an algebra DAG (Fig. 7 artifact).
+    pub isolated_plan: Plan,
+}
+
+/// A prepared query: one branch per item of a top-level comma sequence.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The normalized Core expression of the whole query.
+    pub core: CoreExpr,
+    /// The branches (usually exactly one).
+    pub branches: Vec<PreparedBranch>,
+}
+
+impl Prepared {
+    /// SQL text of every branch.
+    pub fn sql(&self) -> Vec<String> {
+        self.branches.iter().map(|b| b.isolated.sql()).collect()
+    }
+}
+
+/// The outcome of executing a query.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The resulting node sequence (`pre` ranks in sequence order).
+    pub items: Vec<Pre>,
+    /// Number of nodes a full serialization of the result would emit
+    /// (the "# nodes" column of Table IX).
+    pub serialized_nodes: usize,
+    /// Wall-clock execution time (excludes compilation).
+    pub elapsed: Duration,
+    /// Relational execution work counters (join-graph mode only).
+    pub exec_stats: Option<ExecStats>,
+    /// EXPLAIN text per executed SQL block (join-graph mode only).
+    pub explain: Vec<String>,
+}
+
+/// The purely relational XQuery processor.
+pub struct Processor {
+    doc: DocTable,
+    default_doc: Option<String>,
+    db: Option<Database>,
+}
+
+impl Default for Processor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Processor {
+    /// Create an empty processor.
+    pub fn new() -> Self {
+        Processor {
+            doc: DocTable::new(),
+            default_doc: None,
+            db: None,
+        }
+    }
+
+    /// Parse and load an XML document under the given URI.  The first loaded
+    /// document becomes the target of absolute paths (`/site/…`).
+    pub fn load_document(&mut self, uri: &str, xml: &str) -> Result<(), QueryError> {
+        let table = encode_document(uri, xml).map_err(|e| QueryError::new("parse", e))?;
+        self.load_encoded(uri, table);
+        Ok(())
+    }
+
+    /// Load an already-encoded document (used by the data generators).
+    pub fn load_encoded(&mut self, uri: &str, table: DocTable) {
+        if self.default_doc.is_none() {
+            self.default_doc = Some(uri.to_string());
+        }
+        if self.doc.is_empty() {
+            self.doc = table;
+        } else {
+            // Append the incoming rows with shifted pre ranks.
+            let base = self.doc.len() as u32;
+            let mut rows: Vec<xqjg_xml::NodeRow> = self.doc.rows().cloned().collect();
+            rows.extend(table.rows().cloned().map(|mut r| {
+                r.pre += base;
+                r
+            }));
+            self.doc = DocTable::from_rows(rows);
+        }
+        self.db = None;
+    }
+
+    /// The XML-side encoding.
+    pub fn doc(&self) -> &DocTable {
+        &self.doc
+    }
+
+    /// The URI absolute paths refer to.
+    pub fn default_document(&self) -> Option<&str> {
+        self.default_doc.as_deref()
+    }
+
+    /// The relational database (built lazily from the encoding).
+    pub fn database(&mut self) -> &Database {
+        if self.db.is_none() {
+            let mut db = Database::new();
+            db.create_table("doc", doc_relation(&self.doc));
+            self.db = Some(db);
+        }
+        self.db.as_ref().expect("database built")
+    }
+
+    /// Create the standing B-tree index set used throughout the evaluation
+    /// (the deployed equivalent of Table VI): name/kind-prefixed structural
+    /// indexes, a value-prefixed index for general comparisons, a
+    /// data-prefixed index for numeric comparisons, and the clustered
+    /// document-order index.
+    pub fn create_default_indexes(&mut self) {
+        self.database();
+        let db = self.db.as_mut().expect("database built");
+        let defs = vec![
+            ("nkp", vec!["name", "kind", "pre"], false),
+            ("nkdp", vec!["name", "kind", "data", "pre"], false),
+            ("vnkp", vec!["value", "name", "kind", "pre"], false),
+            ("p_nvkls", vec!["pre"], true),
+        ];
+        for (name, key, clustered) in defs {
+            db.create_index(IndexDef {
+                name: name.to_string(),
+                table: "doc".to_string(),
+                key_columns: key.into_iter().map(String::from).collect(),
+                include_columns: if clustered {
+                    vec!["name", "value", "kind", "level", "size"]
+                        .into_iter()
+                        .map(String::from)
+                        .collect()
+                } else {
+                    vec![]
+                },
+                clustered,
+            });
+        }
+    }
+
+    /// Run the index advisor over a query workload and deploy its proposals
+    /// (the `db2advis` experiment of Table VI).
+    pub fn advise_and_deploy(&mut self, queries: &[&str]) -> Result<Vec<IndexProposal>, QueryError> {
+        let mut workload: Vec<SfwQuery> = Vec::new();
+        for q in queries {
+            let prepared = self.prepare(q)?;
+            for b in &prepared.branches {
+                workload.push(b.isolated.query.clone());
+            }
+        }
+        self.database();
+        let db = self.db.as_mut().expect("database built");
+        let proposals = advise(&workload, db);
+        deploy(&proposals, db);
+        Ok(proposals)
+    }
+
+    /// Parse, normalize, compile and isolate a query without executing it.
+    pub fn prepare(&self, query: &str) -> Result<Prepared, QueryError> {
+        let ast = parse(query).map_err(|e| QueryError::new("parse", e))?;
+        let core = normalize(&ast, self.default_doc.as_deref())
+            .map_err(|e| QueryError::new("normalize", e))?;
+        let branch_cores = decompose_sequences(&core);
+        let mut branches = Vec::with_capacity(branch_cores.len());
+        for bc in branch_cores {
+            let stacked = compile(&bc).map_err(|e| QueryError::new("compile", e))?.plan;
+            let mut simplified = stacked.clone();
+            let rewrite_report = simplify(&mut simplified);
+            let isolated =
+                isolate_sfw(&simplified).map_err(|e| QueryError::new("isolate", e))?;
+            let iso_plan = isolated_plan(&isolated);
+            branches.push(PreparedBranch {
+                core: bc,
+                stacked,
+                simplified,
+                rewrite_report,
+                isolated,
+                isolated_plan: iso_plan,
+            });
+        }
+        Ok(Prepared { core, branches })
+    }
+
+    /// Execute a query in the given mode.
+    pub fn execute(&mut self, query: &str, mode: Mode) -> Result<Outcome, QueryError> {
+        let prepared = self.prepare(query)?;
+        self.execute_prepared(&prepared, mode)
+    }
+
+    /// Execute an already prepared query.
+    pub fn execute_prepared(&mut self, prepared: &Prepared, mode: Mode) -> Result<Outcome, QueryError> {
+        match mode {
+            Mode::Interpreter => {
+                let start = Instant::now();
+                let items =
+                    interpret(&prepared.core, &self.doc).map_err(|e| QueryError::new("interpret", e))?;
+                let elapsed = start.elapsed();
+                Ok(self.outcome(items, elapsed, None, vec![]))
+            }
+            Mode::Stacked => {
+                let rel = doc_relation(&self.doc);
+                let ctx = EvalContext { doc: &rel };
+                let start = Instant::now();
+                let mut items = Vec::new();
+                for b in &prepared.branches {
+                    let table = eval_plan(&b.stacked, &ctx);
+                    items.extend(result_items(&table));
+                }
+                let elapsed = start.elapsed();
+                Ok(self.outcome(items, elapsed, None, vec![]))
+            }
+            Mode::JoinGraph => {
+                self.database();
+                let db = self.db.as_ref().expect("database built");
+                let mut plans = Vec::new();
+                for b in &prepared.branches {
+                    let plan = optimize(&b.isolated.query, db)
+                        .map_err(|e| QueryError::new("optimize", e))?;
+                    plans.push(plan);
+                }
+                let start = Instant::now();
+                let mut items = Vec::new();
+                let mut stats = ExecStats::default();
+                for (b, plan) in prepared.branches.iter().zip(&plans) {
+                    let (table, s) = execute_with_stats(plan, db);
+                    stats.index_rows += s.index_rows;
+                    stats.scan_rows += s.scan_rows;
+                    stats.probes += s.probes;
+                    stats.bindings += s.bindings;
+                    items.extend(result_items_from_sql(&table, &b.isolated));
+                }
+                let elapsed = start.elapsed();
+                let explains = plans.iter().map(explain).collect();
+                Ok(self.outcome(items, elapsed, Some(stats), explains))
+            }
+        }
+    }
+
+    fn outcome(
+        &self,
+        items: Vec<Pre>,
+        elapsed: Duration,
+        exec_stats: Option<ExecStats>,
+        explain: Vec<String>,
+    ) -> Outcome {
+        let serialized_nodes = serialized_node_count(&self.doc, &items);
+        Outcome {
+            items,
+            serialized_nodes,
+            elapsed,
+            exec_stats,
+            explain,
+        }
+    }
+
+    /// Serialize a node sequence back to XML text.
+    pub fn serialize(&self, items: &[Pre]) -> String {
+        serialize_nodes(&self.doc, items)
+    }
+}
+
+/// Split a Core expression with a comma sequence under its `return` into one
+/// expression per sequence item (the paper performs the analogous
+/// `return-tuple` → XMLTABLE substitution for Q6).
+pub fn decompose_sequences(core: &CoreExpr) -> Vec<CoreExpr> {
+    match core {
+        CoreExpr::Seq(items) => items.iter().flat_map(decompose_sequences).collect(),
+        CoreExpr::For { var, seq, body } => decompose_sequences(body)
+            .into_iter()
+            .map(|b| CoreExpr::For {
+                var: var.clone(),
+                seq: seq.clone(),
+                body: Box::new(b),
+            })
+            .collect(),
+        CoreExpr::Let { var, value, body } => decompose_sequences(body)
+            .into_iter()
+            .map(|b| CoreExpr::Let {
+                var: var.clone(),
+                value: value.clone(),
+                body: Box::new(b),
+            })
+            .collect(),
+        CoreExpr::If { cond, then } => decompose_sequences(then)
+            .into_iter()
+            .map(|t| CoreExpr::If {
+                cond: cond.clone(),
+                then: Box::new(t),
+            })
+            .collect(),
+        other => vec![other.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AUCTION: &str = r#"<site>
+        <open_auctions>
+          <open_auction id="a1"><initial>10</initial><bidder><increase>5</increase></bidder></open_auction>
+          <open_auction id="a2"><initial>20</initial></open_auction>
+          <open_auction id="a3"><initial>7</initial><bidder><increase>1</increase></bidder><bidder><increase>2</increase></bidder></open_auction>
+        </open_auctions>
+        <closed_auctions>
+          <closed_auction><price>600</price><itemref item="i1"/></closed_auction>
+          <closed_auction><price>100</price><itemref item="i2"/></closed_auction>
+        </closed_auctions>
+        <items>
+          <item id="i1"><name>bike</name></item>
+          <item id="i2"><name>car</name></item>
+        </items>
+        <categories>
+          <category id="c1"><name>vehicles</name></category>
+        </categories>
+      </site>"#;
+
+    fn processor() -> Processor {
+        let mut p = Processor::new();
+        p.load_document("auction.xml", AUCTION).unwrap();
+        p.create_default_indexes();
+        p
+    }
+
+    fn assert_all_modes_agree(p: &mut Processor, query: &str) -> usize {
+        let oracle = p.execute(query, Mode::Interpreter).unwrap();
+        let stacked = p.execute(query, Mode::Stacked).unwrap();
+        let joined = p.execute(query, Mode::JoinGraph).unwrap();
+        assert_eq!(stacked.items, oracle.items, "stacked vs oracle for {query}");
+        assert_eq!(joined.items, oracle.items, "join graph vs oracle for {query}");
+        oracle.items.len()
+    }
+
+    #[test]
+    fn q1_all_modes_agree() {
+        let mut p = processor();
+        let n = assert_all_modes_agree(
+            &mut p,
+            r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+        );
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn path_queries_all_modes_agree() {
+        let mut p = processor();
+        assert_all_modes_agree(&mut p, "//closed_auction/price/text()");
+        assert_all_modes_agree(&mut p, "/site/items/item[@id = \"i1\"]/name/text()");
+        assert_all_modes_agree(&mut p, "//open_auction[initial > 8]");
+    }
+
+    #[test]
+    fn q2_style_join_all_modes_agree() {
+        let mut p = processor();
+        let n = assert_all_modes_agree(
+            &mut p,
+            r#"let $a := doc("auction.xml")
+               for $ca in $a//closed_auction[price > 500],
+                   $i in $a//item
+               where $ca/itemref/@item = $i/@id
+               return $i/name"#,
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn sequence_return_decomposes_and_matches_as_multiset() {
+        let mut p = processor();
+        let q = r#"for $i in //item return ($i/name, $i/@id)"#;
+        let oracle = p.execute(q, Mode::Interpreter).unwrap();
+        let joined = p.execute(q, Mode::JoinGraph).unwrap();
+        let mut a = oracle.items.clone();
+        let mut b = joined.items.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "sequence results agree as multisets");
+        assert_eq!(oracle.items.len(), 4);
+    }
+
+    #[test]
+    fn prepare_exposes_all_artifacts() {
+        let p = processor();
+        let prepared = p
+            .prepare(r#"doc("auction.xml")/descendant::open_auction[bidder]"#)
+            .unwrap();
+        assert_eq!(prepared.branches.len(), 1);
+        let b = &prepared.branches[0];
+        assert!(b.stacked.size() > b.simplified.size());
+        assert!(b.isolated.sql().contains("SELECT DISTINCT"));
+        assert_eq!(b.isolated.query.from.len(), 3);
+        assert!(b.rewrite_report.applications > 0);
+    }
+
+    #[test]
+    fn serialization_and_node_counts() {
+        let mut p = processor();
+        let out = p
+            .execute("//item[@id = \"i1\"]/name", Mode::JoinGraph)
+            .unwrap();
+        assert_eq!(out.items.len(), 1);
+        assert_eq!(out.serialized_nodes, 2);
+        let xml = p.serialize(&out.items);
+        assert_eq!(xml, "<name>bike</name>");
+        assert!(out.exec_stats.is_some());
+        assert_eq!(out.explain.len(), 1);
+    }
+
+    #[test]
+    fn advisor_proposes_and_deploys_indexes() {
+        let mut p = Processor::new();
+        p.load_document("auction.xml", AUCTION).unwrap();
+        let proposals = p
+            .advise_and_deploy(&[r#"doc("auction.xml")/descendant::open_auction[bidder]"#])
+            .unwrap();
+        assert!(!proposals.is_empty());
+        // The deployed indexes are immediately usable.
+        let out = p
+            .execute(
+                r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+                Mode::JoinGraph,
+            )
+            .unwrap();
+        assert_eq!(out.items.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_per_stage() {
+        let mut p = processor();
+        assert_eq!(p.execute("for $x in", Mode::JoinGraph).unwrap_err().stage, "parse");
+        assert_eq!(
+            p.execute("$undefined/a", Mode::JoinGraph).unwrap_err().stage,
+            "compile"
+        );
+    }
+
+    #[test]
+    fn decompose_handles_nested_structures() {
+        let core = xqjg_xquery::parse_and_normalize(
+            "for $a in doc(\"d\")//x return ($a/b, $a/c)",
+            None,
+        )
+        .unwrap();
+        let branches = decompose_sequences(&core);
+        assert_eq!(branches.len(), 2);
+        for b in &branches {
+            assert!(matches!(b, CoreExpr::For { .. }));
+        }
+    }
+}

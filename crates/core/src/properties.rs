@@ -1,0 +1,418 @@
+//! Plan property inference (Tables II–V).
+//!
+//! The peephole rewriting of Fig. 5 decides rule applicability by inspecting
+//! four properties of each operator:
+//!
+//! * `icols` — columns required upstream (top-down, seeded `{pos, item}` at
+//!   the serialization point, accumulated over all parents),
+//! * `const` — columns known to hold a constant value (bottom-up),
+//! * `key`   — candidate keys of the operator's output (bottom-up),
+//! * `set`   — whether the output is subject to duplicate elimination
+//!   further up the plan (top-down, `false` only at the root).
+
+use std::collections::{HashMap, HashSet};
+use xqjg_algebra::{OpId, OpKind, Plan};
+use xqjg_store::Value;
+
+/// Inferred properties for every reachable operator.
+#[derive(Debug, Clone)]
+pub struct Properties {
+    /// `icols` per operator.
+    pub icols: HashMap<OpId, HashSet<String>>,
+    /// `const` per operator: column → constant value.
+    pub consts: HashMap<OpId, HashMap<String, Value>>,
+    /// `key` per operator: candidate keys (sets of columns).
+    pub keys: HashMap<OpId, Vec<HashSet<String>>>,
+    /// `set` per operator.
+    pub set: HashMap<OpId, bool>,
+}
+
+impl Properties {
+    /// Infer all four properties for the reachable part of the plan.
+    pub fn infer(plan: &Plan) -> Properties {
+        let topo = plan.topo_order();
+        let mut consts: HashMap<OpId, HashMap<String, Value>> = HashMap::new();
+        let mut keys: HashMap<OpId, Vec<HashSet<String>>> = HashMap::new();
+
+        // Bottom-up: const and key.
+        for &id in &topo {
+            let (c, k) = infer_bottom_up(plan, id, &consts, &keys);
+            consts.insert(id, c);
+            keys.insert(id, k);
+        }
+
+        // Top-down: icols and set (walk in reverse topological order).
+        let mut icols: HashMap<OpId, HashSet<String>> = HashMap::new();
+        let mut set: HashMap<OpId, bool> = HashMap::new();
+        for &id in &topo {
+            icols.insert(id, HashSet::new());
+            set.insert(id, true);
+        }
+        // Seed the root.
+        icols.insert(
+            plan.root(),
+            ["pos", "item"].iter().map(|s| s.to_string()).collect(),
+        );
+        set.insert(plan.root(), false);
+        for &id in topo.iter().rev() {
+            let own_icols = icols.get(&id).cloned().unwrap_or_default();
+            let own_set = *set.get(&id).unwrap_or(&true);
+            let contributions = infer_top_down(plan, id, &own_icols, own_set);
+            for (child, child_icols, child_set) in contributions {
+                icols.entry(child).or_default().extend(child_icols);
+                let entry = set.entry(child).or_insert(true);
+                *entry = *entry && child_set;
+            }
+        }
+
+        Properties {
+            icols,
+            consts,
+            keys,
+            set,
+        }
+    }
+
+    /// The `icols` of an operator.
+    pub fn icols_of(&self, id: OpId) -> &HashSet<String> {
+        self.icols.get(&id).expect("icols inferred")
+    }
+
+    /// The constant columns of an operator.
+    pub fn consts_of(&self, id: OpId) -> &HashMap<String, Value> {
+        self.consts.get(&id).expect("const inferred")
+    }
+
+    /// The candidate keys of an operator.
+    pub fn keys_of(&self, id: OpId) -> &[HashSet<String>] {
+        self.keys.get(&id).expect("key inferred")
+    }
+
+    /// The `set` property of an operator.
+    pub fn set_of(&self, id: OpId) -> bool {
+        *self.set.get(&id).expect("set inferred")
+    }
+
+    /// Does the operator's output have a key entirely within its `icols`?
+    pub fn has_needed_key(&self, id: OpId) -> bool {
+        let icols = self.icols_of(id);
+        self.keys_of(id).iter().any(|k| k.is_subset(icols))
+    }
+}
+
+/// Bottom-up inference of (const, key) for a single operator.
+fn infer_bottom_up(
+    plan: &Plan,
+    id: OpId,
+    consts: &HashMap<OpId, HashMap<String, Value>>,
+    keys: &HashMap<OpId, Vec<HashSet<String>>>,
+) -> (HashMap<String, Value>, Vec<HashSet<String>>) {
+    let child_const = |c: OpId| consts.get(&c).cloned().unwrap_or_default();
+    let child_keys = |c: OpId| keys.get(&c).cloned().unwrap_or_default();
+    match plan.op(id) {
+        OpKind::DocTable => {
+            let key = vec![["pre".to_string()].into_iter().collect()];
+            (HashMap::new(), key)
+        }
+        OpKind::Literal { columns, rows } => {
+            let mut c = HashMap::new();
+            if rows.len() == 1 {
+                for (i, col) in columns.iter().enumerate() {
+                    c.insert(col.clone(), rows[0][i].clone());
+                }
+            }
+            // Single-row (or empty) literals are keyed by every column; for
+            // larger literals we stay conservative.
+            let k = if rows.len() <= 1 {
+                columns
+                    .iter()
+                    .map(|col| [col.clone()].into_iter().collect())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (c, k)
+        }
+        OpKind::Serialize { input } | OpKind::Select { input, .. } => {
+            (child_const(*input), child_keys(*input))
+        }
+        OpKind::Distinct { input } => {
+            let mut k = child_keys(*input);
+            let all: HashSet<String> = plan.output_cols(*input).into_iter().collect();
+            k.push(all);
+            (child_const(*input), k)
+        }
+        OpKind::Project { input, cols } => {
+            let cc = child_const(*input);
+            let mut c = HashMap::new();
+            for (new, old) in cols {
+                if let Some(v) = cc.get(old) {
+                    c.insert(new.clone(), v.clone());
+                }
+            }
+            // Translate keys whose columns survive the projection.
+            let mut k = Vec::new();
+            for key in child_keys(*input) {
+                let translated: Option<HashSet<String>> = key
+                    .iter()
+                    .map(|kc| {
+                        cols.iter()
+                            .find(|(_, old)| old == kc)
+                            .map(|(new, _)| new.clone())
+                    })
+                    .collect();
+                if let Some(t) = translated {
+                    k.push(t);
+                }
+            }
+            (c, k)
+        }
+        OpKind::Attach { input, col, value } => {
+            let mut c = child_const(*input);
+            c.insert(col.clone(), value.clone());
+            (c, child_keys(*input))
+        }
+        OpKind::RowNum { input, col } => {
+            let mut k = child_keys(*input);
+            k.push([col.clone()].into_iter().collect());
+            (child_const(*input), k)
+        }
+        OpKind::Rank {
+            input,
+            col,
+            order_by,
+        } => {
+            let mut k = child_keys(*input);
+            // ϱ: {a} ∪ (k \ {b1..bn}) is a key for any key k intersecting
+            // the ranking criteria.
+            let extra: Vec<HashSet<String>> = child_keys(*input)
+                .iter()
+                .filter(|key| key.iter().any(|c| order_by.contains(c)))
+                .map(|key| {
+                    let mut nk: HashSet<String> =
+                        key.iter().filter(|c| !order_by.contains(*c)).cloned().collect();
+                    nk.insert(col.clone());
+                    nk
+                })
+                .collect();
+            k.extend(extra);
+            (child_const(*input), k)
+        }
+        OpKind::Join { left, right, pred } => {
+            let mut c = child_const(*left);
+            c.extend(child_const(*right));
+            let lk = child_keys(*left);
+            let rk = child_keys(*right);
+            let mut k: Vec<HashSet<String>> = Vec::new();
+            // Generic case: union of a left key and a right key.
+            for a in &lk {
+                for b in &rk {
+                    k.push(a.union(b).cloned().collect());
+                }
+            }
+            // Equi-join refinement: if the join column of one side is a key
+            // of that side, the other side's keys carry over.
+            if let Some((a, b)) = pred.as_single_col_eq() {
+                let left_cols: HashSet<String> = plan.output_cols(*left).into_iter().collect();
+                let (lcol, rcol) = if left_cols.contains(a) { (a, b) } else { (b, a) };
+                let l_is_key = lk.iter().any(|k| k.len() == 1 && k.contains(lcol));
+                let r_is_key = rk.iter().any(|k| k.len() == 1 && k.contains(rcol));
+                if r_is_key {
+                    k.extend(lk.iter().cloned());
+                }
+                if l_is_key {
+                    k.extend(rk.iter().cloned());
+                }
+            }
+            (c, k)
+        }
+        OpKind::Cross { left, right } => {
+            let mut c = child_const(*left);
+            c.extend(child_const(*right));
+            let mut k = Vec::new();
+            for a in child_keys(*left) {
+                for b in child_keys(*right) {
+                    k.push(a.union(&b).cloned().collect());
+                }
+            }
+            (c, k)
+        }
+    }
+}
+
+/// Top-down contributions `(child, icols, set)` of an operator to its
+/// children.
+fn infer_top_down(
+    plan: &Plan,
+    id: OpId,
+    icols: &HashSet<String>,
+    set: bool,
+) -> Vec<(OpId, HashSet<String>, bool)> {
+    let s = |x: &str| x.to_string();
+    match plan.op(id) {
+        OpKind::Serialize { input } => {
+            // The serialization point needs the sequence encoding columns.
+            let mut need: HashSet<String> = icols.clone();
+            need.insert(s("pos"));
+            need.insert(s("item"));
+            let available: HashSet<String> = plan.output_cols(*input).into_iter().collect();
+            vec![(
+                *input,
+                need.intersection(&available).cloned().collect(),
+                false,
+            )]
+        }
+        OpKind::Project { input, cols } => {
+            let mut need = HashSet::new();
+            for (new, old) in cols {
+                if icols.contains(new) {
+                    need.insert(old.clone());
+                }
+            }
+            vec![(*input, need, set)]
+        }
+        OpKind::Select { input, pred } => {
+            let mut need = icols.clone();
+            need.extend(pred.cols());
+            vec![(*input, need, set)]
+        }
+        OpKind::Join { left, right, pred } => {
+            let mut need = icols.clone();
+            need.extend(pred.cols());
+            let lcols: HashSet<String> = plan.output_cols(*left).into_iter().collect();
+            let rcols: HashSet<String> = plan.output_cols(*right).into_iter().collect();
+            vec![
+                (*left, need.intersection(&lcols).cloned().collect(), set),
+                (*right, need.intersection(&rcols).cloned().collect(), set),
+            ]
+        }
+        OpKind::Cross { left, right } => {
+            let lcols: HashSet<String> = plan.output_cols(*left).into_iter().collect();
+            let rcols: HashSet<String> = plan.output_cols(*right).into_iter().collect();
+            vec![
+                (*left, icols.intersection(&lcols).cloned().collect(), set),
+                (*right, icols.intersection(&rcols).cloned().collect(), set),
+            ]
+        }
+        OpKind::Distinct { input } => vec![(*input, icols.clone(), true)],
+        OpKind::Attach { input, col, .. } | OpKind::RowNum { input, col } => {
+            let mut need = icols.clone();
+            need.remove(col);
+            vec![(*input, need, set)]
+        }
+        OpKind::Rank {
+            input,
+            col,
+            order_by,
+        } => {
+            let mut need = icols.clone();
+            need.remove(col);
+            need.extend(order_by.iter().cloned());
+            vec![(*input, need, set)]
+        }
+        OpKind::DocTable | OpKind::Literal { .. } => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqjg_algebra::{Comparison, Predicate};
+
+    /// serialize(π_pos,item(ϱ_pos:⟨item⟩(δ(π_iter,item(σ_kind=ELEM(doc))))))
+    fn ddo_plan() -> Plan {
+        let mut p = Plan::new();
+        let doc = p.add(OpKind::DocTable);
+        let sel = p.add(OpKind::Select {
+            input: doc,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "ELEM")),
+        });
+        let proj = p.add(OpKind::Project {
+            input: sel,
+            cols: vec![
+                ("iter".to_string(), "level".to_string()),
+                ("item".to_string(), "pre".to_string()),
+            ],
+        });
+        let dis = p.add(OpKind::Distinct { input: proj });
+        let rank = p.add(OpKind::Rank {
+            input: dis,
+            col: "pos".to_string(),
+            order_by: vec!["item".to_string()],
+        });
+        let root = p.add(OpKind::Serialize { input: rank });
+        p.set_root(root);
+        p
+    }
+
+    #[test]
+    fn icols_seeded_and_propagated() {
+        let p = ddo_plan();
+        let props = Properties::infer(&p);
+        // The rank's input needs item (for ordering and output) but not pos.
+        let dis = OpId(3);
+        assert!(props.icols_of(dis).contains("item"));
+        assert!(!props.icols_of(dis).contains("pos"));
+        // The doc leaf must supply pre (item source) and kind (selection
+        // predicate) — but not level (iter is never required upstream) nor
+        // value.
+        let doc = OpId(0);
+        let doc_icols = props.icols_of(doc);
+        assert!(doc_icols.contains("pre"));
+        assert!(doc_icols.contains("kind"));
+        assert!(!doc_icols.contains("level"));
+        assert!(!doc_icols.contains("value"));
+    }
+
+    #[test]
+    fn set_true_below_distinct_false_above() {
+        let p = ddo_plan();
+        let props = Properties::infer(&p);
+        // Below the δ: duplicates are eliminated upstream.
+        assert!(props.set_of(OpId(2)));
+        assert!(props.set_of(OpId(0)));
+        // The δ itself and the rank above feed the root without another δ.
+        assert!(!props.set_of(OpId(3)));
+        assert!(!props.set_of(OpId(4)));
+    }
+
+    #[test]
+    fn keys_flow_through_operators() {
+        let p = ddo_plan();
+        let props = Properties::infer(&p);
+        // doc is keyed by pre.
+        assert!(props.keys_of(OpId(0)).iter().any(|k| k.len() == 1 && k.contains("pre")));
+        // The projection renames pre to item: key {item}.
+        assert!(props.keys_of(OpId(2)).iter().any(|k| k.len() == 1 && k.contains("item")));
+        // Distinct adds the all-columns key.
+        assert!(props.keys_of(OpId(3)).iter().any(|k| k.contains("iter") && k.contains("item")));
+    }
+
+    #[test]
+    fn consts_from_attach_and_literal() {
+        let mut p = Plan::new();
+        let lit = p.add(OpKind::Literal {
+            columns: vec!["iter".to_string()],
+            rows: vec![vec![Value::Int(1)]],
+        });
+        let att = p.add(OpKind::Attach {
+            input: lit,
+            col: "pos".to_string(),
+            value: Value::Int(1),
+        });
+        let root = p.add(OpKind::Serialize { input: att });
+        p.set_root(root);
+        let props = Properties::infer(&p);
+        let c = props.consts_of(att);
+        assert_eq!(c.get("iter"), Some(&Value::Int(1)));
+        assert_eq!(c.get("pos"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn has_needed_key_detects_keyed_output() {
+        let p = ddo_plan();
+        let props = Properties::infer(&p);
+        // The projection's output is keyed by item which is within its icols.
+        assert!(props.has_needed_key(OpId(2)));
+    }
+}

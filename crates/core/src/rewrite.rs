@@ -1,0 +1,285 @@
+//! Plan simplification rewrites (the house-cleaning and ϱ-goal rules of
+//! Fig. 5).
+//!
+//! The rules implemented here operate directly on the algebra DAG and are
+//! applied to a fixpoint, guided by the inferred plan properties:
+//!
+//! * Rule (1)–(3): drop `#`, `ϱ`, `@` operators whose column is not needed
+//!   upstream (`icols`),
+//! * Rule (4): prune projection columns to `icols`,
+//! * Rule (6): drop a `δ` whose output is duplicate-eliminated upstream
+//!   anyway (`set`),
+//! * Rule (12): turn a single-criterion `ϱ` into a column-copying projection
+//!   (document order *is* the sequence order),
+//! * Rule (13): drop constant columns from ranking criteria.
+//!
+//! The remaining goals of Fig. 5 — moving the one surviving `δ` into the
+//! plan tail and pushing/removing the equi-joins introduced by the FOR/IF
+//! rules (rules 8–11, 14–17) — are realized during join-graph extraction in
+//! [`crate::sfw`], which flattens the (shared) DAG into a single
+//! `SELECT DISTINCT … FROM … WHERE … ORDER BY …` block; see DESIGN.md for
+//! the correspondence.
+
+use crate::properties::Properties;
+use std::collections::HashSet;
+use xqjg_algebra::{OpId, OpKind, Plan};
+
+/// Outcome of the simplification pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Number of rule applications performed.
+    pub applications: usize,
+    /// Operators before simplification.
+    pub ops_before: usize,
+    /// Operators after simplification.
+    pub ops_after: usize,
+}
+
+/// Apply the simplification rules to a fixpoint.
+pub fn simplify(plan: &mut Plan) -> RewriteReport {
+    let mut report = RewriteReport {
+        ops_before: plan.size(),
+        ..Default::default()
+    };
+    loop {
+        plan.garbage_collect();
+        let props = Properties::infer(plan);
+        if !apply_one(plan, &props) {
+            break;
+        }
+        report.applications += 1;
+        // Safety valve: plans are finite and every rule strictly shrinks or
+        // simplifies, but guard against pathological loops anyway.
+        if report.applications > 10_000 {
+            break;
+        }
+    }
+    plan.garbage_collect();
+    report.ops_after = plan.size();
+    report
+}
+
+/// Apply the first applicable rule; returns whether anything changed.
+fn apply_one(plan: &mut Plan, props: &Properties) -> bool {
+    let nodes = plan.topo_order();
+    for &id in nodes.iter().rev() {
+        let icols = props.icols_of(id).clone();
+        match plan.op(id).clone() {
+            // Rules (1)–(3): unused attached columns.
+            OpKind::RowNum { input, col }
+            | OpKind::Attach { input, col, .. }
+            | OpKind::Rank { input, col, .. }
+                if !icols.contains(&col) =>
+            {
+                replace_uses(plan, id, input);
+                return true;
+            }
+            // Rule (13): constant ranking criteria contribute nothing.
+            OpKind::Rank {
+                input,
+                col,
+                order_by,
+            } => {
+                let consts = props.consts_of(input);
+                let pruned: Vec<String> = order_by
+                    .iter()
+                    .filter(|c| !consts.contains_key(*c))
+                    .cloned()
+                    .collect();
+                if pruned.len() < order_by.len() && !pruned.is_empty() {
+                    *plan.op_mut(id) = OpKind::Rank {
+                        input,
+                        col,
+                        order_by: pruned,
+                    };
+                    return true;
+                }
+                // Rule (12): a single-criterion rank is a column copy.
+                if order_by.len() == 1 {
+                    let src = order_by[0].clone();
+                    let mut cols: Vec<(String, String)> = plan
+                        .output_cols(input)
+                        .into_iter()
+                        .map(|c| (c.clone(), c))
+                        .collect();
+                    cols.push((col, src));
+                    let proj = plan.add(OpKind::Project { input, cols });
+                    replace_uses(plan, id, proj);
+                    return true;
+                }
+            }
+            // Rule (4): prune projections to the needed columns.
+            OpKind::Project { input, cols } => {
+                let needed: Vec<(String, String)> = cols
+                    .iter()
+                    .filter(|(new, _)| icols.contains(new))
+                    .cloned()
+                    .collect();
+                if !needed.is_empty() && needed.len() < cols.len() {
+                    *plan.op_mut(id) = OpKind::Project {
+                        input,
+                        cols: needed,
+                    };
+                    return true;
+                }
+            }
+            // Rule (6): duplicates are eliminated upstream anyway.
+            OpKind::Distinct { input } if props.set_of(id) => {
+                replace_uses(plan, id, input);
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Redirect every use of `old` (including the root) to `new`.
+fn replace_uses(plan: &mut Plan, old: OpId, new: OpId) {
+    let parents = plan.parents();
+    if let Some(ps) = parents.get(&old) {
+        let ps: HashSet<OpId> = ps.iter().copied().collect();
+        for p in ps {
+            plan.op_mut(p).replace_child(old, new);
+        }
+    }
+    if plan.root() == old {
+        plan.set_root(new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqjg_algebra::{histogram, Comparison, Predicate};
+    use xqjg_store::Value;
+
+    #[test]
+    fn unused_rank_and_attach_are_removed() {
+        let mut p = Plan::new();
+        let doc = p.add(OpKind::DocTable);
+        let proj = p.add(OpKind::Project {
+            input: doc,
+            cols: vec![("item".to_string(), "pre".to_string())],
+        });
+        let rank = p.add(OpKind::Rank {
+            input: proj,
+            col: "unused".to_string(),
+            order_by: vec!["item".to_string()],
+        });
+        let att = p.add(OpKind::Attach {
+            input: rank,
+            col: "alsounused".to_string(),
+            value: Value::Int(1),
+        });
+        // The output projection only needs item (plus the implicit pos).
+        let out = p.add(OpKind::Project {
+            input: att,
+            cols: vec![
+                ("pos".to_string(), "item".to_string()),
+                ("item".to_string(), "item".to_string()),
+            ],
+        });
+        let root = p.add(OpKind::Serialize { input: out });
+        p.set_root(root);
+        let report = simplify(&mut p);
+        assert!(report.applications >= 2);
+        let h = histogram(&p);
+        assert_eq!(h.rank, 0);
+        assert_eq!(h.attach, 0);
+    }
+
+    #[test]
+    fn single_criterion_rank_becomes_projection() {
+        let mut p = Plan::new();
+        let doc = p.add(OpKind::DocTable);
+        let proj = p.add(OpKind::Project {
+            input: doc,
+            cols: vec![("item".to_string(), "pre".to_string())],
+        });
+        let rank = p.add(OpKind::Rank {
+            input: proj,
+            col: "pos".to_string(),
+            order_by: vec!["item".to_string()],
+        });
+        let root = p.add(OpKind::Serialize { input: rank });
+        p.set_root(root);
+        simplify(&mut p);
+        let h = histogram(&p);
+        assert_eq!(h.rank, 0, "rank must be rewritten into a projection");
+        assert!(h.project >= 1);
+    }
+
+    #[test]
+    fn constant_rank_criteria_are_pruned() {
+        let mut p = Plan::new();
+        let doc = p.add(OpKind::DocTable);
+        let att = p.add(OpKind::Attach {
+            input: doc,
+            col: "posc".to_string(),
+            value: Value::Int(1),
+        });
+        let rank = p.add(OpKind::Rank {
+            input: att,
+            col: "pos".to_string(),
+            order_by: vec!["posc".to_string(), "pre".to_string()],
+        });
+        let proj = p.add(OpKind::Project {
+            input: rank,
+            cols: vec![
+                ("pos".to_string(), "pos".to_string()),
+                ("item".to_string(), "pre".to_string()),
+            ],
+        });
+        let root = p.add(OpKind::Serialize { input: proj });
+        p.set_root(root);
+        simplify(&mut p);
+        // After pruning the constant criterion, the rank collapses into a
+        // projection and the attach becomes unused.
+        let h = histogram(&p);
+        assert_eq!(h.rank, 0);
+        assert_eq!(h.attach, 0);
+    }
+
+    #[test]
+    fn redundant_distinct_below_distinct_is_dropped() {
+        let mut p = Plan::new();
+        let doc = p.add(OpKind::DocTable);
+        let sel = p.add(OpKind::Select {
+            input: doc,
+            pred: Predicate::single(Comparison::col_eq_const("kind", "ELEM")),
+        });
+        let proj = p.add(OpKind::Project {
+            input: sel,
+            cols: vec![
+                ("pos".to_string(), "pre".to_string()),
+                ("item".to_string(), "pre".to_string()),
+            ],
+        });
+        let d1 = p.add(OpKind::Distinct { input: proj });
+        let d2 = p.add(OpKind::Distinct { input: d1 });
+        let root = p.add(OpKind::Serialize { input: d2 });
+        p.set_root(root);
+        simplify(&mut p);
+        let h = histogram(&p);
+        assert_eq!(h.distinct, 1, "only the upstream δ survives");
+    }
+
+    #[test]
+    fn simplification_shrinks_compiled_q1() {
+        use xqjg_compiler::compile;
+        use xqjg_xquery::parse_and_normalize;
+        let core = parse_and_normalize(
+            r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+            None,
+        )
+        .unwrap();
+        let mut plan = compile(&core).unwrap().plan;
+        let before = histogram(&plan);
+        let report = simplify(&mut plan);
+        let after = histogram(&plan);
+        assert!(report.ops_after < report.ops_before);
+        assert!(after.rank < before.rank, "ranks: {} -> {}", before.rank, after.rank);
+        assert!(after.total < before.total);
+    }
+}

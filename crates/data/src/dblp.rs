@@ -1,0 +1,161 @@
+//! DBLP-like bibliography generator.
+//!
+//! Produces a `dblp` document whose children are publication elements
+//! (`article`, `inproceedings`, `proceedings`, `phdthesis`) carrying `key`
+//! attributes and `author` / `title` / `year` / `editor` children — the
+//! structure Q5 and Q6 query.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xqjg_xml::tree::Document;
+use xqjg_xml::DocTable;
+
+/// Configuration of the DBLP-like generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Scale factor: 1.0 produces roughly 120k nodes.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            scale: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A configuration with the given scale factor.
+    pub fn with_scale(scale: f64) -> Self {
+        DblpConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// Generate a DBLP-like bibliography document.
+pub fn generate_dblp(config: &DblpConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_articles = config.count(6000);
+    let n_inproceedings = config.count(5000);
+    let n_proceedings = config.count(400);
+    let n_phdtheses = config.count(600);
+
+    let mut doc = Document::new();
+    let dblp = doc.add_element(Document::ROOT, "dblp");
+
+    for i in 0..n_articles {
+        let article = doc.add_element(dblp, "article");
+        doc.add_attribute(article, "key", format!("journals/j{}/A{i}", i % 40));
+        for a in 0..rng.gen_range(1..=3) {
+            let author = doc.add_element(article, "author");
+            doc.add_text(author, format!("Author {} {}", i % 900, a));
+        }
+        let title = doc.add_element(article, "title");
+        doc.add_text(title, format!("An Article About Topic {i}"));
+        let year = doc.add_element(article, "year");
+        doc.add_text(year, format!("{}", 1975 + (i % 35)));
+        let journal = doc.add_element(article, "journal");
+        doc.add_text(journal, format!("Journal {}", i % 40));
+    }
+
+    for i in 0..n_inproceedings {
+        let paper = doc.add_element(dblp, "inproceedings");
+        doc.add_attribute(paper, "key", format!("conf/c{}/P{i}", i % 60));
+        for a in 0..rng.gen_range(1..=4) {
+            let author = doc.add_element(paper, "author");
+            doc.add_text(author, format!("Author {} {}", (i * 7) % 900, a));
+        }
+        let title = doc.add_element(paper, "title");
+        doc.add_text(title, format!("A Conference Paper on Subject {i}"));
+        let year = doc.add_element(paper, "year");
+        doc.add_text(year, format!("{}", 1980 + (i % 30)));
+        let booktitle = doc.add_element(paper, "booktitle");
+        doc.add_text(booktitle, format!("Conf {}", i % 60));
+        let pages = doc.add_element(paper, "pages");
+        doc.add_text(pages, format!("{}-{}", i % 400, i % 400 + 12));
+    }
+
+    for i in 0..n_proceedings {
+        let proceedings = doc.add_element(dblp, "proceedings");
+        // Q5 looks up the key "conf/vldb2001": make sure it exists exactly
+        // once, with editor and title children.
+        let key = if i == n_proceedings / 2 {
+            "conf/vldb2001".to_string()
+        } else {
+            format!("conf/c{}/{}", i % 60, 1980 + (i % 30))
+        };
+        doc.add_attribute(proceedings, "key", key);
+        for e in 0..rng.gen_range(1..=3) {
+            let editor = doc.add_element(proceedings, "editor");
+            doc.add_text(editor, format!("Editor {} {}", i % 200, e));
+        }
+        let title = doc.add_element(proceedings, "title");
+        doc.add_text(title, format!("Proceedings of Conference {}", i % 60));
+        let year = doc.add_element(proceedings, "year");
+        doc.add_text(year, format!("{}", 1980 + (i % 30)));
+        let publisher = doc.add_element(proceedings, "publisher");
+        doc.add_text(publisher, "ACM");
+    }
+
+    for i in 0..n_phdtheses {
+        let thesis = doc.add_element(dblp, "phdthesis");
+        doc.add_attribute(thesis, "key", format!("phd/T{i}"));
+        let author = doc.add_element(thesis, "author");
+        doc.add_text(author, format!("Doctoral Candidate {i}"));
+        let title = doc.add_element(thesis, "title");
+        doc.add_text(title, format!("A Dissertation on Question {i}"));
+        let year = doc.add_element(thesis, "year");
+        // Q6 selects theses before 1994: make them a modest fraction.
+        let y = 1986 + (i % 25);
+        doc.add_text(year, format!("{y}"));
+        let school = doc.add_element(thesis, "school");
+        doc.add_text(school, format!("University {}", i % 50));
+    }
+
+    doc
+}
+
+/// Generate and immediately encode a DBLP-like document.
+pub fn generate_dblp_encoded(uri: &str, config: &DblpConfig) -> DocTable {
+    DocTable::from_document(uri, &generate_dblp(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_q5_and_q6_targets() {
+        let table = generate_dblp_encoded("dblp.xml", &DblpConfig::with_scale(0.05));
+        // Exactly one conf/vldb2001 key.
+        let vldb = table
+            .rows()
+            .filter(|r| r.value.as_deref() == Some("conf/vldb2001"))
+            .count();
+        assert_eq!(vldb, 1);
+        // phdthesis elements with year < 1994 exist.
+        assert!(table.rows().any(|r| r.name.as_deref() == Some("phdthesis")));
+        assert!(table
+            .rows()
+            .any(|r| r.name.as_deref() == Some("year") && r.value.as_deref() < Some("1994")));
+    }
+
+    #[test]
+    fn deterministic_and_scalable() {
+        let a = generate_dblp(&DblpConfig::default());
+        let b = generate_dblp(&DblpConfig::default());
+        assert_eq!(a.len(), b.len());
+        let bigger = generate_dblp(&DblpConfig::with_scale(0.3));
+        assert!(bigger.len() > a.len());
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic XML data generators.
+//!
+//! The paper evaluates against a 110 MB XMark auction instance and a 400 MB
+//! XML dump of the DBLP bibliography — neither of which can be bundled here.
+//! These generators produce documents with the same element vocabulary,
+//! nesting structure and value skew that Q1–Q6 exercise, at a configurable
+//! scale, so the benchmark harness can reproduce the *shape* of Table IX on
+//! any machine (see DESIGN.md, substitutions).
+
+pub mod dblp;
+pub mod xmark;
+
+pub use dblp::{generate_dblp, generate_dblp_encoded, DblpConfig};
+pub use xmark::{generate_xmark, generate_xmark_encoded, XmarkConfig};

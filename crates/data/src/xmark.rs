@@ -1,0 +1,237 @@
+//! XMark-like auction document generator.
+//!
+//! Mirrors the parts of the XMark schema the evaluation queries touch:
+//! `site / regions / item`, `categories / category`, `people / person`,
+//! `open_auctions / open_auction (initial, bidder*, current)` and
+//! `closed_auctions / closed_auction (price, itemref, buyer)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xqjg_xml::tree::Document;
+use xqjg_xml::{DocTable, NodeId};
+
+/// Configuration of the generator.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Scale factor: 1.0 produces roughly 20k nodes; XMark's 110 MB instance
+    /// corresponds to a few million nodes.
+    pub scale: f64,
+    /// RNG seed (generation is fully deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            scale: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// A configuration with the given scale factor.
+    pub fn with_scale(scale: f64) -> Self {
+        XmarkConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// Generate an XMark-like auction document (infoset tree).
+pub fn generate_xmark(config: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_items = config.count(1000);
+    let n_categories = config.count(250);
+    let n_persons = config.count(500);
+    let n_open = config.count(600);
+    let n_closed = config.count(500);
+
+    let mut doc = Document::new();
+    let site = doc.add_element(Document::ROOT, "site");
+
+    // Categories.
+    let categories = doc.add_element(site, "categories");
+    for c in 0..n_categories {
+        let cat = doc.add_element(categories, "category");
+        doc.add_attribute(cat, "id", format!("category{c}"));
+        let name = doc.add_element(cat, "name");
+        doc.add_text(name, format!("category name {c}"));
+        let descr = doc.add_element(cat, "description");
+        add_text_block(&mut doc, descr, &mut rng);
+    }
+
+    // Regions with items.
+    let regions = doc.add_element(site, "regions");
+    let region_names = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let mut region_nodes: Vec<NodeId> = Vec::new();
+    for r in region_names {
+        region_nodes.push(doc.add_element(regions, r));
+    }
+    for i in 0..n_items {
+        let region = region_nodes[i % region_nodes.len()];
+        let item = doc.add_element(region, "item");
+        doc.add_attribute(item, "id", format!("item{i}"));
+        let location = doc.add_element(item, "location");
+        doc.add_text(location, "United States");
+        let name = doc.add_element(item, "name");
+        doc.add_text(name, format!("item name {i}"));
+        let payment = doc.add_element(item, "payment");
+        doc.add_text(payment, "Creditcard");
+        for _ in 0..rng.gen_range(1..=3) {
+            let cat = rng.gen_range(0..n_categories);
+            let incat = doc.add_element(item, "incategory");
+            doc.add_attribute(incat, "category", format!("category{cat}"));
+        }
+        let quantity = doc.add_element(item, "quantity");
+        doc.add_text(quantity, format!("{}", rng.gen_range(1..=5)));
+    }
+
+    // People.
+    let people = doc.add_element(site, "people");
+    for p in 0..n_persons {
+        let person = doc.add_element(people, "person");
+        doc.add_attribute(person, "id", format!("person{p}"));
+        let name = doc.add_element(person, "name");
+        doc.add_text(name, format!("Person Name{p}"));
+        let email = doc.add_element(person, "emailaddress");
+        doc.add_text(email, format!("mailto:person{p}@example.org"));
+        if rng.gen_bool(0.6) {
+            let phone = doc.add_element(person, "phone");
+            doc.add_text(phone, format!("+1 ({}) 555-01{:02}", rng.gen_range(100..999), p % 100));
+        }
+    }
+
+    // Open auctions.
+    let open_auctions = doc.add_element(site, "open_auctions");
+    for a in 0..n_open {
+        let auction = doc.add_element(open_auctions, "open_auction");
+        doc.add_attribute(auction, "id", format!("open_auction{a}"));
+        let initial = doc.add_element(auction, "initial");
+        let initial_amount = rng.gen_range(1.0..200.0_f64);
+        doc.add_text(initial, format!("{initial_amount:.2}"));
+        // Roughly 70 % of the auctions have at least one bidder (Q1's
+        // predicate must be selective but not trivial).
+        let bidders = if rng.gen_bool(0.7) {
+            rng.gen_range(1..=5)
+        } else {
+            0
+        };
+        let mut amount = initial_amount;
+        for b in 0..bidders {
+            let bidder = doc.add_element(auction, "bidder");
+            let time = doc.add_element(bidder, "time");
+            doc.add_text(time, format!("{:02}:{:02}", (b * 3) % 24, (b * 17) % 60));
+            let personref = doc.add_element(bidder, "personref");
+            doc.add_attribute(personref, "person", format!("person{}", rng.gen_range(0..n_persons)));
+            let increase = doc.add_element(bidder, "increase");
+            let inc = rng.gen_range(1.0..30.0_f64);
+            amount += inc;
+            doc.add_text(increase, format!("{inc:.2}"));
+        }
+        let current = doc.add_element(auction, "current");
+        doc.add_text(current, format!("{amount:.2}"));
+        let itemref = doc.add_element(auction, "itemref");
+        doc.add_attribute(itemref, "item", format!("item{}", rng.gen_range(0..n_items)));
+        let seller = doc.add_element(auction, "seller");
+        doc.add_attribute(seller, "person", format!("person{}", rng.gen_range(0..n_persons)));
+    }
+
+    // Closed auctions.
+    let closed_auctions = doc.add_element(site, "closed_auctions");
+    for _ in 0..n_closed {
+        let auction = doc.add_element(closed_auctions, "closed_auction");
+        let seller = doc.add_element(auction, "seller");
+        doc.add_attribute(seller, "person", format!("person{}", rng.gen_range(0..n_persons)));
+        let buyer = doc.add_element(auction, "buyer");
+        doc.add_attribute(buyer, "person", format!("person{}", rng.gen_range(0..n_persons)));
+        let itemref = doc.add_element(auction, "itemref");
+        doc.add_attribute(itemref, "item", format!("item{}", rng.gen_range(0..n_items)));
+        let price = doc.add_element(auction, "price");
+        // Skewed prices: only a small fraction exceeds 500 (Q2's predicate).
+        // The first closed auction is always expensive so that Q2 has a
+        // non-empty result at every scale.
+        let value: f64 = if doc.node(closed_auctions).children.len() == 1 || rng.gen_bool(0.08) {
+            rng.gen_range(500.0..2000.0)
+        } else {
+            rng.gen_range(1.0..500.0)
+        };
+        doc.add_text(price, format!("{value:.2}"));
+        let date = doc.add_element(auction, "date");
+        doc.add_text(date, format!("{:02}/{:02}/2000", rng.gen_range(1..=12), rng.gen_range(1..=28)));
+        let quantity = doc.add_element(auction, "quantity");
+        doc.add_text(quantity, "1");
+    }
+
+    doc
+}
+
+fn add_text_block(doc: &mut Document, parent: NodeId, rng: &mut StdRng) {
+    let text = doc.add_element(parent, "text");
+    let words = rng.gen_range(3..10);
+    let content: Vec<String> = (0..words).map(|w| format!("word{w}")).collect();
+    doc.add_text(text, content.join(" "));
+}
+
+/// Generate and immediately encode an XMark-like document.
+pub fn generate_xmark_encoded(uri: &str, config: &XmarkConfig) -> DocTable {
+    DocTable::from_document(uri, &generate_xmark(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = XmarkConfig::default();
+        let a = generate_xmark(&cfg);
+        let b = generate_xmark(&cfg);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate_xmark(&XmarkConfig::with_scale(0.05));
+        let large = generate_xmark(&XmarkConfig::with_scale(0.2));
+        assert!(large.len() > 2 * small.len());
+    }
+
+    #[test]
+    fn vocabulary_needed_by_queries_is_present() {
+        let table = generate_xmark_encoded("auction.xml", &XmarkConfig::with_scale(0.05));
+        let names: std::collections::HashSet<&str> = table
+            .rows()
+            .filter_map(|r| r.name.as_deref())
+            .collect();
+        for required in [
+            "site",
+            "open_auction",
+            "bidder",
+            "closed_auction",
+            "price",
+            "itemref",
+            "item",
+            "incategory",
+            "category",
+            "person",
+            "people",
+            "name",
+        ] {
+            assert!(names.contains(required), "missing {required}");
+        }
+        // person0 exists for Q3.
+        assert!(table
+            .rows()
+            .any(|r| r.value.as_deref() == Some("person0")));
+        // Some price above 500 for Q2.
+        assert!(table
+            .rows()
+            .any(|r| r.name.as_deref() == Some("price") && r.data.unwrap_or(0.0) > 500.0));
+    }
+}

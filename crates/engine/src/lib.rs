@@ -1,0 +1,32 @@
+//! The relational query engine: the "off-the-shelf RDBMS" half of the
+//! system.
+//!
+//! It consumes the SQL join-graph queries emitted by `xqjg-core` and runs
+//! them through the classical pipeline the paper relies on:
+//!
+//! 1. [`sqlparse::parse_sql`] — parse the `SELECT DISTINCT … FROM … WHERE …
+//!    ORDER BY …` block,
+//! 2. [`optimizer::optimize`] — cost-based access-path selection and join
+//!    tree planning over the catalog's B-tree indexes and statistics,
+//! 3. [`exec::execute`] — index nested-loop / hash join execution plus the
+//!    duplicate-eliminating SORT plan tail,
+//! 4. [`explain::explain`] — DB2-visual-explain-style plan rendering
+//!    (Figures 10 and 11),
+//! 5. [`advisor::advise`] — the `db2advis` stand-in that proposes the
+//!    B-tree index set of Table VI from a workload.
+
+pub mod advisor;
+pub mod exec;
+pub mod explain;
+pub mod optimizer;
+pub mod physical;
+pub mod sql;
+pub mod sqlparse;
+
+pub use advisor::{advise, deploy, IndexProposal};
+pub use exec::{execute, execute_with_stats, run_sql, ExecStats};
+pub use explain::explain;
+pub use optimizer::{optimize, OptimizeError};
+pub use physical::{Access, Bounds, JoinMethod, JoinNode, PhysPlan};
+pub use sql::{ColRef, FromItem, OrderItem, SelectItem, SfwQuery, SqlCmp, SqlExpr, SqlPredicate};
+pub use sqlparse::{parse_sql, SqlParseError};

@@ -1,0 +1,954 @@
+//! Cost-based optimization of SFW join-graph queries.
+//!
+//! The optimizer performs the two classical tasks the paper delegates to the
+//! RDBMS (Section IV-A):
+//!
+//! * **access path selection** — match each alias's predicates against the
+//!   available composite-key B-tree indexes (equality prefix + one range
+//!   column), estimate selectivities from table statistics, or fall back to
+//!   a table scan, and
+//! * **join tree planning** — dynamic programming over connected sub-plans
+//!   (Selinger-style, left-deep), choosing nested-loop (index probe) or hash
+//!   joins per step.
+//!
+//! Because the join graph does not prescribe any XPath evaluation order, the
+//! chosen join order freely reorders location steps and reverses axes — the
+//! behaviour Figures 10 and 11 document for DB2.
+
+use crate::physical::{Access, Bounds, JoinMethod, JoinNode, PhysPlan};
+use crate::sql::{SfwQuery, SqlCmp, SqlExpr, SqlPredicate};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::ops::Bound;
+use xqjg_store::{Database, Value};
+
+/// Cost-model constants (arbitrary units; only relative magnitudes matter).
+mod cost {
+    /// Cost of touching one B-tree page (height traversal).
+    pub const PAGE: f64 = 5.0;
+    /// Cost per index entry scanned.
+    pub const IX_ENTRY: f64 = 1.0;
+    /// Cost per row scanned in a table scan.
+    pub const TB_ROW: f64 = 0.4;
+    /// Cost per residual predicate evaluation.
+    pub const RESIDUAL: f64 = 0.05;
+    /// Cost per row flowing through a hash join.
+    pub const HASH_ROW: f64 = 0.6;
+    /// Selectivity of a range predicate whose bounds depend on outer columns
+    /// (e.g. the `(pre◦, pre◦+size◦]` axis intervals).
+    pub const OUTER_RANGE_SEL: f64 = 0.08;
+    /// Selectivity assumed for an equality with an outer column when the
+    /// statistics give no distinct count.
+    pub const FALLBACK_EQ_SEL: f64 = 0.001;
+    /// Cap on the number of dynamic-programming states before falling back
+    /// to greedy planning.
+    pub const DP_STATE_LIMIT: usize = 60_000;
+}
+
+/// Optimizer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeError {
+    /// Description.
+    pub message: String,
+}
+
+impl OptimizeError {
+    fn new(m: impl Into<String>) -> Self {
+        OptimizeError { message: m.into() }
+    }
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "optimizer error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Optimize an SFW query against the given database.
+pub fn optimize(query: &SfwQuery, db: &Database) -> Result<PhysPlan, OptimizeError> {
+    if query.from.is_empty() {
+        return Err(OptimizeError::new("empty FROM clause"));
+    }
+    for f in &query.from {
+        if db.table(&f.table).is_none() {
+            return Err(OptimizeError::new(format!("unknown table {:?}", f.table)));
+        }
+    }
+    let n = query.from.len();
+    if n > 63 {
+        return Err(OptimizeError::new("too many FROM items (max 63)"));
+    }
+
+    let planner = Planner::new(query, db);
+    let root = planner.plan_joins()?;
+    let est_rows = root.est_rows();
+    let est_cost = planner.tree_cost(&root);
+    Ok(PhysPlan {
+        root,
+        select: query.select.clone(),
+        distinct: query.distinct,
+        order_by: query.order_by.iter().map(|o| o.col.clone()).collect(),
+        est_cost,
+        est_rows,
+    })
+}
+
+struct AliasInfo {
+    alias: String,
+    table: String,
+    /// Estimated rows after applying the alias's constant-only predicates.
+    local_rows: f64,
+}
+
+struct Planner<'a> {
+    query: &'a SfwQuery,
+    db: &'a Database,
+    aliases: Vec<AliasInfo>,
+    /// alias → bit position
+    bit: HashMap<String, usize>,
+}
+
+#[derive(Clone)]
+struct DpEntry {
+    cost: f64,
+    card: f64,
+    plan: JoinNode,
+}
+
+impl<'a> Planner<'a> {
+    fn new(query: &'a SfwQuery, db: &'a Database) -> Self {
+        let mut aliases = Vec::new();
+        let mut bit = HashMap::new();
+        for (i, f) in query.from.iter().enumerate() {
+            let local_rows = local_row_estimate(query, db, &f.alias, &f.table);
+            bit.insert(f.alias.clone(), i);
+            aliases.push(AliasInfo {
+                alias: f.alias.clone(),
+                table: f.table.clone(),
+                local_rows,
+            });
+        }
+        Planner {
+            query,
+            db,
+            aliases,
+            bit,
+        }
+    }
+
+    /// Mask of aliases referenced by a predicate.
+    fn pred_mask(&self, p: &SqlPredicate) -> u64 {
+        let mut m = 0u64;
+        for t in p.tables() {
+            if let Some(&b) = self.bit.get(&t) {
+                m |= 1 << b;
+            }
+        }
+        m
+    }
+
+    /// Dynamic programming over connected sub-plans; falls back to greedy
+    /// when the state space explodes.
+    fn plan_joins(&self) -> Result<JoinNode, OptimizeError> {
+        let n = self.aliases.len();
+        let full: u64 = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+        let mut table: HashMap<u64, DpEntry> = HashMap::new();
+
+        // Seed with singletons.
+        for (i, info) in self.aliases.iter().enumerate() {
+            let bound = HashSet::new();
+            let (access, probe_cost, _) = self.best_access(&info.alias, &info.table, &bound);
+            let card = info.local_rows.max(1e-6);
+            table.insert(
+                1 << i,
+                DpEntry {
+                    cost: probe_cost,
+                    card,
+                    plan: JoinNode::Leaf {
+                        alias: info.alias.clone(),
+                        table: info.table.clone(),
+                        access,
+                        est_rows: card,
+                    },
+                },
+            );
+        }
+
+        // Grow subsets one alias at a time.
+        for size in 1..n {
+            let states: Vec<u64> = table
+                .keys()
+                .copied()
+                .filter(|m| m.count_ones() as usize == size)
+                .collect();
+            if table.len() > cost::DP_STATE_LIMIT {
+                return self.plan_greedy();
+            }
+            for mask in states {
+                let entry = table.get(&mask).cloned().expect("state present");
+                let connected = self.connected_extensions(mask);
+                let candidates: Vec<usize> = if connected.is_empty() {
+                    (0..n).filter(|i| mask & (1 << i) == 0).collect()
+                } else {
+                    connected
+                };
+                for i in candidates {
+                    let new_mask = mask | (1 << i);
+                    let candidate = self.extend(&entry, i);
+                    let better = match table.get(&new_mask) {
+                        Some(existing) => candidate.cost < existing.cost,
+                        None => true,
+                    };
+                    if better {
+                        table.insert(new_mask, candidate);
+                    }
+                }
+            }
+        }
+
+        table
+            .remove(&full)
+            .map(|e| e.plan)
+            .ok_or_else(|| OptimizeError::new("join enumeration failed to cover all aliases"))
+    }
+
+    /// Greedy fallback: repeatedly add the connected alias yielding the
+    /// smallest intermediate cardinality.
+    fn plan_greedy(&self) -> Result<JoinNode, OptimizeError> {
+        let n = self.aliases.len();
+        // Start with the most selective alias.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.aliases[a]
+                .local_rows
+                .partial_cmp(&self.aliases[b].local_rows)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let first = order[0];
+        let info = &self.aliases[first];
+        let (access, probe_cost, _) = self.best_access(&info.alias, &info.table, &HashSet::new());
+        let mut entry = DpEntry {
+            cost: probe_cost,
+            card: info.local_rows.max(1e-6),
+            plan: JoinNode::Leaf {
+                alias: info.alias.clone(),
+                table: info.table.clone(),
+                access,
+                est_rows: info.local_rows.max(1e-6),
+            },
+        };
+        let mut mask = 1u64 << first;
+        while (mask.count_ones() as usize) < n {
+            let connected = self.connected_extensions(mask);
+            let candidates: Vec<usize> = if connected.is_empty() {
+                (0..n).filter(|i| mask & (1 << i) == 0).collect()
+            } else {
+                connected
+            };
+            let best = candidates
+                .into_iter()
+                .map(|i| (i, self.extend(&entry, i)))
+                .min_by(|a, b| {
+                    a.1.card
+                        .partial_cmp(&b.1.card)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("at least one candidate");
+            mask |= 1 << best.0;
+            entry = best.1;
+        }
+        Ok(entry.plan)
+    }
+
+    /// Aliases outside `mask` connected to it by at least one join predicate.
+    fn connected_extensions(&self, mask: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, _) in self.aliases.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            let connected = self.query.where_clause.iter().any(|p| {
+                let m = self.pred_mask(p);
+                m & (1 << i) != 0 && m & mask != 0 && m.count_ones() > 1
+            });
+            if connected {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Extend a DP entry with alias `i`, choosing the cheaper of nested-loop
+    /// and hash join.
+    fn extend(&self, entry: &DpEntry, i: usize) -> DpEntry {
+        let info = &self.aliases[i];
+        let bound: HashSet<String> = entry.plan.bound_aliases().into_iter().collect();
+
+        // Resulting cardinality (method independent).
+        let join_sel = self.join_selectivity(&info.alias, &bound);
+        let card = (entry.card * info.local_rows * join_sel).max(1e-6);
+
+        // Nested loop with per-probe access.
+        let (nl_access, nl_probe_cost, _) = self.best_access(&info.alias, &info.table, &bound);
+        let nl_residual = self.residual_after_access(&info.alias, &bound, &nl_access);
+        let nl_cost = entry.cost + entry.card * nl_probe_cost;
+
+        // Hash join: only when an equality key against the bound set exists.
+        let hash_keys = self.hash_keys(&info.alias, &bound);
+        let (best_method, access, residual, total_cost, keys) = if hash_keys.is_empty() {
+            (JoinMethod::NestedLoop, nl_access, nl_residual, nl_cost, vec![])
+        } else {
+            let empty = HashSet::new();
+            let (inner_access, inner_cost, inner_rows) =
+                self.best_access(&info.alias, &info.table, &empty);
+            let hash_residual = self.residual_after_hash(&info.alias, &bound, &hash_keys);
+            let hash_cost = entry.cost
+                + inner_cost
+                + inner_rows * cost::HASH_ROW
+                + entry.card * cost::HASH_ROW;
+            if hash_cost < nl_cost {
+                (
+                    JoinMethod::Hash,
+                    inner_access,
+                    hash_residual,
+                    hash_cost,
+                    hash_keys,
+                )
+            } else {
+                (JoinMethod::NestedLoop, nl_access, nl_residual, nl_cost, vec![])
+            }
+        };
+
+        DpEntry {
+            cost: total_cost,
+            card,
+            plan: JoinNode::Join {
+                outer: Box::new(entry.plan.clone()),
+                alias: info.alias.clone(),
+                table: info.table.clone(),
+                access,
+                method: best_method,
+                hash_keys: keys,
+                residual,
+                est_rows: card,
+            },
+        }
+    }
+
+    /// Combined selectivity of all join predicates connecting `alias` to the
+    /// bound set.
+    fn join_selectivity(&self, alias: &str, bound: &HashSet<String>) -> f64 {
+        let mut sel = 1.0;
+        for p in &self.query.where_clause {
+            let ts = p.tables();
+            if !ts.contains(alias) || ts.len() < 2 {
+                continue;
+            }
+            if !ts.iter().all(|t| t == alias || bound.contains(t)) {
+                continue;
+            }
+            sel *= self.single_join_pred_selectivity(alias, p);
+        }
+        sel
+    }
+
+    fn single_join_pred_selectivity(&self, alias: &str, p: &SqlPredicate) -> f64 {
+        let table = &self
+            .aliases
+            .iter()
+            .find(|a| a.alias == alias)
+            .expect("alias known")
+            .table;
+        let stats = self.db.stats(table);
+        match p.op {
+            SqlCmp::Eq => {
+                // column = column: 1 / max distinct.
+                let col = p
+                    .lhs
+                    .as_column_of(alias)
+                    .or_else(|| p.rhs.as_column_of(alias));
+                if let (Some(col), Some(stats)) = (col, stats) {
+                    if let Some(cs) = stats.column(col) {
+                        if cs.distinct > 0 {
+                            return 1.0 / cs.distinct as f64;
+                        }
+                    }
+                }
+                cost::FALLBACK_EQ_SEL
+            }
+            SqlCmp::Ne => 0.9,
+            _ => cost::OUTER_RANGE_SEL,
+        }
+    }
+
+    /// Hash keys `(outer expression, inner column)` for equality predicates
+    /// between `alias` and the bound set.
+    fn hash_keys(&self, alias: &str, bound: &HashSet<String>) -> Vec<(SqlExpr, String)> {
+        let mut keys = Vec::new();
+        for p in &self.query.where_clause {
+            if p.op != SqlCmp::Eq {
+                continue;
+            }
+            let ts = p.tables();
+            if !ts.contains(alias) || ts.len() < 2 {
+                continue;
+            }
+            if !ts.iter().all(|t| t == alias || bound.contains(t)) {
+                continue;
+            }
+            // inner side must be a bare column of `alias`, outer side must
+            // not reference `alias` at all.
+            if let Some(col) = p.lhs.as_column_of(alias) {
+                if !expr_references(&p.rhs, alias) {
+                    keys.push((p.rhs.clone(), col.to_string()));
+                    continue;
+                }
+            }
+            if let Some(col) = p.rhs.as_column_of(alias) {
+                if !expr_references(&p.lhs, alias) {
+                    keys.push((p.lhs.clone(), col.to_string()));
+                }
+            }
+        }
+        keys
+    }
+
+    /// Predicates involving `alias` and the bound set that are not consumed
+    /// by the chosen access path.
+    fn residual_after_access(
+        &self,
+        alias: &str,
+        bound: &HashSet<String>,
+        access: &Access,
+    ) -> Vec<SqlPredicate> {
+        let consumed: Vec<SqlPredicate> = match access {
+            Access::TableScan { preds } => preds.clone(),
+            Access::IndexScan { residual, .. } => {
+                // Everything available is either in bounds or in residual;
+                // residual predicates are checked by the scan itself.
+                let mut v = residual.clone();
+                v.extend(self.bounds_predicates(alias, bound, access));
+                v
+            }
+        };
+        self.available_predicates(alias, bound)
+            .into_iter()
+            .filter(|p| !consumed.contains(p))
+            .collect()
+    }
+
+    fn bounds_predicates(
+        &self,
+        alias: &str,
+        bound: &HashSet<String>,
+        access: &Access,
+    ) -> Vec<SqlPredicate> {
+        // Reconstruct which of the available predicates were folded into the
+        // index bounds, by re-running the matching.
+        if let Access::IndexScan { index, .. } = access {
+            if let Some(ix) = self.db.index(index) {
+                let avail = self.available_predicates(alias, bound);
+                let (_, consumed) = match_index_bounds(alias, &ix.def.key_columns, &avail);
+                return consumed;
+            }
+        }
+        Vec::new()
+    }
+
+    fn residual_after_hash(
+        &self,
+        alias: &str,
+        bound: &HashSet<String>,
+        keys: &[(SqlExpr, String)],
+    ) -> Vec<SqlPredicate> {
+        self.available_predicates(alias, bound)
+            .into_iter()
+            .filter(|p| {
+                // Join-equality predicates covered by the hash keys and
+                // constant-only local predicates (already applied by the
+                // inner access) are not residual.
+                if p.tables().len() <= 1 {
+                    return false;
+                }
+                if p.op == SqlCmp::Eq {
+                    let covered = keys.iter().any(|(outer, col)| {
+                        (p.lhs.as_column_of(alias) == Some(col.as_str()) && p.rhs == *outer)
+                            || (p.rhs.as_column_of(alias) == Some(col.as_str()) && p.lhs == *outer)
+                    });
+                    if covered {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// All predicates that involve `alias` and otherwise only bound aliases
+    /// or constants.
+    fn available_predicates(&self, alias: &str, bound: &HashSet<String>) -> Vec<SqlPredicate> {
+        self.query
+            .where_clause
+            .iter()
+            .filter(|p| {
+                let ts = p.tables();
+                ts.contains(alias) && ts.iter().all(|t| t == alias || bound.contains(t))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Choose the cheapest access path for `alias` given the bound aliases.
+    /// Returns `(access, per_probe_cost, per_probe_rows)`.
+    fn best_access(
+        &self,
+        alias: &str,
+        table: &str,
+        bound: &HashSet<String>,
+    ) -> (Access, f64, f64) {
+        let avail = self.available_predicates(alias, bound);
+        let stats = self.db.stats(table);
+        let total_rows = stats.map(|s| s.rows as f64).unwrap_or(1.0).max(1.0);
+
+        // Selectivity of *all* available predicates (they are all applied,
+        // whether through bounds or residual checks).
+        let mut overall_sel = 1.0;
+        for p in &avail {
+            overall_sel *= predicate_selectivity(self.db, table, alias, p);
+        }
+        let out_rows = (total_rows * overall_sel).max(1e-6);
+
+        // Table scan baseline.
+        let scan_cost = total_rows * cost::TB_ROW + avail.len() as f64 * total_rows * cost::RESIDUAL;
+        let mut best = (
+            Access::TableScan { preds: avail.clone() },
+            scan_cost,
+            out_rows,
+        );
+
+        for ix in self.db.indexes_on(table) {
+            let (bounds, consumed) = match_index_bounds(alias, &ix.def.key_columns, &avail);
+            if bounds.matched_columns() == 0 {
+                continue;
+            }
+            // Selectivity of the predicates folded into the bounds.
+            let mut bound_sel = 1.0;
+            for p in &consumed {
+                bound_sel *= predicate_selectivity(self.db, table, alias, p);
+            }
+            let scanned_entries = (total_rows * bound_sel).max(1.0);
+            let residual: Vec<SqlPredicate> = avail
+                .iter()
+                .filter(|p| !consumed.contains(p))
+                .cloned()
+                .collect();
+            let height = ix.tree.height() as f64;
+            let ix_cost = height * cost::PAGE
+                + scanned_entries * cost::IX_ENTRY
+                + residual.len() as f64 * scanned_entries * cost::RESIDUAL;
+            if ix_cost < best.1 {
+                best = (
+                    Access::IndexScan {
+                        index: ix.def.name.clone(),
+                        bounds,
+                        residual,
+                    },
+                    ix_cost,
+                    out_rows,
+                );
+            }
+        }
+        best
+    }
+
+    /// Total cost of a finished join tree (re-derived for reporting).
+    fn tree_cost(&self, node: &JoinNode) -> f64 {
+        match node {
+            JoinNode::Leaf { est_rows, .. } => *est_rows,
+            JoinNode::Join {
+                outer, est_rows, ..
+            } => self.tree_cost(outer) + est_rows.max(1.0),
+        }
+    }
+}
+
+fn expr_references(e: &SqlExpr, alias: &str) -> bool {
+    let mut ts = HashSet::new();
+    e.tables(&mut ts);
+    ts.contains(alias)
+}
+
+/// Estimate the rows of `alias` after applying its constant-only predicates.
+fn local_row_estimate(query: &SfwQuery, db: &Database, alias: &str, table: &str) -> f64 {
+    let stats = match db.stats(table) {
+        Some(s) => s,
+        None => return 1.0,
+    };
+    let mut rows = stats.rows as f64;
+    for p in query.local_predicates(alias) {
+        rows *= predicate_selectivity(db, table, alias, p);
+    }
+    rows.max(1e-6)
+}
+
+/// Selectivity of a single predicate as seen from `alias`.
+fn predicate_selectivity(db: &Database, table: &str, alias: &str, p: &SqlPredicate) -> f64 {
+    let stats = match db.stats(table) {
+        Some(s) => s,
+        None => return 0.5,
+    };
+    // Identify "alias.column OP other" shape.
+    let (col, op, other) = if let Some(c) = p.lhs.as_column_of(alias) {
+        (c, p.op, &p.rhs)
+    } else if let Some(c) = p.rhs.as_column_of(alias) {
+        (c, p.op.flip(), &p.lhs)
+    } else {
+        // Computed column expressions (pre + size, level + 1): treat as a
+        // generic range-style predicate.
+        return cost::OUTER_RANGE_SEL;
+    };
+    let cs = match stats.column(col) {
+        Some(cs) => cs,
+        None => return 0.5,
+    };
+    match other {
+        SqlExpr::Lit(v) => match op {
+            SqlCmp::Eq => cs.eq_selectivity(v),
+            SqlCmp::Ne => 1.0 - cs.eq_selectivity(v),
+            SqlCmp::Lt | SqlCmp::Le => cs.range_selectivity(Bound::Unbounded, Bound::Included(v)),
+            SqlCmp::Gt | SqlCmp::Ge => cs.range_selectivity(Bound::Included(v), Bound::Unbounded),
+        },
+        _ => match op {
+            SqlCmp::Eq => {
+                if cs.distinct > 0 {
+                    1.0 / cs.distinct as f64
+                } else {
+                    cost::FALLBACK_EQ_SEL
+                }
+            }
+            SqlCmp::Ne => 0.9,
+            _ => cost::OUTER_RANGE_SEL,
+        },
+    }
+}
+
+/// Match the available predicates of an alias against an index's key
+/// columns: a maximal equality prefix followed by at most one range-bound
+/// column.  Returns the bounds plus the predicates consumed by them.
+fn match_index_bounds(
+    alias: &str,
+    key_columns: &[String],
+    avail: &[SqlPredicate],
+) -> (Bounds, Vec<SqlPredicate>) {
+    let mut bounds = Bounds::default();
+    let mut consumed = Vec::new();
+    for key_col in key_columns {
+        // Equality?
+        let eq = avail.iter().find(|p| {
+            p.op == SqlCmp::Eq
+                && ((p.lhs.as_column_of(alias) == Some(key_col.as_str())
+                    && !expr_references(&p.rhs, alias))
+                    || (p.rhs.as_column_of(alias) == Some(key_col.as_str())
+                        && !expr_references(&p.lhs, alias)))
+        });
+        if let Some(p) = eq {
+            let expr = if p.lhs.as_column_of(alias) == Some(key_col.as_str()) {
+                p.rhs.clone()
+            } else {
+                p.lhs.clone()
+            };
+            bounds.eq.push((key_col.clone(), expr));
+            consumed.push(p.clone());
+            continue;
+        }
+        // Range bounds?
+        let mut lower: Option<(SqlExpr, bool)> = None;
+        let mut upper: Option<(SqlExpr, bool)> = None;
+        for p in avail {
+            let (op, other) = if p.lhs.as_column_of(alias) == Some(key_col.as_str())
+                && !expr_references(&p.rhs, alias)
+            {
+                (p.op, p.rhs.clone())
+            } else if p.rhs.as_column_of(alias) == Some(key_col.as_str())
+                && !expr_references(&p.lhs, alias)
+            {
+                (p.op.flip(), p.lhs.clone())
+            } else {
+                continue;
+            };
+            match op {
+                SqlCmp::Gt => {
+                    if lower.is_none() {
+                        lower = Some((other, false));
+                        consumed.push(p.clone());
+                    }
+                }
+                SqlCmp::Ge => {
+                    if lower.is_none() {
+                        lower = Some((other, true));
+                        consumed.push(p.clone());
+                    }
+                }
+                SqlCmp::Lt => {
+                    if upper.is_none() {
+                        upper = Some((other, false));
+                        consumed.push(p.clone());
+                    }
+                }
+                SqlCmp::Le => {
+                    if upper.is_none() {
+                        upper = Some((other, true));
+                        consumed.push(p.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        if lower.is_some() || upper.is_some() {
+            bounds.range_col = Some(key_col.clone());
+            bounds.lower = lower;
+            bounds.upper = upper;
+        }
+        // Whether or not a range matched, index matching stops at the first
+        // non-equality key column.
+        break;
+    }
+    (bounds, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::{FromItem, OrderItem, SelectItem};
+    use crate::sql::ColRef;
+    use xqjg_store::{IndexDef, Schema, Table};
+
+    /// Build a toy doc-like database with name/kind skew and indexes.
+    fn toy_db() -> Database {
+        let mut t = Table::new(Schema::new([
+            "pre", "size", "level", "kind", "name", "value", "data",
+        ]));
+        // One DOC row followed by many elements of various names.
+        t.push(vec![
+            Value::Int(0),
+            Value::Int(1000),
+            Value::Int(0),
+            Value::str("DOC"),
+            Value::str("auction.xml"),
+            Value::Null,
+            Value::Null,
+        ]);
+        for i in 1..=1000i64 {
+            let name = match i % 10 {
+                0 => "open_auction",
+                1 => "bidder",
+                2 => "price",
+                _ => "filler",
+            };
+            t.push(vec![
+                Value::Int(i),
+                Value::Int(0),
+                Value::Int(2),
+                Value::str("ELEM"),
+                Value::str(name),
+                Value::Null,
+                Value::Dec((i % 700) as f64),
+            ]);
+        }
+        let mut db = Database::new();
+        db.create_table("doc", t);
+        db.create_index(IndexDef {
+            name: "nksp".into(),
+            table: "doc".into(),
+            key_columns: vec!["name".into(), "kind".into(), "size".into(), "pre".into()],
+            include_columns: vec![],
+            clustered: false,
+        });
+        db.create_index(IndexDef {
+            name: "pre_idx".into(),
+            table: "doc".into(),
+            key_columns: vec!["pre".into()],
+            include_columns: vec![],
+            clustered: true,
+        });
+        db
+    }
+
+    fn simple_query() -> SfwQuery {
+        SfwQuery {
+            distinct: true,
+            select: vec![SelectItem::Star("d2".into())],
+            from: vec![
+                FromItem {
+                    table: "doc".into(),
+                    alias: "d1".into(),
+                },
+                FromItem {
+                    table: "doc".into(),
+                    alias: "d2".into(),
+                },
+            ],
+            where_clause: vec![
+                SqlPredicate::new(SqlExpr::col("d1", "kind"), SqlCmp::Eq, SqlExpr::lit("DOC")),
+                SqlPredicate::new(
+                    SqlExpr::col("d1", "name"),
+                    SqlCmp::Eq,
+                    SqlExpr::lit("auction.xml"),
+                ),
+                SqlPredicate::new(
+                    SqlExpr::col("d2", "name"),
+                    SqlCmp::Eq,
+                    SqlExpr::lit("open_auction"),
+                ),
+                SqlPredicate::new(
+                    SqlExpr::col("d2", "pre"),
+                    SqlCmp::Gt,
+                    SqlExpr::col("d1", "pre"),
+                ),
+                SqlPredicate::new(
+                    SqlExpr::col("d2", "pre"),
+                    SqlCmp::Le,
+                    SqlExpr::col("d1", "pre").add(SqlExpr::col("d1", "size")),
+                ),
+            ],
+            order_by: vec![OrderItem {
+                col: ColRef::new("d2", "pre"),
+            }],
+        }
+    }
+
+    #[test]
+    fn picks_index_access_for_selective_predicates() {
+        let db = toy_db();
+        let plan = optimize(&simple_query(), &db).unwrap();
+        // The DOC-node alias must be accessed through the name/kind index.
+        fn find_leaf(n: &JoinNode) -> &JoinNode {
+            match n {
+                JoinNode::Leaf { .. } => n,
+                JoinNode::Join { outer, .. } => find_leaf(outer),
+            }
+        }
+        let leaf = find_leaf(&plan.root);
+        match leaf {
+            JoinNode::Leaf { alias, access, .. } => {
+                assert_eq!(alias, "d1");
+                assert!(matches!(access, Access::IndexScan { index, .. } if index == "nksp"));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(plan.join_order(), vec!["d1".to_string(), "d2".to_string()]);
+        assert!(plan.distinct);
+    }
+
+    #[test]
+    fn join_order_starts_with_most_selective_alias() {
+        let db = toy_db();
+        // Reverse the alias numbering so the selective DOC predicate sits on
+        // the *second* FROM item: the optimizer must still start with it.
+        let mut q = simple_query();
+        q.from.reverse();
+        let plan = optimize(&q, &db).unwrap();
+        assert_eq!(plan.join_order()[0], "d1");
+    }
+
+    #[test]
+    fn index_bounds_match_equality_prefix_then_range() {
+        let avail = vec![
+            SqlPredicate::new(SqlExpr::col("d", "name"), SqlCmp::Eq, SqlExpr::lit("price")),
+            SqlPredicate::new(SqlExpr::col("d", "kind"), SqlCmp::Eq, SqlExpr::lit("ELEM")),
+            SqlPredicate::new(SqlExpr::col("d", "data"), SqlCmp::Gt, SqlExpr::lit(500i64)),
+        ];
+        let keys = vec!["name".to_string(), "kind".to_string(), "data".to_string(), "pre".to_string()];
+        let (bounds, consumed) = match_index_bounds("d", &keys, &avail);
+        assert_eq!(bounds.eq.len(), 2);
+        assert_eq!(bounds.range_col.as_deref(), Some("data"));
+        assert!(bounds.lower.is_some() && bounds.upper.is_none());
+        assert_eq!(consumed.len(), 3);
+    }
+
+    #[test]
+    fn index_matching_stops_at_gap() {
+        // Key (name, kind, data): only a data predicate (no name) matches nothing.
+        let avail = vec![SqlPredicate::new(
+            SqlExpr::col("d", "data"),
+            SqlCmp::Gt,
+            SqlExpr::lit(500i64),
+        )];
+        let keys = vec!["name".to_string(), "kind".to_string(), "data".to_string()];
+        let (bounds, _) = match_index_bounds("d", &keys, &avail);
+        assert_eq!(bounds.matched_columns(), 0);
+    }
+
+    #[test]
+    fn errors_on_unknown_table() {
+        let db = toy_db();
+        let mut q = simple_query();
+        q.from[0].table = "nope".into();
+        assert!(optimize(&q, &db).is_err());
+    }
+
+    #[test]
+    fn cross_product_queries_still_plan() {
+        let db = toy_db();
+        let q = SfwQuery {
+            distinct: false,
+            select: vec![SelectItem::Star("a".into()), SelectItem::Star("b".into())],
+            from: vec![
+                FromItem {
+                    table: "doc".into(),
+                    alias: "a".into(),
+                },
+                FromItem {
+                    table: "doc".into(),
+                    alias: "b".into(),
+                },
+            ],
+            where_clause: vec![SqlPredicate::new(
+                SqlExpr::col("a", "kind"),
+                SqlCmp::Eq,
+                SqlExpr::lit("DOC"),
+            )],
+            order_by: vec![],
+        };
+        let plan = optimize(&q, &db).unwrap();
+        assert_eq!(plan.join_order().len(), 2);
+    }
+
+    #[test]
+    fn hash_join_chosen_for_unselective_value_equijoin() {
+        let db = toy_db();
+        // Join on data = data with no useful index on the inner side's probe:
+        // the optimizer should prefer a hash join over a per-probe scan.
+        let q = SfwQuery {
+            distinct: false,
+            select: vec![SelectItem::Star("a".into())],
+            from: vec![
+                FromItem {
+                    table: "doc".into(),
+                    alias: "a".into(),
+                },
+                FromItem {
+                    table: "doc".into(),
+                    alias: "b".into(),
+                },
+            ],
+            where_clause: vec![
+                SqlPredicate::new(SqlExpr::col("a", "name"), SqlCmp::Eq, SqlExpr::lit("price")),
+                SqlPredicate::new(
+                    SqlExpr::col("a", "value"),
+                    SqlCmp::Eq,
+                    SqlExpr::col("b", "value"),
+                ),
+            ],
+            order_by: vec![],
+        };
+        let plan = optimize(&q, &db).unwrap();
+        let uses_hash = matches!(
+            &plan.root,
+            JoinNode::Join { method: JoinMethod::Hash, .. }
+        );
+        assert!(uses_hash, "expected a hash join, got {:?}", plan.root);
+    }
+}

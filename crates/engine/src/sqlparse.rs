@@ -1,0 +1,463 @@
+//! Parser for the emitted SQL subset.
+//!
+//! The back-end half of the system receives plain SQL text (Fig. 8 / 9) and
+//! parses it back into an [`SfwQuery`] before optimization — keeping the
+//! front half (XQuery compiler + isolation) and the back half (relational
+//! engine) coupled only through SQL, exactly as in the paper's architecture.
+
+use crate::sql::{ColRef, FromItem, OrderItem, SelectItem, SfwQuery, SqlCmp, SqlExpr, SqlPredicate};
+use std::fmt;
+use xqjg_store::Value;
+
+/// SQL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlParseError {
+    /// Offending token position (token index).
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Int(i64),
+    Dec(f64),
+    Dot,
+    Comma,
+    Star,
+    Plus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        match c {
+            c if c.is_whitespace() => pos += 1,
+            ',' => {
+                out.push(Tok::Comma);
+                pos += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                pos += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                pos += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                pos += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                pos += 1;
+            }
+            '<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Tok::Le);
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'>') {
+                    out.push(Tok::Ne);
+                    pos += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    pos += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Tok::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    pos += 1;
+                }
+            }
+            '\'' => {
+                let mut i = pos + 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlParseError {
+                            position: pos,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                out.push(Tok::Str(s));
+                pos = i + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = pos;
+                pos += 1;
+                let mut seen_dot = false;
+                while pos < bytes.len() {
+                    let d = bytes[pos] as char;
+                    if d.is_ascii_digit() {
+                        pos += 1;
+                    } else if d == '.' && !seen_dot {
+                        seen_dot = true;
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..pos];
+                if seen_dot {
+                    out.push(Tok::Dec(text.parse().map_err(|_| SqlParseError {
+                        position: start,
+                        message: format!("bad decimal {text:?}"),
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| SqlParseError {
+                        position: start,
+                        message: format!("bad integer {text:?}"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = pos;
+                while pos < bytes.len() {
+                    let d = bytes[pos] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Word(input[start..pos].to_string()));
+            }
+            other => {
+                return Err(SqlParseError {
+                    position: pos,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+/// Parse an SQL `SELECT [DISTINCT] … FROM … [WHERE …] [ORDER BY …]` block.
+pub fn parse_sql(input: &str) -> Result<SfwQuery, SqlParseError> {
+    let tokens = lex(input)?;
+    let mut p = P { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct P {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, m: impl Into<String>) -> SqlParseError {
+        SqlParseError {
+            position: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlParseError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlParseError> {
+        match self.next() {
+            Tok::Word(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<SfwQuery, SqlParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut select = vec![self.select_item()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.pos += 1;
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.from_item()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.pos += 1;
+            from.push(self.from_item()?);
+        }
+        let mut where_clause = Vec::new();
+        if self.eat_kw("WHERE") {
+            where_clause.push(self.predicate()?);
+            while self.eat_kw("AND") {
+                where_clause.push(self.predicate()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            order_by.push(self.order_item()?);
+            while matches!(self.peek(), Tok::Comma) {
+                self.pos += 1;
+                order_by.push(self.order_item()?);
+            }
+        }
+        Ok(SfwQuery {
+            distinct,
+            select,
+            from,
+            where_clause,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlParseError> {
+        let table = self.ident()?;
+        if !matches!(self.peek(), Tok::Dot) {
+            return Err(self.err("select items must be qualified (alias.column or alias.*)"));
+        }
+        self.pos += 1;
+        if matches!(self.peek(), Tok::Star) {
+            self.pos += 1;
+            return Ok(SelectItem::Star(table));
+        }
+        let column = self.ident()?;
+        let mut expr = SqlExpr::Col(ColRef::new(table, column));
+        while matches!(self.peek(), Tok::Plus) {
+            self.pos += 1;
+            expr = expr.add(self.scalar_atom()?);
+        }
+        let alias = if self.eat_kw("AS") {
+            self.ident()?
+        } else {
+            match &expr {
+                SqlExpr::Col(c) => c.column.clone(),
+                _ => return Err(self.err("computed select items need AS <name>")),
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem, SqlParseError> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            self.ident()?
+        } else if let Tok::Word(w) = self.peek() {
+            // Bare alias without AS, unless it is a keyword.
+            let upper = w.to_ascii_uppercase();
+            if ["WHERE", "ORDER", "SELECT", "FROM"].contains(&upper.as_str()) {
+                table.clone()
+            } else {
+                self.ident()?
+            }
+        } else {
+            table.clone()
+        };
+        Ok(FromItem { table, alias })
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem, SqlParseError> {
+        let table = self.ident()?;
+        if !matches!(self.peek(), Tok::Dot) {
+            return Err(self.err("ORDER BY items must be alias.column"));
+        }
+        self.pos += 1;
+        let column = self.ident()?;
+        // Optional ASC keyword.
+        self.eat_kw("ASC");
+        Ok(OrderItem {
+            col: ColRef::new(table, column),
+        })
+    }
+
+    fn predicate(&mut self) -> Result<SqlPredicate, SqlParseError> {
+        let lhs = self.scalar()?;
+        let op = match self.next() {
+            Tok::Eq => SqlCmp::Eq,
+            Tok::Ne => SqlCmp::Ne,
+            Tok::Lt => SqlCmp::Lt,
+            Tok::Le => SqlCmp::Le,
+            Tok::Gt => SqlCmp::Gt,
+            Tok::Ge => SqlCmp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let rhs = self.scalar()?;
+        Ok(SqlPredicate::new(lhs, op, rhs))
+    }
+
+    fn scalar(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut expr = self.scalar_atom()?;
+        while matches!(self.peek(), Tok::Plus) {
+            self.pos += 1;
+            expr = expr.add(self.scalar_atom()?);
+        }
+        Ok(expr)
+    }
+
+    fn scalar_atom(&mut self) -> Result<SqlExpr, SqlParseError> {
+        match self.next() {
+            Tok::Word(w) => {
+                if matches!(self.peek(), Tok::Dot) {
+                    self.pos += 1;
+                    let column = self.ident()?;
+                    Ok(SqlExpr::Col(ColRef::new(w, column)))
+                } else {
+                    Err(self.err(format!("unqualified column {w:?} (write alias.column)")))
+                }
+            }
+            Tok::Str(s) => Ok(SqlExpr::Lit(Value::Str(s))),
+            Tok::Int(i) => Ok(SqlExpr::Lit(Value::Int(i))),
+            Tok::Dec(d) => Ok(SqlExpr::Lit(Value::Dec(d))),
+            other => Err(self.err(format!("expected scalar expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = "SELECT DISTINCT d2.*\n\
+        FROM doc AS d1, doc AS d2, doc AS d3\n\
+        WHERE d1.kind = 'DOC'\n  AND d1.name = 'auction.xml'\n\
+          AND d2.kind = 'ELEM'\n  AND d2.name = 'open_auction'\n\
+          AND d2.pre > d1.pre AND d2.pre <= d1.pre + d1.size\n\
+          AND d3.kind = 'ELEM'\n  AND d3.name = 'bidder'\n\
+          AND d3.pre > d2.pre AND d3.pre <= d2.pre + d2.size\n\
+          AND d2.level + 1 = d3.level\n\
+        ORDER BY d2.pre";
+
+    #[test]
+    fn parses_fig8_query() {
+        let q = parse_sql(Q1).unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.where_clause.len(), 11);
+        assert_eq!(q.order_by.len(), 1);
+        assert_eq!(q.select, vec![SelectItem::Star("d2".to_string())]);
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let q = parse_sql(Q1).unwrap();
+        let printed = q.to_sql();
+        let reparsed = parse_sql(&printed).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn parses_select_expressions_with_alias() {
+        let q = parse_sql(
+            "SELECT DISTINCT d12.*, d2.pre AS item1 FROM doc AS d2, doc AS d12 \
+             WHERE d2.pre = d12.pre ORDER BY d2.pre, d12.pre",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        match &q.select[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias, "item1"),
+            other => panic!("expected expr item, got {other:?}"),
+        }
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        let q = parse_sql("SELECT d1.* FROM doc AS d1 WHERE d1.name = 'o''hara'").unwrap();
+        match &q.where_clause[0].rhs {
+            SqlExpr::Lit(Value::Str(s)) => assert_eq!(s, "o'hara"),
+            other => panic!("expected string literal, got {other:?}"),
+        }
+        let reparsed = parse_sql(&q.to_sql()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let q = parse_sql("SELECT d1.* FROM doc d1 WHERE d1.data > 500 AND d1.data < 7.5").unwrap();
+        assert_eq!(q.where_clause.len(), 2);
+        assert_eq!(q.from[0].alias, "d1");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_sql("SELEC d1.* FROM doc d1").is_err());
+        assert!(parse_sql("SELECT d1.* FROM doc d1 WHERE kind = 'DOC'").is_err());
+        assert!(parse_sql("SELECT d1.* FROM doc d1 WHERE d1.kind == 'DOC'").is_err());
+        assert!(parse_sql("SELECT * FROM doc d1").is_err());
+        assert!(parse_sql("SELECT d1.* FROM doc d1 ORDER BY pre").is_err());
+        assert!(parse_sql("SELECT d1.* FROM doc d1 WHERE d1.name = 'x").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_sql("select distinct d1.* from doc as d1 where d1.kind = 'DOC' order by d1.pre").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.order_by.len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The database catalog: named tables, their secondary B-tree indexes, and
+//! their statistics.
+//!
+//! The catalog is deliberately tiny — the workload of this system consists
+//! of self-joins over a single `doc` table — but it is structured like a
+//! real catalog so the optimizer's index selection and statistics lookups
+//! read naturally.
+
+use crate::btree::{BPlusTree, Key};
+use crate::stats::TableStats;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Definition of a secondary index.
+#[derive(Debug, Clone)]
+pub struct IndexDef {
+    /// Index name (e.g. `nkspl` in the paper's Table VI).
+    pub name: String,
+    /// Table the index is built over.
+    pub table: String,
+    /// Key columns, most significant first.
+    pub key_columns: Vec<String>,
+    /// Non-key columns carried on the leaf pages (DB2's `INCLUDE(...)`).
+    pub include_columns: Vec<String>,
+    /// Clustered indexes determine the base table's physical order.
+    pub clustered: bool,
+}
+
+/// A built index: definition plus the backing B+tree.
+#[derive(Debug, Clone)]
+pub struct BuiltIndex {
+    /// The index definition.
+    pub def: IndexDef,
+    /// The B+tree mapping key-column tuples to row ids of the base table.
+    pub tree: BPlusTree,
+}
+
+impl BuiltIndex {
+    /// Does the index key start with the given column sequence?
+    pub fn key_prefix_matches(&self, columns: &[String]) -> bool {
+        columns.len() <= self.def.key_columns.len()
+            && self.def.key_columns[..columns.len()] == *columns
+    }
+
+    /// All columns retrievable from the index without touching the base
+    /// table (key columns + include columns).
+    pub fn covered_columns(&self) -> Vec<String> {
+        let mut cols = self.def.key_columns.clone();
+        cols.extend(self.def.include_columns.iter().cloned());
+        cols
+    }
+}
+
+/// An in-memory database: tables, indexes, statistics.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    indexes: Vec<BuiltIndex>,
+    stats: HashMap<String, TableStats>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register (or replace) a table and collect its statistics.
+    pub fn create_table(&mut self, name: impl Into<String>, table: Table) {
+        let name = name.into();
+        let stats = TableStats::collect(&table);
+        self.stats.insert(name.clone(), stats);
+        self.tables.insert(name, table);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Look up a table's statistics.
+    pub fn stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(name)
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Build a B-tree index over `def.key_columns` of `def.table`.
+    ///
+    /// # Panics
+    /// Panics when the table or one of the key columns does not exist —
+    /// index DDL errors are programming errors in this system.
+    pub fn create_index(&mut self, def: IndexDef) {
+        let table = self
+            .tables
+            .get(&def.table)
+            .unwrap_or_else(|| panic!("create_index: unknown table {}", def.table));
+        let key_idx: Vec<usize> = def
+            .key_columns
+            .iter()
+            .map(|c| table.schema().expect_index(c))
+            .collect();
+        let entries: Vec<(Key, usize)> = table
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(rid, row)| {
+                let key: Key = key_idx.iter().map(|&i| row[i].clone()).collect();
+                (key, rid)
+            })
+            .collect();
+        let tree = BPlusTree::bulk_load(entries);
+        // Replace an index with the same name (idempotent DDL).
+        self.indexes.retain(|ix| ix.def.name != def.name);
+        self.indexes.push(BuiltIndex { def, tree });
+    }
+
+    /// All indexes built over a table.
+    pub fn indexes_on(&self, table: &str) -> Vec<&BuiltIndex> {
+        self.indexes
+            .iter()
+            .filter(|ix| ix.def.table == table)
+            .collect()
+    }
+
+    /// Look up an index by name.
+    pub fn index(&self, name: &str) -> Option<&BuiltIndex> {
+        self.indexes.iter().find(|ix| ix.def.name == name)
+    }
+
+    /// All index names (useful for EXPLAIN output and tests).
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.iter().map(|ix| ix.def.name.as_str()).collect()
+    }
+
+    /// Fetch the row values of `table` at `row_id` for the given columns.
+    pub fn fetch(&self, table: &str, row_id: usize, columns: &[String]) -> Vec<Value> {
+        let t = &self.tables[table];
+        columns
+            .iter()
+            .map(|c| t.rows()[row_id][t.schema().expect_index(c)].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::ops::Bound;
+
+    fn db() -> Database {
+        let mut t = Table::new(Schema::new(["pre", "name", "kind"]));
+        for i in 0..100i64 {
+            let name = if i % 2 == 0 { "item" } else { "price" };
+            t.push(vec![Value::Int(i), Value::str(name), Value::Int(1)]);
+        }
+        let mut db = Database::new();
+        db.create_table("doc", t);
+        db.create_index(IndexDef {
+            name: "np".to_string(),
+            table: "doc".to_string(),
+            key_columns: vec!["name".to_string(), "pre".to_string()],
+            include_columns: vec![],
+            clustered: false,
+        });
+        db
+    }
+
+    #[test]
+    fn table_and_stats_registered() {
+        let db = db();
+        assert!(db.table("doc").is_some());
+        assert_eq!(db.stats("doc").unwrap().rows, 100);
+        assert_eq!(db.table_names(), vec!["doc"]);
+    }
+
+    #[test]
+    fn index_lookup_returns_matching_rows() {
+        let db = db();
+        let ix = db.index("np").unwrap();
+        let hits = ix.tree.lookup_prefix(&[Value::str("item")]);
+        assert_eq!(hits.len(), 50);
+        // Every returned row id indeed stores name = 'item'.
+        for rid in hits {
+            assert_eq!(db.fetch("doc", rid, &["name".to_string()])[0], Value::str("item"));
+        }
+    }
+
+    #[test]
+    fn index_range_scan_with_composite_bounds() {
+        let db = db();
+        let ix = db.index("np").unwrap();
+        let lo = vec![Value::str("item"), Value::Int(10)];
+        let hi = vec![Value::str("item"), Value::Int(20)];
+        let hits = ix.tree.range(Bound::Included(&lo), Bound::Included(&hi));
+        assert_eq!(hits.len(), 6); // pre in {10,12,14,16,18,20}
+    }
+
+    #[test]
+    fn key_prefix_matching_and_coverage() {
+        let db = db();
+        let ix = db.index("np").unwrap();
+        assert!(ix.key_prefix_matches(&["name".to_string()]));
+        assert!(ix.key_prefix_matches(&["name".to_string(), "pre".to_string()]));
+        assert!(!ix.key_prefix_matches(&["pre".to_string()]));
+        assert_eq!(ix.covered_columns(), vec!["name".to_string(), "pre".to_string()]);
+    }
+
+    #[test]
+    fn recreating_an_index_replaces_it() {
+        let mut db = db();
+        db.create_index(IndexDef {
+            name: "np".to_string(),
+            table: "doc".to_string(),
+            key_columns: vec!["pre".to_string()],
+            include_columns: vec![],
+            clustered: true,
+        });
+        assert_eq!(db.indexes_on("doc").len(), 1);
+        assert_eq!(db.index("np").unwrap().def.key_columns, vec!["pre".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn index_on_missing_table_panics() {
+        let mut db = Database::new();
+        db.create_index(IndexDef {
+            name: "x".to_string(),
+            table: "nope".to_string(),
+            key_columns: vec!["a".to_string()],
+            include_columns: vec![],
+            clustered: false,
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! Relational storage substrate.
+//!
+//! This crate is the part of the "30+ years of relational technology" the
+//! paper leans on: typed scalar [`Value`]s, row [`Table`]s with named
+//! [`Schema`]s, composite-key [`BPlusTree`] indexes with range scans, and
+//! [`TableStats`] (cardinalities, most-common values, histograms) feeding
+//! the cost-based optimizer in `xqjg-engine`.  A small [`Database`] catalog
+//! ties tables, indexes and statistics together.
+//!
+//! Nothing in this crate knows about XML or XQuery — it is a generic (if
+//! deliberately compact) relational kernel.
+
+pub mod btree;
+pub mod catalog;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use btree::{BPlusTree, Key};
+pub use catalog::{BuiltIndex, Database, IndexDef};
+pub use schema::Schema;
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Row, Table};
+pub use value::Value;

@@ -1,0 +1,102 @@
+//! Table schemas: ordered, named columns.
+
+use std::fmt;
+
+/// An ordered list of column names.
+///
+/// Column names are plain strings (`pre`, `size`, `iter`, `item`, …); the
+/// loop-lifting compiler freely invents derived names (`pre1`, `item2`,
+/// `pos_0`, …) so the schema imposes no naming discipline beyond uniqueness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from column names.
+    ///
+    /// # Panics
+    /// Panics if a column name appears twice — duplicate names always
+    /// indicate a compiler bug and would silently corrupt projections.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].contains(c),
+                "duplicate column name {c:?} in schema {columns:?}"
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns `true` for the empty schema.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Position of a column by name, panicking with a helpful message when
+    /// the column does not exist (used in contexts where absence is a bug).
+    pub fn expect_index(&self, name: &str) -> usize {
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("column {name:?} not in schema {:?}", self.columns))
+    }
+
+    /// Does the schema contain the column?
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Name of the column at `idx`.
+    pub fn column(&self, idx: usize) -> &str {
+        &self.columns[idx]
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(["iter", "pos", "item"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("pos"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.contains("item"));
+        assert_eq!(s.column(0), "iter");
+        assert_eq!(s.to_string(), "(iter, pos, item)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        let _ = Schema::new(["a", "b", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn expect_index_panics_on_missing() {
+        Schema::new(["a"]).expect_index("z");
+    }
+}

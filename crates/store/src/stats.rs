@@ -1,0 +1,277 @@
+//! Table and column statistics.
+//!
+//! The paper's point in Section IV-A is that *ordinary* RDBMS statistics —
+//! per-column cardinalities and value distributions gathered over the `doc`
+//! encoding — are all the optimizer needs to reorder XPath steps and reverse
+//! axes.  This module provides exactly that: row counts, per-column
+//! distinct/null counts, min/max, most-common values (tag names are heavily
+//! skewed) and an equi-width histogram for numeric columns.
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Number of most-common values tracked per column.
+const MCV_LIMIT: usize = 32;
+/// Number of buckets in numeric histograms.
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Total number of rows (including NULLs).
+    pub rows: usize,
+    /// Number of NULL values.
+    pub nulls: usize,
+    /// Number of distinct non-NULL values.
+    pub distinct: usize,
+    /// Minimum non-NULL value.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value.
+    pub max: Option<Value>,
+    /// Most common values with their frequencies.
+    pub mcv: Vec<(Value, usize)>,
+    /// Equi-width histogram over the numeric image of the column
+    /// (`bucket[i]` counts values in the i-th slice of `[min, max]`).
+    pub histogram: Vec<usize>,
+}
+
+impl ColumnStats {
+    /// Estimated selectivity of `column = value`.
+    pub fn eq_selectivity(&self, value: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        if let Some((_, freq)) = self.mcv.iter().find(|(v, _)| v == value) {
+            return *freq as f64 / self.rows as f64;
+        }
+        // Value not among the MCVs: assume the remaining rows are spread
+        // uniformly over the remaining distinct values.
+        let mcv_rows: usize = self.mcv.iter().map(|(_, f)| f).sum();
+        let rest_rows = self.rows.saturating_sub(mcv_rows + self.nulls);
+        let rest_distinct = self.distinct.saturating_sub(self.mcv.len()).max(1);
+        (rest_rows as f64 / rest_distinct as f64 / self.rows as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of a range predicate over the column.
+    pub fn range_selectivity(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let (min, max) = match (self.min.as_ref(), self.max.as_ref()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return 0.0,
+        };
+        let (min_f, max_f) = match (min.as_f64(), max.as_f64()) {
+            (Some(a), Some(b)) if b > a => (a, b),
+            // Non-numeric or single-valued column: fall back to a constant.
+            _ => return default_range_selectivity(),
+        };
+        let lo = match lower {
+            Bound::Unbounded => min_f,
+            Bound::Included(v) | Bound::Excluded(v) => v.as_f64().unwrap_or(min_f),
+        };
+        let hi = match upper {
+            Bound::Unbounded => max_f,
+            Bound::Included(v) | Bound::Excluded(v) => v.as_f64().unwrap_or(max_f),
+        };
+        if hi <= lo {
+            return 1.0 / self.rows as f64;
+        }
+        if self.histogram.is_empty() {
+            return (((hi.min(max_f) - lo.max(min_f)) / (max_f - min_f)).clamp(0.0, 1.0)).max(1.0 / self.rows as f64);
+        }
+        // Histogram-based estimate.
+        let width = (max_f - min_f) / self.histogram.len() as f64;
+        let mut covered = 0.0;
+        for (i, &count) in self.histogram.iter().enumerate() {
+            let b_lo = min_f + i as f64 * width;
+            let b_hi = b_lo + width;
+            let overlap = (hi.min(b_hi) - lo.max(b_lo)).max(0.0) / width;
+            covered += overlap.min(1.0) * count as f64;
+        }
+        (covered / self.rows as f64).clamp(1.0 / self.rows as f64, 1.0)
+    }
+}
+
+/// Default selectivity for range predicates we cannot estimate.
+pub fn default_range_selectivity() -> f64 {
+    1.0 / 3.0
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: usize,
+    /// Per-column statistics.
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Gather statistics over a table (a full "RUNSTATS" pass).
+    pub fn collect(table: &Table) -> Self {
+        let rows = table.len();
+        let mut columns = HashMap::new();
+        for (ci, name) in table.schema().columns().iter().enumerate() {
+            let mut freq: HashMap<Value, usize> = HashMap::new();
+            let mut nulls = 0usize;
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            for row in table.rows() {
+                let v = &row[ci];
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                *freq.entry(v.clone()).or_insert(0) += 1;
+                if min.as_ref().map_or(true, |m| v < m) {
+                    min = Some(v.clone());
+                }
+                if max.as_ref().map_or(true, |m| v > m) {
+                    max = Some(v.clone());
+                }
+            }
+            let distinct = freq.len();
+            let mut mcv: Vec<(Value, usize)> = freq.iter().map(|(v, f)| (v.clone(), *f)).collect();
+            mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            mcv.truncate(MCV_LIMIT);
+            let histogram = build_histogram(table, ci, min.as_ref(), max.as_ref());
+            columns.insert(
+                name.clone(),
+                ColumnStats {
+                    rows,
+                    nulls,
+                    distinct,
+                    min,
+                    max,
+                    mcv,
+                    histogram,
+                },
+            );
+        }
+        TableStats { rows, columns }
+    }
+
+    /// Statistics for a column, if collected.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+}
+
+fn build_histogram(
+    table: &Table,
+    column: usize,
+    min: Option<&Value>,
+    max: Option<&Value>,
+) -> Vec<usize> {
+    let (min_f, max_f) = match (min.and_then(Value::as_f64), max.and_then(Value::as_f64)) {
+        (Some(a), Some(b)) if b > a => (a, b),
+        _ => return Vec::new(),
+    };
+    let mut buckets = vec![0usize; HISTOGRAM_BUCKETS];
+    let width = (max_f - min_f) / HISTOGRAM_BUCKETS as f64;
+    for row in table.rows() {
+        if let Some(f) = row[column].as_f64() {
+            let mut idx = ((f - min_f) / width) as usize;
+            if idx >= HISTOGRAM_BUCKETS {
+                idx = HISTOGRAM_BUCKETS - 1;
+            }
+            buckets[idx] += 1;
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn skewed_table() -> Table {
+        // A name-like column: "item" appears 80 times, 20 rare names once
+        // each; plus a numeric column 0..99.
+        let mut t = Table::new(Schema::new(["name", "price"]));
+        for i in 0..100i64 {
+            let name = if i < 80 {
+                "item".to_string()
+            } else {
+                format!("rare{i}")
+            };
+            t.push(vec![Value::Str(name), Value::Int(i)]);
+        }
+        t
+    }
+
+    #[test]
+    fn collects_basic_counts() {
+        let stats = TableStats::collect(&skewed_table());
+        assert_eq!(stats.rows, 100);
+        let name = stats.column("name").unwrap();
+        assert_eq!(name.distinct, 21);
+        assert_eq!(name.nulls, 0);
+        let price = stats.column("price").unwrap();
+        assert_eq!(price.min, Some(Value::Int(0)));
+        assert_eq!(price.max, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn eq_selectivity_tracks_skew() {
+        let stats = TableStats::collect(&skewed_table());
+        let name = stats.column("name").unwrap();
+        let common = name.eq_selectivity(&Value::str("item"));
+        let rare = name.eq_selectivity(&Value::str("rare85"));
+        assert!((common - 0.8).abs() < 1e-9);
+        assert!(rare < 0.05);
+        assert!(common > rare * 10.0);
+    }
+
+    #[test]
+    fn eq_selectivity_for_unknown_value_is_small() {
+        let stats = TableStats::collect(&skewed_table());
+        let name = stats.column("name").unwrap();
+        let unknown = name.eq_selectivity(&Value::str("nonexistent"));
+        assert!(unknown <= 0.05);
+    }
+
+    #[test]
+    fn range_selectivity_tracks_fraction() {
+        let stats = TableStats::collect(&skewed_table());
+        let price = stats.column("price").unwrap();
+        let half = price.range_selectivity(Bound::Included(&Value::Int(50)), Bound::Unbounded);
+        assert!(half > 0.35 && half < 0.65, "got {half}");
+        let all = price.range_selectivity(Bound::Unbounded, Bound::Unbounded);
+        assert!(all > 0.9);
+        let none = price.range_selectivity(Bound::Included(&Value::Int(95)), Bound::Included(&Value::Int(99)));
+        assert!(none < 0.2);
+    }
+
+    #[test]
+    fn range_selectivity_on_string_column_uses_default() {
+        let stats = TableStats::collect(&skewed_table());
+        let name = stats.column("name").unwrap();
+        let s = name.range_selectivity(Bound::Included(&Value::str("a")), Bound::Unbounded);
+        assert!((s - default_range_selectivity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nulls_are_counted() {
+        let mut t = Table::new(Schema::new(["v"]));
+        t.push(vec![Value::Null]);
+        t.push(vec![Value::Int(1)]);
+        let stats = TableStats::collect(&t);
+        let c = stats.column("v").unwrap();
+        assert_eq!(c.nulls, 1);
+        assert_eq!(c.distinct, 1);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = Table::new(Schema::new(["v"]));
+        let stats = TableStats::collect(&t);
+        let c = stats.column("v").unwrap();
+        assert_eq!(c.eq_selectivity(&Value::Int(1)), 0.0);
+        assert_eq!(c.range_selectivity(Bound::Unbounded, Bound::Unbounded), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! In-memory row tables.
+//!
+//! Tables are the unit of data exchange between every layer of the system:
+//! the shredded XML encoding, intermediate results of the stacked-plan
+//! evaluator, and the output of the physical operators of `xqjg-engine`.
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A table: a schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Create a table from a schema and pre-built rows.
+    ///
+    /// # Panics
+    /// Panics when a row's arity does not match the schema.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Self {
+        for r in &rows {
+            assert_eq!(
+                r.len(),
+                schema.len(),
+                "row arity {} does not match schema {}",
+                r.len(),
+                schema
+            );
+        }
+        Table { schema, rows }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the row's arity does not match the schema.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.len(),
+            self.schema.len(),
+            "row arity {} does not match schema {}",
+            row.len(),
+            self.schema
+        );
+        self.rows.push(row);
+    }
+
+    /// The rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable row access (used by sort operators).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Consume the table, returning its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Value at (row, column-name).
+    pub fn value(&self, row: usize, column: &str) -> &Value {
+        &self.rows[row][self.schema.expect_index(column)]
+    }
+
+    /// Project onto the named columns (in the given order), optionally
+    /// renaming: `(new_name, old_name)` pairs.
+    pub fn project(&self, columns: &[(String, String)]) -> Table {
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|(_, old)| self.schema.expect_index(old))
+            .collect();
+        let schema = Schema::new(columns.iter().map(|(new, _)| new.clone()));
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Table { schema, rows }
+    }
+
+    /// Keep only rows satisfying the predicate.
+    pub fn filter(&self, mut pred: impl FnMut(&Row, &Schema) -> bool) -> Table {
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| pred(r, &self.schema))
+            .cloned()
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Sort rows by the given columns ascending (stable).
+    pub fn sort_by_columns(&mut self, columns: &[String]) {
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.expect_index(c))
+            .collect();
+        self.rows.sort_by(|a, b| {
+            for &i in &idx {
+                let o = a[i].cmp(&b[i]);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    /// Remove duplicate rows (set semantics); preserves the first occurrence
+    /// order.
+    pub fn distinct(&self) -> Table {
+        let mut seen = std::collections::HashSet::new();
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            if seen.insert(r.clone()) {
+                rows.push(r.clone());
+            }
+        }
+        Table {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Pretty-print the table (used by examples, EXPLAIN output and tests).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.schema));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&format!("[{}]\n", cells.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(Schema::new(["iter", "item"]));
+        t.push(vec![Value::Int(1), Value::Int(10)]);
+        t.push(vec![Value::Int(1), Value::Int(12)]);
+        t.push(vec![Value::Int(2), Value::Int(10)]);
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(1, "item"), &Value::Int(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(Schema::new(["a"]));
+        t.push(vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn project_with_rename() {
+        let t = sample();
+        let p = t.project(&[("x".to_string(), "item".to_string())]);
+        assert_eq!(p.schema().columns(), &["x".to_string()]);
+        assert_eq!(p.rows()[0], vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn filter_rows() {
+        let t = sample();
+        let f = t.filter(|r, s| r[s.expect_index("iter")] == Value::Int(1));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn sort_and_distinct() {
+        let mut t = sample();
+        t.push(vec![Value::Int(1), Value::Int(10)]);
+        let d = t.distinct();
+        assert_eq!(d.len(), 3);
+        let mut s = d;
+        s.sort_by_columns(&["item".to_string(), "iter".to_string()]);
+        assert_eq!(s.rows()[0], vec![Value::Int(1), Value::Int(10)]);
+        assert_eq!(s.rows()[1], vec![Value::Int(2), Value::Int(10)]);
+    }
+
+    #[test]
+    fn render_contains_schema_and_rows() {
+        let t = sample();
+        let r = t.render();
+        assert!(r.contains("(iter, item)"));
+        assert!(r.contains("[1, 12]"));
+    }
+}

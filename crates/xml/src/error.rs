@@ -1,0 +1,43 @@
+//! Error type for XML parsing and encoding.
+
+use std::fmt;
+
+/// An error raised while parsing XML text or building the tabular encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl XmlError {
+    /// Create a new error at the given byte offset.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        XmlError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = XmlError::new(42, "unexpected '<'");
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("unexpected '<'"));
+    }
+}

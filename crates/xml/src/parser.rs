@@ -1,0 +1,499 @@
+//! A small, dependency-free XML parser.
+//!
+//! The parser covers the subset the XMark / DBLP style workloads and the
+//! paper's running examples need: elements, attributes (single or double
+//! quoted), character data with the five predefined entities plus numeric
+//! character references, comments, CDATA sections, processing instructions
+//! and an optional XML declaration / doctype line (skipped).  It rejects
+//! mismatched tags and other structural errors with byte-accurate
+//! [`XmlError`]s.
+
+use crate::error::XmlError;
+use crate::qname::is_valid_qname;
+use crate::tree::{Document, NodeId};
+
+/// Parse a complete XML document from `input`.
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut parser = Parser::new(input);
+    parser.parse()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(&mut self) -> Result<Document, XmlError> {
+        let mut doc = Document::new();
+        self.skip_prolog()?;
+        let mut stack: Vec<NodeId> = vec![Document::ROOT];
+        let mut seen_root = false;
+
+        loop {
+            self.skip_misc_whitespace(&mut doc, &stack, seen_root);
+            if self.at_end() {
+                break;
+            }
+            if self.peek_str("</") {
+                let (name, _) = self.parse_close_tag()?;
+                if stack.len() <= 1 {
+                    return Err(self.err(format!("unexpected closing tag </{name}>")));
+                }
+                let open = *stack.last().unwrap();
+                let open_name = doc.node(open).name.clone().unwrap_or_default();
+                if open_name != name {
+                    return Err(self.err(format!(
+                        "mismatched closing tag: expected </{open_name}>, found </{name}>"
+                    )));
+                }
+                stack.pop();
+            } else if self.peek_str("<!--") {
+                let text = self.parse_comment()?;
+                let parent = *stack.last().unwrap();
+                if stack.len() > 1 {
+                    doc.add_comment(parent, text);
+                }
+            } else if self.peek_str("<![CDATA[") {
+                let text = self.parse_cdata()?;
+                let parent = *stack.last().unwrap();
+                if stack.len() <= 1 {
+                    return Err(self.err("character data outside the root element"));
+                }
+                doc.add_text(parent, text);
+            } else if self.peek_str("<?") {
+                let (target, data) = self.parse_pi()?;
+                let parent = *stack.last().unwrap();
+                if stack.len() > 1 {
+                    doc.add_pi(parent, target, data);
+                }
+            } else if self.peek_str("<!") {
+                // DOCTYPE or similar declarations inside the body: skip.
+                self.skip_until('>')?;
+            } else if self.peek_byte() == Some(b'<') {
+                if stack.len() == 1 && seen_root {
+                    return Err(self.err("multiple root elements"));
+                }
+                let parent = *stack.last().unwrap();
+                let (id, self_closing) = self.parse_open_tag(&mut doc, parent)?;
+                if stack.len() == 1 {
+                    seen_root = true;
+                }
+                if !self_closing {
+                    stack.push(id);
+                }
+            } else {
+                let text = self.parse_text()?;
+                let parent = *stack.last().unwrap();
+                if stack.len() <= 1 {
+                    if !text.trim().is_empty() {
+                        return Err(self.err("character data outside the root element"));
+                    }
+                } else if !text.is_empty() {
+                    doc.add_text(parent, text);
+                }
+            }
+        }
+
+        if stack.len() > 1 {
+            let open = doc
+                .node(*stack.last().unwrap())
+                .name
+                .clone()
+                .unwrap_or_default();
+            return Err(self.err(format!("unclosed element <{open}>")));
+        }
+        if !seen_root {
+            return Err(self.err("document has no root element"));
+        }
+        Ok(doc)
+    }
+
+    // --- prolog -----------------------------------------------------------
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_whitespace();
+        if self.peek_str("<?xml") {
+            self.skip_until('>')?;
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek_str("<!DOCTYPE") || self.peek_str("<!doctype") {
+                self.skip_doctype()?;
+            } else if self.peek_str("<!--") {
+                self.parse_comment()?;
+            } else if self.peek_str("<?") && !self.peek_str("<?xml") {
+                self.parse_pi()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // Handle nested [] internal subsets.
+        let mut depth = 0usize;
+        while let Some(b) = self.peek_byte() {
+            self.pos += 1;
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated DOCTYPE declaration"))
+    }
+
+    fn skip_misc_whitespace(&mut self, _doc: &mut Document, stack: &[NodeId], _seen_root: bool) {
+        // Whitespace between top-level constructs is insignificant.
+        if stack.len() == 1 {
+            self.skip_whitespace();
+        }
+    }
+
+    // --- markup -----------------------------------------------------------
+
+    fn parse_open_tag(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+    ) -> Result<(NodeId, bool), XmlError> {
+        self.expect_byte(b'<')?;
+        let name = self.parse_name()?;
+        let id = doc.add_element(parent, name);
+        loop {
+            self.skip_whitespace();
+            match self.peek_byte() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((id, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect_byte(b'>')?;
+                    return Ok((id, true));
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect_byte(b'=')?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    doc.add_attribute(id, attr_name, value);
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    fn parse_close_tag(&mut self) -> Result<(String, ()), XmlError> {
+        self.expect_str("</")?;
+        let name = self.parse_name()?;
+        self.skip_whitespace();
+        self.expect_byte(b'>')?;
+        Ok((name, ()))
+    }
+
+    fn parse_comment(&mut self) -> Result<String, XmlError> {
+        self.expect_str("<!--")?;
+        let start = self.pos;
+        while !self.peek_str("-->") {
+            if self.at_end() {
+                return Err(self.err("unterminated comment"));
+            }
+            self.pos += 1;
+        }
+        let text = self.input[start..self.pos].to_string();
+        self.pos += 3;
+        Ok(text)
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, XmlError> {
+        self.expect_str("<![CDATA[")?;
+        let start = self.pos;
+        while !self.peek_str("]]>") {
+            if self.at_end() {
+                return Err(self.err("unterminated CDATA section"));
+            }
+            self.pos += 1;
+        }
+        let text = self.input[start..self.pos].to_string();
+        self.pos += 3;
+        Ok(text)
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), XmlError> {
+        self.expect_str("<?")?;
+        let target = self.parse_name()?;
+        let start = self.pos;
+        while !self.peek_str("?>") {
+            if self.at_end() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+            self.pos += 1;
+        }
+        let data = self.input[start..self.pos].trim().to_string();
+        self.pos += 2;
+        Ok((target, data))
+    }
+
+    fn parse_text(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek_byte() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        decode_entities(&self.input[start..self.pos], start)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek_byte() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek_byte() {
+            if b == quote {
+                let raw = &self.input[start..self.pos];
+                self.pos += 1;
+                return decode_entities(raw, start);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek_byte() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' {
+                self.pos += 1;
+            } else if !c.is_ascii() {
+                // Multi-byte character: accept it wholesale.
+                let ch = self.input[self.pos..].chars().next().unwrap();
+                self.pos += ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let name = &self.input[start..self.pos];
+        if !is_valid_qname(name) {
+            return Err(XmlError::new(start, format!("invalid name {name:?}")));
+        }
+        Ok(name.to_string())
+    }
+
+    // --- low-level helpers --------------------------------------------------
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), XmlError> {
+        if self.peek_byte() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek_byte() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, stop: char) -> Result<(), XmlError> {
+        while let Some(b) = self.peek_byte() {
+            self.pos += 1;
+            if b == stop as u8 {
+                return Ok(());
+            }
+        }
+        Err(self.err(format!("expected {stop:?} before end of input")))
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::new(self.pos, message)
+    }
+}
+
+/// Decode the five predefined entities and numeric character references.
+fn decode_entities(raw: &str, base_offset: usize) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut offset = base_offset;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        let after = &rest[i..];
+        let end = after.find(';').ok_or_else(|| {
+            XmlError::new(offset + i, "unterminated entity reference".to_string())
+        })?;
+        let entity = &after[1..end];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    XmlError::new(offset + i, format!("bad character reference &{entity};"))
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ if entity.starts_with('#') => {
+                let cp: u32 = entity[1..].parse().map_err(|_| {
+                    XmlError::new(offset + i, format!("bad character reference &{entity};"))
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            other => {
+                return Err(XmlError::new(
+                    offset + i,
+                    format!("unknown entity &{other};"),
+                ))
+            }
+        }
+        offset += i + end + 1;
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeNodeKind;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse_document("<a><b x='1'>hi</b><c/></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name.as_deref(), Some("a"));
+        assert_eq!(doc.node(root).children.len(), 2);
+        let b = doc.node(root).children[0];
+        assert_eq!(doc.node(b).attributes.len(), 1);
+        assert_eq!(doc.string_value(b), "hi");
+    }
+
+    #[test]
+    fn parses_declaration_doctype_comments() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE site SYSTEM \"auction.dtd\">\n<!-- header -->\n<site><!-- inner --><x/></site>",
+        )
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name.as_deref(), Some("site"));
+        // inner comment + element child
+        assert_eq!(doc.node(root).children.len(), 2);
+        assert_eq!(
+            doc.node(doc.node(root).children[0]).kind,
+            TreeNodeKind::Comment
+        );
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let doc = parse_document("<a t=\"&lt;&amp;&gt;\">x &#65; &quot;y&quot;</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let attr = doc.node(root).attributes[0];
+        assert_eq!(doc.node(attr).value.as_deref(), Some("<&>"));
+        assert_eq!(doc.string_value(root), "x A \"y\"");
+    }
+
+    #[test]
+    fn parses_cdata() {
+        let doc = parse_document("<a><![CDATA[1 < 2 && 3 > 2]]></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.string_value(root), "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn rejects_unclosed_element() {
+        let err = parse_document("<a><b>").unwrap_err();
+        assert!(err.message.contains("unclosed"));
+    }
+
+    #[test]
+    fn rejects_multiple_roots() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("multiple root"));
+    }
+
+    #[test]
+    fn rejects_garbage_text_at_top_level() {
+        let err = parse_document("hello <a/>").unwrap_err();
+        assert!(err.message.contains("root"));
+    }
+
+    #[test]
+    fn whitespace_only_text_at_top_level_is_fine() {
+        assert!(parse_document("  \n <a/> \n").is_ok());
+    }
+
+    #[test]
+    fn self_closing_with_attributes() {
+        let doc = parse_document("<a><item id=\"item7\" kind='used' /></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let item = doc.node(root).children[0];
+        assert_eq!(doc.node(item).attributes.len(), 2);
+    }
+
+    #[test]
+    fn processing_instruction_inside_body() {
+        let doc = parse_document("<a><?php echo 1; ?></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(
+            doc.node(doc.node(root).children[0]).kind,
+            TreeNodeKind::ProcessingInstruction
+        );
+    }
+}

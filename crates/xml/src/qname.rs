@@ -1,0 +1,82 @@
+//! Qualified-name handling.
+//!
+//! The paper's fragment only needs `QName`s without namespace resolution
+//! (XMark and DBLP data are namespace-free), so a qualified name is a plain
+//! NCName with an optional prefix kept verbatim.
+
+/// Returns `true` if `s` is a syntactically valid XML name (NCName with an
+/// optional single `:` separating prefix and local part).
+pub fn is_valid_qname(s: &str) -> bool {
+    if s.is_empty() {
+        return false;
+    }
+    let mut parts = s.split(':');
+    let first = parts.next().unwrap();
+    let rest: Vec<&str> = parts.collect();
+    if rest.len() > 1 {
+        return false;
+    }
+    if !is_ncname(first) {
+        return false;
+    }
+    if let Some(local) = rest.first() {
+        if !is_ncname(local) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` if `s` is a valid NCName (no colon).
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start_char(c) => {}
+        _ => return false,
+    }
+    chars.all(is_name_char)
+}
+
+/// First character of an XML name.
+pub fn is_name_start_char(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || (!c.is_ascii() && c.is_alphabetic())
+}
+
+/// Subsequent characters of an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+/// Splits a qualified name into `(prefix, local)`; prefix is `None` when the
+/// name has no colon.
+pub fn split_qname(s: &str) -> (Option<&str>, &str) {
+    match s.find(':') {
+        Some(i) => (Some(&s[..i]), &s[i + 1..]),
+        None => (None, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        for n in ["a", "open_auction", "closed-auction", "p.x", "_x", "ns:item"] {
+            assert!(is_valid_qname(n), "{n} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_names() {
+        for n in ["", "1a", "-a", "a:b:c", ":a", "a:"] {
+            assert!(!is_valid_qname(n), "{n} should be invalid");
+        }
+    }
+
+    #[test]
+    fn split() {
+        assert_eq!(split_qname("a:b"), (Some("a"), "b"));
+        assert_eq!(split_qname("plain"), (None, "plain"));
+    }
+}

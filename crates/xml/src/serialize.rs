@@ -1,0 +1,191 @@
+//! Serialization of query results back to XML text.
+//!
+//! The relational processor returns a sequence of `pre` ranks (the encoding
+//! of the resulting XML node sequence).  Serializing the sequence means
+//! emitting, for every result node, the full subtree below it — the paper
+//! makes this explicit by appending a `descendant-or-self::node()` step and
+//! scanning the `p|nvkls` index in `pre` order.  This module performs the
+//! same subtree scan directly over the [`DocTable`].
+
+use crate::encoding::{DocTable, NodeKind, Pre};
+
+/// Serialize a node sequence (in the given order) to XML text.
+///
+/// Adjacent result items are separated by newlines, mirroring the usual
+/// XQuery serialization of top-level sequences.
+pub fn serialize_nodes(table: &DocTable, nodes: &[Pre]) -> String {
+    let mut out = String::new();
+    for (i, &pre) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        serialize_subtree(table, pre, &mut out);
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `pre` into `out`.
+pub fn serialize_subtree(table: &DocTable, pre: Pre, out: &mut String) {
+    let row = table.row(pre);
+    match row.kind {
+        NodeKind::Document => {
+            // Serialize all children of the document root.
+            let mut p = pre.0 + 1;
+            let end = pre.0 + row.size;
+            while p <= end {
+                let child = table.row(Pre(p));
+                serialize_subtree(table, Pre(p), out);
+                p += child.size + 1;
+            }
+        }
+        NodeKind::Element => {
+            let name = row.name.as_deref().unwrap_or("unnamed");
+            out.push('<');
+            out.push_str(name);
+            // Attributes are the immediately following rows with
+            // level = row.level + 1 and kind ATTR.
+            let mut p = pre.0 + 1;
+            let end = pre.0 + row.size;
+            while p <= end {
+                let cand = table.row(Pre(p));
+                if cand.kind == NodeKind::Attribute && cand.level == row.level + 1 {
+                    out.push(' ');
+                    out.push_str(cand.name.as_deref().unwrap_or("attr"));
+                    out.push_str("=\"");
+                    push_escaped(out, cand.value.as_deref().unwrap_or(""), true);
+                    out.push('"');
+                    p += 1;
+                } else {
+                    break;
+                }
+            }
+            if p > end {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            while p <= end {
+                let child = table.row(Pre(p));
+                serialize_subtree(table, Pre(p), out);
+                p += child.size + 1;
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Attribute => {
+            // A bare attribute in a sequence serializes as name="value".
+            out.push_str(row.name.as_deref().unwrap_or("attr"));
+            out.push_str("=\"");
+            push_escaped(out, row.value.as_deref().unwrap_or(""), true);
+            out.push('"');
+        }
+        NodeKind::Text => {
+            push_escaped(out, row.value.as_deref().unwrap_or(""), false);
+        }
+        NodeKind::Comment => {
+            out.push_str("<!--");
+            out.push_str(row.value.as_deref().unwrap_or(""));
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction => {
+            out.push_str("<?");
+            out.push_str(row.name.as_deref().unwrap_or(""));
+            if let Some(v) = row.value.as_deref() {
+                if !v.is_empty() {
+                    out.push(' ');
+                    out.push_str(v);
+                }
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Count the nodes delivered by serialization of the given result sequence —
+/// i.e. the size of the `descendant-or-self::node()` closure.  Table IX's
+/// "# nodes" column reports exactly this quantity.
+pub fn serialized_node_count(table: &DocTable, nodes: &[Pre]) -> usize {
+    nodes
+        .iter()
+        .map(|&p| table.row(p).size as usize + 1)
+        .sum()
+}
+
+fn push_escaped(out: &mut String, s: &str, in_attribute: bool) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn table(xml: &str) -> DocTable {
+        DocTable::from_document("t.xml", &parse_document(xml).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_simple_document() {
+        let xml = "<a x=\"1\"><b>hi</b><c/></a>";
+        let t = table(xml);
+        let rendered = serialize_nodes(&t, &[Pre(0)]);
+        assert_eq!(rendered, xml);
+    }
+
+    #[test]
+    fn roundtrip_paper_example() {
+        let xml = r#"<open_auction id="1"><initial>15</initial><bidder><time>18:43</time><increase>4.20</increase></bidder></open_auction>"#;
+        let t = table(xml);
+        assert_eq!(serialize_nodes(&t, &[Pre(1)]), xml);
+    }
+
+    #[test]
+    fn serialize_inner_nodes_and_text() {
+        let t = table("<a><b>x &amp; y</b></a>");
+        let b = Pre(2);
+        assert_eq!(serialize_nodes(&t, &[b]), "<b>x &amp; y</b>");
+        let text = Pre(3);
+        assert_eq!(serialize_nodes(&t, &[text]), "x &amp; y");
+    }
+
+    #[test]
+    fn serialize_attribute_node() {
+        let t = table("<a id=\"7\"/>");
+        assert_eq!(serialize_nodes(&t, &[Pre(2)]), "id=\"7\"");
+    }
+
+    #[test]
+    fn sequence_items_newline_separated() {
+        let t = table("<a><b>1</b><b>2</b></a>");
+        let out = serialize_nodes(&t, &[Pre(2), Pre(4)]);
+        assert_eq!(out, "<b>1</b>\n<b>2</b>");
+    }
+
+    #[test]
+    fn node_count_matches_subtree_sizes() {
+        let t = table("<a><b>1</b><b>2</b></a>");
+        assert_eq!(serialized_node_count(&t, &[Pre(1)]), 5);
+        assert_eq!(serialized_node_count(&t, &[Pre(2), Pre(4)]), 4);
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let xml = "<site><people><person id=\"person0\"><name>Jo</name></person></people></site>";
+        let t = table(xml);
+        let rendered = serialize_nodes(&t, &[Pre(0)]);
+        let t2 = table(&rendered);
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.rows().zip(t2.rows()) {
+            assert_eq!((a.kind, &a.name, &a.value), (b.kind, &b.name, &b.value));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Abstract syntax of the supported XQuery fragment.
+//!
+//! The grammar is the fragment of Fig. 1 extended — as the paper itself does
+//! for Query Q2 and the TurboXPath query set of Table VIII — with `let`
+//! bindings, `where` clauses (desugared by the parser), path predicates
+//! `e[p]`, general comparisons between two path expressions, `and`/`or`, and
+//! comma sequences in `return` clauses.
+
+use xqjg_xml::{Axis, NodeTest};
+
+/// Literals appearing in general comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A string literal.
+    String(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A decimal literal.
+    Decimal(f64),
+}
+
+impl Literal {
+    /// The literal as an untyped string (used for string-valued comparison).
+    pub fn as_string(&self) -> String {
+        match self {
+            Literal::String(s) => s.clone(),
+            Literal::Integer(i) => i.to_string(),
+            Literal::Decimal(d) => d.to_string(),
+        }
+    }
+
+    /// The literal as a decimal, when it is numeric.
+    pub fn as_decimal(&self) -> Option<f64> {
+        match self {
+            Literal::String(_) => None,
+            Literal::Integer(i) => Some(*i as f64),
+            Literal::Decimal(d) => Some(*d),
+        }
+    }
+}
+
+/// General comparison operators (`GeneralComp` in Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GenCmp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl GenCmp {
+    /// Surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            GenCmp::Eq => "=",
+            GenCmp::Ne => "!=",
+            GenCmp::Lt => "<",
+            GenCmp::Le => "<=",
+            GenCmp::Gt => ">",
+            GenCmp::Ge => ">=",
+        }
+    }
+
+    /// Apply the comparison to an ordering.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            GenCmp::Eq => ord == Equal,
+            GenCmp::Ne => ord != Equal,
+            GenCmp::Lt => ord == Less,
+            GenCmp::Le => ord != Greater,
+            GenCmp::Gt => ord == Greater,
+            GenCmp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A surface-syntax XQuery expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `for $var in seq return body`
+    For {
+        /// Bound variable (without the `$`).
+        var: String,
+        /// The iterated sequence.
+        seq: Box<Expr>,
+        /// The loop body.
+        body: Box<Expr>,
+    },
+    /// `let $var := value return body`
+    Let {
+        /// Bound variable (without the `$`).
+        var: String,
+        /// The bound expression.
+        value: Box<Expr>,
+        /// The in-scope body.
+        body: Box<Expr>,
+    },
+    /// `if (cond) then then_branch else else_branch`
+    If {
+        /// Condition (its effective boolean value is taken).
+        cond: Box<Expr>,
+        /// The `then` branch.
+        then: Box<Expr>,
+        /// The `else` branch (the fragment requires `()`).
+        else_: Box<Expr>,
+    },
+    /// `$var`
+    Var(String),
+    /// `doc("uri")`
+    Doc(String),
+    /// `/` — the root of the context document.
+    Root,
+    /// `.` — the context item.
+    ContextItem,
+    /// `input / axis::test`
+    Step {
+        /// The step's context expression.
+        input: Box<Expr>,
+        /// The axis.
+        axis: Axis,
+        /// The node test.
+        test: NodeTest,
+    },
+    /// `input[pred]`
+    Filter {
+        /// The filtered expression.
+        input: Box<Expr>,
+        /// The predicate (relative paths are rooted at the context item).
+        pred: Box<Expr>,
+    },
+    /// `lhs op rhs` — general comparison.
+    Compare {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator.
+        op: GenCmp,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `a and b`
+    And(Box<Expr>, Box<Expr>),
+    /// `a or b`
+    Or(Box<Expr>, Box<Expr>),
+    /// A literal.
+    Literal(Literal),
+    /// `e1, e2, …` — a comma sequence.
+    Sequence(Vec<Expr>),
+    /// `()` — the empty sequence.
+    Empty,
+}
+
+impl Expr {
+    /// Convenience constructor for a child step.
+    pub fn child(self, name: &str) -> Expr {
+        Expr::Step {
+            input: Box::new(self),
+            axis: Axis::Child,
+            test: NodeTest::name(name),
+        }
+    }
+
+    /// Convenience constructor for a descendant step.
+    pub fn descendant(self, name: &str) -> Expr {
+        Expr::Step {
+            input: Box::new(self),
+            axis: Axis::Descendant,
+            test: NodeTest::name(name),
+        }
+    }
+
+    /// Convenience constructor for an attribute step.
+    pub fn attribute(self, name: &str) -> Expr {
+        Expr::Step {
+            input: Box::new(self),
+            axis: Axis::Attribute,
+            test: NodeTest::name(name),
+        }
+    }
+
+    /// Free variables of the expression (variables used but not bound).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.free_vars_rec(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn free_vars_rec(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::For { var, seq, body } | Expr::Let { var, value: seq, body } => {
+                seq.free_vars_rec(bound, out);
+                bound.push(var.clone());
+                body.free_vars_rec(bound, out);
+                bound.pop();
+            }
+            Expr::If { cond, then, else_ } => {
+                cond.free_vars_rec(bound, out);
+                then.free_vars_rec(bound, out);
+                else_.free_vars_rec(bound, out);
+            }
+            Expr::Step { input, .. } => input.free_vars_rec(bound, out),
+            Expr::Filter { input, pred } => {
+                input.free_vars_rec(bound, out);
+                pred.free_vars_rec(bound, out);
+            }
+            Expr::Compare { lhs, rhs, .. } => {
+                lhs.free_vars_rec(bound, out);
+                rhs.free_vars_rec(bound, out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.free_vars_rec(bound, out);
+                b.free_vars_rec(bound, out);
+            }
+            Expr::Sequence(es) => {
+                for e in es {
+                    e.free_vars_rec(bound, out);
+                }
+            }
+            Expr::Doc(_)
+            | Expr::Root
+            | Expr::ContextItem
+            | Expr::Literal(_)
+            | Expr::Empty => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_views() {
+        assert_eq!(Literal::Integer(5).as_string(), "5");
+        assert_eq!(Literal::Integer(5).as_decimal(), Some(5.0));
+        assert_eq!(Literal::String("x".into()).as_decimal(), None);
+        assert_eq!(Literal::Decimal(1.5).as_string(), "1.5");
+    }
+
+    #[test]
+    fn gencmp_eval() {
+        use std::cmp::Ordering::*;
+        assert!(GenCmp::Le.eval(Equal));
+        assert!(GenCmp::Gt.eval(Greater));
+        assert!(!GenCmp::Eq.eval(Less));
+        assert_eq!(GenCmp::Ne.symbol(), "!=");
+    }
+
+    #[test]
+    fn free_variables() {
+        // for $x in $a//b return $x/c   — free: $a
+        let e = Expr::For {
+            var: "x".into(),
+            seq: Box::new(Expr::Var("a".into()).descendant("b")),
+            body: Box::new(Expr::Var("x".into()).child("c")),
+        };
+        assert_eq!(e.free_vars(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let e = Expr::Doc("d.xml".into()).descendant("item").attribute("id");
+        match e {
+            Expr::Step { axis, .. } => assert_eq!(axis, Axis::Attribute),
+            _ => panic!("expected step"),
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Reference interpreter for X Query Core.
+//!
+//! A straightforward environment-passing, node-at-a-time evaluator over the
+//! tabular encoding.  It exists purely as the *correctness oracle*: the
+//! loop-lifted algebra plans (stacked or isolated) and the navigational
+//! pureXML-style baseline must all produce the same node sequences as this
+//! interpreter.
+
+use crate::ast::{GenCmp, Literal};
+use crate::normalize::{Condition, CoreExpr, Operand};
+use std::collections::HashMap;
+use std::fmt;
+use xqjg_xml::axis::step;
+use xqjg_xml::encoding::parse_decimal;
+use xqjg_xml::{DocTable, Pre};
+
+/// Interpreter error (unbound variables, unknown documents, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description.
+    pub message: String,
+}
+
+impl InterpError {
+    fn new(message: impl Into<String>) -> Self {
+        InterpError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Evaluate a Core expression against the documents loaded in `doc`,
+/// returning the resulting node sequence (as `pre` ranks, in sequence
+/// order).
+pub fn evaluate(expr: &CoreExpr, doc: &DocTable) -> Result<Vec<Pre>, InterpError> {
+    let mut env: HashMap<String, Vec<Pre>> = HashMap::new();
+    eval(expr, doc, &mut env)
+}
+
+/// Evaluate with a pre-populated variable environment (used by the
+/// navigational pureXML-style baseline to bind its segment roots).
+pub fn evaluate_with_env(
+    expr: &CoreExpr,
+    doc: &DocTable,
+    env: &mut HashMap<String, Vec<Pre>>,
+) -> Result<Vec<Pre>, InterpError> {
+    eval(expr, doc, env)
+}
+
+fn eval(
+    expr: &CoreExpr,
+    doc: &DocTable,
+    env: &mut HashMap<String, Vec<Pre>>,
+) -> Result<Vec<Pre>, InterpError> {
+    match expr {
+        CoreExpr::Empty => Ok(vec![]),
+        CoreExpr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| InterpError::new(format!("unbound variable ${v}"))),
+        CoreExpr::Doc(uri) => {
+            let root = doc
+                .document_root(uri)
+                .ok_or_else(|| InterpError::new(format!("unknown document {uri:?}")))?;
+            Ok(vec![root])
+        }
+        CoreExpr::Ddo(e) => {
+            let mut nodes = eval(e, doc, env)?;
+            nodes.sort();
+            nodes.dedup();
+            Ok(nodes)
+        }
+        CoreExpr::Step { input, axis, test } => {
+            let ctx = eval(input, doc, env)?;
+            Ok(step(doc, &ctx, *axis, test))
+        }
+        CoreExpr::For { var, seq, body } => {
+            let items = eval(seq, doc, env)?;
+            let mut out = Vec::new();
+            let shadowed = env.get(var).cloned();
+            for item in items {
+                env.insert(var.clone(), vec![item]);
+                out.extend(eval(body, doc, env)?);
+            }
+            restore(env, var, shadowed);
+            Ok(out)
+        }
+        CoreExpr::Let { var, value, body } => {
+            let bound = eval(value, doc, env)?;
+            let shadowed = env.insert(var.clone(), bound);
+            let result = eval(body, doc, env)?;
+            restore(env, var, shadowed);
+            result_ok(result)
+        }
+        CoreExpr::If { cond, then } => {
+            if eval_condition(cond, doc, env)? {
+                eval(then, doc, env)
+            } else {
+                Ok(vec![])
+            }
+        }
+        CoreExpr::Seq(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                out.extend(eval(item, doc, env)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn result_ok(v: Vec<Pre>) -> Result<Vec<Pre>, InterpError> {
+    Ok(v)
+}
+
+fn restore(env: &mut HashMap<String, Vec<Pre>>, var: &str, shadowed: Option<Vec<Pre>>) {
+    match shadowed {
+        Some(old) => {
+            env.insert(var.to_string(), old);
+        }
+        None => {
+            env.remove(var);
+        }
+    }
+}
+
+/// Evaluate `fn:boolean(cond)`.
+pub fn eval_condition(
+    cond: &Condition,
+    doc: &DocTable,
+    env: &mut HashMap<String, Vec<Pre>>,
+) -> Result<bool, InterpError> {
+    match cond {
+        Condition::Exists(e) => Ok(!eval(e, doc, env)?.is_empty()),
+        Condition::Compare { lhs, op, rhs } => {
+            let left = atomize(lhs, doc, env)?;
+            let right = atomize(rhs, doc, env)?;
+            // General comparisons are existentially quantified.
+            for l in &left {
+                for r in &right {
+                    if compare_atoms(l, *op, r) {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// An atomized item: the untyped string value plus its decimal cast, when
+/// that cast succeeds (mirrors the `value` / `data` column pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Untyped string value.
+    pub string: String,
+    /// Decimal value, when the string parses as `xs:decimal`.
+    pub decimal: Option<f64>,
+    /// Whether the atom came from a literal that was written as a number.
+    pub numeric_literal: bool,
+}
+
+fn atomize(
+    op: &Operand,
+    doc: &DocTable,
+    env: &mut HashMap<String, Vec<Pre>>,
+) -> Result<Vec<Atom>, InterpError> {
+    match op {
+        Operand::Literal(Literal::String(s)) => Ok(vec![Atom {
+            string: s.clone(),
+            decimal: parse_decimal(s),
+            numeric_literal: false,
+        }]),
+        Operand::Literal(Literal::Integer(i)) => Ok(vec![Atom {
+            string: i.to_string(),
+            decimal: Some(*i as f64),
+            numeric_literal: true,
+        }]),
+        Operand::Literal(Literal::Decimal(d)) => Ok(vec![Atom {
+            string: d.to_string(),
+            decimal: Some(*d),
+            numeric_literal: true,
+        }]),
+        Operand::Nodes(e) => {
+            let nodes = eval(e, doc, env)?;
+            Ok(nodes
+                .into_iter()
+                .map(|p| {
+                    let s = doc.string_value(p);
+                    let d = doc.decimal_value(p);
+                    Atom {
+                        string: s,
+                        decimal: d,
+                        numeric_literal: false,
+                    }
+                })
+                .collect())
+        }
+    }
+}
+
+/// Compare two atoms under the untyped-data rules the relational plan uses:
+/// if either side is a numeric literal (or both have decimal values and one
+/// side was written as a number), compare numerically via the `data` image;
+/// otherwise compare the untyped string values.
+pub fn compare_atoms(l: &Atom, op: GenCmp, r: &Atom) -> bool {
+    let numeric = l.numeric_literal || r.numeric_literal;
+    if numeric {
+        match (l.decimal, r.decimal) {
+            (Some(a), Some(b)) => op.eval(a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)),
+            _ => false,
+        }
+    } else {
+        op.eval(l.string.cmp(&r.string))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parser::parse;
+    use xqjg_xml::parse_document;
+
+    fn auction_doc() -> DocTable {
+        let xml = r#"<site>
+            <open_auctions>
+              <open_auction id="a1"><initial>10</initial><bidder><increase>5</increase></bidder></open_auction>
+              <open_auction id="a2"><initial>20</initial></open_auction>
+              <open_auction id="a3"><initial>7</initial><bidder><increase>1</increase></bidder><bidder><increase>2</increase></bidder></open_auction>
+            </open_auctions>
+            <closed_auctions>
+              <closed_auction><price>600</price><itemref item="i1"/></closed_auction>
+              <closed_auction><price>100</price><itemref item="i2"/></closed_auction>
+            </closed_auctions>
+            <items>
+              <item id="i1"><name>bike</name></item>
+              <item id="i2"><name>car</name></item>
+            </items>
+          </site>"#;
+        DocTable::from_document("auction.xml", &parse_document(xml).unwrap())
+    }
+
+    fn run(q: &str, doc: &DocTable) -> Vec<Pre> {
+        let ast = parse(q).unwrap();
+        let core = normalize(&ast, Some("auction.xml")).unwrap();
+        evaluate(&core, doc).unwrap()
+    }
+
+    #[test]
+    fn q1_like_filter() {
+        let doc = auction_doc();
+        let result = run(
+            r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+            &doc,
+        );
+        // a1 and a3 have bidder children.
+        assert_eq!(result.len(), 2);
+        for p in &result {
+            assert_eq!(doc.row(*p).name.as_deref(), Some("open_auction"));
+        }
+    }
+
+    #[test]
+    fn numeric_comparison_predicate() {
+        let doc = auction_doc();
+        let expensive = run(r#"//closed_auction[price > 500]"#, &doc);
+        assert_eq!(expensive.len(), 1);
+        let cheap = run(r#"//closed_auction[price > 5000]"#, &doc);
+        assert!(cheap.is_empty());
+    }
+
+    #[test]
+    fn attribute_value_join() {
+        let doc = auction_doc();
+        let q = r#"
+            for $ca in //closed_auction[price > 500], $i in //item
+            where $ca/itemref/@item = $i/@id
+            return $i/name
+        "#;
+        let result = run(q, &doc);
+        assert_eq!(result.len(), 1);
+        assert_eq!(doc.string_value(result[0]), "bike");
+    }
+
+    #[test]
+    fn string_comparison_on_attribute() {
+        let doc = auction_doc();
+        let result = run(r#"//open_auction[@id = "a2"]/initial"#, &doc);
+        assert_eq!(result.len(), 1);
+        assert_eq!(doc.string_value(result[0]), "20");
+    }
+
+    #[test]
+    fn for_loop_preserves_iteration_order_and_duplicates() {
+        let doc = auction_doc();
+        // Each open_auction contributes its bidders; a3 has two.
+        let result = run(r#"for $a in //open_auction return $a/bidder/increase"#, &doc);
+        assert_eq!(result.len(), 3);
+        // Document order within each iteration, iterations in sequence order.
+        let values: Vec<String> = result.iter().map(|p| doc.string_value(*p)).collect();
+        assert_eq!(values, vec!["5", "1", "2"]);
+    }
+
+    #[test]
+    fn let_binding_and_sequences() {
+        let doc = auction_doc();
+        let q = r#"
+            let $as := //open_auction[bidder]
+            for $a in $as return ($a/initial, $a/bidder/increase)
+        "#;
+        let result = run(q, &doc);
+        // a1: initial + 1 increase; a3: initial + 2 increases => 5 nodes.
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn text_step() {
+        let doc = auction_doc();
+        let result = run(r#"//item/name/text()"#, &doc);
+        assert_eq!(result.len(), 2);
+        let values: Vec<String> = result.iter().map(|p| doc.string_value(*p)).collect();
+        assert_eq!(values, vec!["bike", "car"]);
+    }
+
+    #[test]
+    fn unknown_document_and_unbound_variable_error() {
+        let doc = auction_doc();
+        let ast = parse(r#"doc("missing.xml")/a"#).unwrap();
+        let core = normalize(&ast, None).unwrap();
+        assert!(evaluate(&core, &doc).is_err());
+        let core2 = CoreExpr::Var("nope".to_string());
+        assert!(evaluate(&core2, &doc).is_err());
+    }
+
+    #[test]
+    fn string_vs_numeric_comparison_rules() {
+        let a = Atom {
+            string: "100".into(),
+            decimal: Some(100.0),
+            numeric_literal: false,
+        };
+        let lit500 = Atom {
+            string: "500".into(),
+            decimal: Some(500.0),
+            numeric_literal: true,
+        };
+        // Numeric literal forces numeric comparison: 100 < 500.
+        assert!(compare_atoms(&a, GenCmp::Lt, &lit500));
+        // Pure string comparison: "100" < "500" lexicographically too...
+        let lit_str = Atom {
+            string: "500".into(),
+            decimal: Some(500.0),
+            numeric_literal: false,
+        };
+        assert!(compare_atoms(&a, GenCmp::Lt, &lit_str));
+        // ...but "9" > "10" as strings, numeric says otherwise.
+        let nine = Atom {
+            string: "9".into(),
+            decimal: Some(9.0),
+            numeric_literal: false,
+        };
+        let ten_str = Atom {
+            string: "10".into(),
+            decimal: Some(10.0),
+            numeric_literal: false,
+        };
+        assert!(compare_atoms(&nine, GenCmp::Gt, &ten_str));
+        let ten_num = Atom {
+            string: "10".into(),
+            decimal: Some(10.0),
+            numeric_literal: true,
+        };
+        assert!(compare_atoms(&nine, GenCmp::Lt, &ten_num));
+    }
+}

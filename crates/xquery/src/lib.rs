@@ -1,0 +1,47 @@
+//! XQuery front end: lexer, parser, X Query Core normalization and a
+//! reference interpreter.
+//!
+//! The supported language is the data-bound "workhorse" fragment of Fig. 1
+//! (nested `for` loops over node sequences, the full axis feature, kind and
+//! name tests, conditionals with empty `else`) extended with `let`, `where`,
+//! path predicates, general comparisons between paths, `and`, and comma
+//! sequences — the extensions the paper itself uses for Q2 and the
+//! TurboXPath query set (Table VIII).
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{Expr, GenCmp, Literal};
+pub use interp::{evaluate as interpret, InterpError};
+pub use lexer::{tokenize, ParseError, Token};
+pub use normalize::{normalize, Condition, CoreExpr, NormalizeError, Operand};
+pub use parser::parse;
+
+/// Parse and normalize a query in one call.
+pub fn parse_and_normalize(
+    query: &str,
+    default_doc: Option<&str>,
+) -> Result<CoreExpr, Box<dyn std::error::Error>> {
+    let ast = parse(query)?;
+    Ok(normalize(&ast, default_doc)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_normalize_roundtrip() {
+        let core = parse_and_normalize("//a[b]", Some("d.xml")).unwrap();
+        assert!(core.render().contains("doc(\"d.xml\")"));
+    }
+
+    #[test]
+    fn parse_and_normalize_propagates_errors() {
+        assert!(parse_and_normalize("for $x in", None).is_err());
+        assert!(parse_and_normalize("/a", None).is_err());
+    }
+}

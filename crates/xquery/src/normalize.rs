@@ -1,0 +1,404 @@
+//! XQuery Core normalization.
+//!
+//! The loop-lifting compilation rules (Fig. 13) expect their input *after*
+//! X Query Core normalization: duplicate removal and document ordering after
+//! location steps is explicit (`fs:ddo`), effective boolean values in
+//! conditionals are explicit (`fn:boolean`), path predicates `e[p]` are
+//! desugared into `for`/`if`, and `where` clauses into `if` (the parser
+//! already performs the latter).  This module performs that normalization,
+//! producing the [`CoreExpr`] dialect the compiler and the reference
+//! interpreter share.
+
+use crate::ast::{Expr, GenCmp, Literal};
+use std::fmt;
+use xqjg_xml::{Axis, NodeTest};
+
+/// Normalization error (unsupported construct or missing context).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizeError {
+    /// Description of the offending construct.
+    pub message: String,
+}
+
+impl NormalizeError {
+    fn new(message: impl Into<String>) -> Self {
+        NormalizeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "normalization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// A comparison operand: a node-sequence expression (atomized at comparison
+/// time) or a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A node-valued expression; the comparison atomizes its items.
+    Nodes(CoreExpr),
+    /// A literal.
+    Literal(Literal),
+}
+
+/// A normalized conditional: the argument of `fn:boolean(·)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Effective boolean value of a node sequence (non-emptiness).
+    Exists(CoreExpr),
+    /// A general (existentially quantified) comparison.
+    Compare {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: GenCmp,
+        /// Right operand.
+        rhs: Operand,
+    },
+}
+
+/// An X Query Core expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreExpr {
+    /// `for $var in seq return body`
+    For {
+        /// Bound variable.
+        var: String,
+        /// Iterated sequence.
+        seq: Box<CoreExpr>,
+        /// Loop body.
+        body: Box<CoreExpr>,
+    },
+    /// `let $var := value return body`
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Bound value.
+        value: Box<CoreExpr>,
+        /// Body.
+        body: Box<CoreExpr>,
+    },
+    /// Variable reference.
+    Var(String),
+    /// `doc("uri")`
+    Doc(String),
+    /// `fs:ddo(e)` — distinct document order.
+    Ddo(Box<CoreExpr>),
+    /// A location step.
+    Step {
+        /// Context expression.
+        input: Box<CoreExpr>,
+        /// Axis.
+        axis: Axis,
+        /// Node test.
+        test: NodeTest,
+    },
+    /// `if (fn:boolean(cond)) then then_branch else ()`
+    If {
+        /// Condition.
+        cond: Box<Condition>,
+        /// Then branch.
+        then: Box<CoreExpr>,
+    },
+    /// A sequence of expressions (only meaningful directly under a `return`;
+    /// the relational pipeline decomposes it into one query per item).
+    Seq(Vec<CoreExpr>),
+    /// The empty sequence `()`.
+    Empty,
+}
+
+impl CoreExpr {
+    /// Render the Core expression in XQuery-like concrete syntax (useful in
+    /// error messages, tests and the figure harness).
+    pub fn render(&self) -> String {
+        match self {
+            CoreExpr::For { var, seq, body } => {
+                format!("for ${var} in {} return {}", seq.render(), body.render())
+            }
+            CoreExpr::Let { var, value, body } => {
+                format!("let ${var} := {} return {}", value.render(), body.render())
+            }
+            CoreExpr::Var(v) => format!("${v}"),
+            CoreExpr::Doc(uri) => format!("doc(\"{uri}\")"),
+            CoreExpr::Ddo(e) => format!("fs:ddo({})", e.render()),
+            CoreExpr::Step { input, axis, test } => {
+                format!("{}/{}::{}", input.render(), axis.name(), test.render())
+            }
+            CoreExpr::If { cond, then } => format!(
+                "if (fn:boolean({})) then {} else ()",
+                cond.render(),
+                then.render()
+            ),
+            CoreExpr::Seq(items) => {
+                let parts: Vec<String> = items.iter().map(|e| e.render()).collect();
+                format!("({})", parts.join(", "))
+            }
+            CoreExpr::Empty => "()".to_string(),
+        }
+    }
+}
+
+impl Condition {
+    /// Concrete-syntax rendering.
+    pub fn render(&self) -> String {
+        match self {
+            Condition::Exists(e) => e.render(),
+            Condition::Compare { lhs, op, rhs } => {
+                format!("{} {} {}", lhs.render(), op.symbol(), rhs.render())
+            }
+        }
+    }
+}
+
+impl Operand {
+    /// Concrete-syntax rendering.
+    pub fn render(&self) -> String {
+        match self {
+            Operand::Nodes(e) => e.render(),
+            Operand::Literal(Literal::String(s)) => format!("\"{s}\""),
+            Operand::Literal(Literal::Integer(i)) => i.to_string(),
+            Operand::Literal(Literal::Decimal(d)) => d.to_string(),
+        }
+    }
+}
+
+/// Normalization context.
+struct Ctx<'a> {
+    /// URI substituted for absolute paths (`/…`).
+    default_doc: Option<&'a str>,
+    /// The variable the current predicate's context item refers to.
+    context_var: Option<String>,
+    /// Counter for fresh variables introduced by predicate desugaring.
+    fresh: usize,
+}
+
+impl<'a> Ctx<'a> {
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        format!("#p{}", self.fresh)
+    }
+}
+
+/// Normalize a surface expression into X Query Core.
+///
+/// `default_doc` supplies the document URI that absolute paths (`/site/…`)
+/// refer to; queries without absolute paths may pass `None`.
+pub fn normalize(expr: &Expr, default_doc: Option<&str>) -> Result<CoreExpr, NormalizeError> {
+    let mut ctx = Ctx {
+        default_doc,
+        context_var: None,
+        fresh: 0,
+    };
+    normalize_value(expr, &mut ctx)
+}
+
+/// Normalize in a value position: path expressions receive a trailing
+/// `fs:ddo(·)`.
+fn normalize_value(expr: &Expr, ctx: &mut Ctx<'_>) -> Result<CoreExpr, NormalizeError> {
+    let core = normalize_inner(expr, ctx)?;
+    Ok(match core {
+        CoreExpr::Step { .. } => CoreExpr::Ddo(Box::new(core)),
+        other => other,
+    })
+}
+
+fn normalize_inner(expr: &Expr, ctx: &mut Ctx<'_>) -> Result<CoreExpr, NormalizeError> {
+    match expr {
+        Expr::For { var, seq, body } => Ok(CoreExpr::For {
+            var: var.clone(),
+            seq: Box::new(normalize_value(seq, ctx)?),
+            body: Box::new(normalize_value(body, ctx)?),
+        }),
+        Expr::Let { var, value, body } => Ok(CoreExpr::Let {
+            var: var.clone(),
+            value: Box::new(normalize_value(value, ctx)?),
+            body: Box::new(normalize_value(body, ctx)?),
+        }),
+        Expr::Var(v) => Ok(CoreExpr::Var(v.clone())),
+        Expr::Doc(uri) => Ok(CoreExpr::Doc(uri.clone())),
+        Expr::Root => match ctx.default_doc {
+            Some(uri) => Ok(CoreExpr::Doc(uri.to_string())),
+            None => Err(NormalizeError::new(
+                "absolute path used but no context document was supplied",
+            )),
+        },
+        Expr::ContextItem => match &ctx.context_var {
+            Some(v) => Ok(CoreExpr::Var(v.clone())),
+            None => Err(NormalizeError::new(
+                "context item '.' used outside a predicate",
+            )),
+        },
+        Expr::Step { input, axis, test } => Ok(CoreExpr::Step {
+            input: Box::new(normalize_inner(input, ctx)?),
+            axis: *axis,
+            test: test.clone(),
+        }),
+        Expr::Filter { input, pred } => {
+            // e[p]  ≡  for $fresh in fs:ddo(e)
+            //          return if (fn:boolean(p[. := $fresh])) then $fresh else ()
+            let fresh = ctx.fresh_var();
+            let seq = normalize_value(input, ctx)?;
+            let saved = ctx.context_var.replace(fresh.clone());
+            let body = normalize_condition_to_if(pred, CoreExpr::Var(fresh.clone()), ctx)?;
+            ctx.context_var = saved;
+            Ok(CoreExpr::For {
+                var: fresh,
+                seq: Box::new(seq),
+                body: Box::new(body),
+            })
+        }
+        Expr::If { cond, then, else_ } => {
+            if **else_ != Expr::Empty {
+                return Err(NormalizeError::new(
+                    "the fragment only supports conditionals whose else branch is ()",
+                ));
+            }
+            let then_core = normalize_value(then, ctx)?;
+            normalize_condition_to_if(cond, then_core, ctx)
+        }
+        Expr::Sequence(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(normalize_value(item, ctx)?);
+            }
+            Ok(CoreExpr::Seq(out))
+        }
+        Expr::Empty => Ok(CoreExpr::Empty),
+        Expr::Literal(_) => Err(NormalizeError::new(
+            "literals may only appear as general-comparison operands in this fragment",
+        )),
+        Expr::Compare { .. } | Expr::And(_, _) | Expr::Or(_, _) => Err(NormalizeError::new(
+            "boolean expressions may only appear in conditional/predicate positions",
+        )),
+    }
+}
+
+/// Normalize a boolean expression `cond` guarding `then` into (possibly
+/// nested) `if` expressions: `if (a and b) then e` becomes
+/// `if (a) then (if (b) then e else ()) else ()`.
+fn normalize_condition_to_if(
+    cond: &Expr,
+    then: CoreExpr,
+    ctx: &mut Ctx<'_>,
+) -> Result<CoreExpr, NormalizeError> {
+    match cond {
+        Expr::And(a, b) => {
+            let inner = normalize_condition_to_if(b, then, ctx)?;
+            normalize_condition_to_if(a, inner, ctx)
+        }
+        Expr::Or(_, _) => Err(NormalizeError::new(
+            "general 'or' conditions are outside the supported fragment",
+        )),
+        other => {
+            let condition = normalize_condition(other, ctx)?;
+            Ok(CoreExpr::If {
+                cond: Box::new(condition),
+                then: Box::new(then),
+            })
+        }
+    }
+}
+
+fn normalize_condition(cond: &Expr, ctx: &mut Ctx<'_>) -> Result<Condition, NormalizeError> {
+    match cond {
+        Expr::Compare { lhs, op, rhs } => Ok(Condition::Compare {
+            lhs: normalize_operand(lhs, ctx)?,
+            op: *op,
+            rhs: normalize_operand(rhs, ctx)?,
+        }),
+        other => Ok(Condition::Exists(normalize_value(other, ctx)?)),
+    }
+}
+
+fn normalize_operand(e: &Expr, ctx: &mut Ctx<'_>) -> Result<Operand, NormalizeError> {
+    match e {
+        Expr::Literal(l) => Ok(Operand::Literal(l.clone())),
+        other => Ok(Operand::Nodes(normalize_value(other, ctx)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn q1_normalizes_to_paper_core_form() {
+        let q1 = parse(r#"doc("auction.xml")/descendant::open_auction[bidder]"#).unwrap();
+        let core = normalize(&q1, None).unwrap();
+        let rendered = core.render();
+        // Paper, Section II-D: for $x in fs:ddo(doc(...)/descendant::open_auction)
+        //   return if (fn:boolean(fs:ddo($x/child::bidder))) then $x else ()
+        assert!(rendered.starts_with("for $#p1 in fs:ddo(doc(\"auction.xml\")/descendant::open_auction)"));
+        assert!(rendered.contains("if (fn:boolean(fs:ddo($#p1/child::bidder)))"));
+        assert!(rendered.ends_with("then $#p1 else ()"));
+    }
+
+    #[test]
+    fn predicate_conjunction_becomes_nested_ifs() {
+        let q = parse(r#"/dblp/phdthesis[year < "1994" and author and title]"#).unwrap();
+        let core = normalize(&q, Some("dblp.xml")).unwrap();
+        let rendered = core.render();
+        assert_eq!(rendered.matches("if (fn:boolean(").count(), 3);
+        assert!(rendered.contains("< \"1994\""));
+        assert!(rendered.contains("doc(\"dblp.xml\")"));
+    }
+
+    #[test]
+    fn absolute_path_without_default_doc_fails() {
+        let q = parse("/site/people").unwrap();
+        let err = normalize(&q, None).unwrap_err();
+        assert!(err.message.contains("context document"));
+    }
+
+    #[test]
+    fn or_is_rejected() {
+        let q = parse("$x[a or b]").unwrap();
+        assert!(normalize(&q, None).is_err());
+    }
+
+    #[test]
+    fn where_desugaring_flows_through() {
+        let q = parse(
+            r#"for $i in doc("d.xml")//item where $i/@id = "i0" return $i/name"#,
+        )
+        .unwrap();
+        let core = normalize(&q, None).unwrap();
+        let rendered = core.render();
+        assert!(rendered.contains("if (fn:boolean(fs:ddo($i/attribute::id) = \"i0\"))"));
+        assert!(rendered.contains("return if"));
+    }
+
+    #[test]
+    fn bare_literal_is_rejected_outside_comparisons() {
+        let q = parse("for $x in doc(\"d\")//a return 42").unwrap();
+        assert!(normalize(&q, None).is_err());
+    }
+
+    #[test]
+    fn sequences_are_preserved() {
+        let q = parse("for $t in doc(\"d\")//x return ($t/a, $t/b)").unwrap();
+        let core = normalize(&q, None).unwrap();
+        match core {
+            CoreExpr::For { body, .. } => match *body {
+                CoreExpr::Seq(items) => assert_eq!(items.len(), 2),
+                other => panic!("expected seq, got {other:?}"),
+            },
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steps_in_value_position_get_ddo() {
+        let q = parse("doc(\"d\")/a/b").unwrap();
+        let core = normalize(&q, None).unwrap();
+        assert!(matches!(core, CoreExpr::Ddo(_)));
+        // Exactly one ddo is introduced for the whole chain.
+        assert_eq!(core.render().matches("fs:ddo").count(), 1);
+    }
+}

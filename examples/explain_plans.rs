@@ -1,0 +1,54 @@
+//! Inspect the artifacts the paper's figures show: the stacked plan, the
+//! isolated plan, the emitted SQL, the advisor's index proposals, and the
+//! execution plan the cost-based optimizer picks (XPath step reordering and
+//! axis reversal are visible in the join order).
+//!
+//! ```text
+//! cargo run --release --example explain_plans -- [scale]
+//! ```
+
+use xqjg::data::{generate_xmark_encoded, XmarkConfig};
+use xqjg::engine::{explain, optimize};
+use xqjg::Processor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let doc = generate_xmark_encoded("auction.xml", &XmarkConfig::with_scale(scale));
+    let mut processor = Processor::new();
+    processor.load_encoded("auction.xml", doc);
+
+    let query = r#"let $a := doc("auction.xml")
+                   for $ca in $a//closed_auction[price > 500],
+                       $i in $a//item
+                   where $ca/itemref/@item = $i/@id
+                   return $i/name"#;
+
+    // Let the index advisor design the physical layout for this workload.
+    println!("=== index advisor proposals ===");
+    for p in processor.advise_and_deploy(&[query])? {
+        println!(
+            "{:<10} key=({})  include=({}){}",
+            p.name,
+            p.key_columns.join(","),
+            p.include_columns.join(","),
+            if p.clustered { "  [clustered]" } else { "" }
+        );
+    }
+
+    let prepared = processor.prepare(query)?;
+    let branch = &prepared.branches[0];
+    println!("\n=== stacked plan ({} operators) ===", branch.stacked.size());
+    println!("{}", xqjg::algebra::render_text(&branch.stacked));
+    println!("=== isolated plan ({} operators) ===", branch.isolated_plan.size());
+    println!("{}", xqjg::algebra::render_text(&branch.isolated_plan));
+    println!("=== emitted SQL ===\n{}\n", branch.isolated.sql());
+
+    println!("=== optimizer execution plan ===");
+    let db = processor.database();
+    let plan = optimize(&branch.isolated.query, db)?;
+    println!("{}", explain(&plan));
+    Ok(())
+}

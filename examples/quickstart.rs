@@ -1,0 +1,46 @@
+//! Quickstart: load an XML document, run an XQuery through the full
+//! relational pipeline, inspect the emitted SQL and the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xqjg::{Mode, Processor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xml = r#"<site>
+        <open_auctions>
+          <open_auction id="a1"><initial>15</initial>
+            <bidder><time>18:43</time><increase>4.20</increase></bidder>
+          </open_auction>
+          <open_auction id="a2"><initial>20</initial></open_auction>
+        </open_auctions>
+      </site>"#;
+
+    let mut processor = Processor::new();
+    processor.load_document("auction.xml", xml)?;
+    processor.create_default_indexes();
+
+    let query = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+
+    // Inspect the compilation artifacts.
+    let prepared = processor.prepare(query)?;
+    println!("=== emitted SQL (join graph isolation) ===");
+    for sql in prepared.sql() {
+        println!("{sql}\n");
+    }
+
+    // Execute in all three modes; they must agree.
+    for mode in [Mode::Interpreter, Mode::Stacked, Mode::JoinGraph] {
+        let out = processor.execute(query, mode)?;
+        println!(
+            "{mode:?}: {} result node(s) in {:?}",
+            out.items.len(),
+            out.elapsed
+        );
+    }
+
+    let out = processor.execute(query, Mode::JoinGraph)?;
+    println!("\n=== serialized result ===\n{}", processor.serialize(&out.items));
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! `xqjg` — a purely relational XQuery processor built around **join graph
+//! isolation** (Grust, Mayr, Rittinger; ICDE 2009).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`Processor`] / [`Mode`] — the end-to-end pipeline (parse → normalize →
+//!   loop-lifting compilation → join graph isolation → SQL → cost-based
+//!   relational execution),
+//! * [`xml`] — XML parsing and the pre/size/level infoset encoding,
+//! * [`xquery`] — the XQuery front end and reference interpreter,
+//! * [`algebra`] / [`compiler`] / [`core`] — the table algebra, the
+//!   loop-lifting compiler and the isolation pass,
+//! * [`engine`] / [`store`] — the relational back-end (B-trees, optimizer,
+//!   executor, index advisor),
+//! * [`purexml`] — the navigational baseline,
+//! * [`data`] — synthetic XMark-like / DBLP-like document generators.
+
+pub use xqjg_algebra as algebra;
+pub use xqjg_compiler as compiler;
+pub use xqjg_core as core;
+pub use xqjg_data as data;
+pub use xqjg_engine as engine;
+pub use xqjg_purexml as purexml;
+pub use xqjg_store as store;
+pub use xqjg_xml as xml;
+pub use xqjg_xquery as xquery;
+
+pub use xqjg_core::{Mode, Outcome, Prepared, Processor, QueryError};
+pub use xqjg_xml::{DocTable, Pre};

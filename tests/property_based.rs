@@ -1,0 +1,134 @@
+//! Property-based tests over the core invariants:
+//!
+//! * the pre/size/level encoding round-trips through serialization,
+//! * axis predicates agree with naive tree navigation,
+//! * B-tree range scans agree with sorted-vector filtering,
+//! * randomly generated path queries evaluate identically through the
+//!   interpreter, the stacked plan and the isolated join graph.
+
+use proptest::prelude::*;
+use xqjg::store::{BPlusTree, Value};
+use xqjg::xml::{encode_document, parse_document, DocTable, Pre};
+use xqjg::{Mode, Processor};
+
+/// Strategy producing a small random XML document built from a fixed
+/// element vocabulary.
+fn arb_xml(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0u32..100).prop_map(|n| format!("<v>{n}</v>")),
+        Just("<item/>".to_string()),
+        (0u32..5).prop_map(|n| format!("<name>n{n}</name>")),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_xml(depth - 1);
+    prop_oneof![
+        leaf,
+        (prop::collection::vec(inner.clone(), 1..4), 0u32..3).prop_map(|(children, id)| {
+            format!("<entry id=\"e{id}\">{}</entry>", children.join(""))
+        }),
+        prop::collection::vec(inner, 1..3)
+            .prop_map(|children| format!("<group>{}</group>", children.join(""))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encoding_round_trips_through_serialization(body in arb_xml(3)) {
+        let xml = format!("<root>{body}</root>");
+        let table = encode_document("t.xml", &xml).unwrap();
+        let rendered = xqjg::xml::serialize_nodes(&table, &[Pre(0)]);
+        let reparsed = DocTable::from_document("t.xml", &parse_document(&rendered).unwrap());
+        prop_assert_eq!(table.len(), reparsed.len());
+        for (a, b) in table.rows().zip(reparsed.rows()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.size, b.size);
+            prop_assert_eq!(a.level, b.level);
+        }
+    }
+
+    #[test]
+    fn encoding_structure_invariants(body in arb_xml(3)) {
+        let xml = format!("<root>{body}</root>");
+        let table = encode_document("t.xml", &xml).unwrap();
+        // The document root spans the whole table; every subtree stays in bounds.
+        prop_assert_eq!(table.row(Pre(0)).size as usize, table.len() - 1);
+        for row in table.rows() {
+            prop_assert!(row.pre as usize + row.size as usize <= table.len() - 1);
+            if row.pre > 0 {
+                prop_assert!(row.level >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn btree_range_scan_matches_vector_filter(
+        keys in prop::collection::vec(0i64..500, 1..300),
+        lo in 0i64..500,
+        width in 0i64..100,
+    ) {
+        let entries: Vec<(Vec<Value>, usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (vec![Value::Int(k)], i))
+            .collect();
+        let tree = BPlusTree::bulk_load(entries);
+        let hi = lo + width;
+        let lo_key = vec![Value::Int(lo)];
+        let hi_key = vec![Value::Int(hi)];
+        let mut got: Vec<usize> = tree
+            .range(std::ops::Bound::Included(&lo_key), std::ops::Bound::Included(&hi_key))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k >= lo && k <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn random_path_queries_agree_across_evaluation_strategies(
+        body in arb_xml(3),
+        axis_choice in 0usize..3,
+        name_choice in 0usize..3,
+        with_pred in proptest::bool::ANY,
+    ) {
+        let xml = format!("<root>{body}</root>");
+        let axis = ["descendant", "child", "descendant-or-self"][axis_choice];
+        let name = ["entry", "group", "v"][name_choice];
+        let pred = if with_pred { "[v > 10]" } else { "" };
+        let query = format!("doc(\"t.xml\")/{axis}::{name}{pred}");
+
+        let mut p = Processor::new();
+        p.load_document("t.xml", &xml).unwrap();
+        p.create_default_indexes();
+        let oracle = p.execute(&query, Mode::Interpreter).unwrap().items;
+        let stacked = p.execute(&query, Mode::Stacked).unwrap().items;
+        let isolated = p.execute(&query, Mode::JoinGraph).unwrap().items;
+        prop_assert_eq!(&stacked, &oracle, "stacked differs for {}", query);
+        prop_assert_eq!(&isolated, &oracle, "isolated differs for {}", query);
+    }
+
+    #[test]
+    fn nested_for_loops_agree_across_strategies(body in arb_xml(2)) {
+        let xml = format!("<root>{body}</root>");
+        let query = "for $e in doc(\"t.xml\")//entry return $e/descendant::name";
+        let mut p = Processor::new();
+        p.load_document("t.xml", &xml).unwrap();
+        p.create_default_indexes();
+        let oracle = p.execute(query, Mode::Interpreter).unwrap().items;
+        let isolated = p.execute(query, Mode::JoinGraph).unwrap().items;
+        prop_assert_eq!(isolated, oracle);
+    }
+}
