@@ -44,7 +44,8 @@ pub fn materialized_rows(plan: &Plan, ctx: &EvalContext<'_>) -> usize {
 }
 
 fn eval_op(plan: &Plan, id: OpId, ctx: &EvalContext<'_>, memo: &HashMap<OpId, Table>) -> Table {
-    let input = |child: OpId| -> &Table { memo.get(&child).expect("child evaluated before parent") };
+    let input =
+        |child: OpId| -> &Table { memo.get(&child).expect("child evaluated before parent") };
     match plan.op(id) {
         OpKind::DocTable => ctx.doc.clone(),
         OpKind::Literal { columns, rows } => {
@@ -199,7 +200,9 @@ fn eval_join(left: &Table, right: &Table, pred: &Predicate) -> Table {
                     continue;
                 }
                 _ => {
-                    if let (Some(li), Some(ri)) = (left.schema().index_of(b), right.schema().index_of(a)) {
+                    if let (Some(li), Some(ri)) =
+                        (left.schema().index_of(b), right.schema().index_of(a))
+                    {
                         left_keys.push(li);
                         right_keys.push(ri);
                         continue;
@@ -279,12 +282,10 @@ fn eval_scalar_two_sided(s: &Scalar, lr: &Row, ls: &Schema, rr: &Row, rs: &Schem
                 panic!("column {c:?} not found in join inputs {ls} / {rs}")
             }
         }
-        Scalar::Add(a, b) =>
-
-            add_values(
-                &eval_scalar_two_sided(a, lr, ls, rr, rs),
-                &eval_scalar_two_sided(b, lr, ls, rr, rs),
-            ),
+        Scalar::Add(a, b) => add_values(
+            &eval_scalar_two_sided(a, lr, ls, rr, rs),
+            &eval_scalar_two_sided(b, lr, ls, rr, rs),
+        ),
     }
 }
 
@@ -340,7 +341,16 @@ mod tests {
         let mut t = Table::new(Schema::new([
             "pre", "size", "level", "kind", "name", "value", "data",
         ]));
-        let rows: Vec<(i64, i64, i64, &str, Option<&str>, Option<&str>, Option<f64>)> = vec![
+        type FixtureRow = (
+            i64,
+            i64,
+            i64,
+            &'static str,
+            Option<&'static str>,
+            Option<&'static str>,
+            Option<f64>,
+        );
+        let rows: Vec<FixtureRow> = vec![
             (0, 3, 0, "DOC", Some("d.xml"), None, None),
             (1, 2, 1, "ELEM", Some("a"), None, None),
             (2, 1, 2, "ELEM", Some("b"), Some("7"), Some(7.0)),
@@ -405,7 +415,7 @@ mod tests {
                 Comparison::new(
                     Scalar::col("pre"),
                     CmpOp::Le,
-                    Scalar::col("pre0").add(Scalar::col("size0")),
+                    Scalar::col("pre0") + Scalar::col("size0"),
                 ),
             ]),
         });
@@ -538,7 +548,10 @@ mod tests {
     #[test]
     fn add_values_promotes() {
         assert_eq!(add_values(&Value::Int(1), &Value::Int(2)), Value::Int(3));
-        assert_eq!(add_values(&Value::Int(1), &Value::Dec(0.5)), Value::Dec(1.5));
+        assert_eq!(
+            add_values(&Value::Int(1), &Value::Dec(0.5)),
+            Value::Dec(1.5)
+        );
         assert_eq!(add_values(&Value::Null, &Value::Int(1)), Value::Null);
         assert_eq!(add_values(&Value::str("x"), &Value::Int(1)), Value::Null);
     }

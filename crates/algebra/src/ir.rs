@@ -22,6 +22,14 @@ pub enum Scalar {
     Add(Box<Scalar>, Box<Scalar>),
 }
 
+impl std::ops::Add for Scalar {
+    type Output = Scalar;
+
+    fn add(self, other: Scalar) -> Scalar {
+        Scalar::Add(Box::new(self), Box::new(other))
+    }
+}
+
 impl Scalar {
     /// Column reference helper.
     pub fn col(name: impl Into<String>) -> Scalar {
@@ -31,11 +39,6 @@ impl Scalar {
     /// Constant helper.
     pub fn cnst(v: impl Into<Value>) -> Scalar {
         Scalar::Const(v.into())
-    }
-
-    /// `col + other`
-    pub fn add(self, other: Scalar) -> Scalar {
-        Scalar::Add(Box::new(self), Box::new(other))
     }
 
     /// Columns mentioned by this scalar.
@@ -57,7 +60,9 @@ impl Scalar {
         match self {
             Scalar::Col(c) => Scalar::Col(mapping.get(c).cloned().unwrap_or_else(|| c.clone())),
             Scalar::Const(v) => Scalar::Const(v.clone()),
-            Scalar::Add(a, b) => Scalar::Add(Box::new(a.rename(mapping)), Box::new(b.rename(mapping))),
+            Scalar::Add(a, b) => {
+                Scalar::Add(Box::new(a.rename(mapping)), Box::new(b.rename(mapping)))
+            }
         }
     }
 }
@@ -351,7 +356,13 @@ impl OpKind {
             OpKind::Project { cols, .. } => {
                 let parts: Vec<String> = cols
                     .iter()
-                    .map(|(n, o)| if n == o { n.clone() } else { format!("{n}:{o}") })
+                    .map(|(n, o)| {
+                        if n == o {
+                            n.clone()
+                        } else {
+                            format!("{n}:{o}")
+                        }
+                    })
                     .collect();
                 format!("π {}", parts.join(","))
             }
@@ -502,7 +513,10 @@ impl Plan {
 
     /// Count reachable operators satisfying a predicate on their kind.
     pub fn count_ops(&self, mut f: impl FnMut(&OpKind) -> bool) -> usize {
-        self.reachable().iter().filter(|id| f(self.op(**id))).count()
+        self.reachable()
+            .iter()
+            .filter(|id| f(self.op(**id)))
+            .count()
     }
 
     /// Parents of each reachable node.
@@ -560,9 +574,7 @@ impl Plan {
         match self.op(id) {
             OpKind::Serialize { input } => self.output_cols(*input),
             OpKind::Project { cols, .. } => cols.iter().map(|(n, _)| n.clone()).collect(),
-            OpKind::Select { input, .. }
-            | OpKind::Distinct { input }
-            => self.output_cols(*input),
+            OpKind::Select { input, .. } | OpKind::Distinct { input } => self.output_cols(*input),
             OpKind::Join { left, right, .. } | OpKind::Cross { left, right } => {
                 let mut cols = self.output_cols(*left);
                 for c in self.output_cols(*right) {
@@ -687,14 +699,14 @@ mod tests {
     fn predicate_cols_and_display() {
         let pred = Predicate::all([
             Comparison::new(
-                Scalar::col("pre0").add(Scalar::cnst(0i64)),
+                Scalar::col("pre0") + Scalar::cnst(0i64),
                 CmpOp::Lt,
                 Scalar::col("pre"),
             ),
             Comparison::new(
                 Scalar::col("pre"),
                 CmpOp::Le,
-                Scalar::col("pre0").add(Scalar::col("size0")),
+                Scalar::col("pre0") + Scalar::col("size0"),
             ),
         ]);
         let cols = pred.cols();
@@ -741,7 +753,7 @@ mod tests {
     fn scalar_rename() {
         let mut mapping = HashMap::new();
         mapping.insert("a".to_string(), "x".to_string());
-        let s = Scalar::col("a").add(Scalar::col("b"));
+        let s = Scalar::col("a") + Scalar::col("b");
         let r = s.rename(&mapping);
         let mut cols = HashSet::new();
         r.cols(&mut cols);

@@ -12,10 +12,7 @@ use std::collections::HashMap;
 /// the DAG structure remains visible.
 pub fn render_text(plan: &Plan) -> String {
     let parents = plan.parents();
-    let shared: HashMap<OpId, bool> = parents
-        .iter()
-        .map(|(id, ps)| (*id, ps.len() > 1))
-        .collect();
+    let shared: HashMap<OpId, bool> = parents.iter().map(|(id, ps)| (*id, ps.len() > 1)).collect();
     let mut out = String::new();
     let mut printed: HashMap<OpId, ()> = HashMap::new();
     render_node(plan, plan.root(), 0, &shared, &mut printed, &mut out);
@@ -148,7 +145,11 @@ mod tests {
         let txt = render_text(&p);
         assert!(txt.contains("serialize"));
         assert!(txt.contains("↺ op0"), "{txt}");
-        assert_eq!(txt.matches("doc").count(), 1, "doc body printed once: {txt}");
+        assert_eq!(
+            txt.matches("doc").count(),
+            1,
+            "doc body printed once: {txt}"
+        );
     }
 
     #[test]

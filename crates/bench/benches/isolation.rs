@@ -17,18 +17,22 @@ fn bench_isolation(c: &mut Criterion) {
         };
         let core = parse_and_normalize(q.text, Some(uri)).unwrap();
         let branches = xqjg_core::decompose_sequences(&core);
-        group.bench_with_input(BenchmarkId::new("compile+isolate", q.id), &branches, |b, branches| {
-            b.iter(|| {
-                let mut total_aliases = 0;
-                for branch in branches {
-                    let mut plan = compile(branch).unwrap().plan;
-                    simplify(&mut plan);
-                    let iso = isolate_sfw(&plan).unwrap();
-                    total_aliases += iso.query.from.len();
-                }
-                total_aliases
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile+isolate", q.id),
+            &branches,
+            |b, branches| {
+                b.iter(|| {
+                    let mut total_aliases = 0;
+                    for branch in branches {
+                        let mut plan = compile(branch).unwrap().plan;
+                        simplify(&mut plan);
+                        let iso = isolate_sfw(&plan).unwrap();
+                        total_aliases += iso.query.from.len();
+                    }
+                    total_aliases
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,10 @@ fn bench_btree(c: &mut Criterion) {
         .collect();
     let tree = BPlusTree::bulk_load(entries);
     c.bench_function("btree/point_lookup", |b| {
-        b.iter(|| tree.lookup_prefix(&[Value::Int(13), Value::Int(4_000)]).len())
+        b.iter(|| {
+            tree.lookup_prefix(&[Value::Int(13), Value::Int(4_000)])
+                .len()
+        })
     });
     c.bench_function("btree/partition_scan", |b| {
         b.iter(|| {
@@ -28,9 +31,22 @@ fn bench_axis_steps(c: &mut Criterion) {
     let doc = generate_xmark_encoded("auction.xml", &XmarkConfig::with_scale(0.1));
     let root = vec![Pre(0)];
     c.bench_function("axis/descendant_open_auction", |b| {
-        b.iter(|| step(&doc, &root, Axis::Descendant, &NodeTest::name("open_auction")).len())
+        b.iter(|| {
+            step(
+                &doc,
+                &root,
+                Axis::Descendant,
+                &NodeTest::name("open_auction"),
+            )
+            .len()
+        })
     });
-    let auctions = step(&doc, &root, Axis::Descendant, &NodeTest::name("open_auction"));
+    let auctions = step(
+        &doc,
+        &root,
+        Axis::Descendant,
+        &NodeTest::name("open_auction"),
+    );
     c.bench_function("axis/child_bidder_from_auctions", |b| {
         b.iter(|| step(&doc, &auctions, Axis::Child, &NodeTest::name("bidder")).len())
     });

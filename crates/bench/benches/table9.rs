@@ -16,17 +16,13 @@ fn bench_table9(c: &mut Criterion) {
             if q.id == "Q2" && mode == Mode::Stacked {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(label, q.id),
-                &q,
-                |b, q| {
-                    let prepared = workload.processor(q).prepare(q.text).unwrap();
-                    b.iter(|| {
-                        let proc = workload.processor(q);
-                        proc.execute_prepared(&prepared, mode).unwrap().items.len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, q.id), &q, |b, q| {
+                let prepared = workload.processor(q).prepare(q.text).unwrap();
+                b.iter(|| {
+                    let proc = workload.processor(q);
+                    proc.execute_prepared(&prepared, mode).unwrap().items.len()
+                })
+            });
         }
     }
     group.finish();

@@ -52,8 +52,8 @@ fn table6(scale: f64) {
         .advise_and_deploy(&[q2.text])
         .expect("advisor runs on Q2");
     println!(
-        "{:<12} {:<28} {:<24} {}",
-        "Index", "Key columns", "INCLUDE columns", "Rationale"
+        "{:<12} {:<28} {:<24} Rationale",
+        "Index", "Key columns", "INCLUDE columns"
     );
     for p in proposals {
         println!(

@@ -311,14 +311,19 @@ pub fn render_table9(rows: &[Table9Row], scale: f64) -> String {
             r.purexml_segmented.cell()
         ));
     }
-    out.push_str("\nSpeed-ups of join graph isolation over the stacked plans (Section IV headline):\n");
+    out.push_str(
+        "\nSpeed-ups of join graph isolation over the stacked plans (Section IV headline):\n",
+    );
     for r in rows {
         if let (Some(s), Some(j)) = (r.stacked.secs(), r.join_graph.secs()) {
             if j > 0.0 {
                 out.push_str(&format!("  {}: {:.1}x\n", r.query, s / j));
             }
         } else if r.stacked.secs().is_none() {
-            out.push_str(&format!("  {}: stacked DNF, join graph finishes\n", r.query));
+            out.push_str(&format!(
+                "  {}: stacked DNF, join graph finishes\n",
+                r.query
+            ));
         }
     }
     out
@@ -344,10 +349,9 @@ mod tests {
             let s = run_relational(&mut w, &q, Mode::Stacked, budget);
             let j = run_relational(&mut w, &q, Mode::JoinGraph, budget);
             match (&s, &j) {
-                (
-                    Measurement::Done { results: rs, .. },
-                    Measurement::Done { results: rj, .. },
-                ) => assert_eq!(rs, rj, "{} result sizes differ", q.id),
+                (Measurement::Done { results: rs, .. }, Measurement::Done { results: rj, .. }) => {
+                    assert_eq!(rs, rj, "{} result sizes differ", q.id)
+                }
                 _ => panic!("{} did not finish at tiny scale", q.id),
             }
         }

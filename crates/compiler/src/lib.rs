@@ -96,7 +96,12 @@ impl Compiler {
         })
     }
 
-    fn compile_expr(&mut self, expr: &CoreExpr, env: &Env, loop_: OpId) -> Result<OpId, CompileError> {
+    fn compile_expr(
+        &mut self,
+        expr: &CoreExpr,
+        env: &Env,
+        loop_: OpId,
+    ) -> Result<OpId, CompileError> {
         match expr {
             CoreExpr::Empty => {
                 // The empty sequence: a literal iter|pos|item table with no rows.
@@ -370,7 +375,10 @@ impl Compiler {
             col: "inner".to_string(),
         });
         // map ≡ π outer:iter, inner, sort:pos (q$x)
-        let map = self.project(q_x, &[("outer", "iter"), ("inner", "inner"), ("sort", "pos")]);
+        let map = self.project(
+            q_x,
+            &[("outer", "iter"), ("inner", "inner"), ("sort", "pos")],
+        );
         // New environment: lift the visible variables into the new loop.
         let mut env2 = Env::new();
         for (v, q_v) in env {
@@ -404,7 +412,10 @@ impl Compiler {
             col: "pos1".to_string(),
             order_by: vec!["sort".to_string(), "pos".to_string()],
         });
-        Ok(self.project(ranked, &[("iter", "outer"), ("pos", "pos1"), ("item", "item")]))
+        Ok(self.project(
+            ranked,
+            &[("iter", "outer"), ("pos", "pos1"), ("item", "item")],
+        ))
     }
 }
 
@@ -444,36 +455,32 @@ pub fn axis_predicate(axis: Axis) -> Result<Predicate, CompileError> {
     let pred = match axis {
         Axis::Child | Axis::Attribute => Predicate::all([
             Comparison::new(pre_o(), Lt, pre()),
-            Comparison::new(pre(), Le, pre_o().add(size_o())),
-            Comparison::new(level_o().add(one()), Eq, level()),
+            Comparison::new(pre(), Le, pre_o() + size_o()),
+            Comparison::new(level_o() + one(), Eq, level()),
         ]),
         Axis::Descendant => Predicate::all([
             Comparison::new(pre_o(), Lt, pre()),
-            Comparison::new(pre(), Le, pre_o().add(size_o())),
+            Comparison::new(pre(), Le, pre_o() + size_o()),
         ]),
         Axis::DescendantOrSelf => Predicate::all([
             Comparison::new(pre_o(), Le, pre()),
-            Comparison::new(pre(), Le, pre_o().add(size_o())),
+            Comparison::new(pre(), Le, pre_o() + size_o()),
         ]),
         Axis::Parent => Predicate::all([
             Comparison::new(pre(), Lt, pre_o()),
-            Comparison::new(pre_o(), Le, pre().add(size())),
-            Comparison::new(level().add(one()), Eq, level_o()),
+            Comparison::new(pre_o(), Le, pre() + size()),
+            Comparison::new(level() + one(), Eq, level_o()),
         ]),
         Axis::Ancestor => Predicate::all([
             Comparison::new(pre(), Lt, pre_o()),
-            Comparison::new(pre_o(), Le, pre().add(size())),
+            Comparison::new(pre_o(), Le, pre() + size()),
         ]),
         Axis::AncestorOrSelf => Predicate::all([
             Comparison::new(pre(), Le, pre_o()),
-            Comparison::new(pre_o(), Le, pre().add(size())),
+            Comparison::new(pre_o(), Le, pre() + size()),
         ]),
-        Axis::Following => Predicate::all([Comparison::new(
-            pre(),
-            Gt,
-            pre_o().add(size_o()),
-        )]),
-        Axis::Preceding => Predicate::all([Comparison::new(pre().add(size()), Lt, pre_o())]),
+        Axis::Following => Predicate::all([Comparison::new(pre(), Gt, pre_o() + size_o())]),
+        Axis::Preceding => Predicate::all([Comparison::new(pre() + size(), Lt, pre_o())]),
         Axis::SelfAxis => Predicate::all([Comparison::new(pre(), Eq, pre_o())]),
         Axis::FollowingSibling | Axis::PrecedingSibling => {
             return Err(CompileError::new(format!(
@@ -522,7 +529,8 @@ mod tests {
 
     #[test]
     fn q1_like_stacked_plan_matches_interpreter() {
-        let r = assert_matches_interpreter(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+        let r =
+            assert_matches_interpreter(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
         assert_eq!(r.len(), 2);
     }
 
@@ -552,7 +560,9 @@ mod tests {
 
     #[test]
     fn let_and_text_steps_match_interpreter() {
-        assert_matches_interpreter(r#"let $d := doc("auction.xml") for $i in $d//item return $i/name/text()"#);
+        assert_matches_interpreter(
+            r#"let $d := doc("auction.xml") for $i in $d//item return $i/name/text()"#,
+        );
         assert_matches_interpreter(r#"//item/name/text()"#);
     }
 
@@ -566,21 +576,30 @@ mod tests {
     fn stacked_plan_has_scattered_blocking_operators() {
         // The compositional compilation of Q1 produces the Fig. 4 shape:
         // several ϱ and δ operators spread over the plan, one shared doc leaf.
-        let core =
-            parse_and_normalize(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None)
-                .unwrap();
+        let core = parse_and_normalize(
+            r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+            None,
+        )
+        .unwrap();
         let compiled = compile(&core).unwrap();
         let h = histogram(&compiled.plan);
         assert!(h.rank >= 4, "expected several ϱ operators, got {h:?}");
         assert!(h.distinct >= 3, "expected several δ operators, got {h:?}");
-        assert!(h.join >= 5, "expected joins spread over the plan, got {h:?}");
+        assert!(
+            h.join >= 5,
+            "expected joins spread over the plan, got {h:?}"
+        );
         assert_eq!(h.doc, 1, "doc must be a single shared leaf");
         assert!(h.total > 25, "stacked plans are large, got {h:?}");
     }
 
     #[test]
     fn sequences_are_rejected() {
-        let core = parse_and_normalize(r#"for $i in //item return ($i/name, $i/name)"#, Some("auction.xml")).unwrap();
+        let core = parse_and_normalize(
+            r#"for $i in //item return ($i/name, $i/name)"#,
+            Some("auction.xml"),
+        )
+        .unwrap();
         assert!(compile(&core).is_err());
     }
 

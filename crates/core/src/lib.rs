@@ -26,7 +26,9 @@ pub mod properties;
 pub mod rewrite;
 pub mod sfw;
 
-pub use processor::{decompose_sequences, Mode, Outcome, Prepared, PreparedBranch, Processor, QueryError};
+pub use processor::{
+    decompose_sequences, Mode, Outcome, Prepared, PreparedBranch, Processor, QueryError,
+};
 pub use properties::Properties;
 pub use rewrite::{simplify, RewriteReport};
-pub use sfw::{isolate_sfw, isolated_plan, result_items_from_sql, Isolated, IsolateError};
+pub use sfw::{isolate_sfw, isolated_plan, result_items_from_sql, IsolateError, Isolated};

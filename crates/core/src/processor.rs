@@ -19,7 +19,9 @@ use std::fmt;
 use std::time::{Duration, Instant};
 use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
 use xqjg_compiler::compile;
-use xqjg_engine::{advise, deploy, execute_with_stats, explain, optimize, ExecStats, IndexProposal, SfwQuery};
+use xqjg_engine::{
+    advise, deploy, execute_with_stats, explain, optimize, ExecStats, IndexProposal, SfwQuery,
+};
 use xqjg_store::{Database, IndexDef};
 use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
 use xqjg_xquery::{interpret, normalize, parse, CoreExpr};
@@ -217,7 +219,10 @@ impl Processor {
 
     /// Run the index advisor over a query workload and deploy its proposals
     /// (the `db2advis` experiment of Table VI).
-    pub fn advise_and_deploy(&mut self, queries: &[&str]) -> Result<Vec<IndexProposal>, QueryError> {
+    pub fn advise_and_deploy(
+        &mut self,
+        queries: &[&str],
+    ) -> Result<Vec<IndexProposal>, QueryError> {
         let mut workload: Vec<SfwQuery> = Vec::new();
         for q in queries {
             let prepared = self.prepare(q)?;
@@ -240,11 +245,12 @@ impl Processor {
         let branch_cores = decompose_sequences(&core);
         let mut branches = Vec::with_capacity(branch_cores.len());
         for bc in branch_cores {
-            let stacked = compile(&bc).map_err(|e| QueryError::new("compile", e))?.plan;
+            let stacked = compile(&bc)
+                .map_err(|e| QueryError::new("compile", e))?
+                .plan;
             let mut simplified = stacked.clone();
             let rewrite_report = simplify(&mut simplified);
-            let isolated =
-                isolate_sfw(&simplified).map_err(|e| QueryError::new("isolate", e))?;
+            let isolated = isolate_sfw(&simplified).map_err(|e| QueryError::new("isolate", e))?;
             let iso_plan = isolated_plan(&isolated);
             branches.push(PreparedBranch {
                 core: bc,
@@ -265,12 +271,16 @@ impl Processor {
     }
 
     /// Execute an already prepared query.
-    pub fn execute_prepared(&mut self, prepared: &Prepared, mode: Mode) -> Result<Outcome, QueryError> {
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Prepared,
+        mode: Mode,
+    ) -> Result<Outcome, QueryError> {
         match mode {
             Mode::Interpreter => {
                 let start = Instant::now();
-                let items =
-                    interpret(&prepared.core, &self.doc).map_err(|e| QueryError::new("interpret", e))?;
+                let items = interpret(&prepared.core, &self.doc)
+                    .map_err(|e| QueryError::new("interpret", e))?;
                 let elapsed = start.elapsed();
                 Ok(self.outcome(items, elapsed, None, vec![]))
             }
@@ -404,7 +414,10 @@ mod tests {
         let stacked = p.execute(query, Mode::Stacked).unwrap();
         let joined = p.execute(query, Mode::JoinGraph).unwrap();
         assert_eq!(stacked.items, oracle.items, "stacked vs oracle for {query}");
-        assert_eq!(joined.items, oracle.items, "join graph vs oracle for {query}");
+        assert_eq!(
+            joined.items, oracle.items,
+            "join graph vs oracle for {query}"
+        );
         oracle.items.len()
     }
 
@@ -503,20 +516,23 @@ mod tests {
     #[test]
     fn errors_are_reported_per_stage() {
         let mut p = processor();
-        assert_eq!(p.execute("for $x in", Mode::JoinGraph).unwrap_err().stage, "parse");
         assert_eq!(
-            p.execute("$undefined/a", Mode::JoinGraph).unwrap_err().stage,
+            p.execute("for $x in", Mode::JoinGraph).unwrap_err().stage,
+            "parse"
+        );
+        assert_eq!(
+            p.execute("$undefined/a", Mode::JoinGraph)
+                .unwrap_err()
+                .stage,
             "compile"
         );
     }
 
     #[test]
     fn decompose_handles_nested_structures() {
-        let core = xqjg_xquery::parse_and_normalize(
-            "for $a in doc(\"d\")//x return ($a/b, $a/c)",
-            None,
-        )
-        .unwrap();
+        let core =
+            xqjg_xquery::parse_and_normalize("for $a in doc(\"d\")//x return ($a/b, $a/c)", None)
+                .unwrap();
         let branches = decompose_sequences(&core);
         assert_eq!(branches.len(), 2);
         for b in &branches {

@@ -189,8 +189,11 @@ fn infer_bottom_up(
                 .iter()
                 .filter(|key| key.iter().any(|c| order_by.contains(c)))
                 .map(|key| {
-                    let mut nk: HashSet<String> =
-                        key.iter().filter(|c| !order_by.contains(*c)).cloned().collect();
+                    let mut nk: HashSet<String> = key
+                        .iter()
+                        .filter(|c| !order_by.contains(*c))
+                        .cloned()
+                        .collect();
                     nk.insert(col.clone());
                     nk
                 })
@@ -214,7 +217,11 @@ fn infer_bottom_up(
             // of that side, the other side's keys carry over.
             if let Some((a, b)) = pred.as_single_col_eq() {
                 let left_cols: HashSet<String> = plan.output_cols(*left).into_iter().collect();
-                let (lcol, rcol) = if left_cols.contains(a) { (a, b) } else { (b, a) };
+                let (lcol, rcol) = if left_cols.contains(a) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 let l_is_key = lk.iter().any(|k| k.len() == 1 && k.contains(lcol));
                 let r_is_key = rk.iter().any(|k| k.len() == 1 && k.contains(rcol));
                 if r_is_key {
@@ -381,11 +388,20 @@ mod tests {
         let p = ddo_plan();
         let props = Properties::infer(&p);
         // doc is keyed by pre.
-        assert!(props.keys_of(OpId(0)).iter().any(|k| k.len() == 1 && k.contains("pre")));
+        assert!(props
+            .keys_of(OpId(0))
+            .iter()
+            .any(|k| k.len() == 1 && k.contains("pre")));
         // The projection renames pre to item: key {item}.
-        assert!(props.keys_of(OpId(2)).iter().any(|k| k.len() == 1 && k.contains("item")));
+        assert!(props
+            .keys_of(OpId(2))
+            .iter()
+            .any(|k| k.len() == 1 && k.contains("item")));
         // Distinct adds the all-columns key.
-        assert!(props.keys_of(OpId(3)).iter().any(|k| k.contains("iter") && k.contains("item")));
+        assert!(props
+            .keys_of(OpId(3))
+            .iter()
+            .any(|k| k.contains("iter") && k.contains("item")));
     }
 
     #[test]

@@ -279,7 +279,12 @@ mod tests {
         let report = simplify(&mut plan);
         let after = histogram(&plan);
         assert!(report.ops_after < report.ops_before);
-        assert!(after.rank < before.rank, "ranks: {} -> {}", before.rank, after.rank);
+        assert!(
+            after.rank < before.rank,
+            "ranks: {} -> {}",
+            before.rank,
+            after.rank
+        );
         assert!(after.total < before.total);
     }
 }

@@ -355,7 +355,7 @@ fn resolve_scalar(s: &Scalar, map: &ColMap) -> Result<ColExpr, IsolateError> {
             let l = resolve_scalar(a, map)?;
             let r = resolve_scalar(b, map)?;
             match (l, r) {
-                (ColExpr::Sql(l), ColExpr::Sql(r)) => Ok(ColExpr::Sql(l.add(r))),
+                (ColExpr::Sql(l), ColExpr::Sql(r)) => Ok(ColExpr::Sql(l + r)),
                 _ => Err(IsolateError::new("arithmetic over surrogate columns")),
             }
         }
@@ -412,7 +412,9 @@ fn merge_redundant_aliases(query: &mut SfwQuery) {
         }
         query.from.retain(|f| f.alias != from_alias);
         // Drop predicates that became trivially true (x = x).
-        query.where_clause.retain(|p| p.lhs != p.rhs || p.op != SqlCmp::Eq);
+        query
+            .where_clause
+            .retain(|p| p.lhs != p.rhs || p.op != SqlCmp::Eq);
     }
 }
 
@@ -517,7 +519,13 @@ pub fn isolated_plan(isolated: &Isolated) -> Plan {
         let mut node = doc;
         let conjuncts: Vec<Comparison> = local
             .iter()
-            .map(|p| Comparison::new(scalar_local(&p.lhs, &f.alias), alg_op(p.op), scalar_local(&p.rhs, &f.alias)))
+            .map(|p| {
+                Comparison::new(
+                    scalar_local(&p.lhs, &f.alias),
+                    alg_op(p.op),
+                    scalar_local(&p.rhs, &f.alias),
+                )
+            })
             .collect();
         if !conjuncts.is_empty() {
             node = plan.add(OpKind::Select {
@@ -585,7 +593,12 @@ pub fn isolated_plan(isolated: &Isolated) -> Plan {
         .order_by
         .iter()
         .enumerate()
-        .map(|(i, o)| (format!("ord{}", i + 1), format!("{}_{}", o.col.table, o.col.column)))
+        .map(|(i, o)| {
+            (
+                format!("ord{}", i + 1),
+                format!("{}_{}", o.col.table, o.col.column),
+            )
+        })
         .collect();
     let mut all_cols = cols;
     for (n, src) in &order_cols {
@@ -638,7 +651,7 @@ fn scalar_local(expr: &SqlExpr, _alias: &str) -> Scalar {
     match expr {
         SqlExpr::Col(c) => Scalar::col(&c.column),
         SqlExpr::Lit(v) => Scalar::Const(v.clone()),
-        SqlExpr::Add(a, b) => scalar_local(a, _alias).add(scalar_local(b, _alias)),
+        SqlExpr::Add(a, b) => scalar_local(a, _alias) + scalar_local(b, _alias),
     }
 }
 
@@ -646,7 +659,7 @@ fn scalar_qualified(expr: &SqlExpr) -> Scalar {
     match expr {
         SqlExpr::Col(c) => Scalar::col(format!("{}_{}", c.table, c.column)),
         SqlExpr::Lit(v) => Scalar::Const(v.clone()),
-        SqlExpr::Add(a, b) => scalar_qualified(a).add(scalar_qualified(b)),
+        SqlExpr::Add(a, b) => scalar_qualified(a) + scalar_qualified(b),
     }
 }
 
@@ -706,7 +719,12 @@ mod tests {
     fn value_predicate_lands_in_where_clause() {
         let iso = isolate(r#"doc("auction.xml")/descendant::closed_auction[price > 500]"#);
         let sql = iso.sql();
-        assert!(sql.contains("data > 500") || sql.contains("data' > 500") || sql.contains(".data > 500"), "{sql}");
+        assert!(
+            sql.contains("data > 500")
+                || sql.contains("data' > 500")
+                || sql.contains(".data > 500"),
+            "{sql}"
+        );
         assert!(iso.query.from.len() >= 3, "{sql}");
     }
 
@@ -724,7 +742,10 @@ mod tests {
         // same encoded document but remain separate references).
         assert!(iso.query.from.len() >= 8, "{sql}");
         // The attribute value join appears as a value = value predicate.
-        assert!(sql.contains(".value = d") || sql.contains("value ="), "{sql}");
+        assert!(
+            sql.contains(".value = d") || sql.contains("value ="),
+            "{sql}"
+        );
         // Ordering: closed_auction pre, item pre, then the result name pre.
         assert!(iso.query.order_by.len() >= 3, "{sql}");
     }

@@ -68,7 +68,14 @@ pub fn generate_xmark(config: &XmarkConfig) -> Document {
 
     // Regions with items.
     let regions = doc.add_element(site, "regions");
-    let region_names = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let region_names = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
     let mut region_nodes: Vec<NodeId> = Vec::new();
     for r in region_names {
         region_nodes.push(doc.add_element(regions, r));
@@ -103,7 +110,10 @@ pub fn generate_xmark(config: &XmarkConfig) -> Document {
         doc.add_text(email, format!("mailto:person{p}@example.org"));
         if rng.gen_bool(0.6) {
             let phone = doc.add_element(person, "phone");
-            doc.add_text(phone, format!("+1 ({}) 555-01{:02}", rng.gen_range(100..999), p % 100));
+            doc.add_text(
+                phone,
+                format!("+1 ({}) 555-01{:02}", rng.gen_range(100..999), p % 100),
+            );
         }
     }
 
@@ -128,7 +138,11 @@ pub fn generate_xmark(config: &XmarkConfig) -> Document {
             let time = doc.add_element(bidder, "time");
             doc.add_text(time, format!("{:02}:{:02}", (b * 3) % 24, (b * 17) % 60));
             let personref = doc.add_element(bidder, "personref");
-            doc.add_attribute(personref, "person", format!("person{}", rng.gen_range(0..n_persons)));
+            doc.add_attribute(
+                personref,
+                "person",
+                format!("person{}", rng.gen_range(0..n_persons)),
+            );
             let increase = doc.add_element(bidder, "increase");
             let inc = rng.gen_range(1.0..30.0_f64);
             amount += inc;
@@ -137,9 +151,17 @@ pub fn generate_xmark(config: &XmarkConfig) -> Document {
         let current = doc.add_element(auction, "current");
         doc.add_text(current, format!("{amount:.2}"));
         let itemref = doc.add_element(auction, "itemref");
-        doc.add_attribute(itemref, "item", format!("item{}", rng.gen_range(0..n_items)));
+        doc.add_attribute(
+            itemref,
+            "item",
+            format!("item{}", rng.gen_range(0..n_items)),
+        );
         let seller = doc.add_element(auction, "seller");
-        doc.add_attribute(seller, "person", format!("person{}", rng.gen_range(0..n_persons)));
+        doc.add_attribute(
+            seller,
+            "person",
+            format!("person{}", rng.gen_range(0..n_persons)),
+        );
     }
 
     // Closed auctions.
@@ -147,11 +169,23 @@ pub fn generate_xmark(config: &XmarkConfig) -> Document {
     for _ in 0..n_closed {
         let auction = doc.add_element(closed_auctions, "closed_auction");
         let seller = doc.add_element(auction, "seller");
-        doc.add_attribute(seller, "person", format!("person{}", rng.gen_range(0..n_persons)));
+        doc.add_attribute(
+            seller,
+            "person",
+            format!("person{}", rng.gen_range(0..n_persons)),
+        );
         let buyer = doc.add_element(auction, "buyer");
-        doc.add_attribute(buyer, "person", format!("person{}", rng.gen_range(0..n_persons)));
+        doc.add_attribute(
+            buyer,
+            "person",
+            format!("person{}", rng.gen_range(0..n_persons)),
+        );
         let itemref = doc.add_element(auction, "itemref");
-        doc.add_attribute(itemref, "item", format!("item{}", rng.gen_range(0..n_items)));
+        doc.add_attribute(
+            itemref,
+            "item",
+            format!("item{}", rng.gen_range(0..n_items)),
+        );
         let price = doc.add_element(auction, "price");
         // Skewed prices: only a small fraction exceeds 500 (Q2's predicate).
         // The first closed auction is always expensive so that Q2 has a
@@ -163,7 +197,14 @@ pub fn generate_xmark(config: &XmarkConfig) -> Document {
         };
         doc.add_text(price, format!("{value:.2}"));
         let date = doc.add_element(auction, "date");
-        doc.add_text(date, format!("{:02}/{:02}/2000", rng.gen_range(1..=12), rng.gen_range(1..=28)));
+        doc.add_text(
+            date,
+            format!(
+                "{:02}/{:02}/2000",
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+        );
         let quantity = doc.add_element(auction, "quantity");
         doc.add_text(quantity, "1");
     }
@@ -205,10 +246,8 @@ mod tests {
     #[test]
     fn vocabulary_needed_by_queries_is_present() {
         let table = generate_xmark_encoded("auction.xml", &XmarkConfig::with_scale(0.05));
-        let names: std::collections::HashSet<&str> = table
-            .rows()
-            .filter_map(|r| r.name.as_deref())
-            .collect();
+        let names: std::collections::HashSet<&str> =
+            table.rows().filter_map(|r| r.name.as_deref()).collect();
         for required in [
             "site",
             "open_auction",
@@ -226,9 +265,7 @@ mod tests {
             assert!(names.contains(required), "missing {required}");
         }
         // person0 exists for Q3.
-        assert!(table
-            .rows()
-            .any(|r| r.value.as_deref() == Some("person0")));
+        assert!(table.rows().any(|r| r.value.as_deref() == Some("person0")));
         // Some price above 500 for Q2.
         assert!(table
             .rows()

@@ -132,7 +132,11 @@ pub fn advise(workload: &[SfwQuery], db: &Database) -> Vec<IndexProposal> {
                 eq_cols.sort_by_key(|c| stats.column(c).map(|s| s.distinct).unwrap_or(usize::MAX));
             }
             let mut key: Vec<String> = Vec::new();
-            for c in eq_cols.iter().chain(range_cols.iter()).chain(join_cols.iter()) {
+            for c in eq_cols
+                .iter()
+                .chain(range_cols.iter())
+                .chain(join_cols.iter())
+            {
                 push_unique(&mut key, c);
             }
             let include: Vec<String> = referenced
@@ -177,9 +181,7 @@ pub fn advise(workload: &[SfwQuery], db: &Database) -> Vec<IndexProposal> {
         .collect();
     for key in order_tables {
         let (table, column) = key.split_once('\u{1}').expect("separator present");
-        let already = proposals
-            .iter()
-            .any(|p| p.clustered && p.table == table);
+        let already = proposals.iter().any(|p| p.clustered && p.table == table);
         if already {
             continue;
         }
@@ -205,7 +207,8 @@ pub fn advise(workload: &[SfwQuery], db: &Database) -> Vec<IndexProposal> {
             key_columns: vec![column.to_string()],
             include_columns: include,
             clustered: true,
-            rationale: "serialization support (document-order scans of result subtrees)".to_string(),
+            rationale: "serialization support (document-order scans of result subtrees)"
+                .to_string(),
         });
     }
 
@@ -291,8 +294,16 @@ mod tests {
             ],
             where_clause: vec![
                 SqlPredicate::new(SqlExpr::col("d1", "kind"), SqlCmp::Eq, SqlExpr::lit("DOC")),
-                SqlPredicate::new(SqlExpr::col("d1", "name"), SqlCmp::Eq, SqlExpr::lit("a.xml")),
-                SqlPredicate::new(SqlExpr::col("d2", "name"), SqlCmp::Eq, SqlExpr::lit("price")),
+                SqlPredicate::new(
+                    SqlExpr::col("d1", "name"),
+                    SqlCmp::Eq,
+                    SqlExpr::lit("a.xml"),
+                ),
+                SqlPredicate::new(
+                    SqlExpr::col("d2", "name"),
+                    SqlCmp::Eq,
+                    SqlExpr::lit("price"),
+                ),
                 SqlPredicate::new(SqlExpr::col("d2", "data"), SqlCmp::Gt, SqlExpr::lit(500i64)),
                 SqlPredicate::new(
                     SqlExpr::col("d2", "pre"),

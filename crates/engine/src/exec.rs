@@ -97,7 +97,9 @@ pub fn execute_with_stats(plan: &PhysPlan, db: &Database) -> (Table, ExecStats) 
 fn alias_table<'a>(node: &JoinNode, alias: &str, db: &'a Database) -> &'a Table {
     fn table_name<'n>(node: &'n JoinNode, alias: &str) -> Option<&'n str> {
         match node {
-            JoinNode::Leaf { alias: a, table, .. } => (a == alias).then_some(table.as_str()),
+            JoinNode::Leaf {
+                alias: a, table, ..
+            } => (a == alias).then_some(table.as_str()),
             JoinNode::Join {
                 outer,
                 alias: a,
@@ -209,7 +211,10 @@ fn exec_node(
             ..
         } => {
             let rows = exec_access(access, alias, table, db, None, stats);
-            (vec![alias.clone()], rows.into_iter().map(|r| vec![r]).collect())
+            (
+                vec![alias.clone()],
+                rows.into_iter().map(|r| vec![r]).collect(),
+            )
         }
         JoinNode::Join {
             outer,
@@ -222,10 +227,8 @@ fn exec_node(
             ..
         } => {
             let (mut aliases, outer_bindings) = exec_node(outer, db, stats);
-            let outer_tables: Vec<&Table> = aliases
-                .iter()
-                .map(|a| alias_table(outer, a, db))
-                .collect();
+            let outer_tables: Vec<&Table> =
+                aliases.iter().map(|a| alias_table(outer, a, db)).collect();
             let base = db.table(table).expect("table registered");
             let mut result: Vec<Vec<usize>> = Vec::new();
 
@@ -240,9 +243,9 @@ fn exec_node(
                     };
                     let rows = exec_access(access, alias, table, db, Some(&env), stats);
                     for rid in rows {
-                        let ok = residual.iter().all(|p| {
-                            pred_holds(p, alias, Some((base, rid)), Some(&env))
-                        });
+                        let ok = residual
+                            .iter()
+                            .all(|p| pred_holds(p, alias, Some((base, rid)), Some(&env)));
                         if ok {
                             let mut b = binding.clone();
                             b.push(rid);
@@ -274,16 +277,18 @@ fn exec_node(
                         tables: &outer_tables,
                         binding,
                     };
-                    let probe_key: Vec<Value> =
-                        hash_keys.iter().map(|(outer_expr, _)| env.eval(outer_expr)).collect();
+                    let probe_key: Vec<Value> = hash_keys
+                        .iter()
+                        .map(|(outer_expr, _)| env.eval(outer_expr))
+                        .collect();
                     if probe_key.iter().any(Value::is_null) {
                         continue;
                     }
                     if let Some(matches) = buckets.get(&probe_key) {
                         for &rid in matches {
-                            let ok = residual.iter().all(|p| {
-                                pred_holds(p, alias, Some((base, rid)), Some(&env))
-                            });
+                            let ok = residual
+                                .iter()
+                                .all(|p| pred_holds(p, alias, Some((base, rid)), Some(&env)));
                             if ok {
                                 let mut b = binding.clone();
                                 b.push(rid);
@@ -401,9 +406,20 @@ fn index_range(
         Bound::Excluded(upper_key.as_slice())
     };
     // An empty bound vector means an unbounded side.
-    let lower = if lower_key.is_empty() { Bound::Unbounded } else { lower };
-    let upper = if upper_key.is_empty() { Bound::Unbounded } else { upper };
-    tree.range(lower, upper).into_iter().map(|(_, r)| r).collect()
+    let lower = if lower_key.is_empty() {
+        Bound::Unbounded
+    } else {
+        lower
+    };
+    let upper = if upper_key.is_empty() {
+        Bound::Unbounded
+    } else {
+        upper
+    };
+    tree.range(lower, upper)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
 }
 
 /// Convenience: optimize and execute an SQL text against the database.
@@ -430,7 +446,15 @@ mod tests {
         let mut t = Table::new(Schema::new([
             "pre", "size", "level", "kind", "name", "value", "data",
         ]));
-        let rows: Vec<(i64, i64, i64, &str, Option<&str>, Option<&str>)> = vec![
+        type FixtureRow = (
+            i64,
+            i64,
+            i64,
+            &'static str,
+            Option<&'static str>,
+            Option<&'static str>,
+        );
+        let rows: Vec<FixtureRow> = vec![
             (0, 8, 0, "DOC", Some("a.xml"), None),
             (1, 7, 1, "ELEM", Some("site"), None),
             (2, 2, 2, "ELEM", Some("open_auction"), None),
@@ -518,13 +542,16 @@ mod tests {
     #[test]
     fn order_by_descending_document_order_not_supported_but_asc_enforced() {
         let db = db();
-        let q = parse_sql(
-            "SELECT d1.pre AS p FROM doc AS d1 WHERE d1.kind = 'ELEM' ORDER BY d1.pre",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT d1.pre AS p FROM doc AS d1 WHERE d1.kind = 'ELEM' ORDER BY d1.pre")
+                .unwrap();
         let plan = optimize(&q, &db).unwrap();
         let result = execute(&plan, &db);
-        let pres: Vec<i64> = result.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let pres: Vec<i64> = result
+            .rows()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
         let mut sorted = pres.clone();
         sorted.sort();
         assert_eq!(pres, sorted);

@@ -145,7 +145,7 @@ mod tests {
                     eq: vec![("name".into(), SqlExpr::lit("open_auction"))],
                     range_col: Some("pre".into()),
                     lower: Some((SqlExpr::col("d1", "pre"), false)),
-                    upper: Some((SqlExpr::col("d1", "pre").add(SqlExpr::col("d1", "size")), true)),
+                    upper: Some((SqlExpr::col("d1", "pre") + SqlExpr::col("d1", "size"), true)),
                 },
                 residual: vec![],
             },

@@ -20,7 +20,7 @@ use crate::sql::{SfwQuery, SqlCmp, SqlExpr, SqlPredicate};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::ops::Bound;
-use xqjg_store::{Database, Value};
+use xqjg_store::Database;
 
 /// Cost-model constants (arbitrary units; only relative magnitudes matter).
 mod cost {
@@ -298,16 +298,20 @@ impl<'a> Planner<'a> {
         // Hash join: only when an equality key against the bound set exists.
         let hash_keys = self.hash_keys(&info.alias, &bound);
         let (best_method, access, residual, total_cost, keys) = if hash_keys.is_empty() {
-            (JoinMethod::NestedLoop, nl_access, nl_residual, nl_cost, vec![])
+            (
+                JoinMethod::NestedLoop,
+                nl_access,
+                nl_residual,
+                nl_cost,
+                vec![],
+            )
         } else {
             let empty = HashSet::new();
             let (inner_access, inner_cost, inner_rows) =
                 self.best_access(&info.alias, &info.table, &empty);
             let hash_residual = self.residual_after_hash(&info.alias, &bound, &hash_keys);
-            let hash_cost = entry.cost
-                + inner_cost
-                + inner_rows * cost::HASH_ROW
-                + entry.card * cost::HASH_ROW;
+            let hash_cost =
+                entry.cost + inner_cost + inner_rows * cost::HASH_ROW + entry.card * cost::HASH_ROW;
             if hash_cost < nl_cost {
                 (
                     JoinMethod::Hash,
@@ -317,7 +321,13 @@ impl<'a> Planner<'a> {
                     hash_keys,
                 )
             } else {
-                (JoinMethod::NestedLoop, nl_access, nl_residual, nl_cost, vec![])
+                (
+                    JoinMethod::NestedLoop,
+                    nl_access,
+                    nl_residual,
+                    nl_cost,
+                    vec![],
+                )
             }
         };
 
@@ -502,12 +512,7 @@ impl<'a> Planner<'a> {
 
     /// Choose the cheapest access path for `alias` given the bound aliases.
     /// Returns `(access, per_probe_cost, per_probe_rows)`.
-    fn best_access(
-        &self,
-        alias: &str,
-        table: &str,
-        bound: &HashSet<String>,
-    ) -> (Access, f64, f64) {
+    fn best_access(&self, alias: &str, table: &str, bound: &HashSet<String>) -> (Access, f64, f64) {
         let avail = self.available_predicates(alias, bound);
         let stats = self.db.stats(table);
         let total_rows = stats.map(|s| s.rows as f64).unwrap_or(1.0).max(1.0);
@@ -521,9 +526,12 @@ impl<'a> Planner<'a> {
         let out_rows = (total_rows * overall_sel).max(1e-6);
 
         // Table scan baseline.
-        let scan_cost = total_rows * cost::TB_ROW + avail.len() as f64 * total_rows * cost::RESIDUAL;
+        let scan_cost =
+            total_rows * cost::TB_ROW + avail.len() as f64 * total_rows * cost::RESIDUAL;
         let mut best = (
-            Access::TableScan { preds: avail.clone() },
+            Access::TableScan {
+                preds: avail.clone(),
+            },
             scan_cost,
             out_rows,
         );
@@ -679,29 +687,21 @@ fn match_index_bounds(
                 continue;
             };
             match op {
-                SqlCmp::Gt => {
-                    if lower.is_none() {
-                        lower = Some((other, false));
-                        consumed.push(p.clone());
-                    }
+                SqlCmp::Gt if lower.is_none() => {
+                    lower = Some((other, false));
+                    consumed.push(p.clone());
                 }
-                SqlCmp::Ge => {
-                    if lower.is_none() {
-                        lower = Some((other, true));
-                        consumed.push(p.clone());
-                    }
+                SqlCmp::Ge if lower.is_none() => {
+                    lower = Some((other, true));
+                    consumed.push(p.clone());
                 }
-                SqlCmp::Lt => {
-                    if upper.is_none() {
-                        upper = Some((other, false));
-                        consumed.push(p.clone());
-                    }
+                SqlCmp::Lt if upper.is_none() => {
+                    upper = Some((other, false));
+                    consumed.push(p.clone());
                 }
-                SqlCmp::Le => {
-                    if upper.is_none() {
-                        upper = Some((other, true));
-                        consumed.push(p.clone());
-                    }
+                SqlCmp::Le if upper.is_none() => {
+                    upper = Some((other, true));
+                    consumed.push(p.clone());
                 }
                 _ => {}
             }
@@ -721,9 +721,9 @@ fn match_index_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::{FromItem, OrderItem, SelectItem};
     use crate::sql::ColRef;
-    use xqjg_store::{IndexDef, Schema, Table};
+    use crate::sql::{FromItem, OrderItem, SelectItem};
+    use xqjg_store::{IndexDef, Schema, Table, Value};
 
     /// Build a toy doc-like database with name/kind skew and indexes.
     fn toy_db() -> Database {
@@ -810,7 +810,7 @@ mod tests {
                 SqlPredicate::new(
                     SqlExpr::col("d2", "pre"),
                     SqlCmp::Le,
-                    SqlExpr::col("d1", "pre").add(SqlExpr::col("d1", "size")),
+                    SqlExpr::col("d1", "pre") + SqlExpr::col("d1", "size"),
                 ),
             ],
             order_by: vec![OrderItem {
@@ -860,7 +860,12 @@ mod tests {
             SqlPredicate::new(SqlExpr::col("d", "kind"), SqlCmp::Eq, SqlExpr::lit("ELEM")),
             SqlPredicate::new(SqlExpr::col("d", "data"), SqlCmp::Gt, SqlExpr::lit(500i64)),
         ];
-        let keys = vec!["name".to_string(), "kind".to_string(), "data".to_string(), "pre".to_string()];
+        let keys = vec![
+            "name".to_string(),
+            "kind".to_string(),
+            "data".to_string(),
+            "pre".to_string(),
+        ];
         let (bounds, consumed) = match_index_bounds("d", &keys, &avail);
         assert_eq!(bounds.eq.len(), 2);
         assert_eq!(bounds.range_col.as_deref(), Some("data"));
@@ -947,7 +952,10 @@ mod tests {
         let plan = optimize(&q, &db).unwrap();
         let uses_hash = matches!(
             &plan.root,
-            JoinNode::Join { method: JoinMethod::Hash, .. }
+            JoinNode::Join {
+                method: JoinMethod::Hash,
+                ..
+            }
         );
         assert!(uses_hash, "expected a hash join, got {:?}", plan.root);
     }

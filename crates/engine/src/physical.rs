@@ -53,7 +53,11 @@ impl Access {
     pub fn label(&self) -> String {
         match self {
             Access::TableScan { preds } => format!("TBSCAN [{} filter(s)]", preds.len()),
-            Access::IndexScan { index, bounds, residual } => format!(
+            Access::IndexScan {
+                index,
+                bounds,
+                residual,
+            } => format!(
                 "IXSCAN ix={index} ({} key col(s) bound, {} residual)",
                 bounds.matched_columns(),
                 residual.len()
@@ -201,7 +205,10 @@ mod tests {
             residual: vec![],
             est_rows: 20.0,
         };
-        assert_eq!(join.bound_aliases(), vec!["d1".to_string(), "d2".to_string()]);
+        assert_eq!(
+            join.bound_aliases(),
+            vec!["d1".to_string(), "d2".to_string()]
+        );
         assert_eq!(join.alias(), "d2");
         assert_eq!(join.est_rows(), 20.0);
     }

@@ -47,6 +47,14 @@ pub enum SqlExpr {
     Add(Box<SqlExpr>, Box<SqlExpr>),
 }
 
+impl std::ops::Add for SqlExpr {
+    type Output = SqlExpr;
+
+    fn add(self, other: SqlExpr) -> Self {
+        SqlExpr::Add(Box::new(self), Box::new(other))
+    }
+}
+
 impl SqlExpr {
     /// Column expression helper.
     pub fn col(table: impl Into<String>, column: impl Into<String>) -> Self {
@@ -56,11 +64,6 @@ impl SqlExpr {
     /// Literal helper.
     pub fn lit(v: impl Into<Value>) -> Self {
         SqlExpr::Lit(v.into())
-    }
-
-    /// Sum helper.
-    pub fn add(self, other: SqlExpr) -> Self {
-        SqlExpr::Add(Box::new(self), Box::new(other))
     }
 
     /// Table aliases referenced by the expression.
@@ -318,7 +321,7 @@ mod tests {
                 SqlPredicate::new(
                     SqlExpr::col(inner, "pre"),
                     SqlCmp::Le,
-                    SqlExpr::col(outer, "pre").add(SqlExpr::col(outer, "size")),
+                    SqlExpr::col(outer, "pre") + SqlExpr::col(outer, "size"),
                 ),
             ]
         };
@@ -349,7 +352,7 @@ mod tests {
         ));
         where_clause.extend(axis("d2", "d3"));
         where_clause.push(SqlPredicate::new(
-            SqlExpr::col("d2", "level").add(SqlExpr::lit(1i64)),
+            SqlExpr::col("d2", "level") + SqlExpr::lit(1i64),
             SqlCmp::Eq,
             SqlExpr::col("d3", "level"),
         ));
@@ -391,7 +394,7 @@ mod tests {
 
     #[test]
     fn expr_helpers() {
-        let e = SqlExpr::col("d1", "pre").add(SqlExpr::lit(1i64));
+        let e = SqlExpr::col("d1", "pre") + SqlExpr::lit(1i64);
         let mut ts = HashSet::new();
         e.tables(&mut ts);
         assert!(ts.contains("d1"));

@@ -5,7 +5,9 @@
 //! front half (XQuery compiler + isolation) and the back half (relational
 //! engine) coupled only through SQL, exactly as in the paper's architecture.
 
-use crate::sql::{ColRef, FromItem, OrderItem, SelectItem, SfwQuery, SqlCmp, SqlExpr, SqlPredicate};
+use crate::sql::{
+    ColRef, FromItem, OrderItem, SelectItem, SfwQuery, SqlCmp, SqlExpr, SqlPredicate,
+};
 use std::fmt;
 use xqjg_store::Value;
 
@@ -20,7 +22,11 @@ pub struct SqlParseError {
 
 impl fmt::Display for SqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "SQL parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -247,10 +253,10 @@ impl P {
             select.push(self.select_item()?);
         }
         self.expect_kw("FROM")?;
-        let mut from = vec![self.from_item()?];
+        let mut from = vec![self.parse_from_item()?];
         while matches!(self.peek(), Tok::Comma) {
             self.pos += 1;
-            from.push(self.from_item()?);
+            from.push(self.parse_from_item()?);
         }
         let mut where_clause = Vec::new();
         if self.eat_kw("WHERE") {
@@ -291,7 +297,7 @@ impl P {
         let mut expr = SqlExpr::Col(ColRef::new(table, column));
         while matches!(self.peek(), Tok::Plus) {
             self.pos += 1;
-            expr = expr.add(self.scalar_atom()?);
+            expr = expr + self.scalar_atom()?;
         }
         let alias = if self.eat_kw("AS") {
             self.ident()?
@@ -304,7 +310,7 @@ impl P {
         Ok(SelectItem::Expr { expr, alias })
     }
 
-    fn from_item(&mut self) -> Result<FromItem, SqlParseError> {
+    fn parse_from_item(&mut self) -> Result<FromItem, SqlParseError> {
         let table = self.ident()?;
         let alias = if self.eat_kw("AS") {
             self.ident()?
@@ -355,7 +361,7 @@ impl P {
         let mut expr = self.scalar_atom()?;
         while matches!(self.peek(), Tok::Plus) {
             self.pos += 1;
-            expr = expr.add(self.scalar_atom()?);
+            expr = expr + self.scalar_atom()?;
         }
         Ok(expr)
     }
@@ -456,7 +462,9 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        let q = parse_sql("select distinct d1.* from doc as d1 where d1.kind = 'DOC' order by d1.pre").unwrap();
+        let q =
+            parse_sql("select distinct d1.* from doc as d1 where d1.kind = 'DOC' order by d1.pre")
+                .unwrap();
         assert!(q.distinct);
         assert_eq!(q.order_by.len(), 1);
     }

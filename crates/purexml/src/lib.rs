@@ -286,7 +286,10 @@ fn nodes_matching_path(doc: &DocTable, root: Pre, path: &[&str]) -> Vec<Pre> {
         let (axis, test) = if let Some(attr) = component.strip_prefix('@') {
             (Axis::Attribute, NodeTest::name(attr))
         } else if i == 0 {
-            (Axis::DescendantOrSelf, NodeTest::Element(Some(component.to_string())))
+            (
+                Axis::DescendantOrSelf,
+                NodeTest::Element(Some(component.to_string())),
+            )
         } else {
             (Axis::Child, NodeTest::name(*component))
         };
@@ -410,10 +413,7 @@ fn rebind_doc(core: &CoreExpr, ancestors: &std::collections::HashSet<String>) ->
     }
 }
 
-fn rebind_condition(
-    cond: &Condition,
-    ancestors: &std::collections::HashSet<String>,
-) -> Condition {
+fn rebind_condition(cond: &Condition, ancestors: &std::collections::HashSet<String>) -> Condition {
     match cond {
         Condition::Exists(e) => Condition::Exists(rebind_doc(e, ancestors).0),
         Condition::Compare { lhs, op, rhs } => Condition::Compare {
@@ -483,7 +483,8 @@ mod tests {
     #[test]
     fn evaluation_matches_reference_interpreter() {
         let doc = instance();
-        let core = parse_and_normalize("//closed_auction[price > 500]", Some("auction.xml")).unwrap();
+        let core =
+            parse_and_normalize("//closed_auction[price > 500]", Some("auction.xml")).unwrap();
         let expected = xqjg_xquery::interpret(&core, &doc).unwrap();
         for storage in [Storage::Whole, Storage::Segmented { depth: 3 }] {
             let store = PureXmlStore::new(&doc, storage);
@@ -517,7 +518,8 @@ mod tests {
         let doc = instance();
         let mut store = PureXmlStore::new(&doc, Storage::Segmented { depth: 3 });
         store.create_pattern_index(&["closed_auction", "price"]);
-        let core = parse_and_normalize("//closed_auction[price > 500]", Some("auction.xml")).unwrap();
+        let core =
+            parse_and_normalize("//closed_auction[price > 500]", Some("auction.xml")).unwrap();
         let (items, scanned) = store.evaluate(&core);
         assert_eq!(items.len(), 1);
         assert_eq!(scanned, 1);

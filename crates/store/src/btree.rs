@@ -124,9 +124,8 @@ impl BPlusTree {
         while level_ids.len() > 1 {
             let mut parent_ids = Vec::new();
             let mut parent_first_keys = Vec::new();
-            for (chunk_ids, chunk_keys) in level_ids
-                .chunks(ORDER)
-                .zip(level_first_keys.chunks(ORDER))
+            for (chunk_ids, chunk_keys) in
+                level_ids.chunks(ORDER).zip(level_first_keys.chunks(ORDER))
             {
                 let id = nodes.len();
                 parent_first_keys.push(chunk_keys[0].clone());
@@ -278,22 +277,18 @@ impl BPlusTree {
         }
         // Find the first leaf that may contain qualifying keys.
         let mut node_id = self.root;
-        loop {
-            match &self.nodes[node_id] {
-                Node::Internal {
-                    separators,
-                    children,
-                } => {
-                    let idx = match lower {
-                        Bound::Unbounded => 0,
-                        Bound::Included(p) | Bound::Excluded(p) => {
-                            separators.partition_point(|s| cmp_prefix(s, p) == Ordering::Less)
-                        }
-                    };
-                    node_id = children[idx.min(children.len() - 1)];
+        while let Node::Internal {
+            separators,
+            children,
+        } = &self.nodes[node_id]
+        {
+            let idx = match lower {
+                Bound::Unbounded => 0,
+                Bound::Included(p) | Bound::Excluded(p) => {
+                    separators.partition_point(|s| cmp_prefix(s, p) == Ordering::Less)
                 }
-                Node::Leaf { .. } => break,
-            }
+            };
+            node_id = children[idx.min(children.len() - 1)];
         }
         // Walk the leaf chain collecting qualifying entries.
         let mut current = Some(node_id);
@@ -403,7 +398,8 @@ mod tests {
 
     #[test]
     fn bulk_load_equals_insert() {
-        let entries: Vec<(Key, usize)> = (0..1000).map(|i| (key(&[i % 7, i]), i as usize)).collect();
+        let entries: Vec<(Key, usize)> =
+            (0..1000).map(|i| (key(&[i % 7, i]), i as usize)).collect();
         let bulk = BPlusTree::bulk_load(entries.clone());
         let mut inc = BPlusTree::new();
         for (k, r) in entries {

@@ -187,7 +187,10 @@ mod tests {
         assert_eq!(hits.len(), 50);
         // Every returned row id indeed stores name = 'item'.
         for rid in hits {
-            assert_eq!(db.fetch("doc", rid, &["name".to_string()])[0], Value::str("item"));
+            assert_eq!(
+                db.fetch("doc", rid, &["name".to_string()])[0],
+                Value::str("item")
+            );
         }
     }
 
@@ -208,7 +211,10 @@ mod tests {
         assert!(ix.key_prefix_matches(&["name".to_string()]));
         assert!(ix.key_prefix_matches(&["name".to_string(), "pre".to_string()]));
         assert!(!ix.key_prefix_matches(&["pre".to_string()]));
-        assert_eq!(ix.covered_columns(), vec!["name".to_string(), "pre".to_string()]);
+        assert_eq!(
+            ix.covered_columns(),
+            vec!["name".to_string(), "pre".to_string()]
+        );
     }
 
     #[test]
@@ -222,7 +228,10 @@ mod tests {
             clustered: true,
         });
         assert_eq!(db.indexes_on("doc").len(), 1);
-        assert_eq!(db.index("np").unwrap().def.key_columns, vec!["pre".to_string()]);
+        assert_eq!(
+            db.index("np").unwrap().def.key_columns,
+            vec!["pre".to_string()]
+        );
     }
 
     #[test]

@@ -80,7 +80,8 @@ impl ColumnStats {
             return 1.0 / self.rows as f64;
         }
         if self.histogram.is_empty() {
-            return (((hi.min(max_f) - lo.max(min_f)) / (max_f - min_f)).clamp(0.0, 1.0)).max(1.0 / self.rows as f64);
+            return (((hi.min(max_f) - lo.max(min_f)) / (max_f - min_f)).clamp(0.0, 1.0))
+                .max(1.0 / self.rows as f64);
         }
         // Histogram-based estimate.
         let width = (max_f - min_f) / self.histogram.len() as f64;
@@ -126,10 +127,10 @@ impl TableStats {
                     continue;
                 }
                 *freq.entry(v.clone()).or_insert(0) += 1;
-                if min.as_ref().map_or(true, |m| v < m) {
+                if min.as_ref().is_none_or(|m| v < m) {
                     min = Some(v.clone());
                 }
-                if max.as_ref().map_or(true, |m| v > m) {
+                if max.as_ref().is_none_or(|m| v > m) {
                     max = Some(v.clone());
                 }
             }
@@ -243,7 +244,10 @@ mod tests {
         assert!(half > 0.35 && half < 0.65, "got {half}");
         let all = price.range_selectivity(Bound::Unbounded, Bound::Unbounded);
         assert!(all > 0.9);
-        let none = price.range_selectivity(Bound::Included(&Value::Int(95)), Bound::Included(&Value::Int(99)));
+        let none = price.range_selectivity(
+            Bound::Included(&Value::Int(95)),
+            Bound::Included(&Value::Int(99)),
+        );
         assert!(none < 0.2);
     }
 

@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn type_order_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("a"),
             Value::Int(1),
             Value::Null,
@@ -245,10 +245,7 @@ mod tests {
     fn sql_cmp_propagates_null() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(1)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::Preceding
+                | Axis::PrecedingSibling
         )
     }
 
@@ -143,8 +147,12 @@ impl Axis {
             Axis::AncestorOrSelf => p <= p0 && p0 <= p + s,
             Axis::Following => p > p0 + s0 && !cand_is_attr,
             Axis::Preceding => p + s < p0 && !cand_is_attr && ctx.kind != NodeKind::Attribute,
-            Axis::FollowingSibling => p > p0 && l == l0 && p <= sibling_bound(ctx, cand) && !cand_is_attr,
-            Axis::PrecedingSibling => p < p0 && l == l0 && p0 <= sibling_bound(cand, ctx) && !cand_is_attr,
+            Axis::FollowingSibling => {
+                p > p0 && l == l0 && p <= sibling_bound(ctx, cand) && !cand_is_attr
+            }
+            Axis::PrecedingSibling => {
+                p < p0 && l == l0 && p0 <= sibling_bound(cand, ctx) && !cand_is_attr
+            }
             Axis::SelfAxis => p == p0,
             Axis::Attribute => p0 < p && p <= p0 + s0 && l0 + 1 == l && cand_is_attr,
         }
@@ -203,15 +211,15 @@ impl NodeTest {
             NodeTest::DocumentNode => row.kind == NodeKind::Document,
             NodeTest::Name(n) => {
                 row.kind == axis.principal_node_kind()
-                    && n.as_deref().map_or(true, |n| row.name.as_deref() == Some(n))
+                    && n.as_deref().is_none_or(|n| row.name.as_deref() == Some(n))
             }
             NodeTest::Element(n) => {
                 row.kind == NodeKind::Element
-                    && n.as_deref().map_or(true, |n| row.name.as_deref() == Some(n))
+                    && n.as_deref().is_none_or(|n| row.name.as_deref() == Some(n))
             }
             NodeTest::Attribute(n) => {
                 row.kind == NodeKind::Attribute
-                    && n.as_deref().map_or(true, |n| row.name.as_deref() == Some(n))
+                    && n.as_deref().is_none_or(|n| row.name.as_deref() == Some(n))
             }
         }
     }
@@ -359,12 +367,7 @@ mod tests {
     #[test]
     fn descendant_from_document_root() {
         let t = table();
-        let result = step(
-            &t,
-            &[Pre(0)],
-            Axis::Descendant,
-            &NodeTest::name("bidder"),
-        );
+        let result = step(&t, &[Pre(0)], Axis::Descendant, &NodeTest::name("bidder"));
         assert_eq!(result, vec![Pre(5)]);
     }
 
@@ -426,7 +429,10 @@ mod tests {
             step(&t, &[Pre(4)], Axis::SelfAxis, &NodeTest::Text),
             vec![Pre(4)]
         );
-        assert_eq!(step(&t, &[Pre(4)], Axis::SelfAxis, &NodeTest::name("x")), vec![]);
+        assert_eq!(
+            step(&t, &[Pre(4)], Axis::SelfAxis, &NodeTest::name("x")),
+            vec![]
+        );
     }
 
     #[test]

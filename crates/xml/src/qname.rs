@@ -62,7 +62,14 @@ mod tests {
 
     #[test]
     fn valid_names() {
-        for n in ["a", "open_auction", "closed-auction", "p.x", "_x", "ns:item"] {
+        for n in [
+            "a",
+            "open_auction",
+            "closed-auction",
+            "p.x",
+            "_x",
+            "ns:item",
+        ] {
             assert!(is_valid_qname(n), "{n} should be valid");
         }
     }

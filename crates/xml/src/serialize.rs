@@ -106,10 +106,7 @@ pub fn serialize_subtree(table: &DocTable, pre: Pre, out: &mut String) {
 /// i.e. the size of the `descendant-or-self::node()` closure.  Table IX's
 /// "# nodes" column reports exactly this quantity.
 pub fn serialized_node_count(table: &DocTable, nodes: &[Pre]) -> usize {
-    nodes
-        .iter()
-        .map(|&p| table.row(p).size as usize + 1)
-        .sum()
+    nodes.iter().map(|&p| table.row(p).size as usize + 1).sum()
 }
 
 fn push_escaped(out: &mut String, s: &str, in_attribute: bool) {

@@ -200,7 +200,12 @@ impl Expr {
                     out.push(v.clone());
                 }
             }
-            Expr::For { var, seq, body } | Expr::Let { var, value: seq, body } => {
+            Expr::For { var, seq, body }
+            | Expr::Let {
+                var,
+                value: seq,
+                body,
+            } => {
                 seq.free_vars_rec(bound, out);
                 bound.push(var.clone());
                 body.free_vars_rec(bound, out);
@@ -229,11 +234,7 @@ impl Expr {
                     e.free_vars_rec(bound, out);
                 }
             }
-            Expr::Doc(_)
-            | Expr::Root
-            | Expr::ContextItem
-            | Expr::Literal(_)
-            | Expr::Empty => {}
+            Expr::Doc(_) | Expr::Root | Expr::ContextItem | Expr::Literal(_) | Expr::Empty => {}
         }
     }
 }

@@ -303,7 +303,10 @@ mod tests {
     fn for_loop_preserves_iteration_order_and_duplicates() {
         let doc = auction_doc();
         // Each open_auction contributes its bidders; a3 has two.
-        let result = run(r#"for $a in //open_auction return $a/bidder/increase"#, &doc);
+        let result = run(
+            r#"for $a in //open_auction return $a/bidder/increase"#,
+            &doc,
+        );
         assert_eq!(result.len(), 3);
         // Document order within each iteration, iterations in sequence order.
         let values: Vec<String> = result.iter().map(|p| doc.string_value(*p)).collect();

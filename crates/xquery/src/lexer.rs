@@ -107,7 +107,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XQuery parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XQuery parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -247,7 +251,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 // Distinguish "." (context item) from a decimal like ".5".
                 if bytes
                     .get(pos + 1)
-                    .map_or(false, |b| (*b as char).is_ascii_digit())
+                    .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     let (tok, next) = scan_number(input, pos)?;
                     out.push(tok);
@@ -267,7 +271,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 out.push(Token::Name(input[pos..end].to_string()));
                 pos = end;
             }
-            other => return Err(ParseError::new(pos, format!("unexpected character {other:?}"))),
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
         }
     }
     out.push(Token::Eof);

@@ -334,7 +334,8 @@ mod tests {
         let rendered = core.render();
         // Paper, Section II-D: for $x in fs:ddo(doc(...)/descendant::open_auction)
         //   return if (fn:boolean(fs:ddo($x/child::bidder))) then $x else ()
-        assert!(rendered.starts_with("for $#p1 in fs:ddo(doc(\"auction.xml\")/descendant::open_auction)"));
+        assert!(rendered
+            .starts_with("for $#p1 in fs:ddo(doc(\"auction.xml\")/descendant::open_auction)"));
         assert!(rendered.contains("if (fn:boolean(fs:ddo($#p1/child::bidder)))"));
         assert!(rendered.ends_with("then $#p1 else ()"));
     }
@@ -364,10 +365,8 @@ mod tests {
 
     #[test]
     fn where_desugaring_flows_through() {
-        let q = parse(
-            r#"for $i in doc("d.xml")//item where $i/@id = "i0" return $i/name"#,
-        )
-        .unwrap();
+        let q =
+            parse(r#"for $i in doc("d.xml")//item where $i/@id = "i0" return $i/name"#).unwrap();
         let core = normalize(&q, None).unwrap();
         let rendered = core.render();
         assert!(rendered.contains("if (fn:boolean(fs:ddo($i/attribute::id) = \"i0\"))"));

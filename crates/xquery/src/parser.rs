@@ -436,7 +436,11 @@ impl Parser {
                 self.advance();
                 let uri = match self.advance() {
                     Token::StringLit(s) => s,
-                    other => return Err(self.err(format!("doc() expects a string literal, found {other}"))),
+                    other => {
+                        return Err(
+                            self.err(format!("doc() expects a string literal, found {other}"))
+                        )
+                    }
                 };
                 self.expect(Token::RParen)?;
                 Ok(Expr::Doc(uri))
@@ -476,7 +480,9 @@ mod tests {
                     ref other => panic!("expected step, got {other:?}"),
                 }
                 match *pred {
-                    Expr::Step { axis, ref input, .. } => {
+                    Expr::Step {
+                        axis, ref input, ..
+                    } => {
                         assert_eq!(axis, Axis::Child);
                         assert_eq!(**input, Expr::ContextItem);
                     }
@@ -536,9 +542,7 @@ mod tests {
         let q4_first = {
             fn first_step(e: &Expr) -> Option<(&Axis, &NodeTest)> {
                 match e {
-                    Expr::Step { input, axis, test } => {
-                        first_step(input).or(Some((axis, test)))
-                    }
+                    Expr::Step { input, axis, test } => first_step(input).or(Some((axis, test))),
                     Expr::Filter { input, .. } => first_step(input),
                     _ => None,
                 }
@@ -581,7 +585,9 @@ mod tests {
         )
         .unwrap();
         match q6b {
-            Expr::For { body, .. } => assert!(matches!(*body, Expr::Sequence(ref i) if i.len() == 3)),
+            Expr::For { body, .. } => {
+                assert!(matches!(*body, Expr::Sequence(ref i) if i.len() == 3))
+            }
             other => panic!("expected for, got {other:?}"),
         }
     }

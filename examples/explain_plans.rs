@@ -40,9 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let prepared = processor.prepare(query)?;
     let branch = &prepared.branches[0];
-    println!("\n=== stacked plan ({} operators) ===", branch.stacked.size());
+    println!(
+        "\n=== stacked plan ({} operators) ===",
+        branch.stacked.size()
+    );
     println!("{}", xqjg::algebra::render_text(&branch.stacked));
-    println!("=== isolated plan ({} operators) ===", branch.isolated_plan.size());
+    println!(
+        "=== isolated plan ({} operators) ===",
+        branch.isolated_plan.size()
+    );
     println!("{}", xqjg::algebra::render_text(&branch.isolated_plan));
     println!("=== emitted SQL ===\n{}\n", branch.isolated.sql());
 

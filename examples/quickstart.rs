@@ -41,6 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let out = processor.execute(query, Mode::JoinGraph)?;
-    println!("\n=== serialized result ===\n{}", processor.serialize(&out.items));
+    println!(
+        "\n=== serialized result ===\n{}",
+        processor.serialize(&out.items)
+    );
     Ok(())
 }

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     processor.create_default_indexes();
 
     let queries = [
-        ("Q1", r#"doc("auction.xml")/descendant::open_auction[bidder]"#),
+        (
+            "Q1",
+            r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+        ),
         (
             "Q2",
             r#"let $a := doc("auction.xml")
@@ -37,14 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Q4", "//closed_auction/price/text()"),
     ];
 
-    println!("{:<4} {:>9} {:>12} {:>12} {:>9}", "", "# results", "stacked (s)", "isolated (s)", "speed-up");
+    println!(
+        "{:<4} {:>9} {:>12} {:>12} {:>9}",
+        "", "# results", "stacked (s)", "isolated (s)", "speed-up"
+    );
     for (id, text) in queries {
         let isolated = processor.execute(text, Mode::JoinGraph)?;
         // The stacked plan for Q2 is very slow beyond small scales — skip.
         let stacked_secs = if id == "Q2" && scale > 0.3 {
             None
         } else {
-            Some(processor.execute(text, Mode::Stacked)?.elapsed.as_secs_f64())
+            Some(
+                processor
+                    .execute(text, Mode::Stacked)?
+                    .elapsed
+                    .as_secs_f64(),
+            )
         };
         let iso_secs = isolated.elapsed.as_secs_f64();
         match stacked_secs {

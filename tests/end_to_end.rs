@@ -32,14 +32,20 @@ fn assert_modes_agree(p: &mut Processor, query: &str) -> usize {
     let stacked = p.execute(query, Mode::Stacked).expect("stacked");
     let isolated = p.execute(query, Mode::JoinGraph).expect("join graph");
     assert_eq!(stacked.items, oracle.items, "stacked differs for {query}");
-    assert_eq!(isolated.items, oracle.items, "join graph differs for {query}");
+    assert_eq!(
+        isolated.items, oracle.items,
+        "join graph differs for {query}"
+    );
     oracle.items.len()
 }
 
 #[test]
 fn q1_descendant_filter() {
     let mut p = xmark_processor(0.03);
-    let n = assert_modes_agree(&mut p, r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+    let n = assert_modes_agree(
+        &mut p,
+        r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+    );
     assert!(n > 0, "Q1 must select auctions with bidders");
 }
 
@@ -62,7 +68,10 @@ fn q2_triple_value_join() {
 #[test]
 fn q3_point_lookup_and_q4_path_scan() {
     let mut p = xmark_processor(0.03);
-    let n3 = assert_modes_agree(&mut p, r#"/site/people/person[@id = "person0"]/name/text()"#);
+    let n3 = assert_modes_agree(
+        &mut p,
+        r#"/site/people/person[@id = "person0"]/name/text()"#,
+    );
     assert_eq!(n3, 1);
     let n4 = assert_modes_agree(&mut p, "//closed_auction/price/text()");
     assert!(n4 > 5);
@@ -93,8 +102,14 @@ fn q5_wildcard_with_key_and_q6_theses() {
 #[test]
 fn reverse_axis_queries_agree() {
     let mut p = xmark_processor(0.02);
-    assert_modes_agree(&mut p, "for $b in //bidder return $b/ancestor::open_auction");
-    assert_modes_agree(&mut p, "for $pr in //price return $pr/parent::closed_auction");
+    assert_modes_agree(
+        &mut p,
+        "for $b in //bidder return $b/ancestor::open_auction",
+    );
+    assert_modes_agree(
+        &mut p,
+        "for $pr in //price return $pr/parent::closed_auction",
+    );
     assert_modes_agree(
         &mut p,
         "for $x in //open_auction[bidder] return $x/descendant-or-self::bidder",
@@ -108,9 +123,18 @@ fn navigational_baseline_agrees_on_single_document_queries() {
     p.load_encoded("auction.xml", doc.clone());
     p.create_default_indexes();
     for (query, indexed_path) in [
-        (r#"/site/people/person[@id = "person0"]/name/text()"#, vec!["person", "@id"]),
-        ("//closed_auction/price/text()", vec!["closed_auction", "price"]),
-        (r#"doc("auction.xml")/descendant::open_auction[bidder]"#, vec![]),
+        (
+            r#"/site/people/person[@id = "person0"]/name/text()"#,
+            vec!["person", "@id"],
+        ),
+        (
+            "//closed_auction/price/text()",
+            vec!["closed_auction", "price"],
+        ),
+        (
+            r#"doc("auction.xml")/descendant::open_auction[bidder]"#,
+            vec![],
+        ),
     ] {
         let expected = p.execute(query, Mode::JoinGraph).unwrap().items;
         let core = parse_and_normalize(query, Some("auction.xml")).unwrap();
@@ -154,7 +178,10 @@ fn isolation_produces_compact_sql_for_the_whole_query_set() {
 fn serialization_round_trips_query_results() {
     let mut p = xmark_processor(0.02);
     let out = p
-        .execute(r#"/site/people/person[@id = "person0"]/name"#, Mode::JoinGraph)
+        .execute(
+            r#"/site/people/person[@id = "person0"]/name"#,
+            Mode::JoinGraph,
+        )
         .unwrap();
     let xml_text = p.serialize(&out.items);
     assert!(xml_text.starts_with("<name>"));

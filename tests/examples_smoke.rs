@@ -1,0 +1,30 @@
+//! Smoke test: every example must run to completion (exit status 0).
+//!
+//! The examples double as end-to-end demos of the pipeline (parse →
+//! loop-lift → isolate → SQL → execute), so a panic or non-zero exit in
+//! any of them is a regression even when the unit suites stay green.
+
+use std::process::Command;
+
+/// Run `cargo run --example <name>` with the same cargo/toolchain that is
+/// running this test and return the exit status.
+fn run_example(name: &str) -> std::process::ExitStatus {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        // Keep the example's own (possibly verbose) stdout out of the test
+        // log; stderr stays visible for diagnostics on failure.
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"))
+}
+
+#[test]
+fn all_examples_exit_zero() {
+    for name in ["quickstart", "explain_plans", "xmark_auctions"] {
+        let status = run_example(name);
+        assert!(status.success(), "example {name} exited with {status:?}");
+    }
+}

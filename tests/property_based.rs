@@ -59,7 +59,7 @@ proptest! {
         // The document root spans the whole table; every subtree stays in bounds.
         prop_assert_eq!(table.row(Pre(0)).size as usize, table.len() - 1);
         for row in table.rows() {
-            prop_assert!(row.pre as usize + row.size as usize <= table.len() - 1);
+            prop_assert!((row.pre as usize + row.size as usize) < table.len());
             if row.pre > 0 {
                 prop_assert!(row.level >= 1);
             }
