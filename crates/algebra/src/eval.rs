@@ -1,17 +1,27 @@
-//! Direct, operator-at-a-time evaluation of algebra plans.
+//! Pipelined evaluation of algebra plans.
 //!
-//! Every operator materializes its full result table, exactly like the
-//! staged execution (SORT → temporary table → scan) that a relational
-//! back-end falls back to for the compiler's *stacked* plans.  This
-//! evaluator therefore doubles as
+//! Historically every operator here materialized its full result table —
+//! the staged execution (SORT → temporary table → scan) a relational
+//! back-end falls back to for the compiler's *stacked* plans.  The
+//! evaluator now runs on the same pull-based [`Operator`] substrate as the
+//! join-graph executor: single-parent operator chains stream fixed-capacity
+//! row [`Batch`]es (σ, π, `@`, `#`, δ all pipeline), and only genuine
+//! pipeline breakers (ϱ, the serialization sort, join/cross build sides)
+//! and *shared* DAG sub-plans buffer rows.  The evaluator still doubles as
 //!
 //! 1. the semantics reference for the rewriter (isolation must not change
 //!    the evaluated result), and
-//! 2. the "DB2 + Pathfinder, stacked" baseline column of Table IX.
+//! 2. the "DB2 + Pathfinder, stacked" baseline column of Table IX — the
+//!    per-operator [`OpStats`] reproduce the old materialized-row
+//!    accounting exactly (each DAG node is counted once).
 
-use crate::ir::{CmpOp, OpId, OpKind, Plan, Predicate, Scalar};
-use std::collections::HashMap;
-use xqjg_store::{Row, Schema, Table, Value};
+use crate::ir::{CmpOp, Comparison, OpId, OpKind, Plan, Predicate, Scalar};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+use xqjg_store::{
+    drain, fill_from_pending, hash_values, new_stats_sink, Batch, BoxedOperator, OpStats, Operator,
+    Row, Schema, StatsSink, Table, Value,
+};
 
 /// Evaluation context: the base relations a plan may reference.
 pub struct EvalContext<'a> {
@@ -22,131 +32,600 @@ pub struct EvalContext<'a> {
 /// Evaluate a plan to its result table (the table produced at the
 /// serialization point).
 pub fn evaluate(plan: &Plan, ctx: &EvalContext<'_>) -> Table {
-    let mut memo: HashMap<OpId, Table> = HashMap::new();
-    for id in plan.topo_order() {
-        let table = eval_op(plan, id, ctx, &memo);
-        memo.insert(id, table);
-    }
-    memo.remove(&plan.root()).expect("root must be evaluated")
+    evaluate_with_stats(plan, ctx).0
 }
 
-/// Number of rows materialized across all operators (a simple work metric
-/// used by the benchmarks to contrast stacked and isolated plans).
+/// Evaluate a plan, additionally returning the per-operator work counters
+/// (one entry per reachable DAG node, upstream operators first).
+pub fn evaluate_with_stats(plan: &Plan, ctx: &EvalContext<'_>) -> (Table, Vec<OpStats>) {
+    let sink = new_stats_sink();
+    let mut builder = Builder::new(plan, ctx, sink.clone());
+    let (schema, mut root) = builder.build(plan.root());
+    let rows = drain(&mut *root);
+    let stats = sink.borrow().clone();
+    (Table::from_rows(schema, rows), stats)
+}
+
+/// Number of rows produced across all operators (a simple work metric used
+/// by the benchmarks to contrast stacked and isolated plans).  Shared DAG
+/// nodes are counted once, matching the memoized evaluation the metric was
+/// defined over.
 pub fn materialized_rows(plan: &Plan, ctx: &EvalContext<'_>) -> usize {
-    let mut memo: HashMap<OpId, Table> = HashMap::new();
-    let mut total = 0usize;
-    for id in plan.topo_order() {
-        let table = eval_op(plan, id, ctx, &memo);
-        total += table.len();
-        memo.insert(id, table);
-    }
-    total
-}
-
-fn eval_op(plan: &Plan, id: OpId, ctx: &EvalContext<'_>, memo: &HashMap<OpId, Table>) -> Table {
-    let input =
-        |child: OpId| -> &Table { memo.get(&child).expect("child evaluated before parent") };
-    match plan.op(id) {
-        OpKind::DocTable => ctx.doc.clone(),
-        OpKind::Literal { columns, rows } => {
-            Table::from_rows(Schema::new(columns.clone()), rows.clone())
-        }
-        OpKind::Serialize { input: c } => {
-            let t = input(*c);
-            let mut out = t.clone();
-            // Order the encoding of the result: by iteration, then by
-            // sequence position (only the columns that exist participate).
-            let mut order = Vec::new();
-            for col in ["iter", "pos", "item"] {
-                if t.schema().contains(col) {
-                    order.push(col.to_string());
-                }
-            }
-            out.sort_by_columns(&order);
-            out
-        }
-        OpKind::Project { input: c, cols } => input(*c).project(
-            &cols
-                .iter()
-                .map(|(n, o)| (n.clone(), o.clone()))
-                .collect::<Vec<_>>(),
-        ),
-        OpKind::Select { input: c, pred } => {
-            let t = input(*c);
-            t.filter(|row, schema| eval_predicate(pred, row, schema))
-        }
-        OpKind::Distinct { input: c } => input(*c).distinct(),
-        OpKind::Attach {
-            input: c,
-            col,
-            value,
-        } => {
-            let t = input(*c);
-            let mut columns: Vec<String> = t.schema().columns().to_vec();
-            columns.push(col.clone());
-            let rows = t
-                .rows()
-                .iter()
-                .map(|r| {
-                    let mut r = r.clone();
-                    r.push(value.clone());
-                    r
-                })
-                .collect();
-            Table::from_rows(Schema::new(columns), rows)
-        }
-        OpKind::RowNum { input: c, col } => {
-            let t = input(*c);
-            let mut columns: Vec<String> = t.schema().columns().to_vec();
-            columns.push(col.clone());
-            let rows = t
-                .rows()
-                .iter()
-                .enumerate()
-                .map(|(i, r)| {
-                    let mut r = r.clone();
-                    r.push(Value::Int(i as i64 + 1));
-                    r
-                })
-                .collect();
-            Table::from_rows(Schema::new(columns), rows)
-        }
-        OpKind::Rank {
-            input: c,
-            col,
-            order_by,
-        } => eval_rank(input(*c), col, order_by),
-        OpKind::Cross { left, right } => {
-            let l = input(*left);
-            let r = input(*right);
-            let mut columns: Vec<String> = l.schema().columns().to_vec();
-            columns.extend(r.schema().columns().iter().cloned());
-            let mut rows = Vec::with_capacity(l.len() * r.len());
-            for lr in l.rows() {
-                for rr in r.rows() {
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
-                    rows.push(row);
-                }
-            }
-            Table::from_rows(Schema::new(columns), rows)
-        }
-        OpKind::Join { left, right, pred } => eval_join(input(*left), input(*right), pred),
-    }
-}
-
-/// RANK() OVER (ORDER BY order_by) semantics: equal ranking keys receive the
-/// same rank value; ranks are 1-based and not necessarily dense.
-fn eval_rank(t: &Table, col: &str, order_by: &[String]) -> Table {
-    let key_idx: Vec<usize> = order_by
+    evaluate_with_stats(plan, ctx)
+        .1
         .iter()
-        .map(|c| t.schema().expect_index(c))
-        .collect();
+        .map(|o| o.rows_out)
+        .sum()
+}
+
+/// Operator-tree builder: walks the plan DAG, streaming along single-parent
+/// edges and materializing each shared sub-plan exactly once.
+struct Builder<'a> {
+    plan: &'a Plan,
+    ctx: &'a EvalContext<'a>,
+    /// Nodes referenced by more than one parent edge.
+    shared: HashSet<OpId>,
+    /// Results of already-materialized shared nodes.
+    memo: HashMap<OpId, (Schema, Rc<Vec<Row>>)>,
+    sink: StatsSink,
+}
+
+impl<'a> Builder<'a> {
+    fn new(plan: &'a Plan, ctx: &'a EvalContext<'a>, sink: StatsSink) -> Self {
+        let shared = plan
+            .parents()
+            .into_iter()
+            .filter(|(_, ps)| ps.len() > 1)
+            .map(|(id, _)| id)
+            .collect();
+        Builder {
+            plan,
+            ctx,
+            shared,
+            memo: HashMap::new(),
+            sink,
+        }
+    }
+
+    /// Build the operator (sub)tree rooted at `id`, returning its output
+    /// schema and root operator.
+    fn build(&mut self, id: OpId) -> (Schema, BoxedOperator<'a, Row>) {
+        if self.shared.contains(&id) {
+            let (schema, rows) = self.materialize(id);
+            let op = SharedSource {
+                rows,
+                pos: 0,
+                stats: OpStats::named(format!("shared {}", self.plan.op(id).label())),
+            };
+            return (schema, Box::new(op));
+        }
+        self.build_fresh(id)
+    }
+
+    /// Evaluate a shared node once, caching its rows.  The node's own
+    /// operators report their stats during this drain, so the metric counts
+    /// it a single time no matter how many parents consume it.
+    fn materialize(&mut self, id: OpId) -> (Schema, Rc<Vec<Row>>) {
+        if let Some((schema, rows)) = self.memo.get(&id) {
+            return (schema.clone(), rows.clone());
+        }
+        let (schema, mut op) = self.build_fresh(id);
+        let rows = Rc::new(drain(&mut *op));
+        self.memo.insert(id, (schema.clone(), rows.clone()));
+        (schema, rows)
+    }
+
+    fn build_fresh(&mut self, id: OpId) -> (Schema, BoxedOperator<'a, Row>) {
+        let kind = self.plan.op(id);
+        let name = kind.label();
+        match kind {
+            OpKind::DocTable => {
+                let op = SliceSource {
+                    rows: self.ctx.doc.rows(),
+                    pos: 0,
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
+                };
+                (self.ctx.doc.schema().clone(), Box::new(op))
+            }
+            OpKind::Literal { columns, rows } => {
+                let op = SliceSource {
+                    rows,
+                    pos: 0,
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
+                };
+                (Schema::new(columns.clone()), Box::new(op))
+            }
+            OpKind::Select { input, pred } => {
+                let (schema, child) = self.build(*input);
+                let s = schema.clone();
+                let op = self.map_filter(name, child, move |row| {
+                    eval_predicate(pred, &row, &s).then_some(row)
+                });
+                (schema, op)
+            }
+            OpKind::Project { input, cols } => {
+                let (schema, child) = self.build(*input);
+                let indices: Vec<usize> = cols
+                    .iter()
+                    .map(|(_, old)| schema.expect_index(old))
+                    .collect();
+                let out_schema = Schema::new(cols.iter().map(|(new, _)| new.clone()));
+                let op = self.map_filter(name, child, move |row: Row| {
+                    Some(indices.iter().map(|&i| row[i].clone()).collect())
+                });
+                (out_schema, op)
+            }
+            OpKind::Distinct { input } => {
+                let (schema, child) = self.build(*input);
+                let mut seen: HashSet<Row> = HashSet::new();
+                let op = self.map_filter(name, child, move |row| {
+                    seen.insert(row.clone()).then_some(row)
+                });
+                (schema, op)
+            }
+            OpKind::Attach { input, col, value } => {
+                let (schema, child) = self.build(*input);
+                let out_schema = append_column(&schema, col);
+                let op = self.map_filter(name, child, move |mut row| {
+                    row.push(value.clone());
+                    Some(row)
+                });
+                (out_schema, op)
+            }
+            OpKind::RowNum { input, col } => {
+                let (schema, child) = self.build(*input);
+                let out_schema = append_column(&schema, col);
+                let mut next = 0i64;
+                let op = self.map_filter(name, child, move |mut row| {
+                    next += 1;
+                    row.push(Value::Int(next));
+                    Some(row)
+                });
+                (out_schema, op)
+            }
+            OpKind::Rank {
+                input,
+                col,
+                order_by,
+            } => {
+                let (schema, child) = self.build(*input);
+                let key_idx: Vec<usize> = order_by.iter().map(|c| schema.expect_index(c)).collect();
+                let out_schema = append_column(&schema, col);
+                let op = Blocking {
+                    input: child,
+                    finalize: Some(Box::new(move |rows| rank_rows(rows, &key_idx))),
+                    rows: Vec::new().into_iter(),
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
+                };
+                (out_schema, Box::new(op))
+            }
+            OpKind::Serialize { input } => {
+                let (schema, child) = self.build(*input);
+                // Order the encoding of the result: by iteration, then by
+                // sequence position (only the columns that exist
+                // participate).
+                let key_idx: Vec<usize> = ["iter", "pos", "item"]
+                    .iter()
+                    .filter_map(|c| schema.index_of(c))
+                    .collect();
+                let op = Blocking {
+                    input: child,
+                    finalize: Some(Box::new(move |mut rows: Vec<Row>| {
+                        rows.sort_by(|a, b| {
+                            for &i in &key_idx {
+                                let o = a[i].cmp(&b[i]);
+                                if o != std::cmp::Ordering::Equal {
+                                    return o;
+                                }
+                            }
+                            std::cmp::Ordering::Equal
+                        });
+                        rows
+                    })),
+                    rows: Vec::new().into_iter(),
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
+                };
+                (schema, Box::new(op))
+            }
+            OpKind::Cross { left, right } => {
+                let (ls, lop) = self.build(*left);
+                let (rs, rop) = self.build(*right);
+                let out_schema = concat_schemas(&ls, &rs);
+                let op = JoinStream {
+                    left: lop,
+                    right: Some(rop),
+                    left_schema: ls,
+                    right_schema: rs,
+                    right_rows: Vec::new(),
+                    keys: None,
+                    residual: Vec::new(),
+                    buckets: HashMap::new(),
+                    pending: VecDeque::new(),
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
+                };
+                (out_schema, Box::new(op))
+            }
+            OpKind::Join { left, right, pred } => {
+                let (ls, lop) = self.build(*left);
+                let (rs, rop) = self.build(*right);
+                let out_schema = concat_schemas(&ls, &rs);
+                // Split the predicate into hashable equi-conjuncts (left
+                // column = right column) and the rest.
+                let mut left_keys: Vec<usize> = Vec::new();
+                let mut right_keys: Vec<usize> = Vec::new();
+                let mut residual: Vec<Comparison> = Vec::new();
+                for c in &pred.conjuncts {
+                    if let Some((a, b)) = c.as_col_eq_col() {
+                        match (ls.index_of(a), rs.index_of(b)) {
+                            (Some(li), Some(ri)) => {
+                                left_keys.push(li);
+                                right_keys.push(ri);
+                                continue;
+                            }
+                            _ => {
+                                if let (Some(li), Some(ri)) = (ls.index_of(b), rs.index_of(a)) {
+                                    left_keys.push(li);
+                                    right_keys.push(ri);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    residual.push(c.clone());
+                }
+                let keys = (!left_keys.is_empty()).then_some((left_keys, right_keys));
+                let op = JoinStream {
+                    left: lop,
+                    right: Some(rop),
+                    left_schema: ls,
+                    right_schema: rs,
+                    right_rows: Vec::new(),
+                    keys,
+                    residual,
+                    buckets: HashMap::new(),
+                    pending: VecDeque::new(),
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
+                };
+                (out_schema, Box::new(op))
+            }
+        }
+    }
+
+    /// Wrap a streaming row transform (≤ 1 output row per input row) into
+    /// an operator.
+    fn map_filter(
+        &self,
+        name: String,
+        input: BoxedOperator<'a, Row>,
+        f: impl FnMut(Row) -> Option<Row> + 'a,
+    ) -> BoxedOperator<'a, Row> {
+        Box::new(MapFilter {
+            input,
+            f: Box::new(f),
+            stats: OpStats::named(name),
+            sink: self.sink.clone(),
+        })
+    }
+}
+
+fn append_column(schema: &Schema, col: &str) -> Schema {
+    let mut columns: Vec<String> = schema.columns().to_vec();
+    columns.push(col.to_string());
+    Schema::new(columns)
+}
+
+fn concat_schemas(left: &Schema, right: &Schema) -> Schema {
+    let mut columns: Vec<String> = left.columns().to_vec();
+    columns.extend(right.columns().iter().cloned());
+    Schema::new(columns)
+}
+
+/// Source over borrowed rows (the `doc` relation, literal tables).
+struct SliceSource<'a> {
+    rows: &'a [Row],
+    pos: usize,
+    stats: OpStats,
+    sink: StatsSink,
+}
+
+impl Operator for SliceSource<'_> {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        if self.pos >= self.rows.len() {
+            return None;
+        }
+        let end = (self.pos + xqjg_store::BATCH_CAPACITY).min(self.rows.len());
+        let batch = Batch::from_items(self.rows[self.pos..end].to_vec());
+        self.pos = end;
+        self.stats.rows_out += batch.len();
+        self.stats.batches += 1;
+        Some(batch)
+    }
+
+    fn close(&mut self) {
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Source over the memoized rows of a shared sub-plan.  Does not report to
+/// the stats sink: the shared node's own operators were counted when it was
+/// materialized.
+struct SharedSource {
+    rows: Rc<Vec<Row>>,
+    pos: usize,
+    stats: OpStats,
+}
+
+impl Operator for SharedSource {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        if self.pos >= self.rows.len() {
+            return None;
+        }
+        let end = (self.pos + xqjg_store::BATCH_CAPACITY).min(self.rows.len());
+        let batch = Batch::from_items(self.rows[self.pos..end].to_vec());
+        self.pos = end;
+        self.stats.rows_out += batch.len();
+        self.stats.batches += 1;
+        Some(batch)
+    }
+
+    fn close(&mut self) {}
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Streaming row transform: selection, projection, column attachment, row
+/// numbering and duplicate elimination all produce at most one output row
+/// per input row and pipeline without buffering.
+struct MapFilter<'a> {
+    input: BoxedOperator<'a, Row>,
+    f: Box<dyn FnMut(Row) -> Option<Row> + 'a>,
+    stats: OpStats,
+    sink: StatsSink,
+}
+
+impl Operator for MapFilter<'_> {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.input.open();
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        loop {
+            let batch = self.input.next_batch()?;
+            self.stats.rows_in += batch.len();
+            let mut out: Batch<Row> = Batch::new();
+            for row in batch {
+                if let Some(r) = (self.f)(row) {
+                    out.push(r);
+                }
+            }
+            if !out.is_empty() {
+                self.stats.rows_out += out.len();
+                self.stats.batches += 1;
+                return Some(out);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Pipeline breaker: buffers its whole input at `open`, applies a
+/// finalization pass (rank assignment, the serialization sort) and emits
+/// the result in batches.
+struct Blocking<'a> {
+    input: BoxedOperator<'a, Row>,
+    #[allow(clippy::type_complexity)]
+    finalize: Option<Box<dyn FnOnce(Vec<Row>) -> Vec<Row> + 'a>>,
+    /// The finalized output, handed out by value batch-by-batch.
+    rows: std::vec::IntoIter<Row>,
+    stats: OpStats,
+    sink: StatsSink,
+}
+
+impl Operator for Blocking<'_> {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.input.open();
+        let mut buf = Vec::new();
+        while let Some(batch) = self.input.next_batch() {
+            self.stats.rows_in += batch.len();
+            buf.extend(batch);
+        }
+        self.stats.build_rows = buf.len();
+        let finalize = self.finalize.take().expect("blocking operator opened once");
+        self.rows = finalize(buf).into_iter();
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        // Move the buffered rows out — no second clone of the result set.
+        let items: Vec<Row> = self
+            .rows
+            .by_ref()
+            .take(xqjg_store::BATCH_CAPACITY)
+            .collect();
+        if items.is_empty() {
+            return None;
+        }
+        let batch = Batch::from_items(items);
+        self.stats.rows_out += batch.len();
+        self.stats.batches += 1;
+        Some(batch)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Join / cross product: the right (build) side is drained once at `open`
+/// — bucketed by borrowed-key hash when equi-keys exist — and the left
+/// (probe) side streams through.
+struct JoinStream<'a> {
+    left: BoxedOperator<'a, Row>,
+    right: Option<BoxedOperator<'a, Row>>,
+    left_schema: Schema,
+    right_schema: Schema,
+    right_rows: Vec<Row>,
+    /// `(left key indices, right key indices)` for hash joins; `None`
+    /// nested-loops over the buffered right side (theta join / cross).
+    keys: Option<(Vec<usize>, Vec<usize>)>,
+    residual: Vec<Comparison>,
+    buckets: HashMap<u64, Vec<usize>>,
+    pending: VecDeque<Row>,
+    stats: OpStats,
+    sink: StatsSink,
+}
+
+impl JoinStream<'_> {
+    fn probe(&mut self, lr: &Row, pending: &mut VecDeque<Row>) {
+        self.stats.probes += 1;
+        match &self.keys {
+            Some((left_keys, right_keys)) => {
+                if left_keys.iter().any(|&k| lr[k].is_null()) {
+                    return;
+                }
+                let h = hash_values(left_keys.iter().map(|&k| &lr[k]));
+                let Some(candidates) = self.buckets.get(&h) else {
+                    return;
+                };
+                for &ri in candidates {
+                    let rr = &self.right_rows[ri];
+                    // Resolve hash collisions by borrowed-value comparison.
+                    let keys_match = left_keys
+                        .iter()
+                        .zip(right_keys)
+                        .all(|(&lk, &rk)| lr[lk] == rr[rk]);
+                    if !keys_match {
+                        continue;
+                    }
+                    if join_residual_holds(
+                        &self.residual,
+                        lr,
+                        &self.left_schema,
+                        rr,
+                        &self.right_schema,
+                    ) {
+                        let mut row = lr.clone();
+                        row.extend(rr.iter().cloned());
+                        pending.push_back(row);
+                    }
+                }
+            }
+            None => {
+                for rr in &self.right_rows {
+                    if join_residual_holds(
+                        &self.residual,
+                        lr,
+                        &self.left_schema,
+                        rr,
+                        &self.right_schema,
+                    ) {
+                        let mut row = lr.clone();
+                        row.extend(rr.iter().cloned());
+                        pending.push_back(row);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Operator for JoinStream<'_> {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.left.open();
+        let mut right = self.right.take().expect("join opened once");
+        self.right_rows = drain(&mut *right);
+        self.stats.build_rows = self.right_rows.len();
+        if let Some((_, right_keys)) = &self.keys {
+            for (i, rr) in self.right_rows.iter().enumerate() {
+                if right_keys.iter().any(|&k| rr[k].is_null()) {
+                    continue;
+                }
+                let h = hash_values(right_keys.iter().map(|&k| &rr[k]));
+                self.buckets.entry(h).or_default().push(i);
+            }
+        }
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        let mut pending = std::mem::take(&mut self.pending);
+        let out = fill_from_pending(&mut pending, |p| match self.left.next_batch() {
+            Some(batch) => {
+                self.stats.rows_in += batch.len();
+                for lr in batch {
+                    self.probe(&lr, p);
+                }
+                true
+            }
+            None => false,
+        });
+        self.pending = pending;
+        let out = out?;
+        self.stats.rows_out += out.len();
+        self.stats.batches += 1;
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// RANK() OVER (ORDER BY keys) semantics: equal ranking keys receive the
+/// same rank value; ranks are 1-based and not necessarily dense.  The
+/// output retains the input row order with the rank column appended.
+fn rank_rows(rows: Vec<Row>, key_idx: &[usize]) -> Vec<Row> {
     // Sort row indices by the ranking key (stable).
-    let mut order: Vec<usize> = (0..t.len()).collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
     order.sort_by(|&a, &b| {
-        for &i in &key_idx {
-            let o = t.rows()[a][i].cmp(&t.rows()[b][i]);
+        for &i in key_idx {
+            let o = rows[a][i].cmp(&rows[b][i]);
             if o != std::cmp::Ordering::Equal {
                 return o;
             }
@@ -154,106 +633,29 @@ fn eval_rank(t: &Table, col: &str, order_by: &[String]) -> Table {
         std::cmp::Ordering::Equal
     });
     // Assign RANK values.
-    let mut ranks = vec![0i64; t.len()];
+    let mut ranks = vec![0i64; rows.len()];
     let mut current_rank = 0i64;
     for (pos, &row_idx) in order.iter().enumerate() {
         let same_as_prev = pos > 0
             && key_idx
                 .iter()
-                .all(|&i| t.rows()[order[pos - 1]][i] == t.rows()[row_idx][i]);
+                .all(|&i| rows[order[pos - 1]][i] == rows[row_idx][i]);
         if !same_as_prev {
             current_rank = pos as i64 + 1;
         }
         ranks[row_idx] = current_rank;
     }
-    let mut columns: Vec<String> = t.schema().columns().to_vec();
-    columns.push(col.to_string());
-    let rows = t
-        .rows()
-        .iter()
+    rows.into_iter()
         .enumerate()
-        .map(|(i, r)| {
-            let mut r = r.clone();
+        .map(|(i, mut r)| {
             r.push(Value::Int(ranks[i]));
             r
         })
-        .collect();
-    Table::from_rows(Schema::new(columns), rows)
-}
-
-fn eval_join(left: &Table, right: &Table, pred: &Predicate) -> Table {
-    let mut columns: Vec<String> = left.schema().columns().to_vec();
-    columns.extend(right.schema().columns().iter().cloned());
-    let out_schema = Schema::new(columns);
-
-    // Split the predicate into hashable equi-conjuncts (left column = right
-    // column) and the rest.
-    let mut left_keys: Vec<usize> = Vec::new();
-    let mut right_keys: Vec<usize> = Vec::new();
-    let mut residual: Vec<_> = Vec::new();
-    for c in &pred.conjuncts {
-        if let Some((a, b)) = c.as_col_eq_col() {
-            match (left.schema().index_of(a), right.schema().index_of(b)) {
-                (Some(li), Some(ri)) => {
-                    left_keys.push(li);
-                    right_keys.push(ri);
-                    continue;
-                }
-                _ => {
-                    if let (Some(li), Some(ri)) =
-                        (left.schema().index_of(b), right.schema().index_of(a))
-                    {
-                        left_keys.push(li);
-                        right_keys.push(ri);
-                        continue;
-                    }
-                }
-            }
-        }
-        residual.push(c.clone());
-    }
-
-    let mut rows = Vec::new();
-    if left_keys.is_empty() {
-        // Pure theta join: nested loops.
-        for lr in left.rows() {
-            for rr in right.rows() {
-                if join_residual_holds(&residual, lr, left.schema(), rr, right.schema()) {
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
-                    rows.push(row);
-                }
-            }
-        }
-    } else {
-        // Hash join: build on the smaller side (right by convention here).
-        let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (i, rr) in right.rows().iter().enumerate() {
-            let key: Vec<Value> = right_keys.iter().map(|&k| rr[k].clone()).collect();
-            buckets.entry(key).or_default().push(i);
-        }
-        for lr in left.rows() {
-            let key: Vec<Value> = left_keys.iter().map(|&k| lr[k].clone()).collect();
-            if key.iter().any(Value::is_null) {
-                continue;
-            }
-            if let Some(matches) = buckets.get(&key) {
-                for &ri in matches {
-                    let rr = &right.rows()[ri];
-                    if join_residual_holds(&residual, lr, left.schema(), rr, right.schema()) {
-                        let mut row = lr.clone();
-                        row.extend(rr.iter().cloned());
-                        rows.push(row);
-                    }
-                }
-            }
-        }
-    }
-    Table::from_rows(out_schema, rows)
+        .collect()
 }
 
 fn join_residual_holds(
-    residual: &[crate::ir::Comparison],
+    residual: &[Comparison],
     lr: &Row,
     ls: &Schema,
     rr: &Row,
@@ -282,10 +684,8 @@ fn eval_scalar_two_sided(s: &Scalar, lr: &Row, ls: &Schema, rr: &Row, rs: &Schem
                 panic!("column {c:?} not found in join inputs {ls} / {rs}")
             }
         }
-        Scalar::Add(a, b) => add_values(
-            &eval_scalar_two_sided(a, lr, ls, rr, rs),
-            &eval_scalar_two_sided(b, lr, ls, rr, rs),
-        ),
+        Scalar::Add(a, b) => eval_scalar_two_sided(a, lr, ls, rr, rs)
+            .numeric_add(&eval_scalar_two_sided(b, lr, ls, rr, rs)),
     }
 }
 
@@ -294,7 +694,7 @@ pub fn eval_scalar(s: &Scalar, row: &Row, schema: &Schema) -> Value {
     match s {
         Scalar::Const(v) => v.clone(),
         Scalar::Col(c) => row[schema.expect_index(c)].clone(),
-        Scalar::Add(a, b) => add_values(&eval_scalar(a, row, schema), &eval_scalar(b, row, schema)),
+        Scalar::Add(a, b) => eval_scalar(a, row, schema).numeric_add(&eval_scalar(b, row, schema)),
     }
 }
 
@@ -311,15 +711,10 @@ pub fn eval_predicate(pred: &Predicate, row: &Row, schema: &Schema) -> bool {
     })
 }
 
-/// Numeric addition with Int/Dec promotion; NULL-propagating.
+/// Numeric addition with Int/Dec promotion; NULL-propagating (delegates to
+/// [`Value::numeric_add`], the shared `+` semantics).
 pub fn add_values(a: &Value, b: &Value) -> Value {
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
-        _ => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => Value::Dec(x + y),
-            _ => Value::Null,
-        },
-    }
+    a.numeric_add(b)
 }
 
 /// Evaluate a single comparison operator on two values (used by the
@@ -570,5 +965,65 @@ mod tests {
         let total = materialized_rows(&p, &EvalContext { doc: &doc });
         // doc (4) + select (2) + serialize (2)
         assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn shared_subplans_are_materialized_and_counted_once() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        // The same δ(doc) node feeds both join inputs (through renaming
+        // projections so the output columns stay disjoint).
+        let d = p.add(OpKind::DocTable);
+        let dis = p.add(OpKind::Distinct { input: d });
+        let left = p.add(OpKind::Project {
+            input: dis,
+            cols: vec![("lp".to_string(), "pre".to_string())],
+        });
+        let right = p.add(OpKind::Project {
+            input: dis,
+            cols: vec![("rp".to_string(), "pre".to_string())],
+        });
+        let join = p.add(OpKind::Join {
+            left,
+            right,
+            pred: Predicate::single(Comparison::col_eq_col("lp", "rp")),
+        });
+        let root = p.add(OpKind::Serialize { input: join });
+        p.set_root(root);
+        let (out, stats) = evaluate_with_stats(&p, &EvalContext { doc: &doc });
+        assert_eq!(out.len(), 4, "self-equi-join over pre");
+        // doc and δ are counted exactly once despite feeding two parents.
+        let doc_entries = stats.iter().filter(|o| o.name == "doc").count();
+        assert_eq!(doc_entries, 1);
+        // doc(4) + δ(4) + two π(4 each) + join(4) + serialize(4)
+        let total: usize = stats.iter().map(|o| o.rows_out).sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn per_operator_stats_record_batches_and_probes() {
+        let doc = doc_fixture();
+        let mut p = Plan::new();
+        let lit = p.add(OpKind::Literal {
+            columns: vec!["item".to_string()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        });
+        let d = p.add(OpKind::DocTable);
+        let join = p.add(OpKind::Join {
+            left: d,
+            right: lit,
+            pred: Predicate::single(Comparison::col_eq_col("pre", "item")),
+        });
+        let root = p.add(OpKind::Serialize { input: join });
+        p.set_root(root);
+        let (_, stats) = evaluate_with_stats(&p, &EvalContext { doc: &doc });
+        let join_stats = stats
+            .iter()
+            .find(|o| o.name.starts_with('⋈'))
+            .expect("join reports stats");
+        assert_eq!(join_stats.probes, 4, "one probe per left row");
+        assert_eq!(join_stats.build_rows, 2, "right side buffered once");
+        assert_eq!(join_stats.rows_out, 2);
+        assert!(stats.iter().all(|o| o.rows_out == 0 || o.batches > 0));
     }
 }

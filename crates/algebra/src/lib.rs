@@ -4,8 +4,9 @@
 //! * [`ir`] — operators (`π`, `σ`, `⋈`, `×`, `δ`, `@`, `#`, `ϱ`, `doc`,
 //!   literal tables, serialization point), predicates, plans, schema
 //!   inference and DAG utilities.
-//! * [`eval`] — operator-at-a-time evaluation (the "stacked plan" baseline
-//!   of Table IX and the semantics reference for the rewriter).
+//! * [`eval`] — pipelined, batch-at-a-time evaluation over the shared
+//!   `Operator` substrate (the "stacked plan" baseline of Table IX and the
+//!   semantics reference for the rewriter).
 //! * [`render`] — text/DOT plan rendering and operator histograms
 //!   (reproducing Figures 4 and 7).
 //! * [`bridge`] — conversion between the XML encoding and the relational
@@ -17,6 +18,6 @@ pub mod ir;
 pub mod render;
 
 pub use bridge::{doc_relation, result_items, DOC_RELATION};
-pub use eval::{evaluate, EvalContext};
+pub use eval::{evaluate, evaluate_with_stats, materialized_rows, EvalContext};
 pub use ir::{CmpOp, Comparison, OpId, OpKind, Plan, Predicate, Scalar, DOC_COLUMNS};
 pub use render::{histogram, render_dot, render_text, OperatorHistogram};

@@ -1,0 +1,52 @@
+//! Pipelined vs. materializing executor on the paper's XMark join-graph
+//! queries (Q1's structural triple self-join and Q2's value-join over
+//! closed auctions, items and categories — the Q8-class shape of XMark).
+//!
+//! Both sides run the *same* optimized `PhysPlan`; the only difference is
+//! the execution strategy: batch-at-a-time operator pipeline
+//! ([`xqjg_engine::execute`]) vs. the seed's materialize-every-join-level
+//! baseline ([`xqjg_engine::execute_materialized`]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqjg_bench::{queries, Workload};
+use xqjg_engine::{execute, execute_materialized, optimize, PhysPlan};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut workload = Workload::new(0.1);
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    for q in queries()
+        .into_iter()
+        .filter(|q| q.id == "Q1" || q.id == "Q2")
+    {
+        let prepared = workload
+            .processor(&q)
+            .prepare(q.text)
+            .expect("query prepares");
+        let db = workload.processor(&q).database();
+        let plans: Vec<PhysPlan> = prepared
+            .branches
+            .iter()
+            .map(|b| optimize(&b.isolated.query, db).expect("plan optimizes"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("pipelined", q.id), &plans, |b, plans| {
+            b.iter(|| plans.iter().map(|p| execute(p, db).len()).sum::<usize>())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("materializing", q.id),
+            &plans,
+            |b, plans| {
+                b.iter(|| {
+                    plans
+                        .iter()
+                        .map(|p| execute_materialized(p, db).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -4,11 +4,18 @@
 //! cargo run --release -p xqjg-bench --bin tables -- table6
 //! cargo run --release -p xqjg-bench --bin tables -- table8
 //! cargo run --release -p xqjg-bench --bin tables -- table9 [--scale 0.2] [--budget-secs 120]
+//! cargo run --release -p xqjg-bench --bin tables -- bench-exec [--scale 0.2]
 //! cargo run --release -p xqjg-bench --bin tables -- all
 //! ```
+//!
+//! `bench-exec` times the pipelined executor against the materializing
+//! baseline on the XMark join-graph queries and writes the comparison to
+//! `BENCH_exec.json` (rows/sec plus batch counts).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xqjg_bench::{queries, render_table9, table9, DataSet, Workload};
+use xqjg_engine::{execute_materialized, execute_with_stats, optimize, ExecStats, PhysPlan};
+use xqjg_store::{Database, BATCH_CAPACITY};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +27,7 @@ fn main() {
         "table6" => table6(scale),
         "table8" => table8(),
         "table9" => print!("{}", render_table9(&table9(scale, budget), scale)),
+        "bench-exec" => bench_exec(scale),
         "all" => {
             table6(scale);
             println!();
@@ -28,10 +36,95 @@ fn main() {
             print!("{}", render_table9(&table9(scale, budget), scale));
         }
         other => {
-            eprintln!("unknown table {other:?}; expected table6 | table8 | table9 | all");
+            eprintln!(
+                "unknown table {other:?}; expected table6 | table8 | table9 | bench-exec | all"
+            );
             std::process::exit(1);
         }
     }
+}
+
+/// Best-of-N wall-clock time of one strategy over a plan list.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+/// Pipelined vs. materializing executor comparison, emitted as
+/// `BENCH_exec.json`.
+fn bench_exec(scale: f64) {
+    let mut workload = Workload::new(scale);
+    let mut cells = Vec::new();
+    for q in queries()
+        .into_iter()
+        .filter(|q| q.id == "Q1" || q.id == "Q2")
+    {
+        let prepared = workload
+            .processor(&q)
+            .prepare(q.text)
+            .expect("query prepares");
+        let db: &Database = workload.processor(&q).database();
+        let plans: Vec<PhysPlan> = prepared
+            .branches
+            .iter()
+            .map(|b| optimize(&b.isolated.query, db).expect("plan optimizes"))
+            .collect();
+        let reps = 5;
+        let (mat_secs, mat_rows) = time_best(reps, || {
+            plans
+                .iter()
+                .map(|p| execute_materialized(p, db).len())
+                .sum::<usize>()
+        });
+        let (pipe_secs, (pipe_rows, stats)) = time_best(reps, || {
+            let mut rows = 0usize;
+            let mut stats = ExecStats::default();
+            for p in &plans {
+                let (t, s) = execute_with_stats(p, db);
+                rows += t.len();
+                stats.merge(&s);
+            }
+            (rows, stats)
+        });
+        assert_eq!(mat_rows, pipe_rows, "{}: executors disagree", q.id);
+        let total_batches: usize = stats.operators.iter().map(|o| o.batches).sum();
+        let peak_batches = stats.operators.iter().map(|o| o.batches).max().unwrap_or(0);
+        cells.push(format!(
+            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {}\n    }}",
+            q.id,
+            pipe_rows,
+            mat_secs,
+            pipe_secs,
+            mat_rows as f64 / mat_secs.max(1e-12),
+            pipe_rows as f64 / pipe_secs.max(1e-12),
+            mat_secs / pipe_secs.max(1e-12),
+            total_batches,
+            peak_batches,
+        ));
+        println!(
+            "{}: materializing {:.4} ms, pipelined {:.4} ms ({:.2}x), {} rows, {} batches (peak {})",
+            q.id,
+            mat_secs * 1e3,
+            pipe_secs * 1e3,
+            mat_secs / pipe_secs.max(1e-12),
+            pipe_rows,
+            total_batches,
+            peak_batches
+        );
+    }
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"batch_capacity\": {BATCH_CAPACITY},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        cells.join(",\n")
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<f64> {

@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
 use xqjg_compiler::compile;
 use xqjg_engine::{
-    advise, deploy, execute_with_stats, explain, optimize, ExecStats, IndexProposal, SfwQuery,
+    advise, deploy, execute_with_stats, explain_with_stats, optimize, ExecStats, IndexProposal,
+    SfwQuery,
 };
 use xqjg_store::{Database, IndexDef};
 use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
@@ -308,16 +309,19 @@ impl Processor {
                 let start = Instant::now();
                 let mut items = Vec::new();
                 let mut stats = ExecStats::default();
+                let mut branch_stats = Vec::with_capacity(plans.len());
                 for (b, plan) in prepared.branches.iter().zip(&plans) {
                     let (table, s) = execute_with_stats(plan, db);
-                    stats.index_rows += s.index_rows;
-                    stats.scan_rows += s.scan_rows;
-                    stats.probes += s.probes;
-                    stats.bindings += s.bindings;
+                    stats.merge(&s);
+                    branch_stats.push(s);
                     items.extend(result_items_from_sql(&table, &b.isolated));
                 }
                 let elapsed = start.elapsed();
-                let explains = plans.iter().map(explain).collect();
+                let explains = plans
+                    .iter()
+                    .zip(&branch_stats)
+                    .map(|(plan, s)| explain_with_stats(plan, s))
+                    .collect();
                 Ok(self.outcome(items, elapsed, Some(stats), explains))
             }
         }
@@ -491,8 +495,17 @@ mod tests {
         assert_eq!(out.serialized_nodes, 2);
         let xml = p.serialize(&out.items);
         assert_eq!(xml, "<name>bike</name>");
-        assert!(out.exec_stats.is_some());
+        let stats = out.exec_stats.as_ref().unwrap();
+        assert!(
+            !stats.operators.is_empty(),
+            "per-operator counters recorded"
+        );
         assert_eq!(out.explain.len(), 1);
+        assert!(
+            out.explain[0].contains("operator stats"),
+            "explain carries actuals: {}",
+            out.explain[0]
+        );
     }
 
     #[test]

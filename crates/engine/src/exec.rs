@@ -1,15 +1,35 @@
-//! Execution of physical plans.
+//! Pipelined, batch-at-a-time execution of physical plans.
 //!
-//! The executor implements the operator repertoire of Table VII: index and
-//! table scans, index nested-loop joins (the inner access path is re-probed
-//! for every outer row, with probe bounds computed from the outer columns),
-//! hash joins, and the plan tail (duplicate-eliminating SORT + RETURN).
+//! The executor implements the operator repertoire of Table VII as a tree
+//! of discrete pull-based operators over the [`xqjg_store::Operator`]
+//! substrate: index and table scan leaves, index nested-loop joins (the
+//! inner access path is re-probed for every outer binding, with probe
+//! bounds computed from the outer columns), build-once hash joins probed
+//! with borrowed keys, and the plan tail (select/order evaluation,
+//! duplicate-eliminating SORT, RETURN).  Tuples flow between operators in
+//! fixed-capacity [`Batch`]es of *bindings* — one base-table row id per
+//! bound alias — so no join level ever materializes the full binding set
+//! (the sort tail, a genuine pipeline breaker, is the only operator that
+//! buffers its input).
+//!
+//! The seed's materialize-everything executor is retained in
+//! [`crate::materialize`] as the baseline the `executor` benchmark pits
+//! this pipeline against.
 
 use crate::physical::{Access, Bounds, JoinNode, PhysPlan};
-use crate::sql::{SelectItem, SqlCmp, SqlExpr, SqlPredicate};
-use std::collections::HashMap;
+use crate::sql::{ColRef, SelectItem, SqlCmp, SqlExpr, SqlPredicate};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Bound;
-use xqjg_store::{Database, Schema, Table, Value};
+use std::rc::Rc;
+use xqjg_store::{
+    drain, fill_from_pending, hash_values, new_stats_sink, Batch, BoxedOperator, Database, OpStats,
+    Operator, Row, Schema, StatsSink, Table, Value,
+};
+
+/// A binding: for each alias bound so far (outer-to-inner), the row id of
+/// the base-table row the alias is bound to.
+pub(crate) type Binding = Vec<usize>;
 
 /// Counters describing the work a query execution performed — used by the
 /// benchmark harness to explain *why* one plan beats another.
@@ -21,59 +41,53 @@ pub struct ExecStats {
     pub scan_rows: usize,
     /// Index probes performed (NLJOIN inner lookups).
     pub probes: usize,
-    /// Bindings (partial join results) materialized.
+    /// Bindings (partial join results) produced.
     pub bindings: usize,
+    /// Per-operator counters, upstream operators first (empty for the
+    /// materializing baseline executor).
+    pub operators: Vec<OpStats>,
 }
+
+impl ExecStats {
+    /// Fold another execution's counters into this one (used when a query
+    /// decomposes into several SQL blocks).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.index_rows += other.index_rows;
+        self.scan_rows += other.scan_rows;
+        self.probes += other.probes;
+        self.bindings += other.bindings;
+        self.operators.extend(other.operators.iter().cloned());
+    }
+}
+
+/// Aggregate work counters shared by all operators of one plan execution.
+#[derive(Debug, Default)]
+struct Agg {
+    index_rows: usize,
+    scan_rows: usize,
+    probes: usize,
+    bindings: usize,
+}
+
+type SharedAgg = Rc<RefCell<Agg>>;
 
 /// Execute a physical plan, returning the result table.
 pub fn execute(plan: &PhysPlan, db: &Database) -> Table {
     execute_with_stats(plan, db).0
 }
 
-/// Execute a physical plan, returning the result table and work counters.
+/// Execute a physical plan through the pipelined operator tree, returning
+/// the result table and work counters (aggregate and per-operator).
 pub fn execute_with_stats(plan: &PhysPlan, db: &Database) -> (Table, ExecStats) {
-    let mut stats = ExecStats::default();
-    let (aliases, bindings) = exec_node(&plan.root, db, &mut stats);
-    stats.bindings += bindings.len();
-
-    let env_tables: Vec<&Table> = aliases
+    let sink = new_stats_sink();
+    let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
+    let (aliases, join_root) = build_join_ops(&plan.root, db, &sink, &agg);
+    let tables: Vec<&Table> = aliases
         .iter()
         .map(|a| alias_table(&plan.root, a, db))
         .collect();
-
-    // Evaluate select and order expressions per binding.
-    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(bindings.len());
-    for binding in &bindings {
-        let env = Env {
-            aliases: &aliases,
-            tables: &env_tables,
-            binding,
-        };
-        let mut select_vals = Vec::new();
-        for item in &plan.select {
-            match item {
-                SelectItem::Star(alias) => {
-                    let (table, rid) = env.lookup(alias);
-                    select_vals.extend(table.rows()[rid].iter().cloned());
-                }
-                SelectItem::Expr { expr, .. } => select_vals.push(env.eval(expr)),
-            }
-        }
-        let order_vals: Vec<Value> = plan
-            .order_by
-            .iter()
-            .map(|c| env.eval(&SqlExpr::Col(c.clone())))
-            .collect();
-        out_rows.push((select_vals, order_vals));
-    }
-
-    // DISTINCT over the select list.
-    if plan.distinct {
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|(sel, _)| seen.insert(sel.clone()));
-    }
-    // ORDER BY.
-    out_rows.sort_by(|a, b| a.1.cmp(&b.1));
+    let mut tail = SortTail::new(join_root, aliases, tables, plan, sink.clone(), agg.clone());
+    let rows = drain(&mut tail);
 
     // Output schema.
     let mut columns: Vec<String> = Vec::new();
@@ -87,14 +101,642 @@ pub fn execute_with_stats(plan: &PhysPlan, db: &Database) -> (Table, ExecStats) 
         }
     }
     let mut table = Table::new(Schema::new(columns));
-    for (sel, _) in out_rows {
-        table.push(sel);
+    for row in rows {
+        table.push(row);
     }
+    let a = agg.borrow();
+    let stats = ExecStats {
+        index_rows: a.index_rows,
+        scan_rows: a.scan_rows,
+        probes: a.probes,
+        bindings: a.bindings,
+        operators: sink.borrow().clone(),
+    };
     (table, stats)
 }
 
+/// Build the operator tree for a join-tree node; returns the aliases the
+/// subtree binds (outer-to-inner) and the root operator.
+fn build_join_ops<'a>(
+    node: &'a JoinNode,
+    db: &'a Database,
+    sink: &StatsSink,
+    agg: &SharedAgg,
+) -> (Vec<String>, BoxedOperator<'a, Binding>) {
+    match node {
+        JoinNode::Leaf {
+            alias,
+            table,
+            access,
+            ..
+        } => {
+            let op = LeafScan::new(alias, table, access, db, sink.clone(), agg.clone());
+            (vec![alias.clone()], Box::new(op))
+        }
+        JoinNode::Join {
+            outer,
+            alias,
+            table,
+            access,
+            method: _,
+            hash_keys,
+            residual,
+            ..
+        } => {
+            let (mut aliases, input) = build_join_ops(outer, db, sink, agg);
+            let outer_tables: Vec<&Table> =
+                aliases.iter().map(|a| alias_table(outer, a, db)).collect();
+            let op: BoxedOperator<'a, Binding> = if hash_keys.is_empty() {
+                Box::new(NestedLoopJoin::new(
+                    input,
+                    aliases.clone(),
+                    outer_tables,
+                    alias,
+                    table,
+                    access,
+                    residual,
+                    db,
+                    sink.clone(),
+                    agg.clone(),
+                ))
+            } else {
+                Box::new(HashJoin::new(
+                    input,
+                    aliases.clone(),
+                    outer_tables,
+                    alias,
+                    table,
+                    access,
+                    hash_keys,
+                    residual,
+                    db,
+                    sink.clone(),
+                    agg.clone(),
+                ))
+            };
+            aliases.push(alias.clone());
+            (aliases, op)
+        }
+    }
+}
+
+/// Scan leaf: emits single-alias bindings batch-at-a-time, either from a
+/// filtered full table scan (`TBSCAN`) or a B-tree range scan (`IXSCAN`).
+struct LeafScan<'a> {
+    alias: &'a str,
+    base: &'a Table,
+    access: &'a Access,
+    db: &'a Database,
+    state: LeafState,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+}
+
+enum LeafState {
+    /// Full scan: next row id to examine.
+    Scan { next_rid: usize },
+    /// Index scan: fetched row ids (pre-residual) and the emit cursor.
+    Index { rids: Vec<usize>, pos: usize },
+}
+
+impl<'a> LeafScan<'a> {
+    fn new(
+        alias: &'a str,
+        table: &'a str,
+        access: &'a Access,
+        db: &'a Database,
+        sink: StatsSink,
+        agg: SharedAgg,
+    ) -> Self {
+        let name = match access {
+            Access::TableScan { .. } => format!("TBSCAN({alias})"),
+            Access::IndexScan { index, .. } => format!("IXSCAN({alias} ix={index})"),
+        };
+        LeafScan {
+            alias,
+            base: db.table(table).expect("table registered"),
+            access,
+            db,
+            state: LeafState::Scan { next_rid: 0 },
+            stats: OpStats::named(name),
+            sink,
+            agg,
+        }
+    }
+}
+
+impl Operator for LeafScan<'_> {
+    type Item = Binding;
+
+    fn open(&mut self) {
+        self.state = match self.access {
+            Access::TableScan { .. } => LeafState::Scan { next_rid: 0 },
+            Access::IndexScan { index, bounds, .. } => {
+                let ix = self.db.index(index).expect("index registered");
+                let rids = index_range(&ix.tree, bounds, self.alias, None);
+                self.agg.borrow_mut().index_rows += rids.len();
+                LeafState::Index { rids, pos: 0 }
+            }
+        };
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Binding>> {
+        let mut out: Batch<Binding> = Batch::new();
+        match (&mut self.state, self.access) {
+            (LeafState::Scan { next_rid }, Access::TableScan { preds }) => {
+                while *next_rid < self.base.len() && !out.is_full() {
+                    let rid = *next_rid;
+                    *next_rid += 1;
+                    let ok = preds
+                        .iter()
+                        .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), None));
+                    if ok {
+                        out.push(vec![rid]);
+                    }
+                }
+                self.agg.borrow_mut().scan_rows += out.len();
+            }
+            (LeafState::Index { rids, pos }, Access::IndexScan { residual, .. }) => {
+                while *pos < rids.len() && !out.is_full() {
+                    let rid = rids[*pos];
+                    *pos += 1;
+                    let ok = residual
+                        .iter()
+                        .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), None));
+                    if ok {
+                        out.push(vec![rid]);
+                    }
+                }
+            }
+            _ => unreachable!("leaf state matches its access path"),
+        }
+        if out.is_empty() {
+            return None;
+        }
+        self.stats.rows_out += out.len();
+        self.stats.batches += 1;
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// The outer-binding feed shared by both join operators: buffers one input
+/// batch at a time and hands out bindings one by one.
+struct Feed<'a> {
+    input: BoxedOperator<'a, Binding>,
+    buf: VecDeque<Binding>,
+    done: bool,
+    rows_in: usize,
+}
+
+impl<'a> Feed<'a> {
+    fn new(input: BoxedOperator<'a, Binding>) -> Self {
+        Feed {
+            input,
+            buf: VecDeque::new(),
+            done: false,
+            rows_in: 0,
+        }
+    }
+
+    fn next_outer(&mut self) -> Option<Binding> {
+        loop {
+            if let Some(b) = self.buf.pop_front() {
+                return Some(b);
+            }
+            if self.done {
+                return None;
+            }
+            match self.input.next_batch() {
+                Some(batch) => {
+                    self.rows_in += batch.len();
+                    self.buf.extend(batch);
+                }
+                None => self.done = true,
+            }
+        }
+    }
+}
+
+/// Index / scan nested-loop join: the inner access path is re-probed for
+/// every outer binding (with an `IndexScan` inner this is DB2's
+/// NLJOIN–IXSCAN pair).
+struct NestedLoopJoin<'a> {
+    feed: Feed<'a>,
+    outer_aliases: Vec<String>,
+    outer_tables: Vec<&'a Table>,
+    alias: &'a str,
+    table_name: &'a str,
+    base: &'a Table,
+    access: &'a Access,
+    residual: &'a [SqlPredicate],
+    db: &'a Database,
+    pending: VecDeque<Binding>,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+}
+
+impl<'a> NestedLoopJoin<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        input: BoxedOperator<'a, Binding>,
+        outer_aliases: Vec<String>,
+        outer_tables: Vec<&'a Table>,
+        alias: &'a str,
+        table_name: &'a str,
+        access: &'a Access,
+        residual: &'a [SqlPredicate],
+        db: &'a Database,
+        sink: StatsSink,
+        agg: SharedAgg,
+    ) -> Self {
+        NestedLoopJoin {
+            feed: Feed::new(input),
+            outer_aliases,
+            outer_tables,
+            alias,
+            table_name,
+            base: db.table(table_name).expect("table registered"),
+            access,
+            residual,
+            db,
+            pending: VecDeque::new(),
+            stats: OpStats::named(format!("NLJOIN({alias})")),
+            sink,
+            agg,
+        }
+    }
+
+    /// Probe the inner access path for one outer binding, queueing the
+    /// surviving extended bindings.
+    fn probe(&mut self, binding: &Binding, pending: &mut VecDeque<Binding>) {
+        self.stats.probes += 1;
+        {
+            let mut agg = self.agg.borrow_mut();
+            agg.probes += 1;
+        }
+        let env = Env {
+            aliases: &self.outer_aliases,
+            tables: &self.outer_tables,
+            binding,
+        };
+        let (rows, fetched) = exec_access(
+            self.access,
+            self.alias,
+            self.table_name,
+            self.db,
+            Some(&env),
+        );
+        record_fetched(&self.agg, fetched);
+        for rid in rows {
+            let ok = self
+                .residual
+                .iter()
+                .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), Some(&env)));
+            if ok {
+                let mut b = binding.clone();
+                b.push(rid);
+                pending.push_back(b);
+            }
+        }
+    }
+}
+
+impl Operator for NestedLoopJoin<'_> {
+    type Item = Binding;
+
+    fn open(&mut self) {
+        self.feed.input.open();
+        self.pending.clear();
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Binding>> {
+        let mut pending = std::mem::take(&mut self.pending);
+        let out = fill_from_pending(&mut pending, |p| match self.feed.next_outer() {
+            Some(binding) => {
+                self.probe(&binding, p);
+                true
+            }
+            None => false,
+        });
+        self.pending = pending;
+        let out = out?;
+        self.stats.rows_out += out.len();
+        self.stats.batches += 1;
+        self.agg.borrow_mut().bindings += out.len();
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.feed.input.close();
+        self.stats.rows_in = self.feed.rows_in;
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Build-once hash join: the inner rows are enumerated a single time and
+/// bucketed by the *hash* of their key columns — no per-row key vector is
+/// materialized; probes compare borrowed `&Value`s against the probe key to
+/// resolve hash collisions.
+struct HashJoin<'a> {
+    feed: Feed<'a>,
+    outer_aliases: Vec<String>,
+    outer_tables: Vec<&'a Table>,
+    alias: &'a str,
+    table_name: &'a str,
+    base: &'a Table,
+    access: &'a Access,
+    hash_keys: &'a [(SqlExpr, String)],
+    residual: &'a [SqlPredicate],
+    db: &'a Database,
+    key_cols: Vec<usize>,
+    buckets: HashMap<u64, Vec<usize>>,
+    pending: VecDeque<Binding>,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+}
+
+impl<'a> HashJoin<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        input: BoxedOperator<'a, Binding>,
+        outer_aliases: Vec<String>,
+        outer_tables: Vec<&'a Table>,
+        alias: &'a str,
+        table_name: &'a str,
+        access: &'a Access,
+        hash_keys: &'a [(SqlExpr, String)],
+        residual: &'a [SqlPredicate],
+        db: &'a Database,
+        sink: StatsSink,
+        agg: SharedAgg,
+    ) -> Self {
+        HashJoin {
+            feed: Feed::new(input),
+            outer_aliases,
+            outer_tables,
+            alias,
+            table_name,
+            base: db.table(table_name).expect("table registered"),
+            access,
+            hash_keys,
+            residual,
+            db,
+            key_cols: Vec::new(),
+            buckets: HashMap::new(),
+            pending: VecDeque::new(),
+            stats: OpStats::named(format!("HSJOIN({alias})")),
+            sink,
+            agg,
+        }
+    }
+
+    /// Probe the hash table for one outer binding, queueing the surviving
+    /// extended bindings.
+    fn probe(&mut self, binding: &Binding, pending: &mut VecDeque<Binding>) {
+        self.stats.probes += 1;
+        let env = Env {
+            aliases: &self.outer_aliases,
+            tables: &self.outer_tables,
+            binding,
+        };
+        let probe_vals: Vec<Value> = self
+            .hash_keys
+            .iter()
+            .map(|(outer_expr, _)| env.eval(outer_expr))
+            .collect();
+        if probe_vals.iter().any(Value::is_null) {
+            return;
+        }
+        let h = hash_values(probe_vals.iter());
+        let Some(candidates) = self.buckets.get(&h) else {
+            return;
+        };
+        for &rid in candidates {
+            let row = &self.base.rows()[rid];
+            // Resolve hash collisions by comparing the borrowed key values.
+            let keys_match = self
+                .key_cols
+                .iter()
+                .zip(&probe_vals)
+                .all(|(&c, pv)| &row[c] == pv);
+            if !keys_match {
+                continue;
+            }
+            let ok = self
+                .residual
+                .iter()
+                .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), Some(&env)));
+            if ok {
+                let mut b = binding.clone();
+                b.push(rid);
+                pending.push_back(b);
+            }
+        }
+    }
+}
+
+impl Operator for HashJoin<'_> {
+    type Item = Binding;
+
+    fn open(&mut self) {
+        self.feed.input.open();
+        self.pending.clear();
+        self.buckets.clear();
+        // Build side: enumerate the inner rows once, bucketing by key hash.
+        let (inner_rows, fetched) =
+            exec_access(self.access, self.alias, self.table_name, self.db, None);
+        record_fetched(&self.agg, fetched);
+        self.key_cols = self
+            .hash_keys
+            .iter()
+            .map(|(_, col)| self.base.schema().expect_index(col))
+            .collect();
+        for rid in inner_rows {
+            let row = &self.base.rows()[rid];
+            if self.key_cols.iter().any(|&c| row[c].is_null()) {
+                continue;
+            }
+            let h = hash_values(self.key_cols.iter().map(|&c| &row[c]));
+            self.buckets.entry(h).or_default().push(rid);
+            self.stats.build_rows += 1;
+        }
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Binding>> {
+        let mut pending = std::mem::take(&mut self.pending);
+        let out = fill_from_pending(&mut pending, |p| match self.feed.next_outer() {
+            Some(binding) => {
+                self.probe(&binding, p);
+                true
+            }
+            None => false,
+        });
+        self.pending = pending;
+        let out = out?;
+        self.stats.rows_out += out.len();
+        self.stats.batches += 1;
+        self.agg.borrow_mut().bindings += out.len();
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.feed.input.close();
+        self.stats.rows_in = self.feed.rows_in;
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// The plan tail: evaluates the select and order expressions per binding,
+/// applies DISTINCT over the select list, restores the result order, and
+/// returns the final value rows.  The sort is the pipeline's only
+/// by-nature breaker: it buffers its input at `open`.
+struct SortTail<'a> {
+    input: BoxedOperator<'a, Binding>,
+    aliases: Vec<String>,
+    tables: Vec<&'a Table>,
+    select: &'a [SelectItem],
+    order_by: &'a [ColRef],
+    distinct: bool,
+    /// The sorted output, handed out by value batch-by-batch.
+    rows: std::vec::IntoIter<Row>,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+}
+
+impl<'a> SortTail<'a> {
+    fn new(
+        input: BoxedOperator<'a, Binding>,
+        aliases: Vec<String>,
+        tables: Vec<&'a Table>,
+        plan: &'a PhysPlan,
+        sink: StatsSink,
+        agg: SharedAgg,
+    ) -> Self {
+        let name = match (plan.distinct, plan.order_by.is_empty()) {
+            (true, _) => "SORT(distinct)",
+            (false, false) => "SORT",
+            (false, true) => "RETURN",
+        };
+        SortTail {
+            input,
+            aliases,
+            tables,
+            select: &plan.select,
+            order_by: &plan.order_by,
+            distinct: plan.distinct,
+            rows: Vec::new().into_iter(),
+            stats: OpStats::named(name),
+            sink,
+            agg,
+        }
+    }
+}
+
+impl Operator for SortTail<'_> {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.input.open();
+        let order_exprs: Vec<SqlExpr> = self
+            .order_by
+            .iter()
+            .map(|c| SqlExpr::Col(c.clone()))
+            .collect();
+        let mut out_rows: Vec<(Row, Row)> = Vec::new();
+        while let Some(batch) = self.input.next_batch() {
+            for binding in batch {
+                self.stats.rows_in += 1;
+                let env = Env {
+                    aliases: &self.aliases,
+                    tables: &self.tables,
+                    binding: &binding,
+                };
+                let mut select_vals = Vec::new();
+                for item in self.select {
+                    match item {
+                        SelectItem::Star(alias) => {
+                            let (table, rid) = env.lookup(alias);
+                            select_vals.extend(table.rows()[rid].iter().cloned());
+                        }
+                        SelectItem::Expr { expr, .. } => select_vals.push(env.eval(expr)),
+                    }
+                }
+                let order_vals: Row = order_exprs.iter().map(|e| env.eval(e)).collect();
+                out_rows.push((select_vals, order_vals));
+            }
+        }
+        self.agg.borrow_mut().bindings += self.stats.rows_in;
+        self.stats.build_rows = out_rows.len();
+        // DISTINCT over the select list.
+        if self.distinct {
+            let mut seen = std::collections::HashSet::new();
+            out_rows.retain(|(sel, _)| seen.insert(sel.clone()));
+        }
+        // ORDER BY.
+        out_rows.sort_by(|a, b| a.1.cmp(&b.1));
+        self.rows = out_rows
+            .into_iter()
+            .map(|(sel, _)| sel)
+            .collect::<Vec<_>>()
+            .into_iter();
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        // Move the buffered rows out — no second clone of the result set.
+        let items: Vec<Row> = self
+            .rows
+            .by_ref()
+            .take(xqjg_store::BATCH_CAPACITY)
+            .collect();
+        if items.is_empty() {
+            return None;
+        }
+        let batch = Batch::from_items(items);
+        self.stats.rows_out += batch.len();
+        self.stats.batches += 1;
+        Some(batch)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+fn record_fetched(agg: &SharedAgg, fetched: Fetched) {
+    let mut agg = agg.borrow_mut();
+    match fetched {
+        Fetched::Scanned(n) => agg.scan_rows += n,
+        Fetched::Indexed(n) => agg.index_rows += n,
+    }
+}
+
 /// Find the base table of an alias used in the join tree.
-fn alias_table<'a>(node: &JoinNode, alias: &str, db: &'a Database) -> &'a Table {
+pub(crate) fn alias_table<'a>(node: &JoinNode, alias: &str, db: &'a Database) -> &'a Table {
     fn table_name<'n>(node: &'n JoinNode, alias: &str) -> Option<&'n str> {
         match node {
             JoinNode::Leaf {
@@ -119,14 +761,14 @@ fn alias_table<'a>(node: &JoinNode, alias: &str, db: &'a Database) -> &'a Table 
 }
 
 /// Evaluation environment: one bound row per alias.
-struct Env<'a> {
-    aliases: &'a [String],
-    tables: &'a [&'a Table],
-    binding: &'a [usize],
+pub(crate) struct Env<'a> {
+    pub(crate) aliases: &'a [String],
+    pub(crate) tables: &'a [&'a Table],
+    pub(crate) binding: &'a [usize],
 }
 
 impl<'a> Env<'a> {
-    fn lookup(&self, alias: &str) -> (&'a Table, usize) {
+    pub(crate) fn lookup(&self, alias: &str) -> (&'a Table, usize) {
         let idx = self
             .aliases
             .iter()
@@ -135,31 +777,21 @@ impl<'a> Env<'a> {
         (self.tables[idx], self.binding[idx])
     }
 
-    fn eval(&self, expr: &SqlExpr) -> Value {
+    pub(crate) fn eval(&self, expr: &SqlExpr) -> Value {
         match expr {
             SqlExpr::Lit(v) => v.clone(),
             SqlExpr::Col(c) => {
                 let (table, rid) = self.lookup(&c.table);
                 table.rows()[rid][table.schema().expect_index(&c.column)].clone()
             }
-            SqlExpr::Add(a, b) => add(&self.eval(a), &self.eval(b)),
+            SqlExpr::Add(a, b) => self.eval(a).numeric_add(&self.eval(b)),
         }
-    }
-}
-
-fn add(a: &Value, b: &Value) -> Value {
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
-        _ => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => Value::Dec(x + y),
-            _ => Value::Null,
-        },
     }
 }
 
 /// Evaluate an expression that may reference the current alias's candidate
 /// row (`current`) or outer aliases through `outer`.
-fn eval_expr(
+pub(crate) fn eval_expr(
     expr: &SqlExpr,
     current_alias: &str,
     current: Option<(&Table, usize)>,
@@ -177,14 +809,16 @@ fn eval_expr(
                     .eval(&SqlExpr::Col(c.clone()))
             }
         }
-        SqlExpr::Add(a, b) => add(
-            &eval_expr(a, current_alias, current, outer),
-            &eval_expr(b, current_alias, current, outer),
-        ),
+        SqlExpr::Add(a, b) => eval_expr(a, current_alias, current, outer).numeric_add(&eval_expr(
+            b,
+            current_alias,
+            current,
+            outer,
+        )),
     }
 }
 
-fn pred_holds(
+pub(crate) fn pred_holds(
     pred: &SqlPredicate,
     current_alias: &str,
     current: Option<(&Table, usize)>,
@@ -198,121 +832,25 @@ fn pred_holds(
     }
 }
 
-fn exec_node(
-    node: &JoinNode,
-    db: &Database,
-    stats: &mut ExecStats,
-) -> (Vec<String>, Vec<Vec<usize>>) {
-    match node {
-        JoinNode::Leaf {
-            alias,
-            table,
-            access,
-            ..
-        } => {
-            let rows = exec_access(access, alias, table, db, None, stats);
-            (
-                vec![alias.clone()],
-                rows.into_iter().map(|r| vec![r]).collect(),
-            )
-        }
-        JoinNode::Join {
-            outer,
-            alias,
-            table,
-            access,
-            method: _,
-            hash_keys,
-            residual,
-            ..
-        } => {
-            let (mut aliases, outer_bindings) = exec_node(outer, db, stats);
-            let outer_tables: Vec<&Table> =
-                aliases.iter().map(|a| alias_table(outer, a, db)).collect();
-            let base = db.table(table).expect("table registered");
-            let mut result: Vec<Vec<usize>> = Vec::new();
-
-            if hash_keys.is_empty() {
-                // Nested-loop join: probe the access path per outer binding.
-                for binding in &outer_bindings {
-                    stats.probes += 1;
-                    let env = Env {
-                        aliases: &aliases,
-                        tables: &outer_tables,
-                        binding,
-                    };
-                    let rows = exec_access(access, alias, table, db, Some(&env), stats);
-                    for rid in rows {
-                        let ok = residual
-                            .iter()
-                            .all(|p| pred_holds(p, alias, Some((base, rid)), Some(&env)));
-                        if ok {
-                            let mut b = binding.clone();
-                            b.push(rid);
-                            result.push(b);
-                        }
-                    }
-                }
-            } else {
-                // Hash join: enumerate inner rows once, hash on key columns.
-                let inner_rows = exec_access(access, alias, table, db, None, stats);
-                let key_cols: Vec<usize> = hash_keys
-                    .iter()
-                    .map(|(_, col)| base.schema().expect_index(col))
-                    .collect();
-                let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for rid in inner_rows {
-                    let key: Vec<Value> = key_cols
-                        .iter()
-                        .map(|&c| base.rows()[rid][c].clone())
-                        .collect();
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    buckets.entry(key).or_default().push(rid);
-                }
-                for binding in &outer_bindings {
-                    let env = Env {
-                        aliases: &aliases,
-                        tables: &outer_tables,
-                        binding,
-                    };
-                    let probe_key: Vec<Value> = hash_keys
-                        .iter()
-                        .map(|(outer_expr, _)| env.eval(outer_expr))
-                        .collect();
-                    if probe_key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    if let Some(matches) = buckets.get(&probe_key) {
-                        for &rid in matches {
-                            let ok = residual
-                                .iter()
-                                .all(|p| pred_holds(p, alias, Some((base, rid)), Some(&env)));
-                            if ok {
-                                let mut b = binding.clone();
-                                b.push(rid);
-                                result.push(b);
-                            }
-                        }
-                    }
-                }
-            }
-            aliases.push(alias.clone());
-            stats.bindings += result.len();
-            (aliases, result)
-        }
-    }
+/// How many rows an access-path execution fetched, and through which path
+/// (table scans report the post-filter count, index scans the pre-residual
+/// fetch count — the quantities Table IX's work accounting uses).
+pub(crate) enum Fetched {
+    /// Rows surviving a full scan's pushed-down filters.
+    Scanned(usize),
+    /// Rows fetched from a B-tree range scan (before residual filtering).
+    Indexed(usize),
 }
 
-fn exec_access(
+/// Execute an access path, returning the matching row ids and the fetch
+/// accounting.
+pub(crate) fn exec_access(
     access: &Access,
     alias: &str,
     table_name: &str,
     db: &Database,
     outer: Option<&Env<'_>>,
-    stats: &mut ExecStats,
-) -> Vec<usize> {
+) -> (Vec<usize>, Fetched) {
     let base = db.table(table_name).expect("table registered");
     match access {
         Access::TableScan { preds } => {
@@ -325,8 +863,8 @@ fn exec_access(
                     out.push(rid);
                 }
             }
-            stats.scan_rows += out.len();
-            out
+            let n = out.len();
+            (out, Fetched::Scanned(n))
         }
         Access::IndexScan {
             index,
@@ -335,20 +873,22 @@ fn exec_access(
         } => {
             let ix = db.index(index).expect("index registered");
             let rows = index_range(&ix.tree, bounds, alias, outer);
-            stats.index_rows += rows.len();
-            rows.into_iter()
+            let fetched = rows.len();
+            let out: Vec<usize> = rows
+                .into_iter()
                 .filter(|&rid| {
                     residual
                         .iter()
                         .all(|p| pred_holds(p, alias, Some((base, rid)), outer))
                 })
-                .collect()
+                .collect();
+            (out, Fetched::Indexed(fetched))
         }
     }
 }
 
 /// Perform the B-tree range scan described by the probe bounds.
-fn index_range(
+pub(crate) fn index_range(
     tree: &xqjg_store::BPlusTree,
     bounds: &Bounds,
     alias: &str,
@@ -437,6 +977,7 @@ pub fn cmp_eval(op: SqlCmp, ord: std::cmp::Ordering) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::materialize::execute_materialized_with_stats;
     use crate::optimizer::optimize;
     use crate::sqlparse::parse_sql;
     use xqjg_store::IndexDef;
@@ -580,6 +1121,58 @@ mod tests {
     }
 
     #[test]
+    fn per_operator_stats_cover_the_whole_tree() {
+        let db = db();
+        let q = parse_sql(Q1_LIKE).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let (result, stats) = execute_with_stats(&plan, &db);
+        // One leaf + two joins + the sort tail.
+        assert_eq!(stats.operators.len(), 4);
+        let tail = stats
+            .operators
+            .iter()
+            .find(|o| o.name.starts_with("SORT"))
+            .expect("sort tail reports stats");
+        assert_eq!(tail.rows_out, result.len());
+        assert!(tail.rows_in >= tail.rows_out);
+        let joins = stats
+            .operators
+            .iter()
+            .filter(|o| o.name.starts_with("NLJOIN") || o.name.starts_with("HSJOIN"))
+            .count();
+        assert_eq!(joins, 2);
+        for op in &stats.operators {
+            assert!(op.rows_out == 0 || op.batches > 0, "{}", op.name);
+        }
+    }
+
+    #[test]
+    fn pipelined_executor_matches_materializing_baseline() {
+        let db = db();
+        for sql in [
+            Q1_LIKE.to_string(),
+            Q1_LIKE.replace(" AND d2.level + 1 = d3.level ", " "),
+            "SELECT d1.pre AS p FROM doc AS d1 WHERE d1.kind = 'ELEM' ORDER BY d1.pre".to_string(),
+            "SELECT d2.pre AS a, d3.pre AS b FROM doc AS d2, doc AS d3 \
+             WHERE d2.name = 'open_auction' AND d3.name = 'bidder' \
+               AND d3.pre > d2.pre AND d3.pre <= d2.pre + d2.size \
+             ORDER BY d2.pre, d3.pre"
+                .to_string(),
+        ] {
+            let q = parse_sql(&sql).unwrap();
+            let plan = optimize(&q, &db).unwrap();
+            let (pipelined, pstats) = execute_with_stats(&plan, &db);
+            let (materialized, mstats) = execute_materialized_with_stats(&plan, &db);
+            assert_eq!(pipelined, materialized, "{sql}");
+            // Aggregate work accounting agrees between the two executors.
+            assert_eq!(pstats.index_rows, mstats.index_rows, "{sql}");
+            assert_eq!(pstats.scan_rows, mstats.scan_rows, "{sql}");
+            assert_eq!(pstats.probes, mstats.probes, "{sql}");
+            assert_eq!(pstats.bindings, mstats.bindings, "{sql}");
+        }
+    }
+
+    #[test]
     fn value_predicates_via_index_or_scan() {
         let db = db();
         let t = run_sql(
@@ -604,5 +1197,29 @@ mod tests {
         .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.schema().columns(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn exec_stats_merge_folds_counters() {
+        let mut a = ExecStats {
+            index_rows: 1,
+            scan_rows: 2,
+            probes: 3,
+            bindings: 4,
+            operators: vec![OpStats::named("IXSCAN(d1)")],
+        };
+        let b = ExecStats {
+            index_rows: 10,
+            scan_rows: 20,
+            probes: 30,
+            bindings: 40,
+            operators: vec![OpStats::named("SORT")],
+        };
+        a.merge(&b);
+        assert_eq!(a.index_rows, 11);
+        assert_eq!(a.scan_rows, 22);
+        assert_eq!(a.probes, 33);
+        assert_eq!(a.bindings, 44);
+        assert_eq!(a.operators.len(), 2);
     }
 }

@@ -5,6 +5,7 @@
 //! and a left-deep chain of `NLJOIN` / `HSJOIN` operators whose inner legs
 //! are `IXSCAN`s over the advisor-proposed B-trees (or `TBSCAN`s).
 
+use crate::exec::ExecStats;
 use crate::physical::{Access, JoinMethod, JoinNode, PhysPlan};
 
 /// Render a plan as an indented operator tree.
@@ -26,6 +27,21 @@ pub fn explain(plan: &PhysPlan) -> String {
         plan.est_rows,
         plan.join_order().join(" -> ")
     ));
+    out
+}
+
+/// Render a plan together with the per-operator work counters an execution
+/// recorded — the "actuals" column DB2's explain facility prints next to
+/// the optimizer's estimates.
+pub fn explain_with_stats(plan: &PhysPlan, stats: &ExecStats) -> String {
+    let mut out = explain(plan);
+    if stats.operators.is_empty() {
+        return out;
+    }
+    out.push_str("-- operator stats (upstream first):\n");
+    for op in &stats.operators {
+        out.push_str(&format!("--   {}\n", op.render()));
+    }
     out
 }
 
@@ -183,5 +199,28 @@ mod tests {
         p.distinct = false;
         let text = explain(&p);
         assert!(text.contains("TBSCAN (temp)"));
+    }
+
+    #[test]
+    fn explain_with_stats_appends_operator_counters() {
+        use xqjg_store::OpStats;
+        let plan = sample_plan();
+        let mut op = OpStats::named("NLJOIN(d2)");
+        op.rows_in = 1;
+        op.rows_out = 120;
+        op.batches = 1;
+        op.probes = 1;
+        let stats = ExecStats {
+            operators: vec![op],
+            ..ExecStats::default()
+        };
+        let text = explain_with_stats(&plan, &stats);
+        assert!(text.contains("operator stats"));
+        assert!(text.contains("NLJOIN(d2): rows_in=1 rows_out=120 batches=1 probes=1"));
+        // Without per-operator counters the output is the plain explain.
+        assert_eq!(
+            explain_with_stats(&plan, &ExecStats::default()),
+            explain(&plan)
+        );
     }
 }

@@ -8,8 +8,11 @@
 //!    ORDER BY …` block,
 //! 2. [`optimizer::optimize`] — cost-based access-path selection and join
 //!    tree planning over the catalog's B-tree indexes and statistics,
-//! 3. [`exec::execute`] — index nested-loop / hash join execution plus the
-//!    duplicate-eliminating SORT plan tail,
+//! 3. [`exec::execute`] — pipelined, batch-at-a-time execution through a
+//!    tree of pull-based operators (scan leaves, index nested-loop and
+//!    build-once hash joins, the duplicate-eliminating SORT plan tail);
+//!    the seed's materialize-everything strategy survives as the
+//!    [`materialize`] baseline,
 //! 4. [`explain::explain`] — DB2-visual-explain-style plan rendering
 //!    (Figures 10 and 11),
 //! 5. [`advisor::advise`] — the `db2advis` stand-in that proposes the
@@ -18,6 +21,7 @@
 pub mod advisor;
 pub mod exec;
 pub mod explain;
+pub mod materialize;
 pub mod optimizer;
 pub mod physical;
 pub mod sql;
@@ -25,7 +29,8 @@ pub mod sqlparse;
 
 pub use advisor::{advise, deploy, IndexProposal};
 pub use exec::{execute, execute_with_stats, run_sql, ExecStats};
-pub use explain::explain;
+pub use explain::{explain, explain_with_stats};
+pub use materialize::{execute_materialized, execute_materialized_with_stats};
 pub use optimizer::{optimize, OptimizeError};
 pub use physical::{Access, Bounds, JoinMethod, JoinNode, PhysPlan};
 pub use sql::{ColRef, FromItem, OrderItem, SelectItem, SfwQuery, SqlCmp, SqlExpr, SqlPredicate};

@@ -16,12 +16,24 @@
 //! only the matching segments are traversed, otherwise the traversal starts
 //! at the document root and visits the whole instance.
 //!
+//! Both loops run as pull-based operators on the shared
+//! [`xqjg_store::Operator`] substrate: [`XiScanOp`] emits candidate
+//! segment ids batch-at-a-time and [`XScanOp`] pulls them and traverses
+//! the corresponding node trees — the same `open` / `next_batch` / `close`
+//! protocol (and the same [`OpStats`] work accounting) the relational
+//! executor and the stacked-plan evaluator use, so Table IX compares three
+//! strategies on one runtime.
+//!
 //! Limitation (shared with the paper's segmented setup): segmented
 //! evaluation is segment-local, so queries joining nodes that live in
 //! *different* segments (Q2's triple value join) must use [`Storage::Whole`]
 //! — the Table IX harness reports them as DNF, as the paper does.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use xqjg_store::{
+    drain, fill_from_pending, new_stats_sink, Batch, BoxedOperator, OpStats, Operator, StatsSink,
+    VecSource,
+};
 use xqjg_xml::axis::{children_of, step};
 use xqjg_xml::{Axis, DocTable, NodeKind, NodeTest, Pre};
 use xqjg_xquery::interp::{compare_atoms, Atom};
@@ -119,24 +131,40 @@ impl<'a> PureXmlStore<'a> {
     /// Evaluate a query.  Returns the result node sequence plus the number
     /// of segments whose trees were traversed (the XSCAN effort).
     pub fn evaluate(&self, core: &CoreExpr) -> (Vec<Pre>, usize) {
+        let (items, stats) = self.evaluate_with_stats(core);
+        let scanned = stats
+            .iter()
+            .find(|o| o.name.starts_with("XSCAN"))
+            .map(|o| o.rows_in)
+            .unwrap_or(0);
+        (items, scanned)
+    }
+
+    /// Evaluate a query through the XISCAN → XSCAN operator pipeline,
+    /// returning the result node sequence and the per-operator counters.
+    pub fn evaluate_with_stats(&self, core: &CoreExpr) -> (Vec<Pre>, Vec<OpStats>) {
+        let sink = new_stats_sink();
         // XISCAN: try to narrow the candidate segments via an eligible
         // value-index lookup.
-        let candidates = match self.eligible_lookup(core) {
-            Some(segs) => segs,
-            None => (0..self.segments.len()).collect(),
+        let (candidates, name) = match self.eligible_lookup(core) {
+            Some(segs) => (segs, "XISCAN(value index)"),
+            None => ((0..self.segments.len()).collect(), "XISCAN(all segments)"),
         };
+        let xiscan: XiScanOp = VecSource::new(name, candidates, Some(sink.clone()));
         // XSCAN: traverse the candidate segments.
-        let mut out = Vec::new();
-        for seg_id in &candidates {
-            let root = self.segments[*seg_id];
-            let mut env = HashMap::new();
-            if let Ok(items) = eval_over_segment(core, self.doc, root, &mut env) {
-                out.extend(items);
-            }
-        }
+        let mut xscan = XScanOp {
+            store: self,
+            core,
+            input: Box::new(xiscan),
+            pending: VecDeque::new(),
+            stats: OpStats::named("XSCAN"),
+            sink: sink.clone(),
+        };
+        let mut out = drain(&mut xscan);
         out.sort();
         out.dedup();
-        (out, candidates.len())
+        let stats = sink.borrow().clone();
+        (out, stats)
     }
 
     /// Find a value comparison in the query that an index is eligible for
@@ -180,6 +208,73 @@ impl<'a> PureXmlStore<'a> {
             }
         });
         found
+    }
+}
+
+/// XISCAN as an operator: emits the ids of candidate segments — either the
+/// postings of an eligible `XMLPATTERN` value-index lookup or every segment
+/// of the instance.  The candidate list is precomputed, so the store's
+/// generic [`VecSource`] is the exact operator shape.
+pub type XiScanOp = VecSource<usize>;
+
+/// XSCAN as an operator: pulls candidate segment ids from its input and
+/// performs the TurboXPath-style traversal of each segment's node tree,
+/// emitting matching nodes.  `rows_in` counts the segments traversed (the
+/// XSCAN effort reported in Table IX).
+pub struct XScanOp<'a> {
+    store: &'a PureXmlStore<'a>,
+    core: &'a CoreExpr,
+    input: BoxedOperator<'a, usize>,
+    pending: VecDeque<Pre>,
+    stats: OpStats,
+    sink: StatsSink,
+}
+
+impl XScanOp<'_> {
+    /// Traverse one segment, queueing its matches.
+    fn traverse(&mut self, seg_id: usize, pending: &mut VecDeque<Pre>) {
+        self.stats.rows_in += 1;
+        let root = self.store.segments[seg_id];
+        let mut env = HashMap::new();
+        if let Ok(items) = eval_over_segment(self.core, self.store.doc, root, &mut env) {
+            pending.extend(items);
+        }
+    }
+}
+
+impl Operator for XScanOp<'_> {
+    type Item = Pre;
+
+    fn open(&mut self) {
+        self.input.open();
+        self.pending.clear();
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Pre>> {
+        let mut pending = std::mem::take(&mut self.pending);
+        let out = fill_from_pending(&mut pending, |p| match self.input.next_batch() {
+            Some(batch) => {
+                for seg_id in batch {
+                    self.traverse(seg_id, p);
+                }
+                true
+            }
+            None => false,
+        });
+        self.pending = pending;
+        let out = out?;
+        self.stats.rows_out += out.len();
+        self.stats.batches += 1;
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
     }
 }
 
@@ -523,6 +618,30 @@ mod tests {
         let (items, scanned) = store.evaluate(&core);
         assert_eq!(items.len(), 1);
         assert_eq!(scanned, 1);
+    }
+
+    #[test]
+    fn operator_pipeline_reports_xiscan_and_xscan_stats() {
+        let doc = instance();
+        let mut store = PureXmlStore::new(&doc, Storage::Segmented { depth: 3 });
+        store.create_pattern_index(&["closed_auction", "price"]);
+        let core =
+            parse_and_normalize("//closed_auction[price > 500]", Some("auction.xml")).unwrap();
+        let (items, stats) = store.evaluate_with_stats(&core);
+        assert_eq!(items.len(), 1);
+        assert_eq!(stats.len(), 2, "XISCAN and XSCAN both report");
+        let xiscan = &stats[0];
+        let xscan = &stats[1];
+        assert!(xiscan.name.starts_with("XISCAN(value index)"));
+        assert_eq!(xiscan.rows_out, 1, "index narrows to one segment");
+        assert_eq!(xscan.rows_in, 1, "one segment traversed");
+        assert_eq!(xscan.rows_out, 1);
+        assert!(xiscan.batches > 0 && xscan.batches > 0);
+        // Without an index the XISCAN enumerates all segments.
+        let bare = PureXmlStore::new(&doc, Storage::Segmented { depth: 3 });
+        let (_, bare_stats) = bare.evaluate_with_stats(&core);
+        assert!(bare_stats[0].name.starts_with("XISCAN(all segments)"));
+        assert_eq!(bare_stats[0].rows_out, 4);
     }
 
     #[test]

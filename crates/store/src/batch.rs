@@ -1,0 +1,352 @@
+//! The pipelined execution substrate: batches and the pull-based
+//! [`Operator`] interface.
+//!
+//! All three evaluation paths of the system — the isolated join graph
+//! (`xqjg-engine`), the stacked-plan evaluator (`xqjg-algebra`), and the
+//! pureXML-style navigational baseline (`xqjg-purexml`) — execute as trees
+//! of operators that exchange fixed-capacity [`Batch`]es through the
+//! classical `open` / `next_batch` / `close` protocol.  Pipelining replaces
+//! the materialize-everything evaluation the seed shipped with: an operator
+//! only ever holds [`BATCH_CAPACITY`] tuples of its input (plus whatever a
+//! genuine pipeline breaker — hash build, sort — must buffer by nature).
+//!
+//! Every operator keeps its own [`OpStats`] work counters and reports them
+//! into a shared [`StatsSink`] on `close`, children first, which is how
+//! `EXPLAIN` output and the benchmark harness see per-operator rows
+//! in/out, probe and batch counts.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Number of tuples a [`Batch`] holds at most.  Small enough that a batch of
+/// row ids stays cache-resident, large enough to amortize the virtual
+/// dispatch of `next_batch` over many tuples.
+pub const BATCH_CAPACITY: usize = 1024;
+
+/// A fixed-capacity batch of tuples flowing between operators.
+///
+/// The tuple type is generic: the join-graph executor moves bindings (one
+/// row id per bound alias), the plan tail and the algebra evaluator move
+/// computed value rows, and the navigational baseline moves node ranks.
+#[derive(Debug, Clone)]
+pub struct Batch<T> {
+    items: Vec<T>,
+}
+
+impl<T> Batch<T> {
+    /// An empty batch with room for [`BATCH_CAPACITY`] tuples.
+    pub fn new() -> Self {
+        Batch {
+            items: Vec::with_capacity(BATCH_CAPACITY),
+        }
+    }
+
+    /// Build a batch directly from at most [`BATCH_CAPACITY`] tuples.
+    ///
+    /// # Panics
+    /// Panics when more tuples are supplied than a batch may hold.
+    pub fn from_items(items: Vec<T>) -> Self {
+        assert!(
+            items.len() <= BATCH_CAPACITY,
+            "batch overflow: {} tuples exceed the {BATCH_CAPACITY}-tuple capacity",
+            items.len()
+        );
+        Batch { items }
+    }
+
+    /// Append a tuple.
+    ///
+    /// # Panics
+    /// Panics when the batch is already full — producers must check
+    /// [`Batch::is_full`] and hand the batch downstream first.
+    pub fn push(&mut self, item: T) {
+        assert!(!self.is_full(), "batch overflow: push into a full batch");
+        self.items.push(item);
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Has the batch reached capacity?
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= BATCH_CAPACITY
+    }
+
+    /// The buffered tuples.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the batch, yielding its tuples.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T> Default for Batch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IntoIterator for Batch<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+/// Work counters of a single operator instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operator label as it appears in EXPLAIN output (e.g. `IXSCAN(d2)`).
+    pub name: String,
+    /// Tuples pulled from the operator's input(s).
+    pub rows_in: usize,
+    /// Tuples handed to the operator's consumer.
+    pub rows_out: usize,
+    /// Batches handed to the operator's consumer.
+    pub batches: usize,
+    /// Probe operations performed (index nested-loop lookups, hash-table
+    /// probes).
+    pub probes: usize,
+    /// Rows buffered by a pipeline breaker (hash-join build side, sort
+    /// input).
+    pub build_rows: usize,
+}
+
+impl OpStats {
+    /// A zeroed counter set for the named operator.
+    pub fn named(name: impl Into<String>) -> Self {
+        OpStats {
+            name: name.into(),
+            ..OpStats::default()
+        }
+    }
+
+    /// One-line rendering used by EXPLAIN and the bench harness.
+    pub fn render(&self) -> String {
+        let mut parts = vec![
+            format!("rows_out={}", self.rows_out),
+            format!("batches={}", self.batches),
+        ];
+        if self.rows_in > 0 {
+            parts.insert(0, format!("rows_in={}", self.rows_in));
+        }
+        if self.probes > 0 {
+            parts.push(format!("probes={}", self.probes));
+        }
+        if self.build_rows > 0 {
+            parts.push(format!("build_rows={}", self.build_rows));
+        }
+        format!("{}: {}", self.name, parts.join(" "))
+    }
+}
+
+/// Shared collection point for per-operator counters: every operator pushes
+/// its [`OpStats`] here when it is closed (children before parents).
+pub type StatsSink = Rc<RefCell<Vec<OpStats>>>;
+
+/// A fresh, empty stats sink.
+pub fn new_stats_sink() -> StatsSink {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// The pull-based physical operator interface (volcano-style, but a batch
+/// of tuples per call instead of one).
+pub trait Operator {
+    /// The tuple type this operator produces.
+    type Item;
+
+    /// Prepare for producing tuples (build hash tables, position scans).
+    fn open(&mut self);
+
+    /// Produce the next batch, or `None` once the input is exhausted.
+    /// Returned batches are non-empty.
+    fn next_batch(&mut self) -> Option<Batch<Self::Item>>;
+
+    /// Release resources and report counters to the stats sink.
+    fn close(&mut self);
+
+    /// The operator's current work counters.
+    fn stats(&self) -> OpStats;
+}
+
+/// A heap-allocated operator, the form operator trees are composed from.
+pub type BoxedOperator<'a, T> = Box<dyn Operator<Item = T> + 'a>;
+
+/// Drive an operator tree to completion: `open`, pull every batch, `close`,
+/// returning all produced tuples.
+pub fn drain<T>(op: &mut dyn Operator<Item = T>) -> Vec<T> {
+    op.open();
+    let mut out = Vec::new();
+    while let Some(batch) = op.next_batch() {
+        out.extend(batch);
+    }
+    op.close();
+    out
+}
+
+/// Fill a batch from a pending queue, invoking `refill` to replenish the
+/// queue — one input step per call — whenever it runs dry.  `refill`
+/// returns `false` once the input is exhausted.  This is the shared
+/// produce-consume loop of every expanding operator (joins probing an
+/// outer binding into several matches, traversals expanding a segment into
+/// its result nodes).
+pub fn fill_from_pending<T>(
+    pending: &mut VecDeque<T>,
+    mut refill: impl FnMut(&mut VecDeque<T>) -> bool,
+) -> Option<Batch<T>> {
+    let mut out: Batch<T> = Batch::new();
+    while !out.is_full() {
+        if let Some(item) = pending.pop_front() {
+            out.push(item);
+            continue;
+        }
+        if !refill(pending) {
+            break;
+        }
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// A source operator emitting an owned vector of tuples in batches.  The
+/// universal leaf for pre-computed inputs (memoized sub-plans, literal
+/// tables, index postings).
+pub struct VecSource<T> {
+    items: Vec<T>,
+    pos: usize,
+    stats: OpStats,
+    sink: Option<StatsSink>,
+}
+
+impl<T> VecSource<T> {
+    /// Create a source over the given tuples.
+    pub fn new(name: impl Into<String>, items: Vec<T>, sink: Option<StatsSink>) -> Self {
+        VecSource {
+            items,
+            pos: 0,
+            stats: OpStats::named(name),
+            sink,
+        }
+    }
+}
+
+impl<T: Clone> Operator for VecSource<T> {
+    type Item = T;
+
+    fn open(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<T>> {
+        if self.pos >= self.items.len() {
+            return None;
+        }
+        let end = (self.pos + BATCH_CAPACITY).min(self.items.len());
+        let batch = Batch::from_items(self.items[self.pos..end].to_vec());
+        self.pos = end;
+        self.stats.rows_out += batch.len();
+        self.stats.batches += 1;
+        Some(batch)
+    }
+
+    fn close(&mut self) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().push(self.stats.clone());
+        }
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_capacity_enforced() {
+        let mut b: Batch<usize> = Batch::new();
+        for i in 0..BATCH_CAPACITY {
+            b.push(i);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.len(), BATCH_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch overflow")]
+    fn batch_overflow_panics() {
+        let mut b: Batch<usize> = Batch::new();
+        for i in 0..=BATCH_CAPACITY {
+            b.push(i);
+        }
+    }
+
+    #[test]
+    fn vec_source_emits_in_batches_and_reports_stats() {
+        let n = BATCH_CAPACITY * 2 + 7;
+        let sink = new_stats_sink();
+        let mut src = VecSource::new("SRC", (0..n).collect::<Vec<_>>(), Some(sink.clone()));
+        let out = drain(&mut src);
+        assert_eq!(out.len(), n);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[n - 1], n - 1);
+        let stats = sink.borrow();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].rows_out, n);
+        assert_eq!(stats[0].batches, 3);
+    }
+
+    #[test]
+    fn empty_source_produces_no_batches() {
+        let mut src: VecSource<usize> = VecSource::new("SRC", vec![], None);
+        assert!(drain(&mut src).is_empty());
+        assert_eq!(src.stats().batches, 0);
+    }
+
+    #[test]
+    fn fill_from_pending_drains_queue_then_refills() {
+        let mut pending: VecDeque<usize> = VecDeque::from(vec![1, 2]);
+        let mut inputs = vec![vec![3, 4], vec![], vec![5]].into_iter();
+        let mut collected = Vec::new();
+        while let Some(batch) = fill_from_pending(&mut pending, |p| match inputs.next() {
+            Some(items) => {
+                p.extend(items);
+                true
+            }
+            None => false,
+        }) {
+            collected.extend(batch);
+        }
+        assert_eq!(collected, vec![1, 2, 3, 4, 5]);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn opstats_render_mentions_counters() {
+        let mut s = OpStats::named("HSJOIN(d2)");
+        s.rows_in = 10;
+        s.rows_out = 4;
+        s.batches = 1;
+        s.probes = 10;
+        s.build_rows = 6;
+        let r = s.render();
+        assert!(r.contains("HSJOIN(d2)"));
+        assert!(r.contains("rows_in=10"));
+        assert!(r.contains("probes=10"));
+        assert!(r.contains("build_rows=6"));
+    }
+}

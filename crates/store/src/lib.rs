@@ -5,11 +5,15 @@
 //! [`Schema`]s, composite-key [`BPlusTree`] indexes with range scans, and
 //! [`TableStats`] (cardinalities, most-common values, histograms) feeding
 //! the cost-based optimizer in `xqjg-engine`.  A small [`Database`] catalog
-//! ties tables, indexes and statistics together.
+//! ties tables, indexes and statistics together, and the [`batch`] module
+//! provides the pipelined execution substrate — fixed-capacity [`Batch`]es
+//! and the pull-based [`Operator`] protocol — shared by every evaluation
+//! path of the system.
 //!
 //! Nothing in this crate knows about XML or XQuery — it is a generic (if
 //! deliberately compact) relational kernel.
 
+pub mod batch;
 pub mod btree;
 pub mod catalog;
 pub mod schema;
@@ -17,9 +21,13 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use batch::{
+    drain, fill_from_pending, new_stats_sink, Batch, BoxedOperator, OpStats, Operator, StatsSink,
+    VecSource, BATCH_CAPACITY,
+};
 pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
 pub use schema::Schema;
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, Table};
-pub use value::Value;
+pub use value::{hash_values, Value};

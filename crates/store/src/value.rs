@@ -91,6 +91,39 @@ impl Value {
         }
         Some(self.cmp(other))
     }
+
+    /// Numeric addition with Int/Dec promotion; NULL-propagating, and NULL
+    /// for non-numeric operands.  This is the single `+` semantics shared
+    /// by the SQL executor's scalar expressions and the algebra evaluator.
+    pub fn numeric_add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(x), Some(y)) => Value::Dec(x + y),
+                _ => Value::Null,
+            },
+        }
+    }
+}
+
+impl std::ops::Add for &Value {
+    type Output = Value;
+
+    fn add(self, rhs: &Value) -> Value {
+        self.numeric_add(rhs)
+    }
+}
+
+/// Hash a composite key without materializing an owned key vector — the
+/// hash-join hot path hashes borrowed `&Value` slices on both the build and
+/// the probe side and verifies candidate matches by value comparison.
+pub fn hash_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for v in values {
+        v.hash(&mut hasher);
+    }
+    hasher.finish()
 }
 
 impl PartialEq for Value {
@@ -277,5 +310,24 @@ mod tests {
     fn negative_zero_hashes_like_zero() {
         assert_eq!(hash_of(&Value::Dec(-0.0)), hash_of(&Value::Dec(0.0)));
         assert_eq!(Value::Dec(-0.0), Value::Int(0));
+    }
+
+    #[test]
+    fn numeric_add_promotes_and_propagates_null() {
+        assert_eq!(Value::Int(1).numeric_add(&Value::Int(2)), Value::Int(3));
+        assert_eq!(&Value::Int(1) + &Value::Dec(0.5), Value::Dec(1.5));
+        assert_eq!(&Value::Null + &Value::Int(1), Value::Null);
+        assert_eq!(&Value::str("x") + &Value::Int(1), Value::Null);
+        assert_eq!(&Value::Bool(true) + &Value::Int(1), Value::Null);
+    }
+
+    #[test]
+    fn hash_values_agrees_with_componentwise_equality() {
+        let a = [Value::Int(5), Value::str("k")];
+        let b = [Value::Dec(5.0), Value::str("k")];
+        // Int(5) == Dec(5.0), so the composite hashes must agree too.
+        assert_eq!(hash_values(a.iter()), hash_values(b.iter()));
+        let c = [Value::Int(6), Value::str("k")];
+        assert_ne!(hash_values(a.iter()), hash_values(c.iter()));
     }
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use xqjg::data::{generate_xmark_encoded, XmarkConfig};
-use xqjg::engine::{explain, optimize};
+use xqjg::engine::{execute_with_stats, explain_with_stats, optimize};
 use xqjg::Processor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,9 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", xqjg::algebra::render_text(&branch.isolated_plan));
     println!("=== emitted SQL ===\n{}\n", branch.isolated.sql());
 
-    println!("=== optimizer execution plan ===");
+    println!("=== optimizer execution plan (with operator actuals) ===");
     let db = processor.database();
     let plan = optimize(&branch.isolated.query, db)?;
-    println!("{}", explain(&plan));
+    // Run the plan through the pipelined executor so the explain output
+    // carries the per-operator work counters next to the estimates.
+    let (_, stats) = execute_with_stats(&plan, db);
+    println!("{}", explain_with_stats(&plan, &stats));
     Ok(())
 }

@@ -4,10 +4,16 @@
 //! * axis predicates agree with naive tree navigation,
 //! * B-tree range scans agree with sorted-vector filtering,
 //! * randomly generated path queries evaluate identically through the
-//!   interpreter, the stacked plan and the isolated join graph.
+//!   interpreter, the stacked plan and the isolated join graph,
+//! * join-edge semantics: NULL hash/probe keys never match, residual
+//!   predicates filter *after* the join, and nested-loop and hash joins
+//!   return identical binding sets for the same plan.
 
 use proptest::prelude::*;
-use xqjg::store::{BPlusTree, Value};
+use xqjg::engine::{
+    execute, Access, JoinMethod, JoinNode, PhysPlan, SelectItem, SqlCmp, SqlExpr, SqlPredicate,
+};
+use xqjg::store::{BPlusTree, Database, Schema, Table, Value};
 use xqjg::xml::{encode_document, parse_document, DocTable, Pre};
 use xqjg::{Mode, Processor};
 
@@ -32,6 +38,79 @@ fn arb_xml(depth: u32) -> BoxedStrategy<String> {
             .prop_map(|children| format!("<group>{}</group>", children.join(""))),
     ]
     .boxed()
+}
+
+/// Strategy producing a nullable join key over a tiny domain (so matches,
+/// collisions and NULLs all occur).
+fn arb_key() -> BoxedStrategy<Option<i64>> {
+    prop_oneof![
+        Just(None),
+        (0i64..4).prop_map(Some),
+        (0i64..4).prop_map(Some),
+    ]
+    .boxed()
+}
+
+/// Two-table database for the join-edge properties: `l(k, v)` joins
+/// `r(k2, w)` on `k = k2`.
+fn join_db(left: &[(Option<i64>, i64)], right: &[(Option<i64>, Option<i64>)]) -> Database {
+    let mut lt = Table::new(Schema::new(["k", "v"]));
+    for (k, v) in left {
+        lt.push(vec![Value::from(*k), Value::Int(*v)]);
+    }
+    let mut rt = Table::new(Schema::new(["k2", "w"]));
+    for (k2, w) in right {
+        rt.push(vec![Value::from(*k2), Value::from(*w)]);
+    }
+    let mut db = Database::new();
+    db.create_table("l", lt);
+    db.create_table("r", rt);
+    db
+}
+
+/// A two-alias plan joining `l` and `r` on `l.k = r.k2`, optionally with
+/// the residual `l.v <= r.w`, via either join method.
+fn join_plan(method: JoinMethod, with_residual: bool) -> PhysPlan {
+    let key_pred = SqlPredicate::new(SqlExpr::col("r", "k2"), SqlCmp::Eq, SqlExpr::col("l", "k"));
+    let (access_preds, hash_keys) = match method {
+        // Nested loop: the key predicate is evaluated per probed row.
+        JoinMethod::NestedLoop => (vec![key_pred], vec![]),
+        // Hash join: the key becomes the build/probe key.
+        JoinMethod::Hash => (vec![], vec![(SqlExpr::col("l", "k"), "k2".to_string())]),
+    };
+    let residual = if with_residual {
+        vec![SqlPredicate::new(
+            SqlExpr::col("l", "v"),
+            SqlCmp::Le,
+            SqlExpr::col("r", "w"),
+        )]
+    } else {
+        vec![]
+    };
+    PhysPlan {
+        root: JoinNode::Join {
+            outer: Box::new(JoinNode::Leaf {
+                alias: "l".into(),
+                table: "l".into(),
+                access: Access::TableScan { preds: vec![] },
+                est_rows: 0.0,
+            }),
+            alias: "r".into(),
+            table: "r".into(),
+            access: Access::TableScan {
+                preds: access_preds,
+            },
+            method,
+            hash_keys,
+            residual,
+            est_rows: 0.0,
+        },
+        select: vec![SelectItem::Star("l".into()), SelectItem::Star("r".into())],
+        distinct: false,
+        order_by: vec![],
+        est_cost: 0.0,
+        est_rows: 0.0,
+    }
 }
 
 proptest! {
@@ -118,6 +197,57 @@ proptest! {
         let isolated = p.execute(&query, Mode::JoinGraph).unwrap().items;
         prop_assert_eq!(&stacked, &oracle, "stacked differs for {}", query);
         prop_assert_eq!(&isolated, &oracle, "isolated differs for {}", query);
+    }
+
+    #[test]
+    fn join_edge_semantics_hold_for_both_join_methods(
+        left in prop::collection::vec((arb_key(), 0i64..10), 0..12),
+        right in prop::collection::vec((arb_key(), arb_key()), 0..12),
+    ) {
+        let db = join_db(&left, &right);
+        // Nested-loop and hash join execute the same logical join edge.
+        let mut hash_rows = execute(&join_plan(JoinMethod::Hash, true), &db).into_rows();
+        let mut nl_rows = execute(&join_plan(JoinMethod::NestedLoop, true), &db).into_rows();
+        hash_rows.sort();
+        nl_rows.sort();
+        prop_assert_eq!(&hash_rows, &nl_rows, "join methods must agree");
+
+        // Reference semantics: NULL keys never match, residual (l.v <= r.w,
+        // NULL-rejecting) filters the joined bindings.
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for (lk, lv) in &left {
+            let Some(lk) = lk else { continue };
+            for (rk, w) in &right {
+                if *rk != Some(*lk) {
+                    continue;
+                }
+                if w.map(|w| *lv <= w) != Some(true) {
+                    continue;
+                }
+                expected.push(vec![
+                    Value::Int(*lk),
+                    Value::Int(*lv),
+                    Value::from(*rk),
+                    Value::from(*w),
+                ]);
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(&hash_rows, &expected, "NULL-key and residual semantics");
+        for row in &hash_rows {
+            prop_assert!(!row[0].is_null() && !row[2].is_null(), "NULL key matched");
+        }
+
+        // Residual predicates apply after the join: dropping the residual
+        // yields a superset, and re-applying it recovers the filtered set.
+        let mut unfiltered = execute(&join_plan(JoinMethod::Hash, false), &db).into_rows();
+        prop_assert!(unfiltered.len() >= hash_rows.len());
+        unfiltered.retain(|row| match (row[1].as_i64(), row[3].as_i64()) {
+            (Some(v), Some(w)) => v <= w,
+            _ => false,
+        });
+        unfiltered.sort();
+        prop_assert_eq!(unfiltered, hash_rows, "residual is a post-join filter");
     }
 
     #[test]
