@@ -345,9 +345,8 @@ impl Operator for SliceSource<'_> {
         if self.pos >= self.rows.len() {
             return None;
         }
-        let end = (self.pos + xqjg_store::BATCH_CAPACITY).min(self.rows.len());
-        let batch = Batch::from_items(self.rows[self.pos..end].to_vec());
-        self.pos = end;
+        let mut batch: Batch<Row> = Batch::new();
+        self.pos += batch.fill_from_slice(&self.rows[self.pos..]);
         self.stats.rows_out += batch.len();
         self.stats.batches += 1;
         Some(batch)
@@ -382,9 +381,8 @@ impl Operator for SharedSource {
         if self.pos >= self.rows.len() {
             return None;
         }
-        let end = (self.pos + xqjg_store::BATCH_CAPACITY).min(self.rows.len());
-        let batch = Batch::from_items(self.rows[self.pos..end].to_vec());
-        self.pos = end;
+        let mut batch: Batch<Row> = Batch::new();
+        self.pos += batch.fill_from_slice(&self.rows[self.pos..]);
         self.stats.rows_out += batch.len();
         self.stats.batches += 1;
         Some(batch)

@@ -4,18 +4,21 @@
 //! cargo run --release -p xqjg-bench --bin tables -- table6
 //! cargo run --release -p xqjg-bench --bin tables -- table8
 //! cargo run --release -p xqjg-bench --bin tables -- table9 [--scale 0.2] [--budget-secs 120]
-//! cargo run --release -p xqjg-bench --bin tables -- bench-exec [--scale 0.2]
+//! cargo run --release -p xqjg-bench --bin tables -- bench-exec [--scale 0.2] [--batch-capacity 1024] [--morsel-size 2048]
 //! cargo run --release -p xqjg-bench --bin tables -- all
 //! ```
 //!
 //! `bench-exec` times the pipelined executor against the materializing
-//! baseline on the XMark join-graph queries and writes the comparison to
-//! `BENCH_exec.json` (rows/sec plus batch counts).
+//! baseline on the XMark join-graph queries — sweeping the degree of
+//! parallelism over 1, 2 and 4 worker threads — and writes the comparison
+//! to `BENCH_exec.json` (rows/sec per thread count plus batch counts).
+//! `--batch-capacity` and `--morsel-size` expose the executor knobs so the
+//! harness can sweep them too.
 
 use std::time::{Duration, Instant};
 use xqjg_bench::{queries, render_table9, table9, DataSet, Workload};
-use xqjg_engine::{execute_materialized, execute_with_stats, optimize, ExecStats, PhysPlan};
-use xqjg_store::{Database, BATCH_CAPACITY};
+use xqjg_engine::{execute_materialized, execute_with_stats_config, optimize, ExecStats, PhysPlan};
+use xqjg_store::{default_threads, Database, ExecConfig, BATCH_CAPACITY, DEFAULT_MORSEL_SIZE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,11 +26,18 @@ fn main() {
     let scale = flag_value(&args, "--scale").unwrap_or(0.1);
     let budget = Duration::from_secs(flag_value(&args, "--budget-secs").unwrap_or(300.0) as u64);
 
+    let batch_capacity = flag_value(&args, "--batch-capacity")
+        .map(|v| (v as usize).max(1))
+        .unwrap_or(BATCH_CAPACITY);
+    let morsel_size = flag_value(&args, "--morsel-size")
+        .map(|v| (v as usize).max(1))
+        .unwrap_or(DEFAULT_MORSEL_SIZE);
+
     match which {
         "table6" => table6(scale),
         "table8" => table8(),
         "table9" => print!("{}", render_table9(&table9(scale, budget), scale)),
-        "bench-exec" => bench_exec(scale),
+        "bench-exec" => bench_exec(scale, batch_capacity, morsel_size),
         "all" => {
             table6(scale);
             println!();
@@ -57,9 +67,12 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, last.expect("at least one rep"))
 }
 
-/// Pipelined vs. materializing executor comparison, emitted as
-/// `BENCH_exec.json`.
-fn bench_exec(scale: f64) {
+/// Degrees of parallelism the sweep covers.
+const SWEEP_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Pipelined vs. materializing executor comparison with a
+/// thread-count sweep (DOP 1 / 2 / 4), emitted as `BENCH_exec.json`.
+fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
     let mut workload = Workload::new(scale);
     let mut cells = Vec::new();
     for q in queries()
@@ -76,51 +89,111 @@ fn bench_exec(scale: f64) {
             .iter()
             .map(|b| optimize(&b.isolated.query, db).expect("plan optimizes"))
             .collect();
-        let reps = 5;
-        let (mat_secs, mat_rows) = time_best(reps, || {
-            plans
-                .iter()
-                .map(|p| execute_materialized(p, db).len())
-                .sum::<usize>()
-        });
-        let (pipe_secs, (pipe_rows, stats)) = time_best(reps, || {
-            let mut rows = 0usize;
-            let mut stats = ExecStats::default();
-            for p in &plans {
-                let (t, s) = execute_with_stats(p, db);
-                rows += t.len();
-                stats.merge(&s);
+        let reps = 9;
+        // Interleave the repetitions of every configuration (materializing
+        // + each DOP) round-robin so drifting background load hits all
+        // configurations alike instead of biasing whichever block it
+        // overlaps; best-of-N per configuration is taken across rounds.
+        // Every configuration must agree on rows *and* on the aggregated
+        // per-operator actuals.
+        let mut mat_secs = f64::INFINITY;
+        let mut mat_rows = 0usize;
+        let mut sweep: Vec<(usize, f64, usize, ExecStats)> = SWEEP_THREADS
+            .iter()
+            .map(|&t| (t, f64::INFINITY, 0, ExecStats::default()))
+            .collect();
+        for _ in 0..reps {
+            let (secs, rows) = time_best(1, || {
+                plans
+                    .iter()
+                    .map(|p| execute_materialized(p, db).len())
+                    .sum::<usize>()
+            });
+            mat_secs = mat_secs.min(secs);
+            mat_rows = rows;
+            for slot in sweep.iter_mut() {
+                let cfg = ExecConfig {
+                    threads: slot.0,
+                    batch_capacity,
+                    morsel_size,
+                };
+                let (secs, (rows, stats)) = time_best(1, || {
+                    let mut rows = 0usize;
+                    let mut stats = ExecStats::default();
+                    for p in &plans {
+                        let (t, s) = execute_with_stats_config(p, db, &cfg);
+                        rows += t.len();
+                        stats.merge(&s);
+                    }
+                    (rows, stats)
+                });
+                assert_eq!(
+                    mat_rows, rows,
+                    "{}: executors disagree at DOP {}",
+                    q.id, slot.0
+                );
+                slot.1 = slot.1.min(secs);
+                slot.2 = rows;
+                slot.3 = stats;
             }
-            (rows, stats)
-        });
-        assert_eq!(mat_rows, pipe_rows, "{}: executors disagree", q.id);
+        }
+        let (_, dop1_secs, pipe_rows, stats) = {
+            let s = &sweep[0];
+            (s.0, s.1, s.2, s.3.clone())
+        };
+        for (threads, _, _, s) in &sweep[1..] {
+            assert_eq!(
+                s.operators, stats.operators,
+                "{}: EXPLAIN actuals drift at DOP {threads}",
+                q.id
+            );
+        }
         let total_batches: usize = stats.operators.iter().map(|o| o.batches).sum();
         let peak_batches = stats.operators.iter().map(|o| o.batches).max().unwrap_or(0);
+        let sweep_cells: Vec<String> = sweep
+            .iter()
+            .map(|(threads, secs, rows, _)| {
+                format!(
+                    "        {{ \"threads\": {threads}, \"secs\": {secs:.6}, \"rows_per_sec\": {:.1}, \"speedup_vs_dop1\": {:.3} }}",
+                    *rows as f64 / secs.max(1e-12),
+                    dop1_secs / secs.max(1e-12),
+                )
+            })
+            .collect();
         cells.push(format!(
-            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {}\n    }}",
+            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"pipelined\": [\n{}\n      ]\n    }}",
             q.id,
             pipe_rows,
             mat_secs,
-            pipe_secs,
+            dop1_secs,
             mat_rows as f64 / mat_secs.max(1e-12),
-            pipe_rows as f64 / pipe_secs.max(1e-12),
-            mat_secs / pipe_secs.max(1e-12),
+            pipe_rows as f64 / dop1_secs.max(1e-12),
+            mat_secs / dop1_secs.max(1e-12),
             total_batches,
             peak_batches,
+            sweep_cells.join(",\n"),
         ));
         println!(
-            "{}: materializing {:.4} ms, pipelined {:.4} ms ({:.2}x), {} rows, {} batches (peak {})",
+            "{}: materializing {:.4} ms, pipelined DOP=1 {:.4} ms ({:.2}x), {} rows, {} batches (peak {})",
             q.id,
             mat_secs * 1e3,
-            pipe_secs * 1e3,
-            mat_secs / pipe_secs.max(1e-12),
+            dop1_secs * 1e3,
+            mat_secs / dop1_secs.max(1e-12),
             pipe_rows,
             total_batches,
             peak_batches
         );
+        for (threads, secs, _, _) in &sweep {
+            println!(
+                "    DOP={threads}: {:.4} ms ({:.2}x vs DOP=1)",
+                secs * 1e3,
+                dop1_secs / secs.max(1e-12)
+            );
+        }
     }
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"batch_capacity\": {BATCH_CAPACITY},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": {scale},\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        default_threads(),
         cells.join(",\n")
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");

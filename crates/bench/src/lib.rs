@@ -290,11 +290,17 @@ pub fn table9(scale: f64, budget: Duration) -> Vec<Table9Row> {
     rows
 }
 
-/// Render Table IX rows in the paper's layout.
+/// Render Table IX rows in the paper's layout.  The header records the
+/// effective execution configuration (the relational timings go through
+/// the morsel-parallel executor, whose degree of parallelism defaults to
+/// the machine's cores / `XQJG_THREADS`) so published numbers stay
+/// reproducible.
 pub fn render_table9(rows: &[Table9Row], scale: f64) -> String {
+    let cfg = xqjg_store::ExecConfig::from_env();
     let mut out = String::new();
     out.push_str(&format!(
-        "Table IX — observed result sizes and wall clock execution times (scale factor {scale})\n"
+        "Table IX — observed result sizes and wall clock execution times (scale factor {scale}, DOP {}, batch {}, morsel {})\n",
+        cfg.threads, cfg.batch_capacity, cfg.morsel_size
     ));
     out.push_str(&format!(
         "{:<6} {:>10}  {:>10} {:>10}  {:>10} {:>10}\n",

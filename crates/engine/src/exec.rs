@@ -1,4 +1,4 @@
-//! Pipelined, batch-at-a-time execution of physical plans.
+//! Pipelined, morsel-parallel execution of physical plans.
 //!
 //! The executor implements the operator repertoire of Table VII as a tree
 //! of discrete pull-based operators over the [`xqjg_store::Operator`]
@@ -12,19 +12,30 @@
 //! (the sort tail, a genuine pipeline breaker, is the only operator that
 //! buffers its input).
 //!
+//! Execution is **morsel-driven** (see [`xqjg_store::morsel`]): the scan
+//! leaf's row-id domain is cut into fixed-size morsels, and up to
+//! [`ExecConfig::threads`] scoped workers each run a private copy of the
+//! pipeline fragment over one morsel at a time.  The genuine pipeline
+//! breakers anchor the merge points: hash-join build sides are built once
+//! up front and shared read-only by all workers, and the SORT tail
+//! concatenates the per-morsel outputs *in morsel order* before the
+//! distinct/sort pass — which makes results, EXPLAIN actuals and the
+//! aggregate work counters byte-identical across degrees of parallelism.
+//!
 //! The seed's materialize-everything executor is retained in
 //! [`crate::materialize`] as the baseline the `executor` benchmark pits
 //! this pipeline against.
 
 use crate::physical::{Access, Bounds, JoinNode, PhysPlan};
-use crate::sql::{ColRef, SelectItem, SqlCmp, SqlExpr, SqlPredicate};
+use crate::sql::{SelectItem, SqlCmp, SqlExpr, SqlPredicate};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::ops::Bound;
 use std::rc::Rc;
 use xqjg_store::{
-    drain, fill_from_pending, hash_values, new_stats_sink, Batch, BoxedOperator, Database, OpStats,
-    Operator, Row, Schema, StatsSink, Table, Value,
+    effective_morsel_size, execute_morsels, fill_from_pending_with_capacity, hash_values,
+    merge_worker_stats, new_stats_sink, partition_morsels, Batch, BoxedOperator, Database,
+    ExecConfig, Morsel, OpStats, Operator, Row, Schema, StatsSink, Table, Value,
 };
 
 /// A binding: for each alias bound so far (outer-to-inner), the row id of
@@ -60,8 +71,11 @@ impl ExecStats {
     }
 }
 
-/// Aggregate work counters shared by all operators of one plan execution.
-#[derive(Debug, Default)]
+/// Aggregate work counters of one plan execution.  Every worker pipeline
+/// accumulates a private instance (operators fold their local counters in
+/// at `close` — nothing touches shared state per tuple) and the
+/// coordinator sums them.
+#[derive(Debug, Clone, Default)]
 struct Agg {
     index_rows: usize,
     scan_rows: usize,
@@ -69,27 +83,277 @@ struct Agg {
     bindings: usize,
 }
 
+impl Agg {
+    fn add(&mut self, other: &Agg) {
+        self.index_rows += other.index_rows;
+        self.scan_rows += other.scan_rows;
+        self.probes += other.probes;
+        self.bindings += other.bindings;
+    }
+}
+
 type SharedAgg = Rc<RefCell<Agg>>;
 
-/// Execute a physical plan, returning the result table.
+/// Execute a physical plan, returning the result table.  Parallelism and
+/// batching follow the environment knobs (see [`ExecConfig::from_env`]).
 pub fn execute(plan: &PhysPlan, db: &Database) -> Table {
     execute_with_stats(plan, db).0
 }
 
-/// Execute a physical plan through the pipelined operator tree, returning
-/// the result table and work counters (aggregate and per-operator).
+/// Execute a physical plan, returning the result table and work counters
+/// (aggregate and per-operator).  Parallelism and batching follow the
+/// environment knobs (see [`ExecConfig::from_env`]).
 pub fn execute_with_stats(plan: &PhysPlan, db: &Database) -> (Table, ExecStats) {
-    let sink = new_stats_sink();
-    let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
-    let (aliases, join_root) = build_join_ops(&plan.root, db, &sink, &agg);
-    let tables: Vec<&Table> = aliases
-        .iter()
-        .map(|a| alias_table(&plan.root, a, db))
-        .collect();
-    let mut tail = SortTail::new(join_root, aliases, tables, plan, sink.clone(), agg.clone());
-    let rows = drain(&mut tail);
+    execute_with_stats_config(plan, db, &ExecConfig::from_env())
+}
 
-    // Output schema.
+/// One stage of the flattened left-deep join chain: the leaf scan (stage
+/// 0) or one join level.
+struct Stage<'a> {
+    alias: &'a str,
+    table_name: &'a str,
+    base: &'a Table,
+    access: &'a Access,
+    hash_keys: &'a [(SqlExpr, String)],
+    residual: &'a [SqlPredicate],
+    /// Aliases bound by the stages below this one, outer-to-inner.
+    outer_aliases: Vec<String>,
+    /// Base tables of `outer_aliases`.
+    outer_tables: Vec<&'a Table>,
+}
+
+/// Flatten the left-deep join tree into its stage sequence.
+fn flatten_stages<'a>(node: &'a JoinNode, db: &'a Database) -> Vec<Stage<'a>> {
+    match node {
+        JoinNode::Leaf {
+            alias,
+            table,
+            access,
+            ..
+        } => vec![Stage {
+            alias,
+            table_name: table,
+            base: db.table(table).expect("table registered"),
+            access,
+            hash_keys: &[],
+            residual: &[],
+            outer_aliases: Vec::new(),
+            outer_tables: Vec::new(),
+        }],
+        JoinNode::Join {
+            outer,
+            alias,
+            table,
+            access,
+            hash_keys,
+            residual,
+            ..
+        } => {
+            let stages = flatten_stages(outer, db);
+            let outer_aliases: Vec<String> = stages.iter().map(|s| s.alias.to_string()).collect();
+            let outer_tables: Vec<&Table> = stages.iter().map(|s| s.base).collect();
+            let mut stages = stages;
+            stages.push(Stage {
+                alias,
+                table_name: table,
+                base: db.table(table).expect("table registered"),
+                access,
+                hash_keys,
+                residual,
+                outer_aliases,
+                outer_tables,
+            });
+            stages
+        }
+    }
+}
+
+/// The scan leaf's row-id domain, computed once before the workers start.
+enum LeafDomain {
+    /// `TBSCAN`: the base table's full rid range `[0, n)`.
+    Rids(usize),
+    /// `IXSCAN`: the pre-fetched posting list (pre-residual).
+    Postings(Vec<usize>),
+}
+
+impl LeafDomain {
+    fn len(&self) -> usize {
+        match self {
+            LeafDomain::Rids(n) => *n,
+            LeafDomain::Postings(rids) => rids.len(),
+        }
+    }
+}
+
+/// A hash join's build side: enumerated and bucketed exactly once per
+/// execution, then shared read-only by every worker pipeline (the
+/// partitioned-build alternative would duplicate the build work
+/// accounting; sharing keeps `build_rows` identical to DOP = 1).
+struct JoinBuild {
+    key_cols: Vec<usize>,
+    buckets: HashMap<u64, Vec<usize>>,
+    build_rows: usize,
+}
+
+impl JoinBuild {
+    fn build(stage: &Stage<'_>, db: &Database, agg: &mut Agg) -> JoinBuild {
+        let (inner_rows, fetched) =
+            exec_access(stage.access, stage.alias, stage.table_name, db, None);
+        match fetched {
+            Fetched::Scanned(n) => agg.scan_rows += n,
+            Fetched::Indexed(n) => agg.index_rows += n,
+        }
+        let key_cols: Vec<usize> = stage
+            .hash_keys
+            .iter()
+            .map(|(_, col)| stage.base.schema().expect_index(col))
+            .collect();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut build_rows = 0;
+        for rid in inner_rows {
+            let row = &stage.base.rows()[rid];
+            if key_cols.iter().any(|&c| row[c].is_null()) {
+                continue;
+            }
+            let h = hash_values(key_cols.iter().map(|&c| &row[c]));
+            buckets.entry(h).or_default().push(rid);
+            build_rows += 1;
+        }
+        JoinBuild {
+            key_cols,
+            buckets,
+            build_rows,
+        }
+    }
+}
+
+/// Everything a worker needs to run one morsel's pipeline — borrowed,
+/// read-only, and shared by all workers of one execution.
+struct ExecCtx<'a> {
+    stages: Vec<Stage<'a>>,
+    /// Prebuilt hash-join build sides, aligned with `stages` (`None` for
+    /// the leaf and nested-loop stages).
+    builds: Vec<Option<JoinBuild>>,
+    domain: LeafDomain,
+    /// All stage aliases, outer-to-inner.
+    aliases: Vec<String>,
+    /// Base tables of `aliases`.
+    tables: Vec<&'a Table>,
+    select: &'a [SelectItem],
+    order_exprs: Vec<SqlExpr>,
+    db: &'a Database,
+    batch_capacity: usize,
+}
+
+/// What one morsel's pipeline produced: tail rows (select values plus sort
+/// key), per-operator counters (leaf first), and the aggregate counters.
+struct MorselOutput {
+    rows: Vec<(Row, Row)>,
+    ops: Vec<OpStats>,
+    tail_rows: usize,
+    agg: Agg,
+}
+
+/// Execute a physical plan with explicit execution knobs.
+///
+/// The result table, the per-operator EXPLAIN actuals and the aggregate
+/// counters are identical for every `threads` / `morsel_size` setting;
+/// `batch_capacity` additionally only affects the reported batch counts.
+pub fn execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> (Table, ExecStats) {
+    let threads = cfg.threads.max(1);
+    let cap = cfg.batch_capacity.max(1);
+    let stages = flatten_stages(&plan.root, db);
+
+    // Pre-phase: resolve the leaf domain and build all hash-join build
+    // sides once, on the coordinator.
+    let mut pre_agg = Agg::default();
+    let leaf = &stages[0];
+    let domain = match leaf.access {
+        Access::TableScan { .. } => LeafDomain::Rids(leaf.base.len()),
+        Access::IndexScan { index, bounds, .. } => {
+            let ix = db.index(index).expect("index registered");
+            let rids = index_range(&ix.tree, bounds, leaf.alias, None);
+            pre_agg.index_rows += rids.len();
+            LeafDomain::Postings(rids)
+        }
+    };
+    let builds: Vec<Option<JoinBuild>> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (i > 0 && !s.hash_keys.is_empty()).then(|| JoinBuild::build(s, db, &mut pre_agg))
+        })
+        .collect();
+
+    let aliases: Vec<String> = stages.iter().map(|s| s.alias.to_string()).collect();
+    let tables: Vec<&Table> = stages.iter().map(|s| s.base).collect();
+    let order_exprs: Vec<SqlExpr> = plan
+        .order_by
+        .iter()
+        .map(|c| SqlExpr::Col(c.clone()))
+        .collect();
+    let ctx = ExecCtx {
+        stages,
+        builds,
+        domain,
+        aliases,
+        tables,
+        select: &plan.select,
+        order_exprs,
+        db,
+        batch_capacity: cap,
+    };
+
+    // Parallel phase: workers drain the morsel queue, each running a
+    // private pipeline instance per morsel.
+    let morsel_size = effective_morsel_size(ctx.domain.len(), threads, cfg.morsel_size);
+    let morsels = partition_morsels(ctx.domain.len(), morsel_size);
+    let outputs = execute_morsels(threads, morsels, |_, m| run_morsel(&ctx, m));
+
+    // Merge phase: per-morsel counters sum to the sequential counters, and
+    // concatenating tail rows in morsel order restores the sequential scan
+    // order before the distinct/sort pass.
+    let mut agg = pre_agg;
+    let mut per_morsel_ops: Vec<Vec<OpStats>> = Vec::with_capacity(outputs.len());
+    let mut out_rows: Vec<(Row, Row)> = Vec::new();
+    let mut tail_rows_in = 0usize;
+    for o in outputs {
+        agg.add(&o.agg);
+        tail_rows_in += o.tail_rows;
+        out_rows.extend(o.rows);
+        per_morsel_ops.push(o.ops);
+    }
+    let mut operators = merge_worker_stats(&per_morsel_ops, cap);
+    for (op, build) in operators.iter_mut().zip(&ctx.builds) {
+        if let Some(b) = build {
+            op.build_rows += b.build_rows;
+        }
+    }
+
+    // The plan tail: DISTINCT over the select list, ORDER BY, RETURN.
+    agg.bindings += tail_rows_in;
+    let name = match (plan.distinct, plan.order_by.is_empty()) {
+        (true, _) => "SORT(distinct)",
+        (false, false) => "SORT",
+        (false, true) => "RETURN",
+    };
+    let mut tail = OpStats::named(name);
+    tail.rows_in = tail_rows_in;
+    tail.build_rows = out_rows.len();
+    if plan.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|(sel, _)| seen.insert(sel.clone()));
+    }
+    out_rows.sort_by(|a, b| a.1.cmp(&b.1));
+    tail.rows_out = out_rows.len();
+    tail.batches = tail.rows_out.div_ceil(cap);
+    operators.push(tail);
+
+    // Output schema and table.
     let mut columns: Vec<String> = Vec::new();
     for item in &plan.select {
         match item {
@@ -101,124 +365,150 @@ pub fn execute_with_stats(plan: &PhysPlan, db: &Database) -> (Table, ExecStats) 
         }
     }
     let mut table = Table::new(Schema::new(columns));
-    for row in rows {
-        table.push(row);
+    for (sel, _) in out_rows {
+        table.push(sel);
     }
-    let a = agg.borrow();
     let stats = ExecStats {
-        index_rows: a.index_rows,
-        scan_rows: a.scan_rows,
-        probes: a.probes,
-        bindings: a.bindings,
-        operators: sink.borrow().clone(),
+        index_rows: agg.index_rows,
+        scan_rows: agg.scan_rows,
+        probes: agg.probes,
+        bindings: agg.bindings,
+        operators,
     };
     (table, stats)
 }
 
-/// Build the operator tree for a join-tree node; returns the aliases the
-/// subtree binds (outer-to-inner) and the root operator.
-fn build_join_ops<'a>(
-    node: &'a JoinNode,
-    db: &'a Database,
-    sink: &StatsSink,
-    agg: &SharedAgg,
-) -> (Vec<String>, BoxedOperator<'a, Binding>) {
-    match node {
-        JoinNode::Leaf {
-            alias,
-            table,
-            access,
-            ..
-        } => {
-            let op = LeafScan::new(alias, table, access, db, sink.clone(), agg.clone());
-            (vec![alias.clone()], Box::new(op))
-        }
-        JoinNode::Join {
-            outer,
-            alias,
-            table,
-            access,
-            method: _,
-            hash_keys,
-            residual,
-            ..
-        } => {
-            let (mut aliases, input) = build_join_ops(outer, db, sink, agg);
-            let outer_tables: Vec<&Table> =
-                aliases.iter().map(|a| alias_table(outer, a, db)).collect();
-            let op: BoxedOperator<'a, Binding> = if hash_keys.is_empty() {
-                Box::new(NestedLoopJoin::new(
-                    input,
-                    aliases.clone(),
-                    outer_tables,
-                    alias,
-                    table,
-                    access,
-                    residual,
-                    db,
-                    sink.clone(),
-                    agg.clone(),
-                ))
-            } else {
-                Box::new(HashJoin::new(
-                    input,
-                    aliases.clone(),
-                    outer_tables,
-                    alias,
-                    table,
-                    access,
-                    hash_keys,
-                    residual,
-                    db,
-                    sink.clone(),
-                    agg.clone(),
-                ))
+/// Run one morsel through a private pipeline instance: leaf scan over the
+/// morsel's domain slice, the join chain, and the pre-sort tail evaluation.
+/// The stats sink and aggregate counters live and die inside this call —
+/// workers never share mutable state.
+fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
+    let sink = new_stats_sink();
+    let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
+    let mut op: BoxedOperator<'_, Binding> = Box::new(MorselLeaf::new(
+        &ctx.stages[0],
+        &ctx.domain,
+        m,
+        ctx.batch_capacity,
+        sink.clone(),
+        agg.clone(),
+    ));
+    for (stage, build) in ctx.stages[1..].iter().zip(&ctx.builds[1..]) {
+        op = match build {
+            Some(b) => Box::new(HashJoinProbe::new(
+                op,
+                stage,
+                b,
+                ctx.batch_capacity,
+                sink.clone(),
+                agg.clone(),
+            )),
+            None => Box::new(NestedLoopJoin::new(
+                op,
+                stage,
+                ctx.db,
+                ctx.batch_capacity,
+                sink.clone(),
+                agg.clone(),
+            )),
+        };
+    }
+    op.open();
+    let mut rows: Vec<(Row, Row)> = Vec::new();
+    let mut tail_rows = 0usize;
+    while let Some(batch) = op.next_batch() {
+        for binding in batch {
+            tail_rows += 1;
+            let env = Env {
+                aliases: &ctx.aliases,
+                tables: &ctx.tables,
+                binding: &binding,
             };
-            aliases.push(alias.clone());
-            (aliases, op)
+            rows.push(tail_row(&env, ctx.select, &ctx.order_exprs));
         }
+    }
+    op.close();
+    drop(op);
+    let ops = sink.borrow().clone();
+    let agg = agg.borrow().clone();
+    MorselOutput {
+        rows,
+        ops,
+        tail_rows,
+        agg,
     }
 }
 
-/// Scan leaf: emits single-alias bindings batch-at-a-time, either from a
-/// filtered full table scan (`TBSCAN`) or a B-tree range scan (`IXSCAN`).
-struct LeafScan<'a> {
+/// Evaluate the select list and the order key for one binding.
+fn tail_row(env: &Env<'_>, select: &[SelectItem], order_exprs: &[SqlExpr]) -> (Row, Row) {
+    let mut select_vals = Vec::new();
+    for item in select {
+        match item {
+            SelectItem::Star(alias) => {
+                let (table, rid) = env.lookup(alias);
+                select_vals.extend(table.rows()[rid].iter().cloned());
+            }
+            SelectItem::Expr { expr, .. } => select_vals.push(env.eval(expr)),
+        }
+    }
+    let order_vals: Row = order_exprs.iter().map(|e| env.eval(e)).collect();
+    (select_vals, order_vals)
+}
+
+/// Scan leaf over one morsel of the domain: emits single-alias bindings
+/// batch-at-a-time, either from a filtered rid-range scan (`TBSCAN`) or a
+/// slice of the pre-fetched posting list (`IXSCAN`).
+struct MorselLeaf<'a> {
     alias: &'a str,
     base: &'a Table,
     access: &'a Access,
-    db: &'a Database,
-    state: LeafState,
+    cursor: LeafCursor<'a>,
+    cap: usize,
+    /// Rows surviving the pushed-down filters (TBSCAN accounting), folded
+    /// into the aggregate at `close` — nothing shared is touched per batch.
+    scan_rows: usize,
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
 }
 
-enum LeafState {
-    /// Full scan: next row id to examine.
-    Scan { next_rid: usize },
-    /// Index scan: fetched row ids (pre-residual) and the emit cursor.
-    Index { rids: Vec<usize>, pos: usize },
+enum LeafCursor<'a> {
+    /// Full scan: next rid to examine and the morsel's end rid.
+    Rids { next: usize, end: usize },
+    /// Index scan: the morsel's slice of the posting list and the cursor.
+    Postings { rids: &'a [usize], pos: usize },
 }
 
-impl<'a> LeafScan<'a> {
+impl<'a> MorselLeaf<'a> {
     fn new(
-        alias: &'a str,
-        table: &'a str,
-        access: &'a Access,
-        db: &'a Database,
+        stage: &Stage<'a>,
+        domain: &'a LeafDomain,
+        m: Morsel,
+        cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
     ) -> Self {
-        let name = match access {
-            Access::TableScan { .. } => format!("TBSCAN({alias})"),
-            Access::IndexScan { index, .. } => format!("IXSCAN({alias} ix={index})"),
+        let name = match stage.access {
+            Access::TableScan { .. } => format!("TBSCAN({})", stage.alias),
+            Access::IndexScan { index, .. } => format!("IXSCAN({} ix={index})", stage.alias),
         };
-        LeafScan {
-            alias,
-            base: db.table(table).expect("table registered"),
-            access,
-            db,
-            state: LeafState::Scan { next_rid: 0 },
+        let cursor = match domain {
+            LeafDomain::Rids(n) => LeafCursor::Rids {
+                next: m.start.min(*n),
+                end: m.end.min(*n),
+            },
+            LeafDomain::Postings(rids) => LeafCursor::Postings {
+                rids: &rids[m.start..m.end],
+                pos: 0,
+            },
+        };
+        MorselLeaf {
+            alias: stage.alias,
+            base: stage.base,
+            access: stage.access,
+            cursor,
+            cap,
+            scan_rows: 0,
             stats: OpStats::named(name),
             sink,
             agg,
@@ -226,50 +516,41 @@ impl<'a> LeafScan<'a> {
     }
 }
 
-impl Operator for LeafScan<'_> {
+impl Operator for MorselLeaf<'_> {
     type Item = Binding;
 
-    fn open(&mut self) {
-        self.state = match self.access {
-            Access::TableScan { .. } => LeafState::Scan { next_rid: 0 },
-            Access::IndexScan { index, bounds, .. } => {
-                let ix = self.db.index(index).expect("index registered");
-                let rids = index_range(&ix.tree, bounds, self.alias, None);
-                self.agg.borrow_mut().index_rows += rids.len();
-                LeafState::Index { rids, pos: 0 }
-            }
-        };
-    }
+    fn open(&mut self) {}
 
     fn next_batch(&mut self) -> Option<Batch<Binding>> {
-        let mut out: Batch<Binding> = Batch::new();
-        match (&mut self.state, self.access) {
-            (LeafState::Scan { next_rid }, Access::TableScan { preds }) => {
-                while *next_rid < self.base.len() && !out.is_full() {
-                    let rid = *next_rid;
-                    *next_rid += 1;
+        let (alias, base, access) = (self.alias, self.base, self.access);
+        let mut out: Batch<Binding> = Batch::with_capacity(self.cap);
+        match (&mut self.cursor, access) {
+            (LeafCursor::Rids { next, end }, Access::TableScan { preds }) => {
+                while *next < *end && !out.is_full() {
+                    let rid = *next;
+                    *next += 1;
                     let ok = preds
                         .iter()
-                        .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), None));
+                        .all(|p| pred_holds(p, alias, Some((base, rid)), None));
                     if ok {
                         out.push(vec![rid]);
                     }
                 }
-                self.agg.borrow_mut().scan_rows += out.len();
+                self.scan_rows += out.len();
             }
-            (LeafState::Index { rids, pos }, Access::IndexScan { residual, .. }) => {
+            (LeafCursor::Postings { rids, pos }, Access::IndexScan { residual, .. }) => {
                 while *pos < rids.len() && !out.is_full() {
                     let rid = rids[*pos];
                     *pos += 1;
                     let ok = residual
                         .iter()
-                        .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), None));
+                        .all(|p| pred_holds(p, alias, Some((base, rid)), None));
                     if ok {
                         out.push(vec![rid]);
                     }
                 }
             }
-            _ => unreachable!("leaf state matches its access path"),
+            _ => unreachable!("leaf cursor matches its access path"),
         }
         if out.is_empty() {
             return None;
@@ -280,6 +561,7 @@ impl Operator for LeafScan<'_> {
     }
 
     fn close(&mut self) {
+        self.agg.borrow_mut().scan_rows += self.scan_rows;
         self.sink.borrow_mut().push(self.stats.clone());
     }
 
@@ -331,46 +613,36 @@ impl<'a> Feed<'a> {
 /// NLJOIN–IXSCAN pair).
 struct NestedLoopJoin<'a> {
     feed: Feed<'a>,
-    outer_aliases: Vec<String>,
-    outer_tables: Vec<&'a Table>,
-    alias: &'a str,
-    table_name: &'a str,
-    base: &'a Table,
-    access: &'a Access,
-    residual: &'a [SqlPredicate],
+    stage: &'a Stage<'a>,
     db: &'a Database,
     pending: VecDeque<Binding>,
+    cap: usize,
+    /// Per-probe fetch accounting, folded into the aggregate at `close`.
+    fetched_scan: usize,
+    fetched_index: usize,
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
 }
 
 impl<'a> NestedLoopJoin<'a> {
-    #[allow(clippy::too_many_arguments)]
     fn new(
         input: BoxedOperator<'a, Binding>,
-        outer_aliases: Vec<String>,
-        outer_tables: Vec<&'a Table>,
-        alias: &'a str,
-        table_name: &'a str,
-        access: &'a Access,
-        residual: &'a [SqlPredicate],
+        stage: &'a Stage<'a>,
         db: &'a Database,
+        cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
     ) -> Self {
         NestedLoopJoin {
             feed: Feed::new(input),
-            outer_aliases,
-            outer_tables,
-            alias,
-            table_name,
-            base: db.table(table_name).expect("table registered"),
-            access,
-            residual,
+            stage,
             db,
             pending: VecDeque::new(),
-            stats: OpStats::named(format!("NLJOIN({alias})")),
+            cap,
+            fetched_scan: 0,
+            fetched_index: 0,
+            stats: OpStats::named(format!("NLJOIN({})", stage.alias)),
             sink,
             agg,
         }
@@ -380,30 +652,33 @@ impl<'a> NestedLoopJoin<'a> {
     /// surviving extended bindings.
     fn probe(&mut self, binding: &Binding, pending: &mut VecDeque<Binding>) {
         self.stats.probes += 1;
-        {
-            let mut agg = self.agg.borrow_mut();
-            agg.probes += 1;
-        }
+        let stage = self.stage;
         let env = Env {
-            aliases: &self.outer_aliases,
-            tables: &self.outer_tables,
+            aliases: &stage.outer_aliases,
+            tables: &stage.outer_tables,
             binding,
         };
         let (rows, fetched) = exec_access(
-            self.access,
-            self.alias,
-            self.table_name,
+            stage.access,
+            stage.alias,
+            stage.table_name,
             self.db,
             Some(&env),
         );
-        record_fetched(&self.agg, fetched);
+        match fetched {
+            Fetched::Scanned(n) => self.fetched_scan += n,
+            Fetched::Indexed(n) => self.fetched_index += n,
+        }
         for rid in rows {
-            let ok = self
+            let ok = stage
                 .residual
                 .iter()
-                .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), Some(&env)));
+                .all(|p| pred_holds(p, stage.alias, Some((stage.base, rid)), Some(&env)));
             if ok {
-                let mut b = binding.clone();
+                // One exact-size allocation instead of clone-then-push
+                // (which reallocates): this runs once per emitted binding.
+                let mut b = Vec::with_capacity(binding.len() + 1);
+                b.extend_from_slice(binding);
                 b.push(rid);
                 pending.push_back(b);
             }
@@ -421,24 +696,32 @@ impl Operator for NestedLoopJoin<'_> {
 
     fn next_batch(&mut self) -> Option<Batch<Binding>> {
         let mut pending = std::mem::take(&mut self.pending);
-        let out = fill_from_pending(&mut pending, |p| match self.feed.next_outer() {
-            Some(binding) => {
-                self.probe(&binding, p);
-                true
+        let out = fill_from_pending_with_capacity(self.cap, &mut pending, |p| {
+            match self.feed.next_outer() {
+                Some(binding) => {
+                    self.probe(&binding, p);
+                    true
+                }
+                None => false,
             }
-            None => false,
         });
         self.pending = pending;
         let out = out?;
         self.stats.rows_out += out.len();
         self.stats.batches += 1;
-        self.agg.borrow_mut().bindings += out.len();
         Some(out)
     }
 
     fn close(&mut self) {
         self.feed.input.close();
         self.stats.rows_in = self.feed.rows_in;
+        {
+            let mut agg = self.agg.borrow_mut();
+            agg.probes += self.stats.probes;
+            agg.bindings += self.stats.rows_out;
+            agg.scan_rows += self.fetched_scan;
+            agg.index_rows += self.fetched_index;
+        }
         self.sink.borrow_mut().push(self.stats.clone());
     }
 
@@ -447,59 +730,36 @@ impl Operator for NestedLoopJoin<'_> {
     }
 }
 
-/// Build-once hash join: the inner rows are enumerated a single time and
-/// bucketed by the *hash* of their key columns — no per-row key vector is
-/// materialized; probes compare borrowed `&Value`s against the probe key to
-/// resolve hash collisions.
-struct HashJoin<'a> {
+/// Hash-join probe side: the build table was bucketed once up front (see
+/// [`JoinBuild`]) and is shared read-only by all workers; probes compare
+/// borrowed `&Value`s against the probe key to resolve hash collisions.
+struct HashJoinProbe<'a> {
     feed: Feed<'a>,
-    outer_aliases: Vec<String>,
-    outer_tables: Vec<&'a Table>,
-    alias: &'a str,
-    table_name: &'a str,
-    base: &'a Table,
-    access: &'a Access,
-    hash_keys: &'a [(SqlExpr, String)],
-    residual: &'a [SqlPredicate],
-    db: &'a Database,
-    key_cols: Vec<usize>,
-    buckets: HashMap<u64, Vec<usize>>,
+    stage: &'a Stage<'a>,
+    build: &'a JoinBuild,
     pending: VecDeque<Binding>,
+    cap: usize,
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
 }
 
-impl<'a> HashJoin<'a> {
-    #[allow(clippy::too_many_arguments)]
+impl<'a> HashJoinProbe<'a> {
     fn new(
         input: BoxedOperator<'a, Binding>,
-        outer_aliases: Vec<String>,
-        outer_tables: Vec<&'a Table>,
-        alias: &'a str,
-        table_name: &'a str,
-        access: &'a Access,
-        hash_keys: &'a [(SqlExpr, String)],
-        residual: &'a [SqlPredicate],
-        db: &'a Database,
+        stage: &'a Stage<'a>,
+        build: &'a JoinBuild,
+        cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
     ) -> Self {
-        HashJoin {
+        HashJoinProbe {
             feed: Feed::new(input),
-            outer_aliases,
-            outer_tables,
-            alias,
-            table_name,
-            base: db.table(table_name).expect("table registered"),
-            access,
-            hash_keys,
-            residual,
-            db,
-            key_cols: Vec::new(),
-            buckets: HashMap::new(),
+            stage,
+            build,
             pending: VecDeque::new(),
-            stats: OpStats::named(format!("HSJOIN({alias})")),
+            cap,
+            stats: OpStats::named(format!("HSJOIN({})", stage.alias)),
             sink,
             agg,
         }
@@ -509,12 +769,13 @@ impl<'a> HashJoin<'a> {
     /// extended bindings.
     fn probe(&mut self, binding: &Binding, pending: &mut VecDeque<Binding>) {
         self.stats.probes += 1;
+        let stage = self.stage;
         let env = Env {
-            aliases: &self.outer_aliases,
-            tables: &self.outer_tables,
+            aliases: &stage.outer_aliases,
+            tables: &stage.outer_tables,
             binding,
         };
-        let probe_vals: Vec<Value> = self
+        let probe_vals: Vec<Value> = stage
             .hash_keys
             .iter()
             .map(|(outer_expr, _)| env.eval(outer_expr))
@@ -523,13 +784,14 @@ impl<'a> HashJoin<'a> {
             return;
         }
         let h = hash_values(probe_vals.iter());
-        let Some(candidates) = self.buckets.get(&h) else {
+        let Some(candidates) = self.build.buckets.get(&h) else {
             return;
         };
         for &rid in candidates {
-            let row = &self.base.rows()[rid];
+            let row = &stage.base.rows()[rid];
             // Resolve hash collisions by comparing the borrowed key values.
             let keys_match = self
+                .build
                 .key_cols
                 .iter()
                 .zip(&probe_vals)
@@ -537,12 +799,15 @@ impl<'a> HashJoin<'a> {
             if !keys_match {
                 continue;
             }
-            let ok = self
+            let ok = stage
                 .residual
                 .iter()
-                .all(|p| pred_holds(p, self.alias, Some((self.base, rid)), Some(&env)));
+                .all(|p| pred_holds(p, stage.alias, Some((stage.base, rid)), Some(&env)));
             if ok {
-                let mut b = binding.clone();
+                // One exact-size allocation instead of clone-then-push
+                // (which reallocates): this runs once per emitted binding.
+                let mut b = Vec::with_capacity(binding.len() + 1);
+                b.extend_from_slice(binding);
                 b.push(rid);
                 pending.push_back(b);
             }
@@ -550,188 +815,45 @@ impl<'a> HashJoin<'a> {
     }
 }
 
-impl Operator for HashJoin<'_> {
+impl Operator for HashJoinProbe<'_> {
     type Item = Binding;
 
     fn open(&mut self) {
         self.feed.input.open();
         self.pending.clear();
-        self.buckets.clear();
-        // Build side: enumerate the inner rows once, bucketing by key hash.
-        let (inner_rows, fetched) =
-            exec_access(self.access, self.alias, self.table_name, self.db, None);
-        record_fetched(&self.agg, fetched);
-        self.key_cols = self
-            .hash_keys
-            .iter()
-            .map(|(_, col)| self.base.schema().expect_index(col))
-            .collect();
-        for rid in inner_rows {
-            let row = &self.base.rows()[rid];
-            if self.key_cols.iter().any(|&c| row[c].is_null()) {
-                continue;
-            }
-            let h = hash_values(self.key_cols.iter().map(|&c| &row[c]));
-            self.buckets.entry(h).or_default().push(rid);
-            self.stats.build_rows += 1;
-        }
     }
 
     fn next_batch(&mut self) -> Option<Batch<Binding>> {
         let mut pending = std::mem::take(&mut self.pending);
-        let out = fill_from_pending(&mut pending, |p| match self.feed.next_outer() {
-            Some(binding) => {
-                self.probe(&binding, p);
-                true
+        let out = fill_from_pending_with_capacity(self.cap, &mut pending, |p| {
+            match self.feed.next_outer() {
+                Some(binding) => {
+                    self.probe(&binding, p);
+                    true
+                }
+                None => false,
             }
-            None => false,
         });
         self.pending = pending;
         let out = out?;
         self.stats.rows_out += out.len();
         self.stats.batches += 1;
-        self.agg.borrow_mut().bindings += out.len();
         Some(out)
     }
 
     fn close(&mut self) {
         self.feed.input.close();
         self.stats.rows_in = self.feed.rows_in;
+        {
+            let mut agg = self.agg.borrow_mut();
+            agg.probes += self.stats.probes;
+            agg.bindings += self.stats.rows_out;
+        }
         self.sink.borrow_mut().push(self.stats.clone());
     }
 
     fn stats(&self) -> OpStats {
         self.stats.clone()
-    }
-}
-
-/// The plan tail: evaluates the select and order expressions per binding,
-/// applies DISTINCT over the select list, restores the result order, and
-/// returns the final value rows.  The sort is the pipeline's only
-/// by-nature breaker: it buffers its input at `open`.
-struct SortTail<'a> {
-    input: BoxedOperator<'a, Binding>,
-    aliases: Vec<String>,
-    tables: Vec<&'a Table>,
-    select: &'a [SelectItem],
-    order_by: &'a [ColRef],
-    distinct: bool,
-    /// The sorted output, handed out by value batch-by-batch.
-    rows: std::vec::IntoIter<Row>,
-    stats: OpStats,
-    sink: StatsSink,
-    agg: SharedAgg,
-}
-
-impl<'a> SortTail<'a> {
-    fn new(
-        input: BoxedOperator<'a, Binding>,
-        aliases: Vec<String>,
-        tables: Vec<&'a Table>,
-        plan: &'a PhysPlan,
-        sink: StatsSink,
-        agg: SharedAgg,
-    ) -> Self {
-        let name = match (plan.distinct, plan.order_by.is_empty()) {
-            (true, _) => "SORT(distinct)",
-            (false, false) => "SORT",
-            (false, true) => "RETURN",
-        };
-        SortTail {
-            input,
-            aliases,
-            tables,
-            select: &plan.select,
-            order_by: &plan.order_by,
-            distinct: plan.distinct,
-            rows: Vec::new().into_iter(),
-            stats: OpStats::named(name),
-            sink,
-            agg,
-        }
-    }
-}
-
-impl Operator for SortTail<'_> {
-    type Item = Row;
-
-    fn open(&mut self) {
-        self.input.open();
-        let order_exprs: Vec<SqlExpr> = self
-            .order_by
-            .iter()
-            .map(|c| SqlExpr::Col(c.clone()))
-            .collect();
-        let mut out_rows: Vec<(Row, Row)> = Vec::new();
-        while let Some(batch) = self.input.next_batch() {
-            for binding in batch {
-                self.stats.rows_in += 1;
-                let env = Env {
-                    aliases: &self.aliases,
-                    tables: &self.tables,
-                    binding: &binding,
-                };
-                let mut select_vals = Vec::new();
-                for item in self.select {
-                    match item {
-                        SelectItem::Star(alias) => {
-                            let (table, rid) = env.lookup(alias);
-                            select_vals.extend(table.rows()[rid].iter().cloned());
-                        }
-                        SelectItem::Expr { expr, .. } => select_vals.push(env.eval(expr)),
-                    }
-                }
-                let order_vals: Row = order_exprs.iter().map(|e| env.eval(e)).collect();
-                out_rows.push((select_vals, order_vals));
-            }
-        }
-        self.agg.borrow_mut().bindings += self.stats.rows_in;
-        self.stats.build_rows = out_rows.len();
-        // DISTINCT over the select list.
-        if self.distinct {
-            let mut seen = std::collections::HashSet::new();
-            out_rows.retain(|(sel, _)| seen.insert(sel.clone()));
-        }
-        // ORDER BY.
-        out_rows.sort_by(|a, b| a.1.cmp(&b.1));
-        self.rows = out_rows
-            .into_iter()
-            .map(|(sel, _)| sel)
-            .collect::<Vec<_>>()
-            .into_iter();
-    }
-
-    fn next_batch(&mut self) -> Option<Batch<Row>> {
-        // Move the buffered rows out — no second clone of the result set.
-        let items: Vec<Row> = self
-            .rows
-            .by_ref()
-            .take(xqjg_store::BATCH_CAPACITY)
-            .collect();
-        if items.is_empty() {
-            return None;
-        }
-        let batch = Batch::from_items(items);
-        self.stats.rows_out += batch.len();
-        self.stats.batches += 1;
-        Some(batch)
-    }
-
-    fn close(&mut self) {
-        self.input.close();
-        self.sink.borrow_mut().push(self.stats.clone());
-    }
-
-    fn stats(&self) -> OpStats {
-        self.stats.clone()
-    }
-}
-
-fn record_fetched(agg: &SharedAgg, fetched: Fetched) {
-    let mut agg = agg.borrow_mut();
-    match fetched {
-        Fetched::Scanned(n) => agg.scan_rows += n,
-        Fetched::Indexed(n) => agg.index_rows += n,
     }
 }
 
@@ -1169,6 +1291,56 @@ mod tests {
             assert_eq!(pstats.scan_rows, mstats.scan_rows, "{sql}");
             assert_eq!(pstats.probes, mstats.probes, "{sql}");
             assert_eq!(pstats.bindings, mstats.bindings, "{sql}");
+        }
+    }
+
+    #[test]
+    fn dop_and_morsel_size_do_not_change_results_or_actuals() {
+        let db = db();
+        let reference = ExecConfig::sequential();
+        for sql in [
+            Q1_LIKE.to_string(),
+            "SELECT d1.pre AS p FROM doc AS d1 WHERE d1.kind = 'ELEM' ORDER BY d1.pre".to_string(),
+        ] {
+            let q = parse_sql(&sql).unwrap();
+            let plan = optimize(&q, &db).unwrap();
+            let (t_ref, s_ref) = execute_with_stats_config(&plan, &db, &reference);
+            for threads in [1, 2, 4] {
+                // Tiny morsels force multi-morsel merging even on this
+                // 9-row fixture.
+                for morsel_size in [1, 3, xqjg_store::DEFAULT_MORSEL_SIZE] {
+                    let cfg = ExecConfig::sequential()
+                        .with_threads(threads)
+                        .with_morsel_size(morsel_size);
+                    let (t, s) = execute_with_stats_config(&plan, &db, &cfg);
+                    assert_eq!(t, t_ref, "rows differ: {sql} DOP={threads}");
+                    assert_eq!(
+                        s, s_ref,
+                        "stats differ: {sql} DOP={threads} morsel={morsel_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_capacity_sweeps_change_only_batch_counts() {
+        let db = db();
+        let q = parse_sql(Q1_LIKE).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let (t_ref, s_ref) = execute_with_stats_config(&plan, &db, &ExecConfig::sequential());
+        for cap in [1, 2, 7] {
+            let cfg = ExecConfig::sequential().with_batch_capacity(cap);
+            let (t, s) = execute_with_stats_config(&plan, &db, &cfg);
+            assert_eq!(t, t_ref, "rows differ at batch capacity {cap}");
+            assert_eq!(s.index_rows, s_ref.index_rows);
+            assert_eq!(s.probes, s_ref.probes);
+            assert_eq!(s.bindings, s_ref.bindings);
+            for (a, b) in s.operators.iter().zip(&s_ref.operators) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.rows_out, b.rows_out);
+                assert_eq!(a.batches, a.rows_out.div_ceil(cap), "{}", a.name);
+            }
         }
     }
 

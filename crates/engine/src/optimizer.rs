@@ -176,13 +176,17 @@ impl<'a> Planner<'a> {
             );
         }
 
-        // Grow subsets one alias at a time.
+        // Grow subsets one alias at a time.  Process states in sorted
+        // order: `HashMap` iteration order would otherwise decide cost
+        // ties, making the chosen join order (and every benchmark built on
+        // it) vary from run to run.
         for size in 1..n {
-            let states: Vec<u64> = table
+            let mut states: Vec<u64> = table
                 .keys()
                 .copied()
                 .filter(|m| m.count_ones() as usize == size)
                 .collect();
+            states.sort_unstable();
             if table.len() > cost::DP_STATE_LIMIT {
                 return self.plan_greedy();
             }
@@ -197,8 +201,16 @@ impl<'a> Planner<'a> {
                 for i in candidates {
                     let new_mask = mask | (1 << i);
                     let candidate = self.extend(&entry, i);
+                    // Break exact cost ties by the smaller intermediate
+                    // cardinality: equal-cost orders are common in this
+                    // model, and the lower-cardinality one feeds fewer
+                    // bindings to every operator above it.
                     let better = match table.get(&new_mask) {
-                        Some(existing) => candidate.cost < existing.cost,
+                        Some(existing) => {
+                            candidate.cost < existing.cost
+                                || (candidate.cost == existing.cost
+                                    && candidate.card < existing.card)
+                        }
                         None => true,
                     };
                     if better {

@@ -31,8 +31,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use xqjg_store::{
-    drain, fill_from_pending, new_stats_sink, Batch, BoxedOperator, OpStats, Operator, StatsSink,
-    VecSource,
+    drain, effective_morsel_size, execute_morsels, fill_from_pending_with_capacity,
+    merge_worker_stats, new_stats_sink, partition_morsels, Batch, BoxedOperator, ExecConfig,
+    OpStats, Operator, StatsSink, VecSource,
 };
 use xqjg_xml::axis::{children_of, step};
 use xqjg_xml::{Axis, DocTable, NodeKind, NodeTest, Pre};
@@ -142,28 +143,63 @@ impl<'a> PureXmlStore<'a> {
 
     /// Evaluate a query through the XISCAN → XSCAN operator pipeline,
     /// returning the result node sequence and the per-operator counters.
+    /// Parallelism and batching follow the environment knobs (see
+    /// [`ExecConfig::from_env`]).
     pub fn evaluate_with_stats(&self, core: &CoreExpr) -> (Vec<Pre>, Vec<OpStats>) {
-        let sink = new_stats_sink();
+        self.evaluate_with_stats_config(core, &ExecConfig::from_env())
+    }
+
+    /// [`PureXmlStore::evaluate_with_stats`] with explicit execution knobs.
+    ///
+    /// The XISCAN candidate list is partitioned into morsels on the same
+    /// exchange the relational executor uses: each worker runs a private
+    /// XISCAN → XSCAN pipeline over one morsel of candidate segments at a
+    /// time, and the per-worker counters merge back into the sequential
+    /// counters — so Table IX comparisons stay apples-to-apples across
+    /// degrees of parallelism.
+    pub fn evaluate_with_stats_config(
+        &self,
+        core: &CoreExpr,
+        cfg: &ExecConfig,
+    ) -> (Vec<Pre>, Vec<OpStats>) {
+        let threads = cfg.threads.max(1);
+        let cap = cfg.batch_capacity.max(1);
         // XISCAN: try to narrow the candidate segments via an eligible
         // value-index lookup.
         let (candidates, name) = match self.eligible_lookup(core) {
             Some(segs) => (segs, "XISCAN(value index)"),
             None => ((0..self.segments.len()).collect(), "XISCAN(all segments)"),
         };
-        let xiscan: XiScanOp = VecSource::new(name, candidates, Some(sink.clone()));
-        // XSCAN: traverse the candidate segments.
-        let mut xscan = XScanOp {
-            store: self,
-            core,
-            input: Box::new(xiscan),
-            pending: VecDeque::new(),
-            stats: OpStats::named("XSCAN"),
-            sink: sink.clone(),
-        };
-        let mut out = drain(&mut xscan);
+        let morsel_size = effective_morsel_size(candidates.len(), threads, cfg.morsel_size);
+        let morsels = partition_morsels(candidates.len(), morsel_size);
+        let runs: Vec<(Vec<Pre>, Vec<OpStats>)> = execute_morsels(threads, morsels, |_, m| {
+            let sink = new_stats_sink();
+            let xiscan: XiScanOp =
+                VecSource::new(name, candidates[m.range()].to_vec(), Some(sink.clone()))
+                    .with_batch_capacity(cap);
+            // XSCAN: traverse the morsel's candidate segments.
+            let mut xscan = XScanOp {
+                store: self,
+                core,
+                input: Box::new(xiscan),
+                pending: VecDeque::new(),
+                cap,
+                stats: OpStats::named("XSCAN"),
+                sink: sink.clone(),
+            };
+            let items = drain(&mut xscan);
+            let stats = sink.borrow().clone();
+            (items, stats)
+        });
+        let mut out = Vec::new();
+        let mut per_morsel: Vec<Vec<OpStats>> = Vec::with_capacity(runs.len());
+        for (items, ops) in runs {
+            out.extend(items);
+            per_morsel.push(ops);
+        }
+        let stats = merge_worker_stats(&per_morsel, cap);
         out.sort();
         out.dedup();
-        let stats = sink.borrow().clone();
         (out, stats)
     }
 
@@ -226,6 +262,7 @@ pub struct XScanOp<'a> {
     core: &'a CoreExpr,
     input: BoxedOperator<'a, usize>,
     pending: VecDeque<Pre>,
+    cap: usize,
     stats: OpStats,
     sink: StatsSink,
 }
@@ -252,14 +289,16 @@ impl Operator for XScanOp<'_> {
 
     fn next_batch(&mut self) -> Option<Batch<Pre>> {
         let mut pending = std::mem::take(&mut self.pending);
-        let out = fill_from_pending(&mut pending, |p| match self.input.next_batch() {
-            Some(batch) => {
-                for seg_id in batch {
-                    self.traverse(seg_id, p);
+        let out = fill_from_pending_with_capacity(self.cap, &mut pending, |p| {
+            match self.input.next_batch() {
+                Some(batch) => {
+                    for seg_id in batch {
+                        self.traverse(seg_id, p);
+                    }
+                    true
                 }
-                true
+                None => false,
             }
-            None => false,
         });
         self.pending = pending;
         let out = out?;
@@ -642,6 +681,29 @@ mod tests {
         let (_, bare_stats) = bare.evaluate_with_stats(&core);
         assert!(bare_stats[0].name.starts_with("XISCAN(all segments)"));
         assert_eq!(bare_stats[0].rows_out, 4);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_identical_to_sequential() {
+        let doc = instance();
+        let mut store = PureXmlStore::new(&doc, Storage::Segmented { depth: 3 });
+        store.create_pattern_index(&["closed_auction", "price"]);
+        for query in [
+            "//closed_auction[price > 500]",
+            "/site/people/person/name/text()",
+        ] {
+            let core = parse_and_normalize(query, Some("auction.xml")).unwrap();
+            let reference = store.evaluate_with_stats_config(&core, &ExecConfig::sequential());
+            for threads in [2, 4] {
+                // Morsel size 1 forces one pipeline per candidate segment.
+                let cfg = ExecConfig::sequential()
+                    .with_threads(threads)
+                    .with_morsel_size(1);
+                let got = store.evaluate_with_stats_config(&core, &cfg);
+                assert_eq!(got.0, reference.0, "{query} items at DOP {threads}");
+                assert_eq!(got.1, reference.1, "{query} stats at DOP {threads}");
+            }
+        }
     }
 
     #[test]

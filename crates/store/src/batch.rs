@@ -7,8 +7,13 @@
 //! of operators that exchange fixed-capacity [`Batch`]es through the
 //! classical `open` / `next_batch` / `close` protocol.  Pipelining replaces
 //! the materialize-everything evaluation the seed shipped with: an operator
-//! only ever holds [`BATCH_CAPACITY`] tuples of its input (plus whatever a
-//! genuine pipeline breaker — hash build, sort — must buffer by nature).
+//! only ever holds one batch of its input (plus whatever a genuine pipeline
+//! breaker — hash build, sort — must buffer by nature).
+//!
+//! The batch capacity is a runtime parameter (defaulting to
+//! [`BATCH_CAPACITY`]) so the benchmark harness can sweep it; see the
+//! [`crate::morsel`] module for the parallel-execution layer that splits
+//! leaf scans into morsels and merges per-worker counters back together.
 //!
 //! Every operator keeps its own [`OpStats`] work counters and reports them
 //! into a shared [`StatsSink`] on `close`, children first, which is how
@@ -19,9 +24,9 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-/// Number of tuples a [`Batch`] holds at most.  Small enough that a batch of
-/// row ids stays cache-resident, large enough to amortize the virtual
-/// dispatch of `next_batch` over many tuples.
+/// Default number of tuples a [`Batch`] holds at most.  Small enough that a
+/// batch of row ids stays cache-resident, large enough to amortize the
+/// virtual dispatch of `next_batch` over many tuples.
 pub const BATCH_CAPACITY: usize = 1024;
 
 /// A fixed-capacity batch of tuples flowing between operators.
@@ -32,37 +37,54 @@ pub const BATCH_CAPACITY: usize = 1024;
 #[derive(Debug, Clone)]
 pub struct Batch<T> {
     items: Vec<T>,
+    cap: usize,
 }
 
 impl<T> Batch<T> {
     /// An empty batch with room for [`BATCH_CAPACITY`] tuples.
     pub fn new() -> Self {
+        Self::with_capacity(BATCH_CAPACITY)
+    }
+
+    /// An empty batch with room for `cap` tuples (`cap` ≥ 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        debug_assert!(cap > 0, "batch capacity must be positive");
         Batch {
-            items: Vec::with_capacity(BATCH_CAPACITY),
+            items: Vec::with_capacity(cap.max(1)),
+            cap: cap.max(1),
         }
     }
 
-    /// Build a batch directly from at most [`BATCH_CAPACITY`] tuples.
-    ///
-    /// # Panics
-    /// Panics when more tuples are supplied than a batch may hold.
+    /// Build a batch directly from a tuple vector.  The batch is sized to
+    /// the default capacity, or to the vector's length when that is larger
+    /// — producers slicing their own input never overflow.
     pub fn from_items(items: Vec<T>) -> Self {
-        assert!(
-            items.len() <= BATCH_CAPACITY,
-            "batch overflow: {} tuples exceed the {BATCH_CAPACITY}-tuple capacity",
-            items.len()
-        );
-        Batch { items }
+        let cap = items.len().max(BATCH_CAPACITY);
+        Batch { items, cap }
     }
 
     /// Append a tuple.
     ///
-    /// # Panics
-    /// Panics when the batch is already full — producers must check
-    /// [`Batch::is_full`] and hand the batch downstream first.
+    /// Producers must check [`Batch::is_full`] and hand the batch
+    /// downstream first; pushing into a full batch is a logic error
+    /// (checked in debug builds only — this sits on the per-tuple hot
+    /// path).
     pub fn push(&mut self, item: T) {
-        assert!(!self.is_full(), "batch overflow: push into a full batch");
+        debug_assert!(!self.is_full(), "batch overflow: push into a full batch");
         self.items.push(item);
+    }
+
+    /// Bulk-append tuples from a slice, up to the remaining capacity.
+    /// Returns how many tuples were consumed — the caller advances its
+    /// cursor by that amount.  This is the leaf-scan fast path: one
+    /// `memcpy`-style extend instead of a per-tuple `push`.
+    pub fn fill_from_slice(&mut self, src: &[T]) -> usize
+    where
+        T: Clone,
+    {
+        let n = (self.cap - self.items.len()).min(src.len());
+        self.items.extend_from_slice(&src[..n]);
+        n
     }
 
     /// Number of tuples in the batch.
@@ -77,7 +99,12 @@ impl<T> Batch<T> {
 
     /// Has the batch reached capacity?
     pub fn is_full(&self) -> bool {
-        self.items.len() >= BATCH_CAPACITY
+        self.items.len() >= self.cap
+    }
+
+    /// The number of tuples this batch can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// The buffered tuples.
@@ -134,6 +161,22 @@ impl OpStats {
         }
     }
 
+    /// Fold the counters another worker recorded for the *same logical
+    /// operator* into this one.  `batches` is summed raw here; use
+    /// [`merge_worker_stats`] to normalize it to the canonical
+    /// single-worker count after all workers are folded.
+    pub fn absorb(&mut self, other: &OpStats) {
+        debug_assert_eq!(
+            self.name, other.name,
+            "merging stats of different operators"
+        );
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.batches += other.batches;
+        self.probes += other.probes;
+        self.build_rows += other.build_rows;
+    }
+
     /// One-line rendering used by EXPLAIN and the bench harness.
     pub fn render(&self) -> String {
         let mut parts = vec![
@@ -153,8 +196,47 @@ impl OpStats {
     }
 }
 
+/// Merge the per-operator counters several workers (or morsel pipelines)
+/// recorded for the *same operator tree* into the counters a single
+/// sequential execution would have produced.
+///
+/// Row, probe and build counters are summed positionally.  The batch count
+/// is recomputed as `ceil(rows_out / batch_capacity)`: every operator of
+/// the substrate fills each batch to capacity before handing it downstream
+/// (only the final batch may run short), so that expression *is* the batch
+/// count of a DOP = 1 execution — which keeps EXPLAIN actuals byte-identical
+/// across degrees of parallelism.
+pub fn merge_worker_stats(per_worker: &[Vec<OpStats>], batch_capacity: usize) -> Vec<OpStats> {
+    let cap = batch_capacity.max(1);
+    let mut iter = per_worker.iter();
+    let mut merged: Vec<OpStats> = match iter.next() {
+        Some(first) => first.clone(),
+        None => return Vec::new(),
+    };
+    for worker in iter {
+        assert_eq!(
+            merged.len(),
+            worker.len(),
+            "workers report differently-shaped operator trees"
+        );
+        for (acc, op) in merged.iter_mut().zip(worker) {
+            acc.absorb(op);
+        }
+    }
+    for op in &mut merged {
+        op.batches = op.rows_out.div_ceil(cap);
+    }
+    merged
+}
+
 /// Shared collection point for per-operator counters: every operator pushes
 /// its [`OpStats`] here when it is closed (children before parents).
+///
+/// Deliberately *not* thread-safe: in parallel execution each worker owns a
+/// private sink created inside its thread, and the harvested `Vec<OpStats>`
+/// (plain data, `Send`) is merged across workers via
+/// [`merge_worker_stats`] — workers record locally, the merge happens once
+/// at close.
 pub type StatsSink = Rc<RefCell<Vec<OpStats>>>;
 
 /// A fresh, empty stats sink.
@@ -202,12 +284,23 @@ pub fn drain<T>(op: &mut dyn Operator<Item = T>) -> Vec<T> {
 /// returns `false` once the input is exhausted.  This is the shared
 /// produce-consume loop of every expanding operator (joins probing an
 /// outer binding into several matches, traversals expanding a segment into
-/// its result nodes).
+/// its result nodes).  Batches are filled to the default
+/// [`BATCH_CAPACITY`]; see [`fill_from_pending_with_capacity`] for the
+/// runtime-capacity variant.
 pub fn fill_from_pending<T>(
+    pending: &mut VecDeque<T>,
+    refill: impl FnMut(&mut VecDeque<T>) -> bool,
+) -> Option<Batch<T>> {
+    fill_from_pending_with_capacity(BATCH_CAPACITY, pending, refill)
+}
+
+/// [`fill_from_pending`] with a caller-chosen batch capacity.
+pub fn fill_from_pending_with_capacity<T>(
+    cap: usize,
     pending: &mut VecDeque<T>,
     mut refill: impl FnMut(&mut VecDeque<T>) -> bool,
 ) -> Option<Batch<T>> {
-    let mut out: Batch<T> = Batch::new();
+    let mut out: Batch<T> = Batch::with_capacity(cap);
     while !out.is_full() {
         if let Some(item) = pending.pop_front() {
             out.push(item);
@@ -226,6 +319,7 @@ pub fn fill_from_pending<T>(
 pub struct VecSource<T> {
     items: Vec<T>,
     pos: usize,
+    cap: usize,
     stats: OpStats,
     sink: Option<StatsSink>,
 }
@@ -236,9 +330,17 @@ impl<T> VecSource<T> {
         VecSource {
             items,
             pos: 0,
+            cap: BATCH_CAPACITY,
             stats: OpStats::named(name),
             sink,
         }
+    }
+
+    /// Emit batches of at most `cap` tuples instead of the default
+    /// [`BATCH_CAPACITY`].
+    pub fn with_batch_capacity(mut self, cap: usize) -> Self {
+        self.cap = cap.max(1);
+        self
     }
 }
 
@@ -253,9 +355,8 @@ impl<T: Clone> Operator for VecSource<T> {
         if self.pos >= self.items.len() {
             return None;
         }
-        let end = (self.pos + BATCH_CAPACITY).min(self.items.len());
-        let batch = Batch::from_items(self.items[self.pos..end].to_vec());
-        self.pos = end;
+        let mut batch = Batch::with_capacity(self.cap);
+        self.pos += batch.fill_from_slice(&self.items[self.pos..]);
         self.stats.rows_out += batch.len();
         self.stats.batches += 1;
         Some(batch)
@@ -284,15 +385,47 @@ mod tests {
         }
         assert!(b.is_full());
         assert_eq!(b.len(), BATCH_CAPACITY);
+        assert_eq!(b.capacity(), BATCH_CAPACITY);
     }
 
     #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "overflow check is debug-only")]
     #[should_panic(expected = "batch overflow")]
-    fn batch_overflow_panics() {
+    fn batch_overflow_panics_in_debug_builds() {
         let mut b: Batch<usize> = Batch::new();
         for i in 0..=BATCH_CAPACITY {
             b.push(i);
         }
+    }
+
+    #[test]
+    fn runtime_capacity_bounds_the_batch() {
+        let mut b: Batch<usize> = Batch::with_capacity(3);
+        assert_eq!(b.capacity(), 3);
+        b.push(1);
+        b.push(2);
+        assert!(!b.is_full());
+        b.push(3);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn fill_from_slice_respects_capacity_and_reports_consumption() {
+        let mut b: Batch<usize> = Batch::with_capacity(4);
+        b.push(0);
+        let src: Vec<usize> = (1..10).collect();
+        let n = b.fill_from_slice(&src);
+        assert_eq!(n, 3);
+        assert_eq!(b.items(), &[0, 1, 2, 3]);
+        assert!(b.is_full());
+        assert_eq!(b.fill_from_slice(&src), 0);
+    }
+
+    #[test]
+    fn from_items_grows_capacity_to_fit() {
+        let b = Batch::from_items((0..BATCH_CAPACITY + 5).collect::<Vec<_>>());
+        assert_eq!(b.len(), BATCH_CAPACITY + 5);
+        assert!(b.is_full());
     }
 
     #[test]
@@ -308,6 +441,20 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].rows_out, n);
         assert_eq!(stats[0].batches, 3);
+    }
+
+    #[test]
+    fn vec_source_honors_runtime_batch_capacity() {
+        let mut src =
+            VecSource::new("SRC", (0..10).collect::<Vec<_>>(), None).with_batch_capacity(4);
+        let mut batches = 0;
+        src.open();
+        while let Some(b) = src.next_batch() {
+            assert!(b.len() <= 4);
+            batches += 1;
+        }
+        src.close();
+        assert_eq!(batches, 3);
     }
 
     #[test]
@@ -333,6 +480,40 @@ mod tests {
         }
         assert_eq!(collected, vec![1, 2, 3, 4, 5]);
         assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn fill_from_pending_with_capacity_caps_each_batch() {
+        let mut pending: VecDeque<usize> = VecDeque::from((0..7).collect::<Vec<_>>());
+        let mut sizes = Vec::new();
+        while let Some(batch) = fill_from_pending_with_capacity(3, &mut pending, |_| false) {
+            sizes.push(batch.len());
+        }
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn merge_worker_stats_sums_counters_and_normalizes_batches() {
+        let mk = |rows_out: usize, batches: usize, probes: usize| {
+            let mut s = OpStats::named("NLJOIN(d2)");
+            s.rows_in = rows_out / 2;
+            s.rows_out = rows_out;
+            s.batches = batches;
+            s.probes = probes;
+            s
+        };
+        // Two workers, each with a partial final batch: raw batch counts
+        // (2 + 2) exceed the canonical sequential count ceil(900/512) = 2.
+        let merged = merge_worker_stats(&[vec![mk(500, 2, 10)], vec![mk(400, 2, 7)]], 512);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].rows_out, 900);
+        assert_eq!(merged[0].rows_in, 450);
+        assert_eq!(merged[0].probes, 17);
+        assert_eq!(merged[0].batches, 2, "batches normalized to ceil(900/512)");
+        // Zero-row operators report zero batches.
+        let zero = merge_worker_stats(&[vec![mk(0, 0, 0)], vec![mk(0, 0, 0)]], 512);
+        assert_eq!(zero[0].batches, 0);
+        assert!(merge_worker_stats(&[], 512).is_empty());
     }
 
     #[test]

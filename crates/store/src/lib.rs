@@ -8,7 +8,10 @@
 //! ties tables, indexes and statistics together, and the [`batch`] module
 //! provides the pipelined execution substrate — fixed-capacity [`Batch`]es
 //! and the pull-based [`Operator`] protocol — shared by every evaluation
-//! path of the system.
+//! path of the system.  The [`morsel`] module layers morsel-driven
+//! parallelism on top: leaf scans split into rid-range [`Morsel`]s,
+//! scoped worker threads drain a shared [`MorselQueue`], and per-worker
+//! counters merge back into sequential-identical [`OpStats`].
 //!
 //! Nothing in this crate knows about XML or XQuery — it is a generic (if
 //! deliberately compact) relational kernel.
@@ -16,17 +19,22 @@
 pub mod batch;
 pub mod btree;
 pub mod catalog;
+pub mod morsel;
 pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use batch::{
-    drain, fill_from_pending, new_stats_sink, Batch, BoxedOperator, OpStats, Operator, StatsSink,
-    VecSource, BATCH_CAPACITY,
+    drain, fill_from_pending, fill_from_pending_with_capacity, merge_worker_stats, new_stats_sink,
+    Batch, BoxedOperator, OpStats, Operator, StatsSink, VecSource, BATCH_CAPACITY,
 };
 pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
+pub use morsel::{
+    default_threads, effective_morsel_size, execute_morsels, partition_morsels, ExecConfig, Morsel,
+    MorselQueue, DEFAULT_MORSEL_SIZE, MIN_MORSEL_SIZE,
+};
 pub use schema::Schema;
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, Table};

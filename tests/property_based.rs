@@ -261,4 +261,42 @@ proptest! {
         let isolated = p.execute(query, Mode::JoinGraph).unwrap().items;
         prop_assert_eq!(isolated, oracle);
     }
+
+    #[test]
+    fn morsel_partitioning_covers_each_rid_exactly_once(
+        domain in 0usize..6000,
+        morsel_size in 1usize..700,
+    ) {
+        let morsels = xqjg::store::partition_morsels(domain, morsel_size);
+        // At least one pipeline instance always runs, even on empty input.
+        prop_assert!(!morsels.is_empty());
+        // Morsels are contiguous, ordered, bounded by the requested size,
+        // and tile the domain without gap or overlap — every rid is
+        // covered exactly once.
+        let mut next_expected = 0usize;
+        for m in &morsels {
+            prop_assert_eq!(m.start, next_expected, "gap or overlap at {}", m.start);
+            prop_assert!(m.end >= m.start);
+            prop_assert!(m.len() <= morsel_size);
+            next_expected = m.end;
+        }
+        prop_assert_eq!(next_expected, domain, "domain fully covered");
+        let covered: usize = morsels.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(covered, domain);
+        // The parallel exchange claims each morsel exactly once and
+        // returns results in morsel order, at any DOP.
+        for threads in [1usize, 3] {
+            let echoed = xqjg::store::execute_morsels(
+                threads,
+                morsels.clone(),
+                |idx, m| (idx, m.start, m.end),
+            );
+            prop_assert_eq!(echoed.len(), morsels.len());
+            for (i, (idx, start, end)) in echoed.iter().enumerate() {
+                prop_assert_eq!(*idx, i);
+                prop_assert_eq!(*start, morsels[i].start);
+                prop_assert_eq!(*end, morsels[i].end);
+            }
+        }
+    }
 }
