@@ -140,8 +140,12 @@ impl<'a> Builder<'a> {
             OpKind::Select { input, pred } => {
                 let (schema, child) = self.build(*input);
                 let s = schema.clone();
-                let op = self.map_filter(name, child, move |row| {
-                    eval_predicate(pred, &row, &s).then_some(row)
+                let op = Box::new(FilterOp {
+                    input: child,
+                    pred: Box::new(move |row: &Row| eval_predicate(pred, row, &s)),
+                    sel: Vec::new(),
+                    stats: OpStats::named(name),
+                    sink: self.sink.clone(),
                 });
                 (schema, op)
             }
@@ -389,6 +393,61 @@ impl Operator for SharedSource {
     }
 
     fn close(&mut self) {}
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Vectorized selection: evaluates the predicate over *borrowed* rows into
+/// a reusable selection vector, then compacts the batch in place — the
+/// batch allocation survives, surviving rows are moved at most once, and
+/// dropped rows are never re-materialized (the row-batch analogue of the
+/// engine's columnar selection vectors).
+struct FilterOp<'a> {
+    input: BoxedOperator<'a, Row>,
+    #[allow(clippy::type_complexity)]
+    pred: Box<dyn FnMut(&Row) -> bool + 'a>,
+    /// Reusable selection vector.
+    sel: Vec<u32>,
+    stats: OpStats,
+    sink: StatsSink,
+}
+
+impl Operator for FilterOp<'_> {
+    type Item = Row;
+
+    fn open(&mut self) {
+        self.input.open();
+    }
+
+    fn next_batch(&mut self) -> Option<Batch<Row>> {
+        loop {
+            let mut batch = self.input.next_batch()?;
+            self.stats.rows_in += batch.len();
+            self.sel.clear();
+            for (i, row) in batch.items().iter().enumerate() {
+                if (self.pred)(row) {
+                    self.sel.push(i as u32);
+                }
+            }
+            // All rows surviving is the common case on XML predicates that
+            // were already pushed into the scan: skip the compaction pass.
+            if self.sel.len() < batch.len() {
+                batch.retain_selected(&self.sel);
+            }
+            if !batch.is_empty() {
+                self.stats.rows_out += batch.len();
+                self.stats.batches += 1;
+                return Some(batch);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
 
     fn stats(&self) -> OpStats {
         self.stats.clone()

@@ -17,7 +17,9 @@
 
 use std::time::{Duration, Instant};
 use xqjg_bench::{queries, render_table9, table9, DataSet, Workload};
-use xqjg_engine::{execute_materialized, execute_with_stats_config, optimize, ExecStats, PhysPlan};
+use xqjg_engine::{
+    execute_full, execute_materialized, execute_with_stats_config, optimize, ExecStats, PhysPlan,
+};
 use xqjg_store::{default_threads, Database, ExecConfig, BATCH_CAPACITY, DEFAULT_MORSEL_SIZE};
 
 fn main() {
@@ -98,9 +100,15 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
         // per-operator actuals.
         let mut mat_secs = f64::INFINITY;
         let mut mat_rows = 0usize;
-        let mut sweep: Vec<(usize, f64, usize, ExecStats)> = SWEEP_THREADS
+        let mut sweep: Vec<(usize, f64, usize, ExecStats, ExecConfig)> = SWEEP_THREADS
             .iter()
-            .map(|&t| (t, f64::INFINITY, 0, ExecStats::default()))
+            .map(|&t| {
+                let cfg = ExecConfig::from_env()
+                    .with_threads(t)
+                    .with_batch_capacity(batch_capacity)
+                    .with_morsel_size(morsel_size);
+                (t, f64::INFINITY, 0, ExecStats::default(), cfg)
+            })
             .collect();
         for _ in 0..reps {
             let (secs, rows) = time_best(1, || {
@@ -112,11 +120,7 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             mat_secs = mat_secs.min(secs);
             mat_rows = rows;
             for slot in sweep.iter_mut() {
-                let cfg = ExecConfig {
-                    threads: slot.0,
-                    batch_capacity,
-                    morsel_size,
-                };
+                let cfg = slot.4.clone();
                 let (secs, (rows, stats)) = time_best(1, || {
                     let mut rows = 0usize;
                     let mut stats = ExecStats::default();
@@ -141,18 +145,32 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             let s = &sweep[0];
             (s.0, s.1, s.2, s.3.clone())
         };
-        for (threads, _, _, s) in &sweep[1..] {
+        for (threads, _, _, s, _) in &sweep[1..] {
             assert_eq!(
                 s.operators, stats.operators,
                 "{}: EXPLAIN actuals drift at DOP {threads}",
                 q.id
             );
         }
+        // One instrumented DOP-1 run to capture the adaptive batch-size
+        // trace alongside the per-operator actuals.
+        let trace = {
+            let cfg = ExecConfig::from_env()
+                .with_threads(1)
+                .with_batch_capacity(batch_capacity)
+                .with_morsel_size(morsel_size);
+            let mut leaves: Vec<(String, Vec<usize>)> = Vec::new();
+            for p in &plans {
+                let (_, _, t) = execute_full(p, db, &cfg, None);
+                leaves.extend(t.leaves);
+            }
+            leaves
+        };
         let total_batches: usize = stats.operators.iter().map(|o| o.batches).sum();
         let peak_batches = stats.operators.iter().map(|o| o.batches).max().unwrap_or(0);
         let sweep_cells: Vec<String> = sweep
             .iter()
-            .map(|(threads, secs, rows, _)| {
+            .map(|(threads, secs, rows, _, _)| {
                 format!(
                     "        {{ \"threads\": {threads}, \"secs\": {secs:.6}, \"rows_per_sec\": {:.1}, \"speedup_vs_dop1\": {:.3} }}",
                     *rows as f64 / secs.max(1e-12),
@@ -160,8 +178,36 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
                 )
             })
             .collect();
+        // Per-operator actuals with the measured selectivity (rows out per
+        // row in — the quantity the adaptive sizer steers on).
+        let operator_cells: Vec<String> = stats
+            .operators
+            .iter()
+            .map(|o| {
+                let sel = if o.rows_in > 0 {
+                    format!("{:.4}", o.rows_out as f64 / o.rows_in as f64)
+                } else {
+                    "null".to_string()
+                };
+                format!(
+                    "        {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"batches\": {}, \"probes\": {}, \"selectivity\": {} }}",
+                    o.name, o.rows_in, o.rows_out, o.batches, o.probes, sel
+                )
+            })
+            .collect();
+        let trace_cells: Vec<String> = trace
+            .iter()
+            .map(|(name, chunks)| {
+                let cs: Vec<String> = chunks.iter().map(usize::to_string).collect();
+                format!(
+                    "        {{ \"leaf\": \"{}\", \"chunks\": [{}] }}",
+                    name,
+                    cs.join(", ")
+                )
+            })
+            .collect();
         cells.push(format!(
-            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"pipelined\": [\n{}\n      ]\n    }}",
+            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"operators\": [\n{}\n      ],\n      \"adaptive_trace\": [\n{}\n      ],\n      \"pipelined\": [\n{}\n      ]\n    }}",
             q.id,
             pipe_rows,
             mat_secs,
@@ -171,6 +217,8 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             mat_secs / dop1_secs.max(1e-12),
             total_batches,
             peak_batches,
+            operator_cells.join(",\n"),
+            trace_cells.join(",\n"),
             sweep_cells.join(",\n"),
         ));
         println!(
@@ -183,7 +231,7 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             total_batches,
             peak_batches
         );
-        for (threads, secs, _, _) in &sweep {
+        for (threads, secs, _, _, _) in &sweep {
             println!(
                 "    DOP={threads}: {:.4} ms ({:.2}x vs DOP=1)",
                 secs * 1e3,
@@ -191,13 +239,30 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             );
         }
     }
+    let cfg = ExecConfig::from_env();
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": {scale},\n  \"git_rev\": \"{}\",\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"vectorize\": {},\n  \"adaptive_batch\": {},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        git_rev(),
+        cfg.vectorize,
+        cfg.adaptive,
         default_threads(),
         cells.join(",\n")
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("wrote BENCH_exec.json");
+}
+
+/// Short git revision of the working tree, for provenance in the emitted
+/// benchmark file ("unknown" outside a git checkout).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<f64> {

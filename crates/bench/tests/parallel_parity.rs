@@ -37,18 +37,28 @@ fn join_graph_results_and_actuals_identical_across_dop() {
             for threads in DOPS {
                 // A tiny morsel size forces genuine multi-morsel merging
                 // even at this scale; the default exercises the
-                // effective-morsel-size shrink path.
+                // effective-morsel-size shrink path.  Both executors — the
+                // vectorized columnar one and the scalar row-at-a-time
+                // fallback — must match the same reference.
                 for morsel_size in [3, xqjg_store::DEFAULT_MORSEL_SIZE] {
-                    let cfg = ExecConfig::sequential()
-                        .with_threads(threads)
-                        .with_morsel_size(morsel_size);
-                    let (t, s) = execute_with_stats_config(plan, db, &cfg);
-                    assert_eq!(t, t_ref, "{}: rows differ at DOP {threads}", q.id);
-                    assert_eq!(
-                        s, s_ref,
-                        "{}: aggregated OpStats differ at DOP {threads} (morsel {morsel_size})",
-                        q.id
-                    );
+                    for vectorize in [true, false] {
+                        let cfg = ExecConfig::sequential()
+                            .with_threads(threads)
+                            .with_morsel_size(morsel_size)
+                            .with_vectorize(vectorize);
+                        let (t, s) = execute_with_stats_config(plan, db, &cfg);
+                        assert_eq!(
+                            t, t_ref,
+                            "{}: rows differ at DOP {threads} (vectorize {vectorize})",
+                            q.id
+                        );
+                        assert_eq!(
+                            s, s_ref,
+                            "{}: aggregated OpStats differ at DOP {threads} \
+                             (morsel {morsel_size}, vectorize {vectorize})",
+                            q.id
+                        );
+                    }
                 }
             }
         }

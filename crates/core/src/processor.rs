@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
 use xqjg_compiler::compile;
 use xqjg_engine::{
-    advise, deploy, execute_with_stats, explain_with_stats, optimize, ExecStats, IndexProposal,
-    SfwQuery,
+    advise, deploy, execute_full, explain_with_stats, optimize, BuildCache, ExecStats,
+    IndexProposal, SfwQuery,
 };
 use xqjg_store::{Database, IndexDef};
 use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
@@ -120,6 +120,10 @@ pub struct Processor {
     doc: DocTable,
     default_doc: Option<String>,
     db: Option<Database>,
+    /// Session-scoped hash-join build cache: repeated queries of one
+    /// processor reuse unchanged build sides (invalidated automatically
+    /// when the catalog version moves — document loads, index DDL).
+    exec_cache: BuildCache,
 }
 
 impl Default for Processor {
@@ -135,7 +139,14 @@ impl Processor {
             doc: DocTable::new(),
             default_doc: None,
             db: None,
+            exec_cache: BuildCache::new(),
         }
+    }
+
+    /// The session's hash-join build cache (hit counters are surfaced for
+    /// benchmarks and tests).
+    pub fn build_cache(&self) -> &BuildCache {
+        &self.exec_cache
     }
 
     /// Parse and load an XML document under the given URI.  The first loaded
@@ -310,8 +321,9 @@ impl Processor {
                 let mut items = Vec::new();
                 let mut stats = ExecStats::default();
                 let mut branch_stats = Vec::with_capacity(plans.len());
+                let cfg = xqjg_store::ExecConfig::from_env();
                 for (b, plan) in prepared.branches.iter().zip(&plans) {
-                    let (table, s) = execute_with_stats(plan, db);
+                    let (table, s, _) = execute_full(plan, db, &cfg, Some(&self.exec_cache));
                     stats.merge(&s);
                     branch_stats.push(s);
                     items.extend(result_items_from_sql(&table, &b.isolated));
@@ -506,6 +518,28 @@ mod tests {
             "explain carries actuals: {}",
             out.explain[0]
         );
+    }
+
+    #[test]
+    fn session_build_cache_survives_repeats_and_catalog_changes() {
+        // The tiny fixture mostly plans nested-loop joins (the engine crate
+        // covers cache hits directly); at the session level the invariant
+        // is that repeated executions — with the build cache in the loop —
+        // keep returning identical results across catalog changes.
+        let mut p = processor();
+        let q = r#"let $a := doc("auction.xml")
+                   for $ca in $a//closed_auction, $i in $a//item
+                   where $ca/itemref/@item = $i/@id
+                   return $i/name"#;
+        let first = p.execute(q, Mode::JoinGraph).unwrap();
+        let second = p.execute(q, Mode::JoinGraph).unwrap();
+        assert_eq!(first.items, second.items);
+        assert!(p.build_cache().hits() <= p.build_cache().lookups());
+        // New document DDL moves the catalog version; results stay right.
+        p.load_document("other.xml", "<x><y/></x>").unwrap();
+        p.create_default_indexes();
+        let third = p.execute(q, Mode::JoinGraph).unwrap();
+        assert_eq!(first.items, third.items);
     }
 
     #[test]

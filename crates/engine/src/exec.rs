@@ -28,14 +28,17 @@
 
 use crate::physical::{Access, Bounds, JoinNode, PhysPlan};
 use crate::sql::{SelectItem, SqlCmp, SqlExpr, SqlPredicate};
-use std::cell::RefCell;
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Bound;
 use std::rc::Rc;
+use std::sync::Arc;
 use xqjg_store::{
     effective_morsel_size, execute_morsels, fill_from_pending_with_capacity, hash_values,
-    merge_worker_stats, new_stats_sink, partition_morsels, Batch, BoxedOperator, Database,
-    ExecConfig, Morsel, OpStats, Operator, Row, Schema, StatsSink, Table, Value,
+    merge_worker_stats, new_stats_sink, partition_morsels, Batch, BatchSizer, BoxedOperator,
+    ColOperator, ColumnBatch, Database, ExecConfig, Morsel, OpStats, Operator, Row, Schema,
+    StatsSink, Table, Value,
 };
 
 /// A binding: for each alias bound so far (outer-to-inner), the row id of
@@ -189,20 +192,28 @@ impl LeafDomain {
 /// execution, then shared read-only by every worker pipeline (the
 /// partitioned-build alternative would duplicate the build work
 /// accounting; sharing keeps `build_rows` identical to DOP = 1).
-struct JoinBuild {
+///
+/// Builds are pure functions of (table contents, pushed-down access path,
+/// key columns), so a [`BuildCache`] may hand the same build to several
+/// executions of a session.
+pub(crate) struct JoinBuild {
     key_cols: Vec<usize>,
     buckets: HashMap<u64, Vec<usize>>,
     build_rows: usize,
+    /// Rows fetched through a table scan while enumerating the build side.
+    fetched_scan: usize,
+    /// Rows fetched through an index while enumerating the build side.
+    fetched_index: usize,
 }
 
 impl JoinBuild {
-    fn build(stage: &Stage<'_>, db: &Database, agg: &mut Agg) -> JoinBuild {
+    fn build(stage: &Stage<'_>, db: &Database) -> JoinBuild {
         let (inner_rows, fetched) =
             exec_access(stage.access, stage.alias, stage.table_name, db, None);
-        match fetched {
-            Fetched::Scanned(n) => agg.scan_rows += n,
-            Fetched::Indexed(n) => agg.index_rows += n,
-        }
+        let (fetched_scan, fetched_index) = match fetched {
+            Fetched::Scanned(n) => (n, 0),
+            Fetched::Indexed(n) => (0, n),
+        };
         let key_cols: Vec<usize> = stage
             .hash_keys
             .iter()
@@ -223,17 +234,368 @@ impl JoinBuild {
             key_cols,
             buckets,
             build_rows,
+            fetched_scan,
+            fetched_index,
         }
     }
+
+    /// Cache key: the build is fully determined by the inner table, the key
+    /// columns and the pushed-down access path (whose expressions are
+    /// constant on a build side — it is resolved with no outer bindings).
+    fn cache_key(stage: &Stage<'_>) -> String {
+        let keys: Vec<&str> = stage.hash_keys.iter().map(|(_, c)| c.as_str()).collect();
+        format!("{}|{}|{:?}", stage.table_name, keys.join(","), stage.access)
+    }
+}
+
+/// Session-scoped memo of hash-join build sides, keyed by (table, key
+/// columns, pushed-down filters) and invalidated whenever the catalog
+/// version moves (table or index DDL).  Holding one `BuildCache` per
+/// session lets repeated queries skip re-enumerating and re-bucketing
+/// unchanged build sides; hits surface as `cache_hits` in the operator's
+/// [`OpStats`].  The cached builds are shared read-only (`Arc`) with the
+/// morsel workers of each execution.
+#[derive(Default)]
+pub struct BuildCache {
+    version: Cell<u64>,
+    map: RefCell<HashMap<String, Arc<JoinBuild>>>,
+    hits: Cell<usize>,
+    lookups: Cell<usize>,
+}
+
+/// Entry bound of a [`BuildCache`]: a session juggling more distinct
+/// hash-join build shapes than this drops the whole generation and starts
+/// refilling (epoch eviction — no LRU bookkeeping on the execution path,
+/// and memory stays bounded for long-lived sessions).
+const BUILD_CACHE_CAP: usize = 64;
+
+impl BuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        BuildCache::default()
+    }
+
+    /// Number of lookups satisfied from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.get()
+    }
+
+    /// Number of build-side lookups performed so far.
+    pub fn lookups(&self) -> usize {
+        self.lookups.get()
+    }
+
+    /// Number of memoized build sides currently held.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    /// Fetch the build for `key`, constructing it via `build` on a miss.
+    /// A catalog version different from the one the cache was filled under
+    /// drops every entry first.  Returns the build and whether it was a
+    /// cache hit.
+    fn get_or_build(
+        &self,
+        key: String,
+        catalog_version: u64,
+        build: impl FnOnce() -> JoinBuild,
+    ) -> (Arc<JoinBuild>, bool) {
+        if self.version.get() != catalog_version {
+            self.map.borrow_mut().clear();
+            self.version.set(catalog_version);
+        }
+        self.lookups.set(self.lookups.get() + 1);
+        if let Some(b) = self.map.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return (b.clone(), true);
+        }
+        let built = Arc::new(build());
+        let mut map = self.map.borrow_mut();
+        if map.len() >= BUILD_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, built.clone());
+        (built, false)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled expressions — the vectorized path resolves every schema offset
+// once per execution instead of once per row.
+// ---------------------------------------------------------------------
+
+/// An expression with alias slots and column offsets pre-resolved.
+enum CExpr {
+    /// Literal value.
+    Lit(Value),
+    /// Column of a bound outer alias: slot into the stage's outer alias
+    /// list and column offset in that alias's base table.
+    Outer { slot: usize, col: usize },
+    /// Column of the current stage's candidate row.
+    Cur { col: usize },
+    /// Numeric addition.
+    Add(Box<CExpr>, Box<CExpr>),
+}
+
+/// A predicate over compiled expressions.
+struct CPred {
+    lhs: CExpr,
+    op: SqlCmp,
+    rhs: CExpr,
+}
+
+/// Compiled index probe bounds (the outer-dependent `IXSCAN` keys).
+struct CBounds {
+    eq: Vec<CExpr>,
+    lower: Option<(CExpr, bool)>,
+    upper: Option<(CExpr, bool)>,
+}
+
+/// One row of a columnar batch as an expression environment: the outer
+/// tables, the batch's rid columns and the physical row index.
+struct ColEnv<'a> {
+    tables: &'a [&'a Table],
+    cols: &'a [Vec<usize>],
+    idx: usize,
+}
+
+const EMPTY_ENV: ColEnv<'static> = ColEnv {
+    tables: &[],
+    cols: &[],
+    idx: 0,
+};
+
+/// Evaluate a compiled expression.  Column references borrow straight from
+/// table storage — only computed expressions allocate.
+fn ceval<'v>(e: &'v CExpr, env: &ColEnv<'v>, cur: Option<(&'v Table, usize)>) -> Cow<'v, Value> {
+    match e {
+        CExpr::Lit(v) => Cow::Borrowed(v),
+        CExpr::Outer { slot, col } => {
+            let rid = env.cols[*slot][env.idx];
+            Cow::Borrowed(&env.tables[*slot].rows()[rid][*col])
+        }
+        CExpr::Cur { col } => {
+            let (table, rid) = cur.expect("current row required");
+            Cow::Borrowed(&table.rows()[rid][*col])
+        }
+        CExpr::Add(a, b) => Cow::Owned(ceval(a, env, cur).numeric_add(&ceval(b, env, cur))),
+    }
+}
+
+/// Check a compiled predicate (SQL three-valued semantics: NULL fails).
+#[inline]
+fn cpred_holds(p: &CPred, env: &ColEnv<'_>, cur: Option<(&Table, usize)>) -> bool {
+    let l = ceval(&p.lhs, env, cur);
+    let r = ceval(&p.rhs, env, cur);
+    match l.sql_cmp(&r) {
+        Some(ord) => p.op.eval(ord),
+        None => false,
+    }
+}
+
+/// Compile an expression for a stage: `cur_alias` columns become
+/// [`CExpr::Cur`], bound outer alias columns become [`CExpr::Outer`].
+fn compile_expr(
+    e: &SqlExpr,
+    cur_alias: &str,
+    cur_table: &Table,
+    outer_aliases: &[String],
+    outer_tables: &[&Table],
+) -> CExpr {
+    match e {
+        SqlExpr::Lit(v) => CExpr::Lit(v.clone()),
+        SqlExpr::Col(c) => {
+            if c.table == cur_alias {
+                CExpr::Cur {
+                    col: cur_table.schema().expect_index(&c.column),
+                }
+            } else {
+                let slot = outer_aliases
+                    .iter()
+                    .position(|a| *a == c.table)
+                    .unwrap_or_else(|| panic!("alias {:?} not bound", c.table));
+                CExpr::Outer {
+                    slot,
+                    col: outer_tables[slot].schema().expect_index(&c.column),
+                }
+            }
+        }
+        SqlExpr::Add(a, b) => CExpr::Add(
+            Box::new(compile_expr(
+                a,
+                cur_alias,
+                cur_table,
+                outer_aliases,
+                outer_tables,
+            )),
+            Box::new(compile_expr(
+                b,
+                cur_alias,
+                cur_table,
+                outer_aliases,
+                outer_tables,
+            )),
+        ),
+    }
+}
+
+/// A [`Stage`] with every predicate, hash key and probe bound compiled.
+/// Borrows only from the plan and the database (never from `Stage`), so it
+/// lives alongside the stages inside [`ExecCtx`].
+struct CStage<'a> {
+    base: &'a Table,
+    access: &'a Access,
+    /// Operator label (identical to the scalar path's, so EXPLAIN actuals
+    /// are path-independent).
+    label: String,
+    /// B-tree of an `IndexScan` access, pre-resolved.
+    tree: Option<&'a xqjg_store::BPlusTree>,
+    /// Compiled probe bounds of an `IndexScan` access.
+    cbounds: Option<CBounds>,
+    /// Compiled access-level predicates: the pushed-down filters of a
+    /// `TableScan`, or the sargable residuals of an `IndexScan`.
+    access_preds: Vec<CPred>,
+    /// Compiled join-level residual predicates.
+    residual: Vec<CPred>,
+    /// Compiled hash keys: (outer expression, inner column offset).
+    hash_keys: Vec<(CExpr, usize)>,
+    /// Base tables of the bound outer aliases (slot order).
+    outer_tables: Vec<&'a Table>,
+}
+
+fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database) -> CStage<'a> {
+    let cc = |e: &SqlExpr| {
+        compile_expr(
+            e,
+            stage.alias,
+            stage.base,
+            &stage.outer_aliases,
+            &stage.outer_tables,
+        )
+    };
+    let cp = |p: &SqlPredicate| CPred {
+        lhs: cc(&p.lhs),
+        op: p.op,
+        rhs: cc(&p.rhs),
+    };
+    let (label, tree, cbounds, access_preds) = match stage.access {
+        Access::TableScan { preds } => {
+            let label = if index == 0 {
+                format!("TBSCAN({})", stage.alias)
+            } else {
+                String::new()
+            };
+            (label, None, None, preds.iter().map(cp).collect())
+        }
+        Access::IndexScan {
+            index: ix_name,
+            bounds,
+            residual,
+        } => {
+            let label = if index == 0 {
+                format!("IXSCAN({} ix={ix_name})", stage.alias)
+            } else {
+                String::new()
+            };
+            let tree = &db.index(ix_name).expect("index registered").tree;
+            let cbounds = CBounds {
+                eq: bounds.eq.iter().map(|(_, e)| cc(e)).collect(),
+                lower: bounds.lower.as_ref().map(|(e, inc)| (cc(e), *inc)),
+                upper: bounds.upper.as_ref().map(|(e, inc)| (cc(e), *inc)),
+            };
+            (
+                label,
+                Some(tree),
+                Some(cbounds),
+                residual.iter().map(cp).collect(),
+            )
+        }
+    };
+    let label = if index == 0 {
+        label
+    } else if stage.hash_keys.is_empty() {
+        format!("NLJOIN({})", stage.alias)
+    } else {
+        format!("HSJOIN({})", stage.alias)
+    };
+    CStage {
+        base: stage.base,
+        access: stage.access,
+        label,
+        tree,
+        cbounds,
+        access_preds,
+        residual: stage.residual.iter().map(cp).collect(),
+        hash_keys: stage
+            .hash_keys
+            .iter()
+            .map(|(e, col)| (cc(e), stage.base.schema().expect_index(col)))
+            .collect(),
+        outer_tables: stage.outer_tables.clone(),
+    }
+}
+
+/// Perform the B-tree range scan described by compiled probe bounds for
+/// one outer row (the compiled mirror of [`index_range`]).
+fn cindex_range(tree: &xqjg_store::BPlusTree, bounds: &CBounds, env: &ColEnv<'_>) -> Vec<usize> {
+    let eq_vals: Vec<Value> = bounds
+        .eq
+        .iter()
+        .map(|e| ceval(e, env, None).into_owned())
+        .collect();
+    let (lower_key, lower_inc) = match &bounds.lower {
+        Some((e, inc)) => {
+            let mut k = eq_vals.clone();
+            k.push(ceval(e, env, None).into_owned());
+            (k, *inc)
+        }
+        None => (eq_vals.clone(), true),
+    };
+    let (upper_key, upper_inc) = match &bounds.upper {
+        Some((e, inc)) => {
+            let mut k = eq_vals.clone();
+            k.push(ceval(e, env, None).into_owned());
+            (k, *inc)
+        }
+        None => (eq_vals, true),
+    };
+    let lower = if lower_key.is_empty() {
+        Bound::Unbounded
+    } else if lower_inc {
+        Bound::Included(lower_key.as_slice())
+    } else {
+        Bound::Excluded(lower_key.as_slice())
+    };
+    let upper = if upper_key.is_empty() {
+        Bound::Unbounded
+    } else if upper_inc {
+        Bound::Included(upper_key.as_slice())
+    } else {
+        Bound::Excluded(upper_key.as_slice())
+    };
+    tree.range(lower, upper)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
 }
 
 /// Everything a worker needs to run one morsel's pipeline — borrowed,
 /// read-only, and shared by all workers of one execution.
 struct ExecCtx<'a> {
     stages: Vec<Stage<'a>>,
+    /// Compiled mirror of `stages` (the vectorized path).
+    cstages: Vec<CStage<'a>>,
     /// Prebuilt hash-join build sides, aligned with `stages` (`None` for
-    /// the leaf and nested-loop stages).
-    builds: Vec<Option<JoinBuild>>,
+    /// the leaf and nested-loop stages).  Shared read-only — possibly with
+    /// a session [`BuildCache`].
+    builds: Vec<Option<Arc<JoinBuild>>>,
+    /// Whether the aligned build side came from the cache.
+    build_hits: Vec<bool>,
     domain: LeafDomain,
     /// All stage aliases, outer-to-inner.
     aliases: Vec<String>,
@@ -243,33 +605,74 @@ struct ExecCtx<'a> {
     order_exprs: Vec<SqlExpr>,
     db: &'a Database,
     batch_capacity: usize,
+    /// Run the columnar operators instead of the row-at-a-time ones.
+    vectorize: bool,
+    /// Let leaves adapt their scan chunk to measured selectivity.
+    adaptive: bool,
 }
 
 /// What one morsel's pipeline produced: tail rows (select values plus sort
-/// key), per-operator counters (leaf first), and the aggregate counters.
+/// key), per-operator counters (leaf first), the aggregate counters, and
+/// the leaf's adaptive batch-size trace.
 struct MorselOutput {
     rows: Vec<(Row, Row)>,
     ops: Vec<OpStats>,
     tail_rows: usize,
     agg: Agg,
+    trace: Vec<usize>,
+}
+
+/// Side-channel record of one execution's adaptive batch-size decisions:
+/// for each scan leaf, the chunk sizes the [`BatchSizer`] chose (morsel
+/// order).  Deliberately *not* part of [`ExecStats`]: the trace depends on
+/// morsel boundaries and so is not invariant across degrees of
+/// parallelism, unlike the EXPLAIN actuals.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    /// `(leaf operator label, chunk sizes chosen)`.
+    pub leaves: Vec<(String, Vec<usize>)>,
 }
 
 /// Execute a physical plan with explicit execution knobs.
 ///
 /// The result table, the per-operator EXPLAIN actuals and the aggregate
-/// counters are identical for every `threads` / `morsel_size` setting;
-/// `batch_capacity` additionally only affects the reported batch counts.
+/// counters are identical for every `threads` / `morsel_size` /
+/// `vectorize` setting; `batch_capacity` additionally only affects the
+/// reported batch counts.
 pub fn execute_with_stats_config(
     plan: &PhysPlan,
     db: &Database,
     cfg: &ExecConfig,
 ) -> (Table, ExecStats) {
+    let (table, stats, _) = execute_full(plan, db, cfg, None);
+    (table, stats)
+}
+
+/// [`execute_with_stats_config`] plus an optional session [`BuildCache`]
+/// and the adaptive batch-size [`ExecTrace`].
+pub fn execute_full(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+    cache: Option<&BuildCache>,
+) -> (Table, ExecStats, ExecTrace) {
     let threads = cfg.threads.max(1);
     let cap = cfg.batch_capacity.max(1);
     let stages = flatten_stages(&plan.root, db);
+    // Predicate/bounds compilation is a vectorized-path artifact; the
+    // scalar fallback interprets the plan directly and skips it.
+    let cstages: Vec<CStage<'_>> = if cfg.vectorize {
+        stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| compile_stage(i, s, db))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
-    // Pre-phase: resolve the leaf domain and build all hash-join build
-    // sides once, on the coordinator.
+    // Pre-phase: resolve the leaf domain and build (or fetch from the
+    // session cache) all hash-join build sides once, on the coordinator.
     let mut pre_agg = Agg::default();
     let leaf = &stages[0];
     let domain = match leaf.access {
@@ -281,11 +684,27 @@ pub fn execute_with_stats_config(
             LeafDomain::Postings(rids)
         }
     };
-    let builds: Vec<Option<JoinBuild>> = stages
+    let mut build_hits = vec![false; stages.len()];
+    let builds: Vec<Option<Arc<JoinBuild>>> = stages
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            (i > 0 && !s.hash_keys.is_empty()).then(|| JoinBuild::build(s, db, &mut pre_agg))
+            (i > 0 && !s.hash_keys.is_empty()).then(|| {
+                let (build, hit) = match cache {
+                    Some(c) => c.get_or_build(JoinBuild::cache_key(s), db.version(), || {
+                        JoinBuild::build(s, db)
+                    }),
+                    None => (Arc::new(JoinBuild::build(s, db)), false),
+                };
+                build_hits[i] = hit;
+                // A cache hit performs no fetch work, and the counters
+                // report the work actually done.
+                if !hit {
+                    pre_agg.scan_rows += build.fetched_scan;
+                    pre_agg.index_rows += build.fetched_index;
+                }
+                build
+            })
         })
         .collect();
 
@@ -298,7 +717,9 @@ pub fn execute_with_stats_config(
         .collect();
     let ctx = ExecCtx {
         stages,
+        cstages,
         builds,
+        build_hits,
         domain,
         aliases,
         tables,
@@ -306,6 +727,8 @@ pub fn execute_with_stats_config(
         order_exprs,
         db,
         batch_capacity: cap,
+        vectorize: cfg.vectorize,
+        adaptive: cfg.vectorize && cfg.adaptive,
     };
 
     // Parallel phase: workers drain the morsel queue, each running a
@@ -321,16 +744,23 @@ pub fn execute_with_stats_config(
     let mut per_morsel_ops: Vec<Vec<OpStats>> = Vec::with_capacity(outputs.len());
     let mut out_rows: Vec<(Row, Row)> = Vec::new();
     let mut tail_rows_in = 0usize;
+    let mut trace = ExecTrace::default();
     for o in outputs {
         agg.add(&o.agg);
         tail_rows_in += o.tail_rows;
         out_rows.extend(o.rows);
+        if !o.trace.is_empty() {
+            trace.leaves.push((ctx.cstages[0].label.clone(), o.trace));
+        }
         per_morsel_ops.push(o.ops);
     }
     let mut operators = merge_worker_stats(&per_morsel_ops, cap);
-    for (op, build) in operators.iter_mut().zip(&ctx.builds) {
+    for (i, (op, build)) in operators.iter_mut().zip(&ctx.builds).enumerate() {
         if let Some(b) = build {
             op.build_rows += b.build_rows;
+            if ctx.build_hits[i] {
+                op.cache_hits += 1;
+            }
         }
     }
 
@@ -375,14 +805,19 @@ pub fn execute_with_stats_config(
         bindings: agg.bindings,
         operators,
     };
-    (table, stats)
+    (table, stats, trace)
 }
 
 /// Run one morsel through a private pipeline instance: leaf scan over the
 /// morsel's domain slice, the join chain, and the pre-sort tail evaluation.
 /// The stats sink and aggregate counters live and die inside this call —
-/// workers never share mutable state.
+/// workers never share mutable state.  `ctx.vectorize` selects between the
+/// columnar (selection-vector) and the row-at-a-time operator repertoire;
+/// both produce identical rows, row order and aggregate counters.
 fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
+    if ctx.vectorize {
+        return run_morsel_columnar(ctx, m);
+    }
     let sink = new_stats_sink();
     let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
     let mut op: BoxedOperator<'_, Binding> = Box::new(MorselLeaf::new(
@@ -398,7 +833,7 @@ fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
             Some(b) => Box::new(HashJoinProbe::new(
                 op,
                 stage,
-                b,
+                b.as_ref(),
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
@@ -436,6 +871,76 @@ fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
         ops,
         tail_rows,
         agg,
+        trace: Vec::new(),
+    }
+}
+
+/// The vectorized morsel pipeline: columnar leaf, batch-at-a-time join
+/// probes, and a tail loop that reads bindings through a reusable buffer
+/// instead of allocating one `Vec` per binding.
+fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
+    let sink = new_stats_sink();
+    let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
+    let trace_cell: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut op: Box<dyn ColOperator + '_> = Box::new(ColMorselLeaf::new(
+        &ctx.cstages[0],
+        &ctx.domain,
+        m,
+        ctx.batch_capacity,
+        ctx.adaptive,
+        sink.clone(),
+        agg.clone(),
+        trace_cell.clone(),
+    ));
+    for (cstage, build) in ctx.cstages[1..].iter().zip(&ctx.builds[1..]) {
+        op = match build {
+            Some(b) => Box::new(ColHashJoin::new(
+                op,
+                cstage,
+                b.as_ref(),
+                ctx.batch_capacity,
+                sink.clone(),
+                agg.clone(),
+            )),
+            None => Box::new(ColNLJoin::new(
+                op,
+                cstage,
+                ctx.db,
+                ctx.batch_capacity,
+                sink.clone(),
+                agg.clone(),
+            )),
+        };
+    }
+    op.open();
+    let mut rows: Vec<(Row, Row)> = Vec::new();
+    let mut tail_rows = 0usize;
+    let mut binding: Binding = Vec::with_capacity(ctx.aliases.len());
+    while let Some(batch) = op.next_batch() {
+        for i in 0..batch.live() {
+            let p = batch.phys(i);
+            binding.clear();
+            binding.extend(batch.cols().iter().map(|c| c[p]));
+            tail_rows += 1;
+            let env = Env {
+                aliases: &ctx.aliases,
+                tables: &ctx.tables,
+                binding: &binding,
+            };
+            rows.push(tail_row(&env, ctx.select, &ctx.order_exprs));
+        }
+    }
+    op.close();
+    drop(op);
+    let ops = sink.borrow().clone();
+    let agg = agg.borrow().clone();
+    let trace = trace_cell.borrow().clone();
+    MorselOutput {
+        rows,
+        ops,
+        tail_rows,
+        agg,
+        trace,
     }
 }
 
@@ -844,6 +1349,445 @@ impl Operator for HashJoinProbe<'_> {
     fn close(&mut self) {
         self.feed.input.close();
         self.stats.rows_in = self.feed.rows_in;
+        {
+            let mut agg = self.agg.borrow_mut();
+            agg.probes += self.stats.probes;
+            agg.bindings += self.stats.rows_out;
+        }
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The columnar operator repertoire.
+// ---------------------------------------------------------------------
+
+/// Columnar scan leaf: fills one rid column directly from the morsel's
+/// domain slice (a bulk extend, not a per-tuple push), then evaluates each
+/// pushed-down predicate column-at-a-time into the selection vector.  The
+/// [`BatchSizer`] grows the scan chunk when the filters turn out to be
+/// selective, so downstream operators keep seeing usefully full batches.
+struct ColMorselLeaf<'a> {
+    stage: &'a CStage<'a>,
+    cursor: LeafCursor<'a>,
+    sizer: BatchSizer,
+    cap: usize,
+    /// Rows surviving the pushed-down filters (TBSCAN accounting).
+    scan_rows: usize,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+    trace: Rc<RefCell<Vec<usize>>>,
+}
+
+impl<'a> ColMorselLeaf<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        stage: &'a CStage<'a>,
+        domain: &'a LeafDomain,
+        m: Morsel,
+        cap: usize,
+        adaptive: bool,
+        sink: StatsSink,
+        agg: SharedAgg,
+        trace: Rc<RefCell<Vec<usize>>>,
+    ) -> Self {
+        let cursor = match domain {
+            LeafDomain::Rids(n) => LeafCursor::Rids {
+                next: m.start.min(*n),
+                end: m.end.min(*n),
+            },
+            LeafDomain::Postings(rids) => LeafCursor::Postings {
+                rids: &rids[m.start..m.end],
+                pos: 0,
+            },
+        };
+        ColMorselLeaf {
+            stage,
+            cursor,
+            sizer: BatchSizer::new(cap, adaptive),
+            cap,
+            scan_rows: 0,
+            stats: OpStats::named(stage.label.clone()),
+            sink,
+            agg,
+            trace,
+        }
+    }
+}
+
+impl ColOperator for ColMorselLeaf<'_> {
+    fn open(&mut self) {}
+
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        let base = self.stage.base;
+        loop {
+            let chunk = self.sizer.chunk();
+            let mut out = ColumnBatch::new(1, self.cap.max(chunk));
+            let scanned = match &mut self.cursor {
+                LeafCursor::Rids { next, end } => {
+                    let n = chunk.min(*end - *next);
+                    if n == 0 {
+                        return None;
+                    }
+                    out.col_mut(0).extend(*next..*next + n);
+                    *next += n;
+                    n
+                }
+                LeafCursor::Postings { rids, pos } => {
+                    let n = chunk.min(rids.len() - *pos);
+                    if n == 0 {
+                        return None;
+                    }
+                    out.col_mut(0).extend_from_slice(&rids[*pos..*pos + n]);
+                    *pos += n;
+                    n
+                }
+            };
+            // Column-at-a-time filtering: one selection-vector pass per
+            // predicate; dropped rows are never materialized.
+            for pred in &self.stage.access_preds {
+                out.retain_by_col(0, |rid| cpred_holds(pred, &EMPTY_ENV, Some((base, rid))));
+            }
+            self.sizer.observe(scanned, out.live());
+            if out.is_empty() {
+                continue;
+            }
+            if matches!(self.stage.access, Access::TableScan { .. }) {
+                self.scan_rows += out.live();
+            }
+            self.stats.rows_out += out.live();
+            self.stats.batches += 1;
+            return Some(out);
+        }
+    }
+
+    fn close(&mut self) {
+        self.agg.borrow_mut().scan_rows += self.scan_rows;
+        self.sink.borrow_mut().push(self.stats.clone());
+        self.trace.borrow_mut().extend(self.sizer.trace());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Append one extended binding to a join's output batch: the outer columns
+/// are copied value-by-value into the output columns and the inner rid
+/// goes into the last column — no per-binding `Vec` is ever allocated.
+#[inline]
+fn emit_extended(batch: &ColumnBatch, phys: usize, rid: usize, out: &mut ColumnBatch) {
+    let arity = batch.arity();
+    for j in 0..arity {
+        let v = batch.col(j)[phys];
+        out.col_mut(j).push(v);
+    }
+    out.col_mut(arity).push(rid);
+}
+
+/// Columnar index/scan nested-loop join: consumes outer batches whole,
+/// probing the inner access path once per live outer row through compiled
+/// bounds and predicates (no schema lookups, no value clones on the
+/// comparison path).
+struct ColNLJoin<'a> {
+    input: Box<dyn ColOperator + 'a>,
+    stage: &'a CStage<'a>,
+    cur: Option<(ColumnBatch, usize)>,
+    cap: usize,
+    fetched_scan: usize,
+    fetched_index: usize,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+}
+
+impl<'a> ColNLJoin<'a> {
+    fn new(
+        input: Box<dyn ColOperator + 'a>,
+        stage: &'a CStage<'a>,
+        _db: &'a Database,
+        cap: usize,
+        sink: StatsSink,
+        agg: SharedAgg,
+    ) -> Self {
+        ColNLJoin {
+            input,
+            stage,
+            cur: None,
+            cap,
+            fetched_scan: 0,
+            fetched_index: 0,
+            stats: OpStats::named(stage.label.clone()),
+            sink,
+            agg,
+        }
+    }
+
+    fn probe(&mut self, batch: &ColumnBatch, phys: usize, out: &mut ColumnBatch) {
+        self.stats.probes += 1;
+        let stage = self.stage;
+        let base = stage.base;
+        let env = ColEnv {
+            tables: &stage.outer_tables,
+            cols: batch.cols(),
+            idx: phys,
+        };
+        match stage.access {
+            Access::TableScan { .. } => {
+                let mut fetched = 0usize;
+                for rid in 0..base.len() {
+                    let cur = Some((base, rid));
+                    if !stage.access_preds.iter().all(|p| cpred_holds(p, &env, cur)) {
+                        continue;
+                    }
+                    fetched += 1;
+                    if stage.residual.iter().all(|p| cpred_holds(p, &env, cur)) {
+                        emit_extended(batch, phys, rid, out);
+                    }
+                }
+                self.fetched_scan += fetched;
+            }
+            Access::IndexScan { .. } => {
+                let rids = cindex_range(
+                    stage.tree.expect("index resolved"),
+                    stage.cbounds.as_ref().expect("bounds compiled"),
+                    &env,
+                );
+                self.fetched_index += rids.len();
+                for rid in rids {
+                    let cur = Some((base, rid));
+                    if !stage.access_preds.iter().all(|p| cpred_holds(p, &env, cur)) {
+                        continue;
+                    }
+                    if stage.residual.iter().all(|p| cpred_holds(p, &env, cur)) {
+                        emit_extended(batch, phys, rid, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ColOperator for ColNLJoin<'_> {
+    fn open(&mut self) {
+        self.input.open();
+        self.cur = None;
+    }
+
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        let arity = self.stage.outer_tables.len();
+        let mut out = ColumnBatch::new(arity + 1, self.cap);
+        loop {
+            if out.live() >= self.cap {
+                break;
+            }
+            match self.cur.take() {
+                Some((batch, mut pos)) => {
+                    while pos < batch.live() && out.live() < self.cap {
+                        self.probe(&batch, batch.phys(pos), &mut out);
+                        pos += 1;
+                    }
+                    if pos < batch.live() {
+                        self.cur = Some((batch, pos));
+                    }
+                }
+                None => match self.input.next_batch() {
+                    Some(b) => {
+                        self.stats.rows_in += b.live();
+                        self.cur = Some((b, 0));
+                    }
+                    None => break,
+                },
+            }
+        }
+        if out.is_empty() {
+            return None;
+        }
+        self.stats.rows_out += out.live();
+        self.stats.batches += 1;
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        {
+            let mut agg = self.agg.borrow_mut();
+            agg.probes += self.stats.probes;
+            agg.bindings += self.stats.rows_out;
+            agg.scan_rows += self.fetched_scan;
+            agg.index_rows += self.fetched_index;
+        }
+        self.sink.borrow_mut().push(self.stats.clone());
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Per-batch probe state of the columnar hash join: the key expressions
+/// are evaluated column-at-a-time into one flattened buffer (column-major,
+/// key `k` of row `i` at `k·live + i`) and all probe hashes are computed
+/// in a single pass — one allocation per batch where the row path paid one
+/// key vector per probe.
+struct ProbeState {
+    batch: ColumnBatch,
+    keys: Vec<Value>,
+    hashes: Vec<Option<u64>>,
+    pos: usize,
+}
+
+/// Columnar hash-join probe over a shared (possibly cached) build side.
+struct ColHashJoin<'a> {
+    input: Box<dyn ColOperator + 'a>,
+    stage: &'a CStage<'a>,
+    build: &'a JoinBuild,
+    cur: Option<ProbeState>,
+    cap: usize,
+    stats: OpStats,
+    sink: StatsSink,
+    agg: SharedAgg,
+}
+
+impl<'a> ColHashJoin<'a> {
+    fn new(
+        input: Box<dyn ColOperator + 'a>,
+        stage: &'a CStage<'a>,
+        build: &'a JoinBuild,
+        cap: usize,
+        sink: StatsSink,
+        agg: SharedAgg,
+    ) -> Self {
+        ColHashJoin {
+            input,
+            stage,
+            build,
+            cur: None,
+            cap,
+            stats: OpStats::named(stage.label.clone()),
+            sink,
+            agg,
+        }
+    }
+
+    /// The vectorized key pass over a freshly pulled batch.
+    fn prepare(&self, batch: ColumnBatch) -> ProbeState {
+        let nk = self.stage.hash_keys.len();
+        let live = batch.live();
+        let mut keys: Vec<Value> = Vec::with_capacity(nk * live);
+        for (expr, _) in &self.stage.hash_keys {
+            for i in 0..live {
+                let env = ColEnv {
+                    tables: &self.stage.outer_tables,
+                    cols: batch.cols(),
+                    idx: batch.phys(i),
+                };
+                keys.push(ceval(expr, &env, None).into_owned());
+            }
+        }
+        let mut hashes = Vec::with_capacity(live);
+        for i in 0..live {
+            if (0..nk).any(|k| keys[k * live + i].is_null()) {
+                hashes.push(None);
+            } else {
+                hashes.push(Some(hash_values((0..nk).map(|k| &keys[k * live + i]))));
+            }
+        }
+        ProbeState {
+            batch,
+            keys,
+            hashes,
+            pos: 0,
+        }
+    }
+
+    fn probe(&mut self, st: &ProbeState, i: usize, out: &mut ColumnBatch) {
+        self.stats.probes += 1;
+        let Some(h) = st.hashes[i] else { return };
+        let Some(candidates) = self.build.buckets.get(&h) else {
+            return;
+        };
+        let live = st.hashes.len();
+        let phys = st.batch.phys(i);
+        let base = self.stage.base;
+        let env = ColEnv {
+            tables: &self.stage.outer_tables,
+            cols: st.batch.cols(),
+            idx: phys,
+        };
+        for &rid in candidates {
+            let row = &base.rows()[rid];
+            // Resolve hash collisions by comparing the borrowed key values.
+            let keys_match = self
+                .build
+                .key_cols
+                .iter()
+                .enumerate()
+                .all(|(k, &c)| row[c] == st.keys[k * live + i]);
+            if !keys_match {
+                continue;
+            }
+            if self
+                .stage
+                .residual
+                .iter()
+                .all(|p| cpred_holds(p, &env, Some((base, rid))))
+            {
+                emit_extended(&st.batch, phys, rid, out);
+            }
+        }
+    }
+}
+
+impl ColOperator for ColHashJoin<'_> {
+    fn open(&mut self) {
+        self.input.open();
+        self.cur = None;
+    }
+
+    fn next_batch(&mut self) -> Option<ColumnBatch> {
+        let arity = self.stage.outer_tables.len();
+        let mut out = ColumnBatch::new(arity + 1, self.cap);
+        loop {
+            if out.live() >= self.cap {
+                break;
+            }
+            match self.cur.take() {
+                Some(mut st) => {
+                    while st.pos < st.hashes.len() && out.live() < self.cap {
+                        let i = st.pos;
+                        st.pos += 1;
+                        self.probe(&st, i, &mut out);
+                    }
+                    if st.pos < st.hashes.len() {
+                        self.cur = Some(st);
+                    }
+                }
+                None => match self.input.next_batch() {
+                    Some(b) => {
+                        self.stats.rows_in += b.live();
+                        let st = self.prepare(b);
+                        self.cur = Some(st);
+                    }
+                    None => break,
+                },
+            }
+        }
+        if out.is_empty() {
+            return None;
+        }
+        self.stats.rows_out += out.live();
+        self.stats.batches += 1;
+        Some(out)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
         {
             let mut agg = self.agg.borrow_mut();
             agg.probes += self.stats.probes;
@@ -1369,6 +2313,102 @@ mod tests {
         .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.schema().columns(), &["a".to_string(), "b".to_string()]);
+    }
+
+    /// A value self-equijoin with no supporting index: the per-probe
+    /// alternative is a full scan, so the optimizer picks a hash join.
+    const HASH_LIKE: &str = "SELECT d1.pre AS a, d2.pre AS b \
+        FROM doc AS d1, doc AS d2 \
+        WHERE d1.kind = 'ELEM' AND d1.value = d2.value \
+        ORDER BY d1.pre, d2.pre";
+
+    #[test]
+    fn build_cache_memoizes_hash_join_builds_and_invalidates_on_ddl() {
+        let mut db = db();
+        let q = parse_sql(HASH_LIKE).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        fn has_hash(n: &crate::physical::JoinNode) -> bool {
+            match n {
+                crate::physical::JoinNode::Leaf { .. } => false,
+                crate::physical::JoinNode::Join { outer, method, .. } => {
+                    *method == crate::physical::JoinMethod::Hash || has_hash(outer)
+                }
+            }
+        }
+        assert!(
+            has_hash(&plan.root),
+            "fixture plan must contain a hash join"
+        );
+        let cache = BuildCache::new();
+        let cfg = ExecConfig::sequential();
+        let (t1, s1, _) = execute_full(&plan, &db, &cfg, Some(&cache));
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.lookups() > 0);
+        assert!(!cache.is_empty());
+        let (t2, s2, _) = execute_full(&plan, &db, &cfg, Some(&cache));
+        assert_eq!(t1, t2, "cached build must not change results");
+        assert!(cache.hits() > 0, "second run hits the cache");
+        // The hit is visible in the per-operator actuals, and the skipped
+        // build fetch is honestly absent from the aggregate counters.
+        assert!(s2.operators.iter().any(|o| o.cache_hits > 0));
+        assert!(s1.operators.iter().all(|o| o.cache_hits == 0));
+        assert!(s2.index_rows + s2.scan_rows <= s1.index_rows + s1.scan_rows);
+        // DDL invalidates: the next lookup rebuilds instead of hitting.
+        let hits = cache.hits();
+        db.create_index(xqjg_store::IndexDef {
+            name: "fresh".into(),
+            table: "doc".into(),
+            key_columns: vec!["level".into()],
+            include_columns: vec![],
+            clustered: false,
+        });
+        let plan2 = optimize(&parse_sql(HASH_LIKE).unwrap(), &db).unwrap();
+        let (t3, _, _) = execute_full(&plan2, &db, &cfg, Some(&cache));
+        assert_eq!(t1, t3);
+        assert_eq!(cache.hits(), hits, "catalog change drops cached builds");
+    }
+
+    #[test]
+    fn scalar_and_vectorized_paths_agree_on_results_and_counters() {
+        let db = db();
+        for sql in [
+            Q1_LIKE.to_string(),
+            Q1_LIKE.replace(" AND d2.level + 1 = d3.level ", " "),
+            "SELECT d1.pre AS p FROM doc AS d1 WHERE d1.kind = 'ELEM' ORDER BY d1.pre".to_string(),
+        ] {
+            let q = parse_sql(&sql).unwrap();
+            let plan = optimize(&q, &db).unwrap();
+            let vec_cfg = ExecConfig::sequential().with_vectorize(true);
+            let row_cfg = ExecConfig::sequential().with_vectorize(false);
+            let (tv, sv) = execute_with_stats_config(&plan, &db, &vec_cfg);
+            let (tr, sr) = execute_with_stats_config(&plan, &db, &row_cfg);
+            assert_eq!(tv, tr, "{sql}");
+            assert_eq!(sv, sr, "{sql}: per-operator actuals must match");
+        }
+    }
+
+    #[test]
+    fn adaptive_leaf_grows_chunks_for_selective_filters_without_changing_results() {
+        let db = db();
+        let q =
+            parse_sql("SELECT d1.pre AS p FROM doc AS d1 WHERE d1.kind = 'TEXT' ORDER BY d1.pre")
+                .unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let base_cfg = ExecConfig::sequential().with_batch_capacity(2);
+        let (t_adaptive, _, trace) =
+            execute_full(&plan, &db, &base_cfg.clone().with_adaptive(true), None);
+        let (t_fixed, _, fixed_trace) =
+            execute_full(&plan, &db, &base_cfg.with_adaptive(false), None);
+        assert_eq!(t_adaptive, t_fixed);
+        // The fixed policy records no trace; the adaptive one records its
+        // chunk decisions whenever the leaf observed at least one chunk.
+        assert!(fixed_trace.leaves.is_empty());
+        for (name, chunks) in &trace.leaves {
+            assert!(!name.is_empty());
+            for &c in chunks {
+                assert!((2..=2 * xqjg_store::MAX_ADAPTIVE_GROWTH).contains(&c));
+            }
+        }
     }
 
     #[test]

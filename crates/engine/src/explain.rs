@@ -4,6 +4,19 @@
 //! in Figures 10 and 11: a `RETURN` root, a duplicate-eliminating `SORT`,
 //! and a left-deep chain of `NLJOIN` / `HSJOIN` operators whose inner legs
 //! are `IXSCAN`s over the advisor-proposed B-trees (or `TBSCAN`s).
+//!
+//! [`explain_with_stats`] appends the per-operator *actuals* recorded by
+//! the executor.  Besides the raw counters (`rows_in`, `rows_out`,
+//! `batches`, `probes`, `build_rows`, `cache_hits`), each line derives
+//!
+//! * `sel` — the operator's measured selectivity (`rows_out / rows_in`;
+//!   values above 1 mean the operator expands, as joins do), the quantity
+//!   the adaptive batch sizer steers on, and
+//! * `avg_vec` — the average vector length (`rows_out / batches`), i.e.
+//!   how full the batches the operator shipped downstream actually were.
+//!
+//! The actuals are byte-identical across degrees of parallelism and across
+//! the vectorized/scalar executor switch (see the parity suites).
 
 use crate::exec::ExecStats;
 use crate::physical::{Access, JoinMethod, JoinNode, PhysPlan};
@@ -217,6 +230,9 @@ mod tests {
         let text = explain_with_stats(&plan, &stats);
         assert!(text.contains("operator stats"));
         assert!(text.contains("NLJOIN(d2): rows_in=1 rows_out=120 batches=1 probes=1"));
+        // Derived selectivity / vector-length actuals.
+        assert!(text.contains("sel=120.000"));
+        assert!(text.contains("avg_vec=120.0"));
         // Without per-operator counters the output is the plain explain.
         assert_eq!(
             explain_with_stats(&plan, &ExecStats::default()),

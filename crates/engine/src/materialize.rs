@@ -172,6 +172,7 @@ fn exec_node(
                     buckets.entry(key).or_default().push(rid);
                 }
                 for binding in &outer_bindings {
+                    stats.probes += 1;
                     let env = Env {
                         aliases: &aliases,
                         tables: &outer_tables,

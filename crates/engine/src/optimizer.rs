@@ -24,8 +24,13 @@ use xqjg_store::Database;
 
 /// Cost-model constants (arbitrary units; only relative magnitudes matter).
 mod cost {
-    /// Cost of touching one B-tree page (height traversal).
-    pub const PAGE: f64 = 5.0;
+    /// Cost of touching one B-tree page (height traversal).  Calibrated
+    /// against measured `OpStats` of the in-memory B-trees: one level of a
+    /// descent costs about as much as scanning one leaf entry, not the
+    /// disk-era multiple — overweighting it here made repeated
+    /// NLJOIN–IXSCAN window probes look pricier than hash joins that
+    /// rescan low-distinct buckets on every probe.
+    pub const PAGE: f64 = 1.0;
     /// Cost per index entry scanned.
     pub const IX_ENTRY: f64 = 1.0;
     /// Cost per row scanned in a table scan.
@@ -160,7 +165,7 @@ impl<'a> Planner<'a> {
         for (i, info) in self.aliases.iter().enumerate() {
             let bound = HashSet::new();
             let (access, probe_cost, _) = self.best_access(&info.alias, &info.table, &bound);
-            let card = info.local_rows.max(1e-6);
+            let card = info.local_rows.max(1.0);
             table.insert(
                 1 << i,
                 DpEntry {
@@ -243,12 +248,12 @@ impl<'a> Planner<'a> {
         let (access, probe_cost, _) = self.best_access(&info.alias, &info.table, &HashSet::new());
         let mut entry = DpEntry {
             cost: probe_cost,
-            card: info.local_rows.max(1e-6),
+            card: info.local_rows.max(1.0),
             plan: JoinNode::Leaf {
                 alias: info.alias.clone(),
                 table: info.table.clone(),
                 access,
-                est_rows: info.local_rows.max(1e-6),
+                est_rows: info.local_rows.max(1.0),
             },
         };
         let mut mask = 1u64 << first;
@@ -298,9 +303,12 @@ impl<'a> Planner<'a> {
         let info = &self.aliases[i];
         let bound: HashSet<String> = entry.plan.bound_aliases().into_iter().collect();
 
-        // Resulting cardinality (method independent).
+        // Resulting cardinality (method independent).  Floored at one row:
+        // letting estimates underflow towards zero made every downstream
+        // probe look free, erasing the cost differences between join
+        // orders (the DP then picked among ties).
         let join_sel = self.join_selectivity(&info.alias, &bound);
-        let card = (entry.card * info.local_rows * join_sel).max(1e-6);
+        let card = (entry.card * info.local_rows * join_sel).max(1.0);
 
         // Nested loop with per-probe access.
         let (nl_access, nl_probe_cost, _) = self.best_access(&info.alias, &info.table, &bound);
@@ -322,8 +330,29 @@ impl<'a> Planner<'a> {
             let (inner_access, inner_cost, inner_rows) =
                 self.best_access(&info.alias, &info.table, &empty);
             let hash_residual = self.residual_after_hash(&info.alias, &bound, &hash_keys);
-            let hash_cost =
-                entry.cost + inner_cost + inner_rows * cost::HASH_ROW + entry.card * cost::HASH_ROW;
+            // Every probe walks its hash bucket: charge the expected
+            // candidate comparisons, `build_rows / Π distinct(key)` (NULL
+            // keys never enter the build).  Without this term a
+            // low-distinct key (e.g. the `level` column) looked as cheap
+            // as a selective value key, and the model replaced tight
+            // NLJOIN–IXSCAN windows with hash joins that rescan most of
+            // the build side on every probe.
+            let stats = self.db.stats(&info.table);
+            let mut candidates = inner_rows;
+            for (_, col) in &hash_keys {
+                match stats.and_then(|s| s.column(col)) {
+                    Some(cs) => {
+                        let non_null = (cs.rows - cs.nulls) as f64 / cs.rows.max(1) as f64;
+                        candidates *= non_null / cs.distinct.max(1) as f64;
+                    }
+                    None => candidates *= cost::FALLBACK_EQ_SEL,
+                }
+            }
+            let hash_cost = entry.cost
+                + inner_cost
+                + inner_rows * cost::HASH_ROW
+                + entry.card * cost::HASH_ROW
+                + entry.card * candidates * cost::HASH_ROW;
             if hash_cost < nl_cost {
                 (
                     JoinMethod::Hash,
@@ -359,21 +388,113 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// Estimated rows of an alias after its constant-only predicates (1.0
+    /// when the alias is not part of this query).
+    fn local_rows_of(&self, alias: &str) -> f64 {
+        self.aliases
+            .iter()
+            .find(|a| a.alias == alias)
+            .map(|a| a.local_rows)
+            .unwrap_or(1.0)
+    }
+
     /// Combined selectivity of all join predicates connecting `alias` to the
     /// bound set.
+    ///
+    /// Inequality predicates between the same pair of aliases are treated
+    /// as one *containment group* (the `(pre◦, pre◦ + size◦]` axis windows
+    /// of the encoding) and estimated together via
+    /// [`Planner::containment_selectivity`]; everything else falls back to
+    /// the per-predicate estimates.  Without the grouping, each window
+    /// contributed two independent `OUTER_RANGE_SEL` factors — which rated
+    /// "somewhere inside the document root" as a 0.6% filter when it
+    /// filters nothing, the misestimate that made the DP rank a ~60×
+    /// slower Q2 join order cheapest (see the measured `OpStats` in the
+    /// cost-model regression test).
     fn join_selectivity(&self, alias: &str, bound: &HashSet<String>) -> f64 {
+        let preds: Vec<&SqlPredicate> = self
+            .query
+            .where_clause
+            .iter()
+            .filter(|p| {
+                let ts = p.tables();
+                ts.contains(alias)
+                    && ts.len() >= 2
+                    && ts.iter().all(|t| t == alias || bound.contains(t))
+            })
+            .collect();
+        self.grouped_selectivity(alias, &preds, |p| {
+            self.single_join_pred_selectivity(alias, p)
+        })
+    }
+
+    /// Fold the selectivities of a predicate list, recognizing containment
+    /// groups; `single` estimates any predicate left ungrouped.
+    fn grouped_selectivity(
+        &self,
+        alias: &str,
+        preds: &[&SqlPredicate],
+        single: impl Fn(&SqlPredicate) -> f64,
+    ) -> f64 {
+        let inner_rows = self
+            .aliases
+            .iter()
+            .find(|a| a.alias == alias)
+            .and_then(|a| self.db.stats(&a.table))
+            .map(|s| s.rows as f64)
+            .unwrap_or(1.0)
+            .max(1.0);
         let mut sel = 1.0;
-        for p in &self.query.where_clause {
-            let ts = p.tables();
-            if !ts.contains(alias) || ts.len() < 2 {
+        let mut used = vec![false; preds.len()];
+        for i in 0..preds.len() {
+            if used[i] || !is_range_op(preds[i].op) {
                 continue;
             }
-            if !ts.iter().all(|t| t == alias || bound.contains(t)) {
+            let Some(partner) = single_partner(preds[i], alias) else {
                 continue;
+            };
+            let mut group = vec![i];
+            for (j, p) in preds.iter().enumerate().skip(i + 1) {
+                if !used[j]
+                    && is_range_op(p.op)
+                    && single_partner(p, alias).as_deref() == Some(partner.as_str())
+                {
+                    group.push(j);
+                }
             }
-            sel *= self.single_join_pred_selectivity(alias, p);
+            let members: Vec<&SqlPredicate> = group.iter().map(|&k| preds[k]).collect();
+            let factor = match group_container(&members) {
+                Some(container) => self.containment_selectivity(&container, inner_rows),
+                // A lone one-sided ordering bound (`pre < pre◦`) keeps half
+                // the rows on average; other shapes keep the old estimate.
+                None if members.len() == 1 => 0.5,
+                None => members.iter().map(|p| single(p)).product(),
+            };
+            sel *= factor;
+            for k in group {
+                used[k] = true;
+            }
+        }
+        for (i, p) in preds.iter().enumerate() {
+            if !used[i] {
+                sel *= single(p);
+            }
         }
         sel
+    }
+
+    /// Selectivity of `inner.pre ∈ (container.pre, container.pre + size]`.
+    ///
+    /// Calibrated against measured `OpStats`: same-name XML elements tile
+    /// the document (non-recursive element types nest disjointly), so the
+    /// expected subtree extent of one of `local_rows(container)` qualifying
+    /// containers is `rows / local_rows` — and the window keeps
+    /// `1 / local_rows(container)` of the inner rows.  In particular a
+    /// window anchored at the single document node keeps *everything*
+    /// (selectivity 1.0), where the old per-predicate estimate claimed
+    /// 0.64%.
+    fn containment_selectivity(&self, container: &str, inner_rows: f64) -> f64 {
+        (1.0 / self.local_rows_of(container).max(1.0)).clamp(1.0 / inner_rows, 1.0)
     }
 
     fn single_join_pred_selectivity(&self, alias: &str, p: &SqlPredicate) -> f64 {
@@ -530,11 +651,13 @@ impl<'a> Planner<'a> {
         let total_rows = stats.map(|s| s.rows as f64).unwrap_or(1.0).max(1.0);
 
         // Selectivity of *all* available predicates (they are all applied,
-        // whether through bounds or residual checks).
-        let mut overall_sel = 1.0;
-        for p in &avail {
-            overall_sel *= predicate_selectivity(self.db, table, alias, p);
-        }
+        // whether through bounds or residual checks).  Containment windows
+        // are grouped here as well so per-probe row estimates agree with
+        // the join-cardinality model.
+        let avail_refs: Vec<&SqlPredicate> = avail.iter().collect();
+        let overall_sel = self.grouped_selectivity(alias, &avail_refs, |p| {
+            predicate_selectivity(self.db, table, alias, p)
+        });
         let out_rows = (total_rows * overall_sel).max(1e-6);
 
         // Table scan baseline.
@@ -553,11 +676,13 @@ impl<'a> Planner<'a> {
             if bounds.matched_columns() == 0 {
                 continue;
             }
-            // Selectivity of the predicates folded into the bounds.
-            let mut bound_sel = 1.0;
-            for p in &consumed {
-                bound_sel *= predicate_selectivity(self.db, table, alias, p);
-            }
+            // Selectivity of the predicates folded into the bounds (again
+            // with containment windows grouped — this is the NLJOIN
+            // per-probe fetch estimate).
+            let consumed_refs: Vec<&SqlPredicate> = consumed.iter().collect();
+            let bound_sel = self.grouped_selectivity(alias, &consumed_refs, |p| {
+                predicate_selectivity(self.db, table, alias, p)
+            });
             let scanned_entries = (total_rows * bound_sel).max(1.0);
             let residual: Vec<SqlPredicate> = avail
                 .iter()
@@ -598,6 +723,35 @@ fn expr_references(e: &SqlExpr, alias: &str) -> bool {
     let mut ts = HashSet::new();
     e.tables(&mut ts);
     ts.contains(alias)
+}
+
+/// Is the comparison an inequality (range-style) operator?
+fn is_range_op(op: SqlCmp) -> bool {
+    matches!(op, SqlCmp::Lt | SqlCmp::Le | SqlCmp::Gt | SqlCmp::Ge)
+}
+
+/// The single alias other than `alias` a predicate references, if there is
+/// exactly one.
+fn single_partner(p: &SqlPredicate, alias: &str) -> Option<String> {
+    let mut partners: Vec<String> = p.tables().into_iter().filter(|t| t != alias).collect();
+    (partners.len() == 1).then(|| partners.remove(0))
+}
+
+/// The container alias of a containment group: the one alias referenced by
+/// a computed (`pre + size`-style) side of one of the group's predicates.
+fn group_container(preds: &[&SqlPredicate]) -> Option<String> {
+    for p in preds {
+        for side in [&p.lhs, &p.rhs] {
+            if matches!(side, SqlExpr::Add(..)) {
+                let mut ts = HashSet::new();
+                side.tables(&mut ts);
+                if ts.len() == 1 {
+                    return ts.into_iter().next();
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Estimate the rows of `alias` after applying its constant-only predicates.

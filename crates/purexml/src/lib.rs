@@ -29,11 +29,10 @@
 //! *different* segments (Q2's triple value join) must use [`Storage::Whole`]
 //! — the Table IX harness reports them as DNF, as the paper does.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use xqjg_store::{
-    drain, effective_morsel_size, execute_morsels, fill_from_pending_with_capacity,
-    merge_worker_stats, new_stats_sink, partition_morsels, Batch, BoxedOperator, ExecConfig,
-    OpStats, Operator, StatsSink, VecSource,
+    drain, effective_morsel_size, execute_morsels, merge_worker_stats, new_stats_sink,
+    partition_morsels, Batch, BoxedOperator, ExecConfig, OpStats, Operator, StatsSink, VecSource,
 };
 use xqjg_xml::axis::{children_of, step};
 use xqjg_xml::{Axis, DocTable, NodeKind, NodeTest, Pre};
@@ -182,7 +181,8 @@ impl<'a> PureXmlStore<'a> {
                 store: self,
                 core,
                 input: Box::new(xiscan),
-                pending: VecDeque::new(),
+                pending: Vec::new(),
+                ppos: 0,
                 cap,
                 stats: OpStats::named("XSCAN"),
                 sink: sink.clone(),
@@ -261,20 +261,24 @@ pub struct XScanOp<'a> {
     store: &'a PureXmlStore<'a>,
     core: &'a CoreExpr,
     input: BoxedOperator<'a, usize>,
-    pending: VecDeque<Pre>,
+    /// Matches of already-traversed segments, drained by cursor — batches
+    /// are filled from this buffer with one bulk slice copy instead of a
+    /// per-node queue pop.
+    pending: Vec<Pre>,
+    ppos: usize,
     cap: usize,
     stats: OpStats,
     sink: StatsSink,
 }
 
 impl XScanOp<'_> {
-    /// Traverse one segment, queueing its matches.
-    fn traverse(&mut self, seg_id: usize, pending: &mut VecDeque<Pre>) {
+    /// Traverse one segment, buffering its matches.
+    fn traverse(&mut self, seg_id: usize) {
         self.stats.rows_in += 1;
         let root = self.store.segments[seg_id];
         let mut env = HashMap::new();
         if let Ok(items) = eval_over_segment(self.core, self.store.doc, root, &mut env) {
-            pending.extend(items);
+            self.pending.extend(items);
         }
     }
 }
@@ -285,23 +289,32 @@ impl Operator for XScanOp<'_> {
     fn open(&mut self) {
         self.input.open();
         self.pending.clear();
+        self.ppos = 0;
     }
 
     fn next_batch(&mut self) -> Option<Batch<Pre>> {
-        let mut pending = std::mem::take(&mut self.pending);
-        let out = fill_from_pending_with_capacity(self.cap, &mut pending, |p| {
+        let mut out: Batch<Pre> = Batch::with_capacity(self.cap);
+        loop {
+            if self.ppos < self.pending.len() {
+                self.ppos += out.fill_from_slice(&self.pending[self.ppos..]);
+                if out.is_full() {
+                    break;
+                }
+            }
+            self.pending.clear();
+            self.ppos = 0;
             match self.input.next_batch() {
                 Some(batch) => {
                     for seg_id in batch {
-                        self.traverse(seg_id, p);
+                        self.traverse(seg_id);
                     }
-                    true
                 }
-                None => false,
+                None => break,
             }
-        });
-        self.pending = pending;
-        let out = out?;
+        }
+        if out.is_empty() {
+            return None;
+        }
         self.stats.rows_out += out.len();
         self.stats.batches += 1;
         Some(out)

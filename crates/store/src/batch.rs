@@ -112,6 +112,28 @@ impl<T> Batch<T> {
         &self.items
     }
 
+    /// Keep only the tuples whose index appears in the (ascending)
+    /// selection vector.  Survivors are compacted in place — dropped
+    /// tuples are never cloned or re-materialized, which is how the
+    /// row-batch world consumes a selection vector computed over borrowed
+    /// tuples (see the σ operator of the algebra evaluator).
+    pub fn retain_selected(&mut self, sel: &[u32]) {
+        debug_assert!(
+            sel.windows(2).all(|w| w[0] < w[1]),
+            "selection not ascending"
+        );
+        let mut sel_pos = 0usize;
+        let mut index = 0u32;
+        self.items.retain(|_| {
+            let keep = sel.get(sel_pos) == Some(&index);
+            if keep {
+                sel_pos += 1;
+            }
+            index += 1;
+            keep
+        });
+    }
+
     /// Consume the batch, yielding its tuples.
     pub fn into_items(self) -> Vec<T> {
         self.items
@@ -150,6 +172,9 @@ pub struct OpStats {
     /// Rows buffered by a pipeline breaker (hash-join build side, sort
     /// input).
     pub build_rows: usize,
+    /// Build-side constructions satisfied from the session build cache
+    /// instead of being recomputed (hash joins only).
+    pub cache_hits: usize,
 }
 
 impl OpStats {
@@ -175,6 +200,7 @@ impl OpStats {
         self.batches += other.batches;
         self.probes += other.probes;
         self.build_rows += other.build_rows;
+        self.cache_hits += other.cache_hits;
     }
 
     /// One-line rendering used by EXPLAIN and the bench harness.
@@ -191,6 +217,21 @@ impl OpStats {
         }
         if self.build_rows > 0 {
             parts.push(format!("build_rows={}", self.build_rows));
+        }
+        if self.cache_hits > 0 {
+            parts.push(format!("cache_hits={}", self.cache_hits));
+        }
+        if self.rows_in > 0 {
+            parts.push(format!(
+                "sel={:.3}",
+                self.rows_out as f64 / self.rows_in as f64
+            ));
+        }
+        if self.batches > 0 {
+            parts.push(format!(
+                "avg_vec={:.1}",
+                self.rows_out as f64 / self.batches as f64
+            ));
         }
         format!("{}: {}", self.name, parts.join(" "))
     }
@@ -419,6 +460,15 @@ mod tests {
         assert_eq!(b.items(), &[0, 1, 2, 3]);
         assert!(b.is_full());
         assert_eq!(b.fill_from_slice(&src), 0);
+    }
+
+    #[test]
+    fn retain_selected_compacts_in_place() {
+        let mut b = Batch::from_items((0..8).collect::<Vec<_>>());
+        b.retain_selected(&[1, 4, 7]);
+        assert_eq!(b.items(), &[1, 4, 7]);
+        b.retain_selected(&[]);
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -58,12 +58,31 @@ pub struct Database {
     tables: HashMap<String, Table>,
     indexes: Vec<BuiltIndex>,
     stats: HashMap<String, TableStats>,
+    /// Catalog version stamp, advanced on every DDL mutation.  Consumers
+    /// caching derived physical structures (e.g. memoized hash-join build
+    /// sides) compare stamps to detect staleness.  Stamps are drawn from a
+    /// process-wide counter so two [`Database`] instances never reuse one.
+    version: u64,
 }
+
+/// Process-wide catalog-version dispenser (see [`Database::version`]).
+static CATALOG_VERSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The catalog's current version stamp.  Any DDL (table or index
+    /// creation) moves the stamp to a value never handed out before, in
+    /// this or any other [`Database`] of the process.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn bump_version(&mut self) {
+        self.version = CATALOG_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Register (or replace) a table and collect its statistics.
@@ -72,6 +91,7 @@ impl Database {
         let stats = TableStats::collect(&table);
         self.stats.insert(name.clone(), stats);
         self.tables.insert(name, table);
+        self.bump_version();
     }
 
     /// Look up a table.
@@ -117,6 +137,7 @@ impl Database {
         // Replace an index with the same name (idempotent DDL).
         self.indexes.retain(|ix| ix.def.name != def.name);
         self.indexes.push(BuiltIndex { def, tree });
+        self.bump_version();
     }
 
     /// All indexes built over a table.
@@ -177,6 +198,24 @@ mod tests {
         assert!(db.table("doc").is_some());
         assert_eq!(db.stats("doc").unwrap().rows, 100);
         assert_eq!(db.table_names(), vec!["doc"]);
+    }
+
+    #[test]
+    fn ddl_advances_the_catalog_version_uniquely() {
+        let mut a = db();
+        let v0 = a.version();
+        a.create_index(IndexDef {
+            name: "extra".to_string(),
+            table: "doc".to_string(),
+            key_columns: vec!["pre".to_string()],
+            include_columns: vec![],
+            clustered: false,
+        });
+        assert!(a.version() > v0, "index DDL bumps the version");
+        // A second database never reuses a stamp the first one held.
+        let b = db();
+        assert_ne!(a.version(), b.version());
+        assert_ne!(v0, b.version());
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Columnar batches with selection vectors — the vectorized execution
+//! substrate.
+//!
+//! The row-oriented [`crate::Batch`] moves one tuple per slot: a batch of
+//! join bindings is a `Vec<Vec<usize>>` whose inner vectors are allocated
+//! per binding, and every predicate evaluation re-resolves schema offsets
+//! and clones [`crate::Value`]s.  [`ColumnBatch`] turns that layout on its
+//! side: one contiguous rid column per bound alias, all columns the same
+//! length, plus a *selection vector* naming the rows that are still alive.
+//! Filters refine the selection vector instead of materializing survivors,
+//! so a dropped row costs one skipped index — no move, no clone, no
+//! allocation.  Operators that expand (joins) write directly into the
+//! output columns: the per-binding `Vec` allocation of the row path
+//! disappears entirely.
+//!
+//! The row-oriented [`crate::Operator`] protocol remains the compatibility
+//! surface of the system; [`ColumnBatch::to_rows`] / [`ColumnBatch::from_rows`]
+//! convert at the seams (the parity and property suites round-trip through
+//! them).
+//!
+//! [`BatchSizer`] implements the adaptive batch-size policy: scan leaves
+//! start at the configured batch capacity and grow their per-call scan
+//! chunk when pushed-down predicates turn out to be selective, so a 1%
+//! filter stops shipping 10-row batches through the whole pipeline.  The
+//! sizer records its decisions into a trace the benchmark harness dumps
+//! alongside the per-operator counters.
+
+use crate::batch::OpStats;
+
+/// A batch of join bindings in columnar layout: one rid column per bound
+/// alias plus a selection vector.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    /// One column per alias, outer-to-inner; all columns have equal length.
+    cols: Vec<Vec<usize>>,
+    /// Indices of live rows (ascending); `None` means all rows are live.
+    sel: Option<Vec<u32>>,
+    /// Target number of live rows per batch (advisory, not a hard bound:
+    /// an expanding operator may overshoot by one probe's matches).
+    cap: usize,
+}
+
+impl ColumnBatch {
+    /// An empty batch of `arity` columns targeting `cap` live rows.
+    pub fn new(arity: usize, cap: usize) -> Self {
+        let cap = cap.max(1);
+        ColumnBatch {
+            cols: (0..arity.max(1)).map(|_| Vec::with_capacity(cap)).collect(),
+            sel: None,
+            cap,
+        }
+    }
+
+    /// Number of alias columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Physical row count (live and filtered-out rows alike).
+    pub fn rows(&self) -> usize {
+        self.cols[0].len()
+    }
+
+    /// Number of live (selected) rows.
+    pub fn live(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows(),
+        }
+    }
+
+    /// Is the batch devoid of live rows?
+    pub fn is_empty(&self) -> bool {
+        self.live() == 0
+    }
+
+    /// The advisory live-row target.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// A column's rids (physical order — index through the selection).
+    pub fn col(&self, i: usize) -> &[usize] {
+        &self.cols[i]
+    }
+
+    /// Mutable column access (operators fill columns directly).
+    pub fn col_mut(&mut self, i: usize) -> &mut Vec<usize> {
+        &mut self.cols[i]
+    }
+
+    /// All columns at once (the expand loop of a join reads the outer
+    /// columns while writing its own — split via `split_at_mut` upstream).
+    pub fn cols(&self) -> &[Vec<usize>] {
+        &self.cols
+    }
+
+    /// The selection vector, if any row has been filtered out.
+    pub fn sel(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Physical index of the `i`-th live row.
+    #[inline]
+    pub fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Append one row (used by [`ColumnBatch::from_rows`] and the join
+    /// expand loops via direct column access; arity checked in debug).
+    pub fn push_row(&mut self, row: &[usize]) {
+        debug_assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        debug_assert!(self.sel.is_none(), "push into a filtered batch");
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Install a selection vector (indices must be ascending physical rows).
+    pub fn set_sel(&mut self, sel: Vec<u32>) {
+        debug_assert!(
+            sel.windows(2).all(|w| w[0] < w[1]),
+            "selection not ascending"
+        );
+        debug_assert!(sel.last().is_none_or(|&i| (i as usize) < self.rows()));
+        self.sel = Some(sel);
+    }
+
+    /// Refine the selection: keep only live rows whose *physical* index
+    /// satisfies the predicate.  This is the column-at-a-time filter
+    /// primitive — dropped rows are never moved or materialized.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let next = match self.sel.take() {
+            Some(s) => s.into_iter().filter(|&i| keep(i as usize)).collect(),
+            None => (0..self.rows() as u32)
+                .filter(|&i| keep(i as usize))
+                .collect(),
+        };
+        self.sel = Some(next);
+    }
+
+    /// Refine the selection by a predicate over one column's *values*:
+    /// keep the live rows whose rid in column `col` satisfies `keep`.
+    /// This is the leaf-filter fast path — the closure sees the rid
+    /// directly, so a pushed-down σ never touches the batch structure.
+    pub fn retain_by_col(&mut self, col: usize, mut keep: impl FnMut(usize) -> bool) {
+        let column = std::mem::take(&mut self.cols[col]);
+        // Not routed through `retain`: the physical row count must come
+        // from the taken column, every column having the same length.
+        let next: Vec<u32> = match self.sel.take() {
+            Some(s) => s
+                .into_iter()
+                .filter(|&i| keep(column[i as usize]))
+                .collect(),
+            None => (0..column.len() as u32)
+                .filter(|&i| keep(column[i as usize]))
+                .collect(),
+        };
+        self.sel = Some(next);
+        self.cols[col] = column;
+    }
+
+    /// Drop filtered-out rows for real, clearing the selection vector.
+    pub fn compact(&mut self) {
+        let Some(sel) = self.sel.take() else { return };
+        for col in &mut self.cols {
+            for (slot, &i) in sel.iter().enumerate() {
+                col[slot] = col[i as usize];
+            }
+            col.truncate(sel.len());
+        }
+    }
+
+    /// Convert to row-major bindings (live rows only, batch order) — the
+    /// seam back into the row-oriented [`crate::Operator`] world.
+    pub fn to_rows(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.live());
+        for i in 0..self.live() {
+            let p = self.phys(i);
+            out.push(self.cols.iter().map(|c| c[p]).collect());
+        }
+        out
+    }
+
+    /// Build a columnar batch from row-major bindings.
+    ///
+    /// # Panics
+    /// Panics when the rows disagree on arity.
+    pub fn from_rows(rows: &[Vec<usize>], cap: usize) -> Self {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(1);
+        let mut batch = ColumnBatch::new(arity, cap.max(rows.len()).max(1));
+        for row in rows {
+            assert_eq!(row.len(), arity, "binding arity mismatch");
+            batch.push_row(row);
+        }
+        batch
+    }
+}
+
+/// The pull-based columnar operator protocol: the vectorized mirror of
+/// [`crate::Operator`], exchanging [`ColumnBatch`]es instead of row
+/// batches.  Work counters use the same [`OpStats`] currency so EXPLAIN
+/// actuals are path-independent.
+pub trait ColOperator {
+    /// Prepare for producing batches.
+    fn open(&mut self);
+
+    /// Produce the next batch, or `None` once exhausted.  Returned batches
+    /// have at least one live row.
+    fn next_batch(&mut self) -> Option<ColumnBatch>;
+
+    /// Release resources and report counters to the stats sink.
+    fn close(&mut self);
+
+    /// The operator's current work counters.
+    fn stats(&self) -> OpStats;
+}
+
+/// Upper bound on how far the adaptive policy will grow a leaf's scan chunk
+/// beyond the configured batch capacity.  16× keeps the gathered column
+/// slices cache-friendly while letting a 1%-selective filter still emit
+/// usefully full batches.
+pub const MAX_ADAPTIVE_GROWTH: usize = 16;
+
+/// Adaptive batch-size policy for scan leaves.
+///
+/// A leaf scans `chunk()` domain positions per `next_batch` call and emits
+/// the survivors of its pushed-down predicates.  The sizer starts at the
+/// configured batch capacity and, from the measured selectivity (an
+/// exponentially-weighted average of survivors/scanned), grows the chunk so
+/// the *output* stays near the target — low-selectivity filters stop
+/// shipping near-empty batches downstream.  The chunk never shrinks below
+/// the target and never grows past `target × `[`MAX_ADAPTIVE_GROWTH`], and
+/// every decision is recorded in [`BatchSizer::trace`].
+#[derive(Debug, Clone)]
+pub struct BatchSizer {
+    target: usize,
+    chunk: usize,
+    smoothed_sel: f64,
+    enabled: bool,
+    trace: Vec<usize>,
+}
+
+impl BatchSizer {
+    /// A sizer targeting `target` live rows per emitted batch.  When
+    /// `enabled` is false the chunk is pinned to the target (the
+    /// fixed-capacity behaviour).
+    pub fn new(target: usize, enabled: bool) -> Self {
+        let target = target.max(1);
+        BatchSizer {
+            target,
+            chunk: target,
+            smoothed_sel: 1.0,
+            enabled,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Domain positions the leaf should scan on its next call.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Record one scan's outcome and adapt the chunk.
+    pub fn observe(&mut self, scanned: usize, survived: usize) {
+        if !self.enabled || scanned == 0 {
+            return;
+        }
+        let sel = survived as f64 / scanned as f64;
+        self.smoothed_sel = 0.5 * self.smoothed_sel + 0.5 * sel;
+        let max = self.target * MAX_ADAPTIVE_GROWTH;
+        let want = (self.target as f64 / self.smoothed_sel.max(1.0 / MAX_ADAPTIVE_GROWTH as f64))
+            .ceil() as usize;
+        self.chunk = want.clamp(self.target, max);
+        self.trace.push(self.chunk);
+    }
+
+    /// The sequence of chunk sizes chosen so far (one entry per
+    /// [`BatchSizer::observe`] call).
+    pub fn trace(&self) -> &[usize] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_batch_round_trips_rows() {
+        let rows = vec![vec![1, 10], vec![2, 20], vec![3, 30]];
+        let b = ColumnBatch::from_rows(&rows, 4);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.live(), 3);
+        assert_eq!(b.col(0), &[1, 2, 3]);
+        assert_eq!(b.col(1), &[10, 20, 30]);
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn retain_refines_selection_without_moving_rows() {
+        let rows: Vec<Vec<usize>> = (0..10).map(|i| vec![i]).collect();
+        let mut b = ColumnBatch::from_rows(&rows, 16);
+        b.retain(|i| i % 2 == 0);
+        assert_eq!(b.rows(), 10, "physical rows untouched");
+        assert_eq!(b.live(), 5);
+        b.retain(|i| i >= 4);
+        assert_eq!(b.live(), 3);
+        assert_eq!(b.to_rows(), vec![vec![4], vec![6], vec![8]]);
+        assert_eq!(b.sel(), Some(&[4u32, 6, 8][..]));
+    }
+
+    #[test]
+    fn retain_by_col_filters_on_column_values() {
+        let rows: Vec<Vec<usize>> = (0..8).map(|i| vec![i, 100 + i]).collect();
+        let mut b = ColumnBatch::from_rows(&rows, 8);
+        b.retain_by_col(1, |v| v % 2 == 1);
+        assert_eq!(b.live(), 4);
+        b.retain_by_col(0, |v| v > 3);
+        assert_eq!(b.to_rows(), vec![vec![5, 105], vec![7, 107]]);
+        assert_eq!(b.rows(), 8, "no rows were materialized away");
+    }
+
+    #[test]
+    fn compact_materializes_the_selection() {
+        let rows: Vec<Vec<usize>> = (0..6).map(|i| vec![i, i * 10]).collect();
+        let mut b = ColumnBatch::from_rows(&rows, 8);
+        b.retain(|i| i == 1 || i == 4);
+        b.compact();
+        assert_eq!(b.rows(), 2);
+        assert!(b.sel().is_none());
+        assert_eq!(b.to_rows(), vec![vec![1, 10], vec![4, 40]]);
+        // Compacting an unfiltered batch is a no-op.
+        b.compact();
+        assert_eq!(b.rows(), 2);
+    }
+
+    #[test]
+    fn batch_sizer_grows_on_low_selectivity_and_clamps() {
+        let mut s = BatchSizer::new(100, true);
+        assert_eq!(s.chunk(), 100);
+        // 10% selectivity: after a few observations the chunk approaches
+        // target / selectivity.
+        for _ in 0..8 {
+            let scanned = s.chunk();
+            s.observe(scanned, scanned / 10);
+        }
+        assert!(s.chunk() >= 800, "grew towards 1000, got {}", s.chunk());
+        assert!(s.chunk() <= 100 * MAX_ADAPTIVE_GROWTH);
+        // Selectivity recovering to 1.0 shrinks back towards the target
+        // (the EWMA converges asymptotically, so allow a small overshoot).
+        for _ in 0..12 {
+            let scanned = s.chunk();
+            s.observe(scanned, scanned);
+        }
+        assert!(s.chunk() <= 102, "shrank back, got {}", s.chunk());
+        assert!(!s.trace().is_empty());
+    }
+
+    #[test]
+    fn batch_sizer_disabled_stays_pinned() {
+        let mut s = BatchSizer::new(64, false);
+        s.observe(64, 1);
+        s.observe(64, 0);
+        assert_eq!(s.chunk(), 64);
+        assert!(s.trace().is_empty());
+    }
+
+    #[test]
+    fn selectivity_floor_caps_growth() {
+        let mut s = BatchSizer::new(10, true);
+        for _ in 0..20 {
+            let scanned = s.chunk();
+            s.observe(scanned, 0);
+        }
+        assert_eq!(s.chunk(), 10 * MAX_ADAPTIVE_GROWTH);
+    }
+}

@@ -8,10 +8,14 @@
 //! ties tables, indexes and statistics together, and the [`batch`] module
 //! provides the pipelined execution substrate — fixed-capacity [`Batch`]es
 //! and the pull-based [`Operator`] protocol — shared by every evaluation
-//! path of the system.  The [`morsel`] module layers morsel-driven
-//! parallelism on top: leaf scans split into rid-range [`Morsel`]s,
-//! scoped worker threads drain a shared [`MorselQueue`], and per-worker
-//! counters merge back into sequential-identical [`OpStats`].
+//! path of the system.  The [`columnar`] module is its vectorized mirror:
+//! [`ColumnBatch`]es carry one rid column per bound alias plus a selection
+//! vector, so filters refine indices instead of materializing survivors,
+//! and the [`BatchSizer`] adapts scan chunks to measured selectivity.  The
+//! [`morsel`] module layers morsel-driven parallelism on top: leaf scans
+//! split into rid-range [`Morsel`]s, scoped worker threads drain a shared
+//! [`MorselQueue`], and per-worker counters merge back into
+//! sequential-identical [`OpStats`].
 //!
 //! Nothing in this crate knows about XML or XQuery — it is a generic (if
 //! deliberately compact) relational kernel.
@@ -19,6 +23,7 @@
 pub mod batch;
 pub mod btree;
 pub mod catalog;
+pub mod columnar;
 pub mod morsel;
 pub mod schema;
 pub mod stats;
@@ -31,6 +36,7 @@ pub use batch::{
 };
 pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
+pub use columnar::{BatchSizer, ColOperator, ColumnBatch, MAX_ADAPTIVE_GROWTH};
 pub use morsel::{
     default_threads, effective_morsel_size, execute_morsels, partition_morsels, ExecConfig, Morsel,
     MorselQueue, DEFAULT_MORSEL_SIZE, MIN_MORSEL_SIZE,

@@ -185,6 +185,14 @@ pub struct ExecConfig {
     /// Row-id domain positions per leaf [`Morsel`] (upper bound; shrunk by
     /// [`effective_morsel_size`] when the domain is small).
     pub morsel_size: usize,
+    /// Run the vectorized columnar executor (selection vectors,
+    /// column-at-a-time predicates).  `false` selects the row-at-a-time
+    /// scalar path, kept as the always-green fallback.
+    pub vectorize: bool,
+    /// Let scan leaves adapt their scan chunk to the measured predicate
+    /// selectivity (see [`crate::BatchSizer`]); `false` pins every chunk to
+    /// `batch_capacity`.  Only meaningful on the vectorized path.
+    pub adaptive: bool,
 }
 
 impl ExecConfig {
@@ -192,22 +200,32 @@ impl ExecConfig {
     ///
     /// * `XQJG_THREADS` — degree of parallelism (default: available cores),
     /// * `XQJG_BATCH_CAPACITY` — batch capacity (default [`crate::BATCH_CAPACITY`]),
-    /// * `XQJG_MORSEL_SIZE` — morsel size (default [`DEFAULT_MORSEL_SIZE`]).
+    /// * `XQJG_MORSEL_SIZE` — morsel size (default [`DEFAULT_MORSEL_SIZE`]),
+    /// * `XQJG_VECTORIZE` — `0` selects the scalar row-at-a-time path
+    ///   (default: vectorized),
+    /// * `XQJG_ADAPTIVE_BATCH` — `0` pins scan chunks to the batch capacity
+    ///   (default: adaptive).
     pub fn from_env() -> Self {
         ExecConfig {
             threads: env_usize("XQJG_THREADS").unwrap_or_else(default_threads),
             batch_capacity: env_usize("XQJG_BATCH_CAPACITY").unwrap_or(crate::BATCH_CAPACITY),
             morsel_size: env_usize("XQJG_MORSEL_SIZE").unwrap_or(DEFAULT_MORSEL_SIZE),
+            vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
+            adaptive: env_bool("XQJG_ADAPTIVE_BATCH").unwrap_or(true),
         }
     }
 
     /// A sequential configuration with the default batch and morsel sizes
-    /// (the reference configuration parity is measured against).
+    /// (the reference configuration parity is measured against).  The
+    /// `XQJG_VECTORIZE` switch is still honored so the whole test suite can
+    /// be pointed at the scalar fallback path from the environment.
     pub fn sequential() -> Self {
         ExecConfig {
             threads: 1,
             batch_capacity: crate::BATCH_CAPACITY,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
+            adaptive: true,
         }
     }
 
@@ -228,17 +246,32 @@ impl ExecConfig {
         self.morsel_size = size.max(1);
         self
     }
+
+    /// Builder: choose the vectorized or the scalar executor.
+    pub fn with_vectorize(mut self, vectorize: bool) -> Self {
+        self.vectorize = vectorize;
+        self
+    }
+
+    /// Builder: enable or pin the adaptive batch-size policy.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
 }
 
 /// The documented defaults (all cores, [`crate::BATCH_CAPACITY`],
-/// [`DEFAULT_MORSEL_SIZE`]) — deliberately *without* the environment
-/// reads; use [`ExecConfig::from_env`] to honor the `XQJG_*` knobs.
+/// [`DEFAULT_MORSEL_SIZE`], vectorized + adaptive) — deliberately *without*
+/// the environment reads; use [`ExecConfig::from_env`] to honor the
+/// `XQJG_*` knobs.
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             threads: default_threads(),
             batch_capacity: crate::BATCH_CAPACITY,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            vectorize: true,
+            adaptive: true,
         }
     }
 }
@@ -255,6 +288,13 @@ fn env_usize(name: &str) -> Option<usize> {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
+}
+
+fn env_bool(name: &str) -> Option<bool> {
+    std::env::var(name).ok().map(|v| {
+        let v = v.trim();
+        !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
+    })
 }
 
 #[cfg(test)]

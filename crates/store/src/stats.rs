@@ -35,6 +35,12 @@ pub struct ColumnStats {
     /// Equi-width histogram over the numeric image of the column
     /// (`bucket[i]` counts values in the i-th slice of `[min, max]`).
     pub histogram: Vec<usize>,
+    /// Mean of the numeric image of the column (`None` for non-numeric
+    /// columns).  Standard RUNSTATS output; not consumed by the current
+    /// cost model (containment selectivity uses the tiling estimate
+    /// instead), but e.g. a mean-subtree-extent refinement would read the
+    /// `size` column's mean from here.
+    pub mean: Option<f64>,
 }
 
 impl ColumnStats {
@@ -120,11 +126,17 @@ impl TableStats {
             let mut nulls = 0usize;
             let mut min: Option<Value> = None;
             let mut max: Option<Value> = None;
+            let mut numeric_sum = 0.0f64;
+            let mut numeric_count = 0usize;
             for row in table.rows() {
                 let v = &row[ci];
                 if v.is_null() {
                     nulls += 1;
                     continue;
+                }
+                if let Some(f) = v.as_f64() {
+                    numeric_sum += f;
+                    numeric_count += 1;
                 }
                 *freq.entry(v.clone()).or_insert(0) += 1;
                 if min.as_ref().is_none_or(|m| v < m) {
@@ -139,6 +151,7 @@ impl TableStats {
             mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             mcv.truncate(MCV_LIMIT);
             let histogram = build_histogram(table, ci, min.as_ref(), max.as_ref());
+            let mean = (numeric_count > 0).then(|| numeric_sum / numeric_count as f64);
             columns.insert(
                 name.clone(),
                 ColumnStats {
@@ -149,6 +162,7 @@ impl TableStats {
                     max,
                     mcv,
                     histogram,
+                    mean,
                 },
             );
         }
@@ -215,6 +229,8 @@ mod tests {
         let price = stats.column("price").unwrap();
         assert_eq!(price.min, Some(Value::Int(0)));
         assert_eq!(price.max, Some(Value::Int(99)));
+        assert!((price.mean.unwrap() - 49.5).abs() < 1e-9);
+        assert_eq!(stats.column("name").unwrap().mean, None);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 
 use proptest::prelude::*;
 use xqjg::engine::{
-    execute, Access, JoinMethod, JoinNode, PhysPlan, SelectItem, SqlCmp, SqlExpr, SqlPredicate,
+    execute, execute_with_stats_config, optimize, Access, JoinMethod, JoinNode, PhysPlan,
+    SelectItem, SqlCmp, SqlExpr, SqlPredicate,
 };
-use xqjg::store::{BPlusTree, Database, Schema, Table, Value};
+use xqjg::store::{BPlusTree, Database, ExecConfig, Schema, Table, Value};
 use xqjg::xml::{encode_document, parse_document, DocTable, Pre};
 use xqjg::{Mode, Processor};
+
+/// The batch capacities the columnar ≡ row properties are pinned at
+/// (acceptance criterion of the vectorization work).
+const PROBE_CAPACITIES: [usize; 3] = [1, 64, 1024];
 
 /// Strategy producing a small random XML document built from a fixed
 /// element vocabulary.
@@ -248,6 +253,93 @@ proptest! {
         });
         unfiltered.sort();
         prop_assert_eq!(unfiltered, hash_rows, "residual is a post-join filter");
+    }
+
+    #[test]
+    fn columnar_and_row_paths_agree_over_random_predicates(
+        body in arb_xml(3),
+        axis_choice in 0usize..3,
+        name_choice in 0usize..3,
+        pred_choice in 0usize..4,
+    ) {
+        // A random document, a random path query with a random value /
+        // attribute predicate — optimized once, then executed through the
+        // vectorized (columnar, selection-vector) executor and the scalar
+        // row-at-a-time fallback at every pinned batch capacity.  Rows,
+        // row order, aggregate counters and per-operator actuals must all
+        // agree.
+        let xml = format!("<root>{body}</root>");
+        let axis = ["descendant", "child", "descendant-or-self"][axis_choice];
+        let name = ["entry", "group", "v"][name_choice];
+        let pred = ["", "[v > 10]", "[@id = \"e1\"]", "[v >= 3 and v < 42]"][pred_choice];
+        let query = format!("doc(\"t.xml\")/{axis}::{name}{pred}");
+
+        let mut p = Processor::new();
+        p.load_document("t.xml", &xml).unwrap();
+        p.create_default_indexes();
+        // Not every generated predicate shape compiles to SQL; the
+        // property is about executor parity, not frontend coverage.
+        if let Ok(prepared) = p.prepare(&query) {
+            let db = p.database();
+            for b in &prepared.branches {
+                let plan = optimize(&b.isolated.query, db).unwrap();
+                let (t_ref, _) = execute_with_stats_config(
+                    &plan,
+                    db,
+                    &ExecConfig::sequential().with_vectorize(false),
+                );
+                for cap in PROBE_CAPACITIES {
+                    let scalar = ExecConfig::sequential()
+                        .with_vectorize(false)
+                        .with_batch_capacity(cap);
+                    let vectorized = ExecConfig::sequential()
+                        .with_vectorize(true)
+                        .with_batch_capacity(cap);
+                    let (t_row, s_row) = execute_with_stats_config(&plan, db, &scalar);
+                    let (t_col, s_col) = execute_with_stats_config(&plan, db, &vectorized);
+                    prop_assert_eq!(&t_row, &t_ref, "{} cap {}", query, cap);
+                    prop_assert_eq!(&t_col, &t_row, "{} cap {}", query, cap);
+                    prop_assert_eq!(&s_col, &s_row,
+                        "{} cap {}: aggregate counters and actuals must match", query, cap);
+                    // Adaptive chunk sizing must not change anything either.
+                    let (t_fix, s_fix) = execute_with_stats_config(
+                        &plan, db, &vectorized.clone().with_adaptive(false));
+                    prop_assert_eq!(&t_fix, &t_col, "{} cap {}", query, cap);
+                    prop_assert_eq!(&s_fix, &s_col, "{} cap {}", query, cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_join_edge_matches_scalar_at_every_capacity(
+        left in prop::collection::vec((arb_key(), 0i64..10), 0..12),
+        right in prop::collection::vec((arb_key(), arb_key()), 0..12),
+    ) {
+        // NULL keys, hash collisions and residual predicates under both
+        // join methods: the columnar path must reproduce the scalar rows
+        // *in order* at every batch capacity.
+        let db = join_db(&left, &right);
+        for method in [JoinMethod::Hash, JoinMethod::NestedLoop] {
+            let plan = join_plan(method, true);
+            let (t_ref, s_ref) = execute_with_stats_config(
+                &plan,
+                &db,
+                &ExecConfig::sequential().with_vectorize(false),
+            );
+            for cap in PROBE_CAPACITIES {
+                let (t, s) = execute_with_stats_config(
+                    &plan,
+                    &db,
+                    &ExecConfig::sequential().with_vectorize(true).with_batch_capacity(cap),
+                );
+                prop_assert_eq!(&t, &t_ref, "{:?} cap {}", method, cap);
+                prop_assert_eq!(s.probes, s_ref.probes, "{:?} cap {}", method, cap);
+                prop_assert_eq!(s.bindings, s_ref.bindings, "{:?} cap {}", method, cap);
+                prop_assert_eq!(s.scan_rows, s_ref.scan_rows, "{:?} cap {}", method, cap);
+                prop_assert_eq!(s.index_rows, s_ref.index_rows, "{:?} cap {}", method, cap);
+            }
+        }
     }
 
     #[test]
