@@ -179,7 +179,9 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             })
             .collect();
         // Per-operator actuals with the measured selectivity (rows out per
-        // row in — the quantity the adaptive sizer steers on).
+        // row in — the quantity the adaptive sizer steers on) and the
+        // spill counters (so the perf trajectory can tell in-memory from
+        // spilled configurations apart).
         let operator_cells: Vec<String> = stats
             .operators
             .iter()
@@ -190,11 +192,18 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
                     "null".to_string()
                 };
                 format!(
-                    "        {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"batches\": {}, \"probes\": {}, \"selectivity\": {} }}",
-                    o.name, o.rows_in, o.rows_out, o.batches, o.probes, sel
+                    "        {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"batches\": {}, \"probes\": {}, \"selectivity\": {}, \"spill_runs\": {}, \"spill_bytes\": {}, \"partitions\": {} }}",
+                    o.name, o.rows_in, o.rows_out, o.batches, o.probes, sel,
+                    o.spill_runs, o.spill_bytes, o.partitions
                 )
             })
             .collect();
+        let (q_spill_runs, q_spill_bytes, q_partitions) = stats
+            .operators
+            .iter()
+            .fold((0usize, 0usize, 0usize), |(r, b, p), o| {
+                (r + o.spill_runs, b + o.spill_bytes, p + o.partitions)
+            });
         let trace_cells: Vec<String> = trace
             .iter()
             .map(|(name, chunks)| {
@@ -207,7 +216,7 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             })
             .collect();
         cells.push(format!(
-            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"operators\": [\n{}\n      ],\n      \"adaptive_trace\": [\n{}\n      ],\n      \"pipelined\": [\n{}\n      ]\n    }}",
+            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"spill\": {{ \"runs\": {}, \"bytes\": {}, \"partitions\": {} }},\n      \"operators\": [\n{}\n      ],\n      \"adaptive_trace\": [\n{}\n      ],\n      \"pipelined\": [\n{}\n      ]\n    }}",
             q.id,
             pipe_rows,
             mat_secs,
@@ -217,6 +226,9 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             mat_secs / dop1_secs.max(1e-12),
             total_batches,
             peak_batches,
+            q_spill_runs,
+            q_spill_bytes,
+            q_partitions,
             operator_cells.join(",\n"),
             trace_cells.join(",\n"),
             sweep_cells.join(",\n"),
@@ -240,8 +252,12 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
         }
     }
     let cfg = ExecConfig::from_env();
+    let mem_budget = cfg
+        .mem_budget
+        .map(|b| b.to_string())
+        .unwrap_or_else(|| "null".to_string());
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"git_rev\": \"{}\",\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"vectorize\": {},\n  \"adaptive_batch\": {},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": {scale},\n  \"git_rev\": \"{}\",\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"vectorize\": {},\n  \"adaptive_batch\": {},\n  \"mem_budget\": {mem_budget},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
         git_rev(),
         cfg.vectorize,
         cfg.adaptive,

@@ -1,0 +1,213 @@
+//! Spill parity suite: execution under any memory budget must be
+//! *observationally identical* to in-memory execution — identical result
+//! rows, identical row order, and identical EXPLAIN actuals *modulo* the
+//! spill counters (`spill_runs` / `spill_bytes` / `partitions`), across
+//! budgets {tiny, medium, unlimited}, DOP {1, 4} and the
+//! vectorized/scalar executor switch.  A deterministic-random property
+//! test additionally sweeps arbitrary budgets.
+
+use proptest::prelude::*;
+use xqjg_bench::{queries, Workload};
+use xqjg_engine::{execute_with_stats_config, optimize, parse_sql, ExecStats, PhysPlan};
+use xqjg_store::{Database, ExecConfig, OpStats, Schema, Table, Value};
+
+const TINY: Option<usize> = Some(1024);
+const MEDIUM: Option<usize> = Some(1 << 20);
+const UNLIMITED: Option<usize> = None;
+
+/// Actuals must agree except for how much was spilled; the aggregate work
+/// counters must agree exactly (spilling changes *where* rows live, never
+/// how many were scanned, probed or bound).
+fn assert_stats_match_modulo_spill(got: &ExecStats, reference: &ExecStats, what: &str) {
+    assert_eq!(got.index_rows, reference.index_rows, "{what}: index_rows");
+    assert_eq!(got.scan_rows, reference.scan_rows, "{what}: scan_rows");
+    assert_eq!(got.probes, reference.probes, "{what}: probes");
+    assert_eq!(got.bindings, reference.bindings, "{what}: bindings");
+    let sans: Vec<OpStats> = got.operators.iter().map(OpStats::sans_spill).collect();
+    let sans_ref: Vec<OpStats> = reference
+        .operators
+        .iter()
+        .map(OpStats::sans_spill)
+        .collect();
+    assert_eq!(sans, sans_ref, "{what}: operator actuals modulo spill");
+}
+
+/// Per-query optimized plans (one per decomposed SQL branch).
+fn plans_for(workload: &mut Workload, q: &xqjg_bench::BenchQuery) -> Vec<PhysPlan> {
+    let prepared = workload
+        .processor(q)
+        .prepare(q.text)
+        .unwrap_or_else(|e| panic!("{} fails to prepare: {e}", q.id));
+    let db: &Database = workload.processor(q).database();
+    prepared
+        .branches
+        .iter()
+        .map(|b| optimize(&b.isolated.query, db).expect("plan optimizes"))
+        .collect()
+}
+
+#[test]
+fn table9_queries_identical_across_budgets_dop_and_vectorize() {
+    let mut workload = Workload::new(0.02);
+    let mut spilled_somewhere = false;
+    for q in queries() {
+        let plans = plans_for(&mut workload, &q);
+        let db: &Database = workload.processor(&q).database();
+        for plan in &plans {
+            let reference = execute_with_stats_config(
+                plan,
+                db,
+                &ExecConfig::sequential().with_mem_budget(UNLIMITED),
+            );
+            assert!(
+                reference.1.operators.iter().all(|o| o.spill_runs == 0),
+                "{}: unlimited budget must never spill",
+                q.id
+            );
+            for budget in [TINY, MEDIUM, UNLIMITED] {
+                for threads in [1, 4] {
+                    for vectorize in [true, false] {
+                        let cfg = ExecConfig::sequential()
+                            .with_mem_budget(budget)
+                            .with_threads(threads)
+                            .with_morsel_size(16)
+                            .with_vectorize(vectorize);
+                        let (t, s) = execute_with_stats_config(plan, db, &cfg);
+                        let what = format!(
+                            "{} budget {budget:?} DOP {threads} vectorize {vectorize}",
+                            q.id
+                        );
+                        assert_eq!(t, reference.0, "{what}: rows/order differ");
+                        assert_stats_match_modulo_spill(&s, &reference.1, &what);
+                        spilled_somewhere |= s.operators.iter().any(|o| o.spill_runs > 0);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        spilled_somewhere,
+        "the tiny budget never engaged the spill path — the suite is vacuous"
+    );
+}
+
+#[test]
+fn spill_counters_are_dop_and_path_invariant_at_fixed_budget() {
+    // At a fixed budget the *full* actuals — spill counters included —
+    // must not move with DOP, morsel size or the executor flavor: spill
+    // decisions happen on the coordinator against the morsel-ordered row
+    // stream.
+    let mut workload = Workload::new(0.02);
+    for q in queries() {
+        let plans = plans_for(&mut workload, &q);
+        let db: &Database = workload.processor(&q).database();
+        for plan in &plans {
+            let reference = execute_with_stats_config(
+                plan,
+                db,
+                &ExecConfig::sequential().with_mem_budget(TINY),
+            );
+            for threads in [2, 4] {
+                for morsel in [8, 64] {
+                    for vectorize in [true, false] {
+                        let cfg = ExecConfig::sequential()
+                            .with_mem_budget(TINY)
+                            .with_threads(threads)
+                            .with_morsel_size(morsel)
+                            .with_vectorize(vectorize);
+                        let got = execute_with_stats_config(plan, db, &cfg);
+                        assert_eq!(got.0, reference.0, "{}: rows", q.id);
+                        assert_eq!(
+                            got.1, reference.1,
+                            "{}: full actuals at DOP {threads} morsel {morsel} \
+                             vectorize {vectorize}",
+                            q.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Synthetic value-equijoin workload: no supporting index, so the
+/// optimizer picks a hash join; `ORDER BY` keeps the SORT tail honest.
+fn equijoin_fixture(rows: i64) -> (Database, PhysPlan) {
+    let mut t = Table::new(Schema::new(["pre", "grp", "payload"]));
+    for i in 0..rows {
+        t.push(vec![
+            Value::Int(i),
+            Value::Int(i % 53),
+            Value::str(format!("payload-{i:05}")),
+        ]);
+    }
+    let mut db = Database::new();
+    db.create_table("doc", t);
+    let q = parse_sql(
+        "SELECT d1.pre AS a, d2.pre AS b FROM doc AS d1, doc AS d2 \
+         WHERE d1.grp = d2.grp AND d1.pre <= 150 ORDER BY d1.pre, d2.pre",
+    )
+    .unwrap();
+    let plan = optimize(&q, &db).unwrap();
+    (db, plan)
+}
+
+#[test]
+fn tight_budget_spills_both_pipeline_breakers_on_the_hash_workload() {
+    let (db, plan) = equijoin_fixture(1500);
+    let (t_ref, s_ref) = execute_with_stats_config(
+        &plan,
+        &db,
+        &ExecConfig::sequential().with_mem_budget(UNLIMITED),
+    );
+    let (t, s) = execute_with_stats_config(
+        &plan,
+        &db,
+        &ExecConfig::sequential().with_mem_budget(Some(8 * 1024)),
+    );
+    assert_eq!(t, t_ref);
+    assert_stats_match_modulo_spill(&s, &s_ref, "hash workload");
+    let hsjoin = s
+        .operators
+        .iter()
+        .find(|o| o.name.starts_with("HSJOIN"))
+        .expect("hash join planned");
+    assert!(hsjoin.spill_runs > 0 && hsjoin.spill_bytes > 0 && hsjoin.partitions > 0);
+    let sort = s
+        .operators
+        .iter()
+        .find(|o| o.name.starts_with("SORT"))
+        .expect("sort tail present");
+    assert!(sort.spill_runs > 0 && sort.spill_bytes > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random budgets (from absurdly tight to comfortably large), DOP and
+    /// executor flavor never change the result rows or their order.
+    #[test]
+    fn random_budgets_never_change_results(
+        budget in 256usize..128 * 1024,
+        threads in 1usize..5,
+        vectorize in proptest::bool::ANY,
+    ) {
+        let (db, plan) = equijoin_fixture(600);
+        let reference = execute_with_stats_config(
+            &plan,
+            &db,
+            &ExecConfig::sequential().with_mem_budget(UNLIMITED),
+        );
+        let cfg = ExecConfig::sequential()
+            .with_mem_budget(Some(budget))
+            .with_threads(threads)
+            .with_morsel_size(64)
+            .with_vectorize(vectorize);
+        let (t, s) = execute_with_stats_config(&plan, &db, &cfg);
+        prop_assert_eq!(&t, &reference.0, "budget {} changed rows", budget);
+        let sans: Vec<OpStats> = s.operators.iter().map(OpStats::sans_spill).collect();
+        let sans_ref: Vec<OpStats> =
+            reference.1.operators.iter().map(OpStats::sans_spill).collect();
+        prop_assert_eq!(sans, sans_ref, "budget {} changed actuals", budget);
+    }
+}

@@ -32,13 +32,15 @@ use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Bound;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 use xqjg_store::{
     effective_morsel_size, execute_morsels, fill_from_pending_with_capacity, hash_values,
-    merge_worker_stats, new_stats_sink, partition_morsels, Batch, BatchSizer, BoxedOperator,
-    ColOperator, ColumnBatch, Database, ExecConfig, Morsel, OpStats, Operator, Row, Schema,
-    StatsSink, Table, Value,
+    merge_worker_stats, new_stats_sink, partition_morsels, row_footprint, Batch, BatchSizer,
+    BoxedOperator, ColOperator, ColumnBatch, Database, ExecConfig, ExternalSorter, GraceBuilder,
+    MemBudget, Morsel, OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table, Value,
+    BUILD_ENTRY_FOOTPRINT,
 };
 
 /// A binding: for each alias bound so far (outer-to-inner), the row id of
@@ -188,26 +190,64 @@ impl LeafDomain {
     }
 }
 
+/// Everything the spill machinery of one execution needs: the shared
+/// [`MemBudget`] accountant and the run directory.
+#[derive(Clone)]
+struct SpillCtx {
+    budget: Arc<MemBudget>,
+    dir: PathBuf,
+}
+
+/// Where a hash-join build side lives.
+enum BuildBackend {
+    /// The classical in-memory bucket table.
+    Mem(HashMap<u64, Vec<usize>>),
+    /// Grace-style hash partitions on disk (the budget tripped during the
+    /// build).  Probes route by hash and load one partition at a time.
+    Spilled(SpilledPartitions),
+}
+
 /// A hash join's build side: enumerated and bucketed exactly once per
 /// execution, then shared read-only by every worker pipeline (the
 /// partitioned-build alternative would duplicate the build work
 /// accounting; sharing keeps `build_rows` identical to DOP = 1).
 ///
-/// Builds are pure functions of (table contents, pushed-down access path,
-/// key columns), so a [`BuildCache`] may hand the same build to several
-/// executions of a session.
+/// In-memory builds are pure functions of (table contents, pushed-down
+/// access path, key columns), so a [`BuildCache`] may hand the same build
+/// to several executions of a session.  Builds that spilled under the
+/// memory budget are *not* cached: their partition files are per-execution
+/// temp state, and memoizing them would defeat the budget.
 pub(crate) struct JoinBuild {
     key_cols: Vec<usize>,
-    buckets: HashMap<u64, Vec<usize>>,
+    backend: BuildBackend,
     build_rows: usize,
     /// Rows fetched through a table scan while enumerating the build side.
     fetched_scan: usize,
     /// Rows fetched through an index while enumerating the build side.
     fetched_index: usize,
+    /// Partition files written while Grace-partitioning (0 for in-memory
+    /// builds).
+    spill_runs: usize,
+    /// Bytes written while Grace-partitioning.
+    spill_bytes: usize,
+    /// Leaf partitions of a spilled build (0 for in-memory builds).
+    partitions: usize,
+    /// Bytes reserved against the execution's budget for the in-memory
+    /// bucket table, returned on drop.
+    reserved: usize,
+    budget: Option<Arc<MemBudget>>,
+}
+
+impl Drop for JoinBuild {
+    fn drop(&mut self) {
+        if let Some(b) = &self.budget {
+            b.release(self.reserved);
+        }
+    }
 }
 
 impl JoinBuild {
-    fn build(stage: &Stage<'_>, db: &Database) -> JoinBuild {
+    fn build(stage: &Stage<'_>, db: &Database, spill: &SpillCtx) -> JoinBuild {
         let (inner_rows, fetched) =
             exec_access(stage.access, stage.alias, stage.table_name, db, None);
         let (fetched_scan, fetched_index) = match fetched {
@@ -221,22 +261,74 @@ impl JoinBuild {
             .collect();
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut build_rows = 0;
+        let mut reserved = 0usize;
+        let mut grace: Option<GraceBuilder> = None;
         for rid in inner_rows {
             let row = &stage.base.rows()[rid];
             if key_cols.iter().any(|&c| row[c].is_null()) {
                 continue;
             }
             let h = hash_values(key_cols.iter().map(|&c| &row[c]));
-            buckets.entry(h).or_default().push(rid);
             build_rows += 1;
+            if let Some(g) = &mut grace {
+                g.add(h, rid);
+                continue;
+            }
+            if spill.budget.try_reserve(BUILD_ENTRY_FOOTPRINT) {
+                reserved += BUILD_ENTRY_FOOTPRINT;
+                buckets.entry(h).or_default().push(rid);
+                continue;
+            }
+            // The budget tripped: switch to a Grace-partitioned build.
+            // The buckets gathered so far drain to the partition files
+            // (per-hash rid order is preserved — every bucket keeps its
+            // scan order, and loads group by hash — so probe results and
+            // their order are identical to the in-memory backend).
+            let mut g = GraceBuilder::new(spill.dir.clone());
+            for (bh, rids) in buckets.drain() {
+                for brid in rids {
+                    g.add(bh, brid);
+                }
+            }
+            spill.budget.release(reserved);
+            reserved = 0;
+            g.add(h, rid);
+            grace = Some(g);
         }
+        let (backend, spill_runs, spill_bytes, partitions) = match grace {
+            Some(g) => {
+                // A loaded partition should fit in half the budget so that
+                // probe-side partition tables can rotate without thrashing
+                // the whole allowance.
+                let load_limit = spill
+                    .budget
+                    .limit()
+                    .map(|l| (l / 2).max(BUILD_ENTRY_FOOTPRINT))
+                    .unwrap_or(usize::MAX);
+                let parts = g.finish(load_limit);
+                let (runs, bytes, nparts) =
+                    (parts.spill_runs, parts.spill_bytes, parts.partitions());
+                (BuildBackend::Spilled(parts), runs, bytes, nparts)
+            }
+            None => (BuildBackend::Mem(buckets), 0, 0, 0),
+        };
         JoinBuild {
             key_cols,
-            buckets,
+            backend,
             build_rows,
             fetched_scan,
             fetched_index,
+            spill_runs,
+            spill_bytes,
+            partitions,
+            reserved,
+            budget: Some(spill.budget.clone()),
         }
+    }
+
+    /// Did this build spill to Grace partitions?
+    fn is_spilled(&self) -> bool {
+        matches!(self.backend, BuildBackend::Spilled(_))
     }
 
     /// Cache key: the build is fully determined by the inner table, the key
@@ -245,6 +337,74 @@ impl JoinBuild {
     fn cache_key(stage: &Stage<'_>) -> String {
         let keys: Vec<&str> = stage.hash_keys.iter().map(|(_, c)| c.as_str()).collect();
         format!("{}|{}|{:?}", stage.table_name, keys.join(","), stage.access)
+    }
+}
+
+/// Probe-side view of a Grace-partitioned build: a small per-worker cache
+/// of loaded partition bucket tables, bounded by the shared [`MemBudget`].
+/// Each worker pipeline owns one — the shared [`SpilledPartitions`] is
+/// immutable, so no locks are needed — and evicts FIFO when a new load
+/// does not fit.  A single partition larger than what is left is loaded
+/// anyway (progress guarantee); the overshoot shows in the budget's peak.
+struct PartitionProbe<'a> {
+    parts: &'a SpilledPartitions,
+    budget: Arc<MemBudget>,
+    loaded: HashMap<usize, LoadedPart>,
+    fifo: VecDeque<usize>,
+}
+
+struct LoadedPart {
+    buckets: HashMap<u64, Vec<usize>>,
+    bytes: usize,
+}
+
+impl<'a> PartitionProbe<'a> {
+    fn new(parts: &'a SpilledPartitions, budget: Arc<MemBudget>) -> Self {
+        PartitionProbe {
+            parts,
+            budget,
+            loaded: HashMap::new(),
+            fifo: VecDeque::new(),
+        }
+    }
+
+    /// The build candidates for probe hash `h`, loading (and possibly
+    /// evicting) partitions as needed.
+    fn candidates(&mut self, h: u64) -> Option<&Vec<usize>> {
+        let pid = self.parts.partition_of(h);
+        if !self.loaded.contains_key(&pid) {
+            let bytes = self.parts.load_footprint(pid);
+            let mut booked = self.budget.try_reserve(bytes);
+            while !booked {
+                let Some(victim) = self.fifo.pop_front() else {
+                    break;
+                };
+                if let Some(lp) = self.loaded.remove(&victim) {
+                    self.budget.release(lp.bytes);
+                }
+                booked = self.budget.try_reserve(bytes);
+            }
+            if !booked {
+                self.budget.reserve_force(bytes);
+            }
+            self.loaded.insert(
+                pid,
+                LoadedPart {
+                    buckets: self.parts.load(pid),
+                    bytes,
+                },
+            );
+            self.fifo.push_back(pid);
+        }
+        self.loaded[&pid].buckets.get(&h)
+    }
+}
+
+impl Drop for PartitionProbe<'_> {
+    fn drop(&mut self) {
+        for (_, lp) in self.loaded.drain() {
+            self.budget.release(lp.bytes);
+        }
     }
 }
 
@@ -298,7 +458,10 @@ impl BuildCache {
     /// Fetch the build for `key`, constructing it via `build` on a miss.
     /// A catalog version different from the one the cache was filled under
     /// drops every entry first.  Returns the build and whether it was a
-    /// cache hit.
+    /// cache hit.  Builds that spilled to disk are handed back but *not*
+    /// memoized: their partition files are temp state of one execution,
+    /// and pinning them would hold budget-sized bucket tables (or dead
+    /// file handles) across queries.
     fn get_or_build(
         &self,
         key: String,
@@ -315,6 +478,9 @@ impl BuildCache {
             return (b.clone(), true);
         }
         let built = Arc::new(build());
+        if built.is_spilled() {
+            return (built, false);
+        }
         let mut map = self.map.borrow_mut();
         if map.len() >= BUILD_CACHE_CAP {
             map.clear();
@@ -609,6 +775,9 @@ struct ExecCtx<'a> {
     vectorize: bool,
     /// Let leaves adapt their scan chunk to measured selectivity.
     adaptive: bool,
+    /// The execution's shared memory accountant (probe-side partition
+    /// caches of spilled builds reserve against it).
+    budget: Arc<MemBudget>,
 }
 
 /// What one morsel's pipeline produced: tail rows (select values plus sort
@@ -658,6 +827,10 @@ pub fn execute_full(
 ) -> (Table, ExecStats, ExecTrace) {
     let threads = cfg.threads.max(1);
     let cap = cfg.batch_capacity.max(1);
+    let spill = SpillCtx {
+        budget: MemBudget::new(cfg.mem_budget),
+        dir: xqjg_store::spill_dir(cfg.spill_dir.as_deref()),
+    };
     let stages = flatten_stages(&plan.root, db);
     // Predicate/bounds compilation is a vectorized-path artifact; the
     // scalar fallback interprets the plan directly and skips it.
@@ -692,9 +865,9 @@ pub fn execute_full(
             (i > 0 && !s.hash_keys.is_empty()).then(|| {
                 let (build, hit) = match cache {
                     Some(c) => c.get_or_build(JoinBuild::cache_key(s), db.version(), || {
-                        JoinBuild::build(s, db)
+                        JoinBuild::build(s, db, &spill)
                     }),
-                    None => (Arc::new(JoinBuild::build(s, db)), false),
+                    None => (Arc::new(JoinBuild::build(s, db, &spill)), false),
                 };
                 build_hits[i] = hit;
                 // A cache hit performs no fetch work, and the counters
@@ -729,6 +902,7 @@ pub fn execute_full(
         batch_capacity: cap,
         vectorize: cfg.vectorize,
         adaptive: cfg.vectorize && cfg.adaptive,
+        budget: spill.budget.clone(),
     };
 
     // Parallel phase: workers drain the morsel queue, each running a
@@ -738,26 +912,50 @@ pub fn execute_full(
     let outputs = execute_morsels(threads, morsels, |_, m| run_morsel(&ctx, m));
 
     // Merge phase: per-morsel counters sum to the sequential counters, and
-    // concatenating tail rows in morsel order restores the sequential scan
-    // order before the distinct/sort pass.
+    // feeding tail rows to the sorter in morsel order restores the
+    // sequential scan order before the distinct/sort pass.  The SORT tail
+    // is the pipeline breaker here: under a memory budget the sorter
+    // flushes sorted runs to disk and merges them at the end (the run
+    // boundaries depend only on the morsel-ordered row stream and the
+    // budget, so the spill counters — like every other actual — are
+    // identical across degrees of parallelism).
     let mut agg = pre_agg;
     let mut per_morsel_ops: Vec<Vec<OpStats>> = Vec::with_capacity(outputs.len());
-    let mut out_rows: Vec<(Row, Row)> = Vec::new();
     let mut tail_rows_in = 0usize;
     let mut trace = ExecTrace::default();
+    let mut sorter = ExternalSorter::new(spill.budget.clone(), spill.dir.clone());
+    let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
+    let mut seen_reserved = 0usize;
     for o in outputs {
         agg.add(&o.agg);
         tail_rows_in += o.tail_rows;
-        out_rows.extend(o.rows);
         if !o.trace.is_empty() {
             trace.leaves.push((ctx.cstages[0].label.clone(), o.trace));
         }
         per_morsel_ops.push(o.ops);
+        for (sel, key) in o.rows {
+            if plan.distinct {
+                if !seen.insert(sel.clone()) {
+                    continue;
+                }
+                // The dedup set is a genuine buffer too: account it (it
+                // cannot spill — first-occurrence semantics need the whole
+                // set — so the booking is forced and pressures the sorter
+                // to go external earlier).
+                let est = row_footprint(&sel) + 48;
+                spill.budget.reserve_force(est);
+                seen_reserved += est;
+            }
+            sorter.push(key, sel);
+        }
     }
     let mut operators = merge_worker_stats(&per_morsel_ops, cap);
     for (i, (op, build)) in operators.iter_mut().zip(&ctx.builds).enumerate() {
         if let Some(b) = build {
             op.build_rows += b.build_rows;
+            op.spill_runs += b.spill_runs;
+            op.spill_bytes += b.spill_bytes;
+            op.partitions += b.partitions;
             if ctx.build_hits[i] {
                 op.cache_hits += 1;
             }
@@ -773,15 +971,10 @@ pub fn execute_full(
     };
     let mut tail = OpStats::named(name);
     tail.rows_in = tail_rows_in;
-    tail.build_rows = out_rows.len();
-    if plan.distinct {
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|(sel, _)| seen.insert(sel.clone()));
-    }
-    out_rows.sort_by(|a, b| a.1.cmp(&b.1));
-    tail.rows_out = out_rows.len();
-    tail.batches = tail.rows_out.div_ceil(cap);
-    operators.push(tail);
+    tail.build_rows = tail_rows_in;
+    let sorted = sorter.finish();
+    tail.spill_runs = sorted.spill_runs;
+    tail.spill_bytes = sorted.spill_bytes;
 
     // Output schema and table.
     let mut columns: Vec<String> = Vec::new();
@@ -795,9 +988,14 @@ pub fn execute_full(
         }
     }
     let mut table = Table::new(Schema::new(columns));
-    for (sel, _) in out_rows {
+    for sel in sorted {
         table.push(sel);
     }
+    drop(seen);
+    spill.budget.release(seen_reserved);
+    tail.rows_out = table.len();
+    tail.batches = tail.rows_out.div_ceil(cap);
+    operators.push(tail);
     let stats = ExecStats {
         index_rows: agg.index_rows,
         scan_rows: agg.scan_rows,
@@ -834,6 +1032,7 @@ fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
                 op,
                 stage,
                 b.as_ref(),
+                &ctx.budget,
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
@@ -898,6 +1097,7 @@ fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
                 op,
                 cstage,
                 b.as_ref(),
+                &ctx.budget,
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
@@ -1238,10 +1438,14 @@ impl Operator for NestedLoopJoin<'_> {
 /// Hash-join probe side: the build table was bucketed once up front (see
 /// [`JoinBuild`]) and is shared read-only by all workers; probes compare
 /// borrowed `&Value`s against the probe key to resolve hash collisions.
+/// When the build spilled, probes route through a per-worker
+/// [`PartitionProbe`] cache instead of the in-memory buckets — same
+/// candidates, same order, so results and actuals do not move.
 struct HashJoinProbe<'a> {
     feed: Feed<'a>,
     stage: &'a Stage<'a>,
     build: &'a JoinBuild,
+    parts: Option<PartitionProbe<'a>>,
     pending: VecDeque<Binding>,
     cap: usize,
     stats: OpStats,
@@ -1254,14 +1458,20 @@ impl<'a> HashJoinProbe<'a> {
         input: BoxedOperator<'a, Binding>,
         stage: &'a Stage<'a>,
         build: &'a JoinBuild,
+        budget: &Arc<MemBudget>,
         cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
     ) -> Self {
+        let parts = match &build.backend {
+            BuildBackend::Mem(_) => None,
+            BuildBackend::Spilled(p) => Some(PartitionProbe::new(p, budget.clone())),
+        };
         HashJoinProbe {
             feed: Feed::new(input),
             stage,
             build,
+            parts,
             pending: VecDeque::new(),
             cap,
             stats: OpStats::named(format!("HSJOIN({})", stage.alias)),
@@ -1275,6 +1485,7 @@ impl<'a> HashJoinProbe<'a> {
     fn probe(&mut self, binding: &Binding, pending: &mut VecDeque<Binding>) {
         self.stats.probes += 1;
         let stage = self.stage;
+        let build = self.build;
         let env = Env {
             aliases: &stage.outer_aliases,
             tables: &stage.outer_tables,
@@ -1289,14 +1500,21 @@ impl<'a> HashJoinProbe<'a> {
             return;
         }
         let h = hash_values(probe_vals.iter());
-        let Some(candidates) = self.build.buckets.get(&h) else {
+        let candidates = match &build.backend {
+            BuildBackend::Mem(buckets) => buckets.get(&h),
+            BuildBackend::Spilled(_) => self
+                .parts
+                .as_mut()
+                .expect("partition cache for spilled build")
+                .candidates(h),
+        };
+        let Some(candidates) = candidates else {
             return;
         };
         for &rid in candidates {
             let row = &stage.base.rows()[rid];
             // Resolve hash collisions by comparing the borrowed key values.
-            let keys_match = self
-                .build
+            let keys_match = build
                 .key_cols
                 .iter()
                 .zip(&probe_vals)
@@ -1643,10 +1861,13 @@ struct ProbeState {
 }
 
 /// Columnar hash-join probe over a shared (possibly cached) build side.
+/// A spilled build is probed through the same per-worker
+/// [`PartitionProbe`] cache as the scalar path.
 struct ColHashJoin<'a> {
     input: Box<dyn ColOperator + 'a>,
     stage: &'a CStage<'a>,
     build: &'a JoinBuild,
+    parts: Option<PartitionProbe<'a>>,
     cur: Option<ProbeState>,
     cap: usize,
     stats: OpStats,
@@ -1659,14 +1880,20 @@ impl<'a> ColHashJoin<'a> {
         input: Box<dyn ColOperator + 'a>,
         stage: &'a CStage<'a>,
         build: &'a JoinBuild,
+        budget: &Arc<MemBudget>,
         cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
     ) -> Self {
+        let parts = match &build.backend {
+            BuildBackend::Mem(_) => None,
+            BuildBackend::Spilled(p) => Some(PartitionProbe::new(p, budget.clone())),
+        };
         ColHashJoin {
             input,
             stage,
             build,
+            parts,
             cur: None,
             cap,
             stats: OpStats::named(stage.label.clone()),
@@ -1709,22 +1936,31 @@ impl<'a> ColHashJoin<'a> {
     fn probe(&mut self, st: &ProbeState, i: usize, out: &mut ColumnBatch) {
         self.stats.probes += 1;
         let Some(h) = st.hashes[i] else { return };
-        let Some(candidates) = self.build.buckets.get(&h) else {
+        let build = self.build;
+        let stage = self.stage;
+        let candidates = match &build.backend {
+            BuildBackend::Mem(buckets) => buckets.get(&h),
+            BuildBackend::Spilled(_) => self
+                .parts
+                .as_mut()
+                .expect("partition cache for spilled build")
+                .candidates(h),
+        };
+        let Some(candidates) = candidates else {
             return;
         };
         let live = st.hashes.len();
         let phys = st.batch.phys(i);
-        let base = self.stage.base;
+        let base = stage.base;
         let env = ColEnv {
-            tables: &self.stage.outer_tables,
+            tables: &stage.outer_tables,
             cols: st.batch.cols(),
             idx: phys,
         };
         for &rid in candidates {
             let row = &base.rows()[rid];
             // Resolve hash collisions by comparing the borrowed key values.
-            let keys_match = self
-                .build
+            let keys_match = build
                 .key_cols
                 .iter()
                 .enumerate()
@@ -1732,8 +1968,7 @@ impl<'a> ColHashJoin<'a> {
             if !keys_match {
                 continue;
             }
-            if self
-                .stage
+            if stage
                 .residual
                 .iter()
                 .all(|p| cpred_holds(p, &env, Some((base, rid))))
@@ -2409,6 +2644,153 @@ mod tests {
                 assert!((2..=2 * xqjg_store::MAX_ADAPTIVE_GROWTH).contains(&c));
             }
         }
+    }
+
+    /// A database with enough rows that a few-KB budget forces both the
+    /// SORT tail and a hash-join build side to spill.
+    fn big_db(rows: i64) -> Database {
+        let mut t = Table::new(Schema::new(["pre", "grp", "payload"]));
+        for i in 0..rows {
+            t.push(vec![
+                Value::Int(i),
+                Value::Int(i % 97),
+                Value::str(format!("row-{i:06}")),
+            ]);
+        }
+        let mut db = Database::new();
+        db.create_table("doc", t);
+        db
+    }
+
+    /// A value self-equijoin with no supporting index: the optimizer picks
+    /// a hash join, and `ORDER BY` keeps the SORT tail honest.
+    const SPILL_SQL: &str = "SELECT d1.pre AS a, d2.pre AS b \
+        FROM doc AS d1, doc AS d2 \
+        WHERE d1.grp = d2.grp AND d1.pre <= 200 \
+        ORDER BY d1.pre, d2.pre";
+
+    #[test]
+    fn tight_budget_spills_sort_and_hash_join_without_changing_results() {
+        let db = big_db(2000);
+        let q = parse_sql(SPILL_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let unlimited = ExecConfig::sequential().with_mem_budget(None);
+        let (t_ref, s_ref) = execute_with_stats_config(&plan, &db, &unlimited);
+        assert!(t_ref.len() > 1000, "fixture large enough to pressure 16K");
+
+        let tight = ExecConfig::sequential().with_mem_budget(Some(16 * 1024));
+        let (t, s) = execute_with_stats_config(&plan, &db, &tight);
+        assert_eq!(t, t_ref, "spilled execution must return identical rows");
+
+        // Actuals agree modulo the spill counters…
+        let sans: Vec<OpStats> = s.operators.iter().map(OpStats::sans_spill).collect();
+        let sans_ref: Vec<OpStats> = s_ref.operators.iter().map(OpStats::sans_spill).collect();
+        assert_eq!(sans, sans_ref);
+        // …and the unlimited run never spilled while the tight run spilled
+        // on both pipeline breakers.
+        assert!(s_ref.operators.iter().all(|o| o.spill_runs == 0));
+        let hsjoin = s
+            .operators
+            .iter()
+            .find(|o| o.name.starts_with("HSJOIN"))
+            .expect("plan contains a hash join");
+        assert!(hsjoin.spill_runs > 0, "build side spilled");
+        assert!(hsjoin.spill_bytes > 0);
+        assert!(hsjoin.partitions > 0, "Grace partitions reported");
+        let sort = s
+            .operators
+            .iter()
+            .find(|o| o.name.starts_with("SORT"))
+            .expect("plan has a sort tail");
+        assert!(sort.spill_runs > 0, "sort tail spilled runs");
+        assert!(sort.spill_bytes > 0);
+    }
+
+    #[test]
+    fn spilled_executions_agree_across_dop_vectorize_and_budgets() {
+        let db = big_db(1200);
+        let q = parse_sql(SPILL_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let (t_ref, s_ref) =
+            execute_with_stats_config(&plan, &db, &ExecConfig::sequential().with_mem_budget(None));
+        for budget in [Some(8 * 1024), Some(64 * 1024), None] {
+            for threads in [1, 4] {
+                for vectorize in [true, false] {
+                    let cfg = ExecConfig::sequential()
+                        .with_mem_budget(budget)
+                        .with_threads(threads)
+                        .with_morsel_size(64)
+                        .with_vectorize(vectorize);
+                    let (t, s) = execute_with_stats_config(&plan, &db, &cfg);
+                    assert_eq!(t, t_ref, "budget {budget:?} DOP {threads} vec {vectorize}");
+                    let sans: Vec<OpStats> = s.operators.iter().map(OpStats::sans_spill).collect();
+                    let sans_ref: Vec<OpStats> =
+                        s_ref.operators.iter().map(OpStats::sans_spill).collect();
+                    assert_eq!(sans, sans_ref, "actuals modulo spill drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spill_counters_identical_across_dop_at_fixed_budget() {
+        let db = big_db(1500);
+        let q = parse_sql(SPILL_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let budget = Some(16 * 1024);
+        let reference = execute_with_stats_config(
+            &plan,
+            &db,
+            &ExecConfig::sequential().with_mem_budget(budget),
+        );
+        assert!(
+            reference.1.operators.iter().any(|o| o.spill_runs > 0),
+            "fixture must spill"
+        );
+        for threads in [2, 4] {
+            for vectorize in [true, false] {
+                let cfg = ExecConfig::sequential()
+                    .with_mem_budget(budget)
+                    .with_threads(threads)
+                    .with_morsel_size(32)
+                    .with_vectorize(vectorize);
+                let got = execute_with_stats_config(&plan, &db, &cfg);
+                assert_eq!(got.0, reference.0);
+                assert_eq!(
+                    got.1, reference.1,
+                    "full actuals (spill counters included) must be DOP-invariant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_builds_are_not_cached() {
+        let db = big_db(2000);
+        let q = parse_sql(SPILL_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let cache = BuildCache::new();
+        let tight = ExecConfig::sequential().with_mem_budget(Some(16 * 1024));
+        let (t1, s1, _) = execute_full(&plan, &db, &tight, Some(&cache));
+        assert!(
+            s1.operators.iter().any(|o| o.partitions > 0),
+            "build must spill under the tight budget"
+        );
+        assert!(cache.lookups() > 0);
+        assert!(
+            cache.is_empty(),
+            "a spilled build must not be memoized in the session cache"
+        );
+        let (t2, s2, _) = execute_full(&plan, &db, &tight, Some(&cache));
+        assert_eq!(t1, t2);
+        assert_eq!(cache.hits(), 0, "second run rebuilds, it cannot hit");
+        assert!(s2.operators.iter().all(|o| o.cache_hits == 0));
+        // The same query under an unlimited budget is cached as before.
+        let unlimited = ExecConfig::sequential().with_mem_budget(None);
+        let (_, _, _) = execute_full(&plan, &db, &unlimited, Some(&cache));
+        assert!(!cache.is_empty());
+        let (_, s4, _) = execute_full(&plan, &db, &unlimited, Some(&cache));
+        assert!(s4.operators.iter().any(|o| o.cache_hits > 0));
     }
 
     #[test]

@@ -7,7 +7,16 @@
 //!
 //! [`explain_with_stats`] appends the per-operator *actuals* recorded by
 //! the executor.  Besides the raw counters (`rows_in`, `rows_out`,
-//! `batches`, `probes`, `build_rows`, `cache_hits`), each line derives
+//! `batches`, `probes`, `build_rows`, `cache_hits`), each line shows the
+//! memory-governor counters when the operator went external
+//!
+//! * `spill_runs` — sorted runs (SORT tail) or partition files (Grace
+//!   hash-join build, repartitioning passes included) written to disk
+//!   because the `XQJG_MEM_BUDGET` tripped,
+//! * `spill_bytes` — bytes written across those runs, and
+//! * `partitions` — leaf partitions of a Grace-partitioned build side,
+//!
+//! and derives
 //!
 //! * `sel` — the operator's measured selectivity (`rows_out / rows_in`;
 //!   values above 1 mean the operator expands, as joins do), the quantity
@@ -16,7 +25,10 @@
 //!   how full the batches the operator shipped downstream actually were.
 //!
 //! The actuals are byte-identical across degrees of parallelism and across
-//! the vectorized/scalar executor switch (see the parity suites).
+//! the vectorized/scalar executor switch (see the parity suites) — the
+//! spill counters included, because spill decisions are made on the
+//! coordinator against the morsel-ordered row stream.  Across *budgets*
+//! the actuals agree modulo the spill counters (the spill parity suite).
 
 use crate::exec::ExecStats;
 use crate::physical::{Access, JoinMethod, JoinNode, PhysPlan};

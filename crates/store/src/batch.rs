@@ -175,6 +175,15 @@ pub struct OpStats {
     /// Build-side constructions satisfied from the session build cache
     /// instead of being recomputed (hash joins only).
     pub cache_hits: usize,
+    /// Sorted runs / partition files the operator wrote to disk under
+    /// memory pressure (SORT run generation, Grace build partitioning —
+    /// repartitioning passes count, they are real I/O).
+    pub spill_runs: usize,
+    /// Bytes the operator wrote to disk under memory pressure.
+    pub spill_bytes: usize,
+    /// Leaf partitions of a Grace-partitioned (spilled) hash-join build
+    /// side; zero for in-memory builds.
+    pub partitions: usize,
 }
 
 impl OpStats {
@@ -201,6 +210,21 @@ impl OpStats {
         self.probes += other.probes;
         self.build_rows += other.build_rows;
         self.cache_hits += other.cache_hits;
+        self.spill_runs += other.spill_runs;
+        self.spill_bytes += other.spill_bytes;
+        self.partitions += other.partitions;
+    }
+
+    /// A copy with the spill counters zeroed — the equality the
+    /// spill-parity suite uses: execution under any memory budget must
+    /// match the unlimited-budget actuals *modulo* how much was spilled.
+    pub fn sans_spill(&self) -> OpStats {
+        OpStats {
+            spill_runs: 0,
+            spill_bytes: 0,
+            partitions: 0,
+            ..self.clone()
+        }
     }
 
     /// One-line rendering used by EXPLAIN and the bench harness.
@@ -220,6 +244,15 @@ impl OpStats {
         }
         if self.cache_hits > 0 {
             parts.push(format!("cache_hits={}", self.cache_hits));
+        }
+        if self.spill_runs > 0 {
+            parts.push(format!("spill_runs={}", self.spill_runs));
+        }
+        if self.spill_bytes > 0 {
+            parts.push(format!("spill_bytes={}", self.spill_bytes));
+        }
+        if self.partitions > 0 {
+            parts.push(format!("partitions={}", self.partitions));
         }
         if self.rows_in > 0 {
             parts.push(format!(

@@ -15,7 +15,11 @@
 //! [`morsel`] module layers morsel-driven parallelism on top: leaf scans
 //! split into rid-range [`Morsel`]s, scoped worker threads drain a shared
 //! [`MorselQueue`], and per-worker counters merge back into
-//! sequential-identical [`OpStats`].
+//! sequential-identical [`OpStats`].  The [`spill`] module makes the
+//! pipeline breakers memory-governed: a shared [`MemBudget`] accountant,
+//! an [`ExternalSorter`] (sorted runs + loser-tree merge) and Grace-style
+//! hash partitions ([`GraceBuilder`] / [`SpilledPartitions`]) let sorts
+//! and hash builds go external when `XQJG_MEM_BUDGET` trips.
 //!
 //! Nothing in this crate knows about XML or XQuery — it is a generic (if
 //! deliberately compact) relational kernel.
@@ -26,6 +30,7 @@ pub mod catalog;
 pub mod columnar;
 pub mod morsel;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod table;
 pub mod value;
@@ -38,10 +43,14 @@ pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
 pub use columnar::{BatchSizer, ColOperator, ColumnBatch, MAX_ADAPTIVE_GROWTH};
 pub use morsel::{
-    default_threads, effective_morsel_size, execute_morsels, partition_morsels, ExecConfig, Morsel,
-    MorselQueue, DEFAULT_MORSEL_SIZE, MIN_MORSEL_SIZE,
+    default_threads, effective_morsel_size, execute_morsels, parse_bytes, partition_morsels,
+    ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE, MIN_MORSEL_SIZE,
 };
 pub use schema::Schema;
+pub use spill::{
+    row_footprint, spill_dir, ExternalSorter, GraceBuilder, MemBudget, SortedRows,
+    SpilledPartitions, BUILD_ENTRY_FOOTPRINT, GRACE_FANOUT,
+};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, Table};
 pub use value::{hash_values, Value};

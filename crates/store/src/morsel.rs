@@ -19,6 +19,7 @@
 //! [`execute_morsels`] call.
 
 use std::ops::Range;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of row ids per morsel.  Small enough that a skewed
@@ -193,6 +194,14 @@ pub struct ExecConfig {
     /// selectivity (see [`crate::BatchSizer`]); `false` pins every chunk to
     /// `batch_capacity`.  Only meaningful on the vectorized path.
     pub adaptive: bool,
+    /// Memory budget in bytes for the pipeline breakers (SORT buffers,
+    /// hash-join build sides, loaded probe partitions).  `None` never
+    /// spills; any limit makes the breakers go external when their
+    /// [`crate::MemBudget`] reservation fails (see [`crate::spill`]).
+    pub mem_budget: Option<usize>,
+    /// Directory spill runs are written to (`None` = the system temp
+    /// directory).
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl ExecConfig {
@@ -204,7 +213,11 @@ impl ExecConfig {
     /// * `XQJG_VECTORIZE` — `0` selects the scalar row-at-a-time path
     ///   (default: vectorized),
     /// * `XQJG_ADAPTIVE_BATCH` — `0` pins scan chunks to the batch capacity
-    ///   (default: adaptive).
+    ///   (default: adaptive),
+    /// * `XQJG_MEM_BUDGET` — pipeline-breaker memory budget in bytes
+    ///   (suffixes `k`/`m`/`g` accepted, e.g. `256k`; default: unlimited),
+    /// * `XQJG_SPILL_DIR` — directory for spill runs (default: the system
+    ///   temp directory).
     pub fn from_env() -> Self {
         ExecConfig {
             threads: env_usize("XQJG_THREADS").unwrap_or_else(default_threads),
@@ -212,13 +225,17 @@ impl ExecConfig {
             morsel_size: env_usize("XQJG_MORSEL_SIZE").unwrap_or(DEFAULT_MORSEL_SIZE),
             vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
             adaptive: env_bool("XQJG_ADAPTIVE_BATCH").unwrap_or(true),
+            mem_budget: env_bytes("XQJG_MEM_BUDGET"),
+            spill_dir: env_path("XQJG_SPILL_DIR"),
         }
     }
 
     /// A sequential configuration with the default batch and morsel sizes
     /// (the reference configuration parity is measured against).  The
-    /// `XQJG_VECTORIZE` switch is still honored so the whole test suite can
-    /// be pointed at the scalar fallback path from the environment.
+    /// `XQJG_VECTORIZE`, `XQJG_MEM_BUDGET` and `XQJG_SPILL_DIR` switches
+    /// are still honored so the whole test suite can be pointed at the
+    /// scalar fallback path or a tight memory budget from the environment
+    /// (the CI matrix does exactly that).
     pub fn sequential() -> Self {
         ExecConfig {
             threads: 1,
@@ -226,6 +243,8 @@ impl ExecConfig {
             morsel_size: DEFAULT_MORSEL_SIZE,
             vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
             adaptive: true,
+            mem_budget: env_bytes("XQJG_MEM_BUDGET"),
+            spill_dir: env_path("XQJG_SPILL_DIR"),
         }
     }
 
@@ -258,6 +277,18 @@ impl ExecConfig {
         self.adaptive = adaptive;
         self
     }
+
+    /// Builder: set (or clear) the pipeline-breaker memory budget.
+    pub fn with_mem_budget(mut self, bytes: Option<usize>) -> Self {
+        self.mem_budget = bytes.filter(|&b| b > 0);
+        self
+    }
+
+    /// Builder: set the spill directory.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
 }
 
 /// The documented defaults (all cores, [`crate::BATCH_CAPACITY`],
@@ -272,6 +303,8 @@ impl Default for ExecConfig {
             morsel_size: DEFAULT_MORSEL_SIZE,
             vectorize: true,
             adaptive: true,
+            mem_budget: None,
+            spill_dir: None,
         }
     }
 }
@@ -295,6 +328,36 @@ fn env_bool(name: &str) -> Option<bool> {
         let v = v.trim();
         !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
     })
+}
+
+fn env_path(name: &str) -> Option<PathBuf> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+fn env_bytes(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| parse_bytes(&v))
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` (binary) suffix; zero,
+/// empty and malformed inputs mean "unset".
+pub fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&s[..i], 1usize << 10),
+        (i, 'm') | (i, 'M') => (&s[..i], 1usize << 20),
+        (i, 'g') | (i, 'G') => (&s[..i], 1usize << 30),
+        _ => (s, 1),
+    };
+    digits
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .filter(|&n| n > 0)
 }
 
 #[cfg(test)]
@@ -392,5 +455,28 @@ mod tests {
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.batch_capacity, 1);
         assert_eq!(cfg.morsel_size, 1);
+    }
+
+    #[test]
+    fn parse_bytes_accepts_binary_suffixes_and_rejects_junk() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes(" 256k "), Some(256 * 1024));
+        assert_eq!(parse_bytes("2M"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_bytes("1g"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_bytes("0"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("lots"), None);
+    }
+
+    #[test]
+    fn budget_builder_filters_zero() {
+        let cfg = ExecConfig::default().with_mem_budget(Some(0));
+        assert_eq!(cfg.mem_budget, None);
+        let cfg = cfg.with_mem_budget(Some(1 << 20)).with_spill_dir("/tmp/x");
+        assert_eq!(cfg.mem_budget, Some(1 << 20));
+        assert_eq!(
+            cfg.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
     }
 }

@@ -1,0 +1,1184 @@
+//! Memory-governed spill-to-disk for pipeline breakers.
+//!
+//! The join-graph isolation of the paper exists precisely so that mature
+//! relational machinery — *including external-memory algorithms* — can
+//! carry XQuery evaluation; this module supplies that machinery for the
+//! two genuine pipeline breakers of the executor: the duplicate-eliminating
+//! SORT plan tail and the hash-join build side.
+//!
+//! Three pieces compose:
+//!
+//! * [`MemBudget`] — a lock-free accountant shared by the coordinator and
+//!   every morsel worker of one execution.  Operators `try_reserve` before
+//!   they grow a buffer; a failed reservation is the signal to spill.  A
+//!   budget of `None` never fails (the in-memory fast paths stay
+//!   byte-identical to the pre-spill executor).
+//! * Run files — temp files holding length-prefixed records of a compact
+//!   row codec for [`Value`] rows ([`encode_row`] / [`decode_row`]) or
+//!   fixed-width `(hash, rid)` pairs for hash partitions.  Every file is
+//!   deleted when its handle drops, so aborted executions leave no litter.
+//! * [`ExternalSorter`] — bounded in-memory run generation plus a
+//!   [`LoserTree`] k-way merge that reproduces the exact row order of the
+//!   in-memory stable sort (records carry their input sequence number, so
+//!   `(key, seq)` ordering *is* stable sort order), and
+//!   [`GraceBuilder`] / [`SpilledPartitions`] — hash partitioning of a
+//!   build side to disk with recursive repartitioning of skewed
+//!   partitions.
+//!
+//! Spill decisions on the coordinator (build sides, the SORT tail) depend
+//! only on the row stream and the budget — never on the degree of
+//! parallelism — which keeps the `spill_runs` / `spill_bytes` /
+//! `partitions` EXPLAIN actuals byte-identical across DOP, morsel size and
+//! the vectorized/scalar switch, exactly like the other counters.
+
+use crate::table::Row;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Memory budget.
+// ---------------------------------------------------------------------
+
+/// A memory accountant shared across the workers of one execution.
+///
+/// Reservations are approximate footprints (see [`row_footprint`]) — the
+/// governor bounds the dominant buffers (sort runs, hash builds, loaded
+/// probe partitions), not every allocation of the process.  `try_reserve`
+/// either books the whole request or nothing; [`MemBudget::reserve_force`]
+/// books unconditionally (used when an operator must make progress, e.g. a
+/// single probe partition larger than what is left) and the overshoot is
+/// visible in [`MemBudget::peak`].
+#[derive(Debug)]
+pub struct MemBudget {
+    limit: Option<usize>,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemBudget {
+    /// An accountant with the given byte limit (`None` = unlimited).
+    pub fn new(limit: Option<usize>) -> Arc<MemBudget> {
+        Arc::new(MemBudget {
+            limit,
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        })
+    }
+
+    /// The configured limit in bytes, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used.load(AtOrd::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes (including forced overshoot).
+    pub fn peak(&self) -> usize {
+        self.peak.load(AtOrd::Relaxed)
+    }
+
+    /// Try to reserve `bytes`; returns whether the reservation was booked.
+    /// Unlimited budgets always succeed.
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        let Some(limit) = self.limit else {
+            self.bump(bytes);
+            return true;
+        };
+        let mut cur = self.used.load(AtOrd::Relaxed);
+        loop {
+            if cur.saturating_add(bytes) > limit {
+                return false;
+            }
+            match self
+                .used
+                .compare_exchange_weak(cur, cur + bytes, AtOrd::Relaxed, AtOrd::Relaxed)
+            {
+                Ok(_) => {
+                    self.track_peak(cur + bytes);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Reserve `bytes` unconditionally (progress guarantee): the booking
+    /// may push `used` past the limit, which shows up in [`MemBudget::peak`].
+    pub fn reserve_force(&self, bytes: usize) {
+        self.bump(bytes);
+    }
+
+    /// Return a previous reservation.
+    pub fn release(&self, bytes: usize) {
+        let prev = self.used.fetch_sub(bytes, AtOrd::Relaxed);
+        debug_assert!(prev >= bytes, "releasing more than was reserved");
+    }
+
+    fn bump(&self, bytes: usize) {
+        let now = self.used.fetch_add(bytes, AtOrd::Relaxed) + bytes;
+        self.track_peak(now);
+    }
+
+    fn track_peak(&self, now: usize) {
+        let mut peak = self.peak.load(AtOrd::Relaxed);
+        while now > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, now, AtOrd::Relaxed, AtOrd::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => peak = seen,
+            }
+        }
+    }
+}
+
+/// Approximate in-memory footprint of one owned [`Row`]: vector header,
+/// one [`Value`] slot per column, plus string heap payloads.  Deliberately
+/// deterministic (no allocator introspection) so spill decisions — and with
+/// them the spill counters — are reproducible across runs and DOP.
+pub fn row_footprint(row: &[Value]) -> usize {
+    const VEC_HEADER: usize = 24;
+    let heap: usize = row
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        })
+        .sum();
+    VEC_HEADER + std::mem::size_of_val(row) + heap
+}
+
+// ---------------------------------------------------------------------
+// Temp files.
+// ---------------------------------------------------------------------
+
+/// Monotonic discriminator for spill file names within the process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A spill file that unlinks itself when dropped.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+}
+
+impl SpillFile {
+    /// Create a fresh, uniquely named spill file under `dir` (the
+    /// directory is created if missing).
+    pub fn create(dir: &Path, tag: &str) -> io::Result<(SpillFile, File)> {
+        std::fs::create_dir_all(dir)?;
+        let n = SPILL_SEQ.fetch_add(1, AtOrd::Relaxed);
+        let path = dir.join(format!("xqjg-spill-{}-{tag}-{n}.run", std::process::id()));
+        let file = File::create(&path)?;
+        Ok((SpillFile { path }, file))
+    }
+
+    /// The file's path (for re-opening readers).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open the file for reading.
+    pub fn open(&self) -> io::Result<File> {
+        File::open(&self.path)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The directory spill files go to: the configured override or the
+/// system temp directory.
+pub fn spill_dir(configured: Option<&Path>) -> PathBuf {
+    configured
+        .map(Path::to_path_buf)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+// ---------------------------------------------------------------------
+// Row codec.
+// ---------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_DEC: u8 = 4;
+const TAG_STR: u8 = 5;
+
+/// Append the compact encoding of one value to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_BOOL_FALSE),
+        Value::Bool(true) => out.push(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Dec(d) => {
+            out.push(TAG_DEC);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Append the compact encoding of one row (column count + values).
+pub fn encode_row(row: &[Value], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row {
+        encode_value(v, out);
+    }
+}
+
+/// Cursor-based decoding helpers (the run formats are trusted — they were
+/// written by this process — so malformed input is a logic error).
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> &'a [u8] {
+    let s = &buf[*pos..*pos + n];
+    *pos += n;
+    s
+}
+
+/// Decode one value at `pos`, advancing the cursor.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Value {
+    let tag = buf[*pos];
+    *pos += 1;
+    match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(i64::from_le_bytes(
+            take(buf, pos, 8).try_into().expect("8-byte int"),
+        )),
+        TAG_DEC => Value::Dec(f64::from_le_bytes(
+            take(buf, pos, 8).try_into().expect("8-byte dec"),
+        )),
+        TAG_STR => {
+            let len =
+                u32::from_le_bytes(take(buf, pos, 4).try_into().expect("4-byte len")) as usize;
+            let bytes = take(buf, pos, len);
+            Value::Str(String::from_utf8(bytes.to_vec()).expect("utf8 round-trip"))
+        }
+        other => panic!("corrupt spill record: unknown value tag {other}"),
+    }
+}
+
+/// Decode one row at `pos`, advancing the cursor.
+pub fn decode_row(buf: &[u8], pos: &mut usize) -> Row {
+    let n = u32::from_le_bytes(take(buf, pos, 4).try_into().expect("4-byte arity")) as usize;
+    (0..n).map(|_| decode_value(buf, pos)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Sort runs.
+// ---------------------------------------------------------------------
+
+/// One record of the SORT tail: the select-list row, its order key, and
+/// the global input sequence number that makes `(key, seq)` ordering
+/// reproduce the stable in-memory sort exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortRec {
+    /// Global input position (assigned by [`ExternalSorter::push`]).
+    pub seq: u64,
+    /// The `ORDER BY` key row.
+    pub key: Row,
+    /// The select-list payload row.
+    pub payload: Row,
+}
+
+impl SortRec {
+    fn cmp_order(&self, other: &SortRec) -> Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Sequential writer of length-prefixed [`SortRec`]s into one run file.
+struct RunWriter {
+    file: SpillFile,
+    out: BufWriter<File>,
+    bytes: usize,
+    scratch: Vec<u8>,
+}
+
+impl RunWriter {
+    fn create(dir: &Path) -> io::Result<RunWriter> {
+        let (file, handle) = SpillFile::create(dir, "sort")?;
+        Ok(RunWriter {
+            file,
+            out: BufWriter::new(handle),
+            bytes: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn write(&mut self, rec: &SortRec) -> io::Result<()> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&rec.seq.to_le_bytes());
+        encode_row(&rec.key, &mut self.scratch);
+        encode_row(&rec.payload, &mut self.scratch);
+        self.out
+            .write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+        self.out.write_all(&self.scratch)?;
+        self.bytes += 4 + self.scratch.len();
+        Ok(())
+    }
+
+    fn finish(mut self) -> io::Result<(SpillFile, usize)> {
+        self.out.flush()?;
+        Ok((self.file, self.bytes))
+    }
+}
+
+/// Streaming reader over one sorted run file.
+struct RunReader {
+    _file: SpillFile,
+    input: BufReader<File>,
+    head: Option<SortRec>,
+}
+
+impl RunReader {
+    fn open(file: SpillFile) -> io::Result<RunReader> {
+        let handle = file.open()?;
+        let mut r = RunReader {
+            _file: file,
+            input: BufReader::new(handle),
+            head: None,
+        };
+        r.advance()?;
+        Ok(r)
+    }
+
+    fn advance(&mut self) -> io::Result<()> {
+        let mut len_buf = [0u8; 4];
+        match self.input.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.head = None;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        self.input.read_exact(&mut buf)?;
+        let mut pos = 0usize;
+        let seq = u64::from_le_bytes(take(&buf, &mut pos, 8).try_into().expect("8-byte seq"));
+        let key = decode_row(&buf, &mut pos);
+        let payload = decode_row(&buf, &mut pos);
+        self.head = Some(SortRec { seq, key, payload });
+        Ok(())
+    }
+}
+
+/// A merge input: a disk run or the final (still in-memory) run.
+enum RunCursor {
+    Disk(RunReader),
+    Mem(std::vec::IntoIter<SortRec>, Option<SortRec>),
+}
+
+impl RunCursor {
+    fn head(&self) -> Option<&SortRec> {
+        match self {
+            RunCursor::Disk(r) => r.head.as_ref(),
+            RunCursor::Mem(_, head) => head.as_ref(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<SortRec> {
+        match self {
+            RunCursor::Disk(r) => {
+                let head = r.head.take();
+                r.advance().expect("spill run read");
+                head
+            }
+            RunCursor::Mem(iter, head) => {
+                let out = head.take();
+                *head = iter.next();
+                out
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loser tree.
+// ---------------------------------------------------------------------
+
+/// A tournament (loser) tree over `k` ordered runs: each `pop` yields the
+/// globally smallest head record and replays exactly one leaf-to-root path
+/// — `O(log k)` comparisons per record instead of the `O(k)` of a naive
+/// scan.  Internal node `i` stores the *loser* of the match played there;
+/// the overall winner sits at the root.
+pub struct LoserTree {
+    /// `tree[0]` = overall winner; `tree[1..k]` = match losers.
+    tree: Vec<usize>,
+    k: usize,
+    runs: Vec<RunCursor>,
+}
+
+impl LoserTree {
+    fn new(runs: Vec<RunCursor>) -> LoserTree {
+        let k = runs.len().max(1);
+        let mut lt = LoserTree {
+            tree: vec![usize::MAX; k.max(1)],
+            k,
+            runs,
+        };
+        if !lt.runs.is_empty() {
+            let winner = lt.build(1);
+            lt.tree[0] = winner;
+        }
+        lt
+    }
+
+    /// `a` beats `b` when its head record sorts first (exhausted runs
+    /// always lose; ties — impossible for unique `seq`s — break on the
+    /// run index for determinism).
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.runs[a].head(), self.runs[b].head()) {
+            (Some(ra), Some(rb)) => match ra.cmp_order(rb) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Play the initial tournament below `node`, storing losers; returns
+    /// the subtree winner.  Leaves live at positions `k..2k` (run `j` at
+    /// `k + j`), so the shape works for any `k`, not just powers of two.
+    fn build(&mut self, node: usize) -> usize {
+        if node >= self.k {
+            return node - self.k;
+        }
+        let a = self.build(2 * node);
+        let b = self.build(2 * node + 1);
+        let (win, lose) = if self.beats(a, b) { (a, b) } else { (b, a) };
+        self.tree[node] = lose;
+        win
+    }
+
+    /// Pop the smallest head record across all runs.
+    fn pop(&mut self) -> Option<SortRec> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        let winner = self.tree[0];
+        let rec = self.runs[winner].pop()?;
+        // Replay the winner's path: at each node the advanced run plays
+        // the stored loser; the loser stays, the winner moves up.
+        let mut cur = winner;
+        let mut node = (self.k + winner) / 2;
+        while node >= 1 {
+            let other = self.tree[node];
+            if self.beats(other, cur) {
+                self.tree[node] = cur;
+                cur = other;
+            }
+            node /= 2;
+        }
+        self.tree[0] = cur;
+        Some(rec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// External sorter.
+// ---------------------------------------------------------------------
+
+/// Smallest buffered footprint [`ExternalSorter`] flushes as one run.
+pub const MIN_RUN_BYTES: usize = 4096;
+
+/// Upper bound on simultaneously open run files in one merge pass.  With
+/// more runs than this the sorter cascades — batches of runs merge into
+/// longer intermediate runs first — so file-descriptor usage stays bounded
+/// no matter how far the input outgrows the budget.
+pub const MAX_MERGE_FANIN: usize = 64;
+
+/// The SORT pipeline breaker: buffers `(key, payload)` rows in memory,
+/// flushes a sorted run to disk whenever the [`MemBudget`] refuses to grow
+/// the buffer, and merges all runs with a [`LoserTree`] at the end.  With
+/// an unlimited budget no file is ever touched and the output equals the
+/// in-memory stable sort bit for bit; with any budget the output is *still*
+/// identical, because records carry their input sequence number.
+pub struct ExternalSorter {
+    buf: Vec<SortRec>,
+    reserved: usize,
+    seq: u64,
+    budget: Arc<MemBudget>,
+    dir: PathBuf,
+    runs: Vec<(SpillFile, usize)>,
+    /// Sorted runs written to disk.
+    pub spill_runs: usize,
+    /// Bytes written to disk across all runs.
+    pub spill_bytes: usize,
+}
+
+impl ExternalSorter {
+    /// A sorter spilling to `dir` under `budget`.
+    pub fn new(budget: Arc<MemBudget>, dir: PathBuf) -> ExternalSorter {
+        ExternalSorter {
+            buf: Vec::new(),
+            reserved: 0,
+            seq: 0,
+            budget,
+            dir,
+            runs: Vec::new(),
+            spill_runs: 0,
+            spill_bytes: 0,
+        }
+    }
+
+    /// Buffer one row; may flush a run when the budget trips.
+    pub fn push(&mut self, key: Row, payload: Row) {
+        let est = row_footprint(&key) + row_footprint(&payload) + std::mem::size_of::<SortRec>();
+        if !self.budget.try_reserve(est) {
+            // The budget is full.  Flush a run once the buffer has reached
+            // a useful size; below the floor, force the booking and keep
+            // buffering — otherwise a budget saturated by unspillable
+            // state (a huge DISTINCT dedup set, another operator's
+            // reservations, or a single oversized row) would degrade run
+            // generation to one-record run files.
+            if self.reserved >= self.min_run_bytes() {
+                self.flush_run();
+            }
+            self.budget.reserve_force(est);
+        }
+        self.reserved += est;
+        self.buf.push(SortRec {
+            seq: self.seq,
+            key,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Smallest buffered footprint worth writing as a run: a quarter of
+    /// the budget, floored at [`MIN_RUN_BYTES`] (the floor is what keeps
+    /// run counts sane when something else saturates the budget).
+    fn min_run_bytes(&self) -> usize {
+        self.budget
+            .limit()
+            .map(|l| (l / 4).max(MIN_RUN_BYTES))
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.seq as usize
+    }
+
+    /// Has nothing been pushed yet?
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+
+    fn flush_run(&mut self) {
+        self.buf.sort_unstable_by(SortRec::cmp_order);
+        let mut w = RunWriter::create(&self.dir).expect("create spill run");
+        for rec in &self.buf {
+            w.write(rec).expect("write spill run");
+        }
+        let (file, bytes) = w.finish().expect("finish spill run");
+        self.spill_runs += 1;
+        self.spill_bytes += bytes;
+        self.runs.push((file, bytes));
+        self.buf.clear();
+        self.budget.release(self.reserved);
+        self.reserved = 0;
+    }
+
+    /// Finish: sort what is buffered and merge it with any on-disk runs.
+    /// The returned stream yields payload rows in `(key, seq)` order and
+    /// carries the final spill counters.
+    pub fn finish(mut self) -> SortedRows {
+        if self.runs.is_empty() {
+            // Pure in-memory path: seq is increasing in push order, so a
+            // stable sort by key alone reproduces `(key, seq)` order.
+            self.buf.sort_by(|a, b| a.key.cmp(&b.key));
+            let buf = std::mem::take(&mut self.buf);
+            return SortedRows {
+                spill_runs: 0,
+                spill_bytes: 0,
+                source: SortedSource::Mem(buf.into_iter()),
+            };
+        }
+        // Cascade: bound the merge fan-in (and with it the open file
+        // descriptors) by pre-merging the oldest runs into longer ones.
+        // The pass structure depends only on the run count, so the spill
+        // counters stay deterministic.
+        while self.runs.len() > MAX_MERGE_FANIN {
+            let batch: Vec<(SpillFile, usize)> = self.runs.drain(..MAX_MERGE_FANIN).collect();
+            let cursors: Vec<RunCursor> = batch
+                .into_iter()
+                .map(|(file, _)| RunCursor::Disk(RunReader::open(file).expect("open spill run")))
+                .collect();
+            let mut tree = LoserTree::new(cursors);
+            let mut w = RunWriter::create(&self.dir).expect("create merge run");
+            while let Some(rec) = tree.pop() {
+                w.write(&rec).expect("write merge run");
+            }
+            let (file, bytes) = w.finish().expect("finish merge run");
+            self.spill_runs += 1;
+            self.spill_bytes += bytes;
+            self.runs.push((file, bytes));
+        }
+        self.buf.sort_unstable_by(SortRec::cmp_order);
+        let buf = std::mem::take(&mut self.buf);
+        let mut cursors: Vec<RunCursor> = Vec::with_capacity(self.runs.len() + 1);
+        for (file, _) in self.runs.drain(..) {
+            cursors.push(RunCursor::Disk(
+                RunReader::open(file).expect("open spill run"),
+            ));
+        }
+        if !buf.is_empty() {
+            let mut iter = buf.into_iter();
+            let head = iter.next();
+            cursors.push(RunCursor::Mem(iter, head));
+        }
+        SortedRows {
+            spill_runs: self.spill_runs,
+            spill_bytes: self.spill_bytes,
+            source: SortedSource::Merge(Box::new(LoserTree::new(cursors))),
+        }
+    }
+}
+
+impl Drop for ExternalSorter {
+    fn drop(&mut self) {
+        self.budget.release(self.reserved);
+        self.reserved = 0;
+    }
+}
+
+enum SortedSource {
+    Mem(std::vec::IntoIter<SortRec>),
+    Merge(Box<LoserTree>),
+}
+
+/// The ordered output of an [`ExternalSorter`].
+pub struct SortedRows {
+    /// Runs the sorter wrote (0 on the in-memory path).
+    pub spill_runs: usize,
+    /// Bytes the sorter wrote.
+    pub spill_bytes: usize,
+    source: SortedSource,
+}
+
+impl Iterator for SortedRows {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        match &mut self.source {
+            SortedSource::Mem(iter) => iter.next().map(|r| r.payload),
+            SortedSource::Merge(tree) => tree.pop().map(|r| r.payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Grace hash partitions.
+// ---------------------------------------------------------------------
+
+/// Fan-out of one partitioning pass (16 keeps the file count civil and one
+/// nibble of the hash per recursion level).
+pub const GRACE_FANOUT: usize = 16;
+
+/// Recursion bound for repartitioning skewed partitions.  Four levels ×
+/// four hash bits cover 16 bits of fan-out (65 536 leaves) — beyond that a
+/// partition only stays fat when one key value dominates, which no amount
+/// of hash splitting can fix, so the partition is loaded whole (the
+/// overshoot shows in [`MemBudget::peak`]).
+pub const GRACE_MAX_DEPTH: usize = 4;
+
+/// Approximate in-memory footprint of one loaded build entry: the
+/// `(hash → Vec<rid>)` bucket share (hash-map slot, bucket header
+/// amortized, one `usize` rid).
+pub const BUILD_ENTRY_FOOTPRINT: usize = 48;
+
+/// Fixed on-disk width of one `(hash, rid)` partition entry.
+const PART_ENTRY_BYTES: usize = 16;
+
+/// Writer side of one partition file.
+struct PartWriter {
+    file: SpillFile,
+    out: BufWriter<File>,
+    entries: usize,
+}
+
+impl PartWriter {
+    fn create(dir: &Path) -> io::Result<PartWriter> {
+        let (file, handle) = SpillFile::create(dir, "part")?;
+        Ok(PartWriter {
+            file,
+            out: BufWriter::new(handle),
+            entries: 0,
+        })
+    }
+
+    fn write(&mut self, hash: u64, rid: u64) -> io::Result<()> {
+        self.out.write_all(&hash.to_le_bytes())?;
+        self.out.write_all(&rid.to_le_bytes())?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    fn finish(mut self) -> io::Result<(SpillFile, usize)> {
+        self.out.flush()?;
+        Ok((self.file, self.entries))
+    }
+}
+
+/// One node of the partition tree while it is being built: a leaf file,
+/// or a split into [`GRACE_FANOUT`] children addressed by the next hash
+/// nibble.
+enum BuildNode {
+    Leaf { file: SpillFile, entries: usize },
+    Split(Vec<BuildNode>),
+}
+
+/// One node of the finished partition tree: leaves are flat indices into
+/// [`SpilledPartitions::leaves`], so routing a hash is `O(depth)` with no
+/// tree counting on the probe hot path.
+enum PartNode {
+    Leaf(PartId),
+    Split(Vec<PartNode>),
+}
+
+/// The hash nibble addressing partition `level`.
+fn nibble(hash: u64, level: usize) -> usize {
+    ((hash >> (4 * level)) & (GRACE_FANOUT as u64 - 1)) as usize
+}
+
+/// Build-time half of a Grace-style partitioned hash join: streams
+/// `(hash, rid)` build entries into [`GRACE_FANOUT`] partition files.
+pub struct GraceBuilder {
+    dir: PathBuf,
+    writers: Vec<PartWriter>,
+    /// Files written so far (grows when partitions split recursively).
+    pub spill_runs: usize,
+    /// Bytes written so far (rewrites during splits count — they are real
+    /// I/O).
+    pub spill_bytes: usize,
+}
+
+impl GraceBuilder {
+    /// A builder writing partitions under `dir`.
+    pub fn new(dir: PathBuf) -> GraceBuilder {
+        let writers = (0..GRACE_FANOUT)
+            .map(|_| PartWriter::create(&dir).expect("create partition file"))
+            .collect();
+        GraceBuilder {
+            dir,
+            writers,
+            spill_runs: 0,
+            spill_bytes: 0,
+        }
+    }
+
+    /// Route one build entry to its partition.
+    pub fn add(&mut self, hash: u64, rid: usize) {
+        self.writers[nibble(hash, 0)]
+            .write(hash, rid as u64)
+            .expect("write partition entry");
+    }
+
+    /// Finish partitioning.  Partitions whose loaded footprint would
+    /// exceed `load_limit` bytes are recursively repartitioned on the next
+    /// hash nibble (up to [`GRACE_MAX_DEPTH`] levels).
+    pub fn finish(mut self, load_limit: usize) -> SpilledPartitions {
+        let writers = std::mem::take(&mut self.writers);
+        let mut roots = Vec::with_capacity(GRACE_FANOUT);
+        for w in writers {
+            let (file, entries) = w.finish().expect("finish partition file");
+            self.spill_runs += 1;
+            self.spill_bytes += entries * PART_ENTRY_BYTES;
+            roots.push(self.split_if_needed(BuildNode::Leaf { file, entries }, 1, load_limit));
+        }
+        // Flatten: leaves move into a flat vector (depth-first order) and
+        // the tree keeps only their indices.
+        let mut leaves: Vec<(SpillFile, usize)> = Vec::new();
+        let nodes = roots.into_iter().map(|n| flatten(n, &mut leaves)).collect();
+        SpilledPartitions {
+            nodes,
+            leaves,
+            spill_runs: self.spill_runs,
+            spill_bytes: self.spill_bytes,
+        }
+    }
+
+    fn split_if_needed(&mut self, node: BuildNode, level: usize, load_limit: usize) -> BuildNode {
+        let BuildNode::Leaf { file, entries } = node else {
+            return node;
+        };
+        if entries * BUILD_ENTRY_FOOTPRINT <= load_limit || level >= GRACE_MAX_DEPTH {
+            return BuildNode::Leaf { file, entries };
+        }
+        // Repartition on the next nibble.  If everything would land in one
+        // child the hash prefix is constant (duplicate-heavy key): keep
+        // the leaf as-is rather than recursing forever — checked *before*
+        // writing anything, so degenerate partitions cost no extra I/O
+        // and the spill counters only ever count files that are kept.
+        let entries_vec = read_part_entries(&file, entries);
+        let mut counts = [0usize; GRACE_FANOUT];
+        for &(h, _) in &entries_vec {
+            counts[nibble(h, level)] += 1;
+        }
+        if counts.iter().filter(|&&n| n > 0).count() <= 1 {
+            return BuildNode::Leaf { file, entries };
+        }
+        let mut writers: Vec<PartWriter> = (0..GRACE_FANOUT)
+            .map(|_| PartWriter::create(&self.dir).expect("create partition file"))
+            .collect();
+        for &(h, rid) in &entries_vec {
+            writers[nibble(h, level)]
+                .write(h, rid)
+                .expect("write partition entry");
+        }
+        drop(file);
+        let children = writers
+            .into_iter()
+            .map(|w| {
+                let (file, entries) = w.finish().expect("finish partition file");
+                self.spill_runs += 1;
+                self.spill_bytes += entries * PART_ENTRY_BYTES;
+                self.split_if_needed(BuildNode::Leaf { file, entries }, level + 1, load_limit)
+            })
+            .collect();
+        BuildNode::Split(children)
+    }
+}
+
+fn flatten(node: BuildNode, leaves: &mut Vec<(SpillFile, usize)>) -> PartNode {
+    match node {
+        BuildNode::Leaf { file, entries } => {
+            leaves.push((file, entries));
+            PartNode::Leaf(leaves.len() - 1)
+        }
+        BuildNode::Split(children) => {
+            PartNode::Split(children.into_iter().map(|c| flatten(c, leaves)).collect())
+        }
+    }
+}
+
+fn read_part_entries(file: &SpillFile, entries: usize) -> Vec<(u64, u64)> {
+    let mut input = BufReader::new(file.open().expect("open partition file"));
+    let mut out = Vec::with_capacity(entries);
+    let mut buf = [0u8; PART_ENTRY_BYTES];
+    while input.read_exact(&mut buf).is_ok() {
+        let h = u64::from_le_bytes(buf[..8].try_into().expect("8-byte hash"));
+        let r = u64::from_le_bytes(buf[8..].try_into().expect("8-byte rid"));
+        out.push((h, r));
+    }
+    debug_assert_eq!(out.len(), entries, "partition entry count drifted");
+    out
+}
+
+/// The probe-time half of the Grace join: an immutable tree of partition
+/// files.  Workers address a partition by hash ([`SpilledPartitions::partition_of`]),
+/// load it into a transient bucket table ([`SpilledPartitions::load`]) and
+/// probe that — each worker keeps its own small partition cache, so the
+/// shared structure needs no locks.
+pub struct SpilledPartitions {
+    nodes: Vec<PartNode>,
+    leaves: Vec<(SpillFile, usize)>,
+    /// Partition files written while building (splits included).
+    pub spill_runs: usize,
+    /// Bytes written while building.
+    pub spill_bytes: usize,
+}
+
+/// A leaf partition id: the flat index assigned by depth-first order.
+pub type PartId = usize;
+
+impl SpilledPartitions {
+    /// Number of leaf partitions (the `partitions` EXPLAIN actual).
+    pub fn partitions(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The leaf partition a hash routes to (`O(depth)`).
+    pub fn partition_of(&self, hash: u64) -> PartId {
+        let mut nodes = &self.nodes;
+        let mut level = 0usize;
+        loop {
+            match &nodes[nibble(hash, level)] {
+                PartNode::Leaf(id) => return *id,
+                PartNode::Split(children) => {
+                    nodes = children;
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Estimated footprint of the partition's loaded bucket table.
+    pub fn load_footprint(&self, id: PartId) -> usize {
+        self.leaves[id].1 * BUILD_ENTRY_FOOTPRINT
+    }
+
+    /// Load a partition into a `hash → rids` bucket table.
+    pub fn load(&self, id: PartId) -> std::collections::HashMap<u64, Vec<usize>> {
+        let (file, entries) = &self.leaves[id];
+        let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (h, rid) in read_part_entries(file, *entries) {
+            buckets.entry(h).or_default().push(rid as usize);
+        }
+        buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        std::env::temp_dir().join("xqjg-spill-tests")
+    }
+
+    #[test]
+    fn budget_reserve_release_and_peak() {
+        let b = MemBudget::new(Some(100));
+        assert!(b.try_reserve(60));
+        assert!(!b.try_reserve(60));
+        assert!(b.try_reserve(40));
+        assert_eq!(b.used(), 100);
+        b.release(60);
+        assert_eq!(b.used(), 40);
+        b.reserve_force(200);
+        assert_eq!(b.used(), 240);
+        assert_eq!(b.peak(), 240);
+        b.release(240);
+        assert_eq!(b.used(), 0);
+        let unlimited = MemBudget::new(None);
+        assert!(unlimited.try_reserve(usize::MAX / 2));
+    }
+
+    #[test]
+    fn codec_roundtrips_every_value_shape() {
+        let row: Row = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Dec(2.75),
+            Value::str("höhe"),
+            Value::str(""),
+        ];
+        let mut buf = Vec::new();
+        encode_row(&row, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_row(&buf, &mut pos), row);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn row_footprint_counts_string_heap() {
+        let small = row_footprint(&[Value::Int(1)]);
+        let with_str = row_footprint(&[Value::str("0123456789")]);
+        assert!(with_str >= small + 10 - std::mem::size_of::<Value>());
+        assert!(row_footprint(&[]) > 0);
+    }
+
+    fn external_sort(rows: Vec<(Row, Row)>, budget: Option<usize>) -> (Vec<Row>, usize) {
+        let b = MemBudget::new(budget);
+        let mut s = ExternalSorter::new(b, tmp());
+        for (key, payload) in rows {
+            s.push(key, payload);
+        }
+        let sorted = s.finish();
+        let runs = sorted.spill_runs;
+        (sorted.collect(), runs)
+    }
+
+    #[test]
+    fn external_sort_matches_stable_in_memory_sort() {
+        // Duplicated keys probe the stability guarantee: payloads must come
+        // out in push order within equal keys.
+        let mut rows: Vec<(Row, Row)> = Vec::new();
+        for i in 0..500usize {
+            let key = vec![Value::Int((i % 7) as i64)];
+            let payload = vec![Value::Int(i as i64), Value::str(format!("p{i}"))];
+            rows.push((key, payload));
+        }
+        let mut expect: Vec<(Row, Row)> = rows.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        let expect: Vec<Row> = expect.into_iter().map(|(_, p)| p).collect();
+
+        let (mem, mem_runs) = external_sort(rows.clone(), None);
+        assert_eq!(mem_runs, 0);
+        assert_eq!(mem, expect);
+
+        for budget in [64, 1024, 16 * 1024] {
+            let (spilled, runs) = external_sort(rows.clone(), Some(budget));
+            assert!(runs > 0, "budget {budget} must force runs");
+            assert_eq!(spilled, expect, "budget {budget} changed the order");
+        }
+    }
+
+    #[test]
+    fn cascaded_merge_bounds_open_runs_and_preserves_order() {
+        // ~7000 rows at ~80 bytes each under a 4K budget (run floor 4K)
+        // produce well over MAX_MERGE_FANIN runs, forcing a cascade pass.
+        let mut rows: Vec<(Row, Row)> = Vec::new();
+        for i in 0..7000usize {
+            rows.push((
+                vec![Value::Int((i % 11) as i64)],
+                vec![Value::Int(i as i64), Value::str(format!("pay-{i:06}"))],
+            ));
+        }
+        let mut expect: Vec<(Row, Row)> = rows.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        let expect: Vec<Row> = expect.into_iter().map(|(_, p)| p).collect();
+
+        let b = MemBudget::new(Some(4096));
+        let mut s = ExternalSorter::new(b, tmp());
+        for (key, payload) in rows {
+            s.push(key, payload);
+        }
+        let sorted = s.finish();
+        assert!(
+            sorted.spill_runs > MAX_MERGE_FANIN,
+            "fixture too small to exercise the cascade ({} runs)",
+            sorted.spill_runs
+        );
+        let got: Vec<Row> = sorted.collect();
+        assert_eq!(got, expect, "cascaded merge changed the order");
+    }
+
+    #[test]
+    fn saturated_budget_still_builds_useful_runs() {
+        // Saturate the budget with a foreign reservation, as a giant
+        // DISTINCT dedup set would: the sorter must keep producing runs of
+        // at least the floor size instead of one-record files.
+        let b = MemBudget::new(Some(1024));
+        b.reserve_force(4096);
+        let mut s = ExternalSorter::new(b.clone(), tmp());
+        let n = 2000usize;
+        for i in 0..n {
+            s.push(vec![Value::Int(i as i64)], vec![Value::Int(i as i64)]);
+        }
+        let sorted = s.finish();
+        let per_run = n / sorted.spill_runs.max(1);
+        assert!(
+            per_run > 10,
+            "{} runs for {n} rows — degraded to tiny runs",
+            sorted.spill_runs
+        );
+        assert_eq!(sorted.count(), n);
+        b.release(4096);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn external_sort_releases_its_reservations() {
+        let b = MemBudget::new(Some(512));
+        {
+            let mut s = ExternalSorter::new(b.clone(), tmp());
+            for i in 0..100 {
+                s.push(vec![Value::Int(i)], vec![Value::Int(i)]);
+            }
+            let _ = s.finish().count();
+        }
+        assert_eq!(b.used(), 0, "sorter must release all reservations");
+    }
+
+    #[test]
+    fn loser_tree_merges_single_and_empty_runs() {
+        let (out, runs) = external_sort(vec![(vec![Value::Int(1)], vec![Value::Int(1)])], Some(1));
+        assert_eq!(out, vec![vec![Value::Int(1)]]);
+        assert!(runs <= 1);
+        let (empty, _) = external_sort(Vec::new(), Some(1));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn grace_partitions_roundtrip_all_entries() {
+        let mut gb = GraceBuilder::new(tmp());
+        let entries: Vec<(u64, usize)> = (0..1000usize)
+            .map(|i| (crate::hash_values([&Value::Int(i as i64)]), i))
+            .collect();
+        for &(h, rid) in &entries {
+            gb.add(h, rid);
+        }
+        let parts = gb.finish(usize::MAX);
+        assert_eq!(parts.partitions(), GRACE_FANOUT);
+        assert!(parts.spill_runs >= GRACE_FANOUT);
+        assert!(parts.spill_bytes >= entries.len() * 16);
+        for &(h, rid) in &entries {
+            let pid = parts.partition_of(h);
+            let buckets = parts.load(pid);
+            assert!(
+                buckets.get(&h).is_some_and(|rids| rids.contains(&rid)),
+                "entry ({h}, {rid}) lost in partition {pid}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_partitions_split_recursively() {
+        let mut gb = GraceBuilder::new(tmp());
+        for i in 0..2000usize {
+            gb.add(crate::hash_values([&Value::Int(i as i64)]), i);
+        }
+        // ~125 entries land in each root partition; a load limit of 10
+        // entries forces recursive splits.
+        let parts = gb.finish(10 * BUILD_ENTRY_FOOTPRINT);
+        assert!(parts.partitions() > GRACE_FANOUT, "no split happened");
+        // Every entry still routes to exactly the partition that holds it.
+        for i in 0..2000usize {
+            let h = crate::hash_values([&Value::Int(i as i64)]);
+            let buckets = parts.load(parts.partition_of(h));
+            assert!(buckets.get(&h).is_some_and(|r| r.contains(&i)));
+        }
+    }
+
+    #[test]
+    fn identical_hashes_do_not_split_forever() {
+        let mut gb = GraceBuilder::new(tmp());
+        for i in 0..100usize {
+            gb.add(0xDEAD_BEEF, i);
+        }
+        let parts = gb.finish(1);
+        // The duplicate-hash partition refuses to split (degenerate), the
+        // other 15 roots stay as empty leaves.
+        assert_eq!(parts.partitions(), GRACE_FANOUT);
+        let buckets = parts.load(parts.partition_of(0xDEAD_BEEF));
+        assert_eq!(buckets[&0xDEAD_BEEF].len(), 100);
+        // The refused split wrote nothing: the counters cover exactly the
+        // root partitioning pass.
+        assert_eq!(parts.spill_runs, GRACE_FANOUT);
+        assert_eq!(parts.spill_bytes, 100 * 16);
+    }
+
+    #[test]
+    fn spill_files_are_deleted_on_drop() {
+        let dir = tmp();
+        let path = {
+            let (file, mut handle) = SpillFile::create(&dir, "probe").unwrap();
+            handle.write_all(b"x").unwrap();
+            file.path().to_path_buf()
+        };
+        assert!(!path.exists(), "spill file must unlink on drop");
+    }
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_exec.json against the
+committed baseline and fail on order-of-magnitude throughput regressions.
+
+Usage:
+    python3 scripts/bench_gate.py COMMITTED.json FRESH.json [--tolerance 10]
+
+The tolerance is deliberately generous: the committed baseline was measured
+on some developer machine at some scale, the fresh run happens on a CI
+runner (usually at a smaller scale), so only catastrophic slowdowns — like
+the Q2 cost-model misranking this gate exists to guard (a ~680x cliff) —
+should trip it.  Per-query `pipelined_rows_per_sec` is the compared figure;
+a fresh throughput below `committed / tolerance` fails the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def throughputs(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for q in doc.get("queries", []):
+        out[q["id"]] = {
+            "rows_per_sec": float(q["pipelined_rows_per_sec"]),
+            "rows": int(q.get("rows", 0)),
+            "scale": doc.get("scale"),
+        }
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("committed", help="baseline BENCH_exec.json (committed)")
+    ap.add_argument("fresh", help="freshly measured BENCH_exec.json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        help="allowed slowdown factor before failing (default: 10)",
+    )
+    args = ap.parse_args()
+
+    base = throughputs(args.committed)
+    fresh = throughputs(args.fresh)
+    if not base:
+        print("gate: committed baseline has no queries — nothing to compare")
+        return 0
+
+    failures = []
+    for qid, b in sorted(base.items()):
+        f = fresh.get(qid)
+        if f is None:
+            failures.append(f"{qid}: missing from the fresh measurement")
+            continue
+        floor = b["rows_per_sec"] / args.tolerance
+        verdict = "ok" if f["rows_per_sec"] >= floor else "FAIL"
+        print(
+            f"{qid}: committed {b['rows_per_sec']:>12.1f} rows/s (scale {b['scale']})"
+            f" | fresh {f['rows_per_sec']:>12.1f} rows/s (scale {f['scale']})"
+            f" | floor {floor:>12.1f} | {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(
+                f"{qid}: {f['rows_per_sec']:.1f} rows/s is more than "
+                f"{args.tolerance:g}x below the committed {b['rows_per_sec']:.1f} rows/s"
+            )
+
+    if failures:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed (tolerance {args.tolerance:g}x).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
