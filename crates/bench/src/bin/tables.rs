@@ -192,17 +192,22 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
                     "null".to_string()
                 };
                 format!(
-                    "        {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"batches\": {}, \"probes\": {}, \"selectivity\": {}, \"spill_runs\": {}, \"spill_bytes\": {}, \"partitions\": {} }}",
+                    "        {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"batches\": {}, \"probes\": {}, \"selectivity\": {}, \"spill_runs\": {}, \"spill_bytes\": {}, \"partitions\": {}, \"kernel_rows\": {} }}",
                     o.name, o.rows_in, o.rows_out, o.batches, o.probes, sel,
-                    o.spill_runs, o.spill_bytes, o.partitions
+                    o.spill_runs, o.spill_bytes, o.partitions, o.kernel_rows
                 )
             })
             .collect();
-        let (q_spill_runs, q_spill_bytes, q_partitions) = stats
+        let (q_spill_runs, q_spill_bytes, q_partitions, q_kernel_rows) = stats
             .operators
             .iter()
-            .fold((0usize, 0usize, 0usize), |(r, b, p), o| {
-                (r + o.spill_runs, b + o.spill_bytes, p + o.partitions)
+            .fold((0usize, 0usize, 0usize, 0usize), |(r, b, p, k), o| {
+                (
+                    r + o.spill_runs,
+                    b + o.spill_bytes,
+                    p + o.partitions,
+                    k + o.kernel_rows,
+                )
             });
         let trace_cells: Vec<String> = trace
             .iter()
@@ -216,7 +221,7 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             })
             .collect();
         cells.push(format!(
-            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"spill\": {{ \"runs\": {}, \"bytes\": {}, \"partitions\": {} }},\n      \"operators\": [\n{}\n      ],\n      \"adaptive_trace\": [\n{}\n      ],\n      \"pipelined\": [\n{}\n      ]\n    }}",
+            "    {{\n      \"id\": \"{}\",\n      \"rows\": {},\n      \"materializing_secs\": {:.6},\n      \"pipelined_secs\": {:.6},\n      \"materializing_rows_per_sec\": {:.1},\n      \"pipelined_rows_per_sec\": {:.1},\n      \"speedup\": {:.3},\n      \"total_batches\": {},\n      \"peak_operator_batches\": {},\n      \"spill\": {{ \"runs\": {}, \"bytes\": {}, \"partitions\": {} }},\n      \"kernel_rows\": {},\n      \"operators\": [\n{}\n      ],\n      \"adaptive_trace\": [\n{}\n      ],\n      \"pipelined\": [\n{}\n      ]\n    }}",
             q.id,
             pipe_rows,
             mat_secs,
@@ -229,6 +234,7 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
             q_spill_runs,
             q_spill_bytes,
             q_partitions,
+            q_kernel_rows,
             operator_cells.join(",\n"),
             trace_cells.join(",\n"),
             sweep_cells.join(",\n"),
@@ -257,9 +263,10 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
         .map(|b| b.to_string())
         .unwrap_or_else(|| "null".to_string());
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"git_rev\": \"{}\",\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"vectorize\": {},\n  \"adaptive_batch\": {},\n  \"mem_budget\": {mem_budget},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": {scale},\n  \"git_rev\": \"{}\",\n  \"batch_capacity\": {batch_capacity},\n  \"morsel_size\": {morsel_size},\n  \"vectorize\": {},\n  \"typed_kernels\": {},\n  \"adaptive_batch\": {},\n  \"mem_budget\": {mem_budget},\n  \"available_cores\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
         git_rev(),
         cfg.vectorize,
+        cfg.typed_kernels,
         cfg.adaptive,
         default_threads(),
         cells.join(",\n")

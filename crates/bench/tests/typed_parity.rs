@@ -1,0 +1,218 @@
+//! Typed-kernel parity suite: execution with the typed-column kernels
+//! (`XQJG_TYPED_KERNELS=1`, the default) must be *observationally
+//! identical* to the scalar [`Value`] path — identical result rows,
+//! identical row order, and identical EXPLAIN actuals modulo the
+//! governor-dependent counters (`spill_runs` / `spill_bytes` /
+//! `partitions` / `kernel_rows`) — across the Table IX workload and a
+//! synthetic hash-join workload, swept over typed {on, off} × DOP {1, 4}
+//! × vectorize {on, off} × budget {unlimited, 256 KiB}.  A
+//! deterministic-random property test additionally sweeps random
+//! predicates and budgets.
+//!
+//! [`Value`]: xqjg_store::Value
+
+use proptest::prelude::*;
+use xqjg_bench::{queries, Workload};
+use xqjg_engine::{execute_with_stats_config, optimize, parse_sql, ExecStats, PhysPlan};
+use xqjg_store::{Database, ExecConfig, OpStats, Schema, Table, Value};
+
+const UNLIMITED: Option<usize> = None;
+const BOUNDED: Option<usize> = Some(256 * 1024);
+
+/// Actuals must agree except for the governor-dependent counters; the
+/// aggregate work counters must agree exactly (the kernels change the
+/// representation comparisons run on, never how many rows were scanned,
+/// probed or bound).
+fn assert_stats_match_modulo_spill(got: &ExecStats, reference: &ExecStats, what: &str) {
+    assert_eq!(got.index_rows, reference.index_rows, "{what}: index_rows");
+    assert_eq!(got.scan_rows, reference.scan_rows, "{what}: scan_rows");
+    assert_eq!(got.probes, reference.probes, "{what}: probes");
+    assert_eq!(got.bindings, reference.bindings, "{what}: bindings");
+    let sans: Vec<OpStats> = got.operators.iter().map(OpStats::sans_spill).collect();
+    let sans_ref: Vec<OpStats> = reference
+        .operators
+        .iter()
+        .map(OpStats::sans_spill)
+        .collect();
+    assert_eq!(sans, sans_ref, "{what}: operator actuals modulo spill");
+}
+
+/// Per-query optimized plans (one per decomposed SQL branch).
+fn plans_for(workload: &mut Workload, q: &xqjg_bench::BenchQuery) -> Vec<PhysPlan> {
+    let prepared = workload
+        .processor(q)
+        .prepare(q.text)
+        .unwrap_or_else(|e| panic!("{} fails to prepare: {e}", q.id));
+    let db: &Database = workload.processor(q).database();
+    prepared
+        .branches
+        .iter()
+        .map(|b| optimize(&b.isolated.query, db).expect("plan optimizes"))
+        .collect()
+}
+
+#[test]
+fn table9_queries_identical_across_typed_toggle_dop_vectorize_and_budget() {
+    let mut workload = Workload::new(0.02);
+    for q in queries() {
+        let plans = plans_for(&mut workload, &q);
+        let db: &Database = workload.processor(&q).database();
+        for plan in &plans {
+            let reference = execute_with_stats_config(
+                plan,
+                db,
+                &ExecConfig::sequential()
+                    .with_vectorize(true)
+                    .with_typed_kernels(true)
+                    .with_mem_budget(UNLIMITED),
+            );
+            for typed in [true, false] {
+                for budget in [UNLIMITED, BOUNDED] {
+                    for threads in [1, 4] {
+                        for vectorize in [true, false] {
+                            let cfg = ExecConfig::sequential()
+                                .with_typed_kernels(typed)
+                                .with_mem_budget(budget)
+                                .with_threads(threads)
+                                .with_morsel_size(16)
+                                .with_vectorize(vectorize);
+                            let (t, s) = execute_with_stats_config(plan, db, &cfg);
+                            let what = format!(
+                                "{} typed {typed} budget {budget:?} DOP {threads} \
+                                 vectorize {vectorize}",
+                                q.id
+                            );
+                            assert_eq!(t, reference.0, "{what}: rows/order differ");
+                            assert_stats_match_modulo_spill(&s, &reference.1, &what);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Synthetic value-equijoin workload over all-typed columns (`pre`/`grp`
+/// are pure `i64`, `payload` is a pure string column): no supporting
+/// index, so the optimizer picks a hash join, the leaf predicate runs on
+/// the `i64` kernel, and `ORDER BY` keeps the SORT tail honest.
+fn equijoin_fixture(rows: i64, distinct: bool) -> (Database, PhysPlan) {
+    let mut t = Table::new(Schema::new(["pre", "grp", "payload"]));
+    for i in 0..rows {
+        t.push(vec![
+            Value::Int(i),
+            Value::Int(i % 53),
+            Value::str(format!("payload-{i:05}")),
+        ]);
+    }
+    let mut db = Database::new();
+    db.create_table("doc", t);
+    let sql = if distinct {
+        "SELECT DISTINCT d1.grp AS g, d2.grp AS h FROM doc AS d1, doc AS d2 \
+         WHERE d1.grp = d2.grp AND d1.pre <= 150 ORDER BY d1.grp"
+    } else {
+        "SELECT d1.pre AS a, d2.pre AS b FROM doc AS d1, doc AS d2 \
+         WHERE d1.grp = d2.grp AND d1.pre <= 150 ORDER BY d1.pre, d2.pre"
+    };
+    let plan = optimize(&parse_sql(sql).unwrap(), &db).unwrap();
+    (db, plan)
+}
+
+#[test]
+fn hash_workload_identical_across_typed_toggle_and_engages_kernels() {
+    for distinct in [false, true] {
+        let (db, plan) = equijoin_fixture(900, distinct);
+        let reference = execute_with_stats_config(
+            &plan,
+            &db,
+            &ExecConfig::sequential()
+                .with_vectorize(true)
+                .with_typed_kernels(true)
+                .with_mem_budget(UNLIMITED),
+        );
+        let mut engaged = false;
+        for typed in [true, false] {
+            for budget in [UNLIMITED, BOUNDED, Some(8 * 1024)] {
+                for threads in [1, 4] {
+                    for vectorize in [true, false] {
+                        let cfg = ExecConfig::sequential()
+                            .with_typed_kernels(typed)
+                            .with_mem_budget(budget)
+                            .with_threads(threads)
+                            .with_morsel_size(64)
+                            .with_vectorize(vectorize);
+                        let (t, s) = execute_with_stats_config(&plan, &db, &cfg);
+                        let what = format!(
+                            "distinct {distinct} typed {typed} budget {budget:?} \
+                             DOP {threads} vectorize {vectorize}"
+                        );
+                        assert_eq!(t, reference.0, "{what}: rows/order differ");
+                        assert_stats_match_modulo_spill(&s, &reference.1, &what);
+                        let kernels = s.operators.iter().map(|o| o.kernel_rows).sum::<usize>();
+                        if typed && vectorize {
+                            engaged |= kernels > 0;
+                        } else if !typed {
+                            assert_eq!(kernels, 0, "{what}: kernels off must not engage");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            engaged,
+            "distinct {distinct}: the typed legs never engaged a kernel — the suite is vacuous"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random predicate constants, budgets, DOP and executor flavor: the
+    /// typed and scalar paths must return identical rows in identical
+    /// order, with identical actuals modulo the governor counters.
+    #[test]
+    fn typed_and_scalar_paths_agree_over_random_predicates(
+        bound in 0i64..900,
+        needle in 0usize..1000,
+        budget_bytes in 4096usize..64 * 1024,
+        unlimited in proptest::bool::ANY,
+        threads in 1usize..5,
+        vectorize in proptest::bool::ANY,
+    ) {
+        let budget = (!unlimited).then_some(budget_bytes);
+        let mut t = Table::new(Schema::new(["pre", "grp", "payload"]));
+        for i in 0..900i64 {
+            t.push(vec![
+                Value::Int(i),
+                Value::Int(i % 37),
+                Value::str(format!("payload-{:05}", i % 250)),
+            ]);
+        }
+        let mut db = Database::new();
+        db.create_table("doc", t);
+        let sql = format!(
+            "SELECT d1.pre AS a, d2.pre AS b FROM doc AS d1, doc AS d2 \
+             WHERE d1.grp = d2.grp AND d1.pre <= {bound} \
+             AND d2.payload >= 'payload-{needle:05}' \
+             ORDER BY d1.pre, d2.pre"
+        );
+        let plan = optimize(&parse_sql(&sql).unwrap(), &db).unwrap();
+        let cfg = ExecConfig::sequential()
+            .with_mem_budget(budget)
+            .with_threads(threads)
+            .with_morsel_size(64)
+            .with_vectorize(vectorize);
+        let (t_on, s_on) =
+            execute_with_stats_config(&plan, &db, &cfg.clone().with_typed_kernels(true));
+        let (t_off, s_off) =
+            execute_with_stats_config(&plan, &db, &cfg.with_typed_kernels(false));
+        prop_assert_eq!(&t_on, &t_off, "typed toggle changed rows");
+        let sans_on: Vec<OpStats> = s_on.operators.iter().map(OpStats::sans_spill).collect();
+        let sans_off: Vec<OpStats> = s_off.operators.iter().map(OpStats::sans_spill).collect();
+        prop_assert_eq!(sans_on, sans_off, "typed toggle changed actuals");
+        prop_assert_eq!(s_on.scan_rows, s_off.scan_rows);
+        prop_assert_eq!(s_on.probes, s_off.probes);
+        prop_assert_eq!(s_on.bindings, s_off.bindings);
+    }
+}

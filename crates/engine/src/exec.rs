@@ -30,17 +30,18 @@ use crate::physical::{Access, Bounds, JoinNode, PhysPlan};
 use crate::sql::{SelectItem, SqlCmp, SqlExpr, SqlPredicate};
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 use xqjg_store::{
-    effective_morsel_size, execute_morsels, fill_from_pending_with_capacity, hash_values,
-    merge_worker_stats, new_stats_sink, partition_morsels, row_footprint, Batch, BatchSizer,
-    BoxedOperator, ColOperator, ColumnBatch, Database, ExecConfig, ExternalSorter, GraceBuilder,
-    MemBudget, Morsel, OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table, Value,
-    BUILD_ENTRY_FOOTPRINT,
+    effective_morsel_size, execute_morsels_streaming, fill_from_pending_with_capacity, gather_i64,
+    hash_keys_i64, hash_values, keep_cmp_i64, keep_cmp_u32, keep_const, merge_worker_stats,
+    new_stats_sink, partition_morsels, row_footprint, Batch, BatchSizer, BoxedOperator,
+    ColOperator, ColumnBatch, Database, ExecConfig, ExternalSorter, GraceBuilder, KernelCmp,
+    MemBudget, Morsel, OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table,
+    TypedColumn, Value, BUILD_ENTRY_FOOTPRINT,
 };
 
 /// A binding: for each alias bound so far (outer-to-inner), the row id of
@@ -374,18 +375,20 @@ impl<'a> PartitionProbe<'a> {
         let pid = self.parts.partition_of(h);
         if !self.loaded.contains_key(&pid) {
             let bytes = self.parts.load_footprint(pid);
-            let mut booked = self.budget.try_reserve(bytes);
+            // Transient bookings: per-worker cache lifetime depends on
+            // scheduling, and spill decisions elsewhere must not see it.
+            let mut booked = self.budget.try_reserve_transient(bytes);
             while !booked {
                 let Some(victim) = self.fifo.pop_front() else {
                     break;
                 };
                 if let Some(lp) = self.loaded.remove(&victim) {
-                    self.budget.release(lp.bytes);
+                    self.budget.release_transient(lp.bytes);
                 }
-                booked = self.budget.try_reserve(bytes);
+                booked = self.budget.try_reserve_transient(bytes);
             }
             if !booked {
-                self.budget.reserve_force(bytes);
+                self.budget.reserve_transient_force(bytes);
             }
             self.loaded.insert(
                 pid,
@@ -398,12 +401,38 @@ impl<'a> PartitionProbe<'a> {
         }
         self.loaded[&pid].buckets.get(&h)
     }
+
+    /// Resolve a whole batch of probe hashes partition-by-partition: rows
+    /// are grouped by their Grace partition (deterministic ascending pid
+    /// order) and each group is resolved consecutively, so every partition
+    /// is loaded at most once per batch regardless of how the probe rows
+    /// interleave.  Returns the candidate rid list per input row, in input
+    /// order — callers then probe rows in their original order, keeping
+    /// output row order identical to per-row [`Self::candidates`] calls.
+    fn spool(&mut self, hashes: &[u64]) -> Vec<Vec<usize>> {
+        let mut by_part: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            by_part
+                .entry(self.parts.partition_of(h))
+                .or_default()
+                .push(i);
+        }
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); hashes.len()];
+        for (_, rows) in by_part {
+            for i in rows {
+                if let Some(c) = self.candidates(hashes[i]) {
+                    out[i] = c.clone();
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Drop for PartitionProbe<'_> {
     fn drop(&mut self) {
         for (_, lp) in self.loaded.drain() {
-            self.budget.release(lp.bytes);
+            self.budget.release_transient(lp.bytes);
         }
     }
 }
@@ -564,6 +593,107 @@ fn cpred_holds(p: &CPred, env: &ColEnv<'_>, cur: Option<(&Table, usize)>) -> boo
     }
 }
 
+/// A leaf access predicate lowered onto the typed column images of the
+/// base table.  `Scalar` keeps the interpreted [`CPred`] path (mixed-type
+/// column, computed expression, or a literal the column image cannot
+/// represent); the kernel variants compare a flat column against a
+/// pre-resolved constant with the branch-free [`keep_cmp_i64`] /
+/// [`keep_cmp_u32`] loops.
+enum TypedPred<'a> {
+    /// Fall back to the row-at-a-time compiled predicate.
+    Scalar,
+    /// `i64` column `op` integer literal.
+    Int {
+        vals: &'a [i64],
+        op: KernelCmp,
+        rhs: i64,
+    },
+    /// Dictionary-coded string column `op` code boundary.  String order
+    /// equals code order (the dictionary is sorted), so range predicates
+    /// rewrite to boundary comparisons even for absent literals.
+    Code {
+        vals: &'a [u32],
+        op: KernelCmp,
+        rhs: u32,
+    },
+    /// The predicate is constant over the whole column (e.g. `= 'absent'`).
+    Const(bool),
+}
+
+fn kcmp(op: SqlCmp) -> KernelCmp {
+    match op {
+        SqlCmp::Eq => KernelCmp::Eq,
+        SqlCmp::Ne => KernelCmp::Ne,
+        SqlCmp::Lt => KernelCmp::Lt,
+        SqlCmp::Le => KernelCmp::Le,
+        SqlCmp::Gt => KernelCmp::Gt,
+        SqlCmp::Ge => KernelCmp::Ge,
+    }
+}
+
+/// Lower one access predicate onto `base`'s typed columns, if its shape
+/// (`cur.col op lit` or flipped) and the column image allow it.
+fn compile_typed_pred<'a>(p: &CPred, base: &'a Table) -> TypedPred<'a> {
+    let (col, op, lit) = match (&p.lhs, &p.rhs) {
+        (CExpr::Cur { col }, CExpr::Lit(v)) => (*col, p.op, v),
+        (CExpr::Lit(v), CExpr::Cur { col }) => (*col, p.op.flip(), v),
+        _ => return TypedPred::Scalar,
+    };
+    match (base.typed().col(col), lit) {
+        (Some(TypedColumn::Int(vals)), Value::Int(rhs)) => TypedPred::Int {
+            vals,
+            op: kcmp(op),
+            rhs: *rhs,
+        },
+        (Some(tc @ TypedColumn::Dict { codes, .. }), Value::Str(s)) => {
+            let present = tc.code_of(s);
+            let lower = tc.dict_boundary(s).expect("dict column has boundaries");
+            match op {
+                SqlCmp::Eq => match present {
+                    Some(c) => TypedPred::Code {
+                        vals: codes,
+                        op: KernelCmp::Eq,
+                        rhs: c,
+                    },
+                    None => TypedPred::Const(false),
+                },
+                SqlCmp::Ne => match present {
+                    Some(c) => TypedPred::Code {
+                        vals: codes,
+                        op: KernelCmp::Ne,
+                        rhs: c,
+                    },
+                    None => TypedPred::Const(true),
+                },
+                // Codes < lower  <=>  strings < s; codes >= lower + present
+                // <=>  strings > s (`lower` counts strings strictly below
+                // `s`, and `lower + 1` skips `s` itself when present).
+                SqlCmp::Lt => TypedPred::Code {
+                    vals: codes,
+                    op: KernelCmp::Lt,
+                    rhs: lower,
+                },
+                SqlCmp::Ge => TypedPred::Code {
+                    vals: codes,
+                    op: KernelCmp::Ge,
+                    rhs: lower,
+                },
+                SqlCmp::Le => TypedPred::Code {
+                    vals: codes,
+                    op: KernelCmp::Lt,
+                    rhs: lower + u32::from(present.is_some()),
+                },
+                SqlCmp::Gt => TypedPred::Code {
+                    vals: codes,
+                    op: KernelCmp::Ge,
+                    rhs: lower + u32::from(present.is_some()),
+                },
+            }
+        }
+        _ => TypedPred::Scalar,
+    }
+}
+
 /// Compile an expression for a stage: `cur_alias` columns become
 /// [`CExpr::Cur`], bound outer alias columns become [`CExpr::Outer`].
 fn compile_expr(
@@ -610,6 +740,10 @@ fn compile_expr(
     }
 }
 
+/// One kernelized hash key: `(outer slot, outer i64 image, inner i64
+/// image)`.
+type TypedKey<'a> = (usize, &'a [i64], &'a [i64]);
+
 /// A [`Stage`] with every predicate, hash key and probe bound compiled.
 /// Borrows only from the plan and the database (never from `Stage`), so it
 /// lives alongside the stages inside [`ExecCtx`].
@@ -626,15 +760,25 @@ struct CStage<'a> {
     /// Compiled access-level predicates: the pushed-down filters of a
     /// `TableScan`, or the sargable residuals of an `IndexScan`.
     access_preds: Vec<CPred>,
+    /// Kernel lowerings of `access_preds` (aligned; empty when typed
+    /// kernels are off — the leaf then treats every slot as `Scalar`).
+    typed_preds: Vec<TypedPred<'a>>,
     /// Compiled join-level residual predicates.
     residual: Vec<CPred>,
     /// Compiled hash keys: (outer expression, inner column offset).
     hash_keys: Vec<(CExpr, usize)>,
+    /// Kernelized hash-key images, present only when *every* key is a
+    /// plain outer column over an all-`i64` typed column matched against
+    /// an all-`i64` inner column ([`TypedKey`] per key).  Any other shape
+    /// (computed key, string key, mixed `Int`/`Dec` column) keeps the
+    /// scalar [`Value`] path, which is the semantics of record for
+    /// cross-type equality.
+    typed_keys: Option<Vec<TypedKey<'a>>>,
     /// Base tables of the bound outer aliases (slot order).
     outer_tables: Vec<&'a Table>,
 }
 
-fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database) -> CStage<'a> {
+fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database, typed: bool) -> CStage<'a> {
     let cc = |e: &SqlExpr| {
         compile_expr(
             e,
@@ -656,7 +800,7 @@ fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database) -> CStag
             } else {
                 String::new()
             };
-            (label, None, None, preds.iter().map(cp).collect())
+            (label, None, None, preds.iter().map(cp).collect::<Vec<_>>())
         }
         Access::IndexScan {
             index: ix_name,
@@ -689,6 +833,34 @@ fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database) -> CStag
     } else {
         format!("HSJOIN({})", stage.alias)
     };
+    let typed_preds: Vec<TypedPred<'a>> = if typed {
+        access_preds
+            .iter()
+            .map(|p| compile_typed_pred(p, stage.base))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let hash_keys: Vec<(CExpr, usize)> = stage
+        .hash_keys
+        .iter()
+        .map(|(e, col)| (cc(e), stage.base.schema().expect_index(col)))
+        .collect();
+    let typed_keys = if typed && !hash_keys.is_empty() {
+        hash_keys
+            .iter()
+            .map(|(e, col)| match e {
+                CExpr::Outer { slot, col: ocol } => {
+                    let outer = stage.outer_tables[*slot].typed().int_col(*ocol)?;
+                    let inner = stage.base.typed().int_col(*col)?;
+                    Some((*slot, outer, inner))
+                }
+                _ => None,
+            })
+            .collect()
+    } else {
+        None
+    };
     CStage {
         base: stage.base,
         access: stage.access,
@@ -696,12 +868,10 @@ fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database) -> CStag
         tree,
         cbounds,
         access_preds,
+        typed_preds,
         residual: stage.residual.iter().map(cp).collect(),
-        hash_keys: stage
-            .hash_keys
-            .iter()
-            .map(|(e, col)| (cc(e), stage.base.schema().expect_index(col)))
-            .collect(),
+        hash_keys,
+        typed_keys,
         outer_tables: stage.outer_tables.clone(),
     }
 }
@@ -838,7 +1008,7 @@ pub fn execute_full(
         stages
             .iter()
             .enumerate()
-            .map(|(i, s)| compile_stage(i, s, db))
+            .map(|(i, s)| compile_stage(i, s, db, cfg.typed_kernels))
             .collect()
     } else {
         Vec::new()
@@ -858,6 +1028,7 @@ pub fn execute_full(
         }
     };
     let mut build_hits = vec![false; stages.len()];
+    let mut cached_reserved = 0usize;
     let builds: Vec<Option<Arc<JoinBuild>>> = stages
         .iter()
         .enumerate()
@@ -875,6 +1046,17 @@ pub fn execute_full(
                 if !hit {
                     pre_agg.scan_rows += build.fetched_scan;
                     pre_agg.index_rows += build.fetched_index;
+                } else {
+                    // The cached bucket table is resident memory of *this*
+                    // execution too: charge it to the executing query's
+                    // budget (forced — the build already exists) so a hit
+                    // occupies exactly what a fresh build would have
+                    // reserved, and downstream spill decisions are
+                    // identical between hit and miss runs.  Released at
+                    // the end of the execution; the build's own
+                    // reservation is released when the cache drops it.
+                    spill.budget.reserve_force(build.reserved);
+                    cached_reserved += build.reserved;
                 }
                 build
             })
@@ -905,50 +1087,78 @@ pub fn execute_full(
         budget: spill.budget.clone(),
     };
 
-    // Parallel phase: workers drain the morsel queue, each running a
-    // private pipeline instance per morsel.
+    // Parallel + merge phase: workers drain the morsel queue, each running
+    // a private pipeline instance per morsel, and the coordinator consumes
+    // each morsel's output in morsel order *as it completes* — tail rows
+    // stream straight into the sorter instead of collecting every worker's
+    // output first, so the sorter can flush sorted runs while the workers
+    // are still scanning.  Per-morsel counters sum to the sequential
+    // counters, and morsel-ordered consumption restores the sequential
+    // scan order before the distinct/sort pass.  The SORT tail is the
+    // pipeline breaker here: under a memory budget the sorter flushes
+    // sorted runs to disk and merges them at the end (the run boundaries
+    // depend only on the morsel-ordered row stream and the budget, so the
+    // spill counters — like every other actual — are identical across
+    // degrees of parallelism).
     let morsel_size = effective_morsel_size(ctx.domain.len(), threads, cfg.morsel_size);
     let morsels = partition_morsels(ctx.domain.len(), morsel_size);
-    let outputs = execute_morsels(threads, morsels, |_, m| run_morsel(&ctx, m));
-
-    // Merge phase: per-morsel counters sum to the sequential counters, and
-    // feeding tail rows to the sorter in morsel order restores the
-    // sequential scan order before the distinct/sort pass.  The SORT tail
-    // is the pipeline breaker here: under a memory budget the sorter
-    // flushes sorted runs to disk and merges them at the end (the run
-    // boundaries depend only on the morsel-ordered row stream and the
-    // budget, so the spill counters — like every other actual — are
-    // identical across degrees of parallelism).
     let mut agg = pre_agg;
-    let mut per_morsel_ops: Vec<Vec<OpStats>> = Vec::with_capacity(outputs.len());
+    let mut per_morsel_ops: Vec<Vec<OpStats>> = Vec::new();
     let mut tail_rows_in = 0usize;
     let mut trace = ExecTrace::default();
     let mut sorter = ExternalSorter::new(spill.budget.clone(), spill.dir.clone());
+    sorter.set_typed_kernels(cfg.typed_kernels);
+    // DISTINCT repertoire: the classical dedup set keeps first-occurrence
+    // semantics but cannot spill (the whole set must stay resident).  With
+    // typed kernels on and a limited budget, a sort-based two-pass
+    // DISTINCT runs instead: pass 1 sorts by the select row (original
+    // sequence as tie-break) and drops adjacent duplicates with O(1)
+    // carry-over state, pass 2 re-sorts the survivors by (order key,
+    // original sequence) — byte-identical rows and order to the dedup set,
+    // with both passes free to spill.
+    let sort_distinct = plan.distinct && cfg.typed_kernels && spill.budget.limit().is_some();
     let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
     let mut seen_reserved = 0usize;
-    for o in outputs {
-        agg.add(&o.agg);
-        tail_rows_in += o.tail_rows;
-        if !o.trace.is_empty() {
-            trace.leaves.push((ctx.cstages[0].label.clone(), o.trace));
-        }
-        per_morsel_ops.push(o.ops);
-        for (sel, key) in o.rows {
-            if plan.distinct {
-                if !seen.insert(sel.clone()) {
+    let mut seq = 0u64;
+    execute_morsels_streaming(
+        threads,
+        morsels,
+        |_, m| run_morsel(&ctx, m),
+        |_, o| {
+            agg.add(&o.agg);
+            tail_rows_in += o.tail_rows;
+            if !o.trace.is_empty() {
+                trace.leaves.push((ctx.cstages[0].label.clone(), o.trace));
+            }
+            per_morsel_ops.push(o.ops);
+            for (sel, key) in o.rows {
+                if sort_distinct {
+                    // Pass-1 record: keyed by the select row; the payload
+                    // carries (original sequence, order key, select row).
+                    let mut payload: Row = Vec::with_capacity(1 + key.len() + sel.len());
+                    payload.push(Value::Int(seq as i64));
+                    payload.extend(key);
+                    payload.extend(sel.iter().cloned());
+                    sorter.push(sel, payload);
+                    seq += 1;
                     continue;
                 }
-                // The dedup set is a genuine buffer too: account it (it
-                // cannot spill — first-occurrence semantics need the whole
-                // set — so the booking is forced and pressures the sorter
-                // to go external earlier).
-                let est = row_footprint(&sel) + 48;
-                spill.budget.reserve_force(est);
-                seen_reserved += est;
+                if plan.distinct {
+                    if !seen.insert(sel.clone()) {
+                        continue;
+                    }
+                    // The dedup set is a genuine buffer too: account it (it
+                    // cannot spill — first-occurrence semantics need the whole
+                    // set — so the booking is forced and pressures the sorter
+                    // to go external earlier).
+                    let est = row_footprint(&sel) + 48;
+                    spill.budget.reserve_force(est);
+                    seen_reserved += est;
+                }
+                sorter.push(key, sel);
             }
-            sorter.push(key, sel);
-        }
-    }
+        },
+    );
     let mut operators = merge_worker_stats(&per_morsel_ops, cap);
     for (i, (op, build)) in operators.iter_mut().zip(&ctx.builds).enumerate() {
         if let Some(b) = build {
@@ -972,9 +1182,42 @@ pub fn execute_full(
     let mut tail = OpStats::named(name);
     tail.rows_in = tail_rows_in;
     tail.build_rows = tail_rows_in;
-    let sorted = sorter.finish();
+    let sorted = if sort_distinct {
+        // Pass 1: rows come back grouped by select row (ties in original
+        // sequence order); adjacent duplicates drop with one carried row.
+        let pass1 = sorter.finish();
+        let (runs1, bytes1, typed1) = (pass1.spill_runs, pass1.spill_bytes, pass1.typed_rows);
+        let kw = ctx.order_exprs.len();
+        let mut resort = ExternalSorter::new(spill.budget.clone(), spill.dir.clone());
+        resort.set_typed_kernels(cfg.typed_kernels);
+        let mut prev_sel: Option<Row> = None;
+        for mut payload in pass1 {
+            let sel: Row = payload.split_off(1 + kw);
+            let key: Row = payload.split_off(1);
+            if prev_sel.as_ref() == Some(&sel) {
+                continue;
+            }
+            let oseq = match payload[0] {
+                Value::Int(s) => s as u64,
+                _ => unreachable!("pass-1 payload starts with the sequence"),
+            };
+            prev_sel = Some(sel.clone());
+            // Pass 2: survivors re-sort by (order key, original sequence)
+            // — the explicit sequence reproduces the first-occurrence tie
+            // order of the dedup-set path exactly.
+            resort.push_with_seq(oseq, key, sel);
+        }
+        let mut sorted = resort.finish();
+        sorted.spill_runs += runs1;
+        sorted.spill_bytes += bytes1;
+        sorted.typed_rows += typed1;
+        sorted
+    } else {
+        sorter.finish()
+    };
     tail.spill_runs = sorted.spill_runs;
     tail.spill_bytes = sorted.spill_bytes;
+    tail.kernel_rows = sorted.typed_rows;
 
     // Output schema and table.
     let mut columns: Vec<String> = Vec::new();
@@ -993,6 +1236,7 @@ pub fn execute_full(
     }
     drop(seen);
     spill.budget.release(seen_reserved);
+    spill.budget.release(cached_reserved);
     tail.rows_out = table.len();
     tail.batches = tail.rows_out.div_ceil(cap);
     operators.push(tail);
@@ -1596,6 +1840,10 @@ struct ColMorselLeaf<'a> {
     cap: usize,
     /// Rows surviving the pushed-down filters (TBSCAN accounting).
     scan_rows: usize,
+    /// Scratch: live rids gathered for one kernel pass (reused per batch).
+    rid_buf: Vec<usize>,
+    /// Scratch: per-live-row keep flags of one kernel pass.
+    keep: Vec<bool>,
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
@@ -1630,6 +1878,8 @@ impl<'a> ColMorselLeaf<'a> {
             sizer: BatchSizer::new(cap, adaptive),
             cap,
             scan_rows: 0,
+            rid_buf: Vec::new(),
+            keep: Vec::new(),
             stats: OpStats::named(stage.label.clone()),
             sink,
             agg,
@@ -1667,9 +1917,37 @@ impl ColOperator for ColMorselLeaf<'_> {
                 }
             };
             // Column-at-a-time filtering: one selection-vector pass per
-            // predicate; dropped rows are never materialized.
-            for pred in &self.stage.access_preds {
-                out.retain_by_col(0, |rid| cpred_holds(pred, &EMPTY_ENV, Some((base, rid))));
+            // predicate; dropped rows are never materialized.  Predicates
+            // with a typed lowering run the branch-free kernels over the
+            // column image; the rest interpret the compiled predicate per
+            // live row.
+            for (pi, pred) in self.stage.access_preds.iter().enumerate() {
+                let tp = self.stage.typed_preds.get(pi).unwrap_or(&TypedPred::Scalar);
+                match tp {
+                    TypedPred::Int { vals, op, rhs } => {
+                        out.gather_col(0, &mut self.rid_buf);
+                        keep_cmp_i64(vals, &self.rid_buf, *op, *rhs, &mut self.keep);
+                        self.stats.kernel_rows += self.rid_buf.len();
+                        out.retain_by_flags(&self.keep);
+                    }
+                    TypedPred::Code { vals, op, rhs } => {
+                        out.gather_col(0, &mut self.rid_buf);
+                        keep_cmp_u32(vals, &self.rid_buf, *op, *rhs, &mut self.keep);
+                        self.stats.kernel_rows += self.rid_buf.len();
+                        out.retain_by_flags(&self.keep);
+                    }
+                    TypedPred::Const(verdict) => {
+                        let live = out.live();
+                        keep_const(live, *verdict, &mut self.keep);
+                        self.stats.kernel_rows += live;
+                        out.retain_by_flags(&self.keep);
+                    }
+                    TypedPred::Scalar => {
+                        out.retain_by_col(0, |rid| {
+                            cpred_holds(pred, &EMPTY_ENV, Some((base, rid)))
+                        });
+                    }
+                }
             }
             self.sizer.observe(scanned, out.live());
             if out.is_empty() {
@@ -1856,7 +2134,14 @@ impl ColOperator for ColNLJoin<'_> {
 struct ProbeState {
     batch: ColumnBatch,
     keys: Vec<Value>,
+    /// Kernelized key images (column-major, same layout as `keys`); filled
+    /// instead of `keys` when the stage carries `typed_keys`.
+    ikeys: Vec<i64>,
     hashes: Vec<Option<u64>>,
+    /// Pre-resolved build candidates per probe row, when the probe side of
+    /// a spilled build was spooled into Grace-partition order at prepare
+    /// time (each partition loaded at most once per batch).
+    cands: Option<Vec<Vec<usize>>>,
     pos: usize,
 }
 
@@ -1902,34 +2187,65 @@ impl<'a> ColHashJoin<'a> {
         }
     }
 
-    /// The vectorized key pass over a freshly pulled batch.
-    fn prepare(&self, batch: ColumnBatch) -> ProbeState {
+    /// The vectorized key pass over a freshly pulled batch.  With
+    /// kernelized keys the pass gathers flat `i64` key columns and hashes
+    /// them in one branch-free loop ([`hash_keys_i64`] is bit-identical to
+    /// [`hash_values`] over `Value::Int`, so bucket lookups and Grace
+    /// partition routing are unchanged); typed columns carry no NULLs, so
+    /// every probe row hashes.
+    fn prepare(&mut self, batch: ColumnBatch) -> ProbeState {
         let nk = self.stage.hash_keys.len();
         let live = batch.live();
-        let mut keys: Vec<Value> = Vec::with_capacity(nk * live);
-        for (expr, _) in &self.stage.hash_keys {
+        if let Some(tk) = &self.stage.typed_keys {
+            let mut rid_buf: Vec<usize> = Vec::new();
+            let mut ikeys: Vec<i64> = Vec::with_capacity(nk * live);
+            for &(slot, outer_vals, _) in tk {
+                batch.gather_col(slot, &mut rid_buf);
+                gather_i64(outer_vals, &rid_buf, &mut ikeys);
+            }
+            let mut hbuf: Vec<u64> = Vec::new();
+            hash_keys_i64(&ikeys, nk, live, &mut hbuf);
+            self.stats.kernel_rows += live;
+            // Probe side of a spilled build: group this batch's rows by
+            // Grace partition up front so each partition file is read at
+            // most once per batch.
+            let cands = self.parts.as_mut().map(|parts| parts.spool(&hbuf));
+            ProbeState {
+                batch,
+                keys: Vec::new(),
+                ikeys,
+                hashes: hbuf.into_iter().map(Some).collect(),
+                cands,
+                pos: 0,
+            }
+        } else {
+            let mut keys: Vec<Value> = Vec::with_capacity(nk * live);
+            for (expr, _) in &self.stage.hash_keys {
+                for i in 0..live {
+                    let env = ColEnv {
+                        tables: &self.stage.outer_tables,
+                        cols: batch.cols(),
+                        idx: batch.phys(i),
+                    };
+                    keys.push(ceval(expr, &env, None).into_owned());
+                }
+            }
+            let mut hashes = Vec::with_capacity(live);
             for i in 0..live {
-                let env = ColEnv {
-                    tables: &self.stage.outer_tables,
-                    cols: batch.cols(),
-                    idx: batch.phys(i),
-                };
-                keys.push(ceval(expr, &env, None).into_owned());
+                if (0..nk).any(|k| keys[k * live + i].is_null()) {
+                    hashes.push(None);
+                } else {
+                    hashes.push(Some(hash_values((0..nk).map(|k| &keys[k * live + i]))));
+                }
             }
-        }
-        let mut hashes = Vec::with_capacity(live);
-        for i in 0..live {
-            if (0..nk).any(|k| keys[k * live + i].is_null()) {
-                hashes.push(None);
-            } else {
-                hashes.push(Some(hash_values((0..nk).map(|k| &keys[k * live + i]))));
+            ProbeState {
+                batch,
+                keys,
+                ikeys: Vec::new(),
+                hashes,
+                cands: None,
+                pos: 0,
             }
-        }
-        ProbeState {
-            batch,
-            keys,
-            hashes,
-            pos: 0,
         }
     }
 
@@ -1938,16 +2254,18 @@ impl<'a> ColHashJoin<'a> {
         let Some(h) = st.hashes[i] else { return };
         let build = self.build;
         let stage = self.stage;
-        let candidates = match &build.backend {
-            BuildBackend::Mem(buckets) => buckets.get(&h),
-            BuildBackend::Spilled(_) => self
-                .parts
-                .as_mut()
-                .expect("partition cache for spilled build")
-                .candidates(h),
-        };
-        let Some(candidates) = candidates else {
-            return;
+        let candidates: &[usize] = match &st.cands {
+            // Pre-spooled at prepare time (typed probe of a spilled build).
+            Some(c) => &c[i],
+            None => match &build.backend {
+                BuildBackend::Mem(buckets) => buckets.get(&h).map_or(&[][..], Vec::as_slice),
+                BuildBackend::Spilled(_) => self
+                    .parts
+                    .as_mut()
+                    .expect("partition cache for spilled build")
+                    .candidates(h)
+                    .map_or(&[][..], Vec::as_slice),
+            },
         };
         let live = st.hashes.len();
         let phys = st.batch.phys(i);
@@ -1958,13 +2276,23 @@ impl<'a> ColHashJoin<'a> {
             idx: phys,
         };
         for &rid in candidates {
-            let row = &base.rows()[rid];
-            // Resolve hash collisions by comparing the borrowed key values.
-            let keys_match = build
-                .key_cols
-                .iter()
-                .enumerate()
-                .all(|(k, &c)| row[c] == st.keys[k * live + i]);
+            // Resolve hash collisions by comparing the key values: over
+            // kernelized keys an `i64` compare against the inner column
+            // image, otherwise the borrowed `Value` compare.
+            let keys_match = match &stage.typed_keys {
+                Some(tk) => tk
+                    .iter()
+                    .enumerate()
+                    .all(|(k, &(_, _, inner))| inner[rid] == st.ikeys[k * live + i]),
+                None => {
+                    let row = &base.rows()[rid];
+                    build
+                        .key_cols
+                        .iter()
+                        .enumerate()
+                        .all(|(k, &c)| row[c] == st.keys[k * live + i])
+                }
+            };
             if !keys_match {
                 continue;
             }
@@ -2603,6 +2931,18 @@ mod tests {
         assert_eq!(cache.hits(), hits, "catalog change drops cached builds");
     }
 
+    /// A copy of `s` with every operator's `kernel_rows` zeroed: the only
+    /// actual allowed to differ between the scalar and vectorized paths
+    /// (kernel engagement reports which representation ran, not what the
+    /// operators computed).
+    fn sans_kernels(s: &ExecStats) -> ExecStats {
+        let mut s = s.clone();
+        for op in &mut s.operators {
+            op.kernel_rows = 0;
+        }
+        s
+    }
+
     #[test]
     fn scalar_and_vectorized_paths_agree_on_results_and_counters() {
         let db = db();
@@ -2618,7 +2958,11 @@ mod tests {
             let (tv, sv) = execute_with_stats_config(&plan, &db, &vec_cfg);
             let (tr, sr) = execute_with_stats_config(&plan, &db, &row_cfg);
             assert_eq!(tv, tr, "{sql}");
-            assert_eq!(sv, sr, "{sql}: per-operator actuals must match");
+            assert_eq!(
+                sans_kernels(&sv),
+                sans_kernels(&sr),
+                "{sql}: per-operator actuals must match modulo kernel engagement"
+            );
         }
     }
 
@@ -2738,17 +3082,20 @@ mod tests {
         let q = parse_sql(SPILL_SQL).unwrap();
         let plan = optimize(&q, &db).unwrap();
         let budget = Some(16 * 1024);
-        let reference = execute_with_stats_config(
-            &plan,
-            &db,
-            &ExecConfig::sequential().with_mem_budget(budget),
-        );
-        assert!(
-            reference.1.operators.iter().any(|o| o.spill_runs > 0),
-            "fixture must spill"
-        );
-        for threads in [2, 4] {
-            for vectorize in [true, false] {
+        let mut references: Vec<(Table, ExecStats)> = Vec::new();
+        for vectorize in [true, false] {
+            let reference = execute_with_stats_config(
+                &plan,
+                &db,
+                &ExecConfig::sequential()
+                    .with_mem_budget(budget)
+                    .with_vectorize(vectorize),
+            );
+            assert!(
+                reference.1.operators.iter().any(|o| o.spill_runs > 0),
+                "fixture must spill"
+            );
+            for threads in [2, 4] {
                 let cfg = ExecConfig::sequential()
                     .with_mem_budget(budget)
                     .with_threads(threads)
@@ -2761,7 +3108,160 @@ mod tests {
                     "full actuals (spill counters included) must be DOP-invariant"
                 );
             }
+            references.push(reference);
         }
+        // Across the two operator repertoires only the kernel-engagement
+        // counters may differ — spill counters included, everything else
+        // is path-invariant.
+        assert_eq!(references[0].0, references[1].0);
+        assert_eq!(
+            sans_kernels(&references[0].1),
+            sans_kernels(&references[1].1),
+            "vectorize may only change kernel engagement"
+        );
+    }
+
+    #[test]
+    fn typed_kernels_toggle_changes_only_kernel_engagement() {
+        let db = big_db(1500);
+        let q = parse_sql(SPILL_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        for budget in [None, Some(16 * 1024)] {
+            let base = ExecConfig::sequential()
+                .with_vectorize(true)
+                .with_mem_budget(budget);
+            let (t_on, s_on) =
+                execute_with_stats_config(&plan, &db, &base.clone().with_typed_kernels(true));
+            let (t_off, s_off) =
+                execute_with_stats_config(&plan, &db, &base.with_typed_kernels(false));
+            assert_eq!(t_on, t_off, "budget {budget:?}");
+            // No DISTINCT in the plan: even the spill counters must agree —
+            // the kernels change the representation, not the row stream the
+            // pipeline breakers see.
+            assert_eq!(
+                sans_kernels(&s_on),
+                sans_kernels(&s_off),
+                "budget {budget:?}: toggle must be invisible modulo kernel_rows"
+            );
+            // With kernels on, the leaf predicate (`pre <= 200` over an
+            // all-i64 column) and the hash-join key pass both engage.
+            let leaf = &s_on.operators[0];
+            assert!(leaf.kernel_rows > 0, "leaf kernel engaged");
+            let hsjoin = s_on
+                .operators
+                .iter()
+                .find(|o| o.name.starts_with("HSJOIN"))
+                .unwrap();
+            assert!(hsjoin.kernel_rows > 0, "join key kernel engaged");
+            assert!(s_off.operators.iter().all(|o| o.kernel_rows == 0));
+        }
+    }
+
+    #[test]
+    fn dictionary_predicates_run_on_the_code_kernel() {
+        let db = big_db(300);
+        // `payload` is an all-string column, so its dictionary image is
+        // live; sweep every comparison shape including absent literals.
+        for (pred, engaged) in [
+            ("d1.payload = 'row-000123'", true),
+            ("d1.payload = 'absent'", true),
+            ("d1.payload <> 'row-000123'", true),
+            ("d1.payload < 'row-000100'", true),
+            ("d1.payload <= 'row-0000995'", true),
+            ("d1.payload > 'row-000200'", true),
+            ("d1.payload >= 'row-000200'", true),
+            ("'row-000100' <= d1.payload", true),
+            // Mixed-type comparison stays on the scalar path.
+            ("d1.payload > 7", false),
+        ] {
+            let sql = format!("SELECT d1.pre AS p FROM doc AS d1 WHERE {pred} ORDER BY d1.pre");
+            let q = parse_sql(&sql).unwrap();
+            let plan = optimize(&q, &db).unwrap();
+            let (t_on, s_on) = execute_with_stats_config(
+                &plan,
+                &db,
+                &ExecConfig::sequential()
+                    .with_vectorize(true)
+                    .with_typed_kernels(true),
+            );
+            let (t_off, _) = execute_with_stats_config(
+                &plan,
+                &db,
+                &ExecConfig::sequential()
+                    .with_vectorize(true)
+                    .with_typed_kernels(false),
+            );
+            assert_eq!(t_on, t_off, "{pred}");
+            let leaf = &s_on.operators[0];
+            assert_eq!(leaf.kernel_rows > 0, engaged, "{pred}");
+        }
+    }
+
+    #[test]
+    fn sort_based_distinct_matches_the_dedup_set_exactly() {
+        let db = big_db(2000);
+        let sql = "SELECT DISTINCT d1.grp AS g FROM doc AS d1 ORDER BY d1.grp";
+        let q = parse_sql(sql).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        assert!(plan.distinct);
+        let unlimited = ExecConfig::sequential().with_mem_budget(None);
+        let (t_ref, s_ref) = execute_with_stats_config(&plan, &db, &unlimited);
+        assert_eq!(t_ref.len(), 97);
+        for budget in [Some(4 * 1024), Some(64 * 1024)] {
+            let base = ExecConfig::sequential().with_mem_budget(budget);
+            // Typed kernels + limited budget engage the two-pass sort
+            // DISTINCT; kernels off keeps the classical dedup set.
+            let (t_sort, s_sort) =
+                execute_with_stats_config(&plan, &db, &base.clone().with_typed_kernels(true));
+            let (t_hash, s_hash) =
+                execute_with_stats_config(&plan, &db, &base.with_typed_kernels(false));
+            assert_eq!(t_sort, t_ref, "budget {budget:?}");
+            assert_eq!(t_hash, t_ref, "budget {budget:?}");
+            let sans_sort: Vec<OpStats> =
+                s_sort.operators.iter().map(OpStats::sans_spill).collect();
+            let sans_hash: Vec<OpStats> =
+                s_hash.operators.iter().map(OpStats::sans_spill).collect();
+            let sans_ref: Vec<OpStats> = s_ref.operators.iter().map(OpStats::sans_spill).collect();
+            assert_eq!(sans_sort, sans_ref);
+            assert_eq!(sans_hash, sans_ref);
+        }
+        // Under real pressure the sort DISTINCT spills where the dedup set
+        // could only overshoot its forced reservation.
+        let tight = ExecConfig::sequential()
+            .with_mem_budget(Some(4 * 1024))
+            .with_typed_kernels(true);
+        let (_, s) = execute_with_stats_config(&plan, &db, &tight);
+        let tail = s.operators.last().unwrap();
+        assert_eq!(tail.name, "SORT(distinct)");
+        assert!(tail.spill_runs > 0, "distinct tail spilled");
+    }
+
+    #[test]
+    fn cached_build_sides_charge_the_executing_budget() {
+        let db = big_db(900);
+        let q = parse_sql(SPILL_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        // A budget wide enough that the build side stays in memory (and so
+        // cacheable) but tight enough that the SORT tail spills: the spill
+        // pattern then depends on how much of the budget the build
+        // occupies — which must be identical whether the build was made
+        // fresh or fetched from the session cache.
+        let budget = Some(256 * 1024);
+        let cache = BuildCache::new();
+        let cfg = ExecConfig::sequential().with_mem_budget(budget);
+        let (t1, s1, _) = execute_full(&plan, &db, &cfg, Some(&cache));
+        assert_eq!(cache.hits(), 0);
+        let (t2, s2, _) = execute_full(&plan, &db, &cfg, Some(&cache));
+        assert!(cache.hits() > 0, "second run hits the cache");
+        assert_eq!(t1, t2);
+        let sort1 = s1.operators.last().unwrap();
+        let sort2 = s2.operators.last().unwrap();
+        assert!(sort1.spill_runs > 0, "fixture pressures the sort tail");
+        assert_eq!(
+            (sort1.spill_runs, sort1.spill_bytes),
+            (sort2.spill_runs, sort2.spill_bytes),
+            "a cache hit must occupy the budget exactly like a fresh build"
+        );
     }
 
     #[test]

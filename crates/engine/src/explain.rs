@@ -16,6 +16,14 @@
 //! * `spill_bytes` — bytes written across those runs, and
 //! * `partitions` — leaf partitions of a Grace-partitioned build side,
 //!
+//! the typed-kernel engagement counter when a kernel ran
+//!
+//! * `kernel_rows` — rows the operator pushed through a branch-free
+//!   typed-column kernel (leaf compare over `i64`/dictionary images,
+//!   hash-join key gather+hash, columnar SORT tail) instead of the scalar
+//!   `Value` path; `0` when `XQJG_TYPED_KERNELS=0`, when the operand
+//!   columns have no typed image, or when the operator ran row-at-a-time,
+//!
 //! and derives
 //!
 //! * `sel` — the operator's measured selectivity (`rows_out / rows_in`;
@@ -24,11 +32,13 @@
 //! * `avg_vec` — the average vector length (`rows_out / batches`), i.e.
 //!   how full the batches the operator shipped downstream actually were.
 //!
-//! The actuals are byte-identical across degrees of parallelism and across
-//! the vectorized/scalar executor switch (see the parity suites) — the
+//! The actuals are byte-identical across degrees of parallelism (the
 //! spill counters included, because spill decisions are made on the
-//! coordinator against the morsel-ordered row stream.  Across *budgets*
-//! the actuals agree modulo the spill counters (the spill parity suite).
+//! coordinator against the morsel-ordered row stream) and byte-identical
+//! modulo `kernel_rows` across the vectorized/scalar executor switch and
+//! the `XQJG_TYPED_KERNELS` toggle (the typed parity suite).  Across
+//! *budgets* the actuals additionally agree modulo the spill counters
+//! (the spill parity suite).
 
 use crate::exec::ExecStats;
 use crate::physical::{Access, JoinMethod, JoinNode, PhysPlan};

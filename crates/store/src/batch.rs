@@ -184,6 +184,16 @@ pub struct OpStats {
     /// Leaf partitions of a Grace-partitioned (spilled) hash-join build
     /// side; zero for in-memory builds.
     pub partitions: usize,
+    /// Rows the operator pushed through the typed-column kernels (compare/
+    /// hash/sort over `i64` or dictionary-code images) instead of scalar
+    /// [`crate::Value`] operations.  Zero when `XQJG_TYPED_KERNELS=0`, when
+    /// the relevant columns are not uniformly typed, or — on the SORT tail —
+    /// when the sorter went external (spilled runs merge through the scalar
+    /// record comparator).  Deterministic for a fixed configuration: the
+    /// engagement decision is per operator, never per batch, so the counter
+    /// is invariant across DOP and morsel/batch sizing like every other
+    /// actual.
+    pub kernel_rows: usize,
 }
 
 impl OpStats {
@@ -213,16 +223,22 @@ impl OpStats {
         self.spill_runs += other.spill_runs;
         self.spill_bytes += other.spill_bytes;
         self.partitions += other.partitions;
+        self.kernel_rows += other.kernel_rows;
     }
 
-    /// A copy with the spill counters zeroed — the equality the
-    /// spill-parity suite uses: execution under any memory budget must
-    /// match the unlimited-budget actuals *modulo* how much was spilled.
+    /// A copy with the memory-governor-dependent counters zeroed — the
+    /// equality the spill-parity suite uses: execution under any memory
+    /// budget must match the unlimited-budget actuals *modulo* how much was
+    /// spilled.  `kernel_rows` is zeroed too: the SORT tail's typed kernel
+    /// only engages when the sorter stayed in memory, so kernel engagement
+    /// is itself a governor effect (and the typed-parity suite compares the
+    /// typed and scalar paths through this same normalization).
     pub fn sans_spill(&self) -> OpStats {
         OpStats {
             spill_runs: 0,
             spill_bytes: 0,
             partitions: 0,
+            kernel_rows: 0,
             ..self.clone()
         }
     }
@@ -253,6 +269,9 @@ impl OpStats {
         }
         if self.partitions > 0 {
             parts.push(format!("partitions={}", self.partitions));
+        }
+        if self.kernel_rows > 0 {
+            parts.push(format!("kernel_rows={}", self.kernel_rows));
         }
         if self.rows_in > 0 {
             parts.push(format!(

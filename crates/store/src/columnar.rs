@@ -163,6 +163,37 @@ impl ColumnBatch {
         self.cols[col] = column;
     }
 
+    /// Gather the rids of column `col` for the live rows, in live order —
+    /// the input shape of the typed selection/hash kernels (which then run
+    /// over a dense slice instead of chasing the selection vector).
+    pub fn gather_col(&self, col: usize, out: &mut Vec<usize>) {
+        out.clear();
+        match &self.sel {
+            Some(s) => out.extend(s.iter().map(|&i| self.cols[col][i as usize])),
+            None => out.extend_from_slice(&self.cols[col]),
+        }
+    }
+
+    /// Refine the selection by a precomputed keep bitmap aligned with the
+    /// current *live* rows (`keep[i]` decides the `i`-th live row) — the
+    /// output shape of the typed selection kernels.
+    pub fn retain_by_flags(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.live(), "flag/live-row mismatch");
+        let next: Vec<u32> = match self.sel.take() {
+            Some(s) => s
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(i, &k)| k.then_some(i))
+                .collect(),
+            None => keep
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &k)| k.then_some(i as u32))
+                .collect(),
+        };
+        self.sel = Some(next);
+    }
+
     /// Drop filtered-out rows for real, clearing the selection vector.
     pub fn compact(&mut self) {
         let Some(sel) = self.sel.take() else { return };
@@ -323,6 +354,25 @@ mod tests {
         b.retain_by_col(0, |v| v > 3);
         assert_eq!(b.to_rows(), vec![vec![5, 105], vec![7, 107]]);
         assert_eq!(b.rows(), 8, "no rows were materialized away");
+    }
+
+    #[test]
+    fn gather_and_flag_retain_mirror_retain_by_col() {
+        let rows: Vec<Vec<usize>> = (0..8).map(|i| vec![i, 100 + i]).collect();
+        let mut a = ColumnBatch::from_rows(&rows, 8);
+        let mut b = a.clone();
+        // Narrow both to even physical rows first.
+        a.retain(|i| i % 2 == 0);
+        b.retain(|i| i % 2 == 0);
+        // a: closure filter; b: gather + kernel-style flags.
+        a.retain_by_col(1, |v| v >= 104);
+        let mut gathered = Vec::new();
+        b.gather_col(1, &mut gathered);
+        assert_eq!(gathered, vec![100, 102, 104, 106]);
+        let flags: Vec<bool> = gathered.iter().map(|&v| v >= 104).collect();
+        b.retain_by_flags(&flags);
+        assert_eq!(a.sel(), b.sel());
+        assert_eq!(a.to_rows(), b.to_rows());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Branch-free chunked kernels over typed columns.
+//!
+//! Every kernel is a plain data-parallel loop over primitive slices —
+//! comparisons produce booleans without branching in the loop body, so the
+//! compiler is free to autovectorize (no `std::simd`, no intrinsics).  The
+//! kernels are *exact* replacements for the scalar [`Value`] operations on
+//! the column shapes [`crate::TypedColumn`] guarantees:
+//!
+//! * an all-`Int` column compares like `Value::cmp` restricted to
+//!   integers, and hashes like [`crate::hash_values`] over `Value::Int`s
+//!   (bit-for-bit — spilled-vs-resident parity depends on identical probe
+//!   hashes), and
+//! * a dictionary-coded string column compares by code, the dictionary
+//!   being sorted.
+//!
+//! [`crate::Value::cmp`]'s NaN handling is irrelevant here by
+//! construction: typed columns never contain `Dec` values.
+
+use std::hash::{Hash, Hasher};
+
+use crate::value::Value;
+
+/// Comparison operator of the selection kernels (SQL semantics; the typed
+/// columns carry no NULLs, so three-valued logic degenerates to two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelCmp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Gather-and-compare kernel: for each row id in `rids`, push whether
+/// `vals[rid] op rhs` holds.  One tight loop per operator — the comparison
+/// is a flag materialization, not a branch.
+pub fn keep_cmp_i64(vals: &[i64], rids: &[usize], op: KernelCmp, rhs: i64, keep: &mut Vec<bool>) {
+    keep.clear();
+    keep.reserve(rids.len());
+    match op {
+        KernelCmp::Eq => keep.extend(rids.iter().map(|&r| vals[r] == rhs)),
+        KernelCmp::Ne => keep.extend(rids.iter().map(|&r| vals[r] != rhs)),
+        KernelCmp::Lt => keep.extend(rids.iter().map(|&r| vals[r] < rhs)),
+        KernelCmp::Le => keep.extend(rids.iter().map(|&r| vals[r] <= rhs)),
+        KernelCmp::Gt => keep.extend(rids.iter().map(|&r| vals[r] > rhs)),
+        KernelCmp::Ge => keep.extend(rids.iter().map(|&r| vals[r] >= rhs)),
+    }
+}
+
+/// [`keep_cmp_i64`] over dictionary codes.  Range operators must be
+/// rewritten against a dictionary boundary first (see
+/// [`crate::TypedColumn::dict_boundary`]); code comparison then equals
+/// string comparison because the dictionary is sorted.
+pub fn keep_cmp_u32(vals: &[u32], rids: &[usize], op: KernelCmp, rhs: u32, keep: &mut Vec<bool>) {
+    keep.clear();
+    keep.reserve(rids.len());
+    match op {
+        KernelCmp::Eq => keep.extend(rids.iter().map(|&r| vals[r] == rhs)),
+        KernelCmp::Ne => keep.extend(rids.iter().map(|&r| vals[r] != rhs)),
+        KernelCmp::Lt => keep.extend(rids.iter().map(|&r| vals[r] < rhs)),
+        KernelCmp::Le => keep.extend(rids.iter().map(|&r| vals[r] <= rhs)),
+        KernelCmp::Gt => keep.extend(rids.iter().map(|&r| vals[r] > rhs)),
+        KernelCmp::Ge => keep.extend(rids.iter().map(|&r| vals[r] >= rhs)),
+    }
+}
+
+/// Constant-verdict kernel (a dictionary miss: `= 'absent'` keeps nothing,
+/// `<> 'absent'` keeps everything).
+pub fn keep_const(n: usize, verdict: bool, keep: &mut Vec<bool>) {
+    keep.clear();
+    keep.resize(n, verdict);
+}
+
+/// Gather kernel: `out[i] = vals[rids[i]]`.
+pub fn gather_i64(vals: &[i64], rids: &[usize], out: &mut Vec<i64>) {
+    out.reserve(rids.len());
+    out.extend(rids.iter().map(|&r| vals[r]));
+}
+
+/// Hash kernel over column-major integer join keys (`nk` keys per row, key
+/// `k` of row `i` at `keys[k * live + i]`): one hash per row, identical
+/// bit-for-bit to [`crate::hash_values`] over the corresponding
+/// `Value::Int`s — the kernel only skips the enum dispatch, never changes
+/// the hash function, so in-memory buckets and Grace partition routing see
+/// the same hashes as the scalar path.
+pub fn hash_keys_i64(keys: &[i64], nk: usize, live: usize, out: &mut Vec<u64>) {
+    debug_assert_eq!(keys.len(), nk * live);
+    out.clear();
+    out.reserve(live);
+    for i in 0..live {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for k in 0..nk {
+            // `Value::Int`'s Hash impl: numeric discriminant, then the
+            // bits of the value's f64 image (an i64 cast never produces
+            // -0.0, so no normalization is needed).
+            2u8.hash(&mut h);
+            (keys[k * live + i] as f64).to_bits().hash(&mut h);
+        }
+        out.push(h.finish());
+    }
+}
+
+/// Stable permutation sort over columnar `i64` sort keys: returns the row
+/// indices `0..n` ordered lexicographically by the key columns, ties in
+/// input order.  This is the columnar SORT tail — keys are extracted once
+/// into flat columns, the permutation is sorted (indices move, rows do
+/// not), and the caller gathers payloads through it.
+pub fn sort_permutation_i64(cols: &[Vec<i64>], n: usize) -> Vec<u32> {
+    debug_assert!(cols.iter().all(|c| c.len() == n));
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    match cols {
+        [] => {}
+        [col] => perm.sort_by_key(|&i| col[i as usize]),
+        _ => perm.sort_by(|&a, &b| {
+            for col in cols {
+                let ord = col[a as usize].cmp(&col[b as usize]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        }),
+    }
+    perm
+}
+
+/// A sort key column in permutation-sort form: either an `i64` image or
+/// dictionary codes (whose order is string order).
+pub enum SortKey<'a> {
+    /// Integer keys.
+    I64(&'a [i64]),
+    /// Dictionary codes of a sorted dictionary.
+    Code(&'a [u32]),
+}
+
+/// Stable permutation sort over mixed typed key columns.
+pub fn sort_permutation_typed(cols: &[SortKey<'_>], n: usize) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by(|&a, &b| {
+        for col in cols {
+            let ord = match col {
+                SortKey::I64(v) => v[a as usize].cmp(&v[b as usize]),
+                SortKey::Code(v) => v[a as usize].cmp(&v[b as usize]),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    perm
+}
+
+/// Reference check used by the parity tests: does the kernel verdict for
+/// `lhs op rhs` match the scalar `Value` comparison?
+pub fn cmp_matches_value(op: KernelCmp, lhs: &Value, rhs: &Value) -> Option<bool> {
+    let ord = lhs.sql_cmp(rhs)?;
+    Some(match op {
+        KernelCmp::Eq => ord == std::cmp::Ordering::Equal,
+        KernelCmp::Ne => ord != std::cmp::Ordering::Equal,
+        KernelCmp::Lt => ord == std::cmp::Ordering::Less,
+        KernelCmp::Le => ord != std::cmp::Ordering::Greater,
+        KernelCmp::Gt => ord == std::cmp::Ordering::Greater,
+        KernelCmp::Ge => ord != std::cmp::Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::hash_values;
+
+    const OPS: [KernelCmp; 6] = [
+        KernelCmp::Eq,
+        KernelCmp::Ne,
+        KernelCmp::Lt,
+        KernelCmp::Le,
+        KernelCmp::Gt,
+        KernelCmp::Ge,
+    ];
+
+    #[test]
+    fn keep_cmp_i64_matches_scalar_comparison() {
+        let vals: Vec<i64> = vec![5, -3, 0, 7, 5, 100];
+        let rids: Vec<usize> = vec![0, 2, 3, 4, 5];
+        let mut keep = Vec::new();
+        for op in OPS {
+            keep_cmp_i64(&vals, &rids, op, 5, &mut keep);
+            for (i, &rid) in rids.iter().enumerate() {
+                let want = cmp_matches_value(op, &Value::Int(vals[rid]), &Value::Int(5)).unwrap();
+                assert_eq!(keep[i], want, "{op:?} rid {rid}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_kernel_matches_value_hashes() {
+        let live = 4;
+        // Column-major: key 0 = [1, -2, 0, 9], key 1 = [7, 7, 8, 8].
+        let keys: Vec<i64> = vec![1, -2, 0, 9, 7, 7, 8, 8];
+        let mut out = Vec::new();
+        hash_keys_i64(&keys, 2, live, &mut out);
+        for i in 0..live {
+            let vals = [Value::Int(keys[i]), Value::Int(keys[live + i])];
+            assert_eq!(out[i], hash_values(vals.iter()), "row {i}");
+        }
+    }
+
+    #[test]
+    fn sort_permutation_is_stable_and_lexicographic() {
+        let c0: Vec<i64> = vec![2, 1, 2, 1];
+        let c1: Vec<i64> = vec![9, 5, 3, 5];
+        let perm = sort_permutation_i64(&[c0.clone(), c1.clone()], 4);
+        assert_eq!(perm, vec![1, 3, 2, 0]);
+        // Single-column specialization keeps ties in input order.
+        let perm = sort_permutation_i64(&[vec![3, 1, 3, 1]], 4);
+        assert_eq!(perm, vec![1, 3, 0, 2]);
+        // Empty key: identity (pure seq order).
+        assert_eq!(sort_permutation_i64(&[], 3), vec![0, 1, 2]);
+        // Mixed typed keys sort codes like strings.
+        let perm =
+            sort_permutation_typed(&[SortKey::Code(&[1, 0, 1]), SortKey::I64(&[5, 9, 2])], 3);
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn keep_const_and_gather() {
+        let mut keep = Vec::new();
+        keep_const(3, false, &mut keep);
+        assert_eq!(keep, vec![false; 3]);
+        let mut out = Vec::new();
+        gather_i64(&[10, 20, 30], &[2, 0], &mut out);
+        assert_eq!(out, vec![30, 10]);
+    }
+}

@@ -19,7 +19,11 @@
 //! pipeline breakers memory-governed: a shared [`MemBudget`] accountant,
 //! an [`ExternalSorter`] (sorted runs + loser-tree merge) and Grace-style
 //! hash partitions ([`GraceBuilder`] / [`SpilledPartitions`]) let sorts
-//! and hash builds go external when `XQJG_MEM_BUDGET` trips.
+//! and hash builds go external when `XQJG_MEM_BUDGET` trips.  The
+//! [`typed`] module adds lazily-built typed column images ([`TypedColumns`]:
+//! flat `i64` columns and sorted-dictionary string columns) and [`kernel`]
+//! the branch-free chunked compare/hash/sort kernels over them — the
+//! representation the `XQJG_TYPED_KERNELS` hot paths run on.
 //!
 //! Nothing in this crate knows about XML or XQuery — it is a generic (if
 //! deliberately compact) relational kernel.
@@ -28,11 +32,13 @@ pub mod batch;
 pub mod btree;
 pub mod catalog;
 pub mod columnar;
+pub mod kernel;
 pub mod morsel;
 pub mod schema;
 pub mod spill;
 pub mod stats;
 pub mod table;
+pub mod typed;
 pub mod value;
 
 pub use batch::{
@@ -42,9 +48,14 @@ pub use batch::{
 pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
 pub use columnar::{BatchSizer, ColOperator, ColumnBatch, MAX_ADAPTIVE_GROWTH};
+pub use kernel::{
+    gather_i64, hash_keys_i64, keep_cmp_i64, keep_cmp_u32, keep_const, sort_permutation_i64,
+    sort_permutation_typed, KernelCmp, SortKey,
+};
 pub use morsel::{
-    default_threads, effective_morsel_size, execute_morsels, parse_bytes, partition_morsels,
-    ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE, MIN_MORSEL_SIZE,
+    default_threads, effective_morsel_size, execute_morsels, execute_morsels_streaming,
+    parse_bytes, partition_morsels, ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE,
+    MIN_MORSEL_SIZE,
 };
 pub use schema::Schema;
 pub use spill::{
@@ -53,4 +64,5 @@ pub use spill::{
 };
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, Table};
-pub use value::{hash_values, Value};
+pub use typed::{TypedColumn, TypedColumns};
+pub use value::{cmp_f64_total, hash_values, Value};

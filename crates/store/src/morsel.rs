@@ -176,6 +176,109 @@ where
         .collect()
 }
 
+/// Like [`execute_morsels`], but instead of collecting every per-morsel
+/// result before returning, `consume` runs on the *caller's* thread for
+/// each result **in morsel order, as soon as it is ready** — morsel `i`'s
+/// result is consumed the moment morsels `0..=i` have all finished, while
+/// workers keep producing `i+1..`.  This is what lets the coordinator
+/// stream worker output straight into a pipeline breaker (the SORT tail's
+/// [`crate::ExternalSorter`]) instead of holding every morsel's output
+/// alive until the slowest worker finishes.
+///
+/// Ordering and determinism match [`execute_morsels`] exactly; with one
+/// thread (or one morsel) produce and consume simply alternate inline.
+/// A panicking worker is resumed on the caller after the crew drains.
+pub fn execute_morsels_streaming<R, F, C>(
+    threads: usize,
+    morsels: Vec<Morsel>,
+    work: F,
+    mut consume: C,
+) where
+    R: Send,
+    F: Fn(usize, Morsel) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    if threads <= 1 || morsels.len() <= 1 {
+        for (i, m) in morsels.into_iter().enumerate() {
+            let r = work(i, m);
+            consume(i, r);
+        }
+        return;
+    }
+    let queue = MorselQueue::new(morsels);
+    let total = queue.len();
+    // One slot per morsel; workers fill slots under the mutex and signal
+    // the coordinator, which drains the ready prefix in order.  The state
+    // is (filled slots, completed count, first worker panic).
+    type SlotState<R> = (Vec<Option<R>>, usize, Option<Box<dyn std::any::Any + Send>>);
+    struct Shared<R> {
+        slots: std::sync::Mutex<SlotState<R>>,
+        ready: std::sync::Condvar,
+    }
+    let mut init: Vec<Option<R>> = Vec::with_capacity(total);
+    init.resize_with(total, || None);
+    let shared = Shared {
+        slots: std::sync::Mutex::new((init, 0, None)),
+        ready: std::sync::Condvar::new(),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(total) {
+            scope.spawn(|| {
+                while let Some((i, m)) = queue.take() {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(i, m))) {
+                        Ok(r) => {
+                            let mut g = shared.slots.lock().expect("streaming slots poisoned");
+                            g.0[i] = Some(r);
+                            g.1 += 1;
+                            drop(g);
+                            shared.ready.notify_one();
+                        }
+                        Err(panic) => {
+                            let mut g = shared.slots.lock().expect("streaming slots poisoned");
+                            g.2.get_or_insert(panic);
+                            g.1 += 1;
+                            drop(g);
+                            shared.ready.notify_one();
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        let mut next = 0usize;
+        let mut done = 0usize;
+        while next < total {
+            let r = {
+                let mut g = shared.slots.lock().expect("streaming slots poisoned");
+                loop {
+                    if let Some(panic) = g.2.take() {
+                        // A worker died: its claimed morsel will never fill
+                        // its slot.  Unwind on the caller; remaining workers
+                        // drain the queue and exit at scope end.
+                        drop(g);
+                        std::panic::resume_unwind(panic);
+                    }
+                    if let Some(r) = g.0[next].take() {
+                        break r;
+                    }
+                    if g.1 >= total && g.0[next].is_none() {
+                        // Every morsel is accounted for but this slot is
+                        // empty — only possible after a worker panic, which
+                        // the branch above surfaces.
+                        drop(g);
+                        panic!("streaming morsel {next} never produced a result");
+                    }
+                    g = shared.ready.wait(g).expect("streaming slots poisoned");
+                }
+            };
+            consume(next, r);
+            next += 1;
+            done += 1;
+        }
+        debug_assert_eq!(done, total);
+    });
+}
+
 /// Runtime execution knobs shared by every evaluation path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecConfig {
@@ -194,6 +297,13 @@ pub struct ExecConfig {
     /// selectivity (see [`crate::BatchSizer`]); `false` pins every chunk to
     /// `batch_capacity`.  Only meaningful on the vectorized path.
     pub adaptive: bool,
+    /// Run the typed-column kernels (branch-free compare/hash over flat
+    /// `i64`/dictionary images, columnar SORT tail) wherever the operand
+    /// columns have typed images.  `false` pins every comparison to the
+    /// scalar [`crate::Value`] path — the escape hatch the typed-parity
+    /// suite diffs against.  Results, order and counters (modulo the
+    /// `kernel_rows` engagement counter itself) are identical either way.
+    pub typed_kernels: bool,
     /// Memory budget in bytes for the pipeline breakers (SORT buffers,
     /// hash-join build sides, loaded probe partitions).  `None` never
     /// spills; any limit makes the breakers go external when their
@@ -214,6 +324,8 @@ impl ExecConfig {
     ///   (default: vectorized),
     /// * `XQJG_ADAPTIVE_BATCH` — `0` pins scan chunks to the batch capacity
     ///   (default: adaptive),
+    /// * `XQJG_TYPED_KERNELS` — `0` disables the typed-column kernels and
+    ///   pins every comparison to the scalar `Value` path (default: on),
     /// * `XQJG_MEM_BUDGET` — pipeline-breaker memory budget in bytes
     ///   (suffixes `k`/`m`/`g` accepted, e.g. `256k`; default: unlimited),
     /// * `XQJG_SPILL_DIR` — directory for spill runs (default: the system
@@ -225,6 +337,7 @@ impl ExecConfig {
             morsel_size: env_usize("XQJG_MORSEL_SIZE").unwrap_or(DEFAULT_MORSEL_SIZE),
             vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
             adaptive: env_bool("XQJG_ADAPTIVE_BATCH").unwrap_or(true),
+            typed_kernels: env_bool("XQJG_TYPED_KERNELS").unwrap_or(true),
             mem_budget: env_bytes("XQJG_MEM_BUDGET"),
             spill_dir: env_path("XQJG_SPILL_DIR"),
         }
@@ -232,10 +345,10 @@ impl ExecConfig {
 
     /// A sequential configuration with the default batch and morsel sizes
     /// (the reference configuration parity is measured against).  The
-    /// `XQJG_VECTORIZE`, `XQJG_MEM_BUDGET` and `XQJG_SPILL_DIR` switches
-    /// are still honored so the whole test suite can be pointed at the
-    /// scalar fallback path or a tight memory budget from the environment
-    /// (the CI matrix does exactly that).
+    /// `XQJG_VECTORIZE`, `XQJG_TYPED_KERNELS`, `XQJG_MEM_BUDGET` and
+    /// `XQJG_SPILL_DIR` switches are still honored so the whole test suite
+    /// can be pointed at the scalar fallback path or a tight memory budget
+    /// from the environment (the CI matrix does exactly that).
     pub fn sequential() -> Self {
         ExecConfig {
             threads: 1,
@@ -243,6 +356,7 @@ impl ExecConfig {
             morsel_size: DEFAULT_MORSEL_SIZE,
             vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
             adaptive: true,
+            typed_kernels: env_bool("XQJG_TYPED_KERNELS").unwrap_or(true),
             mem_budget: env_bytes("XQJG_MEM_BUDGET"),
             spill_dir: env_path("XQJG_SPILL_DIR"),
         }
@@ -278,6 +392,12 @@ impl ExecConfig {
         self
     }
 
+    /// Builder: enable or disable the typed-column kernels.
+    pub fn with_typed_kernels(mut self, typed: bool) -> Self {
+        self.typed_kernels = typed;
+        self
+    }
+
     /// Builder: set (or clear) the pipeline-breaker memory budget.
     pub fn with_mem_budget(mut self, bytes: Option<usize>) -> Self {
         self.mem_budget = bytes.filter(|&b| b > 0);
@@ -303,6 +423,7 @@ impl Default for ExecConfig {
             morsel_size: DEFAULT_MORSEL_SIZE,
             vectorize: true,
             adaptive: true,
+            typed_kernels: true,
             mem_budget: None,
             spill_dir: None,
         }
@@ -435,6 +556,44 @@ mod tests {
                 assert_eq!(*sum, morsels[i].range().sum::<usize>());
             }
         }
+    }
+
+    #[test]
+    fn streaming_consume_runs_in_morsel_order() {
+        for threads in [1, 2, 4, 8] {
+            let morsels = partition_morsels(1000, 7);
+            let expect: Vec<usize> = morsels.iter().map(|m| m.range().sum()).collect();
+            let mut got: Vec<(usize, usize)> = Vec::new();
+            execute_morsels_streaming(
+                threads,
+                morsels,
+                |_, m| m.range().sum::<usize>(),
+                |i, r| got.push((i, r)),
+            );
+            assert_eq!(got.len(), expect.len());
+            for (pos, (i, r)) in got.iter().enumerate() {
+                assert_eq!(*i, pos, "consume order at DOP {threads}");
+                assert_eq!(*r, expect[pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            execute_morsels_streaming(
+                4,
+                partition_morsels(1000, 7),
+                |i, _| {
+                    if i == 57 {
+                        panic!("worker blew up");
+                    }
+                    i
+                },
+                |_, _| {},
+            );
+        });
+        assert!(result.is_err(), "the worker panic must reach the caller");
     }
 
     #[test]

@@ -53,10 +53,22 @@ use std::sync::Arc;
 /// books unconditionally (used when an operator must make progress, e.g. a
 /// single probe partition larger than what is left) and the overshoot is
 /// visible in [`MemBudget::peak`].
+///
+/// Reservations come in two classes.  *Durable* reservations
+/// ([`MemBudget::try_reserve`] / [`MemBudget::reserve_force`]) are made on
+/// the coordinator in a deterministic order — build sides, the dedup set,
+/// sorter buffers — and are the only ones a pipeline breaker's spill
+/// decision may observe: spill counters are EXPLAIN actuals and must not
+/// depend on worker timing.  *Transient* reservations
+/// ([`MemBudget::try_reserve_transient`]) are worker-side caches whose
+/// lifetime depends on scheduling (loaded probe partitions); they count
+/// toward the limit for their own admission/eviction checks and toward
+/// [`MemBudget::peak`], but stay invisible to durable admission.
 #[derive(Debug)]
 pub struct MemBudget {
     limit: Option<usize>,
     used: AtomicUsize,
+    transient: AtomicUsize,
     peak: AtomicUsize,
 }
 
@@ -66,6 +78,7 @@ impl MemBudget {
         Arc::new(MemBudget {
             limit,
             used: AtomicUsize::new(0),
+            transient: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
         })
     }
@@ -75,9 +88,9 @@ impl MemBudget {
         self.limit
     }
 
-    /// Bytes currently reserved.
+    /// Bytes currently reserved (durable and transient).
     pub fn used(&self) -> usize {
-        self.used.load(AtOrd::Relaxed)
+        self.used.load(AtOrd::Relaxed) + self.transient.load(AtOrd::Relaxed)
     }
 
     /// High-water mark of reserved bytes (including forced overshoot).
@@ -122,9 +135,56 @@ impl MemBudget {
         debug_assert!(prev >= bytes, "releasing more than was reserved");
     }
 
+    /// Try to book `bytes` as a transient (worker-side) reservation.  The
+    /// admission check sees the whole occupancy — durable plus transient —
+    /// so worker caches still compete for the same allowance, but the
+    /// booking itself never influences a durable [`Self::try_reserve`].
+    pub fn try_reserve_transient(&self, bytes: usize) -> bool {
+        let Some(limit) = self.limit else {
+            self.bump_transient(bytes);
+            return true;
+        };
+        let durable = self.used.load(AtOrd::Relaxed);
+        let mut cur = self.transient.load(AtOrd::Relaxed);
+        loop {
+            if durable.saturating_add(cur).saturating_add(bytes) > limit {
+                return false;
+            }
+            match self.transient.compare_exchange_weak(
+                cur,
+                cur + bytes,
+                AtOrd::Relaxed,
+                AtOrd::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.track_peak(durable + cur + bytes);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Book `bytes` transiently and unconditionally (progress guarantee
+    /// for a single cache entry larger than what is left).
+    pub fn reserve_transient_force(&self, bytes: usize) {
+        self.bump_transient(bytes);
+    }
+
+    /// Return a previous transient reservation.
+    pub fn release_transient(&self, bytes: usize) {
+        let prev = self.transient.fetch_sub(bytes, AtOrd::Relaxed);
+        debug_assert!(prev >= bytes, "releasing more than was reserved");
+    }
+
     fn bump(&self, bytes: usize) {
         let now = self.used.fetch_add(bytes, AtOrd::Relaxed) + bytes;
-        self.track_peak(now);
+        self.track_peak(now + self.transient.load(AtOrd::Relaxed));
+    }
+
+    fn bump_transient(&self, bytes: usize) {
+        let now = self.transient.fetch_add(bytes, AtOrd::Relaxed) + bytes;
+        self.track_peak(now + self.used.load(AtOrd::Relaxed));
     }
 
     fn track_peak(&self, now: usize) {
@@ -524,6 +584,10 @@ pub struct ExternalSorter {
     buf: Vec<SortRec>,
     reserved: usize,
     seq: u64,
+    count: usize,
+    last_seq: Option<u64>,
+    monotonic: bool,
+    typed: bool,
     budget: Arc<MemBudget>,
     dir: PathBuf,
     runs: Vec<(SpillFile, usize)>,
@@ -540,6 +604,10 @@ impl ExternalSorter {
             buf: Vec::new(),
             reserved: 0,
             seq: 0,
+            count: 0,
+            last_seq: None,
+            monotonic: true,
+            typed: false,
             budget,
             dir,
             runs: Vec::new(),
@@ -548,8 +616,36 @@ impl ExternalSorter {
         }
     }
 
+    /// Opt in to the columnar finish: when the sort never spilled, the seqs
+    /// are monotonic and every key column is all-`Int`, [`finish`] extracts
+    /// the keys into flat columns, sorts a permutation and gathers the
+    /// payloads through it instead of comparing `Row`s.  Output order is
+    /// identical either way; [`SortedRows::typed_rows`] reports engagement.
+    ///
+    /// [`finish`]: ExternalSorter::finish
+    pub fn set_typed_kernels(&mut self, on: bool) {
+        self.typed = on;
+    }
+
     /// Buffer one row; may flush a run when the budget trips.
     pub fn push(&mut self, key: Row, payload: Row) {
+        let s = self.seq;
+        self.seq += 1;
+        self.push_with_seq(s, key, payload);
+    }
+
+    /// Buffer one row under a caller-chosen sequence number (the tie-break
+    /// after the key).  The two-pass DISTINCT uses this to re-sort rows
+    /// under their *original* arrival seqs.  When the supplied seqs are not
+    /// non-decreasing the in-memory finish falls back to a full
+    /// `(key, seq)` sort (a key-only stable sort would no longer encode
+    /// seq order).
+    pub fn push_with_seq(&mut self, seq: u64, key: Row, payload: Row) {
+        if self.last_seq.is_some_and(|p| seq < p) {
+            self.monotonic = false;
+        }
+        self.last_seq = Some(seq);
+        self.count += 1;
         let est = row_footprint(&key) + row_footprint(&payload) + std::mem::size_of::<SortRec>();
         if !self.budget.try_reserve(est) {
             // The budget is full.  Flush a run once the buffer has reached
@@ -564,12 +660,7 @@ impl ExternalSorter {
             self.budget.reserve_force(est);
         }
         self.reserved += est;
-        self.buf.push(SortRec {
-            seq: self.seq,
-            key,
-            payload,
-        });
-        self.seq += 1;
+        self.buf.push(SortRec { seq, key, payload });
     }
 
     /// Smallest buffered footprint worth writing as a run: a quarter of
@@ -584,12 +675,12 @@ impl ExternalSorter {
 
     /// Rows pushed so far.
     pub fn len(&self) -> usize {
-        self.seq as usize
+        self.count
     }
 
     /// Has nothing been pushed yet?
     pub fn is_empty(&self) -> bool {
-        self.seq == 0
+        self.count == 0
     }
 
     fn flush_run(&mut self) {
@@ -612,13 +703,24 @@ impl ExternalSorter {
     /// carries the final spill counters.
     pub fn finish(mut self) -> SortedRows {
         if self.runs.is_empty() {
-            // Pure in-memory path: seq is increasing in push order, so a
-            // stable sort by key alone reproduces `(key, seq)` order.
-            self.buf.sort_by(|a, b| a.key.cmp(&b.key));
+            if self.typed && self.monotonic {
+                if let Some(rows) = self.finish_typed() {
+                    return rows;
+                }
+            }
+            if self.monotonic {
+                // Pure in-memory path: seq is non-decreasing in push order,
+                // so a stable sort by key alone reproduces `(key, seq)`
+                // order.
+                self.buf.sort_by(|a, b| a.key.cmp(&b.key));
+            } else {
+                self.buf.sort_by(SortRec::cmp_order);
+            }
             let buf = std::mem::take(&mut self.buf);
             return SortedRows {
                 spill_runs: 0,
                 spill_bytes: 0,
+                typed_rows: 0,
                 source: SortedSource::Mem(buf.into_iter()),
             };
         }
@@ -658,8 +760,55 @@ impl ExternalSorter {
         SortedRows {
             spill_runs: self.spill_runs,
             spill_bytes: self.spill_bytes,
+            typed_rows: 0,
             source: SortedSource::Merge(Box::new(LoserTree::new(cursors))),
         }
+    }
+
+    /// The columnar in-memory finish: extract every key column into a flat
+    /// `i64` image, sort a permutation, gather payloads.  Bails (`None`)
+    /// when the keys are empty, ragged or not all-`Int` — the caller falls
+    /// back to the row comparator.  Only valid on the never-spilled,
+    /// monotonic-seq path: the permutation sort is stable, so ties stay in
+    /// buffer order, which there equals seq order.
+    fn finish_typed(&mut self) -> Option<SortedRows> {
+        let n = self.buf.len();
+        let kw = self.buf.first().map(|r| r.key.len()).unwrap_or(0);
+        if kw == 0 {
+            return None;
+        }
+        let mut cols: Vec<Vec<i64>> = (0..kw).map(|_| Vec::with_capacity(n)).collect();
+        for rec in &self.buf {
+            if rec.key.len() != kw {
+                return None;
+            }
+            for (k, v) in rec.key.iter().enumerate() {
+                match v {
+                    Value::Int(i) => cols[k].push(*i),
+                    _ => return None,
+                }
+            }
+        }
+        let perm = crate::kernel::sort_permutation_i64(&cols, n);
+        let mut old: Vec<Option<SortRec>> = std::mem::take(&mut self.buf)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let rows: Vec<Row> = perm
+            .iter()
+            .map(|&i| {
+                old[i as usize]
+                    .take()
+                    .expect("permutation is a bijection")
+                    .payload
+            })
+            .collect();
+        Some(SortedRows {
+            spill_runs: 0,
+            spill_bytes: 0,
+            typed_rows: n,
+            source: SortedSource::Rows(rows.into_iter()),
+        })
     }
 }
 
@@ -672,6 +821,7 @@ impl Drop for ExternalSorter {
 
 enum SortedSource {
     Mem(std::vec::IntoIter<SortRec>),
+    Rows(std::vec::IntoIter<Row>),
     Merge(Box<LoserTree>),
 }
 
@@ -681,6 +831,10 @@ pub struct SortedRows {
     pub spill_runs: usize,
     /// Bytes the sorter wrote.
     pub spill_bytes: usize,
+    /// Rows ordered by the typed permutation-sort kernel (0 when the sort
+    /// went external, the keys were not all-`Int`, or typed kernels were
+    /// never requested via [`ExternalSorter::set_typed_kernels`]).
+    pub typed_rows: usize,
     source: SortedSource,
 }
 
@@ -690,6 +844,7 @@ impl Iterator for SortedRows {
     fn next(&mut self) -> Option<Row> {
         match &mut self.source {
             SortedSource::Mem(iter) => iter.next().map(|r| r.payload),
+            SortedSource::Rows(iter) => iter.next(),
             SortedSource::Merge(tree) => tree.pop().map(|r| r.payload),
         }
     }
@@ -1034,6 +1189,74 @@ mod tests {
             assert!(runs > 0, "budget {budget} must force runs");
             assert_eq!(spilled, expect, "budget {budget} changed the order");
         }
+    }
+
+    #[test]
+    fn typed_finish_matches_row_comparator() {
+        let mut rows: Vec<(Row, Row)> = Vec::new();
+        for i in 0..300usize {
+            let key = vec![Value::Int((i % 7) as i64), Value::Int(-((i % 3) as i64))];
+            let payload = vec![Value::Int(i as i64), Value::str(format!("p{i}"))];
+            rows.push((key, payload));
+        }
+        let mut expect: Vec<(Row, Row)> = rows.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        let expect: Vec<Row> = expect.into_iter().map(|(_, p)| p).collect();
+
+        let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
+        s.set_typed_kernels(true);
+        for (key, payload) in rows.clone() {
+            s.push(key, payload);
+        }
+        let sorted = s.finish();
+        assert_eq!(
+            sorted.typed_rows, 300,
+            "all-Int keys must engage the kernel"
+        );
+        assert_eq!(sorted.collect::<Vec<Row>>(), expect);
+
+        // A string key bails to the row comparator with identical output.
+        let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
+        s.set_typed_kernels(true);
+        for (key, payload) in rows {
+            let mut key = key;
+            key.push(Value::str("tail"));
+            s.push(key, payload);
+        }
+        let sorted = s.finish();
+        assert_eq!(
+            sorted.typed_rows, 0,
+            "string key must not engage the kernel"
+        );
+        assert_eq!(sorted.collect::<Vec<Row>>(), expect);
+    }
+
+    #[test]
+    fn explicit_seqs_control_the_tie_break() {
+        // Push in reverse seq order: a key-only stable sort would keep push
+        // order within equal keys; (key, seq) order must reverse it.
+        let n = 50u64;
+        for typed in [false, true] {
+            let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
+            s.set_typed_kernels(typed);
+            for i in 0..n {
+                s.push_with_seq(n - i, vec![Value::Int(0)], vec![Value::Int(i as i64)]);
+            }
+            let got: Vec<Row> = s.finish().collect();
+            let expect: Vec<Row> = (0..n).rev().map(|i| vec![Value::Int(i as i64)]).collect();
+            assert_eq!(got, expect, "typed={typed}");
+        }
+        // Monotonic explicit seqs (with gaps) keep the fast path valid.
+        let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
+        s.set_typed_kernels(true);
+        for i in 0..n {
+            s.push_with_seq(i * 10, vec![Value::Int(0)], vec![Value::Int(i as i64)]);
+        }
+        let sorted = s.finish();
+        assert_eq!(sorted.typed_rows, n as usize);
+        let got: Vec<Row> = sorted.collect();
+        let expect: Vec<Row> = (0..n).map(|i| vec![Value::Int(i as i64)]).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

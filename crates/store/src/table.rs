@@ -4,17 +4,29 @@
 //! the shredded XML encoding, intermediate results of the stacked-plan
 //! evaluator, and the output of the physical operators of `xqjg-engine`.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::schema::Schema;
+use crate::typed::{TypedColumn, TypedColumns};
 use crate::value::Value;
 
 /// A row: one value per schema column.
 pub type Row = Vec<Value>;
 
-/// A table: a schema plus rows.
-#[derive(Debug, Clone, PartialEq)]
+/// A table: a schema plus rows, plus a lazily-built [`TypedColumns`] image
+/// the kernelized hot paths read (invalidated on any mutation; never part
+/// of the table's identity — equality compares schema and rows only).
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
+    typed: OnceLock<Arc<TypedColumns>>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -23,6 +35,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            typed: OnceLock::new(),
         }
     }
 
@@ -40,7 +53,11 @@ impl Table {
                 schema
             );
         }
-        Table { schema, rows }
+        Table {
+            schema,
+            rows,
+            typed: OnceLock::new(),
+        }
     }
 
     /// The table's schema.
@@ -70,6 +87,7 @@ impl Table {
             row.len(),
             self.schema
         );
+        self.typed.take();
         self.rows.push(row);
     }
 
@@ -78,9 +96,20 @@ impl Table {
         &self.rows
     }
 
-    /// Mutable row access (used by sort operators).
+    /// Mutable row access (used by sort operators).  Invalidates the typed
+    /// column cache — the caller may rewrite any row.
     pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        self.typed.take();
         &mut self.rows
+    }
+
+    /// The typed column images of this table, built on first use and
+    /// memoized until the table is mutated.  Thread-safe: parallel workers
+    /// share one image per table.
+    pub fn typed(&self) -> &TypedColumns {
+        self.typed
+            .get_or_init(|| Arc::new(TypedColumns::build(self.schema.len(), &self.rows)))
+            .as_ref()
     }
 
     /// Consume the table, returning its rows.
@@ -106,7 +135,7 @@ impl Table {
             .iter()
             .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Table { schema, rows }
+        Table::from_rows(schema, rows)
     }
 
     /// Keep only rows satisfying the predicate.
@@ -117,18 +146,45 @@ impl Table {
             .filter(|r| pred(r, &self.schema))
             .cloned()
             .collect();
-        Table {
-            schema: self.schema.clone(),
-            rows,
-        }
+        Table::from_rows(self.schema.clone(), rows)
     }
 
     /// Sort rows by the given columns ascending (stable).
+    ///
+    /// When every sort column has a typed image the sort runs columnar:
+    /// the keys are extracted once, a permutation is sorted (rows never
+    /// move during comparison), and the rows are gathered through it.  The
+    /// typed key order equals [`Value::cmp`] on the column's values, so
+    /// both paths produce identical row orders.
     pub fn sort_by_columns(&mut self, columns: &[String]) {
         let idx: Vec<usize> = columns
             .iter()
             .map(|c| self.schema.expect_index(c))
             .collect();
+        let typed: Option<Vec<TypedColumn>> = idx
+            .iter()
+            .map(|&i| TypedColumn::from_rows(&self.rows, i))
+            .collect();
+        self.typed.take();
+        if let Some(cols) = typed {
+            let keys: Vec<crate::kernel::SortKey<'_>> = cols
+                .iter()
+                .map(|c| match c {
+                    TypedColumn::Int(v) => crate::kernel::SortKey::I64(v),
+                    TypedColumn::Dict { codes, .. } => crate::kernel::SortKey::Code(codes),
+                })
+                .collect();
+            let perm = crate::kernel::sort_permutation_typed(&keys, self.rows.len());
+            let mut old: Vec<Option<Row>> = std::mem::take(&mut self.rows)
+                .into_iter()
+                .map(Some)
+                .collect();
+            self.rows = perm
+                .iter()
+                .map(|&i| old[i as usize].take().expect("permutation is a bijection"))
+                .collect();
+            return;
+        }
         self.rows.sort_by(|a, b| {
             for &i in &idx {
                 let o = a[i].cmp(&b[i]);
@@ -141,19 +197,18 @@ impl Table {
     }
 
     /// Remove duplicate rows (set semantics); preserves the first occurrence
-    /// order.
+    /// order.  Dedup goes through row indices, so each surviving row is
+    /// cloned exactly once (the set borrows, the output clones).
     pub fn distinct(&self) -> Table {
-        let mut seen = std::collections::HashSet::new();
-        let mut rows = Vec::new();
-        for r in &self.rows {
-            if seen.insert(r.clone()) {
-                rows.push(r.clone());
+        let mut seen: std::collections::HashSet<&Row> = std::collections::HashSet::new();
+        let mut keep: Vec<usize> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if seen.insert(r) {
+                keep.push(i);
             }
         }
-        Table {
-            schema: self.schema.clone(),
-            rows,
-        }
+        let rows = keep.into_iter().map(|i| self.rows[i].clone()).collect();
+        Table::from_rows(self.schema.clone(), rows)
     }
 
     /// Pretty-print the table (used by examples, EXPLAIN output and tests).
@@ -219,6 +274,43 @@ mod tests {
         s.sort_by_columns(&["item".to_string(), "iter".to_string()]);
         assert_eq!(s.rows()[0], vec![Value::Int(1), Value::Int(10)]);
         assert_eq!(s.rows()[1], vec![Value::Int(2), Value::Int(10)]);
+    }
+
+    #[test]
+    fn typed_cache_builds_lazily_and_invalidates_on_mutation() {
+        let mut t = sample();
+        assert_eq!(t.typed().int_col(0), Some(&[1i64, 1, 2][..]));
+        assert_eq!(t.typed().int_col(1), Some(&[10i64, 12, 10][..]));
+        t.push(vec![Value::Int(3), Value::Null]);
+        // The cache was dropped on push; the new image sees the NULL.
+        assert_eq!(t.typed().int_col(0), Some(&[1i64, 1, 2, 3][..]));
+        assert!(t.typed().col(1).is_none());
+        t.rows_mut()[3][1] = Value::Int(7);
+        assert_eq!(t.typed().int_col(1), Some(&[10i64, 12, 10, 7][..]));
+    }
+
+    #[test]
+    fn typed_sort_matches_value_sort() {
+        let mk = |rows: Vec<Row>| Table::from_rows(Schema::new(["k", "s", "m"]), rows);
+        let rows = vec![
+            vec![Value::Int(2), Value::str("b"), Value::Dec(0.5)],
+            vec![Value::Int(1), Value::str("c"), Value::Int(1)],
+            vec![Value::Int(2), Value::str("a"), Value::Null],
+            vec![Value::Int(1), Value::str("c"), Value::str("x")],
+        ];
+        // Typed path: (k, s) are uniformly typed.
+        let mut typed = mk(rows.clone());
+        typed.sort_by_columns(&["k".to_string(), "s".to_string()]);
+        // Reference: the scalar comparator over the same columns ("m" is
+        // mixed, so sorting by it exercises the fallback path).
+        let mut scalar = mk(rows.clone());
+        scalar
+            .rows_mut()
+            .sort_by(|a, b| a[0].cmp(&b[0]).then_with(|| a[1].cmp(&b[1])));
+        assert_eq!(typed, scalar);
+        let mut mixed = mk(rows);
+        mixed.sort_by_columns(&["m".to_string()]);
+        assert!(mixed.rows()[0][2].is_null(), "NULL sorts first");
     }
 
     #[test]

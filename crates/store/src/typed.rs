@@ -1,0 +1,202 @@
+//! Typed column images of row tables — the representation the kernelized
+//! hot paths run on.
+//!
+//! The shredded XML encoding is dominated by `i64` columns (`pre`, `size`,
+//! `level`, surrogate ids) and low-cardinality strings (`name`, `kind`).
+//! [`TypedColumns`] extracts, per column and lazily, either
+//!
+//! * a flat `Vec<i64>` image (every value is `Value::Int`, no NULLs), or
+//! * a dictionary-coded image of an all-string column whose dictionary is
+//!   *sorted*, so code order equals string order and code equality equals
+//!   string equality,
+//!
+//! and leaves mixed/NULL-bearing columns untyped (`None`) — the scalar
+//! [`Value`] path remains the semantics of record for those.  The compare,
+//! equality and hash kernels in [`crate::kernel`] run over these images in
+//! branch-free chunked loops; [`crate::Table::typed`] memoizes one image
+//! per table and invalidates it on mutation.
+
+use crate::table::Row;
+use crate::value::Value;
+
+/// A typed image of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypedColumn {
+    /// Every value in the column is `Value::Int`.
+    Int(Vec<i64>),
+    /// Every value is `Value::Str`.  `codes[i]` indexes into `dict`, and
+    /// `dict` is sorted and deduplicated: comparing codes is comparing
+    /// strings.
+    Dict { codes: Vec<u32>, dict: Vec<String> },
+}
+
+impl TypedColumn {
+    /// The `i64` image, when this is an all-integer column.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            TypedColumn::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The dictionary codes, when this is an all-string column.
+    pub fn as_dict(&self) -> Option<(&[u32], &[String])> {
+        match self {
+            TypedColumn::Dict { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Dictionary code of `s`, if it occurs in this column.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        match self {
+            TypedColumn::Dict { dict, .. } => dict
+                .binary_search_by(|d| d.as_str().cmp(s))
+                .ok()
+                .map(|i| i as u32),
+            _ => None,
+        }
+    }
+
+    /// Number of dictionary entries strictly smaller than `s` (the
+    /// partition point): for any code `c`, `c < boundary` iff
+    /// `dict[c] < s`.  Range predicates over dictionary codes reduce to
+    /// integer comparisons against this boundary.
+    pub fn dict_boundary(&self, s: &str) -> Option<u32> {
+        match self {
+            TypedColumn::Dict { dict, .. } => Some(dict.partition_point(|d| d.as_str() < s) as u32),
+            _ => None,
+        }
+    }
+
+    /// Build the typed image of column `col`, or `None` when the column is
+    /// not uniformly typed.
+    pub fn from_rows(rows: &[Row], col: usize) -> Option<TypedColumn> {
+        if rows.is_empty() {
+            return None;
+        }
+        match rows[0][col] {
+            Value::Int(_) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    match r[col] {
+                        Value::Int(i) => out.push(i),
+                        _ => return None,
+                    }
+                }
+                Some(TypedColumn::Int(out))
+            }
+            Value::Str(_) => {
+                let mut strs: Vec<&str> = Vec::with_capacity(rows.len());
+                for r in rows {
+                    match &r[col] {
+                        Value::Str(s) => strs.push(s),
+                        _ => return None,
+                    }
+                }
+                let mut dict: Vec<&str> = strs.clone();
+                dict.sort_unstable();
+                dict.dedup();
+                let codes = strs
+                    .iter()
+                    .map(|s| dict.binary_search(s).expect("string in dictionary") as u32)
+                    .collect();
+                Some(TypedColumn::Dict {
+                    codes,
+                    dict: dict.into_iter().map(str::to_owned).collect(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The typed images of a table's columns (one slot per schema column;
+/// `None` for columns without a uniform scalar type).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TypedColumns {
+    cols: Vec<Option<TypedColumn>>,
+}
+
+impl TypedColumns {
+    /// Build the typed image of every column of `rows`.
+    pub fn build(arity: usize, rows: &[Row]) -> TypedColumns {
+        TypedColumns {
+            cols: (0..arity)
+                .map(|c| TypedColumn::from_rows(rows, c))
+                .collect(),
+        }
+    }
+
+    /// The typed image of column `i`, if it has one.
+    pub fn col(&self, i: usize) -> Option<&TypedColumn> {
+        self.cols.get(i).and_then(|c| c.as_ref())
+    }
+
+    /// The `i64` image of column `i`, if it is all-integer.
+    pub fn int_col(&self, i: usize) -> Option<&[i64]> {
+        self.col(i).and_then(TypedColumn::as_int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(3), Value::str("b"), Value::Dec(1.5)],
+            vec![Value::Int(1), Value::str("a"), Value::Int(2)],
+            vec![Value::Int(3), Value::str("b"), Value::Null],
+        ]
+    }
+
+    #[test]
+    fn classifies_columns_by_uniform_type() {
+        let t = TypedColumns::build(3, &rows());
+        assert_eq!(t.int_col(0), Some(&[3i64, 1, 3][..]));
+        let (codes, dict) = t.col(1).unwrap().as_dict().unwrap();
+        assert_eq!(dict, &["a".to_string(), "b".to_string()]);
+        assert_eq!(codes, &[1, 0, 1]);
+        assert!(t.col(2).is_none(), "mixed column stays untyped");
+    }
+
+    #[test]
+    fn dictionary_order_equals_string_order() {
+        let rows: Vec<Row> = ["pear", "apple", "fig", "apple"]
+            .iter()
+            .map(|s| vec![Value::str(*s)])
+            .collect();
+        let col = TypedColumn::from_rows(&rows, 0).unwrap();
+        let (codes, dict) = col.as_dict().unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            for (j, s) in rows.iter().enumerate() {
+                let by_code = codes[i].cmp(&codes[j]);
+                let by_str = r[0].cmp(&s[0]);
+                assert_eq!(by_code, by_str, "rows {i} vs {j}");
+            }
+        }
+        assert_eq!(
+            col.code_of("fig"),
+            Some(dict.iter().position(|d| d == "fig").unwrap() as u32)
+        );
+        assert_eq!(col.code_of("grape"), None);
+        // Boundary: codes < boundary("fig") are exactly the strings < "fig".
+        let b = col.dict_boundary("fig").unwrap();
+        for (c, d) in dict.iter().enumerate() {
+            assert_eq!((c as u32) < b, d.as_str() < "fig");
+        }
+        // A probe between dictionary entries still gets a usable boundary.
+        let b = col.dict_boundary("grape").unwrap();
+        for (c, d) in dict.iter().enumerate() {
+            assert_eq!((c as u32) < b, d.as_str() < "grape");
+        }
+    }
+
+    #[test]
+    fn empty_and_null_columns_stay_untyped() {
+        assert!(TypedColumn::from_rows(&[], 0).is_none());
+        let rows = vec![vec![Value::Null], vec![Value::Int(1)]];
+        assert!(TypedColumn::from_rows(&rows, 0).is_none());
+    }
+}

@@ -140,6 +140,25 @@ impl PartialOrd for Value {
     }
 }
 
+/// Canonical total order over `f64`: the usual numeric order, `-0.0` equal
+/// to `0.0`, and every NaN equal to every other NaN and *greater* than any
+/// non-NaN number.  This is the order [`Value::cmp`] gives the numeric
+/// types — `partial_cmp(..).unwrap_or(Equal)` would make NaN compare equal
+/// to everything, which is not transitive and corrupts sort-key total
+/// order — and the typed sort kernels must agree with it exactly.
+#[inline]
+pub fn cmp_f64_total(a: f64, b: f64) -> Ordering {
+    match a.partial_cmp(&b) {
+        Some(ord) => ord,
+        None => match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!("partial_cmp is total on non-NaN"),
+        },
+    }
+}
+
 impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
         use Value::*;
@@ -151,7 +170,7 @@ impl Ord for Value {
             (Int(_) | Dec(_), Int(_) | Dec(_)) => {
                 let a = self.as_f64().unwrap();
                 let b = other.as_f64().unwrap();
-                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+                cmp_f64_total(a, b)
             }
             _ => self.type_rank().cmp(&other.type_rank()),
         }
@@ -171,8 +190,16 @@ impl Hash for Value {
             Value::Int(_) | Value::Dec(_) => {
                 2u8.hash(state);
                 let f = self.as_f64().unwrap();
-                // Normalize -0.0 to 0.0 so equal values hash equally.
-                let f = if f == 0.0 { 0.0 } else { f };
+                // Normalize -0.0 to 0.0 and every NaN payload to the one
+                // canonical NaN so values that compare equal (under
+                // [`cmp_f64_total`]) hash equally.
+                let f = if f == 0.0 {
+                    0.0
+                } else if f.is_nan() {
+                    f64::NAN
+                } else {
+                    f
+                };
                 f.to_bits().hash(state);
             }
             Value::Str(s) => {
@@ -304,6 +331,54 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::str("x").to_string(), "'x'");
+    }
+
+    #[test]
+    fn nan_has_a_canonical_total_order() {
+        // NaN is a legal xs:decimal image in intermediate arithmetic; the
+        // sort tail needs `cmp` to stay a *total* order in its presence.
+        let nan = Value::Dec(f64::NAN);
+        // All NaNs are equal to each other — whatever their payload bits —
+        // and greater than every other number, but still below strings.
+        let other_nan = Value::Dec(f64::from_bits(f64::NAN.to_bits() ^ 1));
+        assert_eq!(nan.cmp(&other_nan), Ordering::Equal);
+        assert_eq!(nan, other_nan);
+        assert_eq!(hash_of(&nan), hash_of(&other_nan));
+        assert!(nan > Value::Dec(f64::INFINITY));
+        assert!(nan > Value::Int(i64::MAX));
+        assert!(nan < Value::str(""));
+        assert!(Value::Dec(f64::NEG_INFINITY) < nan);
+        // Transitivity check that the old `unwrap_or(Equal)` failed:
+        // 1 < NaN and NaN > 2, never 1 == NaN == 2.
+        assert_ne!(Value::Int(1), nan);
+        assert_ne!(nan, Value::Int(2));
+        let mut vals = [nan.clone(), Value::Int(3), Value::Dec(0.5), nan];
+        vals.sort();
+        assert_eq!(vals[0], Value::Dec(0.5));
+        assert_eq!(vals[1], Value::Int(3));
+        assert!(matches!(vals[2], Value::Dec(d) if d.is_nan()));
+    }
+
+    #[test]
+    fn cmp_f64_total_agrees_with_value_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            2.0,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    cmp_f64_total(a, b),
+                    Value::Dec(a).cmp(&Value::Dec(b)),
+                    "cmp_f64_total({a}, {b})"
+                );
+            }
+        }
     }
 
     #[test]

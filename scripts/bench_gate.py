@@ -11,6 +11,12 @@ runner (usually at a smaller scale), so only catastrophic slowdowns — like
 the Q2 cost-model misranking this gate exists to guard (a ~680x cliff) —
 should trip it.  Per-query `pipelined_rows_per_sec` is the compared figure;
 a fresh throughput below `committed / tolerance` fails the gate.
+
+The gate also checks typed-kernel engagement: when both measurements ran
+with `typed_kernels` enabled and the committed baseline engaged the
+kernels on a query (`kernel_rows > 0`), the fresh run must engage them
+too — kernel-row *counts* vary with scale, but engagement silently
+dropping to zero means a compile-time lowering regressed.
 """
 
 import argparse
@@ -27,6 +33,9 @@ def throughputs(path):
             "rows_per_sec": float(q["pipelined_rows_per_sec"]),
             "rows": int(q.get("rows", 0)),
             "scale": doc.get("scale"),
+            # Older baselines predate the counter: treat absence as 0.
+            "kernel_rows": int(q.get("kernel_rows", 0)),
+            "typed_kernels": bool(doc.get("typed_kernels", False)),
         }
     return out
 
@@ -60,12 +69,23 @@ def main():
         print(
             f"{qid}: committed {b['rows_per_sec']:>12.1f} rows/s (scale {b['scale']})"
             f" | fresh {f['rows_per_sec']:>12.1f} rows/s (scale {f['scale']})"
-            f" | floor {floor:>12.1f} | {verdict}"
+            f" | floor {floor:>12.1f}"
+            f" | kernel_rows {b['kernel_rows']} -> {f['kernel_rows']} | {verdict}"
         )
         if verdict == "FAIL":
             failures.append(
                 f"{qid}: {f['rows_per_sec']:.1f} rows/s is more than "
                 f"{args.tolerance:g}x below the committed {b['rows_per_sec']:.1f} rows/s"
+            )
+        if (
+            b["typed_kernels"]
+            and f["typed_kernels"]
+            and b["kernel_rows"] > 0
+            and f["kernel_rows"] == 0
+        ):
+            failures.append(
+                f"{qid}: the committed baseline engaged the typed kernels "
+                f"({b['kernel_rows']} kernel rows) but the fresh run engaged none"
             )
 
     if failures:
