@@ -1,0 +1,177 @@
+//! Micro-benchmarks of the typed-column kernels against the scalar
+//! [`Value`] paths they replace: masked compares, composite-key hashing,
+//! fused multi-term residual masks and masked aggregate reductions.
+//!
+//! [`Value`]: xqjg_store::Value
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xqjg_store::{
+    agg_i64_masked, hash_keys_typed, hash_values, mask_terms, BitMask, HashKey, KernelCmp,
+    MaskTerm, Value,
+};
+
+const N: usize = 64 * 1024;
+
+/// A NULL-bearing `i64` image (every 13th slot invalid) plus the `Value`
+/// rows the scalar paths walk.
+fn fixture() -> (Vec<i64>, BitMask, Vec<Value>) {
+    let vals: Vec<i64> = (0..N as i64).map(|i| i % 1009).collect();
+    let validity = BitMask::from_bools((0..N).map(|i| i % 13 != 0));
+    let rows: Vec<Value> = vals
+        .iter()
+        .zip(0..N)
+        .map(|(&v, i)| {
+            if i % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Int(v)
+            }
+        })
+        .collect();
+    (vals, validity, rows)
+}
+
+fn bench_masked_compare(c: &mut Criterion) {
+    let (vals, validity, rows) = fixture();
+    let rids: Vec<usize> = (0..N).collect();
+    let term = [MaskTerm::I64 {
+        vals: &vals,
+        validity: Some(&validity),
+        op: KernelCmp::Le,
+        rhs: 500,
+    }];
+    let mut keep = BitMask::new();
+    c.bench_function("kernels/masked_compare", |b| {
+        b.iter(|| {
+            mask_terms(black_box(&term), true, &rids, &mut keep);
+            black_box(keep.count_ones())
+        })
+    });
+    let rhs = Value::Int(500);
+    c.bench_function("kernels/masked_compare_scalar", |b| {
+        b.iter(|| {
+            black_box(
+                rows.iter()
+                    .filter(|v| {
+                        v.sql_cmp(&rhs)
+                            .is_some_and(|o| o != std::cmp::Ordering::Greater)
+                    })
+                    .count(),
+            )
+        })
+    });
+}
+
+fn bench_composite_hash(c: &mut Criterion) {
+    let (vals, validity, rows) = fixture();
+    let grp: Vec<i64> = (0..N as i64).map(|i| i % 53).collect();
+    let grp_rows: Vec<Value> = grp.iter().map(|&g| Value::Int(g)).collect();
+    let keys = [HashKey::I64(&vals), HashKey::I64(&grp)];
+    let mut hashes: Vec<Option<u64>> = Vec::new();
+    c.bench_function("kernels/composite_hash", |b| {
+        b.iter(|| {
+            hash_keys_typed(black_box(&keys), Some(&validity), N, &mut hashes);
+            black_box(hashes.len())
+        })
+    });
+    c.bench_function("kernels/composite_hash_scalar", |b| {
+        b.iter(|| {
+            let mut live = 0usize;
+            for (v, g) in rows.iter().zip(&grp_rows) {
+                if v.is_null() || g.is_null() {
+                    continue;
+                }
+                black_box(hash_values([v, g]));
+                live += 1;
+            }
+            black_box(live)
+        })
+    });
+}
+
+fn bench_fused_residual(c: &mut Criterion) {
+    let (vals, validity, rows) = fixture();
+    let grp: Vec<i64> = (0..N as i64).map(|i| i % 53).collect();
+    let rids: Vec<usize> = (0..N).collect();
+    // A three-term conjunction, as an NLJOIN residual would fuse it.
+    let terms = [
+        MaskTerm::I64 {
+            vals: &vals,
+            validity: Some(&validity),
+            op: KernelCmp::Ge,
+            rhs: 100,
+        },
+        MaskTerm::I64 {
+            vals: &vals,
+            validity: Some(&validity),
+            op: KernelCmp::Lt,
+            rhs: 900,
+        },
+        MaskTerm::I64 {
+            vals: &grp,
+            validity: None,
+            op: KernelCmp::Ne,
+            rhs: 17,
+        },
+    ];
+    let mut keep = BitMask::new();
+    c.bench_function("kernels/fused_residual", |b| {
+        b.iter(|| {
+            mask_terms(black_box(&terms), true, &rids, &mut keep);
+            black_box(keep.count_ones())
+        })
+    });
+    let (lo, hi, skip) = (Value::Int(100), Value::Int(900), Value::Int(17));
+    c.bench_function("kernels/fused_residual_scalar", |b| {
+        b.iter(|| {
+            black_box(
+                rows.iter()
+                    .zip(&grp)
+                    .filter(|(v, &g)| {
+                        v.sql_cmp(&lo)
+                            .is_some_and(|o| o != std::cmp::Ordering::Less)
+                            && v.sql_cmp(&hi) == Some(std::cmp::Ordering::Less)
+                            && Value::Int(g)
+                                .sql_cmp(&skip)
+                                .is_some_and(|o| o != std::cmp::Ordering::Equal)
+                    })
+                    .count(),
+            )
+        })
+    });
+}
+
+fn bench_masked_sum(c: &mut Criterion) {
+    let (vals, validity, rows) = fixture();
+    c.bench_function("kernels/masked_sum", |b| {
+        b.iter(|| {
+            let agg = agg_i64_masked(black_box(&vals), Some(&validity));
+            black_box((agg.count, agg.sum, agg.min, agg.max))
+        })
+    });
+    c.bench_function("kernels/masked_sum_scalar", |b| {
+        b.iter(|| {
+            let (mut count, mut sum) = (0usize, 0i128);
+            let (mut min, mut max) = (None::<i64>, None::<i64>);
+            for v in black_box(&rows) {
+                if let Some(k) = v.as_i64() {
+                    count += 1;
+                    sum += k as i128;
+                    min = Some(min.map_or(k, |m: i64| m.min(k)));
+                    max = Some(max.map_or(k, |m: i64| m.max(k)));
+                }
+            }
+            black_box((count, sum, min, max))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_masked_compare,
+    bench_composite_hash,
+    bench_fused_residual,
+    bench_masked_sum
+);
+criterion_main!(benches);

@@ -12,6 +12,17 @@ use xqjg_xquery::parse_and_normalize;
 
 const DOPS: [usize; 3] = [1, 2, 4];
 
+/// A copy of `s` with every operator's `kernel_rows` zeroed — the one
+/// counter allowed to differ between the vectorized executor (which runs
+/// the typed kernels) and the scalar fallback (which does not).
+fn sans_kernels(s: &ExecStats) -> ExecStats {
+    let mut s = s.clone();
+    for op in &mut s.operators {
+        op.kernel_rows = 0;
+    }
+    s
+}
+
 /// Per-query optimized plans (one per decomposed SQL branch).
 fn plans_for(workload: &mut Workload, q: &xqjg_bench::BenchQuery) -> Vec<PhysPlan> {
     let prepared = workload
@@ -33,27 +44,51 @@ fn join_graph_results_and_actuals_identical_across_dop() {
         let plans = plans_for(&mut workload, &q);
         let db: &Database = workload.processor(&q).database();
         for plan in &plans {
-            let (t_ref, s_ref) = execute_with_stats_config(plan, db, &ExecConfig::sequential());
+            // One reference per evaluation path: the vectorized executor
+            // runs the typed kernels (its `kernel_rows` count the fused
+            // passes), the scalar row-at-a-time fallback runs none — so
+            // each configuration must exactly match the reference of *its*
+            // path, and the two references must agree on everything except
+            // kernel engagement.
+            let (t_ref, s_ref) =
+                execute_with_stats_config(plan, db, &ExecConfig::sequential().with_vectorize(true));
+            let (t_row, s_row) = execute_with_stats_config(
+                plan,
+                db,
+                &ExecConfig::sequential().with_vectorize(false),
+            );
+            assert_eq!(t_row, t_ref, "{}: rows differ across executors", q.id);
+            assert_eq!(
+                sans_kernels(&s_row),
+                sans_kernels(&s_ref),
+                "{}: executors differ beyond kernel engagement",
+                q.id
+            );
             for threads in DOPS {
                 // A tiny morsel size forces genuine multi-morsel merging
                 // even at this scale; the default exercises the
                 // effective-morsel-size shrink path.  Both executors — the
                 // vectorized columnar one and the scalar row-at-a-time
-                // fallback — must match the same reference.
+                // fallback — must match their sequential reference.
                 for morsel_size in [3, xqjg_store::DEFAULT_MORSEL_SIZE] {
                     for vectorize in [true, false] {
+                        let (exp_t, exp_s) = if vectorize {
+                            (&t_ref, &s_ref)
+                        } else {
+                            (&t_row, &s_row)
+                        };
                         let cfg = ExecConfig::sequential()
                             .with_threads(threads)
                             .with_morsel_size(morsel_size)
                             .with_vectorize(vectorize);
                         let (t, s) = execute_with_stats_config(plan, db, &cfg);
                         assert_eq!(
-                            t, t_ref,
+                            &t, exp_t,
                             "{}: rows differ at DOP {threads} (vectorize {vectorize})",
                             q.id
                         );
                         assert_eq!(
-                            s, s_ref,
+                            &s, exp_s,
                             "{}: aggregated OpStats differ at DOP {threads} \
                              (morsel {morsel_size}, vectorize {vectorize})",
                             q.id

@@ -37,9 +37,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use xqjg_store::{
     effective_morsel_size, execute_morsels_streaming, fill_from_pending_with_capacity, gather_i64,
-    hash_keys_i64, hash_values, keep_cmp_i64, keep_cmp_u32, keep_const, merge_worker_stats,
-    new_stats_sink, partition_morsels, row_footprint, Batch, BatchSizer, BoxedOperator,
-    ColOperator, ColumnBatch, Database, ExecConfig, ExternalSorter, GraceBuilder, KernelCmp,
+    gather_u32, hash_keys_typed, hash_values, mask_terms, merge_worker_stats, new_stats_sink,
+    partition_morsels, row_footprint, Batch, BatchSizer, BitMask, BoxedOperator, ColOperator,
+    ColumnBatch, Database, ExecConfig, ExternalSorter, GraceBuilder, HashKey, KernelCmp, MaskTerm,
     MemBudget, Morsel, OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table,
     TypedColumn, Value, BUILD_ENTRY_FOOTPRINT,
 };
@@ -409,18 +409,23 @@ impl<'a> PartitionProbe<'a> {
     /// interleave.  Returns the candidate rid list per input row, in input
     /// order — callers then probe rows in their original order, keeping
     /// output row order identical to per-row [`Self::candidates`] calls.
-    fn spool(&mut self, hashes: &[u64]) -> Vec<Vec<usize>> {
+    fn spool(&mut self, hashes: &[Option<u64>]) -> Vec<Vec<usize>> {
         let mut by_part: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (i, &h) in hashes.iter().enumerate() {
-            by_part
-                .entry(self.parts.partition_of(h))
-                .or_default()
-                .push(i);
+        for (i, h) in hashes.iter().enumerate() {
+            // NULL-keyed probe rows (no hash) match nothing — leave their
+            // candidate lists empty without touching any partition.
+            if let Some(h) = h {
+                by_part
+                    .entry(self.parts.partition_of(*h))
+                    .or_default()
+                    .push(i);
+            }
         }
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); hashes.len()];
         for (_, rows) in by_part {
             for i in rows {
-                if let Some(c) = self.candidates(hashes[i]) {
+                let h = hashes[i].expect("only hashed rows were grouped");
+                if let Some(c) = self.candidates(h) {
                     out[i] = c.clone();
                 }
             }
@@ -525,6 +530,7 @@ impl BuildCache {
 // ---------------------------------------------------------------------
 
 /// An expression with alias slots and column offsets pre-resolved.
+#[derive(Clone)]
 enum CExpr {
     /// Literal value.
     Lit(Value),
@@ -596,15 +602,17 @@ fn cpred_holds(p: &CPred, env: &ColEnv<'_>, cur: Option<(&Table, usize)>) -> boo
 /// A leaf access predicate lowered onto the typed column images of the
 /// base table.  `Scalar` keeps the interpreted [`CPred`] path (mixed-type
 /// column, computed expression, or a literal the column image cannot
-/// represent); the kernel variants compare a flat column against a
-/// pre-resolved constant with the branch-free [`keep_cmp_i64`] /
-/// [`keep_cmp_u32`] loops.
+/// represent); the kernel variants become [`MaskTerm`]s of one fused
+/// branch-free selection pass.  NULL-bearing columns carry their validity
+/// mask: a cleared bit fails every comparison (SQL three-valued logic),
+/// so the sentinel slot values never leak into results.
 enum TypedPred<'a> {
     /// Fall back to the row-at-a-time compiled predicate.
     Scalar,
     /// `i64` column `op` integer literal.
     Int {
         vals: &'a [i64],
+        validity: Option<&'a BitMask>,
         op: KernelCmp,
         rhs: i64,
     },
@@ -613,11 +621,50 @@ enum TypedPred<'a> {
     /// rewrite to boundary comparisons even for absent literals.
     Code {
         vals: &'a [u32],
+        validity: Option<&'a BitMask>,
         op: KernelCmp,
         rhs: u32,
     },
-    /// The predicate is constant over the whole column (e.g. `= 'absent'`).
+    /// The predicate holds exactly where the column is non-NULL (e.g.
+    /// `<> 'absent'` over a NULL-bearing column).
+    Valid { validity: &'a BitMask },
+    /// The predicate is constant over the whole column (e.g. `= 'absent'`
+    /// over a column with no NULLs).
     Const(bool),
+}
+
+impl<'a> TypedPred<'a> {
+    /// The fused-pass selection term of this lowering (`None` keeps the
+    /// predicate on the interpreted path).
+    fn term(&self) -> Option<MaskTerm<'a>> {
+        match self {
+            TypedPred::Scalar => None,
+            TypedPred::Int {
+                vals,
+                validity,
+                op,
+                rhs,
+            } => Some(MaskTerm::I64 {
+                vals,
+                validity: *validity,
+                op: *op,
+                rhs: *rhs,
+            }),
+            TypedPred::Code {
+                vals,
+                validity,
+                op,
+                rhs,
+            } => Some(MaskTerm::Code {
+                vals,
+                validity: *validity,
+                op: *op,
+                rhs: *rhs,
+            }),
+            TypedPred::Valid { validity } => Some(MaskTerm::Valid { validity }),
+            TypedPred::Const(v) => Some(MaskTerm::Const(*v)),
+        }
+    }
 }
 
 fn kcmp(op: SqlCmp) -> KernelCmp {
@@ -640,54 +687,49 @@ fn compile_typed_pred<'a>(p: &CPred, base: &'a Table) -> TypedPred<'a> {
         _ => return TypedPred::Scalar,
     };
     match (base.typed().col(col), lit) {
-        (Some(TypedColumn::Int(vals)), Value::Int(rhs)) => TypedPred::Int {
+        (Some(TypedColumn::Int { vals, validity }), Value::Int(rhs)) => TypedPred::Int {
             vals,
+            validity: validity.as_ref(),
             op: kcmp(op),
             rhs: *rhs,
         },
-        (Some(tc @ TypedColumn::Dict { codes, .. }), Value::Str(s)) => {
+        (
+            Some(
+                tc @ TypedColumn::Dict {
+                    codes, validity, ..
+                },
+            ),
+            Value::Str(s),
+        ) => {
+            let validity = validity.as_ref();
             let present = tc.code_of(s);
             let lower = tc.dict_boundary(s).expect("dict column has boundaries");
+            let code = |op, rhs| TypedPred::Code {
+                vals: codes,
+                validity,
+                op,
+                rhs,
+            };
             match op {
                 SqlCmp::Eq => match present {
-                    Some(c) => TypedPred::Code {
-                        vals: codes,
-                        op: KernelCmp::Eq,
-                        rhs: c,
-                    },
+                    Some(c) => code(KernelCmp::Eq, c),
                     None => TypedPred::Const(false),
                 },
-                SqlCmp::Ne => match present {
-                    Some(c) => TypedPred::Code {
-                        vals: codes,
-                        op: KernelCmp::Ne,
-                        rhs: c,
-                    },
-                    None => TypedPred::Const(true),
+                // `<> 'absent'` holds for every *non-NULL* row: with no
+                // validity mask that is the whole column, otherwise
+                // exactly the set bits of the mask.
+                SqlCmp::Ne => match (present, validity) {
+                    (Some(c), _) => code(KernelCmp::Ne, c),
+                    (None, Some(validity)) => TypedPred::Valid { validity },
+                    (None, None) => TypedPred::Const(true),
                 },
                 // Codes < lower  <=>  strings < s; codes >= lower + present
                 // <=>  strings > s (`lower` counts strings strictly below
                 // `s`, and `lower + 1` skips `s` itself when present).
-                SqlCmp::Lt => TypedPred::Code {
-                    vals: codes,
-                    op: KernelCmp::Lt,
-                    rhs: lower,
-                },
-                SqlCmp::Ge => TypedPred::Code {
-                    vals: codes,
-                    op: KernelCmp::Ge,
-                    rhs: lower,
-                },
-                SqlCmp::Le => TypedPred::Code {
-                    vals: codes,
-                    op: KernelCmp::Lt,
-                    rhs: lower + u32::from(present.is_some()),
-                },
-                SqlCmp::Gt => TypedPred::Code {
-                    vals: codes,
-                    op: KernelCmp::Ge,
-                    rhs: lower + u32::from(present.is_some()),
-                },
+                SqlCmp::Lt => code(KernelCmp::Lt, lower),
+                SqlCmp::Ge => code(KernelCmp::Ge, lower),
+                SqlCmp::Le => code(KernelCmp::Lt, lower + u32::from(present.is_some())),
+                SqlCmp::Gt => code(KernelCmp::Ge, lower + u32::from(present.is_some())),
             }
         }
         _ => TypedPred::Scalar,
@@ -740,9 +782,130 @@ fn compile_expr(
     }
 }
 
-/// One kernelized hash key: `(outer slot, outer i64 image, inner i64
-/// image)`.
-type TypedKey<'a> = (usize, &'a [i64], &'a [i64]);
+/// One NLJOIN probe predicate kernelized over the inner column's `i64`
+/// image: `cur.col op <outer-only expression>` (or flipped).  The rhs is
+/// re-evaluated once per probe; an integer result runs the compare kernel
+/// over the probe's candidate rids, a NULL result fails the whole probe,
+/// and anything else falls back to interpreting the source predicate
+/// (`pred` indexes the stage's predicate list) for that probe.
+struct ProbeTerm<'a> {
+    vals: &'a [i64],
+    validity: Option<&'a BitMask>,
+    op: KernelCmp,
+    rhs: CExpr,
+    /// Index of the source predicate in the stage's list (scalar fallback).
+    pred: usize,
+}
+
+/// The NLJOIN lowering of one inner-side predicate list, split by what
+/// each predicate needs: `static_terms` compare against constants (no
+/// outer row required), `dynamic` terms re-resolve their rhs per probe,
+/// and `scalar` indexes the predicates left to the interpreted path.
+#[derive(Default)]
+struct NlSplit<'a> {
+    static_terms: Vec<MaskTerm<'a>>,
+    dynamic: Vec<ProbeTerm<'a>>,
+    scalar: Vec<usize>,
+}
+
+impl NlSplit<'_> {
+    fn is_empty(&self) -> bool {
+        self.static_terms.is_empty() && self.dynamic.is_empty()
+    }
+}
+
+/// Does the expression avoid the current stage's candidate row (literals
+/// and bound outer columns only)?
+fn outer_only(e: &CExpr) -> bool {
+    match e {
+        CExpr::Lit(_) | CExpr::Outer { .. } => true,
+        CExpr::Cur { .. } => false,
+        CExpr::Add(a, b) => outer_only(a) && outer_only(b),
+    }
+}
+
+/// Lower one predicate to an NLJOIN [`ProbeTerm`], if its shape
+/// (`cur.col op outer-only-expr` or flipped) and the column image allow.
+fn compile_probe_term<'a>(p: &CPred, pi: usize, base: &'a Table) -> Option<ProbeTerm<'a>> {
+    let (col, op, rhs) = match (&p.lhs, &p.rhs) {
+        (CExpr::Cur { col }, r) if outer_only(r) => (*col, p.op, r),
+        (l, CExpr::Cur { col }) if outer_only(l) => (*col, p.op.flip(), l),
+        _ => return None,
+    };
+    let (vals, validity) = base.typed().int_col_nullable(col)?;
+    Some(ProbeTerm {
+        vals,
+        validity,
+        op: kcmp(op),
+        rhs: rhs.clone(),
+        pred: pi,
+    })
+}
+
+/// Split an NLJOIN inner-side predicate list into its kernel lowerings.
+fn split_nl_preds<'a>(preds: &[CPred], base: &'a Table) -> NlSplit<'a> {
+    let mut split = NlSplit::default();
+    for (pi, p) in preds.iter().enumerate() {
+        if let Some(t) = compile_typed_pred(p, base).term() {
+            split.static_terms.push(t);
+        } else if let Some(t) = compile_probe_term(p, pi, base) {
+            split.dynamic.push(t);
+        } else {
+            split.scalar.push(pi);
+        }
+    }
+    split
+}
+
+/// One kernelized hash key: the outer side's gatherable image and the
+/// inner side's comparable image.  Probe hashes chain through
+/// [`hash_keys_typed`] bit-identically to [`hash_values`] over the
+/// corresponding `Value`s, so bucket lookups, Grace partition routing and
+/// [`BuildCache`] reuse are unchanged; NULL outer keys hash to `None` and
+/// never probe (the build side skipped NULL keys symmetrically).
+enum KeyImage<'a> {
+    /// `i64` = `i64` equijoin key.
+    Int {
+        slot: usize,
+        outer: &'a [i64],
+        outer_validity: Option<&'a BitMask>,
+        inner: &'a [i64],
+    },
+    /// String = string equijoin key over two dictionary images.  Hashes
+    /// chain the *outer* dictionary's string; collisions resolve by
+    /// translating the outer code into the inner dictionary (`xlat`,
+    /// `-1` = the outer string does not occur on the inner side).
+    Str {
+        slot: usize,
+        outer_codes: &'a [u32],
+        outer_dict: &'a [String],
+        outer_validity: Option<&'a BitMask>,
+        inner_codes: &'a [u32],
+        xlat: Vec<i64>,
+    },
+}
+
+impl KeyImage<'_> {
+    fn slot(&self) -> usize {
+        match self {
+            KeyImage::Int { slot, .. } | KeyImage::Str { slot, .. } => *slot,
+        }
+    }
+
+    fn outer_validity(&self) -> Option<&BitMask> {
+        match self {
+            KeyImage::Int { outer_validity, .. } | KeyImage::Str { outer_validity, .. } => {
+                *outer_validity
+            }
+        }
+    }
+}
+
+/// One hash key's gathered outer values for a probe batch.
+enum GatheredKey {
+    I64(Vec<i64>),
+    Code(Vec<u32>),
+}
 
 /// A [`Stage`] with every predicate, hash key and probe bound compiled.
 /// Borrows only from the plan and the database (never from `Stage`), so it
@@ -765,15 +928,20 @@ struct CStage<'a> {
     typed_preds: Vec<TypedPred<'a>>,
     /// Compiled join-level residual predicates.
     residual: Vec<CPred>,
+    /// NLJOIN kernel split of `access_preds` (empty for leaf/hash stages
+    /// or with typed kernels off).
+    nl_access: NlSplit<'a>,
+    /// NLJOIN kernel split of `residual`.
+    nl_residual: NlSplit<'a>,
     /// Compiled hash keys: (outer expression, inner column offset).
     hash_keys: Vec<(CExpr, usize)>,
     /// Kernelized hash-key images, present only when *every* key is a
-    /// plain outer column over an all-`i64` typed column matched against
-    /// an all-`i64` inner column ([`TypedKey`] per key).  Any other shape
-    /// (computed key, string key, mixed `Int`/`Dec` column) keeps the
-    /// scalar [`Value`] path, which is the semantics of record for
-    /// cross-type equality.
-    typed_keys: Option<Vec<TypedKey<'a>>>,
+    /// plain outer column whose image type matches the inner column's
+    /// ([`KeyImage`] per key — `i64` or dictionary string, NULL-bearing
+    /// or not).  Any other shape (computed key, mixed `Int`/`Dec` column,
+    /// type-mismatched sides) keeps the scalar [`Value`] path, which is
+    /// the semantics of record for cross-type equality.
+    typed_keys: Option<Vec<KeyImage<'a>>>,
     /// Base tables of the bound outer aliases (slot order).
     outer_tables: Vec<&'a Table>,
 }
@@ -849,17 +1017,72 @@ fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database, typed: b
     let typed_keys = if typed && !hash_keys.is_empty() {
         hash_keys
             .iter()
-            .map(|(e, col)| match e {
-                CExpr::Outer { slot, col: ocol } => {
-                    let outer = stage.outer_tables[*slot].typed().int_col(*ocol)?;
-                    let inner = stage.base.typed().int_col(*col)?;
-                    Some((*slot, outer, inner))
+            .map(|(e, col)| {
+                let CExpr::Outer { slot, col: ocol } = e else {
+                    return None;
+                };
+                let outer_tc = stage.outer_tables[*slot].typed().col(*ocol)?;
+                let inner_tc = stage.base.typed().col(*col)?;
+                match (outer_tc, inner_tc) {
+                    (
+                        TypedColumn::Int {
+                            vals: outer,
+                            validity,
+                        },
+                        TypedColumn::Int { vals: inner, .. },
+                    ) => Some(KeyImage::Int {
+                        slot: *slot,
+                        outer,
+                        outer_validity: validity.as_ref(),
+                        inner,
+                    }),
+                    (
+                        TypedColumn::Dict {
+                            codes: outer_codes,
+                            dict: outer_dict,
+                            validity,
+                        },
+                        TypedColumn::Dict {
+                            codes: inner_codes,
+                            dict: inner_dict,
+                            ..
+                        },
+                    ) => {
+                        // Outer code -> inner code (both dictionaries are
+                        // sorted, so a binary search per outer entry).
+                        let xlat: Vec<i64> = outer_dict
+                            .iter()
+                            .map(|s| match inner_dict.binary_search(s) {
+                                Ok(c) => c as i64,
+                                Err(_) => -1,
+                            })
+                            .collect();
+                        Some(KeyImage::Str {
+                            slot: *slot,
+                            outer_codes,
+                            outer_dict,
+                            outer_validity: validity.as_ref(),
+                            inner_codes,
+                            xlat,
+                        })
+                    }
+                    _ => None,
                 }
-                _ => None,
             })
             .collect()
     } else {
         None
+    };
+    let residual: Vec<CPred> = stage.residual.iter().map(cp).collect();
+    // NLJOIN stages (non-leaf, no hash keys) additionally split their
+    // predicate lists into static / per-probe / scalar kernel lowerings.
+    let (nl_access, nl_residual) = if typed && index > 0 && hash_keys.is_empty() {
+        (
+            split_nl_preds(&access_preds, stage.base),
+            split_nl_preds(&residual, stage.base),
+        )
+    } else {
+        (NlSplit::default(), NlSplit::default())
     };
     CStage {
         base: stage.base,
@@ -869,7 +1092,9 @@ fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database, typed: b
         cbounds,
         access_preds,
         typed_preds,
-        residual: stage.residual.iter().map(cp).collect(),
+        residual,
+        nl_access,
+        nl_residual,
         hash_keys,
         typed_keys,
         outer_tables: stage.outer_tables.clone(),
@@ -1840,10 +2065,16 @@ struct ColMorselLeaf<'a> {
     cap: usize,
     /// Rows surviving the pushed-down filters (TBSCAN accounting).
     scan_rows: usize,
+    /// Every typed-lowered access predicate as one fused-pass term: the
+    /// whole conjunction evaluates in a single gather over the batch's
+    /// rids instead of one selection pass per predicate.
+    kernel_terms: Vec<MaskTerm<'a>>,
+    /// Indices of the access predicates left to the interpreted path.
+    scalar_preds: Vec<usize>,
     /// Scratch: live rids gathered for one kernel pass (reused per batch).
     rid_buf: Vec<usize>,
-    /// Scratch: per-live-row keep flags of one kernel pass.
-    keep: Vec<bool>,
+    /// Scratch: packed keep bits of one kernel pass.
+    keep: BitMask,
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
@@ -1872,14 +2103,25 @@ impl<'a> ColMorselLeaf<'a> {
                 pos: 0,
             },
         };
+        let mut kernel_terms: Vec<MaskTerm<'a>> = Vec::new();
+        let mut scalar_preds: Vec<usize> = Vec::new();
+        for pi in 0..stage.access_preds.len() {
+            let tp = stage.typed_preds.get(pi).unwrap_or(&TypedPred::Scalar);
+            match tp.term() {
+                Some(t) => kernel_terms.push(t),
+                None => scalar_preds.push(pi),
+            }
+        }
         ColMorselLeaf {
             stage,
             cursor,
             sizer: BatchSizer::new(cap, adaptive),
             cap,
             scan_rows: 0,
+            kernel_terms,
+            scalar_preds,
             rid_buf: Vec::new(),
-            keep: Vec::new(),
+            keep: BitMask::default(),
             stats: OpStats::named(stage.label.clone()),
             sink,
             agg,
@@ -1916,38 +2158,20 @@ impl ColOperator for ColMorselLeaf<'_> {
                     n
                 }
             };
-            // Column-at-a-time filtering: one selection-vector pass per
-            // predicate; dropped rows are never materialized.  Predicates
-            // with a typed lowering run the branch-free kernels over the
-            // column image; the rest interpret the compiled predicate per
-            // live row.
-            for (pi, pred) in self.stage.access_preds.iter().enumerate() {
-                let tp = self.stage.typed_preds.get(pi).unwrap_or(&TypedPred::Scalar);
-                match tp {
-                    TypedPred::Int { vals, op, rhs } => {
-                        out.gather_col(0, &mut self.rid_buf);
-                        keep_cmp_i64(vals, &self.rid_buf, *op, *rhs, &mut self.keep);
-                        self.stats.kernel_rows += self.rid_buf.len();
-                        out.retain_by_flags(&self.keep);
-                    }
-                    TypedPred::Code { vals, op, rhs } => {
-                        out.gather_col(0, &mut self.rid_buf);
-                        keep_cmp_u32(vals, &self.rid_buf, *op, *rhs, &mut self.keep);
-                        self.stats.kernel_rows += self.rid_buf.len();
-                        out.retain_by_flags(&self.keep);
-                    }
-                    TypedPred::Const(verdict) => {
-                        let live = out.live();
-                        keep_const(live, *verdict, &mut self.keep);
-                        self.stats.kernel_rows += live;
-                        out.retain_by_flags(&self.keep);
-                    }
-                    TypedPred::Scalar => {
-                        out.retain_by_col(0, |rid| {
-                            cpred_holds(pred, &EMPTY_ENV, Some((base, rid)))
-                        });
-                    }
-                }
+            // Column-at-a-time filtering: every typed-lowered predicate
+            // evaluates in ONE fused selection pass (single gather over
+            // the batch's rids, conjunction folded word-wise), then the
+            // interpreted remainder refines per live row.  Dropped rows
+            // are never materialized.
+            if !self.kernel_terms.is_empty() {
+                out.gather_col(0, &mut self.rid_buf);
+                mask_terms(&self.kernel_terms, true, &self.rid_buf, &mut self.keep);
+                self.stats.kernel_rows += self.rid_buf.len() * self.kernel_terms.len();
+                out.retain_by_mask(&self.keep);
+            }
+            for &pi in &self.scalar_preds {
+                let pred = &self.stage.access_preds[pi];
+                out.retain_by_col(0, |rid| cpred_holds(pred, &EMPTY_ENV, Some((base, rid))));
             }
             self.sizer.observe(scanned, out.live());
             if out.is_empty() {
@@ -1986,10 +2210,25 @@ fn emit_extended(batch: &ColumnBatch, phys: usize, rid: usize, out: &mut ColumnB
     out.col_mut(arity).push(rid);
 }
 
+/// Drop the rids whose keep bit is cleared, preserving order.
+fn retain_rids(rids: &mut Vec<usize>, keep: &BitMask) {
+    let mut w = 0;
+    for i in keep.ones() {
+        rids[w] = rids[i];
+        w += 1;
+    }
+    rids.truncate(w);
+}
+
 /// Columnar index/scan nested-loop join: consumes outer batches whole,
 /// probing the inner access path once per live outer row through compiled
 /// bounds and predicates (no schema lookups, no value clones on the
-/// comparison path).
+/// comparison path).  When the stage carries NLJOIN kernel lowerings
+/// ([`NlSplit`]), each probe runs as selection kernels over the inner
+/// column images instead of row-at-a-time interpretation: constant-rhs
+/// predicates pre-materialize one survivor rid list per `TBSCAN` inner
+/// (shared by every probe of this operator instance), and outer-dependent
+/// `i64` comparisons fuse into one multi-term mask pass per probe.
 struct ColNLJoin<'a> {
     input: Box<dyn ColOperator + 'a>,
     stage: &'a CStage<'a>,
@@ -1997,6 +2236,13 @@ struct ColNLJoin<'a> {
     cap: usize,
     fetched_scan: usize,
     fetched_index: usize,
+    /// Rids of a `TBSCAN` inner surviving the static kernel terms,
+    /// computed on the first kernelized probe and reused by the rest.
+    static_list: Option<Vec<usize>>,
+    /// Scratch: the probe's candidate rids (reused across probes).
+    rid_buf: Vec<usize>,
+    /// Scratch: packed keep bits of one fused pass.
+    keep: BitMask,
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
@@ -2018,6 +2264,9 @@ impl<'a> ColNLJoin<'a> {
             cap,
             fetched_scan: 0,
             fetched_index: 0,
+            static_list: None,
+            rid_buf: Vec::new(),
+            keep: BitMask::default(),
             stats: OpStats::named(stage.label.clone()),
             sink,
             agg,
@@ -2033,6 +2282,9 @@ impl<'a> ColNLJoin<'a> {
             cols: batch.cols(),
             idx: phys,
         };
+        if !stage.nl_access.is_empty() || !stage.nl_residual.is_empty() {
+            return self.probe_kernel(batch, phys, &env, out);
+        }
         match stage.access {
             Access::TableScan { .. } => {
                 let mut fetched = 0usize;
@@ -2066,6 +2318,128 @@ impl<'a> ColNLJoin<'a> {
                 }
             }
         }
+    }
+
+    /// Resolve one probe's dynamic terms against the outer row and run the
+    /// fused kernel pass over `rid_buf`, then the interpreted remainder.
+    /// Returns `false` when a dynamic rhs is NULL (no rid can match).
+    fn apply_split(
+        &mut self,
+        split: &NlSplit<'a>,
+        extra_static: &[MaskTerm<'a>],
+        preds: &[CPred],
+        env: &ColEnv<'_>,
+    ) -> bool {
+        let base = self.stage.base;
+        let mut terms: Vec<MaskTerm<'a>> = extra_static.to_vec();
+        let mut fallback: Vec<usize> = Vec::new();
+        for t in &split.dynamic {
+            match ceval(&t.rhs, env, None).as_ref() {
+                Value::Int(k) => terms.push(MaskTerm::I64 {
+                    vals: t.vals,
+                    validity: t.validity,
+                    op: t.op,
+                    rhs: *k,
+                }),
+                // SQL three-valued logic: a NULL comparand fails every row.
+                Value::Null => return false,
+                // Non-integer rhs (e.g. a decimal): interpret this
+                // predicate for this probe only.
+                _ => fallback.push(t.pred),
+            }
+        }
+        if !terms.is_empty() {
+            mask_terms(&terms, true, &self.rid_buf, &mut self.keep);
+            self.stats.kernel_rows += self.rid_buf.len() * terms.len();
+            retain_rids(&mut self.rid_buf, &self.keep);
+        }
+        for &pi in split.scalar.iter().chain(&fallback) {
+            let p = &preds[pi];
+            self.rid_buf
+                .retain(|&rid| cpred_holds(p, env, Some((base, rid))));
+        }
+        true
+    }
+
+    /// The kernelized probe: candidate rids flow through the access-level
+    /// and residual-level [`NlSplit`]s as packed-mask passes.  Emission
+    /// order, `fetched_*` accounting and `probes` are identical to the
+    /// interpreted probe; only `kernel_rows` reports the engagement.
+    fn probe_kernel(
+        &mut self,
+        batch: &ColumnBatch,
+        phys: usize,
+        env: &ColEnv<'_>,
+        out: &mut ColumnBatch,
+    ) {
+        let stage = self.stage;
+        // 1. Candidate rids: the static survivor list of a `TBSCAN` inner
+        //    (constant-rhs predicates hold for every probe, so the list is
+        //    computed once per operator instance), or the B-tree fetch of
+        //    an `IXSCAN` inner.  Index-scan static terms join the fused
+        //    pass below instead — their candidate set changes per probe.
+        let mut index_static: &[MaskTerm<'a>] = &[];
+        match stage.access {
+            Access::TableScan { .. } => {
+                let static_terms = &stage.nl_access.static_terms;
+                let list = self.static_list.get_or_insert_with(|| {
+                    let all: Vec<usize> = (0..stage.base.len()).collect();
+                    if static_terms.is_empty() {
+                        return all;
+                    }
+                    let mut keep = BitMask::default();
+                    mask_terms(static_terms, true, &all, &mut keep);
+                    keep.ones().map(|i| all[i]).collect()
+                });
+                self.rid_buf.clear();
+                self.rid_buf.extend_from_slice(list);
+                if !static_terms.is_empty() {
+                    // Per-probe accounting (the probe count is invariant
+                    // across DOP and morsel size, operator-instance counts
+                    // are not): each probe consumes the kernel-built list.
+                    self.stats.kernel_rows += self.rid_buf.len();
+                }
+            }
+            Access::IndexScan { .. } => {
+                self.rid_buf = cindex_range(
+                    stage.tree.expect("index resolved"),
+                    stage.cbounds.as_ref().expect("bounds compiled"),
+                    env,
+                );
+                self.fetched_index += self.rid_buf.len();
+                index_static = &stage.nl_access.static_terms;
+            }
+        }
+        // 2. Access-level filtering (fused kernel pass + interpreted
+        //    remainder), then the fetch accounting of a `TBSCAN` inner:
+        //    rows surviving ALL access predicates, residuals not yet seen.
+        let survived = self.apply_split(&stage.nl_access, index_static, &stage.access_preds, env);
+        if !survived {
+            self.rid_buf.clear();
+        }
+        if matches!(stage.access, Access::TableScan { .. }) {
+            self.fetched_scan += self.rid_buf.len();
+        }
+        if self.rid_buf.is_empty() {
+            return;
+        }
+        // 3. Residual filtering and emission (ascending/fetch rid order,
+        //    same as the interpreted probe).  Residual static terms join
+        //    the fused pass — there is no shared candidate list to bake
+        //    them into.
+        if !self.apply_split(
+            &stage.nl_residual,
+            &stage.nl_residual.static_terms,
+            &stage.residual,
+            env,
+        ) {
+            return;
+        }
+        let rids = std::mem::take(&mut self.rid_buf);
+        for &rid in &rids {
+            emit_extended(batch, phys, rid, out);
+        }
+        self.rid_buf = rids;
     }
 }
 
@@ -2134,9 +2508,10 @@ impl ColOperator for ColNLJoin<'_> {
 struct ProbeState {
     batch: ColumnBatch,
     keys: Vec<Value>,
-    /// Kernelized key images (column-major, same layout as `keys`); filled
-    /// instead of `keys` when the stage carries `typed_keys`.
-    ikeys: Vec<i64>,
+    /// Gathered kernelized key columns (one per hash key, aligned with the
+    /// stage's `typed_keys`); filled instead of `keys` when the stage
+    /// carries key images.
+    gkeys: Vec<GatheredKey>,
     hashes: Vec<Option<u64>>,
     /// Pre-resolved build candidates per probe row, when the probe side of
     /// a spilled build was spooled into Grace-partition order at prepare
@@ -2188,33 +2563,67 @@ impl<'a> ColHashJoin<'a> {
     }
 
     /// The vectorized key pass over a freshly pulled batch.  With
-    /// kernelized keys the pass gathers flat `i64` key columns and hashes
-    /// them in one branch-free loop ([`hash_keys_i64`] is bit-identical to
-    /// [`hash_values`] over `Value::Int`, so bucket lookups and Grace
-    /// partition routing are unchanged); typed columns carry no NULLs, so
-    /// every probe row hashes.
+    /// kernelized keys the pass gathers each key's flat column (`i64`
+    /// values or dictionary codes), folds the keys' validity masks into
+    /// one per-row NULL gate, and hashes every composite key in one fused
+    /// loop ([`hash_keys_typed`] is bit-identical to [`hash_values`] over
+    /// the corresponding `Value`s, so bucket lookups and Grace partition
+    /// routing are unchanged).  NULL-keyed rows hash to `None` and are
+    /// never probed — exactly the scalar path's behavior.
     fn prepare(&mut self, batch: ColumnBatch) -> ProbeState {
         let nk = self.stage.hash_keys.len();
         let live = batch.live();
         if let Some(tk) = &self.stage.typed_keys {
             let mut rid_buf: Vec<usize> = Vec::new();
-            let mut ikeys: Vec<i64> = Vec::with_capacity(nk * live);
-            for &(slot, outer_vals, _) in tk {
-                batch.gather_col(slot, &mut rid_buf);
-                gather_i64(outer_vals, &rid_buf, &mut ikeys);
+            let mut gkeys: Vec<GatheredKey> = Vec::with_capacity(nk);
+            let mut valid: Option<BitMask> = None;
+            for ki in tk {
+                batch.gather_col(ki.slot(), &mut rid_buf);
+                match ki {
+                    KeyImage::Int { outer, .. } => {
+                        let mut vals = Vec::new();
+                        gather_i64(outer, &rid_buf, &mut vals);
+                        gkeys.push(GatheredKey::I64(vals));
+                    }
+                    KeyImage::Str { outer_codes, .. } => {
+                        let mut codes = Vec::new();
+                        gather_u32(outer_codes, &rid_buf, &mut codes);
+                        gkeys.push(GatheredKey::Code(codes));
+                    }
+                }
+                if let Some(ov) = ki.outer_validity() {
+                    let m = valid.get_or_insert_with(|| BitMask::filled(live, true));
+                    for (i, &rid) in rid_buf.iter().enumerate() {
+                        if !ov.get(rid) {
+                            m.set(i, false);
+                        }
+                    }
+                }
             }
-            let mut hbuf: Vec<u64> = Vec::new();
-            hash_keys_i64(&ikeys, nk, live, &mut hbuf);
+            let hkeys: Vec<HashKey<'_>> = tk
+                .iter()
+                .zip(&gkeys)
+                .map(|(ki, gk)| match (ki, gk) {
+                    (KeyImage::Int { .. }, GatheredKey::I64(v)) => HashKey::I64(v),
+                    (KeyImage::Str { outer_dict, .. }, GatheredKey::Code(c)) => HashKey::Str {
+                        codes: c,
+                        dict: outer_dict,
+                    },
+                    _ => unreachable!("gathered keys align with the key images"),
+                })
+                .collect();
+            let mut hashes: Vec<Option<u64>> = Vec::new();
+            hash_keys_typed(&hkeys, valid.as_ref(), live, &mut hashes);
             self.stats.kernel_rows += live;
             // Probe side of a spilled build: group this batch's rows by
             // Grace partition up front so each partition file is read at
             // most once per batch.
-            let cands = self.parts.as_mut().map(|parts| parts.spool(&hbuf));
+            let cands = self.parts.as_mut().map(|parts| parts.spool(&hashes));
             ProbeState {
                 batch,
                 keys: Vec::new(),
-                ikeys,
-                hashes: hbuf.into_iter().map(Some).collect(),
+                gkeys,
+                hashes,
                 cands,
                 pos: 0,
             }
@@ -2241,7 +2650,7 @@ impl<'a> ColHashJoin<'a> {
             ProbeState {
                 batch,
                 keys,
-                ikeys: Vec::new(),
+                gkeys: Vec::new(),
                 hashes,
                 cands: None,
                 pos: 0,
@@ -2277,13 +2686,21 @@ impl<'a> ColHashJoin<'a> {
         };
         for &rid in candidates {
             // Resolve hash collisions by comparing the key values: over
-            // kernelized keys an `i64` compare against the inner column
-            // image, otherwise the borrowed `Value` compare.
+            // kernelized keys a primitive compare against the inner column
+            // image (codes translate through `xlat`; build-side NULL keys
+            // never entered the buckets, so inner sentinel slots cannot
+            // appear here), otherwise the borrowed `Value` compare.
             let keys_match = match &stage.typed_keys {
-                Some(tk) => tk
-                    .iter()
-                    .enumerate()
-                    .all(|(k, &(_, _, inner))| inner[rid] == st.ikeys[k * live + i]),
+                Some(tk) => tk.iter().zip(&st.gkeys).all(|(ki, gk)| match (ki, gk) {
+                    (KeyImage::Int { inner, .. }, GatheredKey::I64(v)) => inner[rid] == v[i],
+                    (
+                        KeyImage::Str {
+                            inner_codes, xlat, ..
+                        },
+                        GatheredKey::Code(c),
+                    ) => xlat[c[i] as usize] == inner_codes[rid] as i64,
+                    _ => unreachable!("gathered keys align with the key images"),
+                }),
                 None => {
                     let row = &base.rows()[rid];
                     build
@@ -3195,6 +3612,164 @@ mod tests {
             let leaf = &s_on.operators[0];
             assert_eq!(leaf.kernel_rows > 0, engaged, "{pred}");
         }
+    }
+
+    #[test]
+    fn nljoin_residual_and_access_terms_run_on_the_fused_kernel() {
+        // Q1's inner probes carry `col ⋈ outer-expr` terms (`d2.pre > d1.pre`,
+        // `d2.pre <= d1.pre + d1.size`, `d2.level + 1 = d3.level`): the fused
+        // pass re-evaluates each right-hand side per probe and runs one
+        // multi-term mask over the fetched rids, so the NLJOINs now report
+        // kernel engagement instead of `kernel_rows: 0`.
+        let db = db();
+        let q = parse_sql(Q1_LIKE).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let base = ExecConfig::sequential().with_vectorize(true);
+        let (t_on, s_on) =
+            execute_with_stats_config(&plan, &db, &base.clone().with_typed_kernels(true));
+        let (t_off, s_off) = execute_with_stats_config(&plan, &db, &base.with_typed_kernels(false));
+        assert_eq!(t_on, t_off);
+        assert_eq!(sans_kernels(&s_on), sans_kernels(&s_off));
+        let nljoins: Vec<&OpStats> = s_on
+            .operators
+            .iter()
+            .filter(|o| o.name.starts_with("NLJOIN"))
+            .collect();
+        assert!(!nljoins.is_empty(), "fixture plan nests at least one loop");
+        assert!(
+            nljoins.iter().any(|o| o.kernel_rows > 0),
+            "probe terms engage the fused kernel: {nljoins:?}"
+        );
+    }
+
+    /// Rows with NULLs sprinkled through an `i64` column (`grp`) and a
+    /// dictionary column (`tag`): every typed image is masked, so this
+    /// fixture exercises the NULL-aware kernels end-to-end.
+    fn null_db(rows: i64) -> Database {
+        let mut t = Table::new(Schema::new(["pre", "grp", "tag", "payload"]));
+        for i in 0..rows {
+            let grp = if i % 11 == 3 {
+                Value::Null
+            } else {
+                Value::Int(i % 23)
+            };
+            let tag = if i % 13 == 7 {
+                Value::Null
+            } else {
+                Value::str(format!("t{}", i % 5))
+            };
+            t.push(vec![
+                Value::Int(i),
+                grp,
+                tag,
+                Value::str(format!("row-{i:05}")),
+            ]);
+        }
+        let mut db = Database::new();
+        db.create_table("doc", t);
+        db
+    }
+
+    #[test]
+    fn null_bearing_leaf_predicates_engage_masked_kernels() {
+        let db = null_db(400);
+        // Every comparison shape over the NULL-bearing int and dictionary
+        // columns: the masked kernels must agree with the scalar
+        // interpreter, and NULL never satisfies a predicate — not even `<>`.
+        for pred in [
+            "d1.grp = 5",
+            "d1.grp <> 3",
+            "d1.grp >= 15",
+            "d1.grp < 4",
+            "d1.tag = 't3'",
+            "d1.tag <> 't3'",
+            "d1.tag <> 'absent'",
+            "d1.tag >= 't2'",
+        ] {
+            let sql = format!("SELECT d1.pre AS p FROM doc AS d1 WHERE {pred} ORDER BY d1.pre");
+            let q = parse_sql(&sql).unwrap();
+            let plan = optimize(&q, &db).unwrap();
+            let base = ExecConfig::sequential().with_vectorize(true);
+            let (t_on, s_on) =
+                execute_with_stats_config(&plan, &db, &base.clone().with_typed_kernels(true));
+            let (t_off, _) = execute_with_stats_config(&plan, &db, &base.with_typed_kernels(false));
+            assert_eq!(t_on, t_off, "{pred}");
+            assert!(s_on.operators[0].kernel_rows > 0, "{pred}: kernel engaged");
+            // NULL rows never qualify: `pre % 11 == 3` rows have NULL grp,
+            // `pre % 13 == 7` rows have NULL tag.
+            let (m, r) = if pred.contains("grp") {
+                (11, 3)
+            } else {
+                (13, 7)
+            };
+            assert!(
+                t_on.rows()
+                    .iter()
+                    .all(|row| row[0].as_i64().unwrap() % m != r),
+                "{pred}: NULL must not match"
+            );
+        }
+    }
+
+    /// A composite-key value equijoin (`i64` + dictionary key, both
+    /// NULL-bearing) with no supporting index: the optimizer picks a hash
+    /// join whose key image fuses both columns.
+    const COMPOSITE_SQL: &str = "SELECT d1.pre AS a, d2.pre AS b \
+        FROM doc AS d1, doc AS d2 \
+        WHERE d1.grp = d2.grp AND d1.tag = d2.tag AND d1.pre <= 150 \
+        ORDER BY d1.pre, d2.pre";
+
+    #[test]
+    fn composite_null_keys_hash_join_matches_the_row_path_even_when_spilled() {
+        let db = null_db(800);
+        let q = parse_sql(COMPOSITE_SQL).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        // Oracle: the scalar row-at-a-time path under an unlimited budget.
+        let (t_ref, s_ref) =
+            execute_with_stats_config(&plan, &db, &ExecConfig::sequential().with_vectorize(false));
+        assert!(
+            s_ref.operators.iter().any(|o| o.name.starts_with("HSJOIN")),
+            "fixture plan must contain a hash join"
+        );
+        // NULL keys never join (no NULL = NULL matches).
+        assert!(t_ref
+            .rows()
+            .iter()
+            .all(|r| r[0].as_i64().unwrap() % 11 != 3 && r[0].as_i64().unwrap() % 13 != 7));
+        let mut spilled = false;
+        for budget in [None, Some(8 * 1024)] {
+            for typed in [true, false] {
+                let cfg = ExecConfig::sequential()
+                    .with_vectorize(true)
+                    .with_typed_kernels(typed)
+                    .with_mem_budget(budget);
+                let (t, s) = execute_with_stats_config(&plan, &db, &cfg);
+                assert_eq!(t, t_ref, "budget {budget:?} typed {typed}");
+                let sans: Vec<OpStats> = sans_kernels(&s)
+                    .operators
+                    .iter()
+                    .map(OpStats::sans_spill)
+                    .collect();
+                let sans_ref: Vec<OpStats> = sans_kernels(&s_ref)
+                    .operators
+                    .iter()
+                    .map(OpStats::sans_spill)
+                    .collect();
+                assert_eq!(sans, sans_ref, "budget {budget:?} typed {typed}");
+                let hsjoin = s
+                    .operators
+                    .iter()
+                    .find(|o| o.name.starts_with("HSJOIN"))
+                    .unwrap();
+                // The fused gather+hash pass engages exactly when the typed
+                // kernels are on — NULL-bearing keys included — and its
+                // hashes route the spilled legs through the same Grace
+                // partitions as the `Value` hash chain.
+                assert_eq!(hsjoin.kernel_rows > 0, typed, "budget {budget:?}");
+                spilled |= hsjoin.partitions > 0;
+            }
+        }
+        assert!(spilled, "the tiny budget must exercise the spilled leg");
     }
 
     #[test]

@@ -19,10 +19,17 @@
 //! the typed-kernel engagement counter when a kernel ran
 //!
 //! * `kernel_rows` — rows the operator pushed through a branch-free
-//!   typed-column kernel (leaf compare over `i64`/dictionary images,
-//!   hash-join key gather+hash, columnar SORT tail) instead of the scalar
-//!   `Value` path; `0` when `XQJG_TYPED_KERNELS=0`, when the operand
-//!   columns have no typed image, or when the operator ran row-at-a-time,
+//!   typed-column kernel instead of the scalar `Value` path; `0` when
+//!   `XQJG_TYPED_KERNELS=0`, when the operand columns have no typed
+//!   image, or when the operator ran row-at-a-time.  Each kernel pass
+//!   counts once per (row, term): a leaf or NLJOIN fusing a k-term
+//!   conjunction over n fetched rows adds `n·k`, an NLJOIN's static
+//!   pre-masked inner list adds its surviving length once per probe, a
+//!   hash join's composite gather+hash pass adds one per probe row
+//!   (NULL-keyed rows included — the NULL gate is part of the pass), and
+//!   the columnar SORT tail adds one per row it key-compared.  Masked
+//!   aggregate reductions feeding `TableStats` run outside any operator
+//!   and are not counted here,
 //!
 //! and derives
 //!

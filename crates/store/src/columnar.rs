@@ -26,6 +26,7 @@
 //! alongside the per-operator counters.
 
 use crate::batch::OpStats;
+use crate::mask::BitMask;
 
 /// A batch of join bindings in columnar layout: one rid column per bound
 /// alias plus a selection vector.
@@ -174,22 +175,15 @@ impl ColumnBatch {
         }
     }
 
-    /// Refine the selection by a precomputed keep bitmap aligned with the
-    /// current *live* rows (`keep[i]` decides the `i`-th live row) — the
-    /// output shape of the typed selection kernels.
-    pub fn retain_by_flags(&mut self, keep: &[bool]) {
-        debug_assert_eq!(keep.len(), self.live(), "flag/live-row mismatch");
+    /// Refine the selection by a packed keep mask aligned with the
+    /// current *live* rows (bit `i` decides the `i`-th live row) — the
+    /// output shape of the typed selection kernels.  The set-bit walk
+    /// costs proportional to the survivor count, not the batch size.
+    pub fn retain_by_mask(&mut self, keep: &BitMask) {
+        debug_assert_eq!(keep.len(), self.live(), "mask/live-row mismatch");
         let next: Vec<u32> = match self.sel.take() {
-            Some(s) => s
-                .into_iter()
-                .zip(keep)
-                .filter_map(|(i, &k)| k.then_some(i))
-                .collect(),
-            None => keep
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &k)| k.then_some(i as u32))
-                .collect(),
+            Some(s) => keep.ones().map(|i| s[i]).collect(),
+            None => keep.ones().map(|i| i as u32).collect(),
         };
         self.sel = Some(next);
     }
@@ -357,20 +351,20 @@ mod tests {
     }
 
     #[test]
-    fn gather_and_flag_retain_mirror_retain_by_col() {
+    fn gather_and_mask_retain_mirror_retain_by_col() {
         let rows: Vec<Vec<usize>> = (0..8).map(|i| vec![i, 100 + i]).collect();
         let mut a = ColumnBatch::from_rows(&rows, 8);
         let mut b = a.clone();
         // Narrow both to even physical rows first.
         a.retain(|i| i % 2 == 0);
         b.retain(|i| i % 2 == 0);
-        // a: closure filter; b: gather + kernel-style flags.
+        // a: closure filter; b: gather + kernel-style packed mask.
         a.retain_by_col(1, |v| v >= 104);
         let mut gathered = Vec::new();
         b.gather_col(1, &mut gathered);
         assert_eq!(gathered, vec![100, 102, 104, 106]);
-        let flags: Vec<bool> = gathered.iter().map(|&v| v >= 104).collect();
-        b.retain_by_flags(&flags);
+        let mask = BitMask::from_bools(gathered.iter().map(|&v| v >= 104));
+        b.retain_by_mask(&mask);
         assert_eq!(a.sel(), b.sel());
         assert_eq!(a.to_rows(), b.to_rows());
     }

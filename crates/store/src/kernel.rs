@@ -1,27 +1,35 @@
 //! Branch-free chunked kernels over typed columns.
 //!
 //! Every kernel is a plain data-parallel loop over primitive slices —
-//! comparisons produce booleans without branching in the loop body, so the
-//! compiler is free to autovectorize (no `std::simd`, no intrinsics).  The
-//! kernels are *exact* replacements for the scalar [`Value`] operations on
-//! the column shapes [`crate::TypedColumn`] guarantees:
+//! comparisons produce verdict *bits* packed into [`BitMask`] words (64
+//! verdicts per word write), so the compiler is free to autovectorize the
+//! chunk body (no `std::simd`, no intrinsics).  The kernels are *exact*
+//! replacements for the scalar [`Value`] operations on the column shapes
+//! [`crate::TypedColumn`] guarantees:
 //!
 //! * an all-`Int` column compares like `Value::cmp` restricted to
 //!   integers, and hashes like [`crate::hash_values`] over `Value::Int`s
 //!   (bit-for-bit — spilled-vs-resident parity depends on identical probe
-//!   hashes), and
+//!   hashes),
 //! * a dictionary-coded string column compares by code, the dictionary
-//!   being sorted.
+//!   being sorted, and hashes the dictionary string exactly like
+//!   `Value::Str`, and
+//! * a NULL slot (cleared validity bit) never satisfies any comparison —
+//!   SQL three-valued logic collapsed onto the mask — and never produces
+//!   a join-key hash ([`hash_keys_typed`] emits `None`, matching the
+//!   scalar path's refusal to probe on NULL keys).
 //!
 //! [`crate::Value::cmp`]'s NaN handling is irrelevant here by
 //! construction: typed columns never contain `Dec` values.
 
 use std::hash::{Hash, Hasher};
 
+use crate::mask::{BitMask, MASK_WORD_BITS};
 use crate::value::Value;
 
-/// Comparison operator of the selection kernels (SQL semantics; the typed
-/// columns carry no NULLs, so three-valued logic degenerates to two).
+/// Comparison operator of the selection kernels (SQL semantics; NULL
+/// slots are masked out by the validity word, so three-valued logic
+/// degenerates to two on the remaining rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelCmp {
     /// `=`
@@ -38,48 +46,212 @@ pub enum KernelCmp {
     Ge,
 }
 
-/// Gather-and-compare kernel: for each row id in `rids`, push whether
-/// `vals[rid] op rhs` holds.  One tight loop per operator — the comparison
-/// is a flag materialization, not a branch.
-pub fn keep_cmp_i64(vals: &[i64], rids: &[usize], op: KernelCmp, rhs: i64, keep: &mut Vec<bool>) {
-    keep.clear();
-    keep.reserve(rids.len());
+/// One term of a fused selection pass: a comparison over a typed column
+/// image (optionally NULL-gated), a bare validity gate, or a constant
+/// verdict.  [`mask_terms`] evaluates a conjunction or disjunction of
+/// terms chunk-at-a-time, so a three-term residual costs one pass over
+/// the gathered rids instead of three selection-vector rewrites.
+#[derive(Clone, Copy)]
+pub enum MaskTerm<'a> {
+    /// `i64` column `op` integer constant.
+    I64 {
+        /// The column image.
+        vals: &'a [i64],
+        /// NULL gate: a cleared bit fails the term.
+        validity: Option<&'a BitMask>,
+        /// Comparison operator.
+        op: KernelCmp,
+        /// Right-hand constant.
+        rhs: i64,
+    },
+    /// Dictionary codes `op` code constant (range operators must be
+    /// boundary-rewritten first, see [`crate::TypedColumn::dict_boundary`]).
+    Code {
+        /// The code image.
+        vals: &'a [u32],
+        /// NULL gate: a cleared bit fails the term.
+        validity: Option<&'a BitMask>,
+        /// Comparison operator.
+        op: KernelCmp,
+        /// Right-hand code (or boundary).
+        rhs: u32,
+    },
+    /// The term holds exactly on the valid (non-NULL) rows — a
+    /// constant-true verdict over a NULL-bearing column (`<> 'absent'`).
+    Valid {
+        /// The column's validity mask.
+        validity: &'a BitMask,
+    },
+    /// The term is constant over the whole column.
+    Const(bool),
+}
+
+/// Pack one chunk's verdicts into a word: bit `b` is `f(vals[chunk[b]])`.
+#[inline]
+fn fold_word<T: Copy>(vals: &[T], chunk: &[usize], f: impl Fn(T) -> bool) -> u64 {
+    chunk
+        .iter()
+        .enumerate()
+        .fold(0u64, |w, (b, &r)| w | ((f(vals[r]) as u64) << b))
+}
+
+/// Gather one chunk's validity bits into a word (branch-free bit gather).
+#[inline]
+fn valid_word(validity: &BitMask, chunk: &[usize]) -> u64 {
+    let words = validity.words();
+    chunk.iter().enumerate().fold(0u64, |w, (b, &r)| {
+        w | (((words[r / MASK_WORD_BITS] >> (r % MASK_WORD_BITS)) & 1) << b)
+    })
+}
+
+#[inline]
+fn cmp_word_i64(vals: &[i64], chunk: &[usize], op: KernelCmp, rhs: i64) -> u64 {
     match op {
-        KernelCmp::Eq => keep.extend(rids.iter().map(|&r| vals[r] == rhs)),
-        KernelCmp::Ne => keep.extend(rids.iter().map(|&r| vals[r] != rhs)),
-        KernelCmp::Lt => keep.extend(rids.iter().map(|&r| vals[r] < rhs)),
-        KernelCmp::Le => keep.extend(rids.iter().map(|&r| vals[r] <= rhs)),
-        KernelCmp::Gt => keep.extend(rids.iter().map(|&r| vals[r] > rhs)),
-        KernelCmp::Ge => keep.extend(rids.iter().map(|&r| vals[r] >= rhs)),
+        KernelCmp::Eq => fold_word(vals, chunk, |v| v == rhs),
+        KernelCmp::Ne => fold_word(vals, chunk, |v| v != rhs),
+        KernelCmp::Lt => fold_word(vals, chunk, |v| v < rhs),
+        KernelCmp::Le => fold_word(vals, chunk, |v| v <= rhs),
+        KernelCmp::Gt => fold_word(vals, chunk, |v| v > rhs),
+        KernelCmp::Ge => fold_word(vals, chunk, |v| v >= rhs),
     }
 }
 
-/// [`keep_cmp_i64`] over dictionary codes.  Range operators must be
+#[inline]
+fn cmp_word_u32(vals: &[u32], chunk: &[usize], op: KernelCmp, rhs: u32) -> u64 {
+    match op {
+        KernelCmp::Eq => fold_word(vals, chunk, |v| v == rhs),
+        KernelCmp::Ne => fold_word(vals, chunk, |v| v != rhs),
+        KernelCmp::Lt => fold_word(vals, chunk, |v| v < rhs),
+        KernelCmp::Le => fold_word(vals, chunk, |v| v <= rhs),
+        KernelCmp::Gt => fold_word(vals, chunk, |v| v > rhs),
+        KernelCmp::Ge => fold_word(vals, chunk, |v| v >= rhs),
+    }
+}
+
+#[inline]
+fn term_word(term: &MaskTerm<'_>, chunk: &[usize], full: u64) -> u64 {
+    match term {
+        MaskTerm::I64 {
+            vals,
+            validity,
+            op,
+            rhs,
+        } => {
+            let mut w = cmp_word_i64(vals, chunk, *op, *rhs);
+            if let Some(v) = validity {
+                w &= valid_word(v, chunk);
+            }
+            w
+        }
+        MaskTerm::Code {
+            vals,
+            validity,
+            op,
+            rhs,
+        } => {
+            let mut w = cmp_word_u32(vals, chunk, *op, *rhs);
+            if let Some(v) = validity {
+                w &= valid_word(v, chunk);
+            }
+            w
+        }
+        MaskTerm::Valid { validity } => valid_word(validity, chunk),
+        MaskTerm::Const(true) => full,
+        MaskTerm::Const(false) => 0,
+    }
+}
+
+/// Fused multi-term selection kernel: evaluate every term over the rows
+/// named by `rids` and combine the verdicts (`conjunctive`: AND, else OR)
+/// into `out`, one 64-row chunk at a time.  The chunk's rids stay hot
+/// across terms, so an N-term predicate costs one gather pass, not N
+/// selection rewrites.  An empty conjunction keeps everything; an empty
+/// disjunction keeps nothing.
+pub fn mask_terms(terms: &[MaskTerm<'_>], conjunctive: bool, rids: &[usize], out: &mut BitMask) {
+    out.reset(rids.len(), false);
+    let words = out.words_mut();
+    for (wi, chunk) in rids.chunks(MASK_WORD_BITS).enumerate() {
+        let full = if chunk.len() == MASK_WORD_BITS {
+            !0u64
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut acc = if conjunctive { full } else { 0u64 };
+        for t in terms {
+            let w = term_word(t, chunk, full);
+            if conjunctive {
+                acc &= w;
+            } else {
+                acc |= w;
+            }
+        }
+        words[wi] = acc & full;
+    }
+}
+
+/// Single-term gather-and-compare kernel over an `i64` image: bit `i` of
+/// `out` is `vals[rids[i]] op rhs` (and the slot is valid).
+pub fn mask_cmp_i64(
+    vals: &[i64],
+    validity: Option<&BitMask>,
+    rids: &[usize],
+    op: KernelCmp,
+    rhs: i64,
+    out: &mut BitMask,
+) {
+    mask_terms(
+        &[MaskTerm::I64 {
+            vals,
+            validity,
+            op,
+            rhs,
+        }],
+        true,
+        rids,
+        out,
+    );
+}
+
+/// [`mask_cmp_i64`] over dictionary codes.  Range operators must be
 /// rewritten against a dictionary boundary first (see
 /// [`crate::TypedColumn::dict_boundary`]); code comparison then equals
 /// string comparison because the dictionary is sorted.
-pub fn keep_cmp_u32(vals: &[u32], rids: &[usize], op: KernelCmp, rhs: u32, keep: &mut Vec<bool>) {
-    keep.clear();
-    keep.reserve(rids.len());
-    match op {
-        KernelCmp::Eq => keep.extend(rids.iter().map(|&r| vals[r] == rhs)),
-        KernelCmp::Ne => keep.extend(rids.iter().map(|&r| vals[r] != rhs)),
-        KernelCmp::Lt => keep.extend(rids.iter().map(|&r| vals[r] < rhs)),
-        KernelCmp::Le => keep.extend(rids.iter().map(|&r| vals[r] <= rhs)),
-        KernelCmp::Gt => keep.extend(rids.iter().map(|&r| vals[r] > rhs)),
-        KernelCmp::Ge => keep.extend(rids.iter().map(|&r| vals[r] >= rhs)),
-    }
+pub fn mask_cmp_u32(
+    vals: &[u32],
+    validity: Option<&BitMask>,
+    rids: &[usize],
+    op: KernelCmp,
+    rhs: u32,
+    out: &mut BitMask,
+) {
+    mask_terms(
+        &[MaskTerm::Code {
+            vals,
+            validity,
+            op,
+            rhs,
+        }],
+        true,
+        rids,
+        out,
+    );
 }
 
 /// Constant-verdict kernel (a dictionary miss: `= 'absent'` keeps nothing,
-/// `<> 'absent'` keeps everything).
-pub fn keep_const(n: usize, verdict: bool, keep: &mut Vec<bool>) {
-    keep.clear();
-    keep.resize(n, verdict);
+/// `<> 'absent'` keeps everything non-NULL — pass the validity as a
+/// [`MaskTerm::Valid`] term for the latter when the column bears NULLs).
+pub fn mask_const(n: usize, verdict: bool, out: &mut BitMask) {
+    out.reset(n, verdict);
 }
 
 /// Gather kernel: `out[i] = vals[rids[i]]`.
 pub fn gather_i64(vals: &[i64], rids: &[usize], out: &mut Vec<i64>) {
+    out.reserve(rids.len());
+    out.extend(rids.iter().map(|&r| vals[r]));
+}
+
+/// Gather kernel over dictionary codes.
+pub fn gather_u32(vals: &[u32], rids: &[usize], out: &mut Vec<u32>) {
     out.reserve(rids.len());
     out.extend(rids.iter().map(|&r| vals[r]));
 }
@@ -107,6 +279,108 @@ pub fn hash_keys_i64(keys: &[i64], nk: usize, live: usize, out: &mut Vec<u64>) {
     }
 }
 
+/// One gathered composite-key column for [`hash_keys_typed`]: dense
+/// per-probe-row key values, already gathered out of the batch.
+pub enum HashKey<'a> {
+    /// Integer key values (hash like `Value::Int`).
+    I64(&'a [i64]),
+    /// Dictionary-coded string key: `codes[i]` indexes `dict`, and the
+    /// *string* is hashed (hash state is sequential, so per-code hash
+    /// contributions cannot be precomputed — but the dictionary lookup
+    /// replaces the `Value` enum walk and clone of the scalar path).
+    Str {
+        /// Gathered codes, one per probe row.
+        codes: &'a [u32],
+        /// The (shared, sorted) dictionary the codes index.
+        dict: &'a [String],
+    },
+}
+
+/// Composite-key hash kernel over gathered typed key columns, NULL-aware:
+/// row `i` hashes its keys in sequence exactly like [`crate::hash_values`]
+/// over the corresponding `Value`s, or produces `None` when any key slot
+/// is NULL (`validity` bit cleared) — mirroring the scalar probe path,
+/// which never probes on a NULL key.  The `None`s keep Grace partition
+/// routing consistent: a NULL-keyed probe row loads no partition on
+/// either path.
+pub fn hash_keys_typed(
+    keys: &[HashKey<'_>],
+    validity: Option<&BitMask>,
+    live: usize,
+    out: &mut Vec<Option<u64>>,
+) {
+    out.clear();
+    out.reserve(live);
+    for i in 0..live {
+        if validity.is_some_and(|v| !v.get(i)) {
+            out.push(None);
+            continue;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for k in keys {
+            match k {
+                HashKey::I64(vals) => {
+                    2u8.hash(&mut h);
+                    (vals[i] as f64).to_bits().hash(&mut h);
+                }
+                HashKey::Str { codes, dict } => {
+                    3u8.hash(&mut h);
+                    dict[codes[i] as usize].hash(&mut h);
+                }
+            }
+        }
+        out.push(Some(h.finish()));
+    }
+}
+
+/// Masked aggregate over an `i64` image: COUNT / SUM / MIN / MAX of the
+/// valid slots in one reduction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskedAgg {
+    /// Number of valid (non-NULL) slots.
+    pub count: usize,
+    /// Sum of the valid slots (widened — a billion-row `i64` column
+    /// cannot overflow an `i128` accumulator).
+    pub sum: i128,
+    /// Minimum valid slot, `None` when every slot is NULL.
+    pub min: Option<i64>,
+    /// Maximum valid slot, `None` when every slot is NULL.
+    pub max: Option<i64>,
+}
+
+/// COUNT/SUM/MIN/MAX reduction over an `i64` image, skipping NULL slots.
+/// The no-NULL fast path is a single branch-free fold; the masked path
+/// walks set validity bits (cost proportional to the popcount).
+pub fn agg_i64_masked(vals: &[i64], validity: Option<&BitMask>) -> MaskedAgg {
+    let mut agg = MaskedAgg::default();
+    let (mut mn, mut mx) = (i64::MAX, i64::MIN);
+    match validity {
+        None => {
+            for &v in vals {
+                agg.sum += v as i128;
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            agg.count = vals.len();
+        }
+        Some(m) => {
+            debug_assert_eq!(m.len(), vals.len());
+            for i in m.ones() {
+                let v = vals[i];
+                agg.sum += v as i128;
+                mn = mn.min(v);
+                mx = mx.max(v);
+                agg.count += 1;
+            }
+        }
+    }
+    if agg.count > 0 {
+        agg.min = Some(mn);
+        agg.max = Some(mx);
+    }
+    agg
+}
+
 /// Stable permutation sort over columnar `i64` sort keys: returns the row
 /// indices `0..n` ordered lexicographically by the key columns, ties in
 /// input order.  This is the columnar SORT tail — keys are extracted once
@@ -131,24 +405,68 @@ pub fn sort_permutation_i64(cols: &[Vec<i64>], n: usize) -> Vec<u32> {
     perm
 }
 
-/// A sort key column in permutation-sort form: either an `i64` image or
-/// dictionary codes (whose order is string order).
-pub enum SortKey<'a> {
+/// The value image of a [`SortKey`] column.
+pub enum SortVals<'a> {
     /// Integer keys.
     I64(&'a [i64]),
     /// Dictionary codes of a sorted dictionary.
     Code(&'a [u32]),
 }
 
-/// Stable permutation sort over mixed typed key columns.
+/// A sort key column in permutation-sort form: a typed value image plus
+/// an optional validity mask.  NULL slots (cleared bits) sort *first* and
+/// compare equal to each other — exactly `Value::cmp`'s `Null < _` order,
+/// so the typed sort path reproduces the scalar row order bit-for-bit on
+/// NULL-bearing columns.
+pub struct SortKey<'a> {
+    /// The key values (NULL slots hold an arbitrary sentinel).
+    pub vals: SortVals<'a>,
+    /// NULL gate: a cleared bit sorts before every valid value.
+    pub validity: Option<&'a BitMask>,
+}
+
+impl<'a> SortKey<'a> {
+    /// A no-NULL integer key column.
+    pub fn i64(vals: &'a [i64]) -> Self {
+        SortKey {
+            vals: SortVals::I64(vals),
+            validity: None,
+        }
+    }
+
+    /// A no-NULL dictionary-code key column.
+    pub fn code(vals: &'a [u32]) -> Self {
+        SortKey {
+            vals: SortVals::Code(vals),
+            validity: None,
+        }
+    }
+
+    #[inline]
+    fn cmp_at(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let (va, vb) = match self.validity {
+            Some(m) => (m.get(a), m.get(b)),
+            None => (true, true),
+        };
+        match (va, vb) {
+            (false, false) => Ordering::Equal,
+            (false, true) => Ordering::Less,
+            (true, false) => Ordering::Greater,
+            (true, true) => match &self.vals {
+                SortVals::I64(v) => v[a].cmp(&v[b]),
+                SortVals::Code(v) => v[a].cmp(&v[b]),
+            },
+        }
+    }
+}
+
+/// Stable permutation sort over mixed typed key columns (NULLs first).
 pub fn sort_permutation_typed(cols: &[SortKey<'_>], n: usize) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.sort_by(|&a, &b| {
         for col in cols {
-            let ord = match col {
-                SortKey::I64(v) => v[a as usize].cmp(&v[b as usize]),
-                SortKey::Code(v) => v[a as usize].cmp(&v[b as usize]),
-            };
+            let ord = col.cmp_at(a as usize, b as usize);
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
@@ -187,17 +505,82 @@ mod tests {
     ];
 
     #[test]
-    fn keep_cmp_i64_matches_scalar_comparison() {
-        let vals: Vec<i64> = vec![5, -3, 0, 7, 5, 100];
-        let rids: Vec<usize> = vec![0, 2, 3, 4, 5];
-        let mut keep = Vec::new();
+    fn mask_cmp_i64_matches_scalar_comparison() {
+        let vals: Vec<i64> = (0..200).map(|i| (i * 7 % 23) - 11).collect();
+        let rids: Vec<usize> = (0..200).filter(|i| i % 3 != 1).collect();
+        let mut keep = BitMask::new();
         for op in OPS {
-            keep_cmp_i64(&vals, &rids, op, 5, &mut keep);
+            mask_cmp_i64(&vals, None, &rids, op, 5, &mut keep);
+            assert_eq!(keep.len(), rids.len());
             for (i, &rid) in rids.iter().enumerate() {
                 let want = cmp_matches_value(op, &Value::Int(vals[rid]), &Value::Int(5)).unwrap();
-                assert_eq!(keep[i], want, "{op:?} rid {rid}");
+                assert_eq!(keep.get(i), want, "{op:?} rid {rid}");
             }
         }
+    }
+
+    #[test]
+    fn null_slots_never_match_any_operator() {
+        // Even `Ne` fails on NULL: `NULL <> 5` is unknown, and unknown
+        // drops the row — the validity word must gate every operator.
+        let vals: Vec<i64> = vec![5, 0, 7, 0, 5, 3];
+        let validity = BitMask::from_bools([true, false, true, false, true, true]);
+        let rids: Vec<usize> = (0..vals.len()).collect();
+        let mut keep = BitMask::new();
+        for op in OPS {
+            mask_cmp_i64(&vals, Some(&validity), &rids, op, 5, &mut keep);
+            for (i, &rid) in rids.iter().enumerate() {
+                if !validity.get(rid) {
+                    assert!(!keep.get(i), "{op:?}: NULL slot {rid} matched");
+                } else {
+                    let want =
+                        cmp_matches_value(op, &Value::Int(vals[rid]), &Value::Int(5)).unwrap();
+                    assert_eq!(keep.get(i), want, "{op:?} rid {rid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_terms_match_sequential_application() {
+        let a: Vec<i64> = (0..300).map(|i| i % 17).collect();
+        let b: Vec<u32> = (0..300).map(|i| (i % 5) as u32).collect();
+        let validity = BitMask::from_bools((0..300).map(|i| i % 11 != 0));
+        let rids: Vec<usize> = (0..300).filter(|i| i % 2 == 0).collect();
+        let terms = [
+            MaskTerm::I64 {
+                vals: &a,
+                validity: Some(&validity),
+                op: KernelCmp::Ge,
+                rhs: 4,
+            },
+            MaskTerm::Code {
+                vals: &b,
+                validity: None,
+                op: KernelCmp::Lt,
+                rhs: 3,
+            },
+            MaskTerm::Valid {
+                validity: &validity,
+            },
+        ];
+        let scalar = |r: usize| (a[r] >= 4 && validity.get(r), b[r] < 3, validity.get(r));
+        let mut keep = BitMask::new();
+        mask_terms(&terms, true, &rids, &mut keep);
+        for (i, &r) in rids.iter().enumerate() {
+            let (t0, t1, t2) = scalar(r);
+            assert_eq!(keep.get(i), t0 && t1 && t2, "AND rid {r}");
+        }
+        mask_terms(&terms, false, &rids, &mut keep);
+        for (i, &r) in rids.iter().enumerate() {
+            let (t0, t1, t2) = scalar(r);
+            assert_eq!(keep.get(i), t0 || t1 || t2, "OR rid {r}");
+        }
+        // Empty conjunction keeps all, empty disjunction keeps none.
+        mask_terms(&[], true, &rids, &mut keep);
+        assert!(keep.all_true());
+        mask_terms(&[], false, &rids, &mut keep);
+        assert_eq!(keep.count_ones(), 0);
     }
 
     #[test]
@@ -214,6 +597,62 @@ mod tests {
     }
 
     #[test]
+    fn typed_hash_kernel_matches_value_hashes_and_skips_nulls() {
+        let ints: Vec<i64> = vec![4, -1, 0, 9];
+        let dict: Vec<String> = vec!["apple".into(), "fig".into(), "pear".into()];
+        let codes: Vec<u32> = vec![2, 0, 1, 0];
+        let validity = BitMask::from_bools([true, true, false, true]);
+        let keys = [
+            HashKey::I64(&ints),
+            HashKey::Str {
+                codes: &codes,
+                dict: &dict,
+            },
+        ];
+        let mut out = Vec::new();
+        hash_keys_typed(&keys, Some(&validity), 4, &mut out);
+        for i in 0..4 {
+            if !validity.get(i) {
+                assert_eq!(out[i], None, "NULL key row {i} must not hash");
+                continue;
+            }
+            let vals = [Value::Int(ints[i]), Value::str(&dict[codes[i] as usize])];
+            assert_eq!(out[i], Some(hash_values(vals.iter())), "row {i}");
+        }
+        // Without a validity mask every row hashes.
+        hash_keys_typed(&keys, None, 4, &mut out);
+        assert!(out.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn masked_aggregates_match_scalar_reduction() {
+        let vals: Vec<i64> = (0..500).map(|i| (i * 13 % 101) - 50).collect();
+        let validity = BitMask::from_bools((0..500).map(|i| i % 7 != 3));
+        let agg = agg_i64_masked(&vals, Some(&validity));
+        let live: Vec<i64> = (0..500)
+            .filter(|&i| validity.get(i))
+            .map(|i| vals[i])
+            .collect();
+        assert_eq!(agg.count, live.len());
+        assert_eq!(agg.sum, live.iter().map(|&v| v as i128).sum::<i128>());
+        assert_eq!(agg.min, live.iter().min().copied());
+        assert_eq!(agg.max, live.iter().max().copied());
+        // No-NULL fast path agrees with the masked path on a full mask.
+        let full = BitMask::filled(vals.len(), true);
+        assert_eq!(
+            agg_i64_masked(&vals, None),
+            agg_i64_masked(&vals, Some(&full))
+        );
+        // All-NULL column: COUNT 0, no extrema.
+        let none = BitMask::filled(vals.len(), false);
+        let empty = agg_i64_masked(&vals, Some(&none));
+        assert_eq!(
+            (empty.count, empty.min, empty.max, empty.sum),
+            (0, None, None, 0)
+        );
+    }
+
+    #[test]
     fn sort_permutation_is_stable_and_lexicographic() {
         let c0: Vec<i64> = vec![2, 1, 2, 1];
         let c1: Vec<i64> = vec![9, 5, 3, 5];
@@ -226,17 +665,37 @@ mod tests {
         assert_eq!(sort_permutation_i64(&[], 3), vec![0, 1, 2]);
         // Mixed typed keys sort codes like strings.
         let perm =
-            sort_permutation_typed(&[SortKey::Code(&[1, 0, 1]), SortKey::I64(&[5, 9, 2])], 3);
+            sort_permutation_typed(&[SortKey::code(&[1, 0, 1]), SortKey::i64(&[5, 9, 2])], 3);
         assert_eq!(perm, vec![1, 2, 0]);
     }
 
     #[test]
-    fn keep_const_and_gather() {
-        let mut keep = Vec::new();
-        keep_const(3, false, &mut keep);
-        assert_eq!(keep, vec![false; 3]);
+    fn nullable_sort_keys_put_nulls_first_stably() {
+        // Values with sentinel 0 at NULL slots; Value order is NULL < Int.
+        let vals: Vec<i64> = vec![5, 0, -3, 0, 5];
+        let validity = BitMask::from_bools([true, false, true, false, true]);
+        let key = SortKey {
+            vals: SortVals::I64(&vals),
+            validity: Some(&validity),
+        };
+        let perm = sort_permutation_typed(&[key], 5);
+        // NULLs (rows 1, 3) first in input order, then -3, then the 5s
+        // in input order.
+        assert_eq!(perm, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn mask_const_and_gather() {
+        let mut keep = BitMask::new();
+        mask_const(3, false, &mut keep);
+        assert_eq!((keep.len(), keep.count_ones()), (3, 0));
+        mask_const(3, true, &mut keep);
+        assert!(keep.all_true());
         let mut out = Vec::new();
         gather_i64(&[10, 20, 30], &[2, 0], &mut out);
         assert_eq!(out, vec![30, 10]);
+        let mut codes = Vec::new();
+        gather_u32(&[1, 2, 3], &[0, 2], &mut codes);
+        assert_eq!(codes, vec![1, 3]);
     }
 }

@@ -33,6 +33,7 @@ pub mod btree;
 pub mod catalog;
 pub mod columnar;
 pub mod kernel;
+pub mod mask;
 pub mod morsel;
 pub mod schema;
 pub mod spill;
@@ -49,9 +50,11 @@ pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
 pub use columnar::{BatchSizer, ColOperator, ColumnBatch, MAX_ADAPTIVE_GROWTH};
 pub use kernel::{
-    gather_i64, hash_keys_i64, keep_cmp_i64, keep_cmp_u32, keep_const, sort_permutation_i64,
-    sort_permutation_typed, KernelCmp, SortKey,
+    agg_i64_masked, gather_i64, gather_u32, hash_keys_i64, hash_keys_typed, mask_cmp_i64,
+    mask_cmp_u32, mask_const, mask_terms, sort_permutation_i64, sort_permutation_typed, HashKey,
+    KernelCmp, MaskTerm, MaskedAgg, SortKey, SortVals,
 };
+pub use mask::{BitMask, MASK_WORD_BITS};
 pub use morsel::{
     default_threads, effective_morsel_size, execute_morsels, execute_morsels_streaming,
     parse_bytes, partition_morsels, ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE,

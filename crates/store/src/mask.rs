@@ -1,0 +1,245 @@
+//! Packed selection / validity bitmasks.
+//!
+//! [`BitMask`] stores one bit per row in `u64` words — the SIMD-shaped
+//! mask currency of the typed kernels.  Selection kernels *emit* masks
+//! (64 verdicts materialize as one word write instead of 64 `bool`
+//! stores), validity masks *gate* them (a NULL slot never matches any
+//! comparison), and mask combination (AND/OR of predicate terms) is a
+//! word-at-a-time loop the compiler can keep entirely in vector
+//! registers.  Bits past `len` are kept zero, so popcounts and word-wise
+//! folds never need a tail guard.
+
+/// A packed bitmask over `len` rows, bit `i` of word `i / 64` being row
+/// `i`'s flag.  All bits past `len` are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Bits per mask word.
+pub const MASK_WORD_BITS: usize = 64;
+
+impl BitMask {
+    /// An empty mask.
+    pub fn new() -> Self {
+        BitMask::default()
+    }
+
+    /// A mask of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(MASK_WORD_BITS);
+        let mut words = vec![if value { !0u64 } else { 0u64 }; nwords];
+        if value {
+            Self::trim_tail(&mut words, len);
+        }
+        BitMask { words, len }
+    }
+
+    /// Build from an iterator of flags (tests and conversion seams).
+    pub fn from_bools(flags: impl IntoIterator<Item = bool>) -> Self {
+        let mut m = BitMask::new();
+        for f in flags {
+            m.push(f);
+        }
+        m
+    }
+
+    /// Reset to `len` bits, all `value` — reuses the word buffer.
+    pub fn reset(&mut self, len: usize, value: bool) {
+        let nwords = len.div_ceil(MASK_WORD_BITS);
+        self.words.clear();
+        self.words.resize(nwords, if value { !0u64 } else { 0u64 });
+        self.len = len;
+        if value {
+            Self::trim_tail(&mut self.words, len);
+        }
+    }
+
+    fn trim_tail(words: &mut [u64], len: usize) {
+        let tail = len % MASK_WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the mask zero-length?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `i`'s flag.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / MASK_WORD_BITS] >> (i % MASK_WORD_BITS)) & 1 != 0
+    }
+
+    /// Set row `i`'s flag.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / MASK_WORD_BITS];
+        let bit = 1u64 << (i % MASK_WORD_BITS);
+        if v {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Append one flag.
+    pub fn push(&mut self, v: bool) {
+        if self.len.is_multiple_of(MASK_WORD_BITS) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if v {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// The backing words (bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable word access for kernels that write whole verdict words.
+    /// Callers must keep bits past `len` zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Are all `len` bits set?
+    pub fn all_true(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// In-place AND with `other` (equal lengths).
+    pub fn and_with(&mut self, other: &BitMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// In-place OR with `other` (equal lengths).
+    pub fn or_with(&mut self, other: &BitMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Iterate the indices of set bits, ascending.  Word-at-a-time:
+    /// `trailing_zeros` peels one set bit per step, so sparse masks cost
+    /// proportional to their popcount, not their length.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the set-bit indices of a [`BitMask`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * MASK_WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_tail_bits_stay_zero() {
+        let m = BitMask::filled(70, true);
+        assert_eq!(m.len(), 70);
+        assert_eq!(m.count_ones(), 70);
+        assert!(m.all_true());
+        // The 58 tail bits of the second word must be zero.
+        assert_eq!(m.words()[1], (1u64 << 6) - 1);
+        let z = BitMask::filled(70, false);
+        assert_eq!(z.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_push_roundtrip() {
+        let flags: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let mut m = BitMask::from_bools(flags.iter().copied());
+        for (i, &f) in flags.iter().enumerate() {
+            assert_eq!(m.get(i), f, "bit {i}");
+        }
+        m.set(1, true);
+        m.set(0, false);
+        assert!(m.get(1) && !m.get(0));
+    }
+
+    #[test]
+    fn and_or_combine_wordwise() {
+        let a = BitMask::from_bools((0..130).map(|i| i % 2 == 0));
+        let b = BitMask::from_bools((0..130).map(|i| i % 3 == 0));
+        let mut and = a.clone();
+        and.and_with(&b);
+        let mut or = a.clone();
+        or.or_with(&b);
+        for i in 0..130 {
+            assert_eq!(and.get(i), i % 2 == 0 && i % 3 == 0);
+            assert_eq!(or.get(i), i % 2 == 0 || i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn ones_iterates_set_bits_ascending() {
+        let flags: Vec<bool> = (0..300).map(|i| i % 7 == 1).collect();
+        let m = BitMask::from_bools(flags.iter().copied());
+        let got: Vec<usize> = m.ones().collect();
+        let want: Vec<usize> = (0..300).filter(|i| i % 7 == 1).collect();
+        assert_eq!(got, want);
+        assert_eq!(m.count_ones(), want.len());
+        assert!(BitMask::new().ones().next().is_none());
+    }
+
+    #[test]
+    fn reset_reuses_buffer() {
+        let mut m = BitMask::filled(10, true);
+        m.reset(65, false);
+        assert_eq!(m.len(), 65);
+        assert_eq!(m.count_ones(), 0);
+        m.reset(3, true);
+        assert_eq!((m.len(), m.count_ones()), (3, 3));
+    }
+}

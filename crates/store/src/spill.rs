@@ -766,9 +766,11 @@ impl ExternalSorter {
     }
 
     /// The columnar in-memory finish: extract every key column into a flat
-    /// `i64` image, sort a permutation, gather payloads.  Bails (`None`)
-    /// when the keys are empty, ragged or not all-`Int` — the caller falls
-    /// back to the row comparator.  Only valid on the never-spilled,
+    /// `i64` image (NULL keys get a sentinel plus a cleared validity bit —
+    /// the nullable permutation sort puts them first, exactly like
+    /// `Value::cmp`), sort a permutation, gather payloads.  Bails (`None`)
+    /// when the keys are empty, ragged or not `Int`/NULL — the caller
+    /// falls back to the row comparator.  Only valid on the never-spilled,
     /// monotonic-seq path: the permutation sort is stable, so ties stay in
     /// buffer order, which there equals seq order.
     fn finish_typed(&mut self) -> Option<SortedRows> {
@@ -778,18 +780,42 @@ impl ExternalSorter {
             return None;
         }
         let mut cols: Vec<Vec<i64>> = (0..kw).map(|_| Vec::with_capacity(n)).collect();
-        for rec in &self.buf {
+        let mut validity: Vec<Option<crate::mask::BitMask>> = (0..kw).map(|_| None).collect();
+        for (i, rec) in self.buf.iter().enumerate() {
             if rec.key.len() != kw {
                 return None;
             }
             for (k, v) in rec.key.iter().enumerate() {
                 match v {
-                    Value::Int(i) => cols[k].push(*i),
+                    Value::Int(x) => {
+                        cols[k].push(*x);
+                        if let Some(m) = &mut validity[k] {
+                            m.push(true);
+                        }
+                    }
+                    Value::Null => {
+                        cols[k].push(0);
+                        validity[k]
+                            .get_or_insert_with(|| crate::mask::BitMask::filled(i, true))
+                            .push(false);
+                    }
                     _ => return None,
                 }
             }
         }
-        let perm = crate::kernel::sort_permutation_i64(&cols, n);
+        let perm = if validity.iter().all(Option::is_none) {
+            crate::kernel::sort_permutation_i64(&cols, n)
+        } else {
+            let keys: Vec<crate::kernel::SortKey<'_>> = cols
+                .iter()
+                .zip(&validity)
+                .map(|(c, v)| crate::kernel::SortKey {
+                    vals: crate::kernel::SortVals::I64(c),
+                    validity: v.as_ref(),
+                })
+                .collect();
+            crate::kernel::sort_permutation_typed(&keys, n)
+        };
         let mut old: Vec<Option<SortRec>> = std::mem::take(&mut self.buf)
             .into_iter()
             .map(Some)
@@ -832,8 +858,9 @@ pub struct SortedRows {
     /// Bytes the sorter wrote.
     pub spill_bytes: usize,
     /// Rows ordered by the typed permutation-sort kernel (0 when the sort
-    /// went external, the keys were not all-`Int`, or typed kernels were
-    /// never requested via [`ExternalSorter::set_typed_kernels`]).
+    /// went external, the keys were not all `Int`-or-NULL, or typed
+    /// kernels were never requested via
+    /// [`ExternalSorter::set_typed_kernels`]).
     pub typed_rows: usize,
     source: SortedSource,
 }
@@ -1227,6 +1254,39 @@ mod tests {
         assert_eq!(
             sorted.typed_rows, 0,
             "string key must not engage the kernel"
+        );
+        assert_eq!(sorted.collect::<Vec<Row>>(), expect);
+    }
+
+    #[test]
+    fn typed_finish_handles_null_keys_like_the_row_comparator() {
+        // NULL sort keys take the nullable permutation path: NULLs first,
+        // ties in push order — byte-identical to `Value::cmp`.
+        let mut rows: Vec<(Row, Row)> = Vec::new();
+        for i in 0..200usize {
+            let key = vec![
+                if i % 5 == 2 {
+                    Value::Null
+                } else {
+                    Value::Int((i % 7) as i64)
+                },
+                Value::Int(-((i % 3) as i64)),
+            ];
+            rows.push((key, vec![Value::Int(i as i64)]));
+        }
+        let mut expect: Vec<(Row, Row)> = rows.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        let expect: Vec<Row> = expect.into_iter().map(|(_, p)| p).collect();
+
+        let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
+        s.set_typed_kernels(true);
+        for (key, payload) in rows {
+            s.push(key, payload);
+        }
+        let sorted = s.finish();
+        assert_eq!(
+            sorted.typed_rows, 200,
+            "NULL-bearing Int keys must still engage the kernel"
         );
         assert_eq!(sorted.collect::<Vec<Row>>(), expect);
     }

@@ -7,6 +7,8 @@
 //! distinct/null counts, min/max, most-common values (tag names are heavily
 //! skewed) and an equi-width histogram for numeric columns.
 
+use crate::kernel::agg_i64_masked;
+use crate::morsel::ExecConfig;
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -118,53 +120,22 @@ pub struct TableStats {
 
 impl TableStats {
     /// Gather statistics over a table (a full "RUNSTATS" pass).
+    ///
+    /// Columns whose typed image is a (possibly NULL-masked) `i64` vector
+    /// take a kernelized path: NULL/min/max/mean come from one masked
+    /// column reduction ([`agg_i64_masked`], exact `i128` sum) and the
+    /// frequency map runs over raw `i64` keys.  Both paths produce the
+    /// same `ColumnStats`; `XQJG_TYPED_KERNELS=0` forces the row path.
     pub fn collect(table: &Table) -> Self {
         let rows = table.len();
+        let typed_kernels = ExecConfig::from_env().typed_kernels;
         let mut columns = HashMap::new();
         for (ci, name) in table.schema().columns().iter().enumerate() {
-            let mut freq: HashMap<Value, usize> = HashMap::new();
-            let mut nulls = 0usize;
-            let mut min: Option<Value> = None;
-            let mut max: Option<Value> = None;
-            let mut numeric_sum = 0.0f64;
-            let mut numeric_count = 0usize;
-            for row in table.rows() {
-                let v = &row[ci];
-                if v.is_null() {
-                    nulls += 1;
-                    continue;
-                }
-                if let Some(f) = v.as_f64() {
-                    numeric_sum += f;
-                    numeric_count += 1;
-                }
-                *freq.entry(v.clone()).or_insert(0) += 1;
-                if min.as_ref().is_none_or(|m| v < m) {
-                    min = Some(v.clone());
-                }
-                if max.as_ref().is_none_or(|m| v > m) {
-                    max = Some(v.clone());
-                }
-            }
-            let distinct = freq.len();
-            let mut mcv: Vec<(Value, usize)> = freq.iter().map(|(v, f)| (v.clone(), *f)).collect();
-            mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            mcv.truncate(MCV_LIMIT);
-            let histogram = build_histogram(table, ci, min.as_ref(), max.as_ref());
-            let mean = (numeric_count > 0).then(|| numeric_sum / numeric_count as f64);
-            columns.insert(
-                name.clone(),
-                ColumnStats {
-                    rows,
-                    nulls,
-                    distinct,
-                    min,
-                    max,
-                    mcv,
-                    histogram,
-                    mean,
-                },
-            );
+            let stats = match table.typed().int_col_nullable(ci) {
+                Some((vals, validity)) if typed_kernels => collect_int_column(rows, vals, validity),
+                _ => collect_column_rows(table, ci, rows),
+            };
+            columns.insert(name.clone(), stats);
         }
         TableStats { rows, columns }
     }
@@ -172,6 +143,101 @@ impl TableStats {
     /// Statistics for a column, if collected.
     pub fn column(&self, name: &str) -> Option<&ColumnStats> {
         self.columns.get(name)
+    }
+}
+
+/// Row-at-a-time statistics pass (the oracle path, and the only path for
+/// columns without an `i64` image).
+fn collect_column_rows(table: &Table, ci: usize, rows: usize) -> ColumnStats {
+    let mut freq: HashMap<Value, usize> = HashMap::new();
+    let mut nulls = 0usize;
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    let mut numeric_sum = 0.0f64;
+    let mut numeric_count = 0usize;
+    for row in table.rows() {
+        let v = &row[ci];
+        if v.is_null() {
+            nulls += 1;
+            continue;
+        }
+        if let Some(f) = v.as_f64() {
+            numeric_sum += f;
+            numeric_count += 1;
+        }
+        *freq.entry(v.clone()).or_insert(0) += 1;
+        if min.as_ref().is_none_or(|m| v < m) {
+            min = Some(v.clone());
+        }
+        if max.as_ref().is_none_or(|m| v > m) {
+            max = Some(v.clone());
+        }
+    }
+    let distinct = freq.len();
+    let mut mcv: Vec<(Value, usize)> = freq.iter().map(|(v, f)| (v.clone(), *f)).collect();
+    mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    mcv.truncate(MCV_LIMIT);
+    let histogram = build_histogram(table, ci, min.as_ref(), max.as_ref());
+    let mean = (numeric_count > 0).then(|| numeric_sum / numeric_count as f64);
+    ColumnStats {
+        rows,
+        nulls,
+        distinct,
+        min,
+        max,
+        mcv,
+        histogram,
+        mean,
+    }
+}
+
+/// Kernelized statistics pass over an `i64` image: one masked reduction
+/// for COUNT/SUM/MIN/MAX (mean = exact `i128` sum / count), then a raw
+/// `i64` frequency map for distinct/MCV and an equi-width histogram.
+fn collect_int_column(
+    rows: usize,
+    vals: &[i64],
+    validity: Option<&crate::mask::BitMask>,
+) -> ColumnStats {
+    let agg = agg_i64_masked(vals, validity);
+    let nulls = rows - agg.count;
+    let min = agg.min.map(Value::Int);
+    let max = agg.max.map(Value::Int);
+    let mean = (agg.count > 0).then(|| agg.sum as f64 / agg.count as f64);
+    let mut freq: HashMap<i64, usize> = HashMap::new();
+    for (i, &v) in vals.iter().enumerate() {
+        if validity.is_none_or(|m| m.get(i)) {
+            *freq.entry(v).or_insert(0) += 1;
+        }
+    }
+    let distinct = freq.len();
+    let mut mcv: Vec<(Value, usize)> = freq.iter().map(|(&v, &f)| (Value::Int(v), f)).collect();
+    mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    mcv.truncate(MCV_LIMIT);
+    let histogram = match (agg.min, agg.max) {
+        (Some(lo), Some(hi)) if hi > lo => {
+            let (min_f, max_f) = (lo as f64, hi as f64);
+            let mut buckets = vec![0usize; HISTOGRAM_BUCKETS];
+            let width = (max_f - min_f) / HISTOGRAM_BUCKETS as f64;
+            for (i, &v) in vals.iter().enumerate() {
+                if validity.is_none_or(|m| m.get(i)) {
+                    let idx = (((v as f64 - min_f) / width) as usize).min(HISTOGRAM_BUCKETS - 1);
+                    buckets[idx] += 1;
+                }
+            }
+            buckets
+        }
+        _ => Vec::new(),
+    };
+    ColumnStats {
+        rows,
+        nulls,
+        distinct,
+        min,
+        max,
+        mcv,
+        histogram,
+        mean,
     }
 }
 
@@ -284,6 +350,32 @@ mod tests {
         let c = stats.column("v").unwrap();
         assert_eq!(c.nulls, 1);
         assert_eq!(c.distinct, 1);
+    }
+
+    #[test]
+    fn kernelized_int_stats_match_row_path() {
+        // A NULL-bearing int column takes the masked-reduction path; every
+        // ColumnStats field must agree with the row-at-a-time oracle.
+        let mut t = Table::new(Schema::new(["v"]));
+        for i in 0..500i64 {
+            let v = if i % 7 == 3 {
+                Value::Null
+            } else {
+                Value::Int(i % 40 - 10)
+            };
+            t.push(vec![v]);
+        }
+        let kernel = TableStats::collect(&t);
+        let k = kernel.column("v").unwrap();
+        let r = collect_column_rows(&t, 0, t.len());
+        assert_eq!(k.rows, r.rows);
+        assert_eq!(k.nulls, r.nulls);
+        assert_eq!(k.distinct, r.distinct);
+        assert_eq!(k.min, r.min);
+        assert_eq!(k.max, r.max);
+        assert_eq!(k.mcv, r.mcv);
+        assert_eq!(k.histogram, r.histogram);
+        assert!((k.mean.unwrap() - r.mean.unwrap()).abs() < 1e-9);
     }
 
     #[test]

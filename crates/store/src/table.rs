@@ -170,8 +170,16 @@ impl Table {
             let keys: Vec<crate::kernel::SortKey<'_>> = cols
                 .iter()
                 .map(|c| match c {
-                    TypedColumn::Int(v) => crate::kernel::SortKey::I64(v),
-                    TypedColumn::Dict { codes, .. } => crate::kernel::SortKey::Code(codes),
+                    TypedColumn::Int { vals, validity } => crate::kernel::SortKey {
+                        vals: crate::kernel::SortVals::I64(vals),
+                        validity: validity.as_ref(),
+                    },
+                    TypedColumn::Dict {
+                        codes, validity, ..
+                    } => crate::kernel::SortKey {
+                        vals: crate::kernel::SortVals::Code(codes),
+                        validity: validity.as_ref(),
+                    },
                 })
                 .collect();
             let perm = crate::kernel::sort_permutation_typed(&keys, self.rows.len());
@@ -282,9 +290,13 @@ mod tests {
         assert_eq!(t.typed().int_col(0), Some(&[1i64, 1, 2][..]));
         assert_eq!(t.typed().int_col(1), Some(&[10i64, 12, 10][..]));
         t.push(vec![Value::Int(3), Value::Null]);
-        // The cache was dropped on push; the new image sees the NULL.
+        // The cache was dropped on push; the new image sees the NULL and
+        // builds a masked image (the no-NULL accessor refuses it).
         assert_eq!(t.typed().int_col(0), Some(&[1i64, 1, 2, 3][..]));
-        assert!(t.typed().col(1).is_none());
+        assert!(t.typed().int_col(1).is_none());
+        let (vals, validity) = t.typed().int_col_nullable(1).unwrap();
+        assert_eq!(vals, &[10i64, 12, 10, 0]);
+        assert!(!validity.unwrap().get(3));
         t.rows_mut()[3][1] = Value::Int(7);
         assert_eq!(t.typed().int_col(1), Some(&[10i64, 12, 10, 7][..]));
     }
@@ -311,6 +323,25 @@ mod tests {
         let mut mixed = mk(rows);
         mixed.sort_by_columns(&["m".to_string()]);
         assert!(mixed.rows()[0][2].is_null(), "NULL sorts first");
+    }
+
+    #[test]
+    fn nullable_typed_sort_matches_value_sort() {
+        // A NULL-bearing int column now takes the typed permutation path;
+        // its order must still equal the scalar comparator's (NULLs
+        // first, ties in input order).
+        let rows: Vec<Row> = [Some(5), None, Some(-3), None, Some(5), Some(0)]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![v.map_or(Value::Null, Value::Int), Value::Int(i as i64)])
+            .collect();
+        let mk = |rows: Vec<Row>| Table::from_rows(Schema::new(["k", "tag"]), rows);
+        let mut typed = mk(rows.clone());
+        typed.sort_by_columns(&["k".to_string()]);
+        let mut scalar = mk(rows);
+        scalar.rows_mut().sort_by(|a, b| a[0].cmp(&b[0]));
+        assert_eq!(typed, scalar);
+        assert!(typed.rows()[0][0].is_null() && typed.rows()[1][0].is_null());
     }
 
     #[test]

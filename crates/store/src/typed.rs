@@ -5,45 +5,102 @@
 //! `level`, surrogate ids) and low-cardinality strings (`name`, `kind`).
 //! [`TypedColumns`] extracts, per column and lazily, either
 //!
-//! * a flat `Vec<i64>` image (every value is `Value::Int`, no NULLs), or
-//! * a dictionary-coded image of an all-string column whose dictionary is
+//! * a flat `Vec<i64>` image (every non-NULL value is `Value::Int`), or
+//! * a dictionary-coded image of a string column whose dictionary is
 //!   *sorted*, so code order equals string order and code equality equals
 //!   string equality,
 //!
-//! and leaves mixed/NULL-bearing columns untyped (`None`) — the scalar
-//! [`Value`] path remains the semantics of record for those.  The compare,
-//! equality and hash kernels in [`crate::kernel`] run over these images in
-//! branch-free chunked loops; [`crate::Table::typed`] memoizes one image
-//! per table and invalidates it on mutation.
+//! each carrying an optional **validity bitmask** ([`BitMask`], one bit
+//! per row): a NULL-bearing column still builds an image — NULL slots
+//! hold a sentinel value and a cleared validity bit, and every kernel in
+//! [`crate::kernel`] gates its verdicts on that bit (NULL never matches a
+//! comparison, never hashes as a join key, sorts first).  Only mixed-type
+//! and all-NULL columns stay untyped (`None`) — the scalar [`Value`] path
+//! remains the semantics of record for those.  [`crate::Table::typed`]
+//! memoizes one image per table and invalidates it on mutation.
 
+use crate::mask::BitMask;
 use crate::table::Row;
 use crate::value::Value;
 
 /// A typed image of one column.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TypedColumn {
-    /// Every value in the column is `Value::Int`.
-    Int(Vec<i64>),
-    /// Every value is `Value::Str`.  `codes[i]` indexes into `dict`, and
-    /// `dict` is sorted and deduplicated: comparing codes is comparing
-    /// strings.
-    Dict { codes: Vec<u32>, dict: Vec<String> },
+    /// Every non-NULL value in the column is `Value::Int`.
+    Int {
+        /// The value image; NULL slots hold `0`.
+        vals: Vec<i64>,
+        /// Validity mask — `None` when the column bears no NULLs.
+        validity: Option<BitMask>,
+    },
+    /// Every non-NULL value is `Value::Str`.  `codes[i]` indexes into
+    /// `dict` (NULL slots hold code `0`), and `dict` is sorted and
+    /// deduplicated: comparing codes is comparing strings.
+    Dict {
+        /// The code image; NULL slots hold `0`.
+        codes: Vec<u32>,
+        /// The sorted, deduplicated dictionary.
+        dict: Vec<String>,
+        /// Validity mask — `None` when the column bears no NULLs.
+        validity: Option<BitMask>,
+    },
 }
 
 impl TypedColumn {
-    /// The `i64` image, when this is an all-integer column.
+    /// The `i64` image, when this is an all-integer column *without*
+    /// NULLs (the legacy invariant — consumers that cannot gate on a
+    /// validity mask use this accessor).
     pub fn as_int(&self) -> Option<&[i64]> {
         match self {
-            TypedColumn::Int(v) => Some(v),
+            TypedColumn::Int {
+                vals,
+                validity: None,
+            } => Some(vals),
             _ => None,
         }
     }
 
-    /// The dictionary codes, when this is an all-string column.
+    /// The `i64` image plus its validity mask, when this is an integer
+    /// column (NULL-bearing or not).
+    pub fn as_int_nullable(&self) -> Option<(&[i64], Option<&BitMask>)> {
+        match self {
+            TypedColumn::Int { vals, validity } => Some((vals, validity.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// The dictionary codes, when this is an all-string column *without*
+    /// NULLs.
     pub fn as_dict(&self) -> Option<(&[u32], &[String])> {
         match self {
-            TypedColumn::Dict { codes, dict } => Some((codes, dict)),
+            TypedColumn::Dict {
+                codes,
+                dict,
+                validity: None,
+            } => Some((codes, dict)),
             _ => None,
+        }
+    }
+
+    /// The dictionary image plus its validity mask, when this is a string
+    /// column (NULL-bearing or not).
+    pub fn as_dict_nullable(&self) -> Option<(&[u32], &[String], Option<&BitMask>)> {
+        match self {
+            TypedColumn::Dict {
+                codes,
+                dict,
+                validity,
+            } => Some((codes, dict, validity.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// The column's validity mask, if it bears NULLs.
+    pub fn validity(&self) -> Option<&BitMask> {
+        match self {
+            TypedColumn::Int { validity, .. } | TypedColumn::Dict { validity, .. } => {
+                validity.as_ref()
+            }
         }
     }
 
@@ -69,41 +126,69 @@ impl TypedColumn {
         }
     }
 
-    /// Build the typed image of column `col`, or `None` when the column is
-    /// not uniformly typed.
+    /// Build the typed image of column `col`, or `None` when the column
+    /// is not uniformly typed (the type of the first non-NULL value
+    /// decides; all-NULL and empty columns stay untyped — there is
+    /// nothing for a kernel to compare).
     pub fn from_rows(rows: &[Row], col: usize) -> Option<TypedColumn> {
-        if rows.is_empty() {
-            return None;
-        }
-        match rows[0][col] {
+        let first = rows.iter().find(|r| !r[col].is_null())?;
+        match first[col] {
             Value::Int(_) => {
-                let mut out = Vec::with_capacity(rows.len());
-                for r in rows {
+                let mut vals = Vec::with_capacity(rows.len());
+                let mut validity: Option<BitMask> = None;
+                for (i, r) in rows.iter().enumerate() {
                     match r[col] {
-                        Value::Int(i) => out.push(i),
+                        Value::Int(v) => {
+                            vals.push(v);
+                            if let Some(m) = &mut validity {
+                                m.push(true);
+                            }
+                        }
+                        Value::Null => {
+                            vals.push(0);
+                            validity
+                                .get_or_insert_with(|| BitMask::filled(i, true))
+                                .push(false);
+                        }
                         _ => return None,
                     }
                 }
-                Some(TypedColumn::Int(out))
+                Some(TypedColumn::Int { vals, validity })
             }
             Value::Str(_) => {
-                let mut strs: Vec<&str> = Vec::with_capacity(rows.len());
-                for r in rows {
+                let mut strs: Vec<Option<&str>> = Vec::with_capacity(rows.len());
+                let mut validity: Option<BitMask> = None;
+                for (i, r) in rows.iter().enumerate() {
                     match &r[col] {
-                        Value::Str(s) => strs.push(s),
+                        Value::Str(s) => {
+                            strs.push(Some(s));
+                            if let Some(m) = &mut validity {
+                                m.push(true);
+                            }
+                        }
+                        Value::Null => {
+                            strs.push(None);
+                            validity
+                                .get_or_insert_with(|| BitMask::filled(i, true))
+                                .push(false);
+                        }
                         _ => return None,
                     }
                 }
-                let mut dict: Vec<&str> = strs.clone();
+                let mut dict: Vec<&str> = strs.iter().flatten().copied().collect();
                 dict.sort_unstable();
                 dict.dedup();
                 let codes = strs
                     .iter()
-                    .map(|s| dict.binary_search(s).expect("string in dictionary") as u32)
+                    .map(|s| match s {
+                        Some(s) => dict.binary_search(s).expect("string in dictionary") as u32,
+                        None => 0,
+                    })
                     .collect();
                 Some(TypedColumn::Dict {
                     codes,
                     dict: dict.into_iter().map(str::to_owned).collect(),
+                    validity,
                 })
             }
             _ => None,
@@ -133,9 +218,15 @@ impl TypedColumns {
         self.cols.get(i).and_then(|c| c.as_ref())
     }
 
-    /// The `i64` image of column `i`, if it is all-integer.
+    /// The `i64` image of column `i`, if it is all-integer without NULLs.
     pub fn int_col(&self, i: usize) -> Option<&[i64]> {
         self.col(i).and_then(TypedColumn::as_int)
+    }
+
+    /// The `i64` image of column `i` plus its validity mask, if it is an
+    /// integer column (NULL-bearing or not).
+    pub fn int_col_nullable(&self, i: usize) -> Option<(&[i64], Option<&BitMask>)> {
+        self.col(i).and_then(TypedColumn::as_int_nullable)
     }
 }
 
@@ -194,9 +285,67 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_null_columns_stay_untyped() {
+    fn null_columns_build_masked_images() {
+        // Nothing to type: empty and all-NULL columns stay untyped.
         assert!(TypedColumn::from_rows(&[], 0).is_none());
-        let rows = vec![vec![Value::Null], vec![Value::Int(1)]];
+        let all_null = vec![vec![Value::Null], vec![Value::Null]];
+        assert!(TypedColumn::from_rows(&all_null, 0).is_none());
+
+        // A NULL-bearing integer column images with a validity mask —
+        // including a leading NULL (the first non-NULL value decides the
+        // type).
+        let rows = vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Int(7)]];
+        let col = TypedColumn::from_rows(&rows, 0).unwrap();
+        assert!(col.as_int().is_none(), "nullable image hides behind as_int");
+        let (vals, validity) = col.as_int_nullable().unwrap();
+        assert_eq!(vals, &[0i64, 1, 7]);
+        let m = validity.expect("NULL-bearing column carries a mask");
+        assert_eq!(
+            (m.get(0), m.get(1), m.get(2), m.count_ones()),
+            (false, true, true, 2)
+        );
+
+        // Same for strings: the NULL slot gets sentinel code 0 and a
+        // cleared bit; the dictionary only holds real strings.
+        let rows = vec![
+            vec![Value::str("pear")],
+            vec![Value::Null],
+            vec![Value::str("apple")],
+        ];
+        let col = TypedColumn::from_rows(&rows, 0).unwrap();
+        let (codes, dict, validity) = col.as_dict_nullable().unwrap();
+        assert_eq!(dict, &["apple".to_string(), "pear".to_string()]);
+        assert_eq!(codes, &[1, 0, 0]);
+        let m = validity.expect("NULL-bearing column carries a mask");
+        assert_eq!((m.get(0), m.get(1), m.get(2)), (true, false, true));
+
+        // Mixed NULL + non-Int/Str still refuses an image.
+        let rows = vec![vec![Value::Null], vec![Value::Dec(1.0)]];
         assert!(TypedColumn::from_rows(&rows, 0).is_none());
+        let rows = vec![vec![Value::Int(1)], vec![Value::str("x")]];
+        assert!(TypedColumn::from_rows(&rows, 0).is_none());
+    }
+
+    #[test]
+    fn one_null_in_a_million_still_images() {
+        // The regression the validity mask exists for: a single NULL used
+        // to demote the whole column to the row path.
+        const N: usize = 1_000_000;
+        let rows: Vec<Row> = (0..N)
+            .map(|i| {
+                vec![if i == 123_456 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                }]
+            })
+            .collect();
+        let col = TypedColumn::from_rows(&rows, 0).expect("column images despite the NULL");
+        let (vals, validity) = col.as_int_nullable().unwrap();
+        assert_eq!(vals.len(), N);
+        let m = validity.expect("mask present");
+        assert_eq!(m.count_ones(), N - 1);
+        assert!(!m.get(123_456));
+        assert_eq!(vals[123_456], 0, "NULL slot holds the sentinel");
     }
 }

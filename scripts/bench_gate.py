@@ -16,7 +16,11 @@ The gate also checks typed-kernel engagement: when both measurements ran
 with `typed_kernels` enabled and the committed baseline engaged the
 kernels on a query (`kernel_rows > 0`), the fresh run must engage them
 too — kernel-row *counts* vary with scale, but engagement silently
-dropping to zero means a compile-time lowering regressed.
+dropping to zero means a compile-time lowering regressed.  The same check
+runs per operator on each query's kernel-coverage ratio
+(`kernel_rows / rows_in`): an operator whose committed coverage was
+positive but whose fresh coverage is zero fails the gate naming the
+query and the operator.
 """
 
 import argparse
@@ -36,8 +40,26 @@ def throughputs(path):
             # Older baselines predate the counter: treat absence as 0.
             "kernel_rows": int(q.get("kernel_rows", 0)),
             "typed_kernels": bool(doc.get("typed_kernels", False)),
+            "operators": [
+                {
+                    "name": o["name"],
+                    "rows_in": int(o.get("rows_in", 0)),
+                    "kernel_rows": int(o.get("kernel_rows", 0)),
+                }
+                for o in q.get("operators", [])
+            ],
         }
     return out
+
+
+def coverage(op):
+    """Kernel-coverage ratio of one operator: kernel rows per input row.
+
+    Fused multi-term passes count one kernel row per (row, term), so the
+    ratio can legitimately exceed 1; what the gate cares about is coverage
+    collapsing to zero where the baseline had some.
+    """
+    return op["kernel_rows"] / op["rows_in"] if op["rows_in"] else 0.0
 
 
 def main():
@@ -87,6 +109,23 @@ def main():
                 f"{qid}: the committed baseline engaged the typed kernels "
                 f"({b['kernel_rows']} kernel rows) but the fresh run engaged none"
             )
+        # Per-operator kernel coverage: same plan shape (operator names
+        # line up) means each operator's coverage must not collapse to
+        # zero where the baseline had some.
+        if b["typed_kernels"] and f["typed_kernels"]:
+            fresh_ops = {o["name"]: o for o in f["operators"]}
+            for bo in b["operators"]:
+                fo = fresh_ops.get(bo["name"])
+                if fo is None:
+                    continue  # plan shape changed; throughput gate governs
+                b_cov, f_cov = coverage(bo), coverage(fo)
+                if b_cov > 0 and fo["rows_in"] > 0 and f_cov == 0:
+                    failures.append(
+                        f"{qid} / {bo['name']}: kernel coverage collapsed "
+                        f"(committed {b_cov:.2f} kernel rows/row over "
+                        f"{bo['rows_in']} rows, fresh 0.00 over "
+                        f"{fo['rows_in']} rows)"
+                    )
 
     if failures:
         print("\nbench gate FAILED:", file=sys.stderr)
