@@ -20,10 +20,10 @@ use std::time::{Duration, Instant};
 use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
 use xqjg_compiler::compile;
 use xqjg_engine::{
-    advise, deploy, execute_full, explain_with_stats, optimize, BuildCache, ExecStats,
+    advise, deploy, explain_with_stats, optimize, try_execute_full, BuildCache, ExecStats,
     IndexProposal, SfwQuery,
 };
-use xqjg_store::{Database, IndexDef};
+use xqjg_store::{CancelToken, Database, ExecError, IndexDef};
 use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
 use xqjg_xquery::{interpret, normalize, parse, CoreExpr};
 
@@ -41,30 +41,57 @@ pub enum Mode {
 }
 
 /// Error raised anywhere in the pipeline.
-#[derive(Debug, Clone)]
-pub struct QueryError {
-    /// Pipeline stage that failed.
-    pub stage: &'static str,
-    /// Description.
-    pub message: String,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A compilation-pipeline stage failed (parse, normalize, compile,
+    /// isolate, optimize, interpret).
+    Stage {
+        /// Pipeline stage that failed.
+        stage: &'static str,
+        /// Description.
+        message: String,
+    },
+    /// Relational execution failed with a typed runtime error: spill I/O,
+    /// corrupt spill data, budget exhaustion, cancellation or timeout.
+    /// The query can be retried on the same [`Processor`] — execution
+    /// releases its memory reservations and deletes its run files on
+    /// every error path.
+    Exec(ExecError),
 }
 
 impl QueryError {
     fn new(stage: &'static str, message: impl fmt::Display) -> Self {
-        QueryError {
+        QueryError::Stage {
             stage,
             message: message.to_string(),
+        }
+    }
+
+    /// The pipeline stage that failed (`"exec"` for runtime errors).
+    pub fn stage(&self) -> &'static str {
+        match self {
+            QueryError::Stage { stage, .. } => stage,
+            QueryError::Exec(_) => "exec",
         }
     }
 }
 
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {}", self.stage, self.message)
+        match self {
+            QueryError::Stage { stage, message } => write!(f, "{stage} error: {message}"),
+            QueryError::Exec(e) => write!(f, "exec error: {e}"),
+        }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<ExecError> for QueryError {
+    fn from(e: ExecError) -> Self {
+        QueryError::Exec(e)
+    }
+}
 
 /// A fully prepared query branch (after sequence decomposition).
 #[derive(Debug, Clone)]
@@ -124,6 +151,9 @@ pub struct Processor {
     /// processor reuse unchanged build sides (invalidated automatically
     /// when the catalog version moves — document loads, index DDL).
     exec_cache: BuildCache,
+    /// Cancellation token observed by join-graph executions; handed out via
+    /// [`Processor::cancel_handle`] and re-armed before every execution.
+    cancel: CancelToken,
 }
 
 impl Default for Processor {
@@ -140,6 +170,7 @@ impl Processor {
             default_doc: None,
             db: None,
             exec_cache: BuildCache::new(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -147,6 +178,15 @@ impl Processor {
     /// benchmarks and tests).
     pub fn build_cache(&self) -> &BuildCache {
         &self.exec_cache
+    }
+
+    /// A clonable handle that cancels the processor's in-flight join-graph
+    /// execution from another thread.  The token is re-armed (cleared) at
+    /// the start of every execution, so a handle can be kept and reused
+    /// across queries; cancelling between queries does not poison the next
+    /// one.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Parse and load an XML document under the given URI.  The first loaded
@@ -288,6 +328,9 @@ impl Processor {
         prepared: &Prepared,
         mode: Mode,
     ) -> Result<Outcome, QueryError> {
+        // Re-arm the cancellation token: a cancel aimed at a previous
+        // (possibly already finished) execution must not abort this one.
+        self.cancel.clear();
         match mode {
             Mode::Interpreter => {
                 let start = Instant::now();
@@ -323,7 +366,14 @@ impl Processor {
                 let mut branch_stats = Vec::with_capacity(plans.len());
                 let cfg = xqjg_store::ExecConfig::from_env();
                 for (b, plan) in prepared.branches.iter().zip(&plans) {
-                    let (table, s, _) = execute_full(plan, db, &cfg, Some(&self.exec_cache));
+                    let (table, s, _) = try_execute_full(
+                        plan,
+                        db,
+                        &cfg,
+                        Some(&self.exec_cache),
+                        Some(&self.cancel),
+                    )
+                    .map_err(QueryError::Exec)?;
                     stats.merge(&s);
                     branch_stats.push(s);
                     items.extend(result_items_from_sql(&table, &b.isolated));
@@ -564,15 +614,34 @@ mod tests {
     fn errors_are_reported_per_stage() {
         let mut p = processor();
         assert_eq!(
-            p.execute("for $x in", Mode::JoinGraph).unwrap_err().stage,
+            p.execute("for $x in", Mode::JoinGraph).unwrap_err().stage(),
             "parse"
         );
         assert_eq!(
             p.execute("$undefined/a", Mode::JoinGraph)
                 .unwrap_err()
-                .stage,
+                .stage(),
             "compile"
         );
+    }
+
+    #[test]
+    fn stale_cancel_is_cleared_before_execution() {
+        let mut p = processor();
+        let handle = p.cancel_handle();
+        handle.cancel();
+        // The token is re-armed at the start of every execution, so a
+        // cancel aimed at a previous (finished) query does not abort the
+        // next one.
+        let ok = p.execute("//item", Mode::JoinGraph);
+        assert!(ok.is_ok(), "pre-armed cancel is cleared: {ok:?}");
+    }
+
+    #[test]
+    fn exec_error_maps_to_exec_stage() {
+        let e = QueryError::Exec(ExecError::Cancelled);
+        assert_eq!(e.stage(), "exec");
+        assert_eq!(e.to_string(), "exec error: query cancelled");
     }
 
     #[test]

@@ -36,13 +36,21 @@ use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 use xqjg_store::{
-    effective_morsel_size, execute_morsels_streaming, fill_from_pending_with_capacity, gather_i64,
-    gather_u32, hash_keys_typed, hash_values, mask_terms, merge_worker_stats, new_stats_sink,
-    partition_morsels, row_footprint, Batch, BatchSizer, BitMask, BoxedOperator, ColOperator,
-    ColumnBatch, Database, ExecConfig, ExternalSorter, GraceBuilder, HashKey, KernelCmp, MaskTerm,
-    MemBudget, Morsel, OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table,
-    TypedColumn, Value, BUILD_ENTRY_FOOTPRINT,
+    effective_morsel_size, fill_from_pending_with_capacity, gather_i64, gather_u32,
+    hash_keys_typed, hash_values, mask_terms, merge_worker_stats, new_stats_sink,
+    partition_morsels, row_footprint, try_execute_morsels_streaming, Batch, BatchSizer, BitMask,
+    BoxedOperator, CancelToken, ColOperator, ColumnBatch, Database, ExecConfig, ExecError,
+    ExternalSorter, GraceBuilder, HashKey, Interrupt, KernelCmp, MaskTerm, MemBudget, Morsel,
+    OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table, TypedColumn, Value,
+    BUILD_ENTRY_FOOTPRINT,
 };
+
+/// Per-morsel error slot.  The pull-based [`Operator`]/[`ColOperator`]
+/// protocols are infallible, so the two operators that perform fallible
+/// I/O mid-pipeline (hash-join probes over a *spilled* build side) record
+/// the first failure here and stop producing; the morsel driver checks the
+/// slot after the pipeline closes and fails the morsel with that error.
+type ErrSlot = Rc<RefCell<Option<ExecError>>>;
 
 /// A binding: for each alias bound so far (outer-to-inner), the row id of
 /// the base-table row the alias is bound to.
@@ -192,11 +200,73 @@ impl LeafDomain {
 }
 
 /// Everything the spill machinery of one execution needs: the shared
-/// [`MemBudget`] accountant and the run directory.
+/// [`MemBudget`] accountant, the run directory, the transient-failure
+/// retry allowance and the cancellation/deadline context.
 #[derive(Clone)]
 struct SpillCtx {
     budget: Arc<MemBudget>,
     dir: PathBuf,
+    retries: usize,
+    interrupt: Interrupt,
+}
+
+/// Bytes booked against the execution's budget, released when the guard
+/// drops — success and error paths alike, so every early `?` return still
+/// drains the budget to zero.
+struct Booked {
+    budget: Arc<MemBudget>,
+    bytes: usize,
+}
+
+impl Booked {
+    fn new(budget: Arc<MemBudget>) -> Booked {
+        Booked { budget, bytes: 0 }
+    }
+
+    /// Book unconditionally (the memory already exists).
+    fn force(&mut self, bytes: usize) {
+        self.budget.reserve_force(bytes);
+        self.bytes += bytes;
+    }
+
+    /// Book if the budget allows it.
+    fn try_book(&mut self, bytes: usize) -> bool {
+        if self.budget.try_reserve(bytes) {
+            self.bytes += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release everything booked so far.
+    fn clear(&mut self) {
+        self.budget.release(self.bytes);
+        self.bytes = 0;
+    }
+}
+
+impl Drop for Booked {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+/// Declared first in [`try_execute_full`] so it drops last: by then every
+/// operator, sorter, probe cache and booking guard has released its
+/// reservations, and a non-zero balance is an accounting bug.
+struct DrainCheck(Arc<MemBudget>);
+
+impl Drop for DrainCheck {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            debug_assert_eq!(
+                self.0.used(),
+                0,
+                "execution must drain its memory budget on every exit path"
+            );
+        }
+    }
 }
 
 /// Where a hash-join build side lives.
@@ -233,22 +303,18 @@ pub(crate) struct JoinBuild {
     spill_bytes: usize,
     /// Leaf partitions of a spilled build (0 for in-memory builds).
     partitions: usize,
-    /// Bytes reserved against the execution's budget for the in-memory
-    /// bucket table, returned on drop.
+    /// Transient write failures retried while Grace-partitioning.
+    retries: usize,
+    /// Footprint of the in-memory bucket table in bytes.  The build holds
+    /// no reservation of its own (it may outlive its execution in a
+    /// session cache): every execution that uses the build — fresh or
+    /// cached — books this many bytes against *its* budget for its
+    /// lifetime, so hit and miss runs make identical spill decisions.
     reserved: usize,
-    budget: Option<Arc<MemBudget>>,
-}
-
-impl Drop for JoinBuild {
-    fn drop(&mut self) {
-        if let Some(b) = &self.budget {
-            b.release(self.reserved);
-        }
-    }
 }
 
 impl JoinBuild {
-    fn build(stage: &Stage<'_>, db: &Database, spill: &SpillCtx) -> JoinBuild {
+    fn build(stage: &Stage<'_>, db: &Database, spill: &SpillCtx) -> Result<JoinBuild, ExecError> {
         let (inner_rows, fetched) =
             exec_access(stage.access, stage.alias, stage.table_name, db, None);
         let (fetched_scan, fetched_index) = match fetched {
@@ -262,9 +328,15 @@ impl JoinBuild {
             .collect();
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut build_rows = 0;
-        let mut reserved = 0usize;
+        // Build-time bookings release on every exit — the error paths out
+        // of the Grace writers included — and on success just before the
+        // caller re-books the finished table's footprint.
+        let mut res = Booked::new(spill.budget.clone());
         let mut grace: Option<GraceBuilder> = None;
         for rid in inner_rows {
+            if build_rows % 4096 == 0 {
+                spill.interrupt.check()?;
+            }
             let row = &stage.base.rows()[rid];
             if key_cols.iter().any(|&c| row[c].is_null()) {
                 continue;
@@ -272,11 +344,10 @@ impl JoinBuild {
             let h = hash_values(key_cols.iter().map(|&c| &row[c]));
             build_rows += 1;
             if let Some(g) = &mut grace {
-                g.add(h, rid);
+                g.add(h, rid)?;
                 continue;
             }
-            if spill.budget.try_reserve(BUILD_ENTRY_FOOTPRINT) {
-                reserved += BUILD_ENTRY_FOOTPRINT;
+            if res.try_book(BUILD_ENTRY_FOOTPRINT) {
                 buckets.entry(h).or_default().push(rid);
                 continue;
             }
@@ -285,18 +356,19 @@ impl JoinBuild {
             // (per-hash rid order is preserved — every bucket keeps its
             // scan order, and loads group by hash — so probe results and
             // their order are identical to the in-memory backend).
-            let mut g = GraceBuilder::new(spill.dir.clone());
+            let mut g = GraceBuilder::new(spill.dir.clone())?;
+            g.set_retries(spill.retries);
+            g.set_interrupt(spill.interrupt.clone());
             for (bh, rids) in buckets.drain() {
                 for brid in rids {
-                    g.add(bh, brid);
+                    g.add(bh, brid)?;
                 }
             }
-            spill.budget.release(reserved);
-            reserved = 0;
-            g.add(h, rid);
+            res.clear();
+            g.add(h, rid)?;
             grace = Some(g);
         }
-        let (backend, spill_runs, spill_bytes, partitions) = match grace {
+        let (backend, spill_runs, spill_bytes, partitions, retries) = match grace {
             Some(g) => {
                 // A loaded partition should fit in half the budget so that
                 // probe-side partition tables can rotate without thrashing
@@ -306,14 +378,20 @@ impl JoinBuild {
                     .limit()
                     .map(|l| (l / 2).max(BUILD_ENTRY_FOOTPRINT))
                     .unwrap_or(usize::MAX);
-                let parts = g.finish(load_limit);
-                let (runs, bytes, nparts) =
-                    (parts.spill_runs, parts.spill_bytes, parts.partitions());
-                (BuildBackend::Spilled(parts), runs, bytes, nparts)
+                let parts = g.finish(load_limit)?;
+                let (runs, bytes, nparts, retried) = (
+                    parts.spill_runs,
+                    parts.spill_bytes,
+                    parts.partitions(),
+                    parts.retries,
+                );
+                (BuildBackend::Spilled(parts), runs, bytes, nparts, retried)
             }
-            None => (BuildBackend::Mem(buckets), 0, 0, 0),
+            None => (BuildBackend::Mem(buckets), 0, 0, 0, 0),
         };
-        JoinBuild {
+        let reserved = res.bytes;
+        res.clear();
+        Ok(JoinBuild {
             key_cols,
             backend,
             build_rows,
@@ -322,9 +400,9 @@ impl JoinBuild {
             spill_runs,
             spill_bytes,
             partitions,
+            retries,
             reserved,
-            budget: Some(spill.budget.clone()),
-        }
+        })
     }
 
     /// Did this build spill to Grace partitions?
@@ -370,8 +448,9 @@ impl<'a> PartitionProbe<'a> {
     }
 
     /// The build candidates for probe hash `h`, loading (and possibly
-    /// evicting) partitions as needed.
-    fn candidates(&mut self, h: u64) -> Option<&Vec<usize>> {
+    /// evicting) partitions as needed.  A failed partition read releases
+    /// its booking before surfacing.
+    fn candidates(&mut self, h: u64) -> Result<Option<&Vec<usize>>, ExecError> {
         let pid = self.parts.partition_of(h);
         if !self.loaded.contains_key(&pid) {
             let bytes = self.parts.load_footprint(pid);
@@ -390,16 +469,17 @@ impl<'a> PartitionProbe<'a> {
             if !booked {
                 self.budget.reserve_transient_force(bytes);
             }
-            self.loaded.insert(
-                pid,
-                LoadedPart {
-                    buckets: self.parts.load(pid),
-                    bytes,
-                },
-            );
+            let buckets = match self.parts.load(pid) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.budget.release_transient(bytes);
+                    return Err(e);
+                }
+            };
+            self.loaded.insert(pid, LoadedPart { buckets, bytes });
             self.fifo.push_back(pid);
         }
-        self.loaded[&pid].buckets.get(&h)
+        Ok(self.loaded[&pid].buckets.get(&h))
     }
 
     /// Resolve a whole batch of probe hashes partition-by-partition: rows
@@ -409,7 +489,7 @@ impl<'a> PartitionProbe<'a> {
     /// interleave.  Returns the candidate rid list per input row, in input
     /// order — callers then probe rows in their original order, keeping
     /// output row order identical to per-row [`Self::candidates`] calls.
-    fn spool(&mut self, hashes: &[Option<u64>]) -> Vec<Vec<usize>> {
+    fn spool(&mut self, hashes: &[Option<u64>]) -> Result<Vec<Vec<usize>>, ExecError> {
         let mut by_part: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, h) in hashes.iter().enumerate() {
             // NULL-keyed probe rows (no hash) match nothing — leave their
@@ -425,12 +505,12 @@ impl<'a> PartitionProbe<'a> {
         for (_, rows) in by_part {
             for i in rows {
                 let h = hashes[i].expect("only hashed rows were grouped");
-                if let Some(c) = self.candidates(h) {
+                if let Some(c) = self.candidates(h)? {
                     out[i] = c.clone();
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -495,13 +575,16 @@ impl BuildCache {
     /// cache hit.  Builds that spilled to disk are handed back but *not*
     /// memoized: their partition files are temp state of one execution,
     /// and pinning them would hold budget-sized bucket tables (or dead
-    /// file handles) across queries.
+    /// file handles) across queries.  A build that *fails* mid-construction
+    /// surfaces its error without inserting anything — no poisoned or
+    /// partial entry survives into the next lookup, which rebuilds from
+    /// scratch.
     fn get_or_build(
         &self,
         key: String,
         catalog_version: u64,
-        build: impl FnOnce() -> JoinBuild,
-    ) -> (Arc<JoinBuild>, bool) {
+        build: impl FnOnce() -> Result<JoinBuild, ExecError>,
+    ) -> Result<(Arc<JoinBuild>, bool), ExecError> {
         if self.version.get() != catalog_version {
             self.map.borrow_mut().clear();
             self.version.set(catalog_version);
@@ -509,18 +592,18 @@ impl BuildCache {
         self.lookups.set(self.lookups.get() + 1);
         if let Some(b) = self.map.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
-            return (b.clone(), true);
+            return Ok((b.clone(), true));
         }
-        let built = Arc::new(build());
+        let built = Arc::new(build()?);
         if built.is_spilled() {
-            return (built, false);
+            return Ok((built, false));
         }
         let mut map = self.map.borrow_mut();
         if map.len() >= BUILD_CACHE_CAP {
             map.clear();
         }
         map.insert(key, built.clone());
-        (built, false)
+        Ok((built, false))
     }
 }
 
@@ -1173,6 +1256,9 @@ struct ExecCtx<'a> {
     /// The execution's shared memory accountant (probe-side partition
     /// caches of spilled builds reserve against it).
     budget: Arc<MemBudget>,
+    /// Cancellation/timeout check shared by every worker; consulted at
+    /// each morsel boundary.
+    interrupt: Interrupt,
 }
 
 /// What one morsel's pipeline produced: tail rows (select values plus sort
@@ -1212,19 +1298,92 @@ pub fn execute_with_stats_config(
     (table, stats)
 }
 
+/// Fallible twin of [`execute_with_stats_config`]: spill I/O failures,
+/// budget exhaustion, cancellation and timeouts come back as
+/// [`ExecError`]s instead of panics.
+pub fn try_execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<(Table, ExecStats), ExecError> {
+    let (table, stats, _) = try_execute_full(plan, db, cfg, None, None)?;
+    Ok((table, stats))
+}
+
 /// [`execute_with_stats_config`] plus an optional session [`BuildCache`]
-/// and the adaptive batch-size [`ExecTrace`].
+/// and the adaptive batch-size [`ExecTrace`].  Infallible shim over
+/// [`try_execute_full`] for callers that treat execution failure as fatal.
 pub fn execute_full(
     plan: &PhysPlan,
     db: &Database,
     cfg: &ExecConfig,
     cache: Option<&BuildCache>,
 ) -> (Table, ExecStats, ExecTrace) {
+    try_execute_full(plan, db, cfg, cache, None)
+        .unwrap_or_else(|e| panic!("query execution failed: {e}"))
+}
+
+/// Probe whether `dir` can actually host spill runs: it must exist (or be
+/// creatable) and accept a small write.  Probed once per call site because
+/// the answer can change between executions (disk full, permissions).
+fn spill_dir_usable(dir: &std::path::Path) -> bool {
+    if std::fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    static PROBE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = PROBE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let probe = dir.join(format!("xqjg-probe-{}-{n}.tmp", std::process::id()));
+    match std::fs::write(&probe, b"xqjg") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The full execution entry point: [`execute_full`]'s semantics, plus an
+/// optional [`CancelToken`] observed at morsel boundaries and inside the
+/// spill machinery, with every failure — spill I/O, corrupt run records,
+/// budget exhaustion, cancellation, timeout — surfaced as a typed
+/// [`ExecError`].  On error all spill run files are deleted and every
+/// memory-budget reservation is released before returning, so the same
+/// plan can immediately be re-executed on the same session.
+pub fn try_execute_full(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+    cache: Option<&BuildCache>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Table, ExecStats, ExecTrace), ExecError> {
     let threads = cfg.threads.max(1);
     let cap = cfg.batch_capacity.max(1);
+    let mut mem_budget = cfg.mem_budget;
+    let dir = xqjg_store::spill_dir(cfg.spill_dir.as_deref());
+    // Graceful degradation: a memory budget only matters because it makes
+    // operators spill, and spilling needs a writable directory.  If the
+    // spill dir is unusable, degrade to in-memory execution (warn once per
+    // process) rather than failing every budgeted query at its first run
+    // flush.
+    if mem_budget.is_some() && !spill_dir_usable(&dir) {
+        static WARN: std::sync::Once = std::sync::Once::new();
+        WARN.call_once(|| {
+            eprintln!(
+                "xqjg: spill directory {} is not writable; \
+                 ignoring memory budget and executing in memory",
+                dir.display()
+            );
+        });
+        mem_budget = None;
+    }
+    let budget = MemBudget::new(mem_budget);
+    let _drain = DrainCheck(budget.clone());
+    let interrupt = Interrupt::new(cancel.cloned(), cfg.query_timeout);
     let spill = SpillCtx {
-        budget: MemBudget::new(cfg.mem_budget),
-        dir: xqjg_store::spill_dir(cfg.spill_dir.as_deref()),
+        budget: budget.clone(),
+        dir,
+        retries: cfg.spill_retries,
+        interrupt: interrupt.clone(),
     };
     let stages = flatten_stages(&plan.root, db);
     // Predicate/bounds compilation is a vectorized-path artifact; the
@@ -1253,40 +1412,38 @@ pub fn execute_full(
         }
     };
     let mut build_hits = vec![false; stages.len()];
-    let mut cached_reserved = 0usize;
-    let builds: Vec<Option<Arc<JoinBuild>>> = stages
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            (i > 0 && !s.hash_keys.is_empty()).then(|| {
-                let (build, hit) = match cache {
-                    Some(c) => c.get_or_build(JoinBuild::cache_key(s), db.version(), || {
-                        JoinBuild::build(s, db, &spill)
-                    }),
-                    None => (Arc::new(JoinBuild::build(s, db, &spill)), false),
-                };
-                build_hits[i] = hit;
-                // A cache hit performs no fetch work, and the counters
-                // report the work actually done.
-                if !hit {
-                    pre_agg.scan_rows += build.fetched_scan;
-                    pre_agg.index_rows += build.fetched_index;
-                } else {
-                    // The cached bucket table is resident memory of *this*
-                    // execution too: charge it to the executing query's
-                    // budget (forced — the build already exists) so a hit
-                    // occupies exactly what a fresh build would have
-                    // reserved, and downstream spill decisions are
-                    // identical between hit and miss runs.  Released at
-                    // the end of the execution; the build's own
-                    // reservation is released when the cache drops it.
-                    spill.budget.reserve_force(build.reserved);
-                    cached_reserved += build.reserved;
-                }
-                build
-            })
-        })
-        .collect();
+    // Every booking of this execution — resident build footprints and the
+    // DISTINCT dedup set — goes through one guard, so early error returns
+    // release it all without bespoke cleanup code.
+    let mut booked = Booked::new(budget.clone());
+    let mut builds: Vec<Option<Arc<JoinBuild>>> = Vec::with_capacity(stages.len());
+    for (i, s) in stages.iter().enumerate() {
+        if i == 0 || s.hash_keys.is_empty() {
+            builds.push(None);
+            continue;
+        }
+        let (build, hit) = match cache {
+            Some(c) => c.get_or_build(JoinBuild::cache_key(s), db.version(), || {
+                JoinBuild::build(s, db, &spill)
+            })?,
+            None => (Arc::new(JoinBuild::build(s, db, &spill)?), false),
+        };
+        build_hits[i] = hit;
+        // A cache hit performs no fetch work, and the counters report the
+        // work actually done.
+        if !hit {
+            pre_agg.scan_rows += build.fetched_scan;
+            pre_agg.index_rows += build.fetched_index;
+        }
+        // The resident bucket table is memory of *this* execution whether
+        // the build is fresh or cached: charge its footprint (forced — the
+        // rows already exist) so hit and miss runs occupy the same budget
+        // and downstream spill decisions are identical.  Spilled builds
+        // have a zero footprint here; their probe-side partition loads
+        // book transiently instead.
+        booked.force(build.reserved);
+        builds.push(Some(build));
+    }
 
     let aliases: Vec<String> = stages.iter().map(|s| s.alias.to_string()).collect();
     let tables: Vec<&Table> = stages.iter().map(|s| s.base).collect();
@@ -1310,6 +1467,7 @@ pub fn execute_full(
         vectorize: cfg.vectorize,
         adaptive: cfg.vectorize && cfg.adaptive,
         budget: spill.budget.clone(),
+        interrupt: interrupt.clone(),
     };
 
     // Parallel + merge phase: workers drain the morsel queue, each running
@@ -1333,6 +1491,8 @@ pub fn execute_full(
     let mut trace = ExecTrace::default();
     let mut sorter = ExternalSorter::new(spill.budget.clone(), spill.dir.clone());
     sorter.set_typed_kernels(cfg.typed_kernels);
+    sorter.set_retries(cfg.spill_retries);
+    sorter.set_interrupt(interrupt.clone());
     // DISTINCT repertoire: the classical dedup set keeps first-occurrence
     // semantics but cannot spill (the whole set must stay resident).  With
     // typed kernels on and a limited budget, a sort-based two-pass
@@ -1343,13 +1503,12 @@ pub fn execute_full(
     // with both passes free to spill.
     let sort_distinct = plan.distinct && cfg.typed_kernels && spill.budget.limit().is_some();
     let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
-    let mut seen_reserved = 0usize;
     let mut seq = 0u64;
-    execute_morsels_streaming(
+    try_execute_morsels_streaming(
         threads,
         morsels,
         |_, m| run_morsel(&ctx, m),
-        |_, o| {
+        |_, o: MorselOutput| {
             agg.add(&o.agg);
             tail_rows_in += o.tail_rows;
             if !o.trace.is_empty() {
@@ -1364,7 +1523,7 @@ pub fn execute_full(
                     payload.push(Value::Int(seq as i64));
                     payload.extend(key);
                     payload.extend(sel.iter().cloned());
-                    sorter.push(sel, payload);
+                    sorter.push(sel, payload)?;
                     seq += 1;
                     continue;
                 }
@@ -1376,14 +1535,13 @@ pub fn execute_full(
                     // cannot spill — first-occurrence semantics need the whole
                     // set — so the booking is forced and pressures the sorter
                     // to go external earlier).
-                    let est = row_footprint(&sel) + 48;
-                    spill.budget.reserve_force(est);
-                    seen_reserved += est;
+                    booked.force(row_footprint(&sel) + 48);
                 }
-                sorter.push(key, sel);
+                sorter.push(key, sel)?;
             }
+            Ok(())
         },
-    );
+    )?;
     let mut operators = merge_worker_stats(&per_morsel_ops, cap);
     for (i, (op, build)) in operators.iter_mut().zip(&ctx.builds).enumerate() {
         if let Some(b) = build {
@@ -1391,6 +1549,7 @@ pub fn execute_full(
             op.spill_runs += b.spill_runs;
             op.spill_bytes += b.spill_bytes;
             op.partitions += b.partitions;
+            op.retries += b.retries;
             if ctx.build_hits[i] {
                 op.cache_hits += 1;
             }
@@ -1410,13 +1569,21 @@ pub fn execute_full(
     let sorted = if sort_distinct {
         // Pass 1: rows come back grouped by select row (ties in original
         // sequence order); adjacent duplicates drop with one carried row.
-        let pass1 = sorter.finish();
-        let (runs1, bytes1, typed1) = (pass1.spill_runs, pass1.spill_bytes, pass1.typed_rows);
+        let pass1 = sorter.finish()?;
+        let (runs1, bytes1, typed1, retries1) = (
+            pass1.spill_runs,
+            pass1.spill_bytes,
+            pass1.typed_rows,
+            pass1.retries,
+        );
         let kw = ctx.order_exprs.len();
         let mut resort = ExternalSorter::new(spill.budget.clone(), spill.dir.clone());
         resort.set_typed_kernels(cfg.typed_kernels);
+        resort.set_retries(cfg.spill_retries);
+        resort.set_interrupt(interrupt.clone());
         let mut prev_sel: Option<Row> = None;
-        for mut payload in pass1 {
+        for payload in pass1 {
+            let mut payload = payload?;
             let sel: Row = payload.split_off(1 + kw);
             let key: Row = payload.split_off(1);
             if prev_sel.as_ref() == Some(&sel) {
@@ -1430,19 +1597,21 @@ pub fn execute_full(
             // Pass 2: survivors re-sort by (order key, original sequence)
             // — the explicit sequence reproduces the first-occurrence tie
             // order of the dedup-set path exactly.
-            resort.push_with_seq(oseq, key, sel);
+            resort.push_with_seq(oseq, key, sel)?;
         }
-        let mut sorted = resort.finish();
+        let mut sorted = resort.finish()?;
         sorted.spill_runs += runs1;
         sorted.spill_bytes += bytes1;
         sorted.typed_rows += typed1;
+        sorted.retries += retries1;
         sorted
     } else {
-        sorter.finish()
+        sorter.finish()?
     };
     tail.spill_runs = sorted.spill_runs;
     tail.spill_bytes = sorted.spill_bytes;
     tail.kernel_rows = sorted.typed_rows;
+    tail.retries = sorted.retries;
 
     // Output schema and table.
     let mut columns: Vec<String> = Vec::new();
@@ -1457,11 +1626,13 @@ pub fn execute_full(
     }
     let mut table = Table::new(Schema::new(columns));
     for sel in sorted {
-        table.push(sel);
+        table.push(sel?);
     }
+    // `booked` (build footprints + dedup set) and any sorter state release
+    // via their guards' Drop impls — on this path and on every early `?`
+    // return above; `_drain` then asserts the budget drained to zero.
     drop(seen);
-    spill.budget.release(seen_reserved);
-    spill.budget.release(cached_reserved);
+    booked.clear();
     tail.rows_out = table.len();
     tail.batches = tail.rows_out.div_ceil(cap);
     operators.push(tail);
@@ -1472,7 +1643,7 @@ pub fn execute_full(
         bindings: agg.bindings,
         operators,
     };
-    (table, stats, trace)
+    Ok((table, stats, trace))
 }
 
 /// Run one morsel through a private pipeline instance: leaf scan over the
@@ -1481,12 +1652,20 @@ pub fn execute_full(
 /// workers never share mutable state.  `ctx.vectorize` selects between the
 /// columnar (selection-vector) and the row-at-a-time operator repertoire;
 /// both produce identical rows, row order and aggregate counters.
-fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
+fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> Result<MorselOutput, ExecError> {
+    // One interrupt check per morsel bounds cancellation/timeout latency to
+    // a morsel's worth of work without a per-row atomic load.
+    ctx.interrupt.check()?;
     if ctx.vectorize {
         return run_morsel_columnar(ctx, m);
     }
     let sink = new_stats_sink();
     let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
+    // Pull-based operators can't return errors through `next_batch`; the
+    // spilled-probe operators park their first failure here and stop
+    // producing, and the morsel driver surfaces it after the pipeline
+    // closes.
+    let err: ErrSlot = Rc::new(RefCell::new(None));
     let mut op: BoxedOperator<'_, Binding> = Box::new(MorselLeaf::new(
         &ctx.stages[0],
         &ctx.domain,
@@ -1505,6 +1684,7 @@ fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
+                err.clone(),
             )),
             None => Box::new(NestedLoopJoin::new(
                 op,
@@ -1532,24 +1712,28 @@ fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
     }
     op.close();
     drop(op);
+    if let Some(e) = err.borrow_mut().take() {
+        return Err(e);
+    }
     let ops = sink.borrow().clone();
     let agg = agg.borrow().clone();
-    MorselOutput {
+    Ok(MorselOutput {
         rows,
         ops,
         tail_rows,
         agg,
         trace: Vec::new(),
-    }
+    })
 }
 
 /// The vectorized morsel pipeline: columnar leaf, batch-at-a-time join
 /// probes, and a tail loop that reads bindings through a reusable buffer
 /// instead of allocating one `Vec` per binding.
-fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
+fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> Result<MorselOutput, ExecError> {
     let sink = new_stats_sink();
     let agg: SharedAgg = Rc::new(RefCell::new(Agg::default()));
     let trace_cell: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+    let err: ErrSlot = Rc::new(RefCell::new(None));
     let mut op: Box<dyn ColOperator + '_> = Box::new(ColMorselLeaf::new(
         &ctx.cstages[0],
         &ctx.domain,
@@ -1570,6 +1754,7 @@ fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
+                err.clone(),
             )),
             None => Box::new(ColNLJoin::new(
                 op,
@@ -1601,16 +1786,19 @@ fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> MorselOutput {
     }
     op.close();
     drop(op);
+    if let Some(e) = err.borrow_mut().take() {
+        return Err(e);
+    }
     let ops = sink.borrow().clone();
     let agg = agg.borrow().clone();
     let trace = trace_cell.borrow().clone();
-    MorselOutput {
+    Ok(MorselOutput {
         rows,
         ops,
         tail_rows,
         agg,
         trace,
-    }
+    })
 }
 
 /// Evaluate the select list and the order key for one binding.
@@ -1920,9 +2108,13 @@ struct HashJoinProbe<'a> {
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
+    /// First partition-load failure of this morsel's pipeline; once set the
+    /// operator stops producing batches.
+    err: ErrSlot,
 }
 
 impl<'a> HashJoinProbe<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         input: BoxedOperator<'a, Binding>,
         stage: &'a Stage<'a>,
@@ -1931,6 +2123,7 @@ impl<'a> HashJoinProbe<'a> {
         cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
+        err: ErrSlot,
     ) -> Self {
         let parts = match &build.backend {
             BuildBackend::Mem(_) => None,
@@ -1946,6 +2139,7 @@ impl<'a> HashJoinProbe<'a> {
             stats: OpStats::named(format!("HSJOIN({})", stage.alias)),
             sink,
             agg,
+            err,
         }
     }
 
@@ -1971,11 +2165,19 @@ impl<'a> HashJoinProbe<'a> {
         let h = hash_values(probe_vals.iter());
         let candidates = match &build.backend {
             BuildBackend::Mem(buckets) => buckets.get(&h),
-            BuildBackend::Spilled(_) => self
-                .parts
-                .as_mut()
-                .expect("partition cache for spilled build")
-                .candidates(h),
+            BuildBackend::Spilled(_) => {
+                let parts = self
+                    .parts
+                    .as_mut()
+                    .expect("partition cache for spilled build");
+                match parts.candidates(h) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        self.err.borrow_mut().get_or_insert(e);
+                        return;
+                    }
+                }
+            }
         };
         let Some(candidates) = candidates else {
             return;
@@ -2016,8 +2218,14 @@ impl Operator for HashJoinProbe<'_> {
     }
 
     fn next_batch(&mut self) -> Option<Batch<Binding>> {
+        if self.err.borrow().is_some() {
+            return None;
+        }
         let mut pending = std::mem::take(&mut self.pending);
         let out = fill_from_pending_with_capacity(self.cap, &mut pending, |p| {
+            if self.err.borrow().is_some() {
+                return false;
+            }
             match self.feed.next_outer() {
                 Some(binding) => {
                     self.probe(&binding, p);
@@ -2533,9 +2741,13 @@ struct ColHashJoin<'a> {
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
+    /// First partition-load failure of this morsel's pipeline; once set the
+    /// operator stops producing batches.
+    err: ErrSlot,
 }
 
 impl<'a> ColHashJoin<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         input: Box<dyn ColOperator + 'a>,
         stage: &'a CStage<'a>,
@@ -2544,6 +2756,7 @@ impl<'a> ColHashJoin<'a> {
         cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
+        err: ErrSlot,
     ) -> Self {
         let parts = match &build.backend {
             BuildBackend::Mem(_) => None,
@@ -2559,6 +2772,7 @@ impl<'a> ColHashJoin<'a> {
             stats: OpStats::named(stage.label.clone()),
             sink,
             agg,
+            err,
         }
     }
 
@@ -2617,8 +2831,19 @@ impl<'a> ColHashJoin<'a> {
             self.stats.kernel_rows += live;
             // Probe side of a spilled build: group this batch's rows by
             // Grace partition up front so each partition file is read at
-            // most once per batch.
-            let cands = self.parts.as_mut().map(|parts| parts.spool(&hashes));
+            // most once per batch.  A failed partition load parks its
+            // error in the slot and leaves this batch candidate-less —
+            // `next_batch` stops producing on the next poll.
+            let cands = match self.parts.as_mut() {
+                Some(parts) => match parts.spool(&hashes) {
+                    Ok(c) => Some(c),
+                    Err(e) => {
+                        self.err.borrow_mut().get_or_insert(e);
+                        Some(vec![Vec::new(); hashes.len()])
+                    }
+                },
+                None => None,
+            };
             ProbeState {
                 batch,
                 keys: Vec::new(),
@@ -2668,12 +2893,19 @@ impl<'a> ColHashJoin<'a> {
             Some(c) => &c[i],
             None => match &build.backend {
                 BuildBackend::Mem(buckets) => buckets.get(&h).map_or(&[][..], Vec::as_slice),
-                BuildBackend::Spilled(_) => self
-                    .parts
-                    .as_mut()
-                    .expect("partition cache for spilled build")
-                    .candidates(h)
-                    .map_or(&[][..], Vec::as_slice),
+                BuildBackend::Spilled(_) => {
+                    let parts = self
+                        .parts
+                        .as_mut()
+                        .expect("partition cache for spilled build");
+                    match parts.candidates(h) {
+                        Ok(c) => c.map_or(&[][..], Vec::as_slice),
+                        Err(e) => {
+                            self.err.borrow_mut().get_or_insert(e);
+                            return;
+                        }
+                    }
+                }
             },
         };
         let live = st.hashes.len();
@@ -2731,15 +2963,21 @@ impl ColOperator for ColHashJoin<'_> {
     }
 
     fn next_batch(&mut self) -> Option<ColumnBatch> {
+        if self.err.borrow().is_some() {
+            return None;
+        }
         let arity = self.stage.outer_tables.len();
         let mut out = ColumnBatch::new(arity + 1, self.cap);
         loop {
-            if out.live() >= self.cap {
+            if out.live() >= self.cap || self.err.borrow().is_some() {
                 break;
             }
             match self.cur.take() {
                 Some(mut st) => {
-                    while st.pos < st.hashes.len() && out.live() < self.cap {
+                    while st.pos < st.hashes.len()
+                        && out.live() < self.cap
+                        && self.err.borrow().is_none()
+                    {
                         let i = st.pos;
                         st.pos += 1;
                         self.probe(&st, i, &mut out);

@@ -14,7 +14,10 @@
 //!   hash-join build, repartitioning passes included) written to disk
 //!   because the `XQJG_MEM_BUDGET` tripped,
 //! * `spill_bytes` — bytes written across those runs, and
-//! * `partitions` — leaf partitions of a Grace-partitioned build side,
+//! * `partitions` — leaf partitions of a Grace-partitioned build side, and
+//! * `retries` — transient spill-write failures the operator survived by
+//!   retrying (bounded by `XQJG_SPILL_RETRIES`, default 2); shown only
+//!   when a retry actually rescued a write,
 //!
 //! the typed-kernel engagement counter when a kernel ran
 //!

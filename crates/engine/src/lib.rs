@@ -29,8 +29,8 @@ pub mod sqlparse;
 
 pub use advisor::{advise, deploy, IndexProposal};
 pub use exec::{
-    execute, execute_full, execute_with_stats, execute_with_stats_config, run_sql, BuildCache,
-    ExecStats, ExecTrace,
+    execute, execute_full, execute_with_stats, execute_with_stats_config, run_sql,
+    try_execute_full, try_execute_with_stats_config, BuildCache, ExecStats, ExecTrace,
 };
 pub use explain::{explain, explain_with_stats};
 pub use materialize::{execute_materialized, execute_materialized_with_stats};

@@ -184,6 +184,9 @@ pub struct OpStats {
     /// Leaf partitions of a Grace-partitioned (spilled) hash-join build
     /// side; zero for in-memory builds.
     pub partitions: usize,
+    /// Transient spill-write failures the operator retried past (see
+    /// `XQJG_SPILL_RETRIES`); zero on a healthy disk.
+    pub retries: usize,
     /// Rows the operator pushed through the typed-column kernels (compare/
     /// hash/sort over `i64` or dictionary-code images) instead of scalar
     /// [`crate::Value`] operations.  Zero when `XQJG_TYPED_KERNELS=0`, when
@@ -223,6 +226,7 @@ impl OpStats {
         self.spill_runs += other.spill_runs;
         self.spill_bytes += other.spill_bytes;
         self.partitions += other.partitions;
+        self.retries += other.retries;
         self.kernel_rows += other.kernel_rows;
     }
 
@@ -238,6 +242,7 @@ impl OpStats {
             spill_runs: 0,
             spill_bytes: 0,
             partitions: 0,
+            retries: 0,
             kernel_rows: 0,
             ..self.clone()
         }
@@ -269,6 +274,9 @@ impl OpStats {
         }
         if self.partitions > 0 {
             parts.push(format!("partitions={}", self.partitions));
+        }
+        if self.retries > 0 {
+            parts.push(format!("retries={}", self.retries));
         }
         if self.kernel_rows > 0 {
             parts.push(format!("kernel_rows={}", self.kernel_rows));

@@ -32,6 +32,8 @@ pub mod batch;
 pub mod btree;
 pub mod catalog;
 pub mod columnar;
+pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod mask;
 pub mod morsel;
@@ -49,6 +51,8 @@ pub use batch::{
 pub use btree::{BPlusTree, Key};
 pub use catalog::{BuiltIndex, Database, IndexDef};
 pub use columnar::{BatchSizer, ColOperator, ColumnBatch, MAX_ADAPTIVE_GROWTH};
+pub use error::{CancelToken, ExecError, Interrupt};
+pub use fault::{FaultGuard, FaultKind, FaultPlan, FaultSpec, Trigger};
 pub use kernel::{
     agg_i64_masked, gather_i64, gather_u32, hash_keys_i64, hash_keys_typed, mask_cmp_i64,
     mask_cmp_u32, mask_const, mask_terms, sort_permutation_i64, sort_permutation_typed, HashKey,
@@ -57,13 +61,14 @@ pub use kernel::{
 pub use mask::{BitMask, MASK_WORD_BITS};
 pub use morsel::{
     default_threads, effective_morsel_size, execute_morsels, execute_morsels_streaming,
-    parse_bytes, partition_morsels, ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE,
+    parse_bytes, parse_duration, partition_morsels, try_execute_morsels,
+    try_execute_morsels_streaming, ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE,
     MIN_MORSEL_SIZE,
 };
 pub use schema::Schema;
 pub use spill::{
-    row_footprint, spill_dir, ExternalSorter, GraceBuilder, MemBudget, SortedRows,
-    SpilledPartitions, BUILD_ENTRY_FOOTPRINT, GRACE_FANOUT,
+    record_checksum, row_footprint, spill_dir, ExternalSorter, GraceBuilder, MemBudget, SortedRows,
+    SpilledPartitions, BUILD_ENTRY_FOOTPRINT, DEFAULT_SPILL_RETRIES, GRACE_FANOUT,
 };
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, Table};

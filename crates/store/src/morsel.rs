@@ -137,6 +137,33 @@ where
     R: Send,
     F: Fn(usize, Morsel) -> R + Sync,
 {
+    let result: Result<Vec<R>, std::convert::Infallible> =
+        try_execute_morsels(threads, morsels, |i, m| Ok(work(i, m)));
+    match result {
+        Ok(out) => out,
+        Err(e) => match e {},
+    }
+}
+
+/// The fallible morsel crew: run `work` once per morsel on up to `threads`
+/// scoped workers; per-morsel results come back **in morsel order**.
+///
+/// Errors are *first-error-wins with queue drain*: the first `Err` a
+/// worker produces flips a shared flag, every still-queued morsel is
+/// claimed-and-skipped (no further work runs), all workers exit cleanly
+/// and that first error is returned.  This is deliberately distinct from
+/// a worker *panic*, which is still resumed on the caller — an `Err` is a
+/// reported query failure, a panic is a bug.
+pub fn try_execute_morsels<R, E, F>(
+    threads: usize,
+    morsels: Vec<Morsel>,
+    work: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize, Morsel) -> Result<R, E> + Sync,
+{
     if threads <= 1 || morsels.len() <= 1 {
         return morsels
             .into_iter()
@@ -145,6 +172,8 @@ where
             .collect();
     }
     let queue = MorselQueue::new(morsels);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let first_err: std::sync::Mutex<Option<E>> = std::sync::Mutex::new(None);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(queue.len());
     slots.resize_with(queue.len(), || None);
     std::thread::scope(|scope| {
@@ -153,7 +182,19 @@ where
                 scope.spawn(|| {
                     let mut produced = Vec::new();
                     while let Some((i, m)) = queue.take() {
-                        produced.push((i, work(i, m)));
+                        if failed.load(Ordering::Relaxed) {
+                            continue; // drain the queue without more work
+                        }
+                        match work(i, m) {
+                            Ok(r) => produced.push((i, r)),
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                first_err
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .get_or_insert(e);
+                            }
+                        }
                     }
                     produced
                 })
@@ -170,10 +211,13 @@ where
             }
         }
     });
-    slots
+    if let Some(e) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    Ok(slots
         .into_iter()
         .map(|r| r.expect("every morsel was claimed and ran"))
-        .collect()
+        .collect())
 }
 
 /// Like [`execute_morsels`], but instead of collecting every per-morsel
@@ -198,42 +242,101 @@ pub fn execute_morsels_streaming<R, F, C>(
     F: Fn(usize, Morsel) -> R + Sync,
     C: FnMut(usize, R),
 {
+    let result: Result<(), std::convert::Infallible> = try_execute_morsels_streaming(
+        threads,
+        morsels,
+        |i, m| Ok(work(i, m)),
+        |i, r| {
+            consume(i, r);
+            Ok(())
+        },
+    );
+    match result {
+        Ok(()) => {}
+        Err(e) => match e {},
+    }
+}
+
+/// The fallible streaming crew: like [`try_execute_morsels`], but each
+/// ready result is handed to `consume` on the caller's thread **in morsel
+/// order** while workers keep producing (see [`execute_morsels_streaming`]
+/// for why).  The first `Err` — from `work` on any worker or from
+/// `consume` on the coordinator — wins: the shared failure flag flips,
+/// still-queued morsels are claimed-and-skipped, every worker exits
+/// cleanly and that error is returned.  Worker panics are still resumed on
+/// the caller, distinct from reported errors.
+pub fn try_execute_morsels_streaming<R, E, F, C>(
+    threads: usize,
+    morsels: Vec<Morsel>,
+    work: F,
+    mut consume: C,
+) -> Result<(), E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize, Morsel) -> Result<R, E> + Sync,
+    C: FnMut(usize, R) -> Result<(), E>,
+{
     if threads <= 1 || morsels.len() <= 1 {
         for (i, m) in morsels.into_iter().enumerate() {
-            let r = work(i, m);
-            consume(i, r);
+            consume(i, work(i, m)?)?;
         }
-        return;
+        return Ok(());
     }
     let queue = MorselQueue::new(morsels);
     let total = queue.len();
     // One slot per morsel; workers fill slots under the mutex and signal
     // the coordinator, which drains the ready prefix in order.  The state
-    // is (filled slots, completed count, first worker panic).
-    type SlotState<R> = (Vec<Option<R>>, usize, Option<Box<dyn std::any::Any + Send>>);
-    struct Shared<R> {
-        slots: std::sync::Mutex<SlotState<R>>,
+    // is (filled slots, accounted count, first worker panic, first error).
+    type SlotState<R, E> = (
+        Vec<Option<R>>,
+        usize,
+        Option<Box<dyn std::any::Any + Send>>,
+        Option<E>,
+    );
+    struct Shared<R, E> {
+        slots: std::sync::Mutex<SlotState<R, E>>,
         ready: std::sync::Condvar,
+        failed: std::sync::atomic::AtomicBool,
     }
     let mut init: Vec<Option<R>> = Vec::with_capacity(total);
     init.resize_with(total, || None);
     let shared = Shared {
-        slots: std::sync::Mutex::new((init, 0, None)),
+        slots: std::sync::Mutex::new((init, 0, None, None)),
         ready: std::sync::Condvar::new(),
+        failed: std::sync::atomic::AtomicBool::new(false),
     };
     std::thread::scope(|scope| {
         for _ in 0..threads.min(total) {
             scope.spawn(|| {
                 while let Some((i, m)) = queue.take() {
+                    if shared.failed.load(Ordering::Relaxed) {
+                        // Drain: account for the claimed morsel without
+                        // running more work after the first failure.
+                        let mut g = shared.slots.lock().expect("streaming slots poisoned");
+                        g.1 += 1;
+                        drop(g);
+                        shared.ready.notify_one();
+                        continue;
+                    }
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(i, m))) {
-                        Ok(r) => {
+                        Ok(Ok(r)) => {
                             let mut g = shared.slots.lock().expect("streaming slots poisoned");
                             g.0[i] = Some(r);
                             g.1 += 1;
                             drop(g);
                             shared.ready.notify_one();
                         }
+                        Ok(Err(e)) => {
+                            shared.failed.store(true, Ordering::Relaxed);
+                            let mut g = shared.slots.lock().expect("streaming slots poisoned");
+                            g.3.get_or_insert(e);
+                            g.1 += 1;
+                            drop(g);
+                            shared.ready.notify_one();
+                        }
                         Err(panic) => {
+                            shared.failed.store(true, Ordering::Relaxed);
                             let mut g = shared.slots.lock().expect("streaming slots poisoned");
                             g.2.get_or_insert(panic);
                             g.1 += 1;
@@ -246,7 +349,6 @@ pub fn execute_morsels_streaming<R, F, C>(
             });
         }
         let mut next = 0usize;
-        let mut done = 0usize;
         while next < total {
             let r = {
                 let mut g = shared.slots.lock().expect("streaming slots poisoned");
@@ -258,25 +360,32 @@ pub fn execute_morsels_streaming<R, F, C>(
                         drop(g);
                         std::panic::resume_unwind(panic);
                     }
+                    if let Some(e) = g.3.take() {
+                        // First reported error wins; workers drain via the
+                        // failure flag and the crew exits at scope end.
+                        return Err(e);
+                    }
                     if let Some(r) = g.0[next].take() {
                         break r;
                     }
                     if g.1 >= total && g.0[next].is_none() {
                         // Every morsel is accounted for but this slot is
-                        // empty — only possible after a worker panic, which
-                        // the branch above surfaces.
+                        // empty — only possible after a worker panic or
+                        // error, which the branches above surface.
                         drop(g);
                         panic!("streaming morsel {next} never produced a result");
                     }
                     g = shared.ready.wait(g).expect("streaming slots poisoned");
                 }
             };
-            consume(next, r);
+            if let Err(e) = consume(next, r) {
+                shared.failed.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
             next += 1;
-            done += 1;
         }
-        debug_assert_eq!(done, total);
-    });
+        Ok(())
+    })
 }
 
 /// Runtime execution knobs shared by every evaluation path.
@@ -312,6 +421,14 @@ pub struct ExecConfig {
     /// Directory spill runs are written to (`None` = the system temp
     /// directory).
     pub spill_dir: Option<PathBuf>,
+    /// How many times a *transient* spill-write failure (an I/O error on a
+    /// run or partition write) is retried with bounded backoff before it
+    /// surfaces as [`crate::ExecError::Io`].  `0` fails on first error.
+    pub spill_retries: usize,
+    /// Wall-clock deadline for one execution; exceeding it fails the query
+    /// with [`crate::ExecError::Timeout`] at the next morsel boundary or
+    /// spill run.  `None` = no limit.
+    pub query_timeout: Option<std::time::Duration>,
 }
 
 impl ExecConfig {
@@ -329,7 +446,11 @@ impl ExecConfig {
     /// * `XQJG_MEM_BUDGET` — pipeline-breaker memory budget in bytes
     ///   (suffixes `k`/`m`/`g` accepted, e.g. `256k`; default: unlimited),
     /// * `XQJG_SPILL_DIR` — directory for spill runs (default: the system
-    ///   temp directory).
+    ///   temp directory),
+    /// * `XQJG_SPILL_RETRIES` — retries for transient spill-write failures
+    ///   (`0` disables retrying; default [`crate::DEFAULT_SPILL_RETRIES`]),
+    /// * `XQJG_QUERY_TIMEOUT` — wall-clock query deadline (suffixes `ms`,
+    ///   `s`, `m`; bare digits are milliseconds; default: unlimited).
     pub fn from_env() -> Self {
         ExecConfig {
             threads: env_usize("XQJG_THREADS").unwrap_or_else(default_threads),
@@ -340,6 +461,8 @@ impl ExecConfig {
             typed_kernels: env_bool("XQJG_TYPED_KERNELS").unwrap_or(true),
             mem_budget: env_bytes("XQJG_MEM_BUDGET"),
             spill_dir: env_path("XQJG_SPILL_DIR"),
+            spill_retries: env_retries("XQJG_SPILL_RETRIES"),
+            query_timeout: env_duration("XQJG_QUERY_TIMEOUT"),
         }
     }
 
@@ -359,6 +482,8 @@ impl ExecConfig {
             typed_kernels: env_bool("XQJG_TYPED_KERNELS").unwrap_or(true),
             mem_budget: env_bytes("XQJG_MEM_BUDGET"),
             spill_dir: env_path("XQJG_SPILL_DIR"),
+            spill_retries: env_retries("XQJG_SPILL_RETRIES"),
+            query_timeout: env_duration("XQJG_QUERY_TIMEOUT"),
         }
     }
 
@@ -409,6 +534,19 @@ impl ExecConfig {
         self.spill_dir = Some(dir.into());
         self
     }
+
+    /// Builder: set the transient spill-write retry limit (`0` fails on
+    /// the first error).
+    pub fn with_spill_retries(mut self, retries: usize) -> Self {
+        self.spill_retries = retries;
+        self
+    }
+
+    /// Builder: set (or clear) the wall-clock query deadline.
+    pub fn with_query_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.query_timeout = timeout.filter(|t| !t.is_zero());
+        self
+    }
 }
 
 /// The documented defaults (all cores, [`crate::BATCH_CAPACITY`],
@@ -426,6 +564,8 @@ impl Default for ExecConfig {
             typed_kernels: true,
             mem_budget: None,
             spill_dir: None,
+            spill_retries: crate::spill::DEFAULT_SPILL_RETRIES,
+            query_timeout: None,
         }
     }
 }
@@ -463,6 +603,19 @@ fn env_bytes(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| parse_bytes(&v))
 }
 
+/// Unlike [`env_usize`], zero is a meaningful value here (retry exactly
+/// never), so only unset/malformed fall back to the default.
+fn env_retries(name: &str) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(crate::spill::DEFAULT_SPILL_RETRIES)
+}
+
+fn env_duration(name: &str) -> Option<std::time::Duration> {
+    std::env::var(name).ok().and_then(|v| parse_duration(&v))
+}
+
 /// Parse a byte count with an optional `k`/`m`/`g` (binary) suffix; zero,
 /// empty and malformed inputs mean "unset".
 pub fn parse_bytes(s: &str) -> Option<usize> {
@@ -481,9 +634,34 @@ pub fn parse_bytes(s: &str) -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
+/// Parse a duration with an optional `ms`/`s`/`m` suffix (bare digits are
+/// milliseconds, matching the most common timeout granularity); zero,
+/// empty and malformed inputs mean "unset", like [`parse_bytes`].
+pub fn parse_duration(s: &str) -> Option<std::time::Duration> {
+    let s = s.trim();
+    let (digits, scale_ms) = if let Some(d) = s.strip_suffix("ms").or_else(|| s.strip_suffix("MS"))
+    {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix(['s', 'S']) {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix(['m', 'M']) {
+        (d, 60_000)
+    } else {
+        (s, 1)
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(scale_ms))
+        .filter(|&n| n > 0)
+        .map(std::time::Duration::from_millis)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ExecError;
 
     #[test]
     fn partition_covers_domain_exactly_once() {
@@ -637,5 +815,129 @@ mod tests {
             cfg.spill_dir.as_deref(),
             Some(std::path::Path::new("/tmp/x"))
         );
+    }
+
+    #[test]
+    fn try_execute_morsels_returns_first_error_and_drains() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 4] {
+            let ran = AtomicUsize::new(0);
+            let result: Result<Vec<usize>, String> =
+                try_execute_morsels(threads, partition_morsels(1000, 7), |i, m| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i == 3 {
+                        Err(format!("morsel {i} failed"))
+                    } else {
+                        Ok(m.len())
+                    }
+                });
+            assert_eq!(result, Err("morsel 3 failed".into()), "at DOP {threads}");
+            // The queue drains after the failure: at DOP 1 exactly the
+            // prefix runs; in parallel some in-flight morsels may finish
+            // but nothing close to the full crew's worth re-runs.
+            if threads == 1 {
+                assert_eq!(ran.load(Ordering::Relaxed), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn try_execute_morsels_ok_matches_infallible_shim() {
+        let morsels = partition_morsels(1000, 7);
+        let via_shim = execute_morsels(4, morsels.clone(), |_, m| m.len());
+        let via_try: Result<Vec<usize>, std::convert::Infallible> =
+            try_execute_morsels(4, morsels, |_, m| Ok(m.len()));
+        assert_eq!(via_try, Ok(via_shim));
+    }
+
+    #[test]
+    fn try_streaming_surfaces_worker_errors_without_hanging() {
+        for threads in [1, 4] {
+            let mut consumed = Vec::new();
+            let result = try_execute_morsels_streaming(
+                threads,
+                partition_morsels(1000, 7),
+                |i, m| {
+                    if i == 57 {
+                        Err(ExecError::Cancelled)
+                    } else {
+                        Ok(m.len())
+                    }
+                },
+                |i, r| {
+                    consumed.push((i, r));
+                    Ok(())
+                },
+            );
+            assert_eq!(result, Err(ExecError::Cancelled), "at DOP {threads}");
+            // Whatever was consumed before the error is the ordered prefix.
+            for (pos, (i, _)) in consumed.iter().enumerate() {
+                assert_eq!(*i, pos);
+            }
+        }
+    }
+
+    #[test]
+    fn try_streaming_surfaces_consume_errors() {
+        for threads in [1, 4] {
+            let result = try_execute_morsels_streaming(
+                threads,
+                partition_morsels(1000, 7),
+                |_, m| Ok::<usize, ExecError>(m.len()),
+                |i, _| {
+                    if i == 5 {
+                        Err(ExecError::Cancelled)
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(result, Err(ExecError::Cancelled), "at DOP {threads}");
+        }
+    }
+
+    #[test]
+    fn try_streaming_still_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Result<(), ExecError> = try_execute_morsels_streaming(
+                4,
+                partition_morsels(1000, 7),
+                |i, _| {
+                    if i == 57 {
+                        panic!("worker blew up");
+                    }
+                    Ok(i)
+                },
+                |_, _| Ok(()),
+            );
+        });
+        assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn parse_duration_accepts_suffixes_and_rejects_junk() {
+        use std::time::Duration;
+        assert_eq!(parse_duration("250"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_duration(" 250ms "), Some(Duration::from_millis(250)));
+        assert_eq!(parse_duration("3s"), Some(Duration::from_secs(3)));
+        assert_eq!(parse_duration("2m"), Some(Duration::from_secs(120)));
+        assert_eq!(parse_duration("0"), None);
+        assert_eq!(parse_duration(""), None);
+        assert_eq!(parse_duration("soon"), None);
+    }
+
+    #[test]
+    fn timeout_builder_filters_zero_and_defaults_are_off() {
+        use std::time::Duration;
+        let cfg = ExecConfig::default();
+        assert_eq!(cfg.spill_retries, crate::spill::DEFAULT_SPILL_RETRIES);
+        assert_eq!(cfg.query_timeout, None);
+        let cfg = cfg
+            .with_spill_retries(0)
+            .with_query_timeout(Some(Duration::ZERO));
+        assert_eq!(cfg.spill_retries, 0);
+        assert_eq!(cfg.query_timeout, None);
+        let cfg = cfg.with_query_timeout(Some(Duration::from_secs(1)));
+        assert_eq!(cfg.query_timeout, Some(Duration::from_secs(1)));
     }
 }

@@ -30,7 +30,20 @@
 //! parallelism — which keeps the `spill_runs` / `spill_bytes` /
 //! `partitions` EXPLAIN actuals byte-identical across DOP, morsel size and
 //! the vectorized/scalar switch, exactly like the other counters.
+//!
+//! Every disk interaction in this module is *fallible and checksummed*:
+//! I/O errors, short writes and corrupt records surface as
+//! [`ExecError`]s instead of panics, transient write failures retry with
+//! bounded backoff ([`DEFAULT_SPILL_RETRIES`]), and the named
+//! [`crate::fault`] sites let tests inject each failure deterministically.
+//! Sort-run records carry a per-record XXH32 checksum, partition files a
+//! streaming footer checksum, so bit rot is detected — with file and
+//! offset — the moment a record is read back.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::error::{ExecError, Interrupt};
+use crate::fault::{self, FaultKind};
 use crate::table::Row;
 use crate::value::Value;
 use std::cmp::Ordering;
@@ -39,6 +52,18 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
 use std::sync::Arc;
+
+/// Default number of retry attempts for a transient spill-write failure
+/// (`XQJG_SPILL_RETRIES` overrides per execution).
+pub const DEFAULT_SPILL_RETRIES: usize = 2;
+
+/// Bounded exponential backoff between spill-write retry attempts
+/// (1 ms, 2 ms, 4 ms, … capped at 20 ms — long enough to ride out a
+/// transient hiccup, short enough to stay invisible in tests).
+fn backoff(attempt: usize) {
+    let ms = (1u64 << (attempt.min(5) as u32 - 1)).min(20);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
 
 // ---------------------------------------------------------------------
 // Memory budget.
@@ -267,6 +292,125 @@ pub fn spill_dir(configured: Option<&Path>) -> PathBuf {
 }
 
 // ---------------------------------------------------------------------
+// Checksums (XXH32, seed 0).
+// ---------------------------------------------------------------------
+
+const XXH_P1: u32 = 0x9E37_79B1;
+const XXH_P2: u32 = 0x85EB_CA77;
+const XXH_P3: u32 = 0xC2B2_AE3D;
+const XXH_P4: u32 = 0x27D4_EB2F;
+const XXH_P5: u32 = 0x1656_67B1;
+
+#[inline]
+fn xxh_round(acc: u32, input: u32) -> u32 {
+    acc.wrapping_add(input.wrapping_mul(XXH_P2))
+        .rotate_left(13)
+        .wrapping_mul(XXH_P1)
+}
+
+#[inline]
+fn xxh_read_u32(b: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes([b[pos], b[pos + 1], b[pos + 2], b[pos + 3]])
+}
+
+#[inline]
+fn xxh_avalanche(mut h: u32) -> u32 {
+    h ^= h >> 15;
+    h = h.wrapping_mul(XXH_P2);
+    h ^= h >> 13;
+    h = h.wrapping_mul(XXH_P3);
+    h ^= h >> 16;
+    h
+}
+
+/// One-shot XXH32 (seed 0) over a byte slice — the per-record checksum of
+/// the sort-run format.  Self-contained (no new dependency) and
+/// bit-compatible with the reference xxHash32, so run files stay
+/// inspectable with standard tooling.
+pub fn record_checksum(data: &[u8]) -> u32 {
+    let len = data.len();
+    let mut pos = 0usize;
+    let mut h: u32 = if len >= 16 {
+        let mut v1 = XXH_P1.wrapping_add(XXH_P2);
+        let mut v2 = XXH_P2;
+        let mut v3 = 0u32;
+        let mut v4 = 0u32.wrapping_sub(XXH_P1);
+        while pos + 16 <= len {
+            v1 = xxh_round(v1, xxh_read_u32(data, pos));
+            v2 = xxh_round(v2, xxh_read_u32(data, pos + 4));
+            v3 = xxh_round(v3, xxh_read_u32(data, pos + 8));
+            v4 = xxh_round(v4, xxh_read_u32(data, pos + 12));
+            pos += 16;
+        }
+        v1.rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18))
+    } else {
+        XXH_P5
+    };
+    h = h.wrapping_add(len as u32);
+    while pos + 4 <= len {
+        h = h.wrapping_add(xxh_read_u32(data, pos).wrapping_mul(XXH_P3));
+        h = h.rotate_left(17).wrapping_mul(XXH_P4);
+        pos += 4;
+    }
+    while pos < len {
+        h = h.wrapping_add(u32::from(data[pos]).wrapping_mul(XXH_P5));
+        h = h.rotate_left(11).wrapping_mul(XXH_P1);
+        pos += 1;
+    }
+    xxh_avalanche(h)
+}
+
+/// Streaming XXH32 over whole 16-byte stripes — partition files append
+/// fixed 16-byte `(hash, rid)` entries, so the writer folds each entry
+/// into this state as it goes and [`Xxh32Stripes::finish`] matches
+/// [`record_checksum`] over the concatenated entries exactly.
+#[derive(Debug, Clone)]
+struct Xxh32Stripes {
+    v1: u32,
+    v2: u32,
+    v3: u32,
+    v4: u32,
+    len: u64,
+}
+
+impl Xxh32Stripes {
+    fn new() -> Xxh32Stripes {
+        Xxh32Stripes {
+            v1: XXH_P1.wrapping_add(XXH_P2),
+            v2: XXH_P2,
+            v3: 0,
+            v4: 0u32.wrapping_sub(XXH_P1),
+            len: 0,
+        }
+    }
+
+    fn update16(&mut self, b: &[u8; 16]) {
+        self.v1 = xxh_round(self.v1, xxh_read_u32(b, 0));
+        self.v2 = xxh_round(self.v2, xxh_read_u32(b, 4));
+        self.v3 = xxh_round(self.v3, xxh_read_u32(b, 8));
+        self.v4 = xxh_round(self.v4, xxh_read_u32(b, 12));
+        self.len += 16;
+    }
+
+    fn finish(&self) -> u32 {
+        let mut h: u32 = if self.len >= 16 {
+            self.v1
+                .rotate_left(1)
+                .wrapping_add(self.v2.rotate_left(7))
+                .wrapping_add(self.v3.rotate_left(12))
+                .wrapping_add(self.v4.rotate_left(18))
+        } else {
+            XXH_P5
+        };
+        h = h.wrapping_add(self.len as u32);
+        xxh_avalanche(h)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Row codec.
 // ---------------------------------------------------------------------
 
@@ -307,42 +451,75 @@ pub fn encode_row(row: &[Value], out: &mut Vec<u8>) {
     }
 }
 
-/// Cursor-based decoding helpers (the run formats are trusted — they were
-/// written by this process — so malformed input is a logic error).
-fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> &'a [u8] {
-    let s = &buf[*pos..*pos + n];
-    *pos += n;
-    s
-}
-
-/// Decode one value at `pos`, advancing the cursor.
-pub fn decode_value(buf: &[u8], pos: &mut usize) -> Value {
-    let tag = buf[*pos];
-    *pos += 1;
-    match tag {
-        TAG_NULL => Value::Null,
-        TAG_BOOL_FALSE => Value::Bool(false),
-        TAG_BOOL_TRUE => Value::Bool(true),
-        TAG_INT => Value::Int(i64::from_le_bytes(
-            take(buf, pos, 8).try_into().expect("8-byte int"),
-        )),
-        TAG_DEC => Value::Dec(f64::from_le_bytes(
-            take(buf, pos, 8).try_into().expect("8-byte dec"),
-        )),
-        TAG_STR => {
-            let len =
-                u32::from_le_bytes(take(buf, pos, 4).try_into().expect("4-byte len")) as usize;
-            let bytes = take(buf, pos, len);
-            Value::Str(String::from_utf8(bytes.to_vec()).expect("utf8 round-trip"))
-        }
-        other => panic!("corrupt spill record: unknown value tag {other}"),
+/// A corruption error anchored at a record-relative offset; callers with
+/// file context localize it via [`ExecError::located`].
+fn corrupt_at(offset: u64, detail: impl Into<String>) -> ExecError {
+    ExecError::Corrupt {
+        file: String::new(),
+        offset,
+        detail: detail.into(),
     }
 }
 
-/// Decode one row at `pos`, advancing the cursor.
-pub fn decode_row(buf: &[u8], pos: &mut usize) -> Row {
-    let n = u32::from_le_bytes(take(buf, pos, 4).try_into().expect("4-byte arity")) as usize;
-    (0..n).map(|_| decode_value(buf, pos)).collect()
+/// Bounds-checked cursor advance: a truncated or bit-flipped length field
+/// becomes a reported corruption, never an out-of-bounds panic.
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], ExecError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| corrupt_at(*pos as u64, format!("record truncated ({n} bytes missing)")))?;
+    let s = &buf[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+/// Fixed-width cursor advance into an owned array.
+fn take_n<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], ExecError> {
+    let s = take(buf, pos, N)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(s);
+    Ok(out)
+}
+
+/// Decode one value at `pos`, advancing the cursor.  Malformed bytes —
+/// unknown tags, truncated payloads, invalid UTF-8 — are reported as
+/// [`ExecError::Corrupt`] with the offending offset, not panicked on.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, ExecError> {
+    let tag_pos = *pos;
+    let Some(&tag) = buf.get(*pos) else {
+        return Err(corrupt_at(tag_pos as u64, "missing value tag"));
+    };
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(i64::from_le_bytes(take_n::<8>(buf, pos)?))),
+        TAG_DEC => Ok(Value::Dec(f64::from_le_bytes(take_n::<8>(buf, pos)?))),
+        TAG_STR => {
+            let len = u32::from_le_bytes(take_n::<4>(buf, pos)?) as usize;
+            let bytes = take(buf, pos, len)?;
+            String::from_utf8(bytes.to_vec())
+                .map(Value::Str)
+                .map_err(|_| corrupt_at(tag_pos as u64, "invalid utf-8 in string value"))
+        }
+        other => Err(corrupt_at(
+            tag_pos as u64,
+            format!("unknown value tag {other}"),
+        )),
+    }
+}
+
+/// Decode one row at `pos`, advancing the cursor.  The arity is untrusted:
+/// the row grows value by value (capacity capped), so a bit-flipped count
+/// fails on a missing tag instead of attempting a giant allocation.
+pub fn decode_row(buf: &[u8], pos: &mut usize) -> Result<Row, ExecError> {
+    let n = u32::from_le_bytes(take_n::<4>(buf, pos)?) as usize;
+    let mut row = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        row.push(decode_value(buf, pos)?);
+    }
+    Ok(row)
 }
 
 // ---------------------------------------------------------------------
@@ -368,63 +545,160 @@ impl SortRec {
     }
 }
 
-/// Sequential writer of length-prefixed [`SortRec`]s into one run file.
+/// Which kind of run a writer produces: fresh sort runs (flushed from the
+/// in-memory buffer) and cascade merge runs fail at distinct fault sites,
+/// because only the former can be retried — their source data is still in
+/// memory, while a merge consumes its input streams as it goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunFamily {
+    Sort,
+    Merge,
+}
+
+impl RunFamily {
+    fn tag(self) -> &'static str {
+        match self {
+            RunFamily::Sort => "sort",
+            RunFamily::Merge => "merge",
+        }
+    }
+
+    fn create_site(self) -> &'static str {
+        match self {
+            RunFamily::Sort => fault::SITE_RUN_CREATE,
+            RunFamily::Merge => fault::SITE_MERGE_CREATE,
+        }
+    }
+
+    fn write_site(self) -> &'static str {
+        match self {
+            RunFamily::Sort => fault::SITE_RUN_WRITE,
+            RunFamily::Merge => fault::SITE_MERGE_WRITE,
+        }
+    }
+}
+
+/// Sequential writer of length-prefixed, checksummed [`SortRec`]s into one
+/// run file.  Record layout: `[len u32][seq u64 | key | payload][crc u32]`
+/// where `crc` is [`record_checksum`] over the middle part.
 struct RunWriter {
     file: SpillFile,
     out: BufWriter<File>,
     bytes: usize,
     scratch: Vec<u8>,
+    family: RunFamily,
 }
 
 impl RunWriter {
-    fn create(dir: &Path) -> io::Result<RunWriter> {
-        let (file, handle) = SpillFile::create(dir, "sort")?;
+    fn create(dir: &Path, family: RunFamily) -> Result<RunWriter, ExecError> {
+        let site = family.create_site();
+        if let Some(kind) = fault::check(site) {
+            return Err(ExecError::io(site, &fault::injected_io_error(site, kind)));
+        }
+        let (file, handle) =
+            SpillFile::create(dir, family.tag()).map_err(|e| ExecError::io(site, &e))?;
         Ok(RunWriter {
             file,
             out: BufWriter::new(handle),
             bytes: 0,
             scratch: Vec::new(),
+            family,
         })
     }
 
-    fn write(&mut self, rec: &SortRec) -> io::Result<()> {
+    fn write(&mut self, rec: &SortRec) -> Result<(), ExecError> {
         self.scratch.clear();
         self.scratch.extend_from_slice(&rec.seq.to_le_bytes());
         encode_row(&rec.key, &mut self.scratch);
         encode_row(&rec.payload, &mut self.scratch);
+        let mut crc = record_checksum(&self.scratch);
+        let site = self.family.write_site();
+        match fault::check(site) {
+            Some(FaultKind::IoError) => {
+                return Err(ExecError::io(
+                    site,
+                    &fault::injected_io_error(site, FaultKind::IoError),
+                ));
+            }
+            Some(FaultKind::ShortWrite) => {
+                // Half a record reaches the disk before the failure — the
+                // file is now garbage and the caller must start a new one.
+                let _ = self
+                    .out
+                    .write_all(&(self.scratch.len() as u32).to_le_bytes());
+                let _ = self.out.write_all(&self.scratch[..self.scratch.len() / 2]);
+                return Err(ExecError::io(
+                    site,
+                    &fault::injected_io_error(site, FaultKind::ShortWrite),
+                ));
+            }
+            // Bit rot: the record lands intact but its checksum lies, so
+            // the damage is only discovered on read-back.
+            Some(FaultKind::Corrupt) => crc ^= 0xDEAD_BEEF,
+            None => {}
+        }
         self.out
-            .write_all(&(self.scratch.len() as u32).to_le_bytes())?;
-        self.out.write_all(&self.scratch)?;
-        self.bytes += 4 + self.scratch.len();
+            .write_all(&(self.scratch.len() as u32).to_le_bytes())
+            .map_err(|e| ExecError::io(site, &e))?;
+        self.out
+            .write_all(&self.scratch)
+            .map_err(|e| ExecError::io(site, &e))?;
+        self.out
+            .write_all(&crc.to_le_bytes())
+            .map_err(|e| ExecError::io(site, &e))?;
+        self.bytes += 4 + self.scratch.len() + 4;
         Ok(())
     }
 
-    fn finish(mut self) -> io::Result<(SpillFile, usize)> {
-        self.out.flush()?;
+    fn finish(mut self) -> Result<(SpillFile, usize), ExecError> {
+        self.out
+            .flush()
+            .map_err(|e| ExecError::io(self.family.write_site(), &e))?;
         Ok((self.file, self.bytes))
     }
 }
 
-/// Streaming reader over one sorted run file.
+/// Streaming reader over one sorted run file: every record is re-validated
+/// against its checksum, and any structural damage is reported with the
+/// file path and byte offset of the record it was found in.
 struct RunReader {
-    _file: SpillFile,
+    file: SpillFile,
     input: BufReader<File>,
     head: Option<SortRec>,
+    offset: u64,
+    file_len: u64,
 }
 
 impl RunReader {
-    fn open(file: SpillFile) -> io::Result<RunReader> {
-        let handle = file.open()?;
+    fn open(file: SpillFile) -> Result<RunReader, ExecError> {
+        let handle = file
+            .open()
+            .map_err(|e| ExecError::io(fault::SITE_RUN_READ, &e))?;
+        let file_len = handle
+            .metadata()
+            .map_err(|e| ExecError::io(fault::SITE_RUN_READ, &e))?
+            .len();
         let mut r = RunReader {
-            _file: file,
+            file,
             input: BufReader::new(handle),
             head: None,
+            offset: 0,
+            file_len,
         };
         r.advance()?;
         Ok(r)
     }
 
-    fn advance(&mut self) -> io::Result<()> {
+    fn corrupt(&self, offset: u64, detail: &str) -> ExecError {
+        ExecError::Corrupt {
+            file: self.file.path().display().to_string(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<(), ExecError> {
+        let rec_start = self.offset;
         let mut len_buf = [0u8; 4];
         match self.input.read_exact(&mut len_buf) {
             Ok(()) => {}
@@ -432,15 +706,48 @@ impl RunReader {
                 self.head = None;
                 return Ok(());
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(ExecError::io(fault::SITE_RUN_READ, &e)),
         }
-        let len = u32::from_le_bytes(len_buf) as usize;
-        let mut buf = vec![0u8; len];
-        self.input.read_exact(&mut buf)?;
+        let len = u32::from_le_bytes(len_buf) as u64;
+        // Validate the untrusted length against the file before allocating
+        // or reading: a flipped length bit must not turn into a huge
+        // allocation or a confusing short read.
+        if rec_start + 4 + len + 4 > self.file_len {
+            return Err(self.corrupt(rec_start, "truncated record"));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|e| ExecError::io(fault::SITE_RUN_READ, &e))?;
+        let mut crc_buf = [0u8; 4];
+        self.input
+            .read_exact(&mut crc_buf)
+            .map_err(|e| ExecError::io(fault::SITE_RUN_READ, &e))?;
+        self.offset += 4 + len + 4;
+        match fault::check(fault::SITE_RUN_READ) {
+            Some(FaultKind::Corrupt) => {
+                if let Some(b) = buf.first_mut() {
+                    *b ^= 0x40;
+                }
+            }
+            Some(kind) => {
+                return Err(ExecError::io(
+                    fault::SITE_RUN_READ,
+                    &fault::injected_io_error(fault::SITE_RUN_READ, kind),
+                ));
+            }
+            None => {}
+        }
+        if record_checksum(&buf) != u32::from_le_bytes(crc_buf) {
+            return Err(self.corrupt(rec_start, "checksum mismatch"));
+        }
+        let base = rec_start + 4;
         let mut pos = 0usize;
-        let seq = u64::from_le_bytes(take(&buf, &mut pos, 8).try_into().expect("8-byte seq"));
-        let key = decode_row(&buf, &mut pos);
-        let payload = decode_row(&buf, &mut pos);
+        let seq = u64::from_le_bytes(
+            take_n::<8>(&buf, &mut pos).map_err(|e| e.located(self.file.path(), base))?,
+        );
+        let key = decode_row(&buf, &mut pos).map_err(|e| e.located(self.file.path(), base))?;
+        let payload = decode_row(&buf, &mut pos).map_err(|e| e.located(self.file.path(), base))?;
         self.head = Some(SortRec { seq, key, payload });
         Ok(())
     }
@@ -460,17 +767,17 @@ impl RunCursor {
         }
     }
 
-    fn pop(&mut self) -> Option<SortRec> {
+    fn pop(&mut self) -> Result<Option<SortRec>, ExecError> {
         match self {
             RunCursor::Disk(r) => {
                 let head = r.head.take();
-                r.advance().expect("spill run read");
-                head
+                r.advance()?;
+                Ok(head)
             }
             RunCursor::Mem(iter, head) => {
                 let out = head.take();
                 *head = iter.next();
-                out
+                Ok(out)
             }
         }
     }
@@ -537,13 +844,16 @@ impl LoserTree {
         win
     }
 
-    /// Pop the smallest head record across all runs.
-    fn pop(&mut self) -> Option<SortRec> {
+    /// Pop the smallest head record across all runs (an `Err` means a
+    /// disk run failed to advance — the merge cannot continue).
+    fn pop(&mut self) -> Result<Option<SortRec>, ExecError> {
         if self.runs.is_empty() {
-            return None;
+            return Ok(None);
         }
         let winner = self.tree[0];
-        let rec = self.runs[winner].pop()?;
+        let Some(rec) = self.runs[winner].pop()? else {
+            return Ok(None);
+        };
         // Replay the winner's path: at each node the advanced run plays
         // the stored loser; the loser stays, the winner moves up.
         let mut cur = winner;
@@ -557,7 +867,7 @@ impl LoserTree {
             node /= 2;
         }
         self.tree[0] = cur;
-        Some(rec)
+        Ok(Some(rec))
     }
 }
 
@@ -591,6 +901,10 @@ pub struct ExternalSorter {
     budget: Arc<MemBudget>,
     dir: PathBuf,
     runs: Vec<(SpillFile, usize)>,
+    retry_limit: usize,
+    interrupt: Interrupt,
+    /// Transient write failures that were retried (and succeeded or not).
+    pub retries: usize,
     /// Sorted runs written to disk.
     pub spill_runs: usize,
     /// Bytes written to disk across all runs.
@@ -611,9 +925,25 @@ impl ExternalSorter {
             budget,
             dir,
             runs: Vec::new(),
+            retry_limit: DEFAULT_SPILL_RETRIES,
+            interrupt: Interrupt::default(),
+            retries: 0,
             spill_runs: 0,
             spill_bytes: 0,
         }
+    }
+
+    /// Bound the retry attempts for a transient run-write failure
+    /// (`XQJG_SPILL_RETRIES`; 0 disables retrying).
+    pub fn set_retries(&mut self, limit: usize) {
+        self.retry_limit = limit;
+    }
+
+    /// Attach the execution's cancellation/deadline context; it is checked
+    /// once per spill run (and once at finish), keeping a cancelled query
+    /// from writing gigabytes more.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = interrupt;
     }
 
     /// Opt in to the columnar finish: when the sort never spilled, the seqs
@@ -628,10 +958,10 @@ impl ExternalSorter {
     }
 
     /// Buffer one row; may flush a run when the budget trips.
-    pub fn push(&mut self, key: Row, payload: Row) {
+    pub fn push(&mut self, key: Row, payload: Row) -> Result<(), ExecError> {
         let s = self.seq;
         self.seq += 1;
-        self.push_with_seq(s, key, payload);
+        self.push_with_seq(s, key, payload)
     }
 
     /// Buffer one row under a caller-chosen sequence number (the tie-break
@@ -640,7 +970,7 @@ impl ExternalSorter {
     /// non-decreasing the in-memory finish falls back to a full
     /// `(key, seq)` sort (a key-only stable sort would no longer encode
     /// seq order).
-    pub fn push_with_seq(&mut self, seq: u64, key: Row, payload: Row) {
+    pub fn push_with_seq(&mut self, seq: u64, key: Row, payload: Row) -> Result<(), ExecError> {
         if self.last_seq.is_some_and(|p| seq < p) {
             self.monotonic = false;
         }
@@ -655,12 +985,13 @@ impl ExternalSorter {
             // reservations, or a single oversized row) would degrade run
             // generation to one-record run files.
             if self.reserved >= self.min_run_bytes() {
-                self.flush_run();
+                self.flush_run()?;
             }
             self.budget.reserve_force(est);
         }
         self.reserved += est;
         self.buf.push(SortRec { seq, key, payload });
+        Ok(())
     }
 
     /// Smallest buffered footprint worth writing as a run: a quarter of
@@ -683,29 +1014,57 @@ impl ExternalSorter {
         self.count == 0
     }
 
-    fn flush_run(&mut self) {
+    fn flush_run(&mut self) -> Result<(), ExecError> {
+        self.interrupt.check()?;
         self.buf.sort_unstable_by(SortRec::cmp_order);
-        let mut w = RunWriter::create(&self.dir).expect("create spill run");
-        for rec in &self.buf {
-            w.write(rec).expect("write spill run");
-        }
-        let (file, bytes) = w.finish().expect("finish spill run");
+        let (file, bytes) = self.write_buf_run()?;
         self.spill_runs += 1;
         self.spill_bytes += bytes;
         self.runs.push((file, bytes));
         self.buf.clear();
         self.budget.release(self.reserved);
         self.reserved = 0;
+        Ok(())
+    }
+
+    /// Write the sorted buffer as one run, retrying transient failures
+    /// with bounded backoff.  Retrying is safe here — and only here —
+    /// because the source rows are still in memory: each attempt starts a
+    /// fresh file (a failed attempt's partial file unlinks on drop).
+    fn write_buf_run(&mut self) -> Result<(SpillFile, usize), ExecError> {
+        let mut attempt = 0usize;
+        loop {
+            match Self::try_write_buf(&self.dir, &self.buf) {
+                Ok(run) => return Ok(run),
+                Err(e) if e.is_transient() && attempt < self.retry_limit => {
+                    attempt += 1;
+                    self.retries += 1;
+                    backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_write_buf(dir: &Path, buf: &[SortRec]) -> Result<(SpillFile, usize), ExecError> {
+        let mut w = RunWriter::create(dir, RunFamily::Sort)?;
+        for rec in buf {
+            w.write(rec)?;
+        }
+        w.finish()
     }
 
     /// Finish: sort what is buffered and merge it with any on-disk runs.
     /// The returned stream yields payload rows in `(key, seq)` order and
-    /// carries the final spill counters.
-    pub fn finish(mut self) -> SortedRows {
+    /// carries the final spill counters.  An error leaves no litter: the
+    /// sorter's drop releases its reservations and every run file unlinks
+    /// itself.
+    pub fn finish(mut self) -> Result<SortedRows, ExecError> {
+        self.interrupt.check()?;
         if self.runs.is_empty() {
             if self.typed && self.monotonic {
                 if let Some(rows) = self.finish_typed() {
-                    return rows;
+                    return Ok(rows);
                 }
             }
             if self.monotonic {
@@ -717,29 +1076,33 @@ impl ExternalSorter {
                 self.buf.sort_by(SortRec::cmp_order);
             }
             let buf = std::mem::take(&mut self.buf);
-            return SortedRows {
+            return Ok(SortedRows {
                 spill_runs: 0,
                 spill_bytes: 0,
                 typed_rows: 0,
+                retries: self.retries,
                 source: SortedSource::Mem(buf.into_iter()),
-            };
+            });
         }
         // Cascade: bound the merge fan-in (and with it the open file
         // descriptors) by pre-merging the oldest runs into longer ones.
         // The pass structure depends only on the run count, so the spill
-        // counters stay deterministic.
+        // counters stay deterministic.  Merge runs are NOT retried on
+        // write failure: their input streams are consumed as they merge,
+        // so there is nothing left to re-read for a second attempt.
         while self.runs.len() > MAX_MERGE_FANIN {
+            self.interrupt.check()?;
             let batch: Vec<(SpillFile, usize)> = self.runs.drain(..MAX_MERGE_FANIN).collect();
             let cursors: Vec<RunCursor> = batch
                 .into_iter()
-                .map(|(file, _)| RunCursor::Disk(RunReader::open(file).expect("open spill run")))
-                .collect();
+                .map(|(file, _)| RunReader::open(file).map(RunCursor::Disk))
+                .collect::<Result<_, _>>()?;
             let mut tree = LoserTree::new(cursors);
-            let mut w = RunWriter::create(&self.dir).expect("create merge run");
-            while let Some(rec) = tree.pop() {
-                w.write(&rec).expect("write merge run");
+            let mut w = RunWriter::create(&self.dir, RunFamily::Merge)?;
+            while let Some(rec) = tree.pop()? {
+                w.write(&rec)?;
             }
-            let (file, bytes) = w.finish().expect("finish merge run");
+            let (file, bytes) = w.finish()?;
             self.spill_runs += 1;
             self.spill_bytes += bytes;
             self.runs.push((file, bytes));
@@ -748,21 +1111,20 @@ impl ExternalSorter {
         let buf = std::mem::take(&mut self.buf);
         let mut cursors: Vec<RunCursor> = Vec::with_capacity(self.runs.len() + 1);
         for (file, _) in self.runs.drain(..) {
-            cursors.push(RunCursor::Disk(
-                RunReader::open(file).expect("open spill run"),
-            ));
+            cursors.push(RunCursor::Disk(RunReader::open(file)?));
         }
         if !buf.is_empty() {
             let mut iter = buf.into_iter();
             let head = iter.next();
             cursors.push(RunCursor::Mem(iter, head));
         }
-        SortedRows {
+        Ok(SortedRows {
             spill_runs: self.spill_runs,
             spill_bytes: self.spill_bytes,
             typed_rows: 0,
+            retries: self.retries,
             source: SortedSource::Merge(Box::new(LoserTree::new(cursors))),
-        }
+        })
     }
 
     /// The columnar in-memory finish: extract every key column into a flat
@@ -823,16 +1185,17 @@ impl ExternalSorter {
         let rows: Vec<Row> = perm
             .iter()
             .map(|&i| {
-                old[i as usize]
-                    .take()
-                    .expect("permutation is a bijection")
-                    .payload
+                let Some(rec) = old[i as usize].take() else {
+                    unreachable!("permutation is a bijection")
+                };
+                rec.payload
             })
             .collect();
         Some(SortedRows {
             spill_runs: 0,
             spill_bytes: 0,
             typed_rows: n,
+            retries: self.retries,
             source: SortedSource::Rows(rows.into_iter()),
         })
     }
@@ -851,7 +1214,9 @@ enum SortedSource {
     Merge(Box<LoserTree>),
 }
 
-/// The ordered output of an [`ExternalSorter`].
+/// The ordered output of an [`ExternalSorter`].  Iteration is fallible:
+/// the merge path reads run files back, and a damaged or unreadable
+/// record surfaces as an `Err` item (callers stop at the first error).
 pub struct SortedRows {
     /// Runs the sorter wrote (0 on the in-memory path).
     pub spill_runs: usize,
@@ -862,17 +1227,24 @@ pub struct SortedRows {
     /// kernels were never requested via
     /// [`ExternalSorter::set_typed_kernels`]).
     pub typed_rows: usize,
+    /// Transient write failures the sorter retried while producing this
+    /// output (the `retries=` EXPLAIN actual).
+    pub retries: usize,
     source: SortedSource,
 }
 
 impl Iterator for SortedRows {
-    type Item = Row;
+    type Item = Result<Row, ExecError>;
 
-    fn next(&mut self) -> Option<Row> {
+    fn next(&mut self) -> Option<Result<Row, ExecError>> {
         match &mut self.source {
-            SortedSource::Mem(iter) => iter.next().map(|r| r.payload),
-            SortedSource::Rows(iter) => iter.next(),
-            SortedSource::Merge(tree) => tree.pop().map(|r| r.payload),
+            SortedSource::Mem(iter) => iter.next().map(|r| Ok(r.payload)),
+            SortedSource::Rows(iter) => iter.next().map(Ok),
+            SortedSource::Merge(tree) => match tree.pop() {
+                Ok(Some(rec)) => Some(Ok(rec.payload)),
+                Ok(None) => None,
+                Err(e) => Some(Err(e)),
+            },
         }
     }
 }
@@ -900,33 +1272,108 @@ pub const BUILD_ENTRY_FOOTPRINT: usize = 48;
 /// Fixed on-disk width of one `(hash, rid)` partition entry.
 const PART_ENTRY_BYTES: usize = 16;
 
-/// Writer side of one partition file.
+/// Writer side of one partition file: fixed 16-byte `(hash, rid)` entries
+/// followed by a 4-byte streaming-XXH32 footer over all entries.
+///
+/// Transient write failures retry in place (nothing of the failed entry
+/// reached the file); a short write *poisons* the writer — bytes of
+/// unknown extent are on disk, so no further entry can be appended and the
+/// whole build must fail.
 struct PartWriter {
     file: SpillFile,
     out: BufWriter<File>,
     entries: usize,
+    crc: Xxh32Stripes,
+    poisoned: bool,
+    retry_limit: usize,
+    retries: usize,
 }
 
 impl PartWriter {
-    fn create(dir: &Path) -> io::Result<PartWriter> {
-        let (file, handle) = SpillFile::create(dir, "part")?;
+    fn create(dir: &Path, retry_limit: usize) -> Result<PartWriter, ExecError> {
+        let site = fault::SITE_PART_CREATE;
+        if let Some(kind) = fault::check(site) {
+            return Err(ExecError::io(site, &fault::injected_io_error(site, kind)));
+        }
+        let (file, handle) = SpillFile::create(dir, "part").map_err(|e| ExecError::io(site, &e))?;
         Ok(PartWriter {
             file,
             out: BufWriter::new(handle),
             entries: 0,
+            crc: Xxh32Stripes::new(),
+            poisoned: false,
+            retry_limit,
+            retries: 0,
         })
     }
 
-    fn write(&mut self, hash: u64, rid: u64) -> io::Result<()> {
-        self.out.write_all(&hash.to_le_bytes())?;
-        self.out.write_all(&rid.to_le_bytes())?;
-        self.entries += 1;
-        Ok(())
+    fn write(&mut self, hash: u64, rid: u64) -> Result<(), ExecError> {
+        let mut rec = [0u8; PART_ENTRY_BYTES];
+        rec[..8].copy_from_slice(&hash.to_le_bytes());
+        rec[8..].copy_from_slice(&rid.to_le_bytes());
+        let mut attempt = 0usize;
+        loop {
+            match self.write_attempt(&rec) {
+                Ok(()) => {
+                    // The checksum always covers the *intended* bytes: an
+                    // injected corrupt write keeps the honest checksum, so
+                    // the damage is detected on read-back.
+                    self.crc.update16(&rec);
+                    self.entries += 1;
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && !self.poisoned && attempt < self.retry_limit => {
+                    attempt += 1;
+                    self.retries += 1;
+                    backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
-    fn finish(mut self) -> io::Result<(SpillFile, usize)> {
-        self.out.flush()?;
-        Ok((self.file, self.entries))
+    fn write_attempt(&mut self, rec: &[u8; PART_ENTRY_BYTES]) -> Result<(), ExecError> {
+        let site = fault::SITE_PART_WRITE;
+        match fault::check(site) {
+            Some(FaultKind::IoError) => {
+                return Err(ExecError::io(
+                    site,
+                    &fault::injected_io_error(site, FaultKind::IoError),
+                ));
+            }
+            Some(FaultKind::ShortWrite) => {
+                let _ = self.out.write_all(&rec[..8]);
+                self.poisoned = true;
+                return Err(ExecError::io(
+                    site,
+                    &fault::injected_io_error(site, FaultKind::ShortWrite),
+                ));
+            }
+            Some(FaultKind::Corrupt) => {
+                let mut bad = *rec;
+                bad[0] ^= 0x40;
+                return self.out.write_all(&bad).map_err(|e| {
+                    self.poisoned = true;
+                    ExecError::io(site, &e)
+                });
+            }
+            None => {}
+        }
+        // A real write_all failure may have written a prefix — treat the
+        // file as poisoned rather than risk interleaving a retried entry.
+        self.out.write_all(rec).map_err(|e| {
+            self.poisoned = true;
+            ExecError::io(site, &e)
+        })
+    }
+
+    fn finish(mut self) -> Result<(SpillFile, usize, usize), ExecError> {
+        let site = fault::SITE_PART_WRITE;
+        self.out
+            .write_all(&self.crc.finish().to_le_bytes())
+            .map_err(|e| ExecError::io(site, &e))?;
+        self.out.flush().map_err(|e| ExecError::io(site, &e))?;
+        Ok((self.file, self.entries, self.retries))
     }
 }
 
@@ -956,6 +1403,10 @@ fn nibble(hash: u64, level: usize) -> usize {
 pub struct GraceBuilder {
     dir: PathBuf,
     writers: Vec<PartWriter>,
+    retry_limit: usize,
+    interrupt: Interrupt,
+    /// Transient write failures retried across all partition writers.
+    pub retries: usize,
     /// Files written so far (grows when partitions split recursively).
     pub spill_runs: usize,
     /// Bytes written so far (rewrites during splits count — they are real
@@ -965,88 +1416,113 @@ pub struct GraceBuilder {
 
 impl GraceBuilder {
     /// A builder writing partitions under `dir`.
-    pub fn new(dir: PathBuf) -> GraceBuilder {
+    pub fn new(dir: PathBuf) -> Result<GraceBuilder, ExecError> {
         let writers = (0..GRACE_FANOUT)
-            .map(|_| PartWriter::create(&dir).expect("create partition file"))
-            .collect();
-        GraceBuilder {
+            .map(|_| PartWriter::create(&dir, DEFAULT_SPILL_RETRIES))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GraceBuilder {
             dir,
             writers,
+            retry_limit: DEFAULT_SPILL_RETRIES,
+            interrupt: Interrupt::default(),
+            retries: 0,
             spill_runs: 0,
             spill_bytes: 0,
+        })
+    }
+
+    /// Bound the retry attempts for transient partition-write failures.
+    pub fn set_retries(&mut self, limit: usize) {
+        self.retry_limit = limit;
+        for w in &mut self.writers {
+            w.retry_limit = limit;
         }
     }
 
+    /// Attach the execution's cancellation/deadline context (checked once
+    /// per partition file finished or split).
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = interrupt;
+    }
+
     /// Route one build entry to its partition.
-    pub fn add(&mut self, hash: u64, rid: usize) {
-        self.writers[nibble(hash, 0)]
-            .write(hash, rid as u64)
-            .expect("write partition entry");
+    pub fn add(&mut self, hash: u64, rid: usize) -> Result<(), ExecError> {
+        self.writers[nibble(hash, 0)].write(hash, rid as u64)
     }
 
     /// Finish partitioning.  Partitions whose loaded footprint would
     /// exceed `load_limit` bytes are recursively repartitioned on the next
     /// hash nibble (up to [`GRACE_MAX_DEPTH`] levels).
-    pub fn finish(mut self, load_limit: usize) -> SpilledPartitions {
+    pub fn finish(mut self, load_limit: usize) -> Result<SpilledPartitions, ExecError> {
         let writers = std::mem::take(&mut self.writers);
         let mut roots = Vec::with_capacity(GRACE_FANOUT);
         for w in writers {
-            let (file, entries) = w.finish().expect("finish partition file");
+            self.interrupt.check()?;
+            let (file, entries, retried) = w.finish()?;
+            self.retries += retried;
             self.spill_runs += 1;
             self.spill_bytes += entries * PART_ENTRY_BYTES;
-            roots.push(self.split_if_needed(BuildNode::Leaf { file, entries }, 1, load_limit));
+            roots.push(self.split_if_needed(BuildNode::Leaf { file, entries }, 1, load_limit)?);
         }
         // Flatten: leaves move into a flat vector (depth-first order) and
         // the tree keeps only their indices.
         let mut leaves: Vec<(SpillFile, usize)> = Vec::new();
         let nodes = roots.into_iter().map(|n| flatten(n, &mut leaves)).collect();
-        SpilledPartitions {
+        Ok(SpilledPartitions {
             nodes,
             leaves,
             spill_runs: self.spill_runs,
             spill_bytes: self.spill_bytes,
-        }
+            retries: self.retries,
+        })
     }
 
-    fn split_if_needed(&mut self, node: BuildNode, level: usize, load_limit: usize) -> BuildNode {
+    fn split_if_needed(
+        &mut self,
+        node: BuildNode,
+        level: usize,
+        load_limit: usize,
+    ) -> Result<BuildNode, ExecError> {
         let BuildNode::Leaf { file, entries } = node else {
-            return node;
+            return Ok(node);
         };
         if entries * BUILD_ENTRY_FOOTPRINT <= load_limit || level >= GRACE_MAX_DEPTH {
-            return BuildNode::Leaf { file, entries };
+            return Ok(BuildNode::Leaf { file, entries });
         }
         // Repartition on the next nibble.  If everything would land in one
         // child the hash prefix is constant (duplicate-heavy key): keep
         // the leaf as-is rather than recursing forever — checked *before*
         // writing anything, so degenerate partitions cost no extra I/O
         // and the spill counters only ever count files that are kept.
-        let entries_vec = read_part_entries(&file, entries);
+        let entries_vec = read_part_entries(&file, entries)?;
         let mut counts = [0usize; GRACE_FANOUT];
         for &(h, _) in &entries_vec {
             counts[nibble(h, level)] += 1;
         }
         if counts.iter().filter(|&&n| n > 0).count() <= 1 {
-            return BuildNode::Leaf { file, entries };
+            return Ok(BuildNode::Leaf { file, entries });
         }
-        let mut writers: Vec<PartWriter> = (0..GRACE_FANOUT)
-            .map(|_| PartWriter::create(&self.dir).expect("create partition file"))
-            .collect();
+        let mut writers = (0..GRACE_FANOUT)
+            .map(|_| PartWriter::create(&self.dir, self.retry_limit))
+            .collect::<Result<Vec<_>, _>>()?;
         for &(h, rid) in &entries_vec {
-            writers[nibble(h, level)]
-                .write(h, rid)
-                .expect("write partition entry");
+            writers[nibble(h, level)].write(h, rid)?;
         }
         drop(file);
-        let children = writers
-            .into_iter()
-            .map(|w| {
-                let (file, entries) = w.finish().expect("finish partition file");
-                self.spill_runs += 1;
-                self.spill_bytes += entries * PART_ENTRY_BYTES;
-                self.split_if_needed(BuildNode::Leaf { file, entries }, level + 1, load_limit)
-            })
-            .collect();
-        BuildNode::Split(children)
+        let mut children = Vec::with_capacity(GRACE_FANOUT);
+        for w in writers {
+            self.interrupt.check()?;
+            let (file, entries, retried) = w.finish()?;
+            self.retries += retried;
+            self.spill_runs += 1;
+            self.spill_bytes += entries * PART_ENTRY_BYTES;
+            children.push(self.split_if_needed(
+                BuildNode::Leaf { file, entries },
+                level + 1,
+                load_limit,
+            )?);
+        }
+        Ok(BuildNode::Split(children))
     }
 }
 
@@ -1062,17 +1538,56 @@ fn flatten(node: BuildNode, leaves: &mut Vec<(SpillFile, usize)>) -> PartNode {
     }
 }
 
-fn read_part_entries(file: &SpillFile, entries: usize) -> Vec<(u64, u64)> {
-    let mut input = BufReader::new(file.open().expect("open partition file"));
-    let mut out = Vec::with_capacity(entries);
-    let mut buf = [0u8; PART_ENTRY_BYTES];
-    while input.read_exact(&mut buf).is_ok() {
-        let h = u64::from_le_bytes(buf[..8].try_into().expect("8-byte hash"));
-        let r = u64::from_le_bytes(buf[8..].try_into().expect("8-byte rid"));
-        out.push((h, r));
+fn read_part_entries(file: &SpillFile, entries: usize) -> Result<Vec<(u64, u64)>, ExecError> {
+    let site = fault::SITE_PART_READ;
+    let injected = fault::check(site);
+    if let Some(kind @ (FaultKind::IoError | FaultKind::ShortWrite)) = injected {
+        return Err(ExecError::io(site, &fault::injected_io_error(site, kind)));
     }
-    debug_assert_eq!(out.len(), entries, "partition entry count drifted");
-    out
+    let corrupt_injected = matches!(injected, Some(FaultKind::Corrupt));
+    let handle = file.open().map_err(|e| ExecError::io(site, &e))?;
+    let mut input = BufReader::new(handle);
+    let mut out = Vec::with_capacity(entries.min(1 << 20));
+    let mut crc = Xxh32Stripes::new();
+    let mut buf = [0u8; PART_ENTRY_BYTES];
+    let corrupt = |offset: u64, detail: &str| ExecError::Corrupt {
+        file: file.path().display().to_string(),
+        offset,
+        detail: detail.into(),
+    };
+    for i in 0..entries {
+        input.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                corrupt((i * PART_ENTRY_BYTES) as u64, "truncated partition file")
+            } else {
+                ExecError::io(site, &e)
+            }
+        })?;
+        if corrupt_injected && i == 0 {
+            buf[0] ^= 0x40;
+        }
+        crc.update16(&buf);
+        let mut h8 = [0u8; 8];
+        let mut r8 = [0u8; 8];
+        h8.copy_from_slice(&buf[..8]);
+        r8.copy_from_slice(&buf[8..]);
+        out.push((u64::from_le_bytes(h8), u64::from_le_bytes(r8)));
+    }
+    let mut footer = [0u8; 4];
+    input.read_exact(&mut footer).map_err(|_| {
+        corrupt(
+            (entries * PART_ENTRY_BYTES) as u64,
+            "missing checksum footer",
+        )
+    })?;
+    let mut stored = u32::from_le_bytes(footer);
+    if corrupt_injected && entries == 0 {
+        stored ^= 1;
+    }
+    if crc.finish() != stored {
+        return Err(corrupt(0, "partition checksum mismatch"));
+    }
+    Ok(out)
 }
 
 /// The probe-time half of the Grace join: an immutable tree of partition
@@ -1087,6 +1602,8 @@ pub struct SpilledPartitions {
     pub spill_runs: usize,
     /// Bytes written while building.
     pub spill_bytes: usize,
+    /// Transient write failures retried while building.
+    pub retries: usize,
 }
 
 /// A leaf partition id: the flat index assigned by depth-first order.
@@ -1119,23 +1636,39 @@ impl SpilledPartitions {
     }
 
     /// Load a partition into a `hash → rids` bucket table.
-    pub fn load(&self, id: PartId) -> std::collections::HashMap<u64, Vec<usize>> {
+    pub fn load(
+        &self,
+        id: PartId,
+    ) -> Result<std::collections::HashMap<u64, Vec<usize>>, ExecError> {
         let (file, entries) = &self.leaves[id];
         let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
             std::collections::HashMap::new();
-        for (h, rid) in read_part_entries(file, *entries) {
+        for (h, rid) in read_part_entries(file, *entries)? {
             buckets.entry(h).or_default().push(rid as usize);
         }
-        buckets
+        Ok(buckets)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::error::CancelToken;
+    use crate::fault::{FaultPlan, Trigger};
+    use std::sync::Mutex;
 
     fn tmp() -> PathBuf {
         std::env::temp_dir().join("xqjg-spill-tests")
+    }
+
+    /// Serializes every test that performs spill I/O: fault arming is
+    /// process-global, so a test running with a `FaultGuard` installed
+    /// must not overlap with another test's innocent spill writes.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn io_lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[test]
@@ -1170,8 +1703,59 @@ mod tests {
         let mut buf = Vec::new();
         encode_row(&row, &mut buf);
         let mut pos = 0;
-        assert_eq!(decode_row(&buf, &mut pos), row);
+        assert_eq!(decode_row(&buf, &mut pos).unwrap(), row);
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn malformed_bytes_decode_to_corrupt_errors_not_panics() {
+        // Unknown tag.
+        let mut pos = 0;
+        let buf = [1u8, 0, 0, 0, 0xEE];
+        assert!(matches!(
+            decode_row(&buf, &mut pos),
+            Err(ExecError::Corrupt { .. })
+        ));
+        // Truncated payload after an Int tag.
+        let mut pos = 0;
+        let buf = [1u8, 0, 0, 0, TAG_INT, 1, 2];
+        assert!(matches!(
+            decode_row(&buf, &mut pos),
+            Err(ExecError::Corrupt { .. })
+        ));
+        // Absurd arity fails on a missing tag instead of allocating.
+        let mut pos = 0;
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(matches!(
+            decode_row(&buf, &mut pos),
+            Err(ExecError::Corrupt { .. })
+        ));
+        // Invalid UTF-8 inside a string value.
+        let mut buf = Vec::new();
+        encode_row(&[Value::str("ab")], &mut buf);
+        let bad = buf.len() - 1;
+        buf[bad] = 0xFF;
+        let mut pos = 0;
+        assert!(matches!(
+            decode_row(&buf, &mut pos),
+            Err(ExecError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_checksum_matches_one_shot_on_stripes() {
+        for stripes in [0usize, 1, 2, 10] {
+            let data: Vec<u8> = (0..stripes * 16).map(|i| (i * 7 + 3) as u8).collect();
+            let mut s = Xxh32Stripes::new();
+            for chunk in data.chunks_exact(16) {
+                let mut b = [0u8; 16];
+                b.copy_from_slice(chunk);
+                s.update16(&b);
+            }
+            assert_eq!(s.finish(), record_checksum(&data), "{stripes} stripes");
+        }
+        // Distinct inputs hash apart (sanity, not a collision proof).
+        assert_ne!(record_checksum(b"hello"), record_checksum(b"hellp"));
     }
 
     #[test]
@@ -1186,15 +1770,16 @@ mod tests {
         let b = MemBudget::new(budget);
         let mut s = ExternalSorter::new(b, tmp());
         for (key, payload) in rows {
-            s.push(key, payload);
+            s.push(key, payload).unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         let runs = sorted.spill_runs;
-        (sorted.collect(), runs)
+        (sorted.map(Result::unwrap).collect(), runs)
     }
 
     #[test]
     fn external_sort_matches_stable_in_memory_sort() {
+        let _g = io_lock();
         // Duplicated keys probe the stability guarantee: payloads must come
         // out in push order within equal keys.
         let mut rows: Vec<(Row, Row)> = Vec::new();
@@ -1233,14 +1818,14 @@ mod tests {
         let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
         s.set_typed_kernels(true);
         for (key, payload) in rows.clone() {
-            s.push(key, payload);
+            s.push(key, payload).unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         assert_eq!(
             sorted.typed_rows, 300,
             "all-Int keys must engage the kernel"
         );
-        assert_eq!(sorted.collect::<Vec<Row>>(), expect);
+        assert_eq!(sorted.map(Result::unwrap).collect::<Vec<Row>>(), expect);
 
         // A string key bails to the row comparator with identical output.
         let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
@@ -1248,14 +1833,14 @@ mod tests {
         for (key, payload) in rows {
             let mut key = key;
             key.push(Value::str("tail"));
-            s.push(key, payload);
+            s.push(key, payload).unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         assert_eq!(
             sorted.typed_rows, 0,
             "string key must not engage the kernel"
         );
-        assert_eq!(sorted.collect::<Vec<Row>>(), expect);
+        assert_eq!(sorted.map(Result::unwrap).collect::<Vec<Row>>(), expect);
     }
 
     #[test]
@@ -1281,14 +1866,14 @@ mod tests {
         let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
         s.set_typed_kernels(true);
         for (key, payload) in rows {
-            s.push(key, payload);
+            s.push(key, payload).unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         assert_eq!(
             sorted.typed_rows, 200,
             "NULL-bearing Int keys must still engage the kernel"
         );
-        assert_eq!(sorted.collect::<Vec<Row>>(), expect);
+        assert_eq!(sorted.map(Result::unwrap).collect::<Vec<Row>>(), expect);
     }
 
     #[test]
@@ -1300,9 +1885,10 @@ mod tests {
             let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
             s.set_typed_kernels(typed);
             for i in 0..n {
-                s.push_with_seq(n - i, vec![Value::Int(0)], vec![Value::Int(i as i64)]);
+                s.push_with_seq(n - i, vec![Value::Int(0)], vec![Value::Int(i as i64)])
+                    .unwrap();
             }
-            let got: Vec<Row> = s.finish().collect();
+            let got: Vec<Row> = s.finish().unwrap().map(Result::unwrap).collect();
             let expect: Vec<Row> = (0..n).rev().map(|i| vec![Value::Int(i as i64)]).collect();
             assert_eq!(got, expect, "typed={typed}");
         }
@@ -1310,17 +1896,19 @@ mod tests {
         let mut s = ExternalSorter::new(MemBudget::new(None), tmp());
         s.set_typed_kernels(true);
         for i in 0..n {
-            s.push_with_seq(i * 10, vec![Value::Int(0)], vec![Value::Int(i as i64)]);
+            s.push_with_seq(i * 10, vec![Value::Int(0)], vec![Value::Int(i as i64)])
+                .unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         assert_eq!(sorted.typed_rows, n as usize);
-        let got: Vec<Row> = sorted.collect();
+        let got: Vec<Row> = sorted.map(Result::unwrap).collect();
         let expect: Vec<Row> = (0..n).map(|i| vec![Value::Int(i as i64)]).collect();
         assert_eq!(got, expect);
     }
 
     #[test]
     fn cascaded_merge_bounds_open_runs_and_preserves_order() {
+        let _g = io_lock();
         // ~7000 rows at ~80 bytes each under a 4K budget (run floor 4K)
         // produce well over MAX_MERGE_FANIN runs, forcing a cascade pass.
         let mut rows: Vec<(Row, Row)> = Vec::new();
@@ -1337,20 +1925,21 @@ mod tests {
         let b = MemBudget::new(Some(4096));
         let mut s = ExternalSorter::new(b, tmp());
         for (key, payload) in rows {
-            s.push(key, payload);
+            s.push(key, payload).unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         assert!(
             sorted.spill_runs > MAX_MERGE_FANIN,
             "fixture too small to exercise the cascade ({} runs)",
             sorted.spill_runs
         );
-        let got: Vec<Row> = sorted.collect();
+        let got: Vec<Row> = sorted.map(Result::unwrap).collect();
         assert_eq!(got, expect, "cascaded merge changed the order");
     }
 
     #[test]
     fn saturated_budget_still_builds_useful_runs() {
+        let _g = io_lock();
         // Saturate the budget with a foreign reservation, as a giant
         // DISTINCT dedup set would: the sorter must keep producing runs of
         // at least the floor size instead of one-record files.
@@ -1359,9 +1948,10 @@ mod tests {
         let mut s = ExternalSorter::new(b.clone(), tmp());
         let n = 2000usize;
         for i in 0..n {
-            s.push(vec![Value::Int(i as i64)], vec![Value::Int(i as i64)]);
+            s.push(vec![Value::Int(i as i64)], vec![Value::Int(i as i64)])
+                .unwrap();
         }
-        let sorted = s.finish();
+        let sorted = s.finish().unwrap();
         let per_run = n / sorted.spill_runs.max(1);
         assert!(
             per_run > 10,
@@ -1375,19 +1965,21 @@ mod tests {
 
     #[test]
     fn external_sort_releases_its_reservations() {
+        let _g = io_lock();
         let b = MemBudget::new(Some(512));
         {
             let mut s = ExternalSorter::new(b.clone(), tmp());
             for i in 0..100 {
-                s.push(vec![Value::Int(i)], vec![Value::Int(i)]);
+                s.push(vec![Value::Int(i)], vec![Value::Int(i)]).unwrap();
             }
-            let _ = s.finish().count();
+            let _ = s.finish().unwrap().count();
         }
         assert_eq!(b.used(), 0, "sorter must release all reservations");
     }
 
     #[test]
     fn loser_tree_merges_single_and_empty_runs() {
+        let _g = io_lock();
         let (out, runs) = external_sort(vec![(vec![Value::Int(1)], vec![Value::Int(1)])], Some(1));
         assert_eq!(out, vec![vec![Value::Int(1)]]);
         assert!(runs <= 1);
@@ -1397,20 +1989,21 @@ mod tests {
 
     #[test]
     fn grace_partitions_roundtrip_all_entries() {
-        let mut gb = GraceBuilder::new(tmp());
+        let _g = io_lock();
+        let mut gb = GraceBuilder::new(tmp()).unwrap();
         let entries: Vec<(u64, usize)> = (0..1000usize)
             .map(|i| (crate::hash_values([&Value::Int(i as i64)]), i))
             .collect();
         for &(h, rid) in &entries {
-            gb.add(h, rid);
+            gb.add(h, rid).unwrap();
         }
-        let parts = gb.finish(usize::MAX);
+        let parts = gb.finish(usize::MAX).unwrap();
         assert_eq!(parts.partitions(), GRACE_FANOUT);
         assert!(parts.spill_runs >= GRACE_FANOUT);
         assert!(parts.spill_bytes >= entries.len() * 16);
         for &(h, rid) in &entries {
             let pid = parts.partition_of(h);
-            let buckets = parts.load(pid);
+            let buckets = parts.load(pid).unwrap();
             assert!(
                 buckets.get(&h).is_some_and(|rids| rids.contains(&rid)),
                 "entry ({h}, {rid}) lost in partition {pid}"
@@ -1420,42 +2013,47 @@ mod tests {
 
     #[test]
     fn skewed_partitions_split_recursively() {
-        let mut gb = GraceBuilder::new(tmp());
+        let _g = io_lock();
+        let mut gb = GraceBuilder::new(tmp()).unwrap();
         for i in 0..2000usize {
-            gb.add(crate::hash_values([&Value::Int(i as i64)]), i);
+            gb.add(crate::hash_values([&Value::Int(i as i64)]), i)
+                .unwrap();
         }
         // ~125 entries land in each root partition; a load limit of 10
         // entries forces recursive splits.
-        let parts = gb.finish(10 * BUILD_ENTRY_FOOTPRINT);
+        let parts = gb.finish(10 * BUILD_ENTRY_FOOTPRINT).unwrap();
         assert!(parts.partitions() > GRACE_FANOUT, "no split happened");
         // Every entry still routes to exactly the partition that holds it.
         for i in 0..2000usize {
             let h = crate::hash_values([&Value::Int(i as i64)]);
-            let buckets = parts.load(parts.partition_of(h));
+            let buckets = parts.load(parts.partition_of(h)).unwrap();
             assert!(buckets.get(&h).is_some_and(|r| r.contains(&i)));
         }
     }
 
     #[test]
     fn identical_hashes_do_not_split_forever() {
-        let mut gb = GraceBuilder::new(tmp());
+        let _g = io_lock();
+        let mut gb = GraceBuilder::new(tmp()).unwrap();
         for i in 0..100usize {
-            gb.add(0xDEAD_BEEF, i);
+            gb.add(0xDEAD_BEEF, i).unwrap();
         }
-        let parts = gb.finish(1);
+        let parts = gb.finish(1).unwrap();
         // The duplicate-hash partition refuses to split (degenerate), the
         // other 15 roots stay as empty leaves.
         assert_eq!(parts.partitions(), GRACE_FANOUT);
-        let buckets = parts.load(parts.partition_of(0xDEAD_BEEF));
+        let buckets = parts.load(parts.partition_of(0xDEAD_BEEF)).unwrap();
         assert_eq!(buckets[&0xDEAD_BEEF].len(), 100);
         // The refused split wrote nothing: the counters cover exactly the
-        // root partitioning pass.
+        // root partitioning pass (checksum footers are excluded — they are
+        // format overhead, not entry payload).
         assert_eq!(parts.spill_runs, GRACE_FANOUT);
         assert_eq!(parts.spill_bytes, 100 * 16);
     }
 
     #[test]
     fn spill_files_are_deleted_on_drop() {
+        let _g = io_lock();
         let dir = tmp();
         let path = {
             let (file, mut handle) = SpillFile::create(&dir, "probe").unwrap();
@@ -1463,5 +2061,150 @@ mod tests {
             file.path().to_path_buf()
         };
         assert!(!path.exists(), "spill file must unlink on drop");
+    }
+
+    /// A fresh directory for one fault test, so a run-file leak is
+    /// detectable as a non-empty directory afterwards.
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = tmp().join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn dir_entries(dir: &Path) -> usize {
+        std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0)
+    }
+
+    /// ~36 runs under a 1 KiB budget — enough to exercise spill writes on
+    /// every flush while staying below the cascade fan-in (so a damaged
+    /// record surfaces during iteration, not inside `finish`).
+    fn spilling_sorter(dir: PathBuf, budget: &Arc<MemBudget>) -> ExternalSorter {
+        let mut s = ExternalSorter::new(budget.clone(), dir);
+        for i in 0..1000i64 {
+            s.push(vec![Value::Int(i % 13)], vec![Value::Int(i)])
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn transient_write_fault_retries_and_succeeds() {
+        let _g = io_lock();
+        let dir = fresh_dir("retry-ok");
+        let budget = MemBudget::new(Some(1024));
+        let guard =
+            FaultPlan::single(fault::SITE_RUN_WRITE, Trigger::Nth(1), FaultKind::IoError).install();
+        let sorted = spilling_sorter(dir.clone(), &budget).finish().unwrap();
+        assert!(sorted.retries >= 1, "the injected fault must be retried");
+        assert!(sorted.spill_runs > 0);
+        let rows: Vec<Row> = sorted.map(Result::unwrap).collect();
+        assert_eq!(rows.len(), 1000);
+        drop(guard);
+        assert_eq!(budget.used(), 0);
+        assert_eq!(dir_entries(&dir), 0, "run files must not leak");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_injected_error() {
+        let _g = io_lock();
+        let dir = fresh_dir("retry-exhausted");
+        let budget = MemBudget::new(Some(1024));
+        let guard =
+            FaultPlan::single(fault::SITE_RUN_WRITE, Trigger::Always, FaultKind::IoError).install();
+        let mut s = ExternalSorter::new(budget.clone(), dir.clone());
+        s.set_retries(1);
+        let mut err = None;
+        for i in 0..2000i64 {
+            if let Err(e) = s.push(vec![Value::Int(i % 13)], vec![Value::Int(i)]) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("an always-on write fault must fail the sort");
+        assert!(matches!(err, ExecError::Io { site, .. } if site == fault::SITE_RUN_WRITE));
+        assert_eq!(s.retries, 1, "exactly the configured retry budget");
+        drop(s);
+        drop(guard);
+        assert_eq!(budget.used(), 0, "drop must release all reservations");
+        assert_eq!(dir_entries(&dir), 0, "failed runs must not leak");
+    }
+
+    #[test]
+    fn corrupt_run_record_is_detected_on_read() {
+        let _g = io_lock();
+        let dir = fresh_dir("corrupt-run");
+        let budget = MemBudget::new(Some(1024));
+        let guard =
+            FaultPlan::single(fault::SITE_RUN_WRITE, Trigger::Nth(1), FaultKind::Corrupt).install();
+        // The damaged record is the first of its run, so opening the run
+        // for the merge (which primes the reader's head) may surface the
+        // corruption already at finish(); later records surface during
+        // iteration.  Either way it must be a located checksum error.
+        let first_err = match spilling_sorter(dir.clone(), &budget).finish() {
+            Err(e) => Some(e),
+            Ok(sorted) => sorted.filter_map(Result::err).next(),
+        };
+        assert!(
+            matches!(
+                &first_err,
+                Some(ExecError::Corrupt { file, detail, .. })
+                    if detail.contains("checksum") && file.contains(".run")
+            ),
+            "expected a located checksum failure, got {first_err:?}"
+        );
+        drop(guard);
+        assert_eq!(budget.used(), 0);
+        assert_eq!(dir_entries(&dir), 0);
+    }
+
+    #[test]
+    fn partition_corruption_is_detected_on_load() {
+        let _g = io_lock();
+        let dir = fresh_dir("corrupt-part");
+        let guard = FaultPlan::single(fault::SITE_PART_WRITE, Trigger::Nth(1), FaultKind::Corrupt)
+            .install();
+        let mut gb = GraceBuilder::new(dir.clone()).unwrap();
+        for i in 0..100usize {
+            gb.add(crate::hash_values([&Value::Int(i as i64)]), i)
+                .unwrap();
+        }
+        let parts = gb.finish(usize::MAX).unwrap();
+        let damaged = (0..parts.partitions())
+            .filter_map(|pid| parts.load(pid).err())
+            .next();
+        assert!(
+            matches!(
+                &damaged,
+                Some(ExecError::Corrupt { detail, .. }) if detail.contains("checksum")
+            ),
+            "expected a partition checksum failure, got {damaged:?}"
+        );
+        drop(guard);
+        drop(parts);
+        assert_eq!(dir_entries(&dir), 0);
+    }
+
+    #[test]
+    fn cancelled_sorter_stops_and_cleans_up() {
+        let _g = io_lock();
+        let dir = fresh_dir("cancel");
+        let budget = MemBudget::new(Some(256));
+        let token = CancelToken::new();
+        let mut s = ExternalSorter::new(budget.clone(), dir.clone());
+        s.set_interrupt(Interrupt::new(Some(token.clone()), None));
+        let mut err = None;
+        for i in 0..4000i64 {
+            if i == 2000 {
+                token.cancel();
+            }
+            if let Err(e) = s.push(vec![Value::Int(i)], vec![Value::Int(i)]) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(ExecError::Cancelled));
+        drop(s);
+        assert_eq!(budget.used(), 0, "cancel must release all reservations");
+        assert_eq!(dir_entries(&dir), 0, "cancel must delete all run files");
     }
 }
