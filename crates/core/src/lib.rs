@@ -27,7 +27,8 @@ pub mod rewrite;
 pub mod sfw;
 
 pub use processor::{
-    decompose_sequences, Mode, Outcome, Prepared, PreparedBranch, Processor, QueryError,
+    decompose_sequences, Mode, Outcome, Prepared, PreparedBranch, Processor, QueryCaches,
+    QueryError,
 };
 pub use properties::Properties;
 pub use rewrite::{simplify, RewriteReport};

@@ -16,14 +16,15 @@
 use crate::rewrite::{simplify, RewriteReport};
 use crate::sfw::{isolate_sfw, isolated_plan, result_items_from_sql, Isolated};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
 use xqjg_compiler::compile;
 use xqjg_engine::{
-    advise, deploy, explain_with_stats, optimize, try_execute_full, BuildCache, ExecStats,
-    IndexProposal, SfwQuery,
+    advise, deploy, explain_with_caches, optimize, optimize_cached, try_execute_with_caches,
+    BuildCache, CacheActuals, ExecCaches, ExecStats, IndexProposal, PhysPlan, PlanCache, SfwQuery,
 };
-use xqjg_store::{CancelToken, Database, ExecError, IndexDef};
+use xqjg_store::{CancelToken, Database, ExecConfig, ExecError, IndexDef, PostingsCache};
 use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
 use xqjg_xquery::{interpret, normalize, parse, CoreExpr};
 
@@ -142,15 +143,59 @@ pub struct Outcome {
     pub explain: Vec<String>,
 }
 
+/// The cross-query caches of a query service: hash-join build sides,
+/// optimized physical plans, and hot IXSCAN posting lists.
+///
+/// All three are concurrent, byte-bounded, LRU-evicting maps; a
+/// `QueryCaches` value is a set of shared handles (`Clone` shares, never
+/// copies), so many [`Processor`] instances — including ones on different
+/// threads — can warm each other.  Every cached entry is stamped with the
+/// catalog version of the database it was computed against; catalog
+/// versions are process-wide unique, so processors over *different*
+/// documents can share one `QueryCaches` without cross-talk (each other's
+/// entries simply evict on version mismatch).
+#[derive(Clone, Default)]
+pub struct QueryCaches {
+    builds: BuildCache,
+    plans: PlanCache,
+    postings: PostingsCache,
+}
+
+impl QueryCaches {
+    /// Create a fresh cache set with the default byte budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hash-join build-side cache.
+    pub fn builds(&self) -> &BuildCache {
+        &self.builds
+    }
+
+    /// The optimized-plan cache.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The IXSCAN posting-list cache.
+    pub fn postings(&self) -> &PostingsCache {
+        &self.postings
+    }
+}
+
 /// The purely relational XQuery processor.
 pub struct Processor {
     doc: DocTable,
     default_doc: Option<String>,
     db: Option<Database>,
-    /// Session-scoped hash-join build cache: repeated queries of one
-    /// processor reuse unchanged build sides (invalidated automatically
-    /// when the catalog version moves — document loads, index DDL).
-    exec_cache: BuildCache,
+    /// Cross-query caches (build sides, plans, postings).  Defaults to a
+    /// private set; [`Processor::with_caches`] shares one set across
+    /// processors.  Entries are invalidated automatically when the catalog
+    /// version moves — document loads, index DDL.
+    caches: QueryCaches,
+    /// Execution-knob override; `None` reads the `XQJG_*` environment on
+    /// every execution (the seed behaviour).
+    exec_config: Option<ExecConfig>,
     /// Cancellation token observed by join-graph executions; handed out via
     /// [`Processor::cancel_handle`] and re-armed before every execution.
     cancel: CancelToken,
@@ -163,21 +208,49 @@ impl Default for Processor {
 }
 
 impl Processor {
-    /// Create an empty processor.
+    /// Create an empty processor with a private cache set.
     pub fn new() -> Self {
+        Self::with_caches(QueryCaches::new())
+    }
+
+    /// Create an empty processor that reuses an existing cache set (warm
+    /// plans, build sides and postings carry over from other processors
+    /// sharing the same handles).
+    pub fn with_caches(caches: QueryCaches) -> Self {
         Processor {
             doc: DocTable::new(),
             default_doc: None,
             db: None,
-            exec_cache: BuildCache::new(),
+            caches,
+            exec_config: None,
             cancel: CancelToken::new(),
         }
+    }
+
+    /// The processor's cache set (clone it to share with other processors).
+    pub fn caches(&self) -> &QueryCaches {
+        &self.caches
     }
 
     /// The session's hash-join build cache (hit counters are surfaced for
     /// benchmarks and tests).
     pub fn build_cache(&self) -> &BuildCache {
-        &self.exec_cache
+        self.caches.builds()
+    }
+
+    /// Pin the execution configuration instead of re-reading the `XQJG_*`
+    /// environment on every execution (`None` restores the env-driven
+    /// default).  This is how benchmarks flip cache knobs per-processor
+    /// without racing on process environment.
+    pub fn set_exec_config(&mut self, cfg: Option<ExecConfig>) {
+        self.exec_config = cfg;
+    }
+
+    /// The configuration the next execution will run under.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config
+            .clone()
+            .unwrap_or_else(ExecConfig::from_env)
     }
 
     /// A clonable handle that cancels the processor's in-flight join-graph
@@ -354,35 +427,63 @@ impl Processor {
             Mode::JoinGraph => {
                 self.database();
                 let db = self.db.as_ref().expect("database built");
-                let mut plans = Vec::new();
+                let cfg = self.exec_config();
+                // Plan each branch, through the plan cache when enabled.
+                // The cache key carries the knob fingerprint so plans tuned
+                // under one configuration never serve another.
+                let fingerprint = cfg.cache_fingerprint();
+                let mut plans: Vec<(Arc<PhysPlan>, Option<bool>)> =
+                    Vec::with_capacity(prepared.branches.len());
                 for b in &prepared.branches {
-                    let plan = optimize(&b.isolated.query, db)
+                    if cfg.plan_cache {
+                        let (plan, hit) = optimize_cached(
+                            &b.isolated.query,
+                            db,
+                            self.caches.plans(),
+                            &fingerprint,
+                        )
                         .map_err(|e| QueryError::new("optimize", e))?;
-                    plans.push(plan);
+                        plans.push((plan, Some(hit)));
+                    } else {
+                        let plan = optimize(&b.isolated.query, db)
+                            .map_err(|e| QueryError::new("optimize", e))?;
+                        plans.push((Arc::new(plan), None));
+                    }
                 }
                 let start = Instant::now();
                 let mut items = Vec::new();
                 let mut stats = ExecStats::default();
-                let mut branch_stats = Vec::with_capacity(plans.len());
-                let cfg = xqjg_store::ExecConfig::from_env();
-                for (b, plan) in prepared.branches.iter().zip(&plans) {
-                    let (table, s, _) = try_execute_full(
-                        plan,
-                        db,
-                        &cfg,
-                        Some(&self.exec_cache),
-                        Some(&self.cancel),
-                    )
-                    .map_err(QueryError::Exec)?;
+                let mut branch_actuals = Vec::with_capacity(plans.len());
+                let exec_caches = ExecCaches {
+                    builds: Some(self.caches.builds()),
+                    postings: Some(self.caches.postings()),
+                };
+                for (b, (plan, plan_hit)) in prepared.branches.iter().zip(&plans) {
+                    // Postings counters live on the (shared, concurrent)
+                    // cache, so per-branch numbers are deltas — telemetry
+                    // that may include concurrent traffic, not actuals.
+                    let postings0 = (
+                        self.caches.postings().hits(),
+                        self.caches.postings().lookups(),
+                    );
+                    let (table, s, _) =
+                        try_execute_with_caches(plan, db, &cfg, exec_caches, Some(&self.cancel))
+                            .map_err(QueryError::Exec)?;
+                    let actuals = CacheActuals {
+                        plan_cache: *plan_hit,
+                        build_hits: s.operators.iter().map(|o| o.cache_hits).sum(),
+                        postings_hits: self.caches.postings().hits() - postings0.0,
+                        postings_lookups: self.caches.postings().lookups() - postings0.1,
+                    };
                     stats.merge(&s);
-                    branch_stats.push(s);
+                    branch_actuals.push((s, actuals));
                     items.extend(result_items_from_sql(&table, &b.isolated));
                 }
                 let elapsed = start.elapsed();
                 let explains = plans
                     .iter()
-                    .zip(&branch_stats)
-                    .map(|(plan, s)| explain_with_stats(plan, s))
+                    .zip(&branch_actuals)
+                    .map(|((plan, _), (s, actuals))| explain_with_caches(plan, s, actuals))
                     .collect();
                 Ok(self.outcome(items, elapsed, Some(stats), explains))
             }
@@ -590,6 +691,81 @@ mod tests {
         p.create_default_indexes();
         let third = p.execute(q, Mode::JoinGraph).unwrap();
         assert_eq!(first.items, third.items);
+    }
+
+    #[test]
+    fn plan_cache_serves_repeated_queries_and_shows_in_explain() {
+        let mut p = processor();
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        let cold = p.execute(q, Mode::JoinGraph).unwrap();
+        assert!(
+            cold.explain[0].contains("plan_cache=miss"),
+            "first run misses: {}",
+            cold.explain[0]
+        );
+        let warm = p.execute(q, Mode::JoinGraph).unwrap();
+        assert_eq!(warm.items, cold.items);
+        assert!(
+            warm.explain[0].contains("plan_cache=hit"),
+            "repeat run hits: {}",
+            warm.explain[0]
+        );
+        assert!(p.caches().plans().hits() > 0);
+        // DDL moves the catalog version: the cached plan is stale.
+        p.create_default_indexes();
+        let after_ddl = p.execute(q, Mode::JoinGraph).unwrap();
+        assert_eq!(after_ddl.items, cold.items);
+        assert!(
+            after_ddl.explain[0].contains("plan_cache=miss"),
+            "catalog bump invalidates: {}",
+            after_ddl.explain[0]
+        );
+    }
+
+    #[test]
+    fn shared_caches_warm_across_processors() {
+        let caches = QueryCaches::new();
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        let mut a = Processor::with_caches(caches.clone());
+        a.load_document("auction.xml", AUCTION).unwrap();
+        a.create_default_indexes();
+        let first = a.execute(q, Mode::JoinGraph).unwrap();
+        // A second processor over the *same* document sees the same catalog
+        // only after building its own database — which gets a fresh catalog
+        // version, so correctness never depends on sharing.  What must hold:
+        // identical results, and the shared handles observing all traffic.
+        let mut b = Processor::with_caches(caches.clone());
+        b.load_document("auction.xml", AUCTION).unwrap();
+        b.create_default_indexes();
+        let second = b.execute(q, Mode::JoinGraph).unwrap();
+        assert_eq!(first.items, second.items);
+        // Both processors consulted the same shared handles.
+        assert!(caches.plans().lookups() >= 2, "shared plan cache saw both");
+        assert!(caches.postings().lookups() > 0 || caches.builds().lookups() > 0);
+    }
+
+    #[test]
+    fn caches_off_config_restores_seed_explain_format() {
+        let mut p = processor();
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        let cfg = ExecConfig::from_env()
+            .with_build_cache(false)
+            .with_plan_cache(false)
+            .with_postings_cache(false);
+        p.set_exec_config(Some(cfg));
+        let off = p.execute(q, Mode::JoinGraph).unwrap();
+        assert!(
+            !off.explain[0].contains("-- caches:"),
+            "caches off leaves the explain untouched: {}",
+            off.explain[0]
+        );
+        assert_eq!(p.caches().plans().lookups(), 0);
+        assert_eq!(p.caches().postings().lookups(), 0);
+        // Flip the knobs back on: the same processor starts caching.
+        p.set_exec_config(None);
+        let on = p.execute(q, Mode::JoinGraph).unwrap();
+        assert_eq!(on.items, off.items);
+        assert!(on.explain[0].contains("plan_cache="), "{}", on.explain[0]);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::physical::{Access, Bounds, JoinNode, PhysPlan};
 use crate::sql::{SelectItem, SqlCmp, SqlExpr, SqlPredicate};
 use std::borrow::Cow;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound;
 use std::path::PathBuf;
@@ -41,8 +41,8 @@ use xqjg_store::{
     partition_morsels, row_footprint, try_execute_morsels_streaming, Batch, BatchSizer, BitMask,
     BoxedOperator, CancelToken, ColOperator, ColumnBatch, Database, ExecConfig, ExecError,
     ExternalSorter, GraceBuilder, HashKey, Interrupt, KernelCmp, MaskTerm, MemBudget, Morsel,
-    OpStats, Operator, Row, Schema, SpilledPartitions, StatsSink, Table, TypedColumn, Value,
-    BUILD_ENTRY_FOOTPRINT,
+    OpStats, Operator, PostingsCache, PostingsKey, Row, Schema, SpilledPartitions, StatsSink,
+    Table, TypedColumn, Value, BUILD_ENTRY_FOOTPRINT,
 };
 
 /// Per-morsel error slot.  The pull-based [`Operator`]/[`ColOperator`]
@@ -182,12 +182,113 @@ fn flatten_stages<'a>(node: &'a JoinNode, db: &'a Database) -> Vec<Stage<'a>> {
     }
 }
 
+/// A posting list handed to the operators: owned fresh off the B-tree, or
+/// shared out of the [`PostingsCache`] (hit *and* insert paths — the cache
+/// hands back an `Arc` either way).  Derefs to the rid slice, so consumers
+/// never care which.
+pub(crate) enum Postings {
+    Owned(Vec<usize>),
+    Shared(Arc<Vec<usize>>),
+}
+
+impl Postings {
+    /// Take an owned vector; copies only when the list is shared.
+    fn into_vec(self) -> Vec<usize> {
+        match self {
+            Postings::Owned(v) => v,
+            Postings::Shared(v) => (*v).clone(),
+        }
+    }
+}
+
+impl std::ops::Deref for Postings {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        match self {
+            Postings::Owned(v) => v,
+            Postings::Shared(v) => v,
+        }
+    }
+}
+
+/// The postings cache paired with the catalog version the execution
+/// observed at entry (`None` = memoization off for this execution, either
+/// no cache supplied or `XQJG_POSTINGS_CACHE=0`).
+pub(crate) type PostingsCtx<'a> = Option<(&'a PostingsCache, u64)>;
+
+/// `IXSCAN` probe bounds with every expression evaluated to a constant
+/// composite key: the canonical form shared by the interpreted and
+/// compiled paths, and — together with the index name — the
+/// [`PostingsKey`] of the memoized range scan.  An unbounded side is the
+/// empty key with its inclusive flag normalized to `true`, so every range
+/// has exactly one spelling (cache keys must not alias).
+struct ResolvedBounds {
+    lower: Vec<Value>,
+    lower_inc: bool,
+    upper: Vec<Value>,
+    upper_inc: bool,
+}
+
+impl ResolvedBounds {
+    fn lower_bound(&self) -> Bound<&[Value]> {
+        if self.lower.is_empty() {
+            Bound::Unbounded
+        } else if self.lower_inc {
+            Bound::Included(self.lower.as_slice())
+        } else {
+            Bound::Excluded(self.lower.as_slice())
+        }
+    }
+
+    fn upper_bound(&self) -> Bound<&[Value]> {
+        if self.upper.is_empty() {
+            Bound::Unbounded
+        } else if self.upper_inc {
+            Bound::Included(self.upper.as_slice())
+        } else {
+            Bound::Excluded(self.upper.as_slice())
+        }
+    }
+
+    fn into_key(self, index: &str) -> PostingsKey {
+        PostingsKey {
+            index: index.to_string(),
+            lower: self.lower,
+            lower_inc: self.lower_inc,
+            upper: self.upper,
+            upper_inc: self.upper_inc,
+        }
+    }
+}
+
+/// Run (or recall) the B-tree range scan for resolved bounds.  With a
+/// postings context the scan is memoized under (index name, bounds) and
+/// the catalog version; without one it walks the tree directly.  Hit or
+/// miss, callers count `rids.len()` into their fetch accounting — the
+/// EXPLAIN actuals never depend on cache state.
+fn cached_tree_range(
+    tree: &xqjg_store::BPlusTree,
+    rb: ResolvedBounds,
+    index: &str,
+    ctx: PostingsCtx<'_>,
+) -> Postings {
+    match ctx {
+        Some((cache, version)) => {
+            let (rids, _hit) = cache.get_or_compute(version, rb.into_key(index), |k| {
+                tree.range_rids(k.lower_bound(), k.upper_bound())
+            });
+            Postings::Shared(rids)
+        }
+        None => Postings::Owned(tree.range_rids(rb.lower_bound(), rb.upper_bound())),
+    }
+}
+
 /// The scan leaf's row-id domain, computed once before the workers start.
 enum LeafDomain {
     /// `TBSCAN`: the base table's full rid range `[0, n)`.
     Rids(usize),
     /// `IXSCAN`: the pre-fetched posting list (pre-residual).
-    Postings(Vec<usize>),
+    Postings(Postings),
 }
 
 impl LeafDomain {
@@ -315,8 +416,11 @@ pub(crate) struct JoinBuild {
 
 impl JoinBuild {
     fn build(stage: &Stage<'_>, db: &Database, spill: &SpillCtx) -> Result<JoinBuild, ExecError> {
+        // No postings context here: the build cache memoizes the whole
+        // finished build, so memoizing its enumeration scan too would
+        // only duplicate the rid list in two caches.
         let (inner_rows, fetched) =
-            exec_access(stage.access, stage.alias, stage.table_name, db, None);
+            exec_access(stage.access, stage.alias, stage.table_name, db, None, None);
         let (fetched_scan, fetched_index) = match fetched {
             Fetched::Scanned(n) => (n, 0),
             Fetched::Indexed(n) => (0, n),
@@ -333,7 +437,7 @@ impl JoinBuild {
         // caller re-books the finished table's footprint.
         let mut res = Booked::new(spill.budget.clone());
         let mut grace: Option<GraceBuilder> = None;
-        for rid in inner_rows {
+        for &rid in inner_rows.iter() {
             if build_rows % 4096 == 0 {
                 spill.interrupt.check()?;
             }
@@ -522,87 +626,110 @@ impl Drop for PartitionProbe<'_> {
     }
 }
 
-/// Session-scoped memo of hash-join build sides, keyed by (table, key
+/// Default [`BuildCache`] capacity in bytes.
+pub const BUILD_CACHE_BYTES: usize = 64 << 20;
+
+/// Fixed per-build charge covering the [`JoinBuild`] struct itself on top
+/// of its bucket-table footprint.
+const BUILD_BASE_COST: usize = 256;
+
+/// Concurrent memo of hash-join build sides, keyed by (table, key
 /// columns, pushed-down filters) and invalidated whenever the catalog
-/// version moves (table or index DDL).  Holding one `BuildCache` per
-/// session lets repeated queries skip re-enumerating and re-bucketing
-/// unchanged build sides; hits surface as `cache_hits` in the operator's
-/// [`OpStats`].  The cached builds are shared read-only (`Arc`) with the
-/// morsel workers of each execution.
-#[derive(Default)]
+/// version moves (table or index DDL).  Built on the byte-bounded
+/// [`ShardedLru`], so it is `Arc`-shared across `Processor` instances
+/// (cloning the handle shares the cache) and bounded for long-lived
+/// sessions: each build is charged its resident bucket-table footprint
+/// and least-recently-used builds evict when the bound trips.  Repeated
+/// queries skip re-enumerating and re-bucketing unchanged build sides;
+/// hits surface as `cache_hits` in the operator's [`OpStats`].  The
+/// cached builds are shared read-only (`Arc`) with the morsel workers of
+/// each execution, which still books `JoinBuild::reserved` against its
+/// own budget — hit and miss runs make identical spill decisions.
+#[derive(Clone)]
 pub struct BuildCache {
-    version: Cell<u64>,
-    map: RefCell<HashMap<String, Arc<JoinBuild>>>,
-    hits: Cell<usize>,
-    lookups: Cell<usize>,
+    inner: Arc<xqjg_store::ShardedLru<String, JoinBuild>>,
 }
 
-/// Entry bound of a [`BuildCache`]: a session juggling more distinct
-/// hash-join build shapes than this drops the whole generation and starts
-/// refilling (epoch eviction — no LRU bookkeeping on the execution path,
-/// and memory stays bounded for long-lived sessions).
-const BUILD_CACHE_CAP: usize = 64;
+impl Default for BuildCache {
+    fn default() -> Self {
+        BuildCache::new()
+    }
+}
 
 impl BuildCache {
-    /// An empty cache.
+    /// A cache with the default byte capacity.
     pub fn new() -> Self {
-        BuildCache::default()
+        BuildCache::with_capacity(BUILD_CACHE_BYTES)
+    }
+
+    /// A cache bounded to `bytes`.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BuildCache {
+            inner: Arc::new(xqjg_store::ShardedLru::new(bytes)),
+        }
     }
 
     /// Number of lookups satisfied from the cache so far.
     pub fn hits(&self) -> usize {
-        self.hits.get()
+        self.inner.hits()
     }
 
     /// Number of build-side lookups performed so far.
     pub fn lookups(&self) -> usize {
-        self.lookups.get()
+        self.inner.lookups()
     }
 
     /// Number of memoized build sides currently held.
     pub fn len(&self) -> usize {
-        self.map.borrow().len()
+        self.inner.len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.map.borrow().is_empty()
+        self.inner.is_empty()
+    }
+
+    /// Bytes currently charged against the capacity.
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+
+    /// Builds dropped (LRU eviction and version invalidation alike).
+    pub fn evictions(&self) -> usize {
+        self.inner.evictions()
     }
 
     /// Fetch the build for `key`, constructing it via `build` on a miss.
-    /// A catalog version different from the one the cache was filled under
-    /// drops every entry first.  Returns the build and whether it was a
-    /// cache hit.  Builds that spilled to disk are handed back but *not*
-    /// memoized: their partition files are temp state of one execution,
-    /// and pinning them would hold budget-sized bucket tables (or dead
-    /// file handles) across queries.  A build that *fails* mid-construction
-    /// surfaces its error without inserting anything — no poisoned or
-    /// partial entry survives into the next lookup, which rebuilds from
-    /// scratch.
+    /// Entries cached under a different catalog version never serve (the
+    /// affected stripes drop lazily).  Returns the build and whether it
+    /// was a cache hit.  Builds that spilled to disk are handed back but
+    /// *not* memoized: their partition files are temp state of one
+    /// execution, and pinning them would hold budget-sized bucket tables
+    /// (or dead file handles) across queries.  A build that *fails*
+    /// mid-construction surfaces its error without inserting anything —
+    /// no poisoned or partial entry survives into the next lookup, which
+    /// rebuilds from scratch.  Two sessions racing on one cold key may
+    /// both build (the construction runs outside the stripe locks);
+    /// builds are pure functions of key + catalog version, so either
+    /// result is correct and last insert wins.
     fn get_or_build(
         &self,
         key: String,
         catalog_version: u64,
         build: impl FnOnce() -> Result<JoinBuild, ExecError>,
     ) -> Result<(Arc<JoinBuild>, bool), ExecError> {
-        if self.version.get() != catalog_version {
-            self.map.borrow_mut().clear();
-            self.version.set(catalog_version);
-        }
-        self.lookups.set(self.lookups.get() + 1);
-        if let Some(b) = self.map.borrow().get(&key) {
-            self.hits.set(self.hits.get() + 1);
-            return Ok((b.clone(), true));
+        if let Some(b) = self.inner.get(catalog_version, &key) {
+            return Ok((b, true));
         }
         let built = Arc::new(build()?);
-        if built.is_spilled() {
-            return Ok((built, false));
+        if !built.is_spilled() {
+            self.inner.insert(
+                catalog_version,
+                key,
+                built.clone(),
+                BUILD_BASE_COST + built.reserved,
+            );
         }
-        let mut map = self.map.borrow_mut();
-        if map.len() >= BUILD_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(key, built.clone());
         Ok((built, false))
     }
 }
@@ -1184,15 +1311,15 @@ fn compile_stage<'a>(index: usize, stage: &Stage<'a>, db: &'a Database, typed: b
     }
 }
 
-/// Perform the B-tree range scan described by compiled probe bounds for
-/// one outer row (the compiled mirror of [`index_range`]).
-fn cindex_range(tree: &xqjg_store::BPlusTree, bounds: &CBounds, env: &ColEnv<'_>) -> Vec<usize> {
+/// Evaluate compiled probe bounds against one outer row into their
+/// canonical resolved form (the compiled mirror of [`resolve_bounds`]).
+fn resolve_cbounds(bounds: &CBounds, env: &ColEnv<'_>) -> ResolvedBounds {
     let eq_vals: Vec<Value> = bounds
         .eq
         .iter()
         .map(|e| ceval(e, env, None).into_owned())
         .collect();
-    let (lower_key, lower_inc) = match &bounds.lower {
+    let (lower, lower_inc) = match &bounds.lower {
         Some((e, inc)) => {
             let mut k = eq_vals.clone();
             k.push(ceval(e, env, None).into_owned());
@@ -1200,7 +1327,7 @@ fn cindex_range(tree: &xqjg_store::BPlusTree, bounds: &CBounds, env: &ColEnv<'_>
         }
         None => (eq_vals.clone(), true),
     };
-    let (upper_key, upper_inc) = match &bounds.upper {
+    let (upper, upper_inc) = match &bounds.upper {
         Some((e, inc)) => {
             let mut k = eq_vals.clone();
             k.push(ceval(e, env, None).into_owned());
@@ -1208,24 +1335,25 @@ fn cindex_range(tree: &xqjg_store::BPlusTree, bounds: &CBounds, env: &ColEnv<'_>
         }
         None => (eq_vals, true),
     };
-    let lower = if lower_key.is_empty() {
-        Bound::Unbounded
-    } else if lower_inc {
-        Bound::Included(lower_key.as_slice())
-    } else {
-        Bound::Excluded(lower_key.as_slice())
-    };
-    let upper = if upper_key.is_empty() {
-        Bound::Unbounded
-    } else if upper_inc {
-        Bound::Included(upper_key.as_slice())
-    } else {
-        Bound::Excluded(upper_key.as_slice())
-    };
-    tree.range(lower, upper)
-        .into_iter()
-        .map(|(_, r)| r)
-        .collect()
+    ResolvedBounds {
+        lower,
+        lower_inc,
+        upper,
+        upper_inc,
+    }
+}
+
+/// Perform (or recall) the B-tree range scan described by compiled probe
+/// bounds for one outer row (the compiled mirror of [`resolve_bounds`] +
+/// [`cached_tree_range`]).
+fn cindex_range(
+    tree: &xqjg_store::BPlusTree,
+    bounds: &CBounds,
+    env: &ColEnv<'_>,
+    index: &str,
+    ctx: PostingsCtx<'_>,
+) -> Postings {
+    cached_tree_range(tree, resolve_cbounds(bounds, env), index, ctx)
 }
 
 /// Everything a worker needs to run one morsel's pipeline — borrowed,
@@ -1259,6 +1387,12 @@ struct ExecCtx<'a> {
     /// Cancellation/timeout check shared by every worker; consulted at
     /// each morsel boundary.
     interrupt: Interrupt,
+    /// Postings memoization context for the NLJOIN–IXSCAN inner probes
+    /// (`None` when the cache is absent or disabled).  Hit/miss patterns
+    /// race across workers, so its counters live on the shared cache —
+    /// never in the per-operator [`OpStats`], which stay byte-identical
+    /// across degrees of parallelism.
+    postings: PostingsCtx<'a>,
 }
 
 /// What one morsel's pipeline produced: tail rows (select values plus sort
@@ -1310,6 +1444,19 @@ pub fn try_execute_with_stats_config(
     Ok((table, stats))
 }
 
+/// The shared warm-path caches an execution may consult: hash-join build
+/// sides and memoized `IXSCAN` posting lists.  Both are `Arc`-backed
+/// handles a serving layer shares across `Processor` instances; `Default`
+/// is no caching.  The `XQJG_BUILD_CACHE` / `XQJG_POSTINGS_CACHE` knobs
+/// (see [`ExecConfig`]) gate each cache even when supplied.
+#[derive(Clone, Copy, Default)]
+pub struct ExecCaches<'a> {
+    /// Hash-join build sides (see [`BuildCache`]).
+    pub builds: Option<&'a BuildCache>,
+    /// Memoized `IXSCAN` posting lists (see [`PostingsCache`]).
+    pub postings: Option<&'a PostingsCache>,
+}
+
 /// [`execute_with_stats_config`] plus an optional session [`BuildCache`]
 /// and the adaptive batch-size [`ExecTrace`].  Infallible shim over
 /// [`try_execute_full`] for callers that treat execution failure as fatal.
@@ -1356,6 +1503,37 @@ pub fn try_execute_full(
     cache: Option<&BuildCache>,
     cancel: Option<&CancelToken>,
 ) -> Result<(Table, ExecStats, ExecTrace), ExecError> {
+    try_execute_with_caches(
+        plan,
+        db,
+        cfg,
+        ExecCaches {
+            builds: cache,
+            postings: None,
+        },
+        cancel,
+    )
+}
+
+/// [`try_execute_full`] with the full warm-path cache set: hash-join
+/// build sides *and* memoized `IXSCAN` posting lists.  Each cache is
+/// consulted only when its `ExecConfig` knob is on, and all lookups carry
+/// the catalog version observed at entry, so DDL between executions
+/// invalidates without coordination.  Results, row order and EXPLAIN
+/// actuals are byte-identical with and without the caches.
+pub fn try_execute_with_caches(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+    caches: ExecCaches<'_>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Table, ExecStats, ExecTrace), ExecError> {
+    let build_cache = if cfg.build_cache { caches.builds } else { None };
+    let postings_ctx: PostingsCtx<'_> = if cfg.postings_cache {
+        caches.postings.map(|p| (p, db.version()))
+    } else {
+        None
+    };
     let threads = cfg.threads.max(1);
     let cap = cfg.batch_capacity.max(1);
     let mut mem_budget = cfg.mem_budget;
@@ -1406,7 +1584,8 @@ pub fn try_execute_full(
         Access::TableScan { .. } => LeafDomain::Rids(leaf.base.len()),
         Access::IndexScan { index, bounds, .. } => {
             let ix = db.index(index).expect("index registered");
-            let rids = index_range(&ix.tree, bounds, leaf.alias, None);
+            let rb = resolve_bounds(bounds, leaf.alias, None);
+            let rids = cached_tree_range(&ix.tree, rb, index, postings_ctx);
             pre_agg.index_rows += rids.len();
             LeafDomain::Postings(rids)
         }
@@ -1422,7 +1601,7 @@ pub fn try_execute_full(
             builds.push(None);
             continue;
         }
-        let (build, hit) = match cache {
+        let (build, hit) = match build_cache {
             Some(c) => c.get_or_build(JoinBuild::cache_key(s), db.version(), || {
                 JoinBuild::build(s, db, &spill)
             })?,
@@ -1468,6 +1647,7 @@ pub fn try_execute_full(
         adaptive: cfg.vectorize && cfg.adaptive,
         budget: spill.budget.clone(),
         interrupt: interrupt.clone(),
+        postings: postings_ctx,
     };
 
     // Parallel + merge phase: workers drain the morsel queue, each running
@@ -1693,6 +1873,7 @@ fn run_morsel(ctx: &ExecCtx<'_>, m: Morsel) -> Result<MorselOutput, ExecError> {
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
+                ctx.postings,
             )),
         };
     }
@@ -1759,10 +1940,10 @@ fn run_morsel_columnar(ctx: &ExecCtx<'_>, m: Morsel) -> Result<MorselOutput, Exe
             None => Box::new(ColNLJoin::new(
                 op,
                 cstage,
-                ctx.db,
                 ctx.batch_capacity,
                 sink.clone(),
                 agg.clone(),
+                ctx.postings,
             )),
         };
     }
@@ -1985,6 +2166,8 @@ struct NestedLoopJoin<'a> {
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
+    /// Postings memoization context for `IXSCAN` inner probes.
+    postings: PostingsCtx<'a>,
 }
 
 impl<'a> NestedLoopJoin<'a> {
@@ -1995,6 +2178,7 @@ impl<'a> NestedLoopJoin<'a> {
         cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
+        postings: PostingsCtx<'a>,
     ) -> Self {
         NestedLoopJoin {
             feed: Feed::new(input),
@@ -2007,6 +2191,7 @@ impl<'a> NestedLoopJoin<'a> {
             stats: OpStats::named(format!("NLJOIN({})", stage.alias)),
             sink,
             agg,
+            postings,
         }
     }
 
@@ -2026,12 +2211,13 @@ impl<'a> NestedLoopJoin<'a> {
             stage.table_name,
             self.db,
             Some(&env),
+            self.postings,
         );
         match fetched {
             Fetched::Scanned(n) => self.fetched_scan += n,
             Fetched::Indexed(n) => self.fetched_index += n,
         }
-        for rid in rows {
+        for &rid in rows.iter() {
             let ok = stage
                 .residual
                 .iter()
@@ -2454,16 +2640,18 @@ struct ColNLJoin<'a> {
     stats: OpStats,
     sink: StatsSink,
     agg: SharedAgg,
+    /// Postings memoization context for `IXSCAN` inner probes.
+    postings: PostingsCtx<'a>,
 }
 
 impl<'a> ColNLJoin<'a> {
     fn new(
         input: Box<dyn ColOperator + 'a>,
         stage: &'a CStage<'a>,
-        _db: &'a Database,
         cap: usize,
         sink: StatsSink,
         agg: SharedAgg,
+        postings: PostingsCtx<'a>,
     ) -> Self {
         ColNLJoin {
             input,
@@ -2478,6 +2666,7 @@ impl<'a> ColNLJoin<'a> {
             stats: OpStats::named(stage.label.clone()),
             sink,
             agg,
+            postings,
         }
     }
 
@@ -2508,14 +2697,16 @@ impl<'a> ColNLJoin<'a> {
                 }
                 self.fetched_scan += fetched;
             }
-            Access::IndexScan { .. } => {
+            Access::IndexScan { index, .. } => {
                 let rids = cindex_range(
                     stage.tree.expect("index resolved"),
                     stage.cbounds.as_ref().expect("bounds compiled"),
                     &env,
+                    index,
+                    self.postings,
                 );
                 self.fetched_index += rids.len();
-                for rid in rids {
+                for &rid in rids.iter() {
                     let cur = Some((base, rid));
                     if !stage.access_preds.iter().all(|p| cpred_holds(p, &env, cur)) {
                         continue;
@@ -2608,12 +2799,17 @@ impl<'a> ColNLJoin<'a> {
                     self.stats.kernel_rows += self.rid_buf.len();
                 }
             }
-            Access::IndexScan { .. } => {
+            Access::IndexScan { index, .. } => {
+                // The buffer is a scratch the split passes mutate below, so
+                // a cached (shared) list is copied out, never aliased.
                 self.rid_buf = cindex_range(
                     stage.tree.expect("index resolved"),
                     stage.cbounds.as_ref().expect("bounds compiled"),
                     env,
-                );
+                    index,
+                    self.postings,
+                )
+                .into_vec();
                 self.fetched_index += self.rid_buf.len();
                 index_static = &stage.nl_access.static_terms;
             }
@@ -3127,14 +3323,17 @@ pub(crate) enum Fetched {
 }
 
 /// Execute an access path, returning the matching row ids and the fetch
-/// accounting.
+/// accounting.  An `IndexScan` consults the postings context (if any) for
+/// its B-tree range; the residual-free fast path hands the shared list
+/// straight through without copying.
 pub(crate) fn exec_access(
     access: &Access,
     alias: &str,
     table_name: &str,
     db: &Database,
     outer: Option<&Env<'_>>,
-) -> (Vec<usize>, Fetched) {
+    postings: PostingsCtx<'_>,
+) -> (Postings, Fetched) {
     let base = db.table(table_name).expect("table registered");
     match access {
         Access::TableScan { preds } => {
@@ -3148,7 +3347,7 @@ pub(crate) fn exec_access(
                 }
             }
             let n = out.len();
-            (out, Fetched::Scanned(n))
+            (Postings::Owned(out), Fetched::Scanned(n))
         }
         Access::IndexScan {
             index,
@@ -3156,94 +3355,56 @@ pub(crate) fn exec_access(
             residual,
         } => {
             let ix = db.index(index).expect("index registered");
-            let rows = index_range(&ix.tree, bounds, alias, outer);
+            let rb = resolve_bounds(bounds, alias, outer);
+            let rows = cached_tree_range(&ix.tree, rb, index, postings);
             let fetched = rows.len();
+            if residual.is_empty() {
+                return (rows, Fetched::Indexed(fetched));
+            }
             let out: Vec<usize> = rows
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|&rid| {
                     residual
                         .iter()
                         .all(|p| pred_holds(p, alias, Some((base, rid)), outer))
                 })
                 .collect();
-            (out, Fetched::Indexed(fetched))
+            (Postings::Owned(out), Fetched::Indexed(fetched))
         }
     }
 }
 
-/// Perform the B-tree range scan described by the probe bounds.
-pub(crate) fn index_range(
-    tree: &xqjg_store::BPlusTree,
-    bounds: &Bounds,
-    alias: &str,
-    outer: Option<&Env<'_>>,
-) -> Vec<usize> {
+/// Evaluate probe bounds against the outer environment into their
+/// canonical resolved form (empty side = unbounded, inclusive).
+fn resolve_bounds(bounds: &Bounds, alias: &str, outer: Option<&Env<'_>>) -> ResolvedBounds {
     let eq_vals: Vec<Value> = bounds
         .eq
         .iter()
         .map(|(_, e)| eval_expr(e, alias, None, outer))
         .collect();
-    let (lower_key, lower_bound);
-    let (upper_key, upper_bound);
-    match (&bounds.lower, &bounds.upper) {
-        (None, None) => {
-            lower_key = eq_vals.clone();
-            lower_bound = true;
-            upper_key = eq_vals.clone();
-            upper_bound = true;
+    let (lower, lower_inc) = match &bounds.lower {
+        Some((e, inclusive)) => {
+            let mut k = eq_vals.clone();
+            k.push(eval_expr(e, alias, None, outer));
+            (k, *inclusive)
         }
-        (lo, hi) => {
-            match lo {
-                Some((e, inclusive)) => {
-                    let mut k = eq_vals.clone();
-                    k.push(eval_expr(e, alias, None, outer));
-                    lower_key = k;
-                    lower_bound = *inclusive;
-                }
-                None => {
-                    lower_key = eq_vals.clone();
-                    lower_bound = true;
-                }
-            }
-            match hi {
-                Some((e, inclusive)) => {
-                    let mut k = eq_vals.clone();
-                    k.push(eval_expr(e, alias, None, outer));
-                    upper_key = k;
-                    upper_bound = *inclusive;
-                }
-                None => {
-                    upper_key = eq_vals.clone();
-                    upper_bound = true;
-                }
-            }
+        None => (eq_vals.clone(), true),
+    };
+    let (upper, upper_inc) = match &bounds.upper {
+        Some((e, inclusive)) => {
+            let mut k = eq_vals.clone();
+            k.push(eval_expr(e, alias, None, outer));
+            (k, *inclusive)
         }
+        None => (eq_vals, true),
+    };
+    ResolvedBounds {
+        lower,
+        lower_inc,
+        upper,
+        upper_inc,
     }
-    let lower = if lower_bound {
-        Bound::Included(lower_key.as_slice())
-    } else {
-        Bound::Excluded(lower_key.as_slice())
-    };
-    let upper = if upper_bound {
-        Bound::Included(upper_key.as_slice())
-    } else {
-        Bound::Excluded(upper_key.as_slice())
-    };
-    // An empty bound vector means an unbounded side.
-    let lower = if lower_key.is_empty() {
-        Bound::Unbounded
-    } else {
-        lower
-    };
-    let upper = if upper_key.is_empty() {
-        Bound::Unbounded
-    } else {
-        upper
-    };
-    tree.range(lower, upper)
-        .into_iter()
-        .map(|(_, r)| r)
-        .collect()
 }
 
 /// Convenience: optimize and execute an SQL text against the database.
@@ -3584,6 +3745,82 @@ mod tests {
         let (t3, _, _) = execute_full(&plan2, &db, &cfg, Some(&cache));
         assert_eq!(t1, t3);
         assert_eq!(cache.hits(), hits, "catalog change drops cached builds");
+    }
+
+    #[test]
+    fn build_cache_byte_bound_evicts_instead_of_growing() {
+        // Regression: the session build cache used to grow without bound.
+        // 64 synthetic builds at ~4 KiB each cannot all stay resident in a
+        // 64 KiB cache (8 KiB per stripe); the bound must evict, not grow.
+        let cache = BuildCache::with_capacity(64 * 1024);
+        for i in 0..64 {
+            let (_, hit) = cache
+                .get_or_build(format!("build-{i}"), 1, || {
+                    Ok(JoinBuild {
+                        key_cols: vec![],
+                        backend: BuildBackend::Mem(HashMap::new()),
+                        build_rows: 0,
+                        fetched_scan: 0,
+                        fetched_index: 0,
+                        spill_runs: 0,
+                        spill_bytes: 0,
+                        partitions: 0,
+                        retries: 0,
+                        reserved: 4096,
+                    })
+                })
+                .unwrap();
+            assert!(!hit, "distinct keys never hit");
+        }
+        assert!(cache.evictions() > 0, "byte bound must evict");
+        assert!(cache.len() < 64, "cache must not hold every build");
+        assert!(cache.bytes() <= 64 * 1024, "resident bytes respect the cap");
+    }
+
+    #[test]
+    fn postings_cache_preserves_results_and_actuals_and_hits_on_repeats() {
+        let db = db();
+        let q = parse_sql(Q1_LIKE).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let pc = xqjg_store::PostingsCache::new();
+        let caches = ExecCaches {
+            builds: None,
+            postings: Some(&pc),
+        };
+        for cfg in [
+            ExecConfig::sequential(),
+            ExecConfig::sequential().with_vectorize(false),
+            ExecConfig::sequential().with_threads(4),
+        ] {
+            let (t0, s0, _) =
+                try_execute_with_caches(&plan, &db, &cfg, ExecCaches::default(), None).unwrap();
+            let (t1, s1, _) = try_execute_with_caches(&plan, &db, &cfg, caches, None).unwrap();
+            let (t2, s2, _) = try_execute_with_caches(&plan, &db, &cfg, caches, None).unwrap();
+            assert_eq!(t0, t1, "cold cached run matches uncached");
+            assert_eq!(t1, t2, "warm run matches cold");
+            assert_eq!(s0, s1, "actuals identical with the cache cold");
+            assert_eq!(s1, s2, "actuals identical hit or miss");
+        }
+        assert!(pc.hits() > 0, "repeated probes hit the postings cache");
+        assert!(pc.lookups() > pc.hits(), "cold lookups missed first");
+    }
+
+    #[test]
+    fn postings_knob_off_bypasses_a_supplied_cache() {
+        let db = db();
+        let q = parse_sql(Q1_LIKE).unwrap();
+        let plan = optimize(&q, &db).unwrap();
+        let pc = xqjg_store::PostingsCache::new();
+        let caches = ExecCaches {
+            builds: None,
+            postings: Some(&pc),
+        };
+        let cfg = ExecConfig::sequential().with_postings_cache(false);
+        let (t1, _, _) = try_execute_with_caches(&plan, &db, &cfg, caches, None).unwrap();
+        let (t2, _, _) = try_execute_with_caches(&plan, &db, &cfg, caches, None).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(pc.lookups(), 0, "disabled cache is never consulted");
+        assert!(pc.is_empty());
     }
 
     /// A copy of `s` with every operator's `kernel_rows` zeroed: the only

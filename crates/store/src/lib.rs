@@ -30,6 +30,7 @@
 
 pub mod batch;
 pub mod btree;
+pub mod cache;
 pub mod catalog;
 pub mod columnar;
 pub mod error;
@@ -49,6 +50,9 @@ pub use batch::{
     Batch, BoxedOperator, OpStats, Operator, StatsSink, VecSource, BATCH_CAPACITY,
 };
 pub use btree::{BPlusTree, Key};
+pub use cache::{
+    PostingsCache, PostingsKey, ShardedLru, CACHE_ENTRY_OVERHEAD, POSTINGS_CACHE_BYTES,
+};
 pub use catalog::{BuiltIndex, Database, IndexDef};
 pub use columnar::{BatchSizer, ColOperator, ColumnBatch, MAX_ADAPTIVE_GROWTH};
 pub use error::{CancelToken, ExecError, Interrupt};

@@ -429,6 +429,15 @@ pub struct ExecConfig {
     /// with [`crate::ExecError::Timeout`] at the next morsel boundary or
     /// spill run.  `None` = no limit.
     pub query_timeout: Option<std::time::Duration>,
+    /// Honor the session/shared hash-join build cache (`XQJG_BUILD_CACHE`;
+    /// `false` rebuilds every build side from scratch).
+    pub build_cache: bool,
+    /// Honor the plan cache in front of the optimizer (`XQJG_PLAN_CACHE`;
+    /// `false` re-runs DP join enumeration for every execution).
+    pub plan_cache: bool,
+    /// Memoize hot `IXSCAN` posting lists ([`crate::PostingsCache`];
+    /// `XQJG_POSTINGS_CACHE`; `false` re-walks the B-tree on every probe).
+    pub postings_cache: bool,
 }
 
 impl ExecConfig {
@@ -450,7 +459,13 @@ impl ExecConfig {
     /// * `XQJG_SPILL_RETRIES` — retries for transient spill-write failures
     ///   (`0` disables retrying; default [`crate::DEFAULT_SPILL_RETRIES`]),
     /// * `XQJG_QUERY_TIMEOUT` — wall-clock query deadline (suffixes `ms`,
-    ///   `s`, `m`; bare digits are milliseconds; default: unlimited).
+    ///   `s`, `m`; bare digits are milliseconds; default: unlimited),
+    /// * `XQJG_BUILD_CACHE` — `0` disables the shared hash-join build
+    ///   cache (default: on),
+    /// * `XQJG_PLAN_CACHE` — `0` disables the plan cache in front of the
+    ///   optimizer (default: on),
+    /// * `XQJG_POSTINGS_CACHE` — `0` disables `IXSCAN` posting-list
+    ///   memoization (default: on).
     pub fn from_env() -> Self {
         ExecConfig {
             threads: env_usize("XQJG_THREADS").unwrap_or_else(default_threads),
@@ -463,6 +478,9 @@ impl ExecConfig {
             spill_dir: env_path("XQJG_SPILL_DIR"),
             spill_retries: env_retries("XQJG_SPILL_RETRIES"),
             query_timeout: env_duration("XQJG_QUERY_TIMEOUT"),
+            build_cache: env_bool("XQJG_BUILD_CACHE").unwrap_or(true),
+            plan_cache: env_bool("XQJG_PLAN_CACHE").unwrap_or(true),
+            postings_cache: env_bool("XQJG_POSTINGS_CACHE").unwrap_or(true),
         }
     }
 
@@ -484,6 +502,9 @@ impl ExecConfig {
             spill_dir: env_path("XQJG_SPILL_DIR"),
             spill_retries: env_retries("XQJG_SPILL_RETRIES"),
             query_timeout: env_duration("XQJG_QUERY_TIMEOUT"),
+            build_cache: env_bool("XQJG_BUILD_CACHE").unwrap_or(true),
+            plan_cache: env_bool("XQJG_PLAN_CACHE").unwrap_or(true),
+            postings_cache: env_bool("XQJG_POSTINGS_CACHE").unwrap_or(true),
         }
     }
 
@@ -547,6 +568,38 @@ impl ExecConfig {
         self.query_timeout = timeout.filter(|t| !t.is_zero());
         self
     }
+
+    /// Builder: honor or bypass the shared hash-join build cache.
+    pub fn with_build_cache(mut self, on: bool) -> Self {
+        self.build_cache = on;
+        self
+    }
+
+    /// Builder: honor or bypass the plan cache.
+    pub fn with_plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = on;
+        self
+    }
+
+    /// Builder: honor or bypass `IXSCAN` posting-list memoization.
+    pub fn with_postings_cache(mut self, on: bool) -> Self {
+        self.postings_cache = on;
+        self
+    }
+
+    /// Compact fingerprint of the knobs a cached physical plan may depend
+    /// on, part of every plan-cache key: two sessions differing in these
+    /// knobs never share a cached plan.  Execution-only knobs (threads,
+    /// batch/morsel sizes — parity-invariant by construction) are
+    /// deliberately excluded so DOP sweeps share the warm plan.
+    pub fn cache_fingerprint(&self) -> String {
+        format!(
+            "v{}t{}m{}",
+            self.vectorize as u8,
+            self.typed_kernels as u8,
+            self.mem_budget.map(|b| b.to_string()).unwrap_or_default()
+        )
+    }
 }
 
 /// The documented defaults (all cores, [`crate::BATCH_CAPACITY`],
@@ -566,6 +619,9 @@ impl Default for ExecConfig {
             spill_dir: None,
             spill_retries: crate::spill::DEFAULT_SPILL_RETRIES,
             query_timeout: None,
+            build_cache: true,
+            plan_cache: true,
+            postings_cache: true,
         }
     }
 }

@@ -21,6 +21,14 @@ runs per operator on each query's kernel-coverage ratio
 (`kernel_rows / rows_in`): an operator whose committed coverage was
 positive but whose fresh coverage is zero fails the gate naming the
 query and the operator.
+
+Finally, the gate guards the cross-query caching layer against silent
+disengagement: when both measurements ran with the build, plan and
+postings caches enabled and the committed baseline's repeated-query
+phase recorded warm cache hits on a query, the fresh run's warm hit
+total (plan + build + postings) collapsing to zero fails the gate —
+warm *counts* vary with scale, but all-zero means the caches stopped
+engaging.
 """
 
 import argparse
@@ -50,6 +58,25 @@ def throughputs(path):
             ],
         }
     return out
+
+
+def cache_report(path):
+    """Cache-engagement view of one measurement: whether all three cache
+    knobs were on, and the per-query warm hit totals of the repeated
+    phase (absent on baselines predating the phase)."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    caches_on = all(
+        bool(doc.get(k, False)) for k in ("build_cache", "plan_cache", "postings_cache")
+    )
+    hits = {}
+    for r in doc.get("repeated", []):
+        hits[r["id"]] = (
+            int(r.get("plan_cache_hits", 0))
+            + int(r.get("build_cache_hits", 0))
+            + int(r.get("postings_hits", 0))
+        )
+    return caches_on, hits
 
 
 def coverage(op):
@@ -126,6 +153,24 @@ def main():
                         f"{bo['rows_in']} rows, fresh 0.00 over "
                         f"{fo['rows_in']} rows)"
                     )
+
+    # Cache-disengagement check over the repeated-query phase.
+    b_on, b_hits = cache_report(args.committed)
+    f_on, f_hits = cache_report(args.fresh)
+    if b_on and f_on:
+        for qid, hits in sorted(b_hits.items()):
+            fresh_hits = f_hits.get(qid)
+            if fresh_hits is None:
+                failures.append(f"{qid}: missing from the fresh repeated phase")
+                continue
+            verdict = "ok" if hits == 0 or fresh_hits > 0 else "FAIL"
+            print(f"{qid}: repeated warm hits committed {hits} | fresh {fresh_hits} | {verdict}")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{qid}: the committed baseline's repeated phase recorded "
+                    f"{hits} warm cache hits but the fresh run recorded none "
+                    f"(caches silently disengaged)"
+                )
 
     if failures:
         print("\nbench gate FAILED:", file=sys.stderr)
