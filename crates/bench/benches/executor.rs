@@ -4,12 +4,13 @@
 //!
 //! Both sides run the *same* optimized `PhysPlan`; the only difference is
 //! the execution strategy: batch-at-a-time operator pipeline
-//! ([`xqjg_engine::execute`]) vs. the seed's materialize-every-join-level
-//! baseline ([`xqjg_engine::execute_materialized`]).
+//! ([`xqjg_engine::QueryRequest`]) vs. the seed's
+//! materialize-every-join-level baseline
+//! ([`xqjg_engine::execute_materialized`]).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xqjg_bench::{queries, Workload};
-use xqjg_engine::{execute, execute_materialized, optimize, PhysPlan};
+use xqjg_engine::{execute_materialized, optimize, PhysPlan, QueryRequest};
 
 fn bench_executor(c: &mut Criterion) {
     let mut workload = Workload::new(0.1);
@@ -30,7 +31,12 @@ fn bench_executor(c: &mut Criterion) {
             .map(|b| optimize(&b.isolated.query, db).expect("plan optimizes"))
             .collect();
         group.bench_with_input(BenchmarkId::new("pipelined", q.id), &plans, |b, plans| {
-            b.iter(|| plans.iter().map(|p| execute(p, db).len()).sum::<usize>())
+            b.iter(|| {
+                plans
+                    .iter()
+                    .map(|p| QueryRequest::new(p, db).expect_run().rows.len())
+                    .sum::<usize>()
+            })
         });
         group.bench_with_input(
             BenchmarkId::new("materializing", q.id),

@@ -5,6 +5,7 @@
 //! cargo run --release -p xqjg-bench --bin tables -- table8
 //! cargo run --release -p xqjg-bench --bin tables -- table9 [--scale 0.2] [--budget-secs 120]
 //! cargo run --release -p xqjg-bench --bin tables -- bench-exec [--scale 0.2] [--batch-capacity 1024] [--morsel-size 2048]
+//! cargo run --release -p xqjg-bench --bin tables -- bench-serve [--scale 0.2] [--iters 25]
 //! cargo run --release -p xqjg-bench --bin tables -- all
 //! ```
 //!
@@ -14,14 +15,26 @@
 //! to `BENCH_exec.json` (rows/sec per thread count plus batch counts).
 //! `--batch-capacity` and `--morsel-size` expose the executor knobs so the
 //! harness can sweep them too.
+//!
+//! `bench-serve` runs the closed-loop service benchmark: real TCP clients
+//! against a live `xqjg-serve` pair (one server per data set), each client
+//! cycling the Table IX mix, at several concurrency levels.  It writes
+//! client-observed p50/p99 latencies, aggregate throughput and admission
+//! counters to `BENCH_serve.json`, and asserts every response is
+//! byte-identical to a single-session execution.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xqjg_bench::{queries, render_table9, table9, DataSet, Workload};
+use xqjg_bench::{queries, render_table9, table9, BenchQuery, DataSet, Workload};
 use xqjg_core::{Mode, Processor, QueryCaches};
-use xqjg_engine::{
-    execute_full, execute_materialized, execute_with_stats_config, optimize, ExecStats, PhysPlan,
+use xqjg_engine::{execute_materialized, optimize, ExecStats, PhysPlan, QueryRequest};
+use xqjg_serve::{Engine, Server};
+use xqjg_store::{
+    default_threads, AdmissionConfig, CancelToken, Database, ExecConfig, BATCH_CAPACITY,
+    DEFAULT_MORSEL_SIZE,
 };
-use xqjg_store::{default_threads, Database, ExecConfig, BATCH_CAPACITY, DEFAULT_MORSEL_SIZE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +54,12 @@ fn main() {
         "table8" => table8(),
         "table9" => print!("{}", render_table9(&table9(scale, budget), scale)),
         "bench-exec" => bench_exec(scale, batch_capacity, morsel_size),
+        "bench-serve" => {
+            let iters = flag_value(&args, "--iters")
+                .map(|v| (v as usize).max(1))
+                .unwrap_or(SERVE_ITERS);
+            bench_serve(scale, iters);
+        }
         "all" => {
             table6(scale);
             println!();
@@ -50,7 +69,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; expected table6 | table8 | table9 | bench-exec | all"
+                "unknown table {other:?}; expected table6 | table8 | table9 | bench-exec | bench-serve | all"
             );
             std::process::exit(1);
         }
@@ -126,9 +145,9 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
                     let mut rows = 0usize;
                     let mut stats = ExecStats::default();
                     for p in &plans {
-                        let (t, s) = execute_with_stats_config(p, db, &cfg);
-                        rows += t.len();
-                        stats.merge(&s);
+                        let out = QueryRequest::new(p, db).config(&cfg).expect_run();
+                        rows += out.rows.len();
+                        stats.merge(&out.stats);
                     }
                     (rows, stats)
                 });
@@ -162,8 +181,8 @@ fn bench_exec(scale: f64, batch_capacity: usize, morsel_size: usize) {
                 .with_morsel_size(morsel_size);
             let mut leaves: Vec<(String, Vec<usize>)> = Vec::new();
             for p in &plans {
-                let (_, _, t) = execute_full(p, db, &cfg, None);
-                leaves.extend(t.leaves);
+                let out = QueryRequest::new(p, db).config(&cfg).expect_run();
+                leaves.extend(out.trace.leaves);
             }
             leaves
         };
@@ -413,6 +432,191 @@ fn repeat_one(
         rows as f64 / cold_secs.max(1e-12),
         rows as f64 / warm_secs.max(1e-12),
     )
+}
+
+/// Default per-client iterations of the Table IX mix in `bench-serve`.
+const SERVE_ITERS: usize = 25;
+
+/// Concurrency levels of the closed-loop serve benchmark.
+const SERVE_LEVELS: [usize; 2] = [1, 4];
+
+/// A line-protocol benchmark client (client-speaks-first handshake).
+struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    fn connect(addr: std::net::SocketAddr) -> ServeClient {
+        let stream = TcpStream::connect(addr).expect("connect to xqjg-serve");
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut c = ServeClient {
+            reader,
+            writer: stream,
+        };
+        c.send("PING");
+        let hello = c.line();
+        assert!(hello.starts_with("HELLO xqjg-serve/1"), "banner: {hello}");
+        assert_eq!(c.line(), "OK pong");
+        c
+    }
+
+    fn send(&mut self, cmd: &str) {
+        self.writer
+            .write_all(format!("{cmd}\n").as_bytes())
+            .expect("write command");
+    }
+
+    fn line(&mut self) -> String {
+        let mut s = String::new();
+        self.reader.read_line(&mut s).expect("read response");
+        s.trim_end().to_string()
+    }
+
+    /// Run one query, returning the raw ITEMS payload line.
+    fn query(&mut self, q: &str) -> String {
+        self.send(&format!("QUERY {q}"));
+        let header = self.line();
+        assert!(header.starts_with("RESULT"), "serve error: {header}");
+        let items = self.line();
+        assert_eq!(self.line(), "END", "frame terminator");
+        items
+    }
+}
+
+/// Nearest-rank percentile over an ascending sample.
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let n = sorted.len();
+    sorted[((n as f64 * p).ceil() as usize).clamp(1, n) - 1]
+}
+
+/// The closed-loop service benchmark: N concurrent TCP clients cycle the
+/// Table IX mix against a live server pair (one per data set), asserting
+/// byte-identical responses throughout, and the client-observed latency
+/// distribution lands in `BENCH_serve.json`.
+fn bench_serve(scale: f64, iters: usize) {
+    let Workload { xmark, dblp, .. } = Workload::new(scale);
+    let defaults = ExecConfig::sequential();
+    let admission = AdmissionConfig::default();
+    let xmark_srv = Server::start(
+        Engine::new(xmark, defaults.clone(), admission.clone()),
+        "127.0.0.1:0",
+        16,
+    )
+    .expect("start xmark server");
+    let dblp_srv = Server::start(
+        Engine::new(dblp, defaults.clone(), admission),
+        "127.0.0.1:0",
+        16,
+    )
+    .expect("start dblp server");
+
+    // Single-session reference payloads: what every concurrent response
+    // must match byte for byte.  The wire carries queries on one line, so
+    // the mix text is whitespace-collapsed up front (none of the paper's
+    // queries has a literal that cares).
+    let mix: Vec<(BenchQuery, String, String)> = queries()
+        .into_iter()
+        .map(|q| {
+            let engine = match q.dataset {
+                DataSet::Xmark => xmark_srv.engine(),
+                DataSet::Dblp => dblp_srv.engine(),
+            };
+            let prepared = engine.processor().prepare(q.text).expect("prepare");
+            let out = engine
+                .processor()
+                .execute_prepared_shared(&prepared, Mode::JoinGraph, &defaults, &CancelToken::new())
+                .expect("reference execution");
+            let mut line = "ITEMS".to_string();
+            for p in out.items {
+                line.push(' ');
+                line.push_str(&p.0.to_string());
+            }
+            let text = q.text.split_whitespace().collect::<Vec<_>>().join(" ");
+            (q, text, line)
+        })
+        .collect();
+    let mix = Arc::new(mix);
+
+    let mut levels_json = Vec::new();
+    for &clients in &SERVE_LEVELS {
+        let before = (xmark_srv.engine().stats(), dblp_srv.engine().stats());
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|client_no| {
+                let mix = Arc::clone(&mix);
+                let xmark_addr = xmark_srv.local_addr();
+                let dblp_addr = dblp_srv.local_addr();
+                std::thread::spawn(move || {
+                    let mut xm = ServeClient::connect(xmark_addr);
+                    let mut db = ServeClient::connect(dblp_addr);
+                    let mut latencies = Vec::with_capacity(iters * mix.len());
+                    for iteration in 0..iters {
+                        for (q, text, expected) in mix.iter() {
+                            let client = match q.dataset {
+                                DataSet::Xmark => &mut xm,
+                                DataSet::Dblp => &mut db,
+                            };
+                            let t0 = Instant::now();
+                            let items = client.query(text);
+                            latencies.push(t0.elapsed().as_micros());
+                            assert_eq!(
+                                &items, expected,
+                                "{}: serve response diverged from single-session \
+                                 execution (client {client_no}, iteration {iteration})",
+                                q.id
+                            );
+                        }
+                    }
+                    xm.send("QUIT");
+                    let _ = xm.line();
+                    db.send("QUIT");
+                    let _ = db.line();
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies: Vec<u128> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        let elapsed = start.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        let after = (xmark_srv.engine().stats(), dblp_srv.engine().stats());
+        let total = latencies.len();
+        let delta = |f: fn(&xqjg_serve::ServerStats) -> u64| {
+            (f(&after.0) - f(&before.0)) + (f(&after.1) - f(&before.1))
+        };
+        let admitted = delta(|s| s.admission.admitted);
+        let queued = delta(|s| s.admission.queued);
+        let rejected = delta(|s| s.admission.rejected);
+        let timeouts = delta(|s| s.admission.timeouts);
+        let qps = total as f64 / elapsed.max(1e-12);
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        println!(
+            "bench-serve: {clients} client(s): {total} queries in {elapsed:.2}s \
+             ({qps:.1} q/s, p50 {p50} us, p99 {p99} us, queued {queued})"
+        );
+        levels_json.push(format!(
+            "    {{ \"clients\": {clients}, \"queries\": {total}, \"elapsed_secs\": {elapsed:.6}, \"throughput_qps\": {qps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}, \"admitted\": {admitted}, \"queued\": {queued}, \"rejected\": {rejected}, \"timeouts\": {timeouts}, \"byte_identical\": true }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"git_rev\": \"{}\",\n  \"iterations_per_client\": {iters},\n  \"mix\": [{}],\n  \"levels\": [\n{}\n  ]\n}}\n",
+        git_rev(),
+        mix.iter()
+            .map(|(q, _, _)| format!("\"{}\"", q.id))
+            .collect::<Vec<_>>()
+            .join(", "),
+        levels_json.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+    // Clean shutdown asserts the admission controllers fully drained.
+    xmark_srv.shutdown();
+    dblp_srv.shutdown();
 }
 
 /// Short git revision of the working tree, for provenance in the emitted

@@ -12,7 +12,7 @@
 //! they hold regardless of how aliases are numbered.
 
 use xqjg_bench::{queries, Workload};
-use xqjg_engine::{execute_with_stats_config, optimize, ExecStats};
+use xqjg_engine::{optimize, ExecStats, QueryRequest};
 use xqjg_store::{Database, ExecConfig};
 
 fn q2_stats(scale: f64) -> (usize, ExecStats) {
@@ -24,9 +24,11 @@ fn q2_stats(scale: f64) -> (usize, ExecStats) {
     let mut stats = ExecStats::default();
     for b in &prepared.branches {
         let plan = optimize(&b.isolated.query, db).expect("Q2 optimizes");
-        let (t, s) = execute_with_stats_config(&plan, db, &ExecConfig::sequential());
-        rows += t.len();
-        stats.merge(&s);
+        let out = QueryRequest::new(&plan, db)
+            .config(&ExecConfig::sequential())
+            .expect_run();
+        rows += out.rows.len();
+        stats.merge(&out.stats);
     }
     (rows, stats)
 }

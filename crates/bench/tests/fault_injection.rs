@@ -20,12 +20,40 @@ use std::time::Duration;
 use proptest::prelude::*;
 use xqjg_bench::{queries, Workload};
 use xqjg_core::{Mode, QueryError};
-use xqjg_engine::{
-    optimize, parse_sql, try_execute_full, try_execute_with_stats_config, BuildCache, PhysPlan,
-};
+use xqjg_engine::{optimize, parse_sql, BuildCache, ExecStats, ExecTrace, PhysPlan, QueryRequest};
 use xqjg_store::fault::{self, FaultKind, FaultPlan, Trigger};
 use xqjg_store::spill::{decode_row, decode_value, encode_row};
 use xqjg_store::{CancelToken, Database, ExecConfig, ExecError, Schema, Table, Value};
+
+/// The old tuple-shaped entry point, expressed over the unified
+/// [`QueryRequest`] API (the only execution path this suite drives).
+fn try_execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<(Table, ExecStats), ExecError> {
+    let out = QueryRequest::new(plan, db).config(cfg).run()?;
+    Ok((out.rows, out.stats))
+}
+
+/// Full-surface twin: session build cache plus cancellation token.
+fn try_execute_full(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+    cache: Option<&BuildCache>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Table, ExecStats, ExecTrace), ExecError> {
+    let mut req = QueryRequest::new(plan, db).config(cfg);
+    if let Some(c) = cache {
+        req = req.build_cache(c);
+    }
+    if let Some(t) = cancel {
+        req = req.cancel(t);
+    }
+    let out = req.run()?;
+    Ok((out.rows, out.stats, out.trace))
+}
 
 /// A budget that forces both pipeline breakers of the equijoin fixture —
 /// the Grace hash build and the external sort — to spill.

@@ -5,10 +5,21 @@
 //! path (relational join graph and the pureXML-style baseline).
 
 use xqjg_bench::{queries, DataSet, Workload};
-use xqjg_engine::{execute_with_stats_config, optimize, ExecStats, PhysPlan};
+use xqjg_engine::{optimize, ExecStats, PhysPlan, QueryRequest};
 use xqjg_purexml::{PureXmlStore, Storage};
-use xqjg_store::{Database, ExecConfig};
+use xqjg_store::{Database, ExecConfig, Table};
 use xqjg_xquery::parse_and_normalize;
+
+/// The old tuple-shaped entry point, expressed over the unified
+/// [`QueryRequest`] API (the only execution path this suite drives).
+fn execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> (Table, ExecStats) {
+    let out = QueryRequest::new(plan, db).config(cfg).expect_run();
+    (out.rows, out.stats)
+}
 
 const DOPS: [usize; 3] = [1, 2, 4];
 
@@ -145,12 +156,12 @@ fn purexml_results_and_actuals_identical_across_dop() {
             store.create_pattern_index(&["closed_auction", "price"]);
             store.create_pattern_index(&["proceedings", "@key"]);
             store.create_pattern_index(&["phdthesis", "year"]);
-            let reference = store.evaluate_with_stats_config(&core, &ExecConfig::sequential());
+            let reference = store.query(&core).config(&ExecConfig::sequential()).run();
             for threads in DOPS {
                 let cfg = ExecConfig::sequential()
                     .with_threads(threads)
                     .with_morsel_size(2);
-                let got = store.evaluate_with_stats_config(&core, &cfg);
+                let got = store.query(&core).config(&cfg).run();
                 assert_eq!(
                     got.0, reference.0,
                     "{}: items differ at DOP {threads} ({storage:?})",

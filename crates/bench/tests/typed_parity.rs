@@ -13,8 +13,19 @@
 
 use proptest::prelude::*;
 use xqjg_bench::{queries, Workload};
-use xqjg_engine::{execute_with_stats_config, optimize, parse_sql, ExecStats, PhysPlan};
+use xqjg_engine::{optimize, parse_sql, ExecStats, PhysPlan, QueryRequest};
 use xqjg_store::{Database, ExecConfig, OpStats, Schema, Table, Value};
+
+/// The old tuple-shaped entry point, expressed over the unified
+/// [`QueryRequest`] API (the only execution path this suite drives).
+fn execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> (Table, ExecStats) {
+    let out = QueryRequest::new(plan, db).config(cfg).expect_run();
+    (out.rows, out.stats)
+}
 
 const UNLIMITED: Option<usize> = None;
 const BOUNDED: Option<usize> = Some(256 * 1024);

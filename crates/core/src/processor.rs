@@ -21,8 +21,8 @@ use std::time::{Duration, Instant};
 use xqjg_algebra::{doc_relation, evaluate as eval_plan, result_items, EvalContext, Plan};
 use xqjg_compiler::compile;
 use xqjg_engine::{
-    advise, deploy, explain_with_caches, optimize, optimize_cached, try_execute_with_caches,
-    BuildCache, CacheActuals, ExecCaches, ExecStats, IndexProposal, PhysPlan, PlanCache, SfwQuery,
+    advise, deploy, explain_with_caches, optimize, optimize_cached, BuildCache, ExecCaches,
+    ExecStats, IndexProposal, PhysPlan, PlanCache, QueryRequest, SfwQuery,
 };
 use xqjg_store::{CancelToken, Database, ExecConfig, ExecError, IndexDef, PostingsCache};
 use xqjg_xml::{encode_document, serialize_nodes, serialized_node_count, DocTable, Pre};
@@ -404,6 +404,32 @@ impl Processor {
         // Re-arm the cancellation token: a cancel aimed at a previous
         // (possibly already finished) execution must not abort this one.
         self.cancel.clear();
+        if mode == Mode::JoinGraph {
+            self.database();
+        }
+        let cfg = self.exec_config();
+        let cancel = self.cancel.clone();
+        self.execute_prepared_shared(prepared, mode, &cfg, &cancel)
+    }
+
+    /// The shared-session execution path: run an already prepared query
+    /// *without mutating the processor*, so many server sessions can
+    /// execute concurrently over one `Arc<Processor>` (and genuinely warm
+    /// each other through the shared [`QueryCaches`]).  Each caller
+    /// supplies its own pinned knobs and cancellation token — the serving
+    /// layer's per-session state.
+    ///
+    /// Join-graph mode requires the relational catalog to exist already:
+    /// call [`Processor::database`] (and deploy any indexes) *before*
+    /// sharing the processor.  The mutating twin [`Processor::execute_prepared`]
+    /// does exactly that and then delegates here.
+    pub fn execute_prepared_shared(
+        &self,
+        prepared: &Prepared,
+        mode: Mode,
+        cfg: &ExecConfig,
+        cancel: &CancelToken,
+    ) -> Result<Outcome, QueryError> {
         match mode {
             Mode::Interpreter => {
                 let start = Instant::now();
@@ -425,9 +451,13 @@ impl Processor {
                 Ok(self.outcome(items, elapsed, None, vec![]))
             }
             Mode::JoinGraph => {
-                self.database();
-                let db = self.db.as_ref().expect("database built");
-                let cfg = self.exec_config();
+                let db = self.db.as_ref().ok_or_else(|| {
+                    QueryError::new(
+                        "catalog",
+                        "relational catalog not built; call database() before \
+                         sharing the processor across sessions",
+                    )
+                })?;
                 // Plan each branch, through the plan cache when enabled.
                 // The cache key carries the knob fingerprint so plans tuned
                 // under one configuration never serve another.
@@ -459,25 +489,17 @@ impl Processor {
                     postings: Some(self.caches.postings()),
                 };
                 for (b, (plan, plan_hit)) in prepared.branches.iter().zip(&plans) {
-                    // Postings counters live on the (shared, concurrent)
-                    // cache, so per-branch numbers are deltas — telemetry
-                    // that may include concurrent traffic, not actuals.
-                    let postings0 = (
-                        self.caches.postings().hits(),
-                        self.caches.postings().lookups(),
-                    );
-                    let (table, s, _) =
-                        try_execute_with_caches(plan, db, &cfg, exec_caches, Some(&self.cancel))
-                            .map_err(QueryError::Exec)?;
-                    let actuals = CacheActuals {
-                        plan_cache: *plan_hit,
-                        build_hits: s.operators.iter().map(|o| o.cache_hits).sum(),
-                        postings_hits: self.caches.postings().hits() - postings0.0,
-                        postings_lookups: self.caches.postings().lookups() - postings0.1,
-                    };
-                    stats.merge(&s);
-                    branch_actuals.push((s, actuals));
-                    items.extend(result_items_from_sql(&table, &b.isolated));
+                    let out = QueryRequest::new(plan, db)
+                        .config(cfg)
+                        .caches(exec_caches)
+                        .cancel(cancel)
+                        .run()
+                        .map_err(QueryError::Exec)?;
+                    let mut actuals = out.cache_actuals;
+                    actuals.plan_cache = *plan_hit;
+                    stats.merge(&out.stats);
+                    items.extend(result_items_from_sql(&out.rows, &b.isolated));
+                    branch_actuals.push((out.stats, actuals));
                 }
                 let elapsed = start.elapsed();
                 let explains = plans

@@ -26,6 +26,7 @@
 //! [`crate::materialize`] as the baseline the `executor` benchmark pits
 //! this pipeline against.
 
+use crate::explain::CacheActuals;
 use crate::physical::{Access, Bounds, JoinNode, PhysPlan};
 use crate::sql::{SelectItem, SqlCmp, SqlExpr, SqlPredicate};
 use std::borrow::Cow;
@@ -110,15 +111,18 @@ type SharedAgg = Rc<RefCell<Agg>>;
 
 /// Execute a physical plan, returning the result table.  Parallelism and
 /// batching follow the environment knobs (see [`ExecConfig::from_env`]).
+#[deprecated(note = "use QueryRequest::new(plan, db).run()")]
 pub fn execute(plan: &PhysPlan, db: &Database) -> Table {
-    execute_with_stats(plan, db).0
+    QueryRequest::new(plan, db).expect_run().rows
 }
 
 /// Execute a physical plan, returning the result table and work counters
 /// (aggregate and per-operator).  Parallelism and batching follow the
 /// environment knobs (see [`ExecConfig::from_env`]).
+#[deprecated(note = "use QueryRequest::new(plan, db).run()")]
 pub fn execute_with_stats(plan: &PhysPlan, db: &Database) -> (Table, ExecStats) {
-    execute_with_stats_config(plan, db, &ExecConfig::from_env())
+    let out = QueryRequest::new(plan, db).expect_run();
+    (out.rows, out.stats)
 }
 
 /// One stage of the flattened left-deep join chain: the leaf scan (stage
@@ -1417,33 +1421,6 @@ pub struct ExecTrace {
     pub leaves: Vec<(String, Vec<usize>)>,
 }
 
-/// Execute a physical plan with explicit execution knobs.
-///
-/// The result table, the per-operator EXPLAIN actuals and the aggregate
-/// counters are identical for every `threads` / `morsel_size` /
-/// `vectorize` setting; `batch_capacity` additionally only affects the
-/// reported batch counts.
-pub fn execute_with_stats_config(
-    plan: &PhysPlan,
-    db: &Database,
-    cfg: &ExecConfig,
-) -> (Table, ExecStats) {
-    let (table, stats, _) = execute_full(plan, db, cfg, None);
-    (table, stats)
-}
-
-/// Fallible twin of [`execute_with_stats_config`]: spill I/O failures,
-/// budget exhaustion, cancellation and timeouts come back as
-/// [`ExecError`]s instead of panics.
-pub fn try_execute_with_stats_config(
-    plan: &PhysPlan,
-    db: &Database,
-    cfg: &ExecConfig,
-) -> Result<(Table, ExecStats), ExecError> {
-    let (table, stats, _) = try_execute_full(plan, db, cfg, None, None)?;
-    Ok((table, stats))
-}
-
 /// The shared warm-path caches an execution may consult: hash-join build
 /// sides and memoized `IXSCAN` posting lists.  Both are `Arc`-backed
 /// handles a serving layer shares across `Processor` instances; `Default`
@@ -1457,17 +1434,184 @@ pub struct ExecCaches<'a> {
     pub postings: Option<&'a PostingsCache>,
 }
 
+/// One query execution, described declaratively: the plan and catalog are
+/// mandatory; knobs, warm-path caches and cancellation are opt-in builder
+/// state.  [`QueryRequest::run`] is the single execution entry point the
+/// `Processor`, the serving layer and the bench harness all share — the
+/// former seven-way entry-point sprawl (`execute`, `execute_with_stats`,
+/// `execute_with_stats_config`, `try_execute_with_stats_config`,
+/// `execute_full`, `try_execute_full`, `try_execute_with_caches`) survives
+/// only as `#[deprecated]` shims over this type.
+///
+/// ```ignore
+/// let outcome = QueryRequest::new(&plan, &db)
+///     .config(&cfg)
+///     .build_cache(&builds)
+///     .cancel(&token)
+///     .run()?;
+/// ```
+#[derive(Clone, Copy)]
+pub struct QueryRequest<'a> {
+    plan: &'a PhysPlan,
+    db: &'a Database,
+    config: Option<&'a ExecConfig>,
+    caches: ExecCaches<'a>,
+    cancel: Option<&'a CancelToken>,
+}
+
+/// Everything one [`QueryRequest::run`] produced: the result rows, the
+/// DOP-invariant work counters, the adaptive batch-size trace, and the
+/// warm-path cache actuals of this execution ([`CacheActuals::plan_cache`]
+/// stays `None` here — plan caching happens in front of the executor, so
+/// the planning layer fills it in).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result table, byte-identical across every DOP / knob setting.
+    pub rows: Table,
+    /// Aggregate and per-operator work counters.
+    pub stats: ExecStats,
+    /// Adaptive batch-size decisions (not DOP-invariant; see [`ExecTrace`]).
+    pub trace: ExecTrace,
+    /// Warm-path cache telemetry of this execution.
+    pub cache_actuals: CacheActuals,
+}
+
+impl<'a> QueryRequest<'a> {
+    /// A request to execute `plan` against `db` with environment-default
+    /// knobs, no warm-path caches and no cancellation.
+    pub fn new(plan: &'a PhysPlan, db: &'a Database) -> QueryRequest<'a> {
+        QueryRequest {
+            plan,
+            db,
+            config: None,
+            caches: ExecCaches::default(),
+            cancel: None,
+        }
+    }
+
+    /// Pin the execution knobs (default: [`ExecConfig::from_env`]).
+    ///
+    /// The result table, the per-operator EXPLAIN actuals and the
+    /// aggregate counters are identical for every `threads` /
+    /// `morsel_size` / `vectorize` setting; `batch_capacity` additionally
+    /// only affects the reported batch counts.
+    pub fn config(mut self, cfg: &'a ExecConfig) -> QueryRequest<'a> {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Supply the full warm-path cache set at once.
+    pub fn caches(mut self, caches: ExecCaches<'a>) -> QueryRequest<'a> {
+        self.caches = caches;
+        self
+    }
+
+    /// Consult (and populate) a hash-join build cache, subject to the
+    /// `XQJG_BUILD_CACHE` knob.
+    pub fn build_cache(mut self, cache: &'a BuildCache) -> QueryRequest<'a> {
+        self.caches.builds = Some(cache);
+        self
+    }
+
+    /// Memoize `IXSCAN` posting lists through the given cache, subject to
+    /// the `XQJG_POSTINGS_CACHE` knob.
+    pub fn postings_cache(mut self, cache: &'a PostingsCache) -> QueryRequest<'a> {
+        self.caches.postings = Some(cache);
+        self
+    }
+
+    /// Observe a cancellation token at morsel boundaries and inside the
+    /// spill machinery.
+    pub fn cancel(mut self, token: &'a CancelToken) -> QueryRequest<'a> {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Execute the request.  Every failure — spill I/O, corrupt run
+    /// records, budget exhaustion, cancellation, timeout — surfaces as a
+    /// typed [`ExecError`]; on error all spill run files are deleted and
+    /// every memory-budget reservation is released before returning, so
+    /// the same plan can immediately be re-executed on the same session.
+    pub fn run(self) -> Result<QueryOutcome, ExecError> {
+        let default_cfg;
+        let cfg = match self.config {
+            Some(c) => c,
+            None => {
+                default_cfg = ExecConfig::from_env();
+                &default_cfg
+            }
+        };
+        // Postings counters live on the (shared, concurrent) cache, so the
+        // actuals are before/after deltas — telemetry that may include
+        // concurrent traffic, not DOP-invariant actuals.
+        let postings = self.caches.postings.filter(|_| cfg.postings_cache);
+        let postings0 = postings.map(|p| (p.hits(), p.lookups()));
+        let (rows, stats, trace) =
+            run_with_caches(self.plan, self.db, cfg, self.caches, self.cancel)?;
+        let (postings_hits, postings_lookups) = match (postings, postings0) {
+            (Some(p), Some((h0, l0))) => (p.hits() - h0, p.lookups() - l0),
+            _ => (0, 0),
+        };
+        let cache_actuals = CacheActuals {
+            plan_cache: None,
+            build_hits: stats.operators.iter().map(|o| o.cache_hits).sum(),
+            postings_hits,
+            postings_lookups,
+        };
+        Ok(QueryOutcome {
+            rows,
+            stats,
+            trace,
+            cache_actuals,
+        })
+    }
+
+    /// [`QueryRequest::run`] for callers that treat execution failure as
+    /// fatal (the benchmark harness, the infallible deprecated shims).
+    pub fn expect_run(self) -> QueryOutcome {
+        self.run()
+            .unwrap_or_else(|e| panic!("query execution failed: {e}"))
+    }
+}
+
+/// Execute a physical plan with explicit execution knobs.
+#[deprecated(note = "use QueryRequest::new(plan, db).config(cfg).run()")]
+pub fn execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> (Table, ExecStats) {
+    let out = QueryRequest::new(plan, db).config(cfg).expect_run();
+    (out.rows, out.stats)
+}
+
+/// Fallible twin of [`execute_with_stats_config`]: spill I/O failures,
+/// budget exhaustion, cancellation and timeouts come back as
+/// [`ExecError`]s instead of panics.
+#[deprecated(note = "use QueryRequest::new(plan, db).config(cfg).run()")]
+pub fn try_execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<(Table, ExecStats), ExecError> {
+    let out = QueryRequest::new(plan, db).config(cfg).run()?;
+    Ok((out.rows, out.stats))
+}
+
 /// [`execute_with_stats_config`] plus an optional session [`BuildCache`]
-/// and the adaptive batch-size [`ExecTrace`].  Infallible shim over
-/// [`try_execute_full`] for callers that treat execution failure as fatal.
+/// and the adaptive batch-size [`ExecTrace`].  Infallible shim for
+/// callers that treat execution failure as fatal.
+#[deprecated(note = "use QueryRequest::new(plan, db).config(cfg).build_cache(cache).run()")]
 pub fn execute_full(
     plan: &PhysPlan,
     db: &Database,
     cfg: &ExecConfig,
     cache: Option<&BuildCache>,
 ) -> (Table, ExecStats, ExecTrace) {
-    try_execute_full(plan, db, cfg, cache, None)
-        .unwrap_or_else(|e| panic!("query execution failed: {e}"))
+    let mut req = QueryRequest::new(plan, db).config(cfg);
+    req.caches.builds = cache;
+    let out = req.expect_run();
+    (out.rows, out.stats, out.trace)
 }
 
 /// Probe whether `dir` can actually host spill runs: it must exist (or be
@@ -1489,13 +1633,11 @@ fn spill_dir_usable(dir: &std::path::Path) -> bool {
     }
 }
 
-/// The full execution entry point: [`execute_full`]'s semantics, plus an
-/// optional [`CancelToken`] observed at morsel boundaries and inside the
-/// spill machinery, with every failure — spill I/O, corrupt run records,
-/// budget exhaustion, cancellation, timeout — surfaced as a typed
-/// [`ExecError`].  On error all spill run files are deleted and every
-/// memory-budget reservation is released before returning, so the same
-/// plan can immediately be re-executed on the same session.
+/// [`execute_full`]'s semantics, plus an optional [`CancelToken`], with
+/// every failure surfaced as a typed [`ExecError`].
+#[deprecated(
+    note = "use QueryRequest::new(plan, db).config(cfg).build_cache(cache).cancel(token).run()"
+)]
 pub fn try_execute_full(
     plan: &PhysPlan,
     db: &Database,
@@ -1503,25 +1645,38 @@ pub fn try_execute_full(
     cache: Option<&BuildCache>,
     cancel: Option<&CancelToken>,
 ) -> Result<(Table, ExecStats, ExecTrace), ExecError> {
-    try_execute_with_caches(
-        plan,
-        db,
-        cfg,
-        ExecCaches {
-            builds: cache,
-            postings: None,
-        },
-        cancel,
-    )
+    let mut req = QueryRequest::new(plan, db).config(cfg);
+    req.caches.builds = cache;
+    req.cancel = cancel;
+    let out = req.run()?;
+    Ok((out.rows, out.stats, out.trace))
 }
 
 /// [`try_execute_full`] with the full warm-path cache set: hash-join
-/// build sides *and* memoized `IXSCAN` posting lists.  Each cache is
-/// consulted only when its `ExecConfig` knob is on, and all lookups carry
-/// the catalog version observed at entry, so DDL between executions
-/// invalidates without coordination.  Results, row order and EXPLAIN
-/// actuals are byte-identical with and without the caches.
+/// build sides *and* memoized `IXSCAN` posting lists.
+#[deprecated(
+    note = "use QueryRequest::new(plan, db).config(cfg).caches(caches).cancel(token).run()"
+)]
 pub fn try_execute_with_caches(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+    caches: ExecCaches<'_>,
+    cancel: Option<&CancelToken>,
+) -> Result<(Table, ExecStats, ExecTrace), ExecError> {
+    let mut req = QueryRequest::new(plan, db).config(cfg).caches(caches);
+    req.cancel = cancel;
+    let out = req.run()?;
+    Ok((out.rows, out.stats, out.trace))
+}
+
+/// The single execution implementation every public path funnels into
+/// (see [`QueryRequest::run`]).  Each cache is consulted only when its
+/// `ExecConfig` knob is on, and all lookups carry the catalog version
+/// observed at entry, so DDL between executions invalidates without
+/// coordination.  Results, row order and EXPLAIN actuals are
+/// byte-identical with and without the caches.
+fn run_with_caches(
     plan: &PhysPlan,
     db: &Database,
     cfg: &ExecConfig,
@@ -3411,7 +3566,7 @@ fn resolve_bounds(bounds: &Bounds, alias: &str, outer: Option<&Env<'_>>) -> Reso
 pub fn run_sql(sql: &str, db: &Database) -> Result<Table, Box<dyn std::error::Error>> {
     let query = crate::sqlparse::parse_sql(sql)?;
     let plan = crate::optimizer::optimize(&query, db)?;
-    Ok(execute(&plan, db))
+    Ok(QueryRequest::new(&plan, db).run()?.rows)
 }
 
 /// Check a predicate operator against an ordering (exposed for reuse).
@@ -3420,6 +3575,10 @@ pub fn cmp_eval(op: SqlCmp, ord: std::cmp::Ordering) -> bool {
 }
 
 #[cfg(test)]
+// The unit tests deliberately keep exercising the deprecated entry points:
+// they are the regression suite proving the shims stay byte-identical to
+// the `QueryRequest` path they forward to.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::materialize::execute_materialized_with_stats;

@@ -73,6 +73,39 @@ pub struct PureXmlStore<'a> {
     indexes: Vec<PatternIndex>,
 }
 
+/// One pureXML query evaluation, described declaratively — the mirror of
+/// the relational engine's `QueryRequest` builder.  Obtained from
+/// [`PureXmlStore::query`]; knobs are opt-in, and [`XmlQueryRequest::run`]
+/// returns the result node sequence plus the per-operator counters.
+#[derive(Clone, Copy)]
+pub struct XmlQueryRequest<'q, 'a> {
+    store: &'q PureXmlStore<'a>,
+    core: &'q CoreExpr,
+    config: Option<&'q ExecConfig>,
+}
+
+impl<'q, 'a> XmlQueryRequest<'q, 'a> {
+    /// Pin the execution knobs (default: [`ExecConfig::from_env`]).
+    pub fn config(mut self, cfg: &'q ExecConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Evaluate through the XISCAN → XSCAN operator pipeline, returning
+    /// the result node sequence and the per-operator counters.
+    pub fn run(self) -> (Vec<Pre>, Vec<OpStats>) {
+        let default_cfg;
+        let cfg = match self.config {
+            Some(c) => c,
+            None => {
+                default_cfg = ExecConfig::from_env();
+                &default_cfg
+            }
+        };
+        self.store.run_pipeline(self.core, cfg)
+    }
+}
+
 impl<'a> PureXmlStore<'a> {
     /// Build a store over an encoded instance.
     pub fn new(doc: &'a DocTable, storage: Storage) -> Self {
@@ -131,7 +164,7 @@ impl<'a> PureXmlStore<'a> {
     /// Evaluate a query.  Returns the result node sequence plus the number
     /// of segments whose trees were traversed (the XSCAN effort).
     pub fn evaluate(&self, core: &CoreExpr) -> (Vec<Pre>, usize) {
-        let (items, stats) = self.evaluate_with_stats(core);
+        let (items, stats) = self.query(core).run();
         let scanned = stats
             .iter()
             .find(|o| o.name.starts_with("XSCAN"))
@@ -140,15 +173,37 @@ impl<'a> PureXmlStore<'a> {
         (items, scanned)
     }
 
+    /// Start an [`XmlQueryRequest`] for this store — the mirror of the
+    /// relational engine's `QueryRequest` builder and the single execution
+    /// entry point of the pureXML side.
+    pub fn query<'q>(&'q self, core: &'q CoreExpr) -> XmlQueryRequest<'q, 'a> {
+        XmlQueryRequest {
+            store: self,
+            core,
+            config: None,
+        }
+    }
+
     /// Evaluate a query through the XISCAN → XSCAN operator pipeline,
     /// returning the result node sequence and the per-operator counters.
     /// Parallelism and batching follow the environment knobs (see
     /// [`ExecConfig::from_env`]).
+    #[deprecated(note = "use store.query(core).run()")]
     pub fn evaluate_with_stats(&self, core: &CoreExpr) -> (Vec<Pre>, Vec<OpStats>) {
-        self.evaluate_with_stats_config(core, &ExecConfig::from_env())
+        self.query(core).run()
     }
 
-    /// [`PureXmlStore::evaluate_with_stats`] with explicit execution knobs.
+    /// [`XmlQueryRequest::run`] with explicit execution knobs.
+    #[deprecated(note = "use store.query(core).config(cfg).run()")]
+    pub fn evaluate_with_stats_config(
+        &self,
+        core: &CoreExpr,
+        cfg: &ExecConfig,
+    ) -> (Vec<Pre>, Vec<OpStats>) {
+        self.query(core).config(cfg).run()
+    }
+
+    /// The XISCAN → XSCAN pipeline behind [`XmlQueryRequest::run`].
     ///
     /// The XISCAN candidate list is partitioned into morsels on the same
     /// exchange the relational executor uses: each worker runs a private
@@ -156,11 +211,7 @@ impl<'a> PureXmlStore<'a> {
     /// time, and the per-worker counters merge back into the sequential
     /// counters — so Table IX comparisons stay apples-to-apples across
     /// degrees of parallelism.
-    pub fn evaluate_with_stats_config(
-        &self,
-        core: &CoreExpr,
-        cfg: &ExecConfig,
-    ) -> (Vec<Pre>, Vec<OpStats>) {
+    fn run_pipeline(&self, core: &CoreExpr, cfg: &ExecConfig) -> (Vec<Pre>, Vec<OpStats>) {
         let threads = cfg.threads.max(1);
         let cap = cfg.batch_capacity.max(1);
         // XISCAN: try to narrow the candidate segments via an eligible
@@ -599,6 +650,10 @@ pub fn segment_children(doc: &DocTable, root: Pre) -> Vec<Pre> {
 }
 
 #[cfg(test)]
+// The unit tests deliberately keep exercising the deprecated entry points:
+// they are the regression suite proving the shims stay byte-identical to
+// the `XmlQueryRequest` path they forward to.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use xqjg_xquery::parse_and_normalize;

@@ -1,0 +1,271 @@
+//! Wire dispatch for one accepted connection.  The first request line
+//! decides the protocol: `GET ` / `POST ` prefixes route to the HTTP/1.1
+//! handler (one request per connection), anything else opens a
+//! line-protocol session.
+//!
+//! Line protocol (one command per line, responses framed by
+//! [`crate::Response::render_line`]).  The *client speaks first* — the
+//! server cannot tell the protocols apart before the first request line —
+//! and the `HELLO` banner precedes the response to that first command:
+//!
+//! ```text
+//! HELLO xqjg-serve/1 session=<id>        <- banner, once the first command arrives
+//! QUERY <xquery on one line>             -> RESULT/ITEMS/END or ERR
+//! EXPLAIN <xquery on one line>           -> EXPLAIN/|.../END or ERR
+//! SET <knob> <value>                     -> OK <knob>=<value> (XQJG_ prefix optional)
+//! SET <knob>                             -> OK (resets the knob to its default)
+//! MODE interpreter|stacked|joingraph     -> OK mode=<mode>
+//! STATS                                  -> STATS <counters>
+//! CANCEL <session-id>                    -> OK cancelled <id> or ERR session
+//! ID                                     -> OK session=<id>
+//! PING                                   -> OK pong
+//! QUIT                                   -> OK bye (server closes)
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::response::{Response, ServeError};
+use crate::session::Session;
+
+/// Read timeout installed on every accepted socket so blocked readers can
+/// observe the shutdown flag.
+pub(crate) const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Handle one accepted connection to completion.
+pub(crate) fn handle_connection(
+    engine: &Arc<Engine>,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let first = match read_line(&mut stream, shutdown) {
+        Ok(Some(line)) => line,
+        _ => return,
+    };
+    if first.starts_with("GET ") || first.starts_with("POST ") {
+        handle_http(engine, &first, &mut stream, shutdown);
+    } else {
+        handle_line_session(engine, first, &mut stream, shutdown);
+    }
+}
+
+fn handle_line_session(
+    engine: &Arc<Engine>,
+    first: String,
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) {
+    let mut session = engine.open_session();
+    let banner = format!("HELLO xqjg-serve/1 session={}\n", session.id());
+    if stream.write_all(banner.as_bytes()).is_err() {
+        engine.close_session(session.id());
+        return;
+    }
+    let mut line = Some(first);
+    loop {
+        let cmd = match line.take() {
+            Some(l) => l,
+            None => match read_line(stream, shutdown) {
+                Ok(Some(l)) => l,
+                _ => break,
+            },
+        };
+        if cmd.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = dispatch(engine, &mut session, cmd.trim());
+        if stream.write_all(response.render_line().as_bytes()).is_err() || quit {
+            break;
+        }
+    }
+    engine.close_session(session.id());
+}
+
+/// Execute one line-protocol command.  Returns the response and whether
+/// the connection should close.
+pub fn dispatch(engine: &Engine, session: &mut Session, line: &str) -> (Response, bool) {
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd.to_ascii_uppercase().as_str() {
+        "QUERY" if !rest.is_empty() => (engine.execute(session, rest), false),
+        "EXPLAIN" if !rest.is_empty() => (engine.explain(session, rest), false),
+        "QUERY" | "EXPLAIN" => (
+            ServeError::protocol(format!("{cmd} requires a query on the same line")).into(),
+            false,
+        ),
+        "SET" => {
+            let (var, value) = match rest.split_once(char::is_whitespace) {
+                Some((v, w)) => (v, w.trim()),
+                None if !rest.is_empty() => (rest, ""),
+                None => {
+                    return (
+                        ServeError::protocol("SET requires a knob name").into(),
+                        false,
+                    )
+                }
+            };
+            match session.set_knob(var, value) {
+                Ok(()) => (Response::Ok(format!("{var}={value}")), false),
+                Err(e) => (ServeError::from(e).into(), false),
+            }
+        }
+        "MODE" => match session.set_mode(rest) {
+            Ok(mode) => (Response::Ok(format!("mode={mode:?}")), false),
+            Err(e) => (e.into(), false),
+        },
+        "STATS" => (Response::Stats(engine.stats()), false),
+        "CANCEL" => match rest.parse::<u64>() {
+            Ok(id) if engine.cancel(id) => (Response::Ok(format!("cancelled {id}")), false),
+            Ok(id) => (
+                ServeError::session(format!("no such session: {id}")).into(),
+                false,
+            ),
+            Err(_) => (
+                ServeError::protocol("CANCEL requires a numeric session id").into(),
+                false,
+            ),
+        },
+        "ID" => (Response::Ok(format!("session={}", session.id())), false),
+        "PING" => (Response::Ok("pong".to_string()), false),
+        "QUIT" => (Response::Ok("bye".to_string()), true),
+        other => (
+            ServeError::protocol(format!("unknown command {other:?}")).into(),
+            false,
+        ),
+    }
+}
+
+fn handle_http(
+    engine: &Arc<Engine>,
+    request_line: &str,
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    // Drain headers; the only one we act on is Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        match read_line(stream, shutdown) {
+            Ok(Some(h)) if h.trim().is_empty() => break,
+            Ok(Some(h)) => {
+                if let Some((name, value)) = h.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+    let body = match read_exact(stream, content_length, shutdown) {
+        Ok(b) => String::from_utf8_lossy(&b).into_owned(),
+        Err(_) => return,
+    };
+    let (status, reason, content_type, payload) = match (method, path) {
+        ("GET", "/health") => (200, "OK", "text/plain", "ok\n".to_string()),
+        ("GET", "/stats") => {
+            let r = Response::Stats(engine.stats());
+            (200, "OK", "application/json", r.render_json())
+        }
+        ("POST", "/query") | ("POST", "/explain") => {
+            let session = engine.open_session();
+            let query = body.trim();
+            let r = if query.is_empty() {
+                Response::Error(ServeError::protocol("empty request body"))
+            } else if path == "/query" {
+                engine.execute(&session, query)
+            } else {
+                engine.explain(&session, query)
+            };
+            engine.close_session(session.id());
+            let (status, reason) = r.http_status();
+            (status, reason, "application/json", r.render_json())
+        }
+        _ => (
+            404,
+            "Not Found",
+            "application/json",
+            Response::Error(ServeError::protocol(format!("no route {method} {path}")))
+                .render_json(),
+        ),
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(payload.as_bytes());
+}
+
+/// Read one `\n`-terminated line (CR stripped), polling the shutdown flag
+/// on read timeouts.  `Ok(None)` means EOF or shutdown.
+fn read_line(stream: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Ok((!line.is_empty()).then(|| String::from_utf8_lossy(&line).into_owned()))
+            }
+            Ok(_) => match byte[0] {
+                b'\n' => return Ok(Some(String::from_utf8_lossy(&line).into_owned())),
+                b'\r' => {}
+                b => line.push(b),
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Read exactly `len` bytes, polling the shutdown flag on timeouts.
+fn read_exact(
+    stream: &mut TcpStream,
+    len: usize,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "body shorter than Content-Length",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "server shutting down",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf)
+}

@@ -50,10 +50,20 @@ pub enum ExecError {
     },
     /// The query was cancelled via its [`CancelToken`].
     Cancelled,
-    /// The query ran past its configured deadline (`XQJG_QUERY_TIMEOUT`).
+    /// The query ran past its configured deadline (`XQJG_QUERY_TIMEOUT`),
+    /// or waited in the admission queue past `XQJG_QUEUE_TIMEOUT`.
     Timeout {
         /// The configured limit, in milliseconds.
         limit_ms: u64,
+    },
+    /// The global admission controller's bounded wait queue is full — the
+    /// service is oversubscribed beyond what queueing absorbs.  Retry
+    /// later; nothing about the query itself is wrong.
+    Overloaded {
+        /// Queries already waiting for admission.
+        queued: usize,
+        /// The configured queue depth.
+        depth: usize,
     },
 }
 
@@ -113,6 +123,10 @@ impl std::fmt::Display for ExecError {
             ExecError::Timeout { limit_ms } => {
                 write!(f, "query timed out after {limit_ms} ms")
             }
+            ExecError::Overloaded { queued, depth } => write!(
+                f,
+                "server overloaded: admission queue full ({queued} waiting, depth {depth})"
+            ),
         }
     }
 }

@@ -28,6 +28,7 @@
 //! Nothing in this crate knows about XML or XQuery — it is a generic (if
 //! deliberately compact) relational kernel.
 
+pub mod admission;
 pub mod batch;
 pub mod btree;
 pub mod cache;
@@ -45,6 +46,10 @@ pub mod table;
 pub mod typed;
 pub mod value;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, DEFAULT_MAX_SESSIONS,
+    DEFAULT_QUEUE_TIMEOUT,
+};
 pub use batch::{
     drain, fill_from_pending, fill_from_pending_with_capacity, merge_worker_stats, new_stats_sink,
     Batch, BoxedOperator, OpStats, Operator, StatsSink, VecSource, BATCH_CAPACITY,
@@ -66,8 +71,8 @@ pub use mask::{BitMask, MASK_WORD_BITS};
 pub use morsel::{
     default_threads, effective_morsel_size, execute_morsels, execute_morsels_streaming,
     parse_bytes, parse_duration, partition_morsels, try_execute_morsels,
-    try_execute_morsels_streaming, ExecConfig, Morsel, MorselQueue, DEFAULT_MORSEL_SIZE,
-    MIN_MORSEL_SIZE,
+    try_execute_morsels_streaming, ConfigError, ExecConfig, Morsel, MorselQueue,
+    DEFAULT_MORSEL_SIZE, EXEC_KNOBS, MIN_MORSEL_SIZE,
 };
 pub use schema::Schema;
 pub use spill::{

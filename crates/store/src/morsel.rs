@@ -440,48 +440,216 @@ pub struct ExecConfig {
     pub postings_cache: bool,
 }
 
-impl ExecConfig {
-    /// Read the knobs from the environment:
-    ///
-    /// * `XQJG_THREADS` — degree of parallelism (default: available cores),
-    /// * `XQJG_BATCH_CAPACITY` — batch capacity (default [`crate::BATCH_CAPACITY`]),
-    /// * `XQJG_MORSEL_SIZE` — morsel size (default [`DEFAULT_MORSEL_SIZE`]),
-    /// * `XQJG_VECTORIZE` — `0` selects the scalar row-at-a-time path
-    ///   (default: vectorized),
-    /// * `XQJG_ADAPTIVE_BATCH` — `0` pins scan chunks to the batch capacity
-    ///   (default: adaptive),
-    /// * `XQJG_TYPED_KERNELS` — `0` disables the typed-column kernels and
-    ///   pins every comparison to the scalar `Value` path (default: on),
-    /// * `XQJG_MEM_BUDGET` — pipeline-breaker memory budget in bytes
-    ///   (suffixes `k`/`m`/`g` accepted, e.g. `256k`; default: unlimited),
-    /// * `XQJG_SPILL_DIR` — directory for spill runs (default: the system
-    ///   temp directory),
-    /// * `XQJG_SPILL_RETRIES` — retries for transient spill-write failures
-    ///   (`0` disables retrying; default [`crate::DEFAULT_SPILL_RETRIES`]),
-    /// * `XQJG_QUERY_TIMEOUT` — wall-clock query deadline (suffixes `ms`,
-    ///   `s`, `m`; bare digits are milliseconds; default: unlimited),
-    /// * `XQJG_BUILD_CACHE` — `0` disables the shared hash-join build
-    ///   cache (default: on),
-    /// * `XQJG_PLAN_CACHE` — `0` disables the plan cache in front of the
-    ///   optimizer (default: on),
-    /// * `XQJG_POSTINGS_CACHE` — `0` disables `IXSCAN` posting-list
-    ///   memoization (default: on).
-    pub fn from_env() -> Self {
-        ExecConfig {
-            threads: env_usize("XQJG_THREADS").unwrap_or_else(default_threads),
-            batch_capacity: env_usize("XQJG_BATCH_CAPACITY").unwrap_or(crate::BATCH_CAPACITY),
-            morsel_size: env_usize("XQJG_MORSEL_SIZE").unwrap_or(DEFAULT_MORSEL_SIZE),
-            vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
-            adaptive: env_bool("XQJG_ADAPTIVE_BATCH").unwrap_or(true),
-            typed_kernels: env_bool("XQJG_TYPED_KERNELS").unwrap_or(true),
-            mem_budget: env_bytes("XQJG_MEM_BUDGET"),
-            spill_dir: env_path("XQJG_SPILL_DIR"),
-            spill_retries: env_retries("XQJG_SPILL_RETRIES"),
-            query_timeout: env_duration("XQJG_QUERY_TIMEOUT"),
-            build_cache: env_bool("XQJG_BUILD_CACHE").unwrap_or(true),
-            plan_cache: env_bool("XQJG_PLAN_CACHE").unwrap_or(true),
-            postings_cache: env_bool("XQJG_POSTINGS_CACHE").unwrap_or(true),
+/// The `XQJG_*` execution knobs [`ExecConfig`] understands, in
+/// documentation order.  [`ExecConfig::apply_knob`] accepts exactly these
+/// names; [`ExecConfig::try_from_env`] reads exactly these variables.
+pub const EXEC_KNOBS: &[&str] = &[
+    "XQJG_THREADS",
+    "XQJG_BATCH_CAPACITY",
+    "XQJG_MORSEL_SIZE",
+    "XQJG_VECTORIZE",
+    "XQJG_ADAPTIVE_BATCH",
+    "XQJG_TYPED_KERNELS",
+    "XQJG_MEM_BUDGET",
+    "XQJG_SPILL_DIR",
+    "XQJG_SPILL_RETRIES",
+    "XQJG_QUERY_TIMEOUT",
+    "XQJG_BUILD_CACHE",
+    "XQJG_PLAN_CACHE",
+    "XQJG_POSTINGS_CACHE",
+];
+
+/// A malformed configuration-knob value: which knob, what was supplied,
+/// and what a well-formed value looks like.  This is the typed error every
+/// knob-parsing path — environment reads, the serving layer's per-session
+/// `SET` command — surfaces instead of silently falling back to a default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The knob (environment-variable spelling, e.g. `XQJG_THREADS`).
+    pub var: String,
+    /// The value that failed to parse.
+    pub value: String,
+    /// Human-readable description of the accepted syntax.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid value {:?} for {}: expected {}",
+            self.value, self.var, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    fn new(var: &str, value: &str, expected: &'static str) -> ConfigError {
+        ConfigError {
+            var: var.to_string(),
+            value: value.to_string(),
+            expected,
         }
+    }
+}
+
+/// Strictly parse a positive integer knob; empty means "unset".
+pub(crate) fn strict_usize(var: &str, value: &str) -> Result<Option<usize>, ConfigError> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .map(Some)
+        .ok_or_else(|| ConfigError::new(var, value, "a positive integer"))
+}
+
+/// Strictly parse a boolean knob; empty means "unset".
+pub(crate) fn strict_bool(var: &str, value: &str) -> Result<Option<bool>, ConfigError> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    if v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on") {
+        Ok(Some(true))
+    } else if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") {
+        Ok(Some(false))
+    } else {
+        Err(ConfigError::new(
+            var,
+            value,
+            "a boolean (0/1/true/false/on/off)",
+        ))
+    }
+}
+
+/// Strictly parse a byte-count knob (`k`/`m`/`g` suffixes); empty and `0`
+/// mean "unset" (`0` is the documented way to disable a budget).
+pub(crate) fn strict_bytes(var: &str, value: &str) -> Result<Option<usize>, ConfigError> {
+    let v = value.trim();
+    if v.is_empty() || v == "0" {
+        return Ok(None);
+    }
+    parse_bytes(v)
+        .map(Some)
+        .ok_or_else(|| ConfigError::new(var, value, "a byte count (suffixes k/m/g, e.g. 256k)"))
+}
+
+/// Strictly parse a duration knob (`ms`/`s`/`m` suffixes, bare digits are
+/// milliseconds); empty and `0` mean "unset".
+pub(crate) fn strict_duration(
+    var: &str,
+    value: &str,
+) -> Result<Option<std::time::Duration>, ConfigError> {
+    let v = value.trim();
+    if v.is_empty() || v == "0" {
+        return Ok(None);
+    }
+    parse_duration(v)
+        .map(Some)
+        .ok_or_else(|| ConfigError::new(var, value, "a duration (suffixes ms/s/m, e.g. 500ms)"))
+}
+
+/// Strictly parse a non-negative integer knob (zero is meaningful); empty
+/// means "unset".
+pub(crate) fn strict_count(var: &str, value: &str) -> Result<Option<usize>, ConfigError> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    v.parse::<usize>()
+        .ok()
+        .map(Some)
+        .ok_or_else(|| ConfigError::new(var, value, "a non-negative integer"))
+}
+
+impl ExecConfig {
+    /// Apply one knob by its environment-variable name.  This is the *only*
+    /// parser for `XQJG_*` execution knobs: [`ExecConfig::try_from_env`]
+    /// folds it over [`EXEC_KNOBS`], and the serving layer's per-session
+    /// `SET` command calls it directly — so environment, server and tests
+    /// all agree on syntax and defaults.  An empty value resets the knob to
+    /// its built-in default; a malformed value is a typed [`ConfigError`]
+    /// (never a silent fallback); an unknown name is an error too.
+    pub fn apply_knob(&mut self, var: &str, value: &str) -> Result<(), ConfigError> {
+        match var {
+            "XQJG_THREADS" => {
+                self.threads = strict_usize(var, value)?.unwrap_or_else(default_threads)
+            }
+            "XQJG_BATCH_CAPACITY" => {
+                self.batch_capacity = strict_usize(var, value)?.unwrap_or(crate::BATCH_CAPACITY)
+            }
+            "XQJG_MORSEL_SIZE" => {
+                self.morsel_size = strict_usize(var, value)?.unwrap_or(DEFAULT_MORSEL_SIZE)
+            }
+            "XQJG_VECTORIZE" => self.vectorize = strict_bool(var, value)?.unwrap_or(true),
+            "XQJG_ADAPTIVE_BATCH" => self.adaptive = strict_bool(var, value)?.unwrap_or(true),
+            "XQJG_TYPED_KERNELS" => self.typed_kernels = strict_bool(var, value)?.unwrap_or(true),
+            "XQJG_MEM_BUDGET" => self.mem_budget = strict_bytes(var, value)?,
+            "XQJG_SPILL_DIR" => {
+                let v = value.trim();
+                self.spill_dir = (!v.is_empty()).then(|| PathBuf::from(v));
+            }
+            "XQJG_SPILL_RETRIES" => {
+                self.spill_retries =
+                    strict_count(var, value)?.unwrap_or(crate::spill::DEFAULT_SPILL_RETRIES)
+            }
+            "XQJG_QUERY_TIMEOUT" => self.query_timeout = strict_duration(var, value)?,
+            "XQJG_BUILD_CACHE" => self.build_cache = strict_bool(var, value)?.unwrap_or(true),
+            "XQJG_PLAN_CACHE" => self.plan_cache = strict_bool(var, value)?.unwrap_or(true),
+            "XQJG_POSTINGS_CACHE" => self.postings_cache = strict_bool(var, value)?.unwrap_or(true),
+            _ => {
+                return Err(ConfigError::new(
+                    var,
+                    value,
+                    "a known XQJG_* execution knob (see EXEC_KNOBS)",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Read every [`EXEC_KNOBS`] variable from the environment, failing on
+    /// the first malformed value with a typed [`ConfigError`] naming the
+    /// variable, the offending value and the accepted syntax.  Unset and
+    /// empty variables take their built-in defaults (see [`ExecConfig::apply_knob`]
+    /// for per-knob syntax: positive integers for sizes, booleans for
+    /// switches, `k`/`m`/`g` byte suffixes for `XQJG_MEM_BUDGET`,
+    /// `ms`/`s`/`m` duration suffixes for `XQJG_QUERY_TIMEOUT`).
+    ///
+    /// This is the canonical environment builder: long-lived services call
+    /// it once at startup so a typo in a deployment manifest is a clean
+    /// startup error rather than a silently-default knob.
+    pub fn try_from_env() -> Result<Self, ConfigError> {
+        let mut cfg = ExecConfig::default();
+        for var in EXEC_KNOBS {
+            if let Ok(value) = std::env::var(var) {
+                cfg.apply_knob(var, &value)?;
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Lenient twin of [`ExecConfig::try_from_env`] for the per-query
+    /// default path: a malformed variable falls back to its default after
+    /// a one-shot process warning (the seed silently ignored it).  Fresh
+    /// code with a place to report errors — services, CLIs — should prefer
+    /// [`ExecConfig::try_from_env`].
+    pub fn from_env() -> Self {
+        let mut cfg = ExecConfig::default();
+        for var in EXEC_KNOBS {
+            if let Ok(value) = std::env::var(var) {
+                if let Err(e) = cfg.apply_knob(var, &value) {
+                    static WARN: std::sync::Once = std::sync::Once::new();
+                    WARN.call_once(|| eprintln!("xqjg: ignoring malformed knob: {e}"));
+                }
+            }
+        }
+        cfg
     }
 
     /// A sequential configuration with the default batch and morsel sizes
@@ -495,16 +663,8 @@ impl ExecConfig {
             threads: 1,
             batch_capacity: crate::BATCH_CAPACITY,
             morsel_size: DEFAULT_MORSEL_SIZE,
-            vectorize: env_bool("XQJG_VECTORIZE").unwrap_or(true),
             adaptive: true,
-            typed_kernels: env_bool("XQJG_TYPED_KERNELS").unwrap_or(true),
-            mem_budget: env_bytes("XQJG_MEM_BUDGET"),
-            spill_dir: env_path("XQJG_SPILL_DIR"),
-            spill_retries: env_retries("XQJG_SPILL_RETRIES"),
-            query_timeout: env_duration("XQJG_QUERY_TIMEOUT"),
-            build_cache: env_bool("XQJG_BUILD_CACHE").unwrap_or(true),
-            plan_cache: env_bool("XQJG_PLAN_CACHE").unwrap_or(true),
-            postings_cache: env_bool("XQJG_POSTINGS_CACHE").unwrap_or(true),
+            ..Self::from_env()
         }
     }
 
@@ -631,45 +791,6 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-}
-
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-}
-
-fn env_bool(name: &str) -> Option<bool> {
-    std::env::var(name).ok().map(|v| {
-        let v = v.trim();
-        !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
-    })
-}
-
-fn env_path(name: &str) -> Option<PathBuf> {
-    std::env::var(name)
-        .ok()
-        .map(|v| v.trim().to_string())
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
-}
-
-fn env_bytes(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| parse_bytes(&v))
-}
-
-/// Unlike [`env_usize`], zero is a meaningful value here (retry exactly
-/// never), so only unset/malformed fall back to the default.
-fn env_retries(name: &str) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(crate::spill::DEFAULT_SPILL_RETRIES)
-}
-
-fn env_duration(name: &str) -> Option<std::time::Duration> {
-    std::env::var(name).ok().and_then(|v| parse_duration(&v))
 }
 
 /// Parse a byte count with an optional `k`/`m`/`g` (binary) suffix; zero,

@@ -8,7 +8,7 @@
 //! ```
 
 use xqjg::data::{generate_xmark_encoded, XmarkConfig};
-use xqjg::engine::{execute_with_stats, explain_with_stats, optimize};
+use xqjg::engine::{explain_with_stats, optimize, QueryRequest};
 use xqjg::Processor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = optimize(&branch.isolated.query, db)?;
     // Run the plan through the pipelined executor so the explain output
     // carries the per-operator work counters next to the estimates.
-    let (_, stats) = execute_with_stats(&plan, db);
+    let stats = QueryRequest::new(&plan, db).expect_run().stats;
     println!("{}", explain_with_stats(&plan, &stats));
     Ok(())
 }

@@ -29,6 +29,12 @@ phase recorded warm cache hits on a query, the fresh run's warm hit
 total (plan + build + postings) collapsing to zero fails the gate —
 warm *counts* vary with scale, but all-zero means the caches stopped
 engaging.
+
+With `--serve BENCH_serve.json` the gate instead validates a closed-loop
+service measurement: at least two concurrency levels, positive throughput
+and latency percentiles at every level, byte-identical responses, and no
+admission rejections or queue timeouts (which would mean the service
+benchmark deadlocked its way through the admission controller).
 """
 
 import argparse
@@ -89,17 +95,72 @@ def coverage(op):
     return op["kernel_rows"] / op["rows_in"] if op["rows_in"] else 0.0
 
 
+def serve_gate(path):
+    """Validate one BENCH_serve.json measurement (no baseline needed —
+    absolute latencies are hardware-bound; what must hold everywhere is
+    liveness, coverage and byte-identity)."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    failures = []
+    levels = doc.get("levels", [])
+    if len(levels) < 2:
+        failures.append(f"expected >= 2 concurrency levels, found {len(levels)}")
+    for lvl in levels:
+        n = lvl.get("clients", "?")
+        qps = float(lvl.get("throughput_qps", 0.0))
+        p50 = lvl.get("p50_us")
+        p99 = lvl.get("p99_us")
+        print(
+            f"serve {n} client(s): {lvl.get('queries', 0)} queries, "
+            f"{qps:.1f} q/s, p50 {p50} us, p99 {p99} us, "
+            f"queued {lvl.get('queued', 0)}, rejected {lvl.get('rejected', 0)}, "
+            f"timeouts {lvl.get('timeouts', 0)}"
+        )
+        if int(lvl.get("queries", 0)) <= 0:
+            failures.append(f"{n} client(s): no queries measured")
+        if qps <= 0.0:
+            failures.append(f"{n} client(s): throughput is not positive ({qps})")
+        if p50 is None or p99 is None or int(p50) <= 0 or int(p99) <= 0:
+            failures.append(f"{n} client(s): latency percentiles missing or zero")
+        if not lvl.get("byte_identical", False):
+            failures.append(f"{n} client(s): responses not byte-identical")
+        if int(lvl.get("rejected", 0)) != 0 or int(lvl.get("timeouts", 0)) != 0:
+            failures.append(
+                f"{n} client(s): admission rejected/timed out queries "
+                f"(rejected {lvl.get('rejected', 0)}, timeouts {lvl.get('timeouts', 0)})"
+            )
+    if failures:
+        print("\nserve gate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("\nserve gate passed.")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("committed", help="baseline BENCH_exec.json (committed)")
-    ap.add_argument("fresh", help="freshly measured BENCH_exec.json")
+    ap.add_argument(
+        "committed", nargs="?", help="baseline BENCH_exec.json (committed)"
+    )
+    ap.add_argument("fresh", nargs="?", help="freshly measured BENCH_exec.json")
     ap.add_argument(
         "--tolerance",
         type=float,
         default=10.0,
         help="allowed slowdown factor before failing (default: 10)",
     )
+    ap.add_argument(
+        "--serve",
+        metavar="BENCH_SERVE_JSON",
+        help="validate a BENCH_serve.json service measurement instead",
+    )
     args = ap.parse_args()
+
+    if args.serve:
+        return serve_gate(args.serve)
+    if not args.committed or not args.fresh:
+        ap.error("COMMITTED and FRESH are required unless --serve is given")
 
     base = throughputs(args.committed)
     fresh = throughputs(args.fresh)

@@ -11,10 +11,25 @@
 
 use proptest::prelude::*;
 use xqjg::engine::{
-    execute, execute_with_stats_config, optimize, Access, JoinMethod, JoinNode, PhysPlan,
-    SelectItem, SqlCmp, SqlExpr, SqlPredicate,
+    optimize, Access, ExecStats, JoinMethod, JoinNode, PhysPlan, QueryRequest, SelectItem, SqlCmp,
+    SqlExpr, SqlPredicate,
 };
 use xqjg::store::{BPlusTree, Database, ExecConfig, Schema, Table, Value};
+
+/// The old entry points, expressed over the unified [`QueryRequest`] API
+/// (the only execution path this suite drives).
+fn execute(plan: &PhysPlan, db: &Database) -> Table {
+    QueryRequest::new(plan, db).expect_run().rows
+}
+
+fn execute_with_stats_config(
+    plan: &PhysPlan,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> (Table, ExecStats) {
+    let out = QueryRequest::new(plan, db).config(cfg).expect_run();
+    (out.rows, out.stats)
+}
 use xqjg::xml::{encode_document, parse_document, DocTable, Pre};
 use xqjg::{Mode, Processor};
 
